@@ -1,0 +1,133 @@
+// Ablation (DESIGN.md §5): link inference by exact subnet match (the
+// paper's §2.1 rule) vs a permissive variant that matches any interfaces
+// whose configured subnets overlap. On complete data sets both find the
+// same links; when configuration files are missing (the paper's §3.4
+// missing-router scenario) the permissive variant starts fusing unrelated
+// interfaces into false links, while the exact rule degrades gracefully —
+// unmatched interfaces are simply declared external-facing.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rd;
+
+struct LinkCounts {
+  std::size_t exact_links = 0;
+  std::size_t permissive_links = 0;
+  std::size_t fused_links = 0;  // permissive links merging >1 exact subnet
+};
+
+LinkCounts count_links(const model::Network& network) {
+  LinkCounts counts;
+  // Exact: the model's own inference.
+  counts.exact_links = network.links().size();
+
+  // Permissive: union interfaces whose subnets overlap (different masks on
+  // one wire happen with misconfigured masks; a permissive matcher would
+  // also fuse a /24 with every /30 carved from the same range).
+  std::vector<ip::Prefix> subnets;
+  for (const auto& itf : network.interfaces()) {
+    if (itf.subnet && itf.subnet->length() < 32 && !itf.shutdown) {
+      subnets.push_back(*itf.subnet);
+    }
+  }
+  std::sort(subnets.begin(), subnets.end(),
+            [](const ip::Prefix& a, const ip::Prefix& b) {
+              if (a.network() != b.network()) return a.network() < b.network();
+              return a.length() < b.length();
+            });
+  subnets.erase(std::unique(subnets.begin(), subnets.end()), subnets.end());
+  // Sorted by network address: overlapping prefixes form runs where each
+  // subnet is contained in some earlier, shorter one.
+  std::size_t groups = 0;
+  ip::Prefix current;
+  bool have_current = false;
+  std::size_t members = 0;
+  for (const auto& subnet : subnets) {
+    if (have_current && current.contains(subnet)) {
+      ++members;
+      continue;
+    }
+    if (have_current && members > 1) ++counts.fused_links;
+    current = subnet;
+    have_current = true;
+    members = 1;
+    ++groups;
+  }
+  if (have_current && members > 1) ++counts.fused_links;
+  counts.permissive_links = groups;
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "==============================================================\n"
+      "Ablation: link inference rule vs missing configuration files\n"
+      "(DESIGN.md section 5; paper sections 2.1 and 3.4)\n"
+      "==============================================================\n\n");
+
+  synth::ManagedEnterpriseParams params;
+  params.seed = 11;
+  params.regions = 4;
+  params.spokes_per_region = 30;
+  auto net = synth::make_managed_enterprise(params);
+
+  // Inject a classic operator error on 3% of point-to-point interfaces:
+  // a /30 configured with a /24 mask. The exact rule orphans those
+  // interfaces (they no longer match their peer); the permissive rule
+  // fuses the widened subnet with every /30 carved from the same range.
+  {
+    util::Rng mangle(5);
+    for (auto& cfg : net.configs) {
+      for (auto& itf : cfg.interfaces) {
+        if (itf.address && itf.address->mask.length() == 30 &&
+            mangle.chance(0.03)) {
+          itf.address->mask = ip::Netmask::from_length(24);
+        }
+      }
+    }
+  }
+
+  util::Table table({"configs dropped", "exact links", "permissive groups",
+                     "fused groups", "external-facing ifaces (exact)"});
+  util::Rng rng(99);
+  for (const double drop : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    std::vector<config::RouterConfig> configs;
+    util::Rng pick = rng.fork("drop" + std::to_string(drop));
+    for (const auto& cfg : net.configs) {
+      if (!pick.chance(drop)) configs.push_back(cfg);
+    }
+    const auto network = model::Network::build(synth::reparse(configs));
+    const auto counts = count_links(network);
+    std::size_t external = 0;
+    for (const auto& itf : network.interfaces()) {
+      external += itf.external_facing;
+    }
+    table.add_row(
+        {util::fmt_percent(drop, 0),
+         util::fmt_int(static_cast<long long>(counts.exact_links)),
+         util::fmt_int(static_cast<long long>(counts.permissive_links)),
+         util::fmt_int(static_cast<long long>(counts.fused_links)),
+         util::fmt_int(static_cast<long long>(external))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: with missing configs the exact rule loses links but never\n"
+      "invents them (the orphaned interfaces turn external-facing and feed\n"
+      "the paper's missing-router heuristic); the permissive rule fuses\n"
+      "distinct subnets into false multi-subnet links wherever masks vary.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+#include "synth/emit.h"
+#include "synth/fleet.h"
+
+namespace rd::bench {
+
+/// One fully analyzed network of the synthetic fleet.
+struct AnalyzedNetwork {
+  std::string name;
+  std::string archetype;
+  model::Network network;
+  graph::InstanceSet instances;
+};
+
+/// Deterministic fleet seed shared by every experiment binary, so all tables
+/// and figures describe the same 31 networks.
+constexpr std::uint64_t kFleetSeed = 42;
+
+/// Generate the 31-network fleet, serialize each network to configuration
+/// text, re-parse, and build the model — the paper's pipeline, end to end.
+inline std::vector<AnalyzedNetwork> analyzed_fleet() {
+  const auto fleet = synth::generate_fleet(kFleetSeed);
+  std::vector<AnalyzedNetwork> out;
+  out.reserve(fleet.networks.size());
+  for (const auto& net : fleet.networks) {
+    AnalyzedNetwork entry{net.name, net.archetype,
+                          model::Network::build(synth::reparse(net.configs)),
+                          {}};
+    entry.instances = graph::compute_instances(entry.network);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Input: synthetic 31-network fleet (seed %llu), analyzed from\n"
+              "emitted configuration text (see DESIGN.md section 2).\n",
+              static_cast<unsigned long long>(kFleetSeed));
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace rd::bench

@@ -1,0 +1,150 @@
+// Figures 5, 6, 7: the section 2/3 worked example — a small enterprise
+// (R1-R3) attached to a transit backbone (R4-R6) that also peers with an
+// external router (R7). This binary builds the example from configuration
+// text and prints the routing process graph, the routing instance graph, and
+// the route pathway graphs for R1 (enterprise pattern) and R5 (backbone
+// pattern), including DOT renderings of each figure.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/parser.h"
+#include "graph/dot.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "graph/process_graph.h"
+#include "model/network.h"
+
+namespace {
+
+std::vector<rd::config::RouterConfig> example_configs() {
+  // Mirrors tests/graph_test.cpp's figure1_network; kept textual here so the
+  // bench exercises the parser too.
+  const std::vector<std::string> texts{
+      "hostname R1\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.1 "
+      "255.255.255.252\n"
+      "router ospf 128\n network 10.1.0.0 0.0.255.255 area 0\n",
+
+      "hostname R2\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.2 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.1.0.5 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.9.0.1 "
+      "255.255.255.252\n"
+      "router ospf 128\n"
+      " network 10.1.0.0 0.0.255.255 area 0\n"
+      " redistribute bgp 64780 metric 1 subnets route-map INJECT\n"
+      "router bgp 64780\n"
+      " neighbor 10.9.0.2 remote-as 12762\n"
+      " redistribute ospf 128 route-map EXPORT\n"
+      "route-map INJECT permit 10\nroute-map EXPORT permit 10\n",
+
+      "hostname R3\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.6 "
+      "255.255.255.252\n"
+      "router ospf 128\n network 10.1.0.0 0.0.255.255 area 0\n",
+
+      "hostname R4\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.1 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.2.0.9 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.2 remote-as 12762\n"
+      " neighbor 10.2.0.10 remote-as 12762\n",
+
+      "hostname R5\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.2 "
+      "255.255.255.252\n"
+      "interface Serial0/2 point-to-point\n ip address 10.2.0.5 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.99.0.1 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.1 remote-as 12762\n"
+      " neighbor 10.2.0.6 remote-as 12762\n"
+      " neighbor 10.99.0.2 remote-as 7018\n",
+
+      "hostname R6\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.6 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.2.0.10 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.9.0.2 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.5 remote-as 12762\n"
+      " neighbor 10.2.0.9 remote-as 12762\n"
+      " neighbor 10.9.0.1 remote-as 64780\n",
+  };
+  std::vector<rd::config::RouterConfig> configs;
+  for (const auto& text : texts) {
+    configs.push_back(rd::config::parse_config(text, "example").config);
+  }
+  return configs;
+}
+
+std::uint32_t router_named(const rd::model::Network& net,
+                           std::string_view name) {
+  for (std::uint32_t r = 0; r < net.router_count(); ++r) {
+    if (net.routers()[r].hostname == name) return r;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rd;
+  std::printf(
+      "==============================================================\n"
+      "Figures 5-7: the worked example (enterprise R1-R3 + backbone R4-R6)\n"
+      "Reproduces: Maltz et al., SIGCOMM 2004, Figures 1, 5, 6, 7\n"
+      "==============================================================\n\n");
+
+  const auto network = model::Network::build(example_configs());
+  const auto pg = graph::ProcessGraph::build(network);
+  const auto ig = graph::InstanceGraph::build(network);
+
+  std::printf("routing process graph: %zu RIB vertices, %zu edges "
+              "(paper Figure 5)\n",
+              pg.vertices().size(), pg.edges().size());
+  std::printf("routing instances (paper Figure 6):\n");
+  for (std::uint32_t i = 0; i < ig.set.instances.size(); ++i) {
+    std::printf("  %s\n", graph::instance_label(ig.set, i).c_str());
+  }
+  std::printf("instance-graph edges: %zu (redistribution on R2, the "
+              "EBGP session R2-R6, and the external peering at R5)\n\n",
+              ig.edges.size());
+
+  const auto pathway_r1 =
+      graph::compute_pathway(network, ig, router_named(network, "R1"));
+  std::printf("route pathway for R1 (paper Figure 7a, enterprise pattern):\n"
+              "  instances on path: %zu, layers to the external world: %u, "
+              "reaches external: %s\n",
+              pathway_r1.nodes.size(), pathway_r1.max_depth + 1,
+              pathway_r1.reaches_external ? "yes" : "no");
+  const auto pathway_r5 =
+      graph::compute_pathway(network, ig, router_named(network, "R5"));
+  std::printf("route pathway for R5 (paper Figure 7b, backbone pattern):\n"
+              "  instances on path: %zu, external routes arrive directly "
+              "into the router's own BGP instance: %s\n\n",
+              pathway_r5.nodes.size(),
+              pathway_r5.reaches_external ? "yes" : "no");
+
+  std::printf("--- DOT: routing process graph (Figure 5) ---\n%s\n",
+              graph::to_dot(network, pg).c_str());
+  std::printf("--- DOT: routing instance graph (Figure 6) ---\n%s\n",
+              graph::to_dot(network, ig).c_str());
+  std::printf("--- DOT: route pathway of R1 (Figure 7a) ---\n%s\n",
+              graph::to_dot(network, ig, pathway_r1).c_str());
+  std::printf("--- DOT: route pathway of R5 (Figure 7b) ---\n%s\n",
+              graph::to_dot(network, ig, pathway_r5).c_str());
+  return 0;
+}

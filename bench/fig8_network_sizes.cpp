@@ -1,0 +1,60 @@
+// Figure 8: distribution of the size of the 31 analyzed networks compared to
+// the size distribution of all (~2,400) networks known in the repository.
+//
+// The paper's histogram uses buckets <10, 20, 40, 80, 160, 320, 640, 1280,
+// >1280 and shows the study overweighting networks with more than 20 routers
+// relative to the (mostly tiny) repository population.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "synth/fleet.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rd;
+  bench::print_header(
+      "Figure 8: network size distribution, study vs repository",
+      "Maltz et al., SIGCOMM 2004, Figure 8 / section 4.2");
+
+  const auto fleet = synth::generate_fleet(bench::kFleetSeed);
+  std::vector<double> study_sizes;
+  for (const auto& net : fleet.networks) {
+    study_sizes.push_back(static_cast<double>(net.configs.size()));
+  }
+  const auto repo_sizes = synth::repository_network_sizes(bench::kFleetSeed);
+
+  const std::vector<double> bounds{10, 20, 40, 80, 160, 320, 640, 1280};
+  const std::vector<std::string> labels{"<10",  "20",  "40",   "80",  "160",
+                                        "320",  "640", "1280", ">1280"};
+  const auto study = util::bucket_histogram(study_sizes, bounds, labels);
+  const auto repo = util::bucket_histogram(repo_sizes, bounds, labels);
+
+  util::Table table({"routers", "study fraction", "repository fraction"});
+  for (std::size_t i = 0; i < study.size(); ++i) {
+    table.add_row({study[i].label, util::fmt_double(study[i].fraction, 3),
+                   util::fmt_double(repo[i].fraction, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("study networks: %zu (paper: 31), repository networks: %zu "
+              "(paper: 2,400)\n",
+              study_sizes.size(), repo_sizes.size());
+  std::printf("\nPaper reference shape: >60%% of known networks below 10\n"
+              "routers; the study sample overweights networks with more\n"
+              "than 20 routers and includes the 640-1280+ tail.\n");
+
+  double study_over20 = 0;
+  double repo_over20 = 0;
+  for (double s : study_sizes) study_over20 += (s > 20);
+  for (double s : repo_sizes) repo_over20 += (s > 20);
+  std::printf("Measured: study fraction >20 routers = %.2f, repository = "
+              "%.2f (study overweights larger networks: %s)\n",
+              study_over20 / static_cast<double>(study_sizes.size()),
+              repo_over20 / static_cast<double>(repo_sizes.size()),
+              study_over20 / static_cast<double>(study_sizes.size()) >
+                      repo_over20 / static_cast<double>(repo_sizes.size())
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

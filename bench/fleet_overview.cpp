@@ -1,0 +1,59 @@
+// Data-set overview (paper §4.2): one row per analyzed network — size,
+// interfaces, links, routing instances, BGP usage, filters, and the design
+// classification. This is the study-population table every analysis binary
+// draws from.
+
+#include <cstdio>
+
+#include "analysis/archetype.h"
+#include "analysis/filters.h"
+#include "analysis/roles.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rd;
+  bench::print_header("Fleet overview: the 31 analyzed networks",
+                      "Maltz et al., SIGCOMM 2004, section 4.2 (data set)");
+
+  util::Table table({"network", "routers", "interfaces", "links",
+                     "instances", "IGP inst.", "EBGP ext.", "filter rules",
+                     "% internal", "classified as"});
+  std::size_t total_routers = 0;
+  std::size_t total_interfaces = 0;
+  std::size_t total_instances = 0;
+  for (const auto& entry : bench::analyzed_fleet()) {
+    const auto roles = analysis::classify_roles(entry.network,
+                                                entry.instances);
+    const auto filters = analysis::gather_filter_stats(entry.network);
+    const auto cls = analysis::classify_design(entry.network,
+                                               entry.instances);
+    std::size_t igp_instances = 0;
+    for (const auto& [proto, counts] : roles.igp_instances) {
+      igp_instances += counts.first + counts.second;
+    }
+    total_routers += entry.network.router_count();
+    total_interfaces += entry.network.interfaces().size();
+    total_instances += entry.instances.instances.size();
+    table.add_row(
+        {entry.name,
+         util::fmt_int(static_cast<long long>(entry.network.router_count())),
+         util::fmt_int(static_cast<long long>(
+             entry.network.interfaces().size())),
+         util::fmt_int(static_cast<long long>(entry.network.links().size())),
+         util::fmt_int(static_cast<long long>(
+             entry.instances.instances.size())),
+         util::fmt_int(static_cast<long long>(igp_instances)),
+         util::fmt_int(static_cast<long long>(roles.ebgp_inter_sessions)),
+         util::fmt_int(static_cast<long long>(filters.total_applied_rules)),
+         filters.has_filters()
+             ? util::fmt_percent(filters.internal_fraction(), 0)
+             : "-",
+         std::string(analysis::to_string(cls.archetype))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("totals: %zu routers (paper: 8,035), %zu interfaces "
+              "(paper: 96,487), %zu routing instances\n",
+              total_routers, total_interfaces, total_instances);
+  return 0;
+}

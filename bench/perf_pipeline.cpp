@@ -1,0 +1,225 @@
+// Performance benchmarks and ablations for the pipeline itself (not a paper
+// figure). Covers the design choices called out in DESIGN.md section 5:
+//   - instance closure via union-find vs explicit BFS flood fill;
+//   - the paper's half-used address join vs exact CIDR aggregation;
+//   - parse/serialize/anonymize throughput and model-build scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/egress.h"
+#include "analysis/ibgp.h"
+#include "analysis/reachability.h"
+#include "analysis/whatif.h"
+#include "anonymize/anonymizer.h"
+#include "config/parser.h"
+#include "config/writer.h"
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "ip/aggregate.h"
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+
+namespace {
+
+using namespace rd;
+
+synth::SynthNetwork managed_of_size(std::uint32_t spokes_per_region) {
+  synth::ManagedEnterpriseParams p;
+  p.seed = 7;
+  p.regions = 4;
+  p.spokes_per_region = spokes_per_region;
+  p.ebgp_spoke_rate = 0.15;
+  return synth::make_managed_enterprise(p);
+}
+
+std::vector<std::string> config_texts(const synth::SynthNetwork& net) {
+  std::vector<std::string> texts;
+  texts.reserve(net.configs.size());
+  for (const auto& cfg : net.configs) {
+    texts.push_back(config::write_config(cfg));
+  }
+  return texts;
+}
+
+// --- parsing / serialization -------------------------------------------------
+
+void BM_ParseConfig(benchmark::State& state) {
+  const auto net = managed_of_size(20);
+  const auto texts = config_texts(net);
+  std::size_t bytes = 0;
+  for (const auto& text : texts) bytes += text.size();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        config::parse_config(texts[i % texts.size()], "bench"));
+    ++i;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(bytes / texts.size()));
+}
+BENCHMARK(BM_ParseConfig);
+
+void BM_WriteConfig(benchmark::State& state) {
+  const auto net = managed_of_size(20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        config::write_config(net.configs[i % net.configs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_WriteConfig);
+
+void BM_AnonymizeConfig(benchmark::State& state) {
+  const auto net = managed_of_size(20);
+  const auto texts = config_texts(net);
+  anonymize::Anonymizer anonymizer(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonymizer.anonymize(texts[i % texts.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AnonymizeConfig);
+
+// --- model building ------------------------------------------------------------
+
+void BM_BuildNetwork(benchmark::State& state) {
+  const auto net = managed_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const auto configs = synth::reparse(net.configs);
+  for (auto _ : state) {
+    auto copy = configs;
+    benchmark::DoNotOptimize(model::Network::build(std::move(copy)));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_BuildNetwork)->Arg(10)->Arg(40)->Arg(120)->Complexity();
+
+// --- ablation: instance closure --------------------------------------------------
+
+void BM_InstanceClosure_UnionFind(benchmark::State& state) {
+  const auto net = managed_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::compute_instances(network));
+  }
+  state.SetComplexityN(
+      static_cast<std::int64_t>(network.processes().size()));
+}
+BENCHMARK(BM_InstanceClosure_UnionFind)->Arg(20)->Arg(80)->Complexity();
+
+void BM_InstanceClosure_Bfs(benchmark::State& state) {
+  const auto net = managed_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::compute_instances_bfs(network));
+  }
+  state.SetComplexityN(
+      static_cast<std::int64_t>(network.processes().size()));
+}
+BENCHMARK(BM_InstanceClosure_Bfs)->Arg(20)->Arg(80)->Complexity();
+
+// --- ablation: address-structure join rule ----------------------------------------
+
+void BM_AddressStructure_HalfUsedJoin(benchmark::State& state) {
+  const auto net = managed_of_size(40);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto subnets = network.interface_subnets();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::extract_address_structure(subnets));
+  }
+  state.counters["subnets"] = static_cast<double>(subnets.size());
+  state.counters["roots"] = static_cast<double>(
+      graph::extract_address_structure(subnets).roots.size());
+}
+BENCHMARK(BM_AddressStructure_HalfUsedJoin);
+
+void BM_AddressStructure_ExactAggregate(benchmark::State& state) {
+  const auto net = managed_of_size(40);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto subnets = network.interface_subnets();
+  for (auto _ : state) {
+    auto copy = subnets;
+    benchmark::DoNotOptimize(ip::aggregate_exact(std::move(copy)));
+  }
+  state.counters["subnets"] = static_cast<double>(subnets.size());
+  state.counters["roots"] = static_cast<double>(
+      ip::aggregate_exact(subnets).size());
+}
+BENCHMARK(BM_AddressStructure_ExactAggregate);
+
+// --- reachability and pathway ------------------------------------------------------
+
+void BM_ReachabilityNet15(benchmark::State& state) {
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+  analysis::ReachabilityAnalysis::Options options;
+  const auto plan = synth::net15_plan();
+  options.external_prefixes = {plan.ab0, plan.external_left,
+                               plan.external_right};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::ReachabilityAnalysis::run(network, instances, options));
+  }
+}
+BENCHMARK(BM_ReachabilityNet15);
+
+void BM_IbgpSignalingAnalysis(benchmark::State& state) {
+  synth::BackboneParams p;
+  p.access_routers = 80;
+  p.external_peers = 60;
+  const auto net = synth::make_backbone(p);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto instances = graph::compute_instances(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_ibgp(network, instances));
+  }
+}
+BENCHMARK(BM_IbgpSignalingAnalysis);
+
+void BM_ArticulationRouters(benchmark::State& state) {
+  const auto net = managed_of_size(40);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto instances = graph::compute_instances(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::instance_articulation_routers(network, instances));
+  }
+}
+BENCHMARK(BM_ArticulationRouters);
+
+void BM_EgressAttribution(benchmark::State& state) {
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::EgressAnalysis::run(network, instances));
+  }
+}
+BENCHMARK(BM_EgressAttribution);
+
+void BM_PathwayAllRouters(benchmark::State& state) {
+  const auto net = managed_of_size(20);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto ig = graph::InstanceGraph::build(network);
+  for (auto _ : state) {
+    for (model::RouterId r = 0; r < network.router_count(); ++r) {
+      benchmark::DoNotOptimize(graph::compute_pathway(network, ig, r));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(network.router_count()));
+}
+BENCHMARK(BM_PathwayAllRouters);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Table 2 + Figure 12: the net15 case study. Policies A1-A5 mention address
+// blocks AB0-AB4; the reachability analysis derives the paper's three
+// observations: (1) no Internet-at-large reachability (no default route
+// admitted); (2) the two sites cannot reach each other at all (the policy
+// intersections are empty); (3) the host blocks AB2/AB4 are announced
+// outward, and the ingress filters bound the OSPF route load.
+
+#include <cstdio>
+
+#include "analysis/reachability.h"
+#include "bench_common.h"
+#include "graph/instances.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rd;
+  bench::print_header("Table 2 / Figure 12: the net15 reachability design",
+                      "Maltz et al., SIGCOMM 2004, Table 2, Figure 12, "
+                      "section 6.2");
+
+  const auto net15 = synth::make_net15();
+  const auto plan = synth::net15_plan();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+
+  std::printf("net15: %zu routers, %zu routing instances (paper: 79 routers, "
+              "6 instances)\n\n",
+              network.router_count(), instances.instances.size());
+
+  // Table 2: address blocks mentioned by the redistribution policies.
+  util::Table policies({"policy", "contents", "role"});
+  policies.add_row({"A1", "AB0, AB1", "inbound, left site"});
+  policies.add_row({"A2", "AB2", "outbound, left site"});
+  policies.add_row({"A3", "AB0, AB3", "inbound, right site"});
+  policies.add_row({"A4", "AB4", "outbound, right site"});
+  policies.add_row({"A5", "AB0", "inbound guard, right site"});
+  std::printf("%s\n", policies.to_string().c_str());
+
+  util::Table blocks({"block", "prefix", "meaning"});
+  blocks.add_row({"AB0", plan.ab0.to_string(), "shared external services"});
+  blocks.add_row({"AB1", plan.ab1.to_string(), "left infrastructure"});
+  blocks.add_row({"AB2", plan.ab2.to_string(), "left hosts"});
+  blocks.add_row({"AB3", plan.ab3.to_string(), "right infrastructure"});
+  blocks.add_row({"AB4", plan.ab4.to_string(), "right hosts"});
+  std::printf("%s\n", blocks.to_string().c_str());
+
+  analysis::ReachabilityAnalysis::Options options;
+  options.external_prefixes = {plan.ab0, plan.external_left,
+                               plan.external_right};
+  const auto reach =
+      analysis::ReachabilityAnalysis::run(network, instances, options);
+
+  // Locate the two OSPF site instances by their covered host blocks.
+  auto ospf_instance_covering = [&](const ip::Prefix& block) {
+    for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+      if (instances.instances[i].protocol != config::RoutingProtocol::kOspf) {
+        continue;
+      }
+      for (const auto p : instances.instances[i].processes) {
+        for (const auto itf : network.processes()[p].covered_interfaces) {
+          const auto& subnet = network.interfaces()[itf].subnet;
+          if (subnet && block.contains(*subnet)) return i;
+        }
+      }
+    }
+    return ~0u;
+  };
+  const auto left = ospf_instance_covering(plan.ab2);
+  const auto right = ospf_instance_covering(plan.ab4);
+  const auto ab2_host = ip::Ipv4Address(plan.ab2.network().value() + 257);
+  const auto ab4_host = ip::Ipv4Address(plan.ab4.network().value() + 257);
+  const auto ab0_host = ip::Ipv4Address(plan.ab0.network().value() + 1);
+
+  auto verdict = [](bool measured, bool paper) {
+    return std::string(measured ? "yes" : "no") +
+           (measured == paper ? "  (matches paper)" : "  (MISMATCH)");
+  };
+
+  util::Table results({"question", "answer"});
+  results.add_row({"left site reaches Internet at large",
+                   verdict(reach.instance_reaches_internet(left), false)});
+  results.add_row({"right site reaches Internet at large",
+                   verdict(reach.instance_reaches_internet(right), false)});
+  results.add_row({"left site reaches shared services AB0",
+                   verdict(reach.instance_has_route_to(left, ab0_host),
+                           true)});
+  results.add_row({"right site reaches shared services AB0",
+                   verdict(reach.instance_has_route_to(right, ab0_host),
+                           true)});
+  results.add_row({"AB2 hosts can reach AB4 hosts",
+                   verdict(reach.instance_has_route_to(left, ab4_host),
+                           false)});
+  results.add_row({"AB4 hosts can reach AB2 hosts",
+                   verdict(reach.instance_has_route_to(right, ab2_host),
+                           false)});
+  bool ab2_out = false;
+  bool ab4_out = false;
+  for (const auto& route : reach.announced_externally()) {
+    if (plan.ab2.contains(route.prefix)) ab2_out = true;
+    if (plan.ab4.contains(route.prefix)) ab4_out = true;
+  }
+  results.add_row({"AB2 announced to the public ASs", verdict(ab2_out, true)});
+  results.add_row({"AB4 announced to the public ASs", verdict(ab4_out, true)});
+  std::printf("%s\n", results.to_string().c_str());
+
+  std::printf("external routes admitted into the left OSPF instance: %zu\n",
+              reach.external_route_count(left));
+  std::printf("external routes admitted into the right OSPF instance: %zu\n",
+              reach.external_route_count(right));
+  std::printf("(paper section 6.2: the ingress filters A1/A3/A5 bound the\n"
+              "maximum OSPF load; in total two /16s and a handful of more\n"
+              "specific blocks are admitted, and no default route)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Structure-preserving anonymization of a directory of configuration files
+// (the paper's section 4.1 tool): hashes user-specific tokens, renumbers
+// public AS numbers, maps IP addresses prefix-preservingly, strips comments,
+// and writes config1..configN into the output directory.
+//
+// The same key must be used for all files of one network so that shared
+// names and subnets stay consistent — the analyses then produce identical
+// results on the anonymized files (verified in tests/integration_test.cpp).
+//
+// Usage:
+//   anonymize_configs <in-dir> <out-dir> [key]
+//   anonymize_configs                      # demo on a generated enterprise
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "anonymize/anonymizer.h"
+#include "config/writer.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+
+int main(int argc, char** argv) {
+  using namespace rd;
+
+  std::filesystem::path in_dir;
+  std::filesystem::path out_dir;
+  std::uint64_t key = 0x5EED5EED5EED5EEDULL;
+
+  if (argc >= 3) {
+    in_dir = argv[1];
+    out_dir = argv[2];
+    if (argc >= 4) key = std::strtoull(argv[3], nullptr, 10);
+  } else {
+    // Demo: emit a small enterprise, then anonymize it.
+    in_dir = std::filesystem::temp_directory_path() / "rd_anon_demo_in";
+    out_dir = std::filesystem::temp_directory_path() / "rd_anon_demo_out";
+    std::filesystem::remove_all(in_dir);
+    std::filesystem::remove_all(out_dir);
+    synth::TextbookEnterpriseParams params;
+    params.routers = 6;
+    synth::emit_network(synth::make_textbook_enterprise(params).configs,
+                        in_dir);
+    std::printf("(demo mode: anonymizing a generated 6-router enterprise)\n"
+                "  in:  %s\n  out: %s\n\n",
+                in_dir.c_str(), out_dir.c_str());
+  }
+
+  std::filesystem::create_directories(out_dir);
+  anonymize::Anonymizer anonymizer(key);
+
+  std::size_t files = 0;
+  std::vector<std::filesystem::path> inputs;
+  for (const auto& entry : std::filesystem::directory_iterator(in_dir)) {
+    if (entry.is_regular_file()) inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) continue;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    ++files;
+    std::ofstream out(out_dir / ("config" + std::to_string(files)));
+    out << anonymizer.anonymize(text);
+  }
+
+  std::printf("anonymized %zu files (%zu distinct tokens hashed)\n", files,
+              anonymizer.hashed_token_count());
+  if (argc < 3) {
+    std::ifstream sample(out_dir / "config1");
+    std::string line;
+    std::printf("\nfirst lines of anonymized config1:\n");
+    for (int i = 0; i < 14 && std::getline(sample, line); ++i) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+  return 0;
+}

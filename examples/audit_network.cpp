@@ -1,0 +1,261 @@
+// Network audit: the section 8.1 operational tasks as one report.
+//
+// Runs inventory, vulnerability assessment, and engineering checks over a
+// network's configuration files: design classification, address-block plan,
+// redistribution redundancy (single points of failure), unfiltered external
+// connections, shared static destinations (maintenance grouping), missing
+// router detection, and the interface inventory.
+//
+// Usage:
+//   audit_network                # audit a generated managed enterprise
+//   audit_network <config-dir>   # audit a directory of IOS config files
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/archetype.h"
+#include "analysis/census.h"
+#include "analysis/consistency.h"
+#include "analysis/filters.h"
+#include "analysis/ibgp.h"
+#include "analysis/lint.h"
+#include "analysis/reachability.h"
+#include "analysis/router_rib.h"
+#include "analysis/vulnerability.h"
+#include "analysis/whatif.h"
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rd;
+
+  std::vector<config::RouterConfig> configs;
+  if (argc > 1) {
+    configs = synth::load_network(argv[1]);
+  } else {
+    synth::ManagedEnterpriseParams params;
+    params.regions = 3;
+    params.spokes_per_region = 14;
+    params.igp_edge_rate = 0.15;
+    configs = synth::reparse(synth::make_managed_enterprise(params).configs);
+    std::printf("(auditing a generated managed enterprise; pass a config "
+                "directory to audit your own network)\n\n");
+  }
+  if (configs.empty()) {
+    std::fprintf(stderr, "no configuration files found\n");
+    return 1;
+  }
+
+  const auto network = model::Network::build(std::move(configs));
+  const auto ig = graph::InstanceGraph::build(network);
+
+  // --- Inventory -----------------------------------------------------------
+  std::printf("=== Inventory ===\n");
+  std::printf("routers: %zu, interfaces: %zu (%zu unnumbered), links: %zu\n",
+              network.router_count(), network.interfaces().size(),
+              analysis::unnumbered_interface_count(network),
+              network.links().size());
+  util::Table census_table({"interface type", "count"});
+  for (const auto& [type, count] : analysis::interface_census(network)) {
+    census_table.add_row({type, util::fmt_int(static_cast<long long>(count))});
+  }
+  std::printf("%s\n", census_table.to_string().c_str());
+
+  // --- Design --------------------------------------------------------------
+  std::printf("=== Routing design ===\n");
+  const auto cls = analysis::classify_design(network, ig.set);
+  std::printf("classification: %s\n",
+              std::string(analysis::to_string(cls.archetype)).c_str());
+  std::printf("instances: %zu (BGP: %zu, staging: %zu), internal ASs: %zu\n",
+              ig.set.instances.size(), cls.features.bgp_instance_count,
+              cls.features.staging_igp_instances,
+              cls.features.internal_as_count);
+
+  const auto structure = graph::extract_address_structure(network);
+  std::printf("address-block plan (%zu root blocks):\n",
+              structure.roots.size());
+  for (const auto& block : structure.root_blocks()) {
+    std::printf("  %s\n", block.to_string().c_str());
+  }
+
+  // --- Vulnerability assessment ---------------------------------------------
+  std::printf("\n=== Vulnerability assessment ===\n");
+  const auto redundancy = analysis::redistribution_redundancy(network, ig);
+  std::size_t spofs = 0;
+  for (const auto& entry : redundancy) {
+    if (entry.single_point_of_failure()) {
+      ++spofs;
+      std::printf("  SINGLE POINT OF FAILURE: route exchange between "
+                  "instance %u and instance %u relies on router %s alone\n",
+                  entry.instance_a + 1, entry.instance_b + 1,
+                  network.routers()[entry.connecting_routers[0]]
+                      .hostname.c_str());
+    }
+  }
+  std::printf("instance pairs exchanging routes: %zu, single points of "
+              "failure: %zu\n",
+              redundancy.size(), spofs);
+
+  const auto backdoors = analysis::detect_backdoor_candidates(network, ig);
+  if (backdoors.groups > 1) {
+    std::printf("POTENTIAL BACKDOOR ROUTES: %zu internally-disconnected "
+                "groups each reach the external world; traffic between "
+                "them can only flow through the neighboring domains "
+                "(paper 8.2)\n",
+                backdoors.groups);
+  }
+
+  const auto unfiltered =
+      analysis::find_unfiltered_external_connections(network);
+  std::printf("unfiltered external connections: %zu\n", unfiltered.size());
+  for (std::size_t i = 0; i < unfiltered.size() && i < 8; ++i) {
+    const auto& finding = unfiltered[i];
+    std::printf("  router %s, %s %s: %s%s\n",
+                network.routers()[finding.router].hostname.c_str(),
+                finding.kind ==
+                        analysis::UnfilteredExternalConnection::Kind::kBgpSession
+                    ? "BGP neighbor"
+                    : "IGP edge interface",
+                finding.detail.c_str(),
+                finding.missing_route_filter ? "no route filter " : "",
+                finding.missing_packet_filter ? "no packet filter" : "");
+  }
+  if (unfiltered.size() > 8) {
+    std::printf("  ... and %zu more\n", unfiltered.size() - 8);
+  }
+
+  // --- Engineering / maintenance ----------------------------------------------
+  std::printf("\n=== Maintenance groupings ===\n");
+  const auto shared = analysis::shared_static_destinations(network);
+  std::printf("destinations with static routes on multiple routers: %zu\n",
+              shared.size());
+  for (std::size_t i = 0; i < shared.size() && i < 5; ++i) {
+    std::printf("  %s on %zu routers (do not disable all at once)\n",
+                shared[i].destination.to_string().c_str(),
+                shared[i].routers.size());
+  }
+
+  const auto suspects = graph::detect_missing_routers(network, structure);
+  std::printf("\n=== Data-set completeness ===\n");
+  std::printf("interfaces that look like links to missing routers: %zu\n",
+              suspects.size());
+  for (std::size_t i = 0; i < suspects.size() && i < 5; ++i) {
+    const auto& itf = network.interfaces()[suspects[i].interface];
+    std::printf("  %s %s (%s): inside a %.0f%%-internal block\n",
+                network.routers()[itf.router].hostname.c_str(),
+                itf.name.c_str(),
+                itf.address ? itf.address->to_string().c_str() : "?",
+                suspects[i].internal_fraction * 100.0);
+  }
+
+  const auto filters = analysis::gather_filter_stats(network);
+  std::printf("\n=== Packet filtering ===\n");
+  std::printf("applied filter rules: %zu (%.0f%% on internal links), "
+              "largest filter: %zu clauses\n",
+              filters.total_applied_rules,
+              filters.internal_fraction() * 100.0,
+              filters.largest_filter_rules);
+
+  // --- IBGP signaling (paper §3.1/§6.1 mesh-scalability concern) --------------
+  std::printf("\n=== IBGP signaling ===\n");
+  for (const auto& as_entry : analysis::analyze_ibgp(network, ig.set)) {
+    if (as_entry.routers.size() < 2) continue;
+    std::printf("AS %u: %zu routers, %zu sessions (%.0f%% of a full mesh)%s",
+                as_entry.as_number, as_entry.routers.size(),
+                as_entry.sessions, as_entry.mesh_completeness * 100.0,
+                as_entry.uses_route_reflection() ? ", route reflection"
+                                                 : "");
+    if (as_entry.disconnected_pairs > 0) {
+      std::printf(" — %zu SIGNALING HOLES", as_entry.disconnected_pairs);
+    }
+    if (!as_entry.isolated_routers.empty()) {
+      std::printf(" — %zu routers with no IBGP session",
+                  as_entry.isolated_routers.size());
+    }
+    std::printf("\n");
+  }
+
+  // --- Survivability (what-if, paper §8.1) -----------------------------------
+  std::printf("\n=== Survivability (what-if) ===\n");
+  const auto cuts =
+      analysis::instance_articulation_routers(network, ig.set);
+  std::printf("routers whose single failure splits their routing instance: "
+              "%zu\n",
+              cuts.size());
+  for (std::size_t i = 0; i < cuts.size() && i < 5; ++i) {
+    std::printf("  %s (instance %u)\n",
+                network.routers()[cuts[i].router].hostname.c_str(),
+                cuts[i].instance + 1);
+  }
+  if (!cuts.empty()) {
+    const auto impact = analysis::simulate_router_failure(
+        network, ig.set, {cuts.front().router});
+    std::printf("simulated failure of %s: instances %zu -> %zu, "
+                "fragmented: %zu, severed exchange pairs: %zu\n",
+                network.routers()[cuts.front().router].hostname.c_str(),
+                impact.instances_before, impact.instances_after,
+                impact.fragmented_instances.size(),
+                impact.severed_instance_pairs);
+  }
+
+  // --- Route load (paper §2.3 / §6.2) ----------------------------------------
+  std::printf("\n=== Route load ===\n");
+  const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
+  const auto ribs = analysis::RouterRibAnalysis::run(network, ig.set, reach);
+  const auto sizes = ribs.rib_sizes();
+  std::size_t max_rib = 0;
+  std::size_t total = 0;
+  for (const auto s : sizes) {
+    max_rib = std::max(max_rib, s);
+    total += s;
+  }
+  std::printf("router RIBs: mean %.0f routes, max %zu; routers holding "
+              "externally-learned routes: %zu of %zu\n",
+              sizes.empty() ? 0.0
+                            : static_cast<double>(total) /
+                                  static_cast<double>(sizes.size()),
+              max_rib, ribs.routers_with_external_routes().size(),
+              network.router_count());
+
+  // --- Cross-router consistency (paper §8.1 anomaly detection) ----------------
+  std::printf("\n=== Consistency ===\n");
+  const auto inconsistencies = analysis::check_consistency(network);
+  std::printf("cross-router inconsistencies: %zu\n", inconsistencies.size());
+  for (std::size_t i = 0; i < inconsistencies.size() && i < 6; ++i) {
+    const auto& finding = inconsistencies[i];
+    std::printf("  [%s] %s%s%s: %s\n",
+                std::string(analysis::to_string(finding.kind)).c_str(),
+                network.routers()[finding.router_a].hostname.c_str(),
+                finding.router_b != model::kInvalidId ? " / " : "",
+                finding.router_b != model::kInvalidId
+                    ? network.routers()[finding.router_b].hostname.c_str()
+                    : "",
+                finding.detail.c_str());
+  }
+
+  // --- Configuration lint (paper §5.3's IOS-language pitfalls) ----------------
+  std::printf("\n=== Configuration lint ===\n");
+  const auto findings = analysis::lint_network(network);
+  std::map<std::string, std::size_t> by_kind;
+  for (const auto& finding : findings) {
+    ++by_kind[std::string(analysis::to_string(finding.kind))];
+  }
+  std::printf("findings: %zu\n", findings.size());
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-32s %zu\n", kind.c_str(), count);
+  }
+  std::size_t shown = 0;
+  for (const auto& finding : findings) {
+    if (finding.kind == analysis::LintKind::kMultiPolicyFilter &&
+        shown++ < 3) {
+      std::printf("  e.g. %s: ACL %s — %s\n",
+                  network.routers()[finding.router].hostname.c_str(),
+                  finding.subject.c_str(), finding.detail.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Export a network's reverse-engineered routing design as JSON, for
+// downstream tooling (dashboards, diffing, inventory databases — the §8.1
+// "building block" uses).
+//
+// Usage:
+//   export_design [config-dir] > design.json
+
+#include <cstdio>
+
+#include "analysis/archetype.h"
+#include "analysis/filters.h"
+#include "analysis/roles.h"
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/json.h"
+
+int main(int argc, char** argv) {
+  using namespace rd;
+
+  std::vector<config::RouterConfig> configs;
+  if (argc > 1) {
+    configs = synth::load_network(argv[1]);
+  } else {
+    synth::TextbookEnterpriseParams params;
+    params.routers = 12;
+    configs = synth::reparse(synth::make_textbook_enterprise(params).configs);
+  }
+  const auto network = model::Network::build(std::move(configs));
+  const auto ig = graph::InstanceGraph::build(network);
+  const auto structure = graph::extract_address_structure(network);
+  const auto roles = analysis::classify_roles(network, ig.set);
+  const auto cls = analysis::classify_design(network, ig.set);
+  const auto filters = analysis::gather_filter_stats(network);
+
+  auto design = util::Json::object();
+  design.set("classification",
+             std::string(analysis::to_string(cls.archetype)));
+  design.set("rationale", cls.rationale);
+
+  auto summary = util::Json::object();
+  summary.set("routers", network.router_count());
+  summary.set("interfaces", network.interfaces().size());
+  summary.set("links", network.links().size());
+  summary.set("routing_processes", network.processes().size());
+  summary.set("igp_adjacencies", network.igp_adjacencies().size());
+  summary.set("bgp_sessions", network.bgp_sessions().size());
+  summary.set("applied_filter_rules", filters.total_applied_rules);
+  summary.set("internal_filter_fraction", filters.internal_fraction());
+  design.set("summary", std::move(summary));
+
+  auto routers = util::Json::array();
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    auto router = util::Json::object();
+    router.set("hostname", network.routers()[r].hostname);
+    router.set("interfaces", network.router_interfaces(r).size());
+    auto processes = util::Json::array();
+    for (const auto p : network.router_processes(r)) {
+      const auto& process = network.processes()[p];
+      auto entry = util::Json::object();
+      entry.set("protocol", std::string(config::to_keyword(process.protocol)));
+      if (process.process_id) {
+        entry.set("id", static_cast<long long>(*process.process_id));
+      }
+      entry.set("instance",
+                static_cast<long long>(ig.set.instance_of[p] + 1));
+      processes.push_back(std::move(entry));
+    }
+    router.set("processes", std::move(processes));
+    routers.push_back(std::move(router));
+  }
+  design.set("routers", std::move(routers));
+
+  auto instances = util::Json::array();
+  for (std::uint32_t i = 0; i < ig.set.instances.size(); ++i) {
+    const auto& inst = ig.set.instances[i];
+    auto entry = util::Json::object();
+    entry.set("id", static_cast<long long>(i + 1));
+    entry.set("protocol", std::string(config::to_keyword(inst.protocol)));
+    if (inst.bgp_as) {
+      entry.set("as", static_cast<long long>(*inst.bgp_as));
+    }
+    entry.set("routers", inst.router_count());
+    instances.push_back(std::move(entry));
+  }
+  design.set("instances", std::move(instances));
+
+  auto edges = util::Json::array();
+  for (const auto& edge : ig.edges) {
+    auto entry = util::Json::object();
+    switch (edge.kind) {
+      case graph::InstanceEdge::Kind::kRedistribution:
+        entry.set("kind", "redistribution");
+        entry.set("from", static_cast<long long>(edge.from + 1));
+        entry.set("to", static_cast<long long>(edge.to + 1));
+        break;
+      case graph::InstanceEdge::Kind::kEbgpSession:
+        entry.set("kind", "ebgp-session");
+        entry.set("from", static_cast<long long>(edge.from + 1));
+        entry.set("to", static_cast<long long>(edge.to + 1));
+        break;
+      case graph::InstanceEdge::Kind::kExternal:
+        entry.set("kind", "external");
+        entry.set("from", static_cast<long long>(edge.from + 1));
+        break;
+    }
+    entry.set("router", network.routers()[edge.router].hostname);
+    if (edge.policy) entry.set("policy", *edge.policy);
+    edges.push_back(std::move(entry));
+  }
+  design.set("instance_edges", std::move(edges));
+
+  auto blocks = util::Json::array();
+  for (const auto& block : structure.root_blocks()) {
+    blocks.push_back(block.to_string());
+  }
+  design.set("address_blocks", std::move(blocks));
+
+  auto role_counts = util::Json::object();
+  for (const auto& [protocol, counts] : roles.igp_instances) {
+    auto entry = util::Json::object();
+    entry.set("intra", counts.first);
+    entry.set("inter", counts.second);
+    role_counts.set(std::string(config::to_keyword(protocol)),
+                    std::move(entry));
+  }
+  role_counts.set("ebgp_intra_sessions", roles.ebgp_intra_sessions);
+  role_counts.set("ebgp_inter_sessions", roles.ebgp_inter_sessions);
+  design.set("protocol_roles", std::move(role_counts));
+
+  std::printf("%s\n", design.dump(2).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Generate a synthetic network's configuration files — the data-gate
+// substitution described in DESIGN.md section 2. Emits config1..configN in
+// the paper's anonymized-data-set layout, ready to feed into quickstart,
+// audit_network, reachability_query, or your own tooling.
+//
+// Usage:
+//   generate_network <archetype> <out-dir> [seed]
+//   archetypes: backbone | enterprise | tier2 | managed | net5 | net15 |
+//               nobgp | hybrid | fleet  (fleet writes one subdir per network)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "synth/fleet.h"
+
+int main(int argc, char** argv) {
+  using namespace rd;
+
+  const std::string archetype = argc > 1 ? argv[1] : "enterprise";
+  const std::filesystem::path out_dir =
+      argc > 2 ? argv[2]
+               : (std::filesystem::temp_directory_path() / "rd_generated");
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  if (archetype == "fleet") {
+    const auto fleet = synth::generate_fleet(seed);
+    for (const auto& net : fleet.networks) {
+      synth::emit_network(net.configs, out_dir / net.name);
+      std::printf("%-12s %5zu routers -> %s\n", net.name.c_str(),
+                  net.configs.size(), (out_dir / net.name).c_str());
+    }
+    std::printf("wrote %zu networks (%zu routers) under %s\n",
+                fleet.networks.size(), fleet.total_routers(),
+                out_dir.c_str());
+    return 0;
+  }
+
+  synth::SynthNetwork net;
+  if (archetype == "backbone") {
+    synth::BackboneParams p;
+    p.seed = seed;
+    net = synth::make_backbone(p);
+  } else if (archetype == "enterprise") {
+    synth::TextbookEnterpriseParams p;
+    p.seed = seed;
+    net = synth::make_textbook_enterprise(p);
+  } else if (archetype == "tier2") {
+    synth::Tier2Params p;
+    p.seed = seed;
+    net = synth::make_tier2_isp(p);
+  } else if (archetype == "managed") {
+    synth::ManagedEnterpriseParams p;
+    p.seed = seed;
+    net = synth::make_managed_enterprise(p);
+  } else if (archetype == "net5") {
+    net = synth::make_net5(seed);
+  } else if (archetype == "net15") {
+    net = synth::make_net15(seed);
+  } else if (archetype == "nobgp") {
+    synth::NoBgpParams p;
+    p.seed = seed;
+    net = synth::make_no_bgp_enterprise(p);
+  } else if (archetype == "hybrid") {
+    synth::MergedHybridParams p;
+    p.seed = seed;
+    net = synth::make_merged_hybrid(p);
+  } else {
+    std::fprintf(stderr,
+                 "unknown archetype '%s' (try: backbone enterprise tier2 "
+                 "managed net5 net15 nobgp hybrid fleet)\n",
+                 archetype.c_str());
+    return 1;
+  }
+
+  const auto paths = synth::emit_network(net.configs, out_dir);
+  std::printf("wrote %zu configuration files (%s archetype) to %s\n",
+              paths.size(), net.archetype.c_str(), out_dir.c_str());
+  std::printf("analyze them with:  quickstart %s\n", out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "analysis/archetype.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace rd::analysis {
+
+std::string_view to_string(DesignArchetype archetype) noexcept {
+  switch (archetype) {
+    case DesignArchetype::kBackbone:
+      return "backbone";
+    case DesignArchetype::kTextbookEnterprise:
+      return "textbook-enterprise";
+    case DesignArchetype::kUnclassifiable:
+      return "unclassifiable";
+  }
+  return "?";
+}
+
+DesignFeatures extract_design_features(const model::Network& network,
+                                       const graph::InstanceSet& instances) {
+  DesignFeatures f;
+  f.router_count = network.router_count();
+
+  std::set<model::RouterId> bgp_routers;
+  std::set<std::uint32_t> internal_ases;
+  for (const auto& process : network.processes()) {
+    if (process.protocol == config::RoutingProtocol::kBgp) {
+      bgp_routers.insert(process.router);
+      if (process.process_id) internal_ases.insert(*process.process_id);
+    }
+  }
+  f.bgp_router_count = bgp_routers.size();
+  f.internal_as_count = internal_ases.size();
+  f.uses_bgp = !bgp_routers.empty() || !network.bgp_sessions().empty();
+
+  // Instances with external adjacency (for staging detection).
+  std::set<std::uint32_t> externally_adjacent;
+  for (const auto& ext : network.external_igp_adjacencies()) {
+    externally_adjacent.insert(instances.instance_of[ext.process]);
+  }
+  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+    const auto& instance = instances.instances[i];
+    if (instance.protocol == config::RoutingProtocol::kBgp) {
+      ++f.bgp_instance_count;
+      continue;
+    }
+    ++f.igp_instance_count;
+    if (instance.router_count() > 1) {
+      ++f.multi_router_igp_instances;
+    } else if (externally_adjacent.contains(i)) {
+      ++f.staging_igp_instances;
+    }
+  }
+
+  std::set<std::pair<model::ProcessId, model::ProcessId>> seen;
+  std::map<std::uint32_t, std::set<model::RouterId>> as_routers;
+  std::map<std::uint32_t, std::size_t> as_ibgp_sessions;
+  for (const auto& session : network.bgp_sessions()) {
+    if (session.external()) {
+      ++f.external_ebgp_sessions;
+      continue;
+    }
+    const auto key = std::minmax(session.local_process, session.remote_process);
+    if (!seen.insert(key).second) continue;
+    if (session.ebgp()) {
+      ++f.internal_ebgp_sessions;
+    } else {
+      ++f.ibgp_sessions;
+      as_routers[session.local_as].insert(
+          network.processes()[session.local_process].router);
+      as_routers[session.local_as].insert(
+          network.processes()[session.remote_process].router);
+      ++as_ibgp_sessions[session.local_as];
+    }
+  }
+  // Mesh completeness of the largest IBGP-connected AS.
+  std::size_t best_n = 0;
+  std::size_t best_sessions = 0;
+  for (const auto& [as_number, routers] : as_routers) {
+    if (routers.size() > best_n) {
+      best_n = routers.size();
+      best_sessions = as_ibgp_sessions[as_number];
+    }
+  }
+  if (best_n >= 2) {
+    const double pairs = static_cast<double>(best_n) *
+                         static_cast<double>(best_n - 1) / 2.0;
+    f.ibgp_mesh_completeness =
+        std::min(1.0, static_cast<double>(best_sessions) / pairs);
+  }
+
+  // BGP redistributed into an IGP anywhere?
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const auto& source = network.processes()[redist.source_process];
+    const auto& target = network.processes()[redist.target_process];
+    if (source.protocol == config::RoutingProtocol::kBgp &&
+        config::is_conventional_igp(target.protocol)) {
+      f.bgp_redistributed_into_igp = true;
+      break;
+    }
+  }
+  return f;
+}
+
+DesignClassification classify_design(const model::Network& network,
+                                     const graph::InstanceSet& instances) {
+  DesignClassification result;
+  result.features = extract_design_features(network, instances);
+  const DesignFeatures& f = result.features;
+
+  // Backbone (paper §7.1): a large number of EBGP sessions peer with
+  // external networks; IBGP distributes external routes from border routers
+  // to interior routers (so BGP runs network-wide and external routes are
+  // never redistributed into the IGP); a small number of IGP instances
+  // carries infrastructure routes.
+  const bool bgp_everywhere =
+      f.router_count > 0 &&
+      static_cast<double>(f.bgp_router_count) /
+              static_cast<double>(f.router_count) >=
+          0.5;
+  if (f.uses_bgp && f.external_ebgp_sessions >= 8 && bgp_everywhere &&
+      !f.bgp_redistributed_into_igp && f.multi_router_igp_instances <= 3 &&
+      f.internal_as_count <= 2 && f.staging_igp_instances < 10) {
+    result.archetype = DesignArchetype::kBackbone;
+    result.rationale =
+        "EBGP-rich edge, network-wide IBGP, small IGP core, and external "
+        "routes never enter the IGP";
+    return result;
+  }
+
+  // Textbook enterprise (paper §7.1): a small number of BGP speakers talk
+  // to the outside world and inject routes into a small number of IGP
+  // instances from which most routers learn their routes.
+  const bool few_bgp_speakers =
+      f.bgp_router_count > 0 &&
+      (f.bgp_router_count <= 6 ||
+       static_cast<double>(f.bgp_router_count) <=
+           0.1 * static_cast<double>(f.router_count));
+  if (f.uses_bgp && few_bgp_speakers && f.bgp_redistributed_into_igp &&
+      f.multi_router_igp_instances <= 2 && f.internal_as_count <= 1 &&
+      f.internal_ebgp_sessions == 0 && f.staging_igp_instances == 0) {
+    result.archetype = DesignArchetype::kTextbookEnterprise;
+    result.rationale =
+        "few border BGP speakers injecting external routes into a small "
+        "IGP that serves the rest of the network";
+    return result;
+  }
+
+  result.archetype = DesignArchetype::kUnclassifiable;
+  result.rationale =
+      "structure matches neither canonical design (multiple internal ASs, "
+      "internal EBGP, staging instances, no BGP, or a hybrid)";
+  return result;
+}
+
+}  // namespace rd::analysis

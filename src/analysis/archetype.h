@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// The two textbook routing designs (paper §7.1) plus the catch-all the
+/// paper found covers most production enterprise networks.
+enum class DesignArchetype {
+  kBackbone,            // EBGP edge + IBGP distribution + small IGP core
+  kTextbookEnterprise,  // few BGP speakers injecting into a small IGP
+  kUnclassifiable,      // everything else (20 of the paper's 31)
+};
+
+std::string_view to_string(DesignArchetype archetype) noexcept;
+
+/// Structural features the classifier extracts; exposed so benches and case
+/// studies can report them alongside the verdict.
+struct DesignFeatures {
+  std::size_t router_count = 0;
+  std::size_t bgp_router_count = 0;   // routers running any BGP process
+  std::size_t internal_as_count = 0;  // distinct AS numbers inside
+  std::size_t bgp_instance_count = 0;
+  std::size_t igp_instance_count = 0;
+  std::size_t multi_router_igp_instances = 0;
+  /// Single-router IGP instances with external peers — the tier-2 ISPs'
+  /// "staging" instances (paper §7.1).
+  std::size_t staging_igp_instances = 0;
+  std::size_t external_ebgp_sessions = 0;
+  std::size_t internal_ebgp_sessions = 0;
+  std::size_t ibgp_sessions = 0;
+  /// Redistribution of BGP-learned routes into an IGP anywhere — the
+  /// hallmark separating enterprise from backbone designs.
+  bool bgp_redistributed_into_igp = false;
+  /// IBGP session count over pairs in the largest internal AS.
+  double ibgp_mesh_completeness = 0.0;
+  bool uses_bgp = false;
+};
+
+DesignFeatures extract_design_features(const model::Network& network,
+                                       const graph::InstanceSet& instances);
+
+struct DesignClassification {
+  DesignArchetype archetype = DesignArchetype::kUnclassifiable;
+  DesignFeatures features;
+  std::string rationale;
+};
+
+/// Classify a network against the canonical architectures (paper §7.1).
+DesignClassification classify_design(const model::Network& network,
+                                     const graph::InstanceSet& instances);
+
+}  // namespace rd::analysis

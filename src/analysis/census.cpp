@@ -1,0 +1,31 @@
+#include "analysis/census.h"
+
+namespace rd::analysis {
+
+std::map<std::string, std::size_t> interface_census(
+    const model::Network& network) {
+  std::map<std::string, std::size_t> census;
+  for (const auto& itf : network.interfaces()) {
+    ++census[itf.hardware_type];
+  }
+  return census;
+}
+
+std::map<std::string, std::size_t> merge_census(
+    const std::vector<std::map<std::string, std::size_t>>& censuses) {
+  std::map<std::string, std::size_t> merged;
+  for (const auto& census : censuses) {
+    for (const auto& [type, count] : census) merged[type] += count;
+  }
+  return merged;
+}
+
+std::size_t unnumbered_interface_count(const model::Network& network) {
+  std::size_t count = 0;
+  for (const auto& itf : network.interfaces()) {
+    if (!itf.numbered()) ++count;
+  }
+  return count;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Interface-composition census (paper §7.3, Table 3): hardware type ->
+/// interface count.
+std::map<std::string, std::size_t> interface_census(
+    const model::Network& network);
+
+/// Merge several networks' censuses (the paper reports the 31-network total).
+std::map<std::string, std::size_t> merge_census(
+    const std::vector<std::map<std::string, std::size_t>>& censuses);
+
+/// Count of unnumbered interfaces (the paper reports 528 of 96,487).
+std::size_t unnumbered_interface_count(const model::Network& network);
+
+}  // namespace rd::analysis

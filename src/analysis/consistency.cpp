@@ -1,0 +1,132 @@
+#include "analysis/consistency.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rd::analysis {
+
+std::string_view to_string(ConsistencyKind kind) noexcept {
+  switch (kind) {
+    case ConsistencyKind::kDuplicateAddress:
+      return "duplicate-address";
+    case ConsistencyKind::kMaskMismatch:
+      return "mask-mismatch";
+    case ConsistencyKind::kOneSidedBgpSession:
+      return "one-sided-bgp-session";
+    case ConsistencyKind::kAsnMismatch:
+      return "asn-mismatch";
+  }
+  return "?";
+}
+
+std::vector<ConsistencyFinding> check_consistency(
+    const model::Network& network) {
+  std::vector<ConsistencyFinding> findings;
+
+  // --- duplicate addresses ----------------------------------------------------
+  std::unordered_map<std::uint32_t, model::InterfaceId> first_owner;
+  auto note_address = [&](ip::Ipv4Address addr, model::InterfaceId i) {
+    const auto [it, inserted] = first_owner.try_emplace(addr.value(), i);
+    if (inserted || it->second == i) return;
+    const auto& a = network.interfaces()[it->second];
+    const auto& b = network.interfaces()[i];
+    findings.push_back({ConsistencyKind::kDuplicateAddress, a.router,
+                        b.router,
+                        addr.to_string() + " on " + a.name + " and " +
+                            b.name});
+  };
+  for (model::InterfaceId i = 0; i < network.interfaces().size(); ++i) {
+    const auto& itf = network.interfaces()[i];
+    if (itf.address) note_address(*itf.address, i);
+    for (const auto secondary : itf.secondary_addresses) {
+      note_address(secondary, i);
+    }
+  }
+
+  // --- mask mismatches: one link's subnet strictly contains another's ---------
+  struct SubnetRef {
+    ip::Prefix subnet;
+    model::RouterId router;
+  };
+  std::vector<SubnetRef> subnets;
+  for (const auto& link : network.links()) {
+    subnets.push_back(
+        {link.subnet,
+         network.interfaces()[link.interfaces.front()].router});
+  }
+  std::sort(subnets.begin(), subnets.end(),
+            [](const SubnetRef& a, const SubnetRef& b) {
+              if (a.subnet.network() != b.subnet.network()) {
+                return a.subnet.network() < b.subnet.network();
+              }
+              return a.subnet.length() < b.subnet.length();
+            });
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+      if (!subnets[i].subnet.contains(subnets[j].subnet.network())) break;
+      if (subnets[i].subnet.contains(subnets[j].subnet) &&
+          subnets[i].subnet != subnets[j].subnet) {
+        findings.push_back(
+            {ConsistencyKind::kMaskMismatch, subnets[i].router,
+             subnets[j].router,
+             subnets[i].subnet.to_string() + " overlaps " +
+                 subnets[j].subnet.to_string() +
+                 " (interfaces on one wire with different masks?)"});
+      }
+    }
+  }
+
+  // --- BGP session symmetry ----------------------------------------------------
+  // Owner of every address, and the BGP AS numbers per router.
+  std::unordered_map<std::uint32_t, model::RouterId> owner;
+  for (const auto& itf : network.interfaces()) {
+    if (itf.address) owner.emplace(itf.address->value(), itf.router);
+  }
+  std::unordered_map<model::RouterId, std::vector<std::uint32_t>> router_ases;
+  for (const auto& process : network.processes()) {
+    if (process.protocol == config::RoutingProtocol::kBgp &&
+        process.process_id) {
+      router_ases[process.router].push_back(*process.process_id);
+    }
+  }
+
+  for (const auto& session : network.bgp_sessions()) {
+    const auto& local = network.processes()[session.local_process];
+    if (!session.external()) {
+      // Resolved internally: is the mirror statement present?
+      const auto& remote = network.processes()[session.remote_process];
+      const auto& remote_stanza =
+          network.routers()[remote.router].router_stanzas[remote.stanza_index];
+      bool mirrored = false;
+      for (const auto& nbr : remote_stanza.neighbors) {
+        const auto it = owner.find(nbr.address.value());
+        if (it != owner.end() && it->second == local.router) {
+          mirrored = true;
+          break;
+        }
+      }
+      if (!mirrored) {
+        findings.push_back(
+            {ConsistencyKind::kOneSidedBgpSession, local.router,
+             remote.router,
+             "session to " + session.remote_address.to_string() +
+                 " has no mirror neighbor statement"});
+      }
+      continue;
+    }
+    // External by resolution — but if the address is owned by a router in
+    // the data set that runs BGP, the configured remote AS must be wrong.
+    const auto it = owner.find(session.remote_address.value());
+    if (it == owner.end()) continue;
+    const auto ases = router_ases.find(it->second);
+    if (ases == router_ases.end()) continue;
+    findings.push_back(
+        {ConsistencyKind::kAsnMismatch, local.router, it->second,
+         "neighbor " + session.remote_address.to_string() +
+             " expects AS " + std::to_string(session.remote_as) +
+             " but the owning router runs a different AS"});
+  }
+  return findings;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Cross-router consistency checks (paper §8.1 inventory management and
+/// anomaly detection: configuration state routinely accumulates stale or
+/// inconsistent fragments — "the provisioning and decommissioning of
+/// equipment may lead to network configurations that appear incomplete or
+/// inconsistent", §8.2).
+enum class ConsistencyKind : std::uint8_t {
+  kDuplicateAddress,    // the same IP configured on two interfaces
+  kMaskMismatch,        // overlapping link subnets with different masks
+  kOneSidedBgpSession,  // internal session configured on one endpoint only
+  kAsnMismatch,         // both ends configured, but each names the wrong AS
+};
+
+std::string_view to_string(ConsistencyKind kind) noexcept;
+
+struct ConsistencyFinding {
+  ConsistencyKind kind = ConsistencyKind::kDuplicateAddress;
+  model::RouterId router_a = model::kInvalidId;
+  model::RouterId router_b = model::kInvalidId;  // kInvalidId if N/A
+  std::string detail;
+};
+
+std::vector<ConsistencyFinding> check_consistency(
+    const model::Network& network);
+
+}  // namespace rd::analysis

@@ -1,0 +1,54 @@
+#include "analysis/egress.h"
+
+#include <algorithm>
+
+namespace rd::analysis {
+
+EgressAnalysis EgressAnalysis::run(
+    const model::Network& network, const graph::InstanceSet& instances,
+    const ReachabilityAnalysis::Options& base) {
+  EgressAnalysis out;
+  out.per_instance_.resize(instances.instances.size());
+
+  // Enumerate the endpoints in the same order ReachabilityAnalysis does:
+  // external BGP sessions, then external IGP adjacencies.
+  std::size_t index = 0;
+  for (const auto& session : network.bgp_sessions()) {
+    if (!session.external()) continue;
+    const auto& process = network.processes()[session.local_process];
+    out.points_.push_back(
+        {index++, process.router, session.remote_address.to_string()});
+  }
+  for (const auto& ext : network.external_igp_adjacencies()) {
+    const auto& process = network.processes()[ext.process];
+    out.points_.push_back({index++, process.router,
+                           network.interfaces()[ext.interface].name});
+  }
+
+  for (const auto& point : out.points_) {
+    ReachabilityAnalysis::Options options = base;
+    options.active_external_endpoints = std::set<std::size_t>{point.index};
+    const auto reach = ReachabilityAnalysis::run(network, instances, options);
+    for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+      if (reach.external_route_count(i) > 0) {
+        out.per_instance_[i].push_back(point.index);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> EgressAnalysis::router_egress(
+    const model::Network& network, const graph::InstanceSet& instances,
+    model::RouterId router) const {
+  std::vector<std::size_t> out;
+  for (const model::ProcessId p : network.router_processes(router)) {
+    const auto& candidates = per_instance_[instances.instance_of[p]];
+    out.insert(out.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reachability.h"
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Egress-point attribution (paper §5.1: "will packets sent to the outside
+/// world by router 3 use the egress point at the far left of the network,
+/// or the far right?").
+///
+/// Each external connection (EBGP session or external-facing IGP adjacency)
+/// is an entry/egress point. The analysis runs the route-propagation
+/// fixpoint once per point with only that point active; an instance (and
+/// hence the routers attached to it) can use a point as egress exactly when
+/// externally-originated routes from that point reach it.
+class EgressAnalysis {
+ public:
+  struct EgressPoint {
+    std::size_t index = 0;  // endpoint index (sessions first, then IGP)
+    model::RouterId router = model::kInvalidId;
+    std::string description;  // neighbor address or interface name
+  };
+
+  static EgressAnalysis run(const model::Network& network,
+                            const graph::InstanceSet& instances,
+                            const ReachabilityAnalysis::Options& base);
+  static EgressAnalysis run(const model::Network& network,
+                            const graph::InstanceSet& instances) {
+    return run(network, instances, ReachabilityAnalysis::Options{});
+  }
+
+  const std::vector<EgressPoint>& points() const noexcept { return points_; }
+
+  /// Endpoint indices usable as egress by an instance.
+  const std::vector<std::size_t>& instance_egress(
+      std::uint32_t instance) const {
+    return per_instance_[instance];
+  }
+
+  /// Endpoint indices usable by a router (union over the instances of its
+  /// processes).
+  std::vector<std::size_t> router_egress(const model::Network& network,
+                                         const graph::InstanceSet& instances,
+                                         model::RouterId router) const;
+
+ private:
+  std::vector<EgressPoint> points_;
+  std::vector<std::vector<std::size_t>> per_instance_;
+};
+
+}  // namespace rd::analysis

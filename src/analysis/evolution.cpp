@@ -1,0 +1,90 @@
+#include "analysis/evolution.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rd::analysis {
+
+namespace {
+
+/// Multiset of coarse instance descriptors: "protocol[/AS] x routers".
+std::multiset<std::string> instance_descriptors(
+    const model::Network& network, const graph::InstanceSet& instances) {
+  std::multiset<std::string> out;
+  for (const auto& instance : instances.instances) {
+    std::string descriptor(config::to_keyword(instance.protocol));
+    if (instance.bgp_as) {
+      descriptor += " AS " + std::to_string(*instance.bgp_as);
+    }
+    descriptor += " x" + std::to_string(instance.router_count());
+    out.insert(std::move(descriptor));
+  }
+  (void)network;
+  return out;
+}
+
+}  // namespace
+
+DesignDiff diff_designs(const model::Network& before,
+                        const model::Network& after) {
+  DesignDiff diff;
+
+  std::map<std::string, const config::RouterConfig*> before_by_name;
+  for (const auto& cfg : before.routers()) {
+    before_by_name.emplace(cfg.hostname, &cfg);
+  }
+  std::map<std::string, const config::RouterConfig*> after_by_name;
+  for (const auto& cfg : after.routers()) {
+    after_by_name.emplace(cfg.hostname, &cfg);
+  }
+
+  for (const auto& [name, cfg] : after_by_name) {
+    const auto it = before_by_name.find(name);
+    if (it == before_by_name.end()) {
+      diff.added_routers.push_back(name);
+      continue;
+    }
+    const auto& old = *it->second;
+    if (old.interfaces != cfg->interfaces) {
+      ++diff.routers_with_interface_changes;
+    }
+    if (old.router_stanzas != cfg->router_stanzas) {
+      ++diff.routers_with_process_changes;
+    }
+    if (old.access_lists != cfg->access_lists ||
+        old.route_maps != cfg->route_maps) {
+      ++diff.routers_with_policy_changes;
+    }
+    if (old.static_routes != cfg->static_routes) {
+      ++diff.routers_with_static_route_changes;
+    }
+  }
+  for (const auto& [name, cfg] : before_by_name) {
+    (void)cfg;
+    if (!after_by_name.contains(name)) diff.removed_routers.push_back(name);
+  }
+
+  diff.links_before = before.links().size();
+  diff.links_after = after.links().size();
+
+  const auto instances_before = graph::compute_instances(before);
+  const auto instances_after = graph::compute_instances(after);
+  diff.instances_before = instances_before.instances.size();
+  diff.instances_after = instances_after.instances.size();
+
+  const auto descriptors_before =
+      instance_descriptors(before, instances_before);
+  const auto descriptors_after = instance_descriptors(after, instances_after);
+  std::set_difference(
+      descriptors_after.begin(), descriptors_after.end(),
+      descriptors_before.begin(), descriptors_before.end(),
+      std::back_inserter(diff.appeared_instances));
+  std::set_difference(
+      descriptors_before.begin(), descriptors_before.end(),
+      descriptors_after.begin(), descriptors_after.end(),
+      std::back_inserter(diff.disappeared_instances));
+  return diff;
+}
+
+}  // namespace rd::analysis

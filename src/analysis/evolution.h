@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Longitudinal design comparison (paper §8.2: "acquiring a deeper
+/// understanding of the evolution of the routing design requires a
+/// longitudinal analysis with multiple snapshots of the router
+/// configuration data over time"). Given two snapshots of a network's
+/// configuration state, report what changed at the design level: equipment,
+/// topology, routing processes, instance structure, and policies.
+struct DesignDiff {
+  // Equipment (matched by hostname).
+  std::vector<std::string> added_routers;
+  std::vector<std::string> removed_routers;
+
+  // Per matched router.
+  std::size_t routers_with_interface_changes = 0;
+  std::size_t routers_with_process_changes = 0;
+  std::size_t routers_with_policy_changes = 0;  // ACLs or route-maps
+  std::size_t routers_with_static_route_changes = 0;
+
+  // Topology.
+  std::size_t links_before = 0;
+  std::size_t links_after = 0;
+
+  // Instance structure.
+  std::size_t instances_before = 0;
+  std::size_t instances_after = 0;
+  /// (protocol keyword, router count) of instances present in exactly one
+  /// snapshot — the coarse structural change set.
+  std::vector<std::string> appeared_instances;
+  std::vector<std::string> disappeared_instances;
+
+  bool design_changed() const noexcept {
+    return !added_routers.empty() || !removed_routers.empty() ||
+           routers_with_process_changes > 0 ||
+           routers_with_policy_changes > 0 ||
+           instances_before != instances_after ||
+           !appeared_instances.empty() || !disappeared_instances.empty();
+  }
+};
+
+DesignDiff diff_designs(const model::Network& before,
+                        const model::Network& after);
+
+}  // namespace rd::analysis

@@ -1,0 +1,65 @@
+#include "analysis/filters.h"
+
+namespace rd::analysis {
+
+namespace {
+
+/// Clause count of the ACL an interface references; 0 when unresolved.
+std::size_t applied_rule_count(const config::RouterConfig& config,
+                               const std::optional<std::string>& acl_id) {
+  if (!acl_id) return 0;
+  const auto* acl = config.find_access_list(*acl_id);
+  return acl == nullptr ? 0 : acl->rules.size();
+}
+
+}  // namespace
+
+FilterStats gather_filter_stats(const model::Network& network) {
+  FilterStats stats;
+  for (const auto& config : network.routers()) {
+    for (const auto& acl : config.access_lists) {
+      stats.defined_rules += acl.rules.size();
+      if (acl.rules.size() > stats.largest_filter_rules) {
+        stats.largest_filter_rules = acl.rules.size();
+        stats.largest_filter_id = acl.id;
+      }
+    }
+  }
+  for (const auto& itf : network.interfaces()) {
+    const auto& config = network.routers()[itf.router];
+    const auto& icfg = config.interfaces[itf.config_index];
+    const std::size_t rules = applied_rule_count(config, icfg.access_group_in) +
+                              applied_rule_count(config, icfg.access_group_out);
+    if (rules == 0) continue;
+    ++stats.interfaces_with_filters;
+    stats.total_applied_rules += rules;
+    if (itf.external_facing) {
+      stats.external_applied_rules += rules;
+    } else {
+      stats.internal_applied_rules += rules;
+    }
+  }
+  return stats;
+}
+
+std::map<std::string, std::size_t> internal_filter_targets(
+    const model::Network& network) {
+  std::map<std::string, std::size_t> targets;
+  for (const auto& itf : network.interfaces()) {
+    if (itf.external_facing) continue;
+    const auto& config = network.routers()[itf.router];
+    const auto& icfg = config.interfaces[itf.config_index];
+    for (const auto& group : {icfg.access_group_in, icfg.access_group_out}) {
+      if (!group) continue;
+      const auto* acl = config.find_access_list(*group);
+      if (acl == nullptr) continue;
+      for (const auto& rule : acl->rules) {
+        const std::string key = rule.extended ? rule.protocol : "ip";
+        ++targets[key];
+      }
+    }
+  }
+  return targets;
+}
+
+}  // namespace rd::analysis

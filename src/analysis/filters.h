@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Packet-filter usage statistics for one network (paper §5.3, Figure 11).
+///
+/// The unit of measurement is the filter *rule* (one "if condition then
+/// action" clause of an ACL), counted once per interface application: an ACL
+/// with 5 clauses applied to 3 interfaces contributes 15 applied rules.
+struct FilterStats {
+  std::size_t total_applied_rules = 0;
+  std::size_t internal_applied_rules = 0;  // applied on internal links
+  std::size_t external_applied_rules = 0;
+  std::size_t interfaces_with_filters = 0;
+  std::size_t defined_rules = 0;  // clauses across all ACL definitions
+  /// Largest single filter (clause count) — the paper flags a 47-clause
+  /// multi-policy filter as an IOS-language weakness.
+  std::size_t largest_filter_rules = 0;
+  std::string largest_filter_id;
+
+  /// True when the network actually filters packets anywhere (an ACL is
+  /// applied to some interface); ACLs that exist only as route filters or
+  /// unapplied definitions do not count.
+  bool has_filters() const noexcept { return total_applied_rules > 0; }
+  /// Fraction of applied rules sitting on internal links (Figure 11 x-axis).
+  double internal_fraction() const noexcept {
+    return total_applied_rules == 0
+               ? 0.0
+               : static_cast<double>(internal_applied_rules) /
+                     static_cast<double>(total_applied_rules);
+  }
+};
+
+FilterStats gather_filter_stats(const model::Network& network);
+
+/// Per-protocol breakdown of what internal packet filters target (paper
+/// §5.3's qualitative look): protocol keyword -> rule count on internal
+/// links. Standard (address-only) rules count under "ip".
+std::map<std::string, std::size_t> internal_filter_targets(
+    const model::Network& network);
+
+}  // namespace rd::analysis

@@ -1,0 +1,203 @@
+#include "analysis/ibgp.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+namespace rd::analysis {
+
+namespace {
+
+/// How a router received a route, for the standard IBGP re-advertisement
+/// rule: plain IBGP peers do not re-advertise IBGP-learned routes; route
+/// reflectors re-advertise client routes to everyone and non-client routes
+/// to their clients.
+enum class Mode : std::uint8_t { kOrigin, kFromClient, kFromNonClient };
+
+struct AsTopology {
+  std::vector<model::RouterId> routers;
+  // Deduplicated sessions as local-index pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sessions;
+  // (reflector local index, client local index).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> client_of;
+  std::vector<std::vector<std::uint32_t>> peers;  // adjacency by local index
+
+  bool is_client_of(std::uint32_t reflector, std::uint32_t client) const {
+    return client_of.contains({reflector, client});
+  }
+  bool is_reflector(std::uint32_t r) const {
+    for (const auto& [reflector, client] : client_of) {
+      if (reflector == r) return true;
+    }
+    return false;
+  }
+};
+
+/// Can a route originated (or EBGP-learned) at `origin` reach every other
+/// router of the AS via IBGP signaling?
+std::vector<bool> propagation_from(const AsTopology& topo,
+                                   std::uint32_t origin) {
+  const std::size_t n = topo.routers.size();
+  // visited[router][mode]: mode 0 = from client, 1 = from non-client.
+  std::vector<std::array<bool, 2>> visited(n, {false, false});
+  std::vector<bool> reached(n, false);
+  reached[origin] = true;
+
+  struct State {
+    std::uint32_t router;
+    Mode mode;
+  };
+  std::queue<State> frontier;
+  frontier.push({origin, Mode::kOrigin});
+  while (!frontier.empty()) {
+    const State state = frontier.front();
+    frontier.pop();
+    const std::uint32_t x = state.router;
+    for (const std::uint32_t y : topo.peers[x]) {
+      // May x advertise to y given how it learned the route?
+      bool may_send = false;
+      switch (state.mode) {
+        case Mode::kOrigin:
+          may_send = true;
+          break;
+        case Mode::kFromClient:
+          may_send = topo.is_reflector(x);
+          break;
+        case Mode::kFromNonClient:
+          may_send = topo.is_client_of(x, y);
+          break;
+      }
+      if (!may_send) continue;
+      const Mode arrival = topo.is_client_of(y, x) ? Mode::kFromClient
+                                                   : Mode::kFromNonClient;
+      const std::size_t mode_index =
+          arrival == Mode::kFromClient ? 0 : 1;
+      if (visited[y][mode_index]) continue;
+      visited[y][mode_index] = true;
+      reached[y] = true;
+      frontier.push({y, arrival});
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+std::vector<IbgpStructure> analyze_ibgp(const model::Network& network,
+                                        const graph::InstanceSet& instances) {
+  (void)instances;
+
+  // Group BGP routers by AS.
+  std::map<std::uint32_t, std::set<model::RouterId>> routers_by_as;
+  for (const auto& process : network.processes()) {
+    if (process.protocol == config::RoutingProtocol::kBgp &&
+        process.process_id) {
+      routers_by_as[*process.process_id].insert(process.router);
+    }
+  }
+
+  std::vector<IbgpStructure> out;
+  for (const auto& [as_number, router_set] : routers_by_as) {
+    IbgpStructure entry;
+    entry.as_number = as_number;
+    entry.routers.assign(router_set.begin(), router_set.end());
+    if (entry.routers.size() < 2) {
+      out.push_back(std::move(entry));
+      continue;
+    }
+
+    AsTopology topo;
+    topo.routers = entry.routers;
+    std::map<model::RouterId, std::uint32_t> local;
+    for (std::uint32_t i = 0; i < topo.routers.size(); ++i) {
+      local.emplace(topo.routers[i], i);
+    }
+    topo.peers.resize(topo.routers.size());
+
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (const auto& session : network.bgp_sessions()) {
+      if (session.external() || session.ebgp()) continue;
+      if (session.local_as != as_number) continue;
+      const auto a = local.find(
+          network.processes()[session.local_process].router);
+      const auto b = local.find(
+          network.processes()[session.remote_process].router);
+      if (a == local.end() || b == local.end()) continue;
+      const auto key = std::minmax(a->second, b->second);
+      if (seen.insert(key).second) {
+        topo.sessions.push_back(key);
+        topo.peers[key.first].push_back(key.second);
+        topo.peers[key.second].push_back(key.first);
+      }
+      // Client flag: the configuring endpoint marks the remote as client.
+      const auto& stanza =
+          network.routers()[network.processes()[session.local_process].router]
+              .router_stanzas[network.processes()[session.local_process]
+                                  .stanza_index];
+      if (stanza.neighbors[session.neighbor_index].route_reflector_client) {
+        topo.client_of.insert({a->second, b->second});
+      }
+    }
+
+    entry.sessions = topo.sessions.size();
+    const double n = static_cast<double>(entry.routers.size());
+    entry.mesh_completeness =
+        static_cast<double>(entry.sessions) / (n * (n - 1.0) / 2.0);
+
+    std::set<std::uint32_t> reflector_set;
+    std::set<std::uint32_t> client_set;
+    for (const auto& [reflector, client] : topo.client_of) {
+      reflector_set.insert(reflector);
+      client_set.insert(client);
+    }
+    entry.reflectors = reflector_set.size();
+    entry.clients = client_set.size();
+
+    for (std::uint32_t i = 0; i < topo.routers.size(); ++i) {
+      if (topo.peers[i].empty()) {
+        entry.isolated_routers.push_back(topo.routers[i]);
+      }
+    }
+
+    // Session-graph components (plain undirected connectivity).
+    std::vector<std::uint32_t> component(topo.routers.size(),
+                                         model::kInvalidId);
+    for (std::uint32_t seed = 0; seed < topo.routers.size(); ++seed) {
+      if (component[seed] != model::kInvalidId) continue;
+      ++entry.components;
+      std::queue<std::uint32_t> frontier;
+      frontier.push(seed);
+      component[seed] = seed;
+      while (!frontier.empty()) {
+        const std::uint32_t x = frontier.front();
+        frontier.pop();
+        for (const std::uint32_t y : topo.peers[x]) {
+          if (component[y] == model::kInvalidId) {
+            component[y] = seed;
+            frontier.push(y);
+          }
+        }
+      }
+    }
+
+    // Signaling holes within a component: ordered pairs (u, v) connected by
+    // sessions yet unreachable under the reflection rule.
+    std::size_t unreachable_ordered = 0;
+    for (std::uint32_t u = 0; u < topo.routers.size(); ++u) {
+      const auto reached = propagation_from(topo, u);
+      for (std::uint32_t v = 0; v < topo.routers.size(); ++v) {
+        if (v != u && component[v] == component[u] && !reached[v]) {
+          ++unreachable_ordered;
+        }
+      }
+    }
+    entry.disconnected_pairs = unreachable_ordered;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// IBGP signaling structure per internal AS (paper §3.1/§6.1: "a simple
+/// IBGP mesh would not be scalable, and a complex set of IBGP reflectors
+/// would be required"; §8.1 asks for "incomplete routing protocol
+/// adjacencies").
+///
+/// For each AS with IBGP sessions inside the data set, classify the
+/// signaling topology — full mesh, route-reflector hierarchy, or an
+/// incomplete hybrid — and flag propagation holes: routers that originate
+/// or learn routes but have no IBGP path to the rest of the AS.
+struct IbgpStructure {
+  std::uint32_t as_number = 0;
+  std::vector<model::RouterId> routers;  // routers with a BGP process in AS
+  std::size_t sessions = 0;              // deduplicated IBGP sessions
+  std::size_t reflectors = 0;  // routers with route-reflector-client nbrs
+  std::size_t clients = 0;     // routers that are someone's client
+  /// sessions / (n*(n-1)/2) over the AS's routers.
+  double mesh_completeness = 0.0;
+
+  bool full_mesh() const noexcept { return mesh_completeness >= 1.0; }
+  bool uses_route_reflection() const noexcept { return reflectors > 0; }
+
+  /// Connected components of the session graph. Private AS numbers are
+  /// commonly reused for unrelated compartments (net5 reuses them per
+  /// region), so components > 1 is informational, not an error: each
+  /// component is its own routing instance in the paper's sense.
+  std::size_t components = 0;
+
+  /// Routers in this AS with no IBGP session at all. With AS-number reuse
+  /// these are usually independent single-router instances.
+  std::vector<model::RouterId> isolated_routers;
+
+  /// Signaling holes *within* a session-connected component: ordered router
+  /// pairs with a session path between them over which routes nevertheless
+  /// cannot propagate (plain IBGP does not re-advertise; only reflectors
+  /// do). These are genuine configuration defects.
+  std::size_t disconnected_pairs = 0;
+};
+
+std::vector<IbgpStructure> analyze_ibgp(const model::Network& network,
+                                        const graph::InstanceSet& instances);
+
+}  // namespace rd::analysis

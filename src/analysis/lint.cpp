@@ -1,0 +1,193 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace rd::analysis {
+
+std::string_view to_string(LintKind kind) noexcept {
+  switch (kind) {
+    case LintKind::kMultiPolicyFilter:
+      return "multi-policy-filter";
+    case LintKind::kUnusedAccessList:
+      return "unused-access-list";
+    case LintKind::kUnusedRouteMap:
+      return "unused-route-map";
+    case LintKind::kUndefinedAclReference:
+      return "undefined-acl-reference";
+    case LintKind::kUndefinedRouteMapRef:
+      return "undefined-route-map-reference";
+    case LintKind::kUndefinedPrefixListRef:
+      return "undefined-prefix-list-reference";
+    case LintKind::kDuplicateAclClause:
+      return "duplicate-acl-clause";
+    case LintKind::kShadowedAclClause:
+      return "shadowed-acl-clause";
+    case LintKind::kRedundantStaticRoute:
+      return "redundant-static-route";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Collect every ACL / route-map / prefix-list name a config references.
+struct References {
+  std::set<std::string> acls;
+  std::set<std::string> route_maps;
+  std::set<std::string> prefix_lists;
+};
+
+References collect_references(const config::RouterConfig& cfg) {
+  References refs;
+  for (const auto& itf : cfg.interfaces) {
+    if (itf.access_group_in) refs.acls.insert(*itf.access_group_in);
+    if (itf.access_group_out) refs.acls.insert(*itf.access_group_out);
+  }
+  for (const auto& stanza : cfg.router_stanzas) {
+    for (const auto& dl : stanza.distribute_lists) refs.acls.insert(dl.acl);
+    for (const auto& redist : stanza.redistributes) {
+      if (redist.route_map) refs.route_maps.insert(*redist.route_map);
+    }
+    for (const auto& nbr : stanza.neighbors) {
+      if (nbr.distribute_list_in) refs.acls.insert(*nbr.distribute_list_in);
+      if (nbr.distribute_list_out) refs.acls.insert(*nbr.distribute_list_out);
+      if (nbr.route_map_in) refs.route_maps.insert(*nbr.route_map_in);
+      if (nbr.route_map_out) refs.route_maps.insert(*nbr.route_map_out);
+      if (nbr.prefix_list_in) refs.prefix_lists.insert(*nbr.prefix_list_in);
+      if (nbr.prefix_list_out) refs.prefix_lists.insert(*nbr.prefix_list_out);
+    }
+  }
+  for (const auto& rm : cfg.route_maps) {
+    for (const auto& clause : rm.clauses) {
+      for (const auto& acl : clause.match_ip_address_acls) {
+        refs.acls.insert(acl);
+      }
+      for (const auto& pl : clause.match_prefix_lists) {
+        refs.prefix_lists.insert(pl);
+      }
+    }
+  }
+  return refs;
+}
+
+/// Does an earlier clause's source spec fully cover a later clause's?
+bool clause_shadows(const config::AclRule& earlier,
+                    const config::AclRule& later) {
+  if (earlier.extended || later.extended) {
+    return false;  // extended shadowing needs protocol/port reasoning; skip
+  }
+  if (earlier.any_source) return true;
+  if (later.any_source) return false;
+  return earlier.source.contains(later.source);
+}
+
+/// A crude concern count for multi-policy detection: distinct protocols
+/// plus whether address-only and protocol rules are mixed.
+std::size_t concern_count(const config::AccessList& acl) {
+  std::set<std::string> protocols;
+  bool has_standard = false;
+  for (const auto& rule : acl.rules) {
+    if (rule.extended) {
+      protocols.insert(rule.protocol);
+    } else {
+      has_standard = true;
+    }
+  }
+  return protocols.size() + (has_standard ? 1 : 0);
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_network(const model::Network& network,
+                                      const LintOptions& options) {
+  std::vector<LintFinding> findings;
+
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    const auto& cfg = network.routers()[r];
+    const auto refs = collect_references(cfg);
+
+    // Unused definitions. The conventional "99"-style management ACLs are
+    // often intentionally unapplied, but the paper's inventory task still
+    // wants them surfaced.
+    for (const auto& acl : cfg.access_lists) {
+      if (!refs.acls.contains(acl.id)) {
+        findings.push_back({LintKind::kUnusedAccessList, r, acl.id,
+                            std::to_string(acl.rules.size()) + " clauses"});
+      }
+    }
+    for (const auto& rm : cfg.route_maps) {
+      if (!refs.route_maps.contains(rm.name)) {
+        findings.push_back({LintKind::kUnusedRouteMap, r, rm.name, ""});
+      }
+    }
+
+    // Dangling references.
+    for (const auto& acl_id : refs.acls) {
+      if (cfg.find_access_list(acl_id) == nullptr) {
+        findings.push_back({LintKind::kUndefinedAclReference, r, acl_id,
+                            "referenced but not defined (permits "
+                            "everything)"});
+      }
+    }
+    for (const auto& rm_name : refs.route_maps) {
+      if (cfg.find_route_map(rm_name) == nullptr) {
+        findings.push_back(
+            {LintKind::kUndefinedRouteMapRef, r, rm_name, ""});
+      }
+    }
+    for (const auto& pl_name : refs.prefix_lists) {
+      if (cfg.find_prefix_list(pl_name) == nullptr) {
+        findings.push_back(
+            {LintKind::kUndefinedPrefixListRef, r, pl_name, ""});
+      }
+    }
+
+    // Clause-level checks.
+    for (const auto& acl : cfg.access_lists) {
+      if (acl.rules.size() >= options.multi_policy_clause_threshold &&
+          concern_count(acl) >= 3) {
+        findings.push_back(
+            {LintKind::kMultiPolicyFilter, r, acl.id,
+             std::to_string(acl.rules.size()) + " clauses spanning " +
+                 std::to_string(concern_count(acl)) +
+                 " concerns (split per policy)"});
+      }
+      for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          if (acl.rules[j] == acl.rules[i]) {
+            findings.push_back({LintKind::kDuplicateAclClause, r, acl.id,
+                                "clause " + std::to_string(i + 1) +
+                                    " duplicates clause " +
+                                    std::to_string(j + 1)});
+            break;
+          }
+          if (clause_shadows(acl.rules[j], acl.rules[i]) &&
+              i + 1 != acl.rules.size()) {
+            findings.push_back({LintKind::kShadowedAclClause, r, acl.id,
+                                "clause " + std::to_string(i + 1) +
+                                    " can never match (shadowed by clause " +
+                                    std::to_string(j + 1) + ")"});
+            break;
+          }
+        }
+      }
+    }
+
+    // Static routes duplicating connected subnets.
+    for (const auto& route : cfg.static_routes) {
+      for (const model::InterfaceId i : network.router_interfaces(r)) {
+        const auto& itf = network.interfaces()[i];
+        if (itf.subnet && *itf.subnet == route.prefix()) {
+          findings.push_back({LintKind::kRedundantStaticRoute, r,
+                              route.prefix().to_string(),
+                              "duplicates connected subnet on " + itf.name});
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace rd::analysis

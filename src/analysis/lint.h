@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Configuration lint (paper §5.3 / §8.1): the paper's detailed look at
+/// packet filters "reveals weaknesses in the Cisco IOS language that can
+/// make configuring routers more error prone" — e.g. a 47-clause filter
+/// defining several policies simultaneously because IOS allows only one
+/// filter per interface. These checks surface such error-prone or stale
+/// constructs from the configuration state alone.
+enum class LintKind : std::uint8_t {
+  kMultiPolicyFilter,     // one huge filter mixing several concerns
+  kUnusedAccessList,      // defined, never referenced
+  kUnusedRouteMap,        // defined, never referenced
+  kUndefinedAclReference, // referenced, never defined
+  kUndefinedRouteMapRef,  // referenced, never defined
+  kUndefinedPrefixListRef,
+  kDuplicateAclClause,    // identical clause appears twice in one list
+  kShadowedAclClause,     // clause can never match (earlier clause covers it)
+  kRedundantStaticRoute,  // static duplicating a connected subnet
+};
+
+std::string_view to_string(LintKind kind) noexcept;
+
+struct LintFinding {
+  LintKind kind = LintKind::kUnusedAccessList;
+  model::RouterId router = model::kInvalidId;
+  std::string subject;  // ACL id / route-map name / prefix
+  std::string detail;
+};
+
+struct LintOptions {
+  /// A filter with at least this many clauses that mixes several protocols
+  /// and interleaves permit/deny is flagged as multi-policy.
+  std::size_t multi_policy_clause_threshold = 30;
+};
+
+std::vector<LintFinding> lint_network(const model::Network& network,
+                                      const LintOptions& options);
+inline std::vector<LintFinding> lint_network(const model::Network& network) {
+  return lint_network(network, LintOptions{});
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,73 @@
+#include "analysis/ospf_areas.h"
+
+#include <algorithm>
+
+namespace rd::analysis {
+
+std::size_t OspfAreaReport::total_abrs() const {
+  std::size_t total = 0;
+  for (const auto& entry : instances) total += entry.abrs.size();
+  return total;
+}
+
+std::size_t OspfAreaReport::total_orphan_areas() const {
+  std::size_t total = 0;
+  for (const auto& entry : instances) total += entry.orphan_areas.size();
+  return total;
+}
+
+OspfAreaReport analyze_ospf_areas(const model::Network& network,
+                                  const graph::InstanceSet& instances) {
+  OspfAreaReport report;
+  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+    const auto& instance = instances.instances[i];
+    if (instance.protocol != config::RoutingProtocol::kOspf) continue;
+
+    OspfAreaReport::InstanceAreas entry;
+    entry.instance = i;
+    // router -> set of areas it touches (covered interfaces only).
+    std::map<model::RouterId, std::set<std::uint32_t>> router_areas;
+    for (const model::ProcessId p : instance.processes) {
+      const auto& process = network.processes()[p];
+      const auto& stanza = network.routers()[process.router]
+                               .router_stanzas[process.stanza_index];
+      for (const model::InterfaceId itf_id : process.covered_interfaces) {
+        const auto& itf = network.interfaces()[itf_id];
+        if (!itf.address) continue;
+        // The first matching network statement assigns the area (IOS
+        // evaluates them most-specific-first; our generator emits disjoint
+        // statements so first-match is equivalent).
+        for (const auto& ns : stanza.networks) {
+          if (ns.prefix().contains(*itf.address)) {
+            const std::uint32_t area = ns.area.value_or(0);
+            entry.area_routers[area].insert(process.router);
+            router_areas[process.router].insert(area);
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& [router, areas] : router_areas) {
+      if (areas.size() > 1) entry.abrs.push_back(router);
+    }
+    // Orphan areas: non-zero areas none of whose routers also sit in area 0.
+    const auto backbone = entry.area_routers.find(0);
+    for (const auto& [area, routers] : entry.area_routers) {
+      if (area == 0) continue;
+      bool attached = false;
+      if (backbone != entry.area_routers.end()) {
+        for (const model::RouterId r : routers) {
+          if (backbone->second.contains(r)) {
+            attached = true;
+            break;
+          }
+        }
+      }
+      if (!attached) entry.orphan_areas.push_back(area);
+    }
+    report.instances.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace rd::analysis

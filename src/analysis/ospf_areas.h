@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// OSPF area structure per routing instance.
+///
+/// The paper's configlet (Figure 2) already shows multi-area OSPF ("area 0",
+/// "area 11"); the §8.1 vulnerability assessment asks for "internal links
+/// and routers with incomplete routing protocol adjacencies". For OSPF the
+/// canonical such check is area integrity: every non-backbone area must
+/// attach to area 0 through an area border router (ABR), or its routers
+/// cannot learn inter-area routes.
+struct OspfAreaReport {
+  struct InstanceAreas {
+    std::uint32_t instance = 0;
+    /// area id -> routers with at least one covered interface in the area.
+    std::map<std::uint32_t, std::set<model::RouterId>> area_routers;
+    /// Routers with covered interfaces in more than one area.
+    std::vector<model::RouterId> abrs;
+    /// Non-zero areas with no router also present in area 0 — partitioned
+    /// from the backbone.
+    std::vector<std::uint32_t> orphan_areas;
+
+    bool has_backbone() const { return area_routers.contains(0); }
+    bool multi_area() const { return area_routers.size() > 1; }
+  };
+
+  /// One entry per OSPF instance (other protocols are skipped).
+  std::vector<InstanceAreas> instances;
+
+  std::size_t total_abrs() const;
+  std::size_t total_orphan_areas() const;
+};
+
+OspfAreaReport analyze_ospf_areas(const model::Network& network,
+                                  const graph::InstanceSet& instances);
+
+}  // namespace rd::analysis

@@ -1,0 +1,129 @@
+#include "analysis/packet_reachability.h"
+
+#include "model/policy.h"
+
+namespace rd::analysis {
+
+std::string_view to_string(FlowVerdict verdict) noexcept {
+  switch (verdict) {
+    case FlowVerdict::kSourceNotAttached:
+      return "source-not-attached";
+    case FlowVerdict::kDestinationNotAttached:
+      return "destination-not-attached";
+    case FlowVerdict::kNoRoute:
+      return "no-route";
+    case FlowVerdict::kNoReturnRoute:
+      return "no-return-route";
+    case FlowVerdict::kFilteredAtSource:
+      return "filtered-at-source";
+    case FlowVerdict::kFilteredAtDestination:
+      return "filtered-at-destination";
+    case FlowVerdict::kPossiblyReachable:
+      return "possibly-reachable";
+  }
+  return "?";
+}
+
+std::optional<PacketReachability::Attachment>
+PacketReachability::attachment_of(ip::Ipv4Address addr) const {
+  // Most-specific interface subnet containing the address.
+  std::optional<Attachment> best;
+  int best_length = -1;
+  for (model::InterfaceId i = 0; i < network_.interfaces().size(); ++i) {
+    const auto& itf = network_.interfaces()[i];
+    if (!itf.subnet || !itf.subnet->contains(addr)) continue;
+    if (itf.subnet->length() <= best_length) continue;
+    best_length = itf.subnet->length();
+    Attachment attachment;
+    attachment.interface = i;
+    attachment.instance = -1;
+    // The instance serving this attachment: any process covering it.
+    for (const model::ProcessId p : network_.router_processes(itf.router)) {
+      const auto& process = network_.processes()[p];
+      for (const model::InterfaceId covered : process.covered_interfaces) {
+        if (covered == i) {
+          attachment.instance =
+              static_cast<std::int64_t>(instances_.instance_of[p]);
+          break;
+        }
+      }
+      if (attachment.instance >= 0) break;
+    }
+    best = attachment;
+  }
+  return best;
+}
+
+FlowVerdict PacketReachability::evaluate(const FlowQuery& query) const {
+  const auto src = attachment_of(query.source);
+  if (!src) return FlowVerdict::kSourceNotAttached;
+  const auto dst = attachment_of(query.destination);
+
+  // Control plane: forward route from the source's instance.
+  if (src->instance >= 0) {
+    if (!routes_.instance_has_route_to(
+            static_cast<std::uint32_t>(src->instance), query.destination) &&
+        !routes_.instance_reaches_internet(
+            static_cast<std::uint32_t>(src->instance))) {
+      return dst ? FlowVerdict::kNoRoute
+                 : FlowVerdict::kDestinationNotAttached;
+    }
+  }
+  // Return route (needed for any two-way exchange) when the destination is
+  // internal and attached to a routed instance.
+  if (dst && dst->instance >= 0) {
+    if (!routes_.instance_has_route_to(
+            static_cast<std::uint32_t>(dst->instance), query.source) &&
+        !routes_.instance_reaches_internet(
+            static_cast<std::uint32_t>(dst->instance))) {
+      return FlowVerdict::kNoReturnRoute;
+    }
+  }
+
+  // Data plane: inbound filter where the source's packets enter the
+  // network.
+  {
+    const auto& itf = network_.interfaces()[src->interface];
+    const auto& cfg = network_.routers()[itf.router];
+    const auto& icfg = cfg.interfaces[itf.config_index];
+    if (icfg.access_group_in) {
+      const auto* acl = cfg.find_access_list(*icfg.access_group_in);
+      if (acl != nullptr &&
+          !model::acl_permits_packet(*acl, query.source, query.destination,
+                                     query.destination_port,
+                                     query.protocol)) {
+        return FlowVerdict::kFilteredAtSource;
+      }
+    }
+  }
+  // Outbound filter where the packets leave toward the destination.
+  if (dst) {
+    const auto& itf = network_.interfaces()[dst->interface];
+    const auto& cfg = network_.routers()[itf.router];
+    const auto& icfg = cfg.interfaces[itf.config_index];
+    if (icfg.access_group_out) {
+      const auto* acl = cfg.find_access_list(*icfg.access_group_out);
+      if (acl != nullptr &&
+          !model::acl_permits_packet(*acl, query.source, query.destination,
+                                     query.destination_port,
+                                     query.protocol)) {
+        return FlowVerdict::kFilteredAtDestination;
+      }
+    }
+  }
+  return FlowVerdict::kPossiblyReachable;
+}
+
+bool PacketReachability::can_use_application(ip::Ipv4Address host,
+                                             ip::Ipv4Address server,
+                                             const std::string& protocol,
+                                             std::uint16_t port) const {
+  FlowQuery query;
+  query.source = host;
+  query.destination = server;
+  query.protocol = protocol;
+  query.destination_port = port;
+  return evaluate(query) == FlowVerdict::kPossiblyReachable;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/reachability.h"
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Host-level packet reachability: the control plane (does a route exist?)
+/// combined with the data plane (do the packet filters at the attachment
+/// points pass the flow?). This is the "middle ground" of paper §6.2 — no
+/// per-router forwarding simulation, but enough to answer §5.3's questions
+/// like "which set of hosts can use a particular application".
+struct FlowQuery {
+  ip::Ipv4Address source;
+  ip::Ipv4Address destination;
+  std::string protocol = "ip";  // "ip", "tcp", "udp", "icmp", "pim", ...
+  std::optional<std::uint16_t> destination_port;
+};
+
+enum class FlowVerdict : std::uint8_t {
+  kSourceNotAttached,       // source address not on any known subnet
+  kDestinationNotAttached,  // destination not on any known subnet and not
+                            // reachable via external routes
+  kNoRoute,                 // no route toward the destination
+  kNoReturnRoute,           // forward route exists; reverse does not
+  kFilteredAtSource,        // inbound filter on the source attachment drops
+  kFilteredAtDestination,   // outbound filter at the destination drops
+  kPossiblyReachable,       // no modeled obstacle
+};
+
+std::string_view to_string(FlowVerdict verdict) noexcept;
+
+class PacketReachability {
+ public:
+  PacketReachability(const model::Network& network,
+                     const graph::InstanceSet& instances,
+                     const ReachabilityAnalysis& routes)
+      : network_(network), instances_(instances), routes_(routes) {}
+
+  /// Evaluate one flow.
+  FlowVerdict evaluate(const FlowQuery& query) const;
+
+  /// The §5.3 question: can `host` use an application (protocol/port) on
+  /// `server`? Checks the forward flow only.
+  bool can_use_application(ip::Ipv4Address host, ip::Ipv4Address server,
+                           const std::string& protocol,
+                           std::uint16_t port) const;
+
+ private:
+  struct Attachment {
+    model::InterfaceId interface = model::kInvalidId;
+    std::int64_t instance = -1;  // -1 when no covering process
+  };
+  std::optional<Attachment> attachment_of(ip::Ipv4Address addr) const;
+
+  const model::Network& network_;
+  const graph::InstanceSet& instances_;
+  const ReachabilityAnalysis& routes_;
+};
+
+}  // namespace rd::analysis

@@ -1,0 +1,53 @@
+#include "analysis/pathway_diversity.h"
+
+#include <algorithm>
+
+namespace rd::analysis {
+
+double PathwayDiversity::top2_coverage() const noexcept {
+  if (routers == 0) return 0.0;
+  std::vector<std::size_t> counts;
+  counts.reserve(signature_counts.size());
+  for (const auto& [signature, count] : signature_counts) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < counts.size() && i < 2; ++i) top += counts[i];
+  return static_cast<double>(top) / static_cast<double>(routers);
+}
+
+std::string pathway_signature(const graph::InstanceSet& instances,
+                              const graph::Pathway& pathway) {
+  // Multiset of "depth:protocol" entries, sorted for canonical form, plus
+  // the external-world marker.
+  std::vector<std::string> parts;
+  parts.reserve(pathway.nodes.size());
+  for (const auto& node : pathway.nodes) {
+    parts.push_back(
+        std::to_string(node.depth) + ":" +
+        std::string(config::to_keyword(
+            instances.instances[node.instance].protocol)));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string signature;
+  for (const auto& part : parts) {
+    if (!signature.empty()) signature += ',';
+    signature += part;
+  }
+  signature += pathway.reaches_external ? "|ext" : "|int";
+  return signature;
+}
+
+PathwayDiversity analyze_pathway_diversity(const model::Network& network,
+                                           const graph::InstanceGraph& graph) {
+  PathwayDiversity diversity;
+  diversity.routers = network.router_count();
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    const auto pathway = graph::compute_pathway(network, graph, r);
+    ++diversity.signature_counts[pathway_signature(graph.set, pathway)];
+  }
+  return diversity;
+}
+
+}  // namespace rd::analysis

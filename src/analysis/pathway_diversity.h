@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Pathway-shape diversity (paper §7.1): in the canonical designs every
+/// router's route pathway has one of a couple of shapes (Figure 7); in the
+/// unclassifiable networks the paper found "many different structures"
+/// (Figure 10 vs Figure 7). We make that observation quantitative: compute
+/// each router's pathway *signature* — the multiset of (depth, protocol)
+/// pairs on its pathway plus whether it reaches the external world — and
+/// count the distinct signatures per network.
+struct PathwayDiversity {
+  /// signature string -> number of routers with that pathway shape.
+  std::map<std::string, std::size_t> signature_counts;
+  std::size_t routers = 0;
+
+  std::size_t distinct_shapes() const noexcept {
+    return signature_counts.size();
+  }
+  /// Fraction of routers covered by the two most common shapes — near 1.0
+  /// for textbook designs, lower for net5-style hybrids.
+  double top2_coverage() const noexcept;
+};
+
+/// Compute the signature of one pathway (exposed for tests).
+std::string pathway_signature(const graph::InstanceSet& instances,
+                              const graph::Pathway& pathway);
+
+PathwayDiversity analyze_pathway_diversity(const model::Network& network,
+                                           const graph::InstanceGraph& graph);
+
+}  // namespace rd::analysis

@@ -1,0 +1,39 @@
+#include "analysis/policy_style.h"
+
+namespace rd::analysis {
+
+PolicyStyle analyze_policy_style(const model::Network& network) {
+  PolicyStyle style;
+  for (const auto& cfg : network.routers()) {
+    for (const auto& rm : cfg.route_maps) {
+      for (const auto& clause : rm.clauses) {
+        ++style.route_map_clauses;
+        const bool address = !clause.match_ip_address_acls.empty() ||
+                             !clause.match_prefix_lists.empty();
+        const bool tag =
+            clause.match_tag.has_value() || clause.set_tag.has_value();
+        const bool attribute = !clause.match_as_paths.empty() ||
+                               clause.set_local_preference.has_value();
+        if (address) ++style.address_based_clauses;
+        if (tag) ++style.tag_based_clauses;
+        if (attribute) ++style.attribute_based_clauses;
+        if (!address && !tag && !attribute) ++style.unconditional_clauses;
+      }
+    }
+    for (const auto& list : cfg.as_path_lists) {
+      style.as_path_list_entries += list.entries.size();
+    }
+    for (const auto& stanza : cfg.router_stanzas) {
+      style.session_address_filters += stanza.distribute_lists.size();
+      for (const auto& nbr : stanza.neighbors) {
+        style.session_address_filters +=
+            (nbr.distribute_list_in ? 1u : 0u) +
+            (nbr.distribute_list_out ? 1u : 0u) +
+            (nbr.prefix_list_in ? 1u : 0u) + (nbr.prefix_list_out ? 1u : 0u);
+      }
+    }
+  }
+  return style;
+}
+
+}  // namespace rd::analysis

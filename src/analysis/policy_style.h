@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Policy-style census (paper §6.1): the paper's net5 analysis surfaces "a
+/// tension between structured address assignment that enables simplified
+/// routing policies and arbitrary address assignment which requires more
+/// complex routing designs and routing policies" — backbones "must use
+/// AS-path attributes to decide which routes should be placed in their
+/// RIBs", while net5's planned address space let every policy stay
+/// address-based (plus route tags carried by the IGP).
+struct PolicyStyle {
+  std::size_t route_map_clauses = 0;
+  /// Clauses matching on addresses (ACL or prefix-list matches).
+  std::size_t address_based_clauses = 0;
+  /// Clauses matching or setting IGP route tags (net5's §6.1 technique).
+  std::size_t tag_based_clauses = 0;
+  /// Clauses requiring BGP attributes (as-path matches, local-preference).
+  std::size_t attribute_based_clauses = 0;
+  /// Clauses with no match condition at all (blanket permit/deny).
+  std::size_t unconditional_clauses = 0;
+  /// Session-level address filters (distribute-lists and prefix-lists on
+  /// neighbors or stanzas).
+  std::size_t session_address_filters = 0;
+  std::size_t as_path_list_entries = 0;
+
+  /// The §6.1 question: does this design need BGP attributes to express
+  /// its routing policy?
+  bool needs_bgp_attributes() const noexcept {
+    return attribute_based_clauses > 0 || as_path_list_entries > 0;
+  }
+  /// Or does structured addressing carry the whole policy?
+  bool purely_address_and_tag_based() const noexcept {
+    return !needs_bgp_attributes() &&
+           (address_based_clauses + tag_based_clauses +
+            session_address_filters) > 0;
+  }
+};
+
+PolicyStyle analyze_policy_style(const model::Network& network);
+
+}  // namespace rd::analysis

@@ -1,0 +1,403 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+
+namespace rd::analysis {
+
+namespace {
+
+using model::Route;
+
+/// Outbound/inbound policy of one BGP session endpoint, resolved in the
+/// endpoint router's config.
+struct SessionPolicy {
+  const config::RouterConfig* config = nullptr;
+  const config::BgpNeighbor* neighbor = nullptr;
+};
+
+bool session_permits(const SessionPolicy& policy, bool inbound,
+                     const Route& route) {
+  if (policy.config == nullptr || policy.neighbor == nullptr) return true;
+  const auto& dl = inbound ? policy.neighbor->distribute_list_in
+                           : policy.neighbor->distribute_list_out;
+  if (dl && !model::distribute_list_permits(*policy.config, *dl, route)) {
+    return false;
+  }
+  const auto& pl_name = inbound ? policy.neighbor->prefix_list_in
+                                : policy.neighbor->prefix_list_out;
+  if (pl_name) {
+    const auto* pl = policy.config->find_prefix_list(*pl_name);
+    if (pl != nullptr && !model::prefix_list_permits_route(*pl, route)) {
+      return false;
+    }
+  }
+  const auto& rm_name = inbound ? policy.neighbor->route_map_in
+                                : policy.neighbor->route_map_out;
+  if (rm_name) {
+    const auto* rm = policy.config->find_route_map(*rm_name);
+    if (rm != nullptr &&
+        !model::route_map_evaluate(*rm, *policy.config, route).permitted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Stanza-level distribute-lists (IGP): apply all matching direction.
+bool stanza_permits(const config::RouterConfig& config,
+                    const config::RouterStanza& stanza, bool inbound,
+                    const Route& route) {
+  for (const auto& dl : stanza.distribute_lists) {
+    if (dl.inbound != inbound) continue;
+    if (!model::distribute_list_permits(config, dl.acl, route)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReachabilityAnalysis ReachabilityAnalysis::run(
+    const model::Network& network, const graph::InstanceSet& instances,
+    const Options& options) {
+  ReachabilityAnalysis analysis;
+  const std::size_t n = instances.instances.size();
+  analysis.routes_.resize(n);
+
+  // --- External offer universe: default route + policy-mentioned prefixes
+  // + caller-supplied prefixes. Internal subnets are excluded so external
+  // origin stays meaningful.
+  analysis.external_origin_.insert(ip::Prefix(ip::Ipv4Address(0u), 0));
+  for (const auto& config : network.routers()) {
+    for (const auto& acl : config.access_lists) {
+      for (const auto& rule : acl.rules) {
+        if (rule.action != config::FilterAction::kPermit) continue;
+        if (!rule.any_source && !rule.extended) {
+          analysis.external_origin_.insert(rule.source);
+        }
+      }
+    }
+    for (const auto& pl : config.prefix_lists) {
+      for (const auto& entry : pl.entries) {
+        if (entry.action == config::FilterAction::kPermit) {
+          analysis.external_origin_.insert(entry.prefix);
+        }
+      }
+    }
+  }
+  for (const auto& prefix : options.external_prefixes) {
+    analysis.external_origin_.insert(prefix);
+  }
+  // Remove prefixes that are actually internal subnets.
+  for (auto it = analysis.external_origin_.begin();
+       it != analysis.external_origin_.end();) {
+    if (it->length() > 0 && network.address_is_internal(it->network())) {
+      it = analysis.external_origin_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  auto add_route = [&](std::uint32_t instance, const Route& route) {
+    return analysis.routes_[instance].insert(route).second;
+  };
+
+  // --- Origination.
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    const auto& process = network.processes()[p];
+    const std::uint32_t inst = instances.instance_of[p];
+    const auto& config = network.routers()[process.router];
+    const auto& stanza = config.router_stanzas[process.stanza_index];
+    if (config::is_conventional_igp(process.protocol)) {
+      for (const model::InterfaceId i : process.covered_interfaces) {
+        if (network.interfaces()[i].subnet) {
+          add_route(inst, {*network.interfaces()[i].subnet, std::nullopt});
+        }
+      }
+    } else {
+      for (const auto& ns : stanza.networks) {
+        add_route(inst, {ns.prefix(), std::nullopt});
+      }
+    }
+  }
+
+  // --- Local-RIB redistribution (connected / static): one-time injection.
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kLocal) continue;
+    const auto& target = network.processes()[redist.target_process];
+    const std::uint32_t inst = instances.instance_of[redist.target_process];
+    const auto& config = network.routers()[redist.router];
+    const auto& command = config.router_stanzas[target.stanza_index]
+                              .redistributes[redist.redistribute_index];
+
+    std::vector<Route> local_routes;
+    if (command.source == config::RedistributeSource::kConnected ||
+        command.source == config::RedistributeSource::kProtocol) {
+      // kProtocol reaching here means a dangling source; treat as connected
+      // so the designer's intent (import something locally) is preserved.
+      for (const model::InterfaceId i :
+           network.router_interfaces(redist.router)) {
+        if (network.interfaces()[i].subnet) {
+          local_routes.push_back({*network.interfaces()[i].subnet, {}});
+        }
+      }
+    }
+    if (command.source == config::RedistributeSource::kStatic) {
+      for (const auto& sr : config.static_routes) {
+        local_routes.push_back({sr.prefix(), {}});
+      }
+    }
+    for (const Route& route : local_routes) {
+      if (command.route_map) {
+        const auto* rm = config.find_route_map(*command.route_map);
+        if (rm != nullptr) {
+          const auto verdict = model::route_map_evaluate(*rm, config, route);
+          if (verdict.permitted) add_route(inst, verdict.route);
+          continue;
+        }
+      }
+      add_route(inst, route);
+    }
+  }
+
+  // --- Pre-resolve session policies for internal sessions.
+  struct InternalFlow {
+    std::uint32_t from_instance;
+    std::uint32_t to_instance;
+    SessionPolicy sender_out;  // policy at the sending end
+    SessionPolicy receiver_in;
+  };
+  std::vector<InternalFlow> flows;
+  for (const auto& session : network.bgp_sessions()) {
+    if (session.external() || !session.ebgp()) continue;
+    // Flow into the configuring endpoint: remote instance -> local instance.
+    const auto& local_process = network.processes()[session.local_process];
+    const auto& local_config = network.routers()[local_process.router];
+    const auto& local_stanza =
+        local_config.router_stanzas[local_process.stanza_index];
+    InternalFlow flow;
+    flow.from_instance = instances.instance_of[session.remote_process];
+    flow.to_instance = instances.instance_of[session.local_process];
+    flow.receiver_in = {&local_config,
+                        &local_stanza.neighbors[session.neighbor_index]};
+    // The sender's outbound policy toward us, when the mirror session is
+    // configured.
+    const auto& remote_process = network.processes()[session.remote_process];
+    const auto& remote_config = network.routers()[remote_process.router];
+    const auto& remote_stanza =
+        remote_config.router_stanzas[remote_process.stanza_index];
+    for (const auto& nbr : remote_stanza.neighbors) {
+      // Any interface address of the local router identifies us.
+      bool ours = false;
+      for (const model::InterfaceId i :
+           network.router_interfaces(local_process.router)) {
+        if (network.interfaces()[i].address == nbr.address) {
+          ours = true;
+          break;
+        }
+      }
+      if (ours) {
+        flow.sender_out = {&remote_config, &nbr};
+        break;
+      }
+    }
+    flows.push_back(flow);
+  }
+
+  // --- External session endpoints (for injection and announcement).
+  struct ExternalEndpoint {
+    std::uint32_t instance;
+    SessionPolicy policy;
+  };
+  std::vector<ExternalEndpoint> external_endpoints;
+  std::size_t endpoint_index = 0;
+  auto endpoint_active = [&](std::size_t index) {
+    return !options.active_external_endpoints ||
+           options.active_external_endpoints->contains(index);
+  };
+  for (const auto& session : network.bgp_sessions()) {
+    if (!session.external()) continue;
+    const std::size_t index = endpoint_index++;
+    if (!endpoint_active(index)) continue;
+    const auto& process = network.processes()[session.local_process];
+    const auto& config = network.routers()[process.router];
+    const auto& stanza = config.router_stanzas[process.stanza_index];
+    external_endpoints.push_back(
+        {instances.instance_of[session.local_process],
+         {&config, &stanza.neighbors[session.neighbor_index]}});
+  }
+  // External IGP adjacencies also exchange routes with the world; stanza
+  // distribute-lists are their only policy hook.
+  struct ExternalIgpEndpoint {
+    std::uint32_t instance;
+    const config::RouterConfig* config;
+    const config::RouterStanza* stanza;
+  };
+  std::vector<ExternalIgpEndpoint> external_igp_endpoints;
+  for (const auto& ext : network.external_igp_adjacencies()) {
+    const std::size_t index = endpoint_index++;
+    if (!endpoint_active(index)) continue;
+    const auto& process = network.processes()[ext.process];
+    const auto& config = network.routers()[process.router];
+    external_igp_endpoints.push_back(
+        {instances.instance_of[ext.process], &config,
+         &config.router_stanzas[process.stanza_index]});
+  }
+
+  // --- BGP aggregation points ("aggregate-address", §3.1 summarization):
+  // the summary originates once any contained more-specific is present.
+  struct AggregatePoint {
+    std::uint32_t instance;
+    ip::Prefix prefix;
+  };
+  std::vector<AggregatePoint> aggregate_points;
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    const auto& process = network.processes()[p];
+    if (process.protocol != config::RoutingProtocol::kBgp) continue;
+    const auto& stanza = network.routers()[process.router]
+                             .router_stanzas[process.stanza_index];
+    for (const auto& aggregate : stanza.aggregates) {
+      aggregate_points.push_back(
+          {instances.instance_of[p], aggregate.prefix()});
+    }
+  }
+
+  // --- Fixpoint propagation.
+  bool changed = true;
+  while (changed && analysis.iterations_ < options.max_iterations) {
+    changed = false;
+    ++analysis.iterations_;
+
+    // Aggregation (suppression of more-specifics is not modeled — the
+    // analysis stays an upper bound on reachability).
+    for (const auto& point : aggregate_points) {
+      bool contained = false;
+      for (const auto& route : analysis.routes_[point.instance]) {
+        if (route.prefix != point.prefix &&
+            point.prefix.contains(route.prefix)) {
+          contained = true;
+          break;
+        }
+      }
+      if (contained &&
+          add_route(point.instance, {point.prefix, std::nullopt})) {
+        changed = true;
+      }
+    }
+
+    // External world -> instances.
+    for (const auto& endpoint : external_endpoints) {
+      for (const auto& prefix : analysis.external_origin_) {
+        const Route route{prefix, std::nullopt};
+        if (!session_permits(endpoint.policy, /*inbound=*/true, route)) {
+          continue;
+        }
+        if (add_route(endpoint.instance, route)) changed = true;
+      }
+    }
+    for (const auto& endpoint : external_igp_endpoints) {
+      for (const auto& prefix : analysis.external_origin_) {
+        const Route route{prefix, std::nullopt};
+        if (!stanza_permits(*endpoint.config, *endpoint.stanza,
+                            /*inbound=*/true, route)) {
+          continue;
+        }
+        if (add_route(endpoint.instance, route)) changed = true;
+      }
+    }
+
+    // Internal EBGP flows.
+    for (const auto& flow : flows) {
+      // Copy: the source set may grow while we insert into the target.
+      const std::set<Route> source = analysis.routes_[flow.from_instance];
+      for (const Route& route : source) {
+        if (!session_permits(flow.sender_out, /*inbound=*/false, route)) {
+          continue;
+        }
+        if (!session_permits(flow.receiver_in, /*inbound=*/true, route)) {
+          continue;
+        }
+        if (add_route(flow.to_instance, route)) changed = true;
+      }
+    }
+
+    // Redistribution between instances.
+    for (const auto& redist : network.redistribution_edges()) {
+      if (redist.source_kind != model::RibKind::kProcess) continue;
+      const std::uint32_t from = instances.instance_of[redist.source_process];
+      const std::uint32_t to = instances.instance_of[redist.target_process];
+      if (from == to) continue;
+      const auto& config = network.routers()[redist.router];
+      const auto& target = network.processes()[redist.target_process];
+      const auto& stanza = config.router_stanzas[target.stanza_index];
+      const std::set<Route> source = analysis.routes_[from];
+      for (const Route& route : source) {
+        Route forwarded = route;
+        if (redist.route_map) {
+          const auto* rm = config.find_route_map(*redist.route_map);
+          if (rm != nullptr) {
+            const auto verdict = model::route_map_evaluate(*rm, config, route);
+            if (!verdict.permitted) continue;
+            forwarded = verdict.route;
+          }
+        }
+        if (!stanza_permits(config, stanza, /*inbound=*/false, forwarded)) {
+          continue;
+        }
+        if (add_route(to, forwarded)) changed = true;
+      }
+    }
+  }
+
+  // --- What the network announces to the world.
+  for (const auto& endpoint : external_endpoints) {
+    for (const Route& route : analysis.routes_[endpoint.instance]) {
+      if (session_permits(endpoint.policy, /*inbound=*/false, route)) {
+        analysis.announced_.insert(route);
+      }
+    }
+  }
+  for (const auto& endpoint : external_igp_endpoints) {
+    for (const Route& route : analysis.routes_[endpoint.instance]) {
+      if (stanza_permits(*endpoint.config, *endpoint.stanza,
+                         /*inbound=*/false, route)) {
+        analysis.announced_.insert(route);
+      }
+    }
+  }
+  return analysis;
+}
+
+bool ReachabilityAnalysis::instance_has_route_to(std::uint32_t instance,
+                                                 ip::Ipv4Address addr) const {
+  for (const auto& route : routes_[instance]) {
+    if (route.prefix.length() > 0 && route.prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+bool ReachabilityAnalysis::instance_reaches_internet(
+    std::uint32_t instance) const {
+  for (const auto& route : routes_[instance]) {
+    if (route.prefix.length() == 0) return true;  // default route
+  }
+  return false;
+}
+
+std::size_t ReachabilityAnalysis::external_route_count(
+    std::uint32_t instance) const {
+  std::size_t count = 0;
+  for (const auto& route : routes_[instance]) {
+    if (external_origin_.contains(route.prefix)) ++count;
+  }
+  return count;
+}
+
+bool ReachabilityAnalysis::two_way_reachable(std::uint32_t instance_a,
+                                             ip::Ipv4Address addr_a,
+                                             std::uint32_t instance_b,
+                                             ip::Ipv4Address addr_b) const {
+  return instance_has_route_to(instance_a, addr_b) &&
+         instance_has_route_to(instance_b, addr_a);
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+#include "model/policy.h"
+
+namespace rd::analysis {
+
+/// Instance-level route-propagation analysis (paper §6.2; a simplified form
+/// of the Xie et al. static reachability analysis the paper builds on).
+///
+/// Rather than modeling per-router route selection, routes are propagated
+/// over the routing-instance graph with every configured policy applied:
+/// route-maps on redistribution, distribute-lists and route-maps on BGP
+/// sessions. The external world is modeled as offering a default route plus
+/// every prefix the network's own policies mention (a finite universe that
+/// exercises every filter clause).
+class ReachabilityAnalysis {
+ public:
+  struct Options {
+    /// Extra prefixes the external world advertises, beyond the default
+    /// route and policy-mentioned prefixes.
+    std::vector<ip::Prefix> external_prefixes;
+    std::size_t max_iterations = 64;  // fixpoint guard
+    /// When set, only these external endpoints inject routes. Endpoint
+    /// indices count the network's external BGP sessions first (in
+    /// bgp_sessions() order, externals only), then the external IGP
+    /// adjacencies. Used by the egress analysis to attribute external
+    /// routes to entry points.
+    std::optional<std::set<std::size_t>> active_external_endpoints;
+  };
+
+  static ReachabilityAnalysis run(const model::Network& network,
+                                  const graph::InstanceSet& instances,
+                                  const Options& options);
+  static ReachabilityAnalysis run(const model::Network& network,
+                                  const graph::InstanceSet& instances) {
+    return run(network, instances, Options{});
+  }
+
+  /// Routes present in an instance's RIBs after the fixpoint.
+  const std::set<model::Route>& instance_routes(std::uint32_t instance) const {
+    return routes_[instance];
+  }
+
+  /// True when the instance holds a route covering `addr`.
+  bool instance_has_route_to(std::uint32_t instance,
+                             ip::Ipv4Address addr) const;
+
+  /// True when the instance holds the default route or a route originated
+  /// outside the network (so hosts there can reach the Internet at large).
+  bool instance_reaches_internet(std::uint32_t instance) const;
+
+  /// Prefixes the network announces to the external world (over external
+  /// EBGP sessions), after outbound policies.
+  const std::set<model::Route>& announced_externally() const {
+    return announced_;
+  }
+
+  /// Count of externally-learned routes present in an instance — the load
+  /// predictor of paper §6.2's third observation.
+  std::size_t external_route_count(std::uint32_t instance) const;
+
+  /// Two-way host reachability between addresses attached to two instances:
+  /// a's instance must hold a route covering b AND b's instance one covering
+  /// a (the paper's AB2 vs AB4 test in Figure 12).
+  bool two_way_reachable(std::uint32_t instance_a, ip::Ipv4Address addr_a,
+                         std::uint32_t instance_b,
+                         ip::Ipv4Address addr_b) const;
+
+  std::size_t iterations_used() const noexcept { return iterations_; }
+
+ private:
+  std::vector<std::set<model::Route>> routes_;
+  std::set<model::Route> announced_;
+  std::set<ip::Prefix> external_origin_;  // prefixes injected from outside
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace rd::analysis
+
+namespace rd::model {
+/// Ordering for storing routes in std::set.
+inline bool operator<(const Route& a, const Route& b) noexcept {
+  if (a.prefix != b.prefix) return a.prefix < b.prefix;
+  return a.tag < b.tag;
+}
+}  // namespace rd::model

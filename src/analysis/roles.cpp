@@ -1,0 +1,72 @@
+#include "analysis/roles.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace rd::analysis {
+
+RoleCounts& RoleCounts::operator+=(const RoleCounts& other) {
+  for (const auto& [protocol, counts] : other.igp_instances) {
+    auto& mine = igp_instances[protocol];
+    mine.first += counts.first;
+    mine.second += counts.second;
+  }
+  ebgp_intra_sessions += other.ebgp_intra_sessions;
+  ebgp_inter_sessions += other.ebgp_inter_sessions;
+  ibgp_sessions += other.ibgp_sessions;
+  uses_bgp = uses_bgp || other.uses_bgp;
+  return *this;
+}
+
+RoleCounts classify_roles(const model::Network& network,
+                          const graph::InstanceSet& instances) {
+  RoleCounts counts;
+
+  // Which instances contain a process with a potential external adjacency?
+  std::set<std::uint32_t> externally_adjacent;
+  for (const auto& ext : network.external_igp_adjacencies()) {
+    externally_adjacent.insert(instances.instance_of[ext.process]);
+  }
+
+  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+    const auto& instance = instances.instances[i];
+    if (instance.protocol == config::RoutingProtocol::kBgp) {
+      counts.uses_bgp = true;
+      continue;
+    }
+    auto& [intra, inter] = counts.igp_instances[instance.protocol];
+    if (externally_adjacent.contains(i)) {
+      ++inter;
+    } else {
+      ++intra;
+    }
+  }
+
+  // EBGP sessions. Sessions resolved on both ends are deduplicated so a
+  // session configured on both routers counts once.
+  std::set<std::pair<model::ProcessId, model::ProcessId>> seen;
+  for (const auto& session : network.bgp_sessions()) {
+    counts.uses_bgp = true;
+    if (session.external()) {
+      if (session.ebgp()) {
+        ++counts.ebgp_inter_sessions;
+      } else {
+        // An IBGP session to an unknown router: most likely a missing
+        // config; counted as inter-domain use since it leaves the data set.
+        ++counts.ebgp_inter_sessions;
+      }
+      continue;
+    }
+    const auto key = std::minmax(session.local_process, session.remote_process);
+    if (!seen.insert(key).second) continue;
+    if (session.ebgp()) {
+      ++counts.ebgp_intra_sessions;
+    } else {
+      ++counts.ibgp_sessions;
+    }
+  }
+  return counts;
+}
+
+}  // namespace rd::analysis

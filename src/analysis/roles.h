@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// Intra-/inter-domain role tallies for one network (paper §5.2, Table 1).
+///
+/// An IGP *instance* serves in the inter-domain role when any of its
+/// processes is potentially adjacent to a router outside the network (it
+/// covers a non-passive external-facing interface); otherwise it serves
+/// intra-domain. An EBGP *session* is inter-domain when it terminates
+/// outside the data set, and intra-domain when both endpoints are inside the
+/// network (internal compartment boundaries, corporate-merger vestiges, ...).
+struct RoleCounts {
+  /// protocol -> (intra-domain instance count, inter-domain instance count).
+  /// BGP is excluded here; see the session counts below.
+  std::map<config::RoutingProtocol, std::pair<std::size_t, std::size_t>>
+      igp_instances;
+  std::size_t ebgp_intra_sessions = 0;
+  std::size_t ebgp_inter_sessions = 0;
+  std::size_t ibgp_sessions = 0;
+  bool uses_bgp = false;
+
+  RoleCounts& operator+=(const RoleCounts& other);
+};
+
+RoleCounts classify_roles(const model::Network& network,
+                          const graph::InstanceSet& instances);
+
+}  // namespace rd::analysis

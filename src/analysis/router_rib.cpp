@@ -1,0 +1,156 @@
+#include "analysis/router_rib.h"
+
+#include <algorithm>
+
+namespace rd::analysis {
+
+std::uint32_t administrative_distance(RouteSource source) noexcept {
+  switch (source) {
+    case RouteSource::kConnected:
+      return 0;
+    case RouteSource::kStatic:
+      return 1;
+    case RouteSource::kEbgp:
+      return 20;
+    case RouteSource::kEigrp:
+      return 90;
+    case RouteSource::kOspf:
+      return 110;
+    case RouteSource::kRip:
+      return 120;
+    case RouteSource::kIbgp:
+      return 200;
+  }
+  return 255;
+}
+
+std::string_view to_string(RouteSource source) noexcept {
+  switch (source) {
+    case RouteSource::kConnected:
+      return "connected";
+    case RouteSource::kStatic:
+      return "static";
+    case RouteSource::kEbgp:
+      return "ebgp";
+    case RouteSource::kEigrp:
+      return "eigrp";
+    case RouteSource::kOspf:
+      return "ospf";
+    case RouteSource::kRip:
+      return "rip";
+    case RouteSource::kIbgp:
+      return "ibgp";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The selection class of a process's routes on a given router. BGP routes
+/// count as EBGP when the process has any external or inter-AS session, as
+/// IBGP otherwise — a simplification of per-route provenance that matches
+/// how the analyses use the result.
+RouteSource source_of(const model::Network& network, model::ProcessId p) {
+  const auto& process = network.processes()[p];
+  switch (process.protocol) {
+    case config::RoutingProtocol::kOspf:
+      return RouteSource::kOspf;
+    case config::RoutingProtocol::kEigrp:
+    case config::RoutingProtocol::kIgrp:
+      return RouteSource::kEigrp;
+    case config::RoutingProtocol::kRip:
+    case config::RoutingProtocol::kIsis:
+      return RouteSource::kRip;
+    case config::RoutingProtocol::kBgp:
+      break;
+  }
+  for (const auto& session : network.bgp_sessions()) {
+    if (session.local_process == p &&
+        (session.external() || session.ebgp())) {
+      return RouteSource::kEbgp;
+    }
+  }
+  return RouteSource::kIbgp;
+}
+
+}  // namespace
+
+RouterRibAnalysis RouterRibAnalysis::run(
+    const model::Network& network, const graph::InstanceSet& instances,
+    const ReachabilityAnalysis& reachability) {
+  RouterRibAnalysis out;
+  out.ribs_.resize(network.router_count());
+  out.process_load_.resize(network.processes().size(), 0);
+  out.has_external_.resize(network.router_count(), false);
+
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    out.process_load_[p] =
+        reachability.instance_routes(instances.instance_of[p]).size();
+  }
+
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    // Candidate routes per prefix with the best (lowest) distance winning.
+    std::map<ip::Prefix, SelectedRoute> best;
+    auto offer = [&](const ip::Prefix& prefix, RouteSource source,
+                     model::ProcessId p) {
+      const auto it = best.find(prefix);
+      if (it == best.end() || administrative_distance(source) <
+                                  administrative_distance(it->second.source)) {
+        best[prefix] = {prefix, source, p};
+      }
+    };
+
+    // Local RIB: connected subnets and static routes (paper Figure 3).
+    for (const model::InterfaceId i : network.router_interfaces(r)) {
+      const auto& itf = network.interfaces()[i];
+      if (itf.subnet && !itf.shutdown) {
+        offer(*itf.subnet, RouteSource::kConnected, model::kInvalidId);
+      }
+    }
+    for (const auto& route : network.routers()[r].static_routes) {
+      offer(route.prefix(), RouteSource::kStatic, model::kInvalidId);
+    }
+
+    // Process RIBs: each process offers its instance's routes.
+    for (const model::ProcessId p : network.router_processes(r)) {
+      const RouteSource source = source_of(network, p);
+      for (const auto& route :
+           reachability.instance_routes(instances.instance_of[p])) {
+        offer(route.prefix, source, p);
+      }
+    }
+
+    out.ribs_[r].reserve(best.size());
+    for (const auto& [prefix, route] : best) {
+      out.ribs_[r].push_back(route);
+      if (prefix.length() == 0) out.has_external_[r] = true;
+    }
+  }
+  return out;
+}
+
+bool RouterRibAnalysis::router_can_reach(model::RouterId router,
+                                         ip::Ipv4Address addr) const {
+  for (const auto& route : ribs_[router]) {
+    if (route.prefix.length() > 0 && route.prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+std::vector<model::RouterId> RouterRibAnalysis::routers_with_external_routes()
+    const {
+  std::vector<model::RouterId> out;
+  for (model::RouterId r = 0; r < has_external_.size(); ++r) {
+    if (has_external_[r]) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RouterRibAnalysis::rib_sizes() const {
+  std::vector<std::size_t> out;
+  out.reserve(ribs_.size());
+  for (const auto& rib : ribs_) out.push_back(rib.size());
+  return out;
+}
+
+}  // namespace rd::analysis

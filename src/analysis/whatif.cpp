@@ -1,0 +1,192 @@
+#include "analysis/whatif.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/vulnerability.h"
+
+namespace rd::analysis {
+
+model::Network without_routers(const model::Network& network,
+                               const std::vector<model::RouterId>& failed) {
+  const std::set<model::RouterId> gone(failed.begin(), failed.end());
+  std::vector<config::RouterConfig> configs;
+  configs.reserve(network.router_count() - gone.size());
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    if (!gone.contains(r)) configs.push_back(network.routers()[r]);
+  }
+  return model::Network::build(std::move(configs));
+}
+
+FailureImpact simulate_router_failure(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<model::RouterId>& failed) {
+  FailureImpact impact;
+  impact.failed = failed;
+  impact.instances_before = baseline.instances.size();
+
+  const std::set<model::RouterId> gone(failed.begin(), failed.end());
+
+  // Survivor router id mapping: old id -> new id.
+  std::vector<std::int64_t> new_router(network.router_count(), -1);
+  std::int64_t next = 0;
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    if (!gone.contains(r)) new_router[r] = next++;
+  }
+
+  const auto after = without_routers(network, failed);
+  const auto instances_after = graph::compute_instances(after);
+  impact.instances_after = instances_after.instances.size();
+
+  // Map each surviving baseline process to its new instance via the
+  // (router, stanza) identity, and count how many new instances each
+  // baseline instance's survivors landed in.
+  std::map<std::pair<model::RouterId, std::uint32_t>, model::ProcessId>
+      new_process;
+  for (model::ProcessId p = 0; p < after.processes().size(); ++p) {
+    const auto& process = after.processes()[p];
+    new_process[{process.router, process.stanza_index}] = p;
+  }
+  for (std::uint32_t i = 0; i < baseline.instances.size(); ++i) {
+    std::set<std::uint32_t> landed_in;
+    for (const model::ProcessId p : baseline.instances[i].processes) {
+      const auto& process = network.processes()[p];
+      if (gone.contains(process.router)) continue;
+      const auto it = new_process.find(
+          {static_cast<model::RouterId>(new_router[process.router]),
+           process.stanza_index});
+      if (it != new_process.end()) {
+        landed_in.insert(instances_after.instance_of[it->second]);
+      }
+    }
+    if (landed_in.size() > 1) impact.fragmented_instances.push_back(i);
+  }
+
+  // Severed pairs: every route-exchange router of the pair failed.
+  const auto graph = graph::InstanceGraph::build(network);
+  for (const auto& entry : redistribution_redundancy(network, graph)) {
+    const bool all_gone =
+        std::all_of(entry.connecting_routers.begin(),
+                    entry.connecting_routers.end(),
+                    [&](model::RouterId r) { return gone.contains(r); });
+    if (all_gone) ++impact.severed_instance_pairs;
+  }
+  return impact;
+}
+
+namespace {
+
+/// Iterative articulation-point computation (Hopcroft-Tarjan low-link) on
+/// one instance's router-level adjacency graph.
+std::vector<model::RouterId> articulation_points(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::int32_t> depth(n, -1);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::int32_t> parent(n, -1);
+  std::vector<bool> is_cut(n, false);
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_child;
+  };
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (depth[root] != -1) continue;
+    std::vector<Frame> stack{{root, 0}};
+    depth[root] = 0;
+    low[root] = 0;
+    std::size_t root_children = 0;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::uint32_t u = frame.node;
+      if (frame.next_child < adjacency[u].size()) {
+        const std::uint32_t v = adjacency[u][frame.next_child++];
+        if (depth[v] == -1) {
+          depth[v] = depth[u] + 1;
+          low[v] = static_cast<std::uint32_t>(depth[v]);
+          parent[v] = static_cast<std::int32_t>(u);
+          if (u == root) ++root_children;
+          stack.push_back({v, 0});
+        } else if (static_cast<std::int32_t>(v) != parent[u]) {
+          low[u] = std::min(low[u], static_cast<std::uint32_t>(depth[v]));
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          const std::uint32_t p = stack.back().node;
+          low[p] = std::min(low[p], low[u]);
+          if (p != root && low[u] >= static_cast<std::uint32_t>(depth[p])) {
+            is_cut[p] = true;
+          }
+        }
+      }
+    }
+    if (root_children > 1) is_cut[root] = true;
+  }
+
+  std::vector<model::RouterId> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (is_cut[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ArticulationRouter> instance_articulation_routers(
+    const model::Network& network, const graph::InstanceSet& instances) {
+  std::vector<ArticulationRouter> out;
+
+  // Router-level edges inside each instance: IGP adjacencies and IBGP
+  // sessions between processes of the instance.
+  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+    const auto& instance = instances.instances[i];
+    if (instance.routers.size() < 3) continue;  // nothing to articulate
+    // Local indices.
+    std::map<model::RouterId, std::uint32_t> local;
+    for (const model::RouterId r : instance.routers) {
+      local.emplace(r, static_cast<std::uint32_t>(local.size()));
+    }
+    std::vector<std::vector<std::uint32_t>> adjacency(local.size());
+    auto add_edge = [&](model::RouterId a, model::RouterId b) {
+      if (a == b) return;
+      const auto ia = local.find(a);
+      const auto ib = local.find(b);
+      if (ia == local.end() || ib == local.end()) return;
+      adjacency[ia->second].push_back(ib->second);
+      adjacency[ib->second].push_back(ia->second);
+    };
+    for (const auto& adj : network.igp_adjacencies()) {
+      if (instances.instance_of[adj.process_a] == i) {
+        add_edge(network.processes()[adj.process_a].router,
+                 network.processes()[adj.process_b].router);
+      }
+    }
+    for (const auto& session : network.bgp_sessions()) {
+      if (session.external() || session.ebgp()) continue;
+      if (instances.instance_of[session.local_process] == i) {
+        add_edge(network.processes()[session.local_process].router,
+                 network.processes()[session.remote_process].router);
+      }
+    }
+    for (const model::RouterId r : articulation_points(adjacency)) {
+      out.push_back({instance.routers[r], i});
+    }
+  }
+  return out;
+}
+
+std::vector<model::RouterId> sole_redistribution_routers(
+    const model::Network& network, const graph::InstanceGraph& graph) {
+  std::set<model::RouterId> routers;
+  for (const auto& entry : redistribution_redundancy(network, graph)) {
+    if (entry.single_point_of_failure()) {
+      routers.insert(entry.connecting_routers.front());
+    }
+  }
+  return {routers.begin(), routers.end()};
+}
+
+}  // namespace rd::analysis

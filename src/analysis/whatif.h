@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/instances.h"
+#include "model/network.h"
+
+namespace rd::analysis {
+
+/// "What if" survivability analysis (paper §8.1, network engineering):
+/// evaluate the robustness of the routing design to equipment failures —
+/// "uncover scenarios where a single link or session failure would
+/// disconnect part of the network".
+
+/// Rebuild the network model with some routers' configurations removed —
+/// the model-level equivalent of those routers failing (their interfaces,
+/// processes, sessions, and redistribution points all disappear).
+model::Network without_routers(const model::Network& network,
+                               const std::vector<model::RouterId>& failed);
+
+/// Impact summary of a set of router failures.
+struct FailureImpact {
+  std::vector<model::RouterId> failed;
+  std::size_t instances_before = 0;
+  std::size_t instances_after = 0;
+  /// Baseline instances whose surviving processes ended up split across
+  /// more than one instance — the failure partitioned them.
+  std::vector<std::uint32_t> fragmented_instances;
+  /// Baseline instance pairs whose every route-exchange router failed.
+  std::size_t severed_instance_pairs = 0;
+
+  bool disconnects_something() const noexcept {
+    return !fragmented_instances.empty() || severed_instance_pairs > 0;
+  }
+};
+
+FailureImpact simulate_router_failure(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<model::RouterId>& failed);
+
+/// A router whose single failure splits its own routing instance: an
+/// articulation point of the instance's router-level adjacency graph.
+struct ArticulationRouter {
+  model::RouterId router = model::kInvalidId;
+  std::uint32_t instance = 0;
+};
+
+/// All articulation routers, per instance (instances of one router have
+/// none by definition).
+std::vector<ArticulationRouter> instance_articulation_routers(
+    const model::Network& network, const graph::InstanceSet& instances);
+
+/// Routers that are the sole route-exchange point between some instance
+/// pair (redundancy group of size one) — the other single-failure
+/// disconnection mode.
+std::vector<model::RouterId> sole_redistribution_routers(
+    const model::Network& network, const graph::InstanceGraph& graph);
+
+}  // namespace rd::analysis

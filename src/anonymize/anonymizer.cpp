@@ -1,0 +1,185 @@
+#include "anonymize/anonymizer.h"
+
+#include <cctype>
+
+#include "anonymize/sha1.h"
+#include "util/strings.h"
+
+namespace rd::anonymize {
+namespace {
+
+// The published-command-reference whitelist (paper §4.1): words that appear
+// in the IOS command vocabulary carry no user information and pass through.
+// This list covers the dialect our parser understands plus common hardware
+// interface type names.
+constexpr std::string_view kKeywords[] = {
+    // structural commands
+    "hostname", "interface", "router", "network", "redistribute",
+    "distribute-list", "neighbor", "remote-as", "route-map", "access-list",
+    "access-group", "address", "secondary", "description", "bandwidth",
+    "shutdown", "passive-interface", "default", "default-metric", "router-id",
+    "match", "set", "tag", "metric", "metric-type", "subnets", "permit",
+    "deny", "host", "any", "eq", "in", "out", "ip", "route", "area", "mask",
+    "point-to-point", "update-source", "next-hop-self",
+    "route-reflector-client", "send-community", "soft-reconfiguration",
+    "synchronization", "no", "end", "version", "local-preference",
+    "maximum-paths", "timers", "auto-summary", "log-adjacency-changes",
+    "remark", "cost", "ospf", "eigrp", "igrp", "rip", "bgp", "isis",
+    "frame-relay", "interface-dlci", "encapsulation", "hdlc", "ppp", "service",
+    "line", "vty", "con", "aux", "boot", "logging", "snmp-server", "banner",
+    "enable", "inbound", "static", "connected", "domain-lookup", "classless",
+    "subnet-zero", "timestamps", "debug", "log", "uptime",
+    "password-encryption", "secret", "password", "login", "exec-timeout",
+    "system", "flash", "community", "RO", "RW", "location", "unknown",
+    "dialer", "pool", "pool-member", "prefix-list", "seq", "ge", "le",
+    "standard", "extended", "as-path",
+    // protocol names in ACLs
+    "tcp", "udp", "icmp", "pim", "gre", "esp", "ahp", "ospfigp",
+    // hardware interface types (Table 3 vocabulary)
+    "Ethernet", "FastEthernet", "GigabitEthernet", "Serial", "Hssi", "POS",
+    "ATM", "TokenRing", "Fddi", "Loopback", "Null", "Tunnel", "Dialer",
+    "BRI", "Port-channel", "Multilink", "Virtual-Template", "Async", "CBR",
+    "Channel", "Vlan",
+};
+
+bool is_identifier_punct(char c) noexcept {
+  return c == '/' || c == '.' || c == ':' || c == '-' || c == '_';
+}
+
+}  // namespace
+
+Anonymizer::Anonymizer(std::uint64_t key) : key_(key), ip_(key) {
+  for (const auto kw : kKeywords) keywords_.emplace(kw);
+}
+
+std::string Anonymizer::hash_word(std::string_view word) {
+  const std::string key(word);
+  if (const auto it = token_cache_.find(key); it != token_cache_.end()) {
+    return it->second;
+  }
+  Sha1 sha;
+  sha.update(std::string_view(reinterpret_cast<const char*>(&key_),
+                              sizeof(key_)));
+  sha.update(word);
+  std::string hashed = base62_token(sha.digest(), 11);
+  token_cache_.emplace(key, hashed);
+  return hashed;
+}
+
+std::uint32_t Anonymizer::anonymize_asn(std::uint32_t asn) {
+  if (ip::is_private_asn(asn)) return asn;
+  if (const auto it = asn_map_.find(asn); it != asn_map_.end()) {
+    return it->second;
+  }
+  // Derive a stable pseudorandom public ASN; resolve collisions by probing.
+  Sha1 sha;
+  sha.update(std::string_view(reinterpret_cast<const char*>(&key_),
+                              sizeof(key_)));
+  const std::string text = "asn:" + std::to_string(asn);
+  sha.update(text);
+  const auto digest = sha.digest();
+  std::uint32_t candidate = ((std::uint32_t{digest[0]} << 8 |
+                              std::uint32_t{digest[1]}) *
+                             (std::uint32_t{digest[2]} + 1u)) %
+                                64000u +
+                            1u;
+  while (asn_used_.contains(candidate) || ip::is_private_asn(candidate)) {
+    candidate = candidate % 64000u + 1u;
+  }
+  asn_used_.insert(candidate);
+  asn_map_.emplace(asn, candidate);
+  return candidate;
+}
+
+std::string Anonymizer::anonymize_token(std::string_view token) {
+  // Plain integer: passes through (metrics, ids, ports, sequence numbers).
+  // AS-number context is handled in anonymize_line.
+  if (util::is_all_digits(token)) return std::string(token);
+
+  // Dotted quad: a mask passes through, an address is mapped.
+  if (const auto addr = ip::Ipv4Address::parse(token)) {
+    if (ip::Netmask::parse(token) || ip::Netmask::parse_wildcard(token)) {
+      return std::string(token);
+    }
+    return ip_.anonymize(*addr).to_string();
+  }
+
+  // CIDR notation ("10.0.0.0/8" in prefix-lists): map the address part
+  // prefix-preservingly, keep the structural length.
+  if (const auto prefix = ip::Prefix::parse(token)) {
+    return ip_.anonymize(*prefix).to_string();
+  }
+
+  // Exact keyword match.
+  if (keywords_.contains(std::string(token))) return std::string(token);
+
+  // Interface-style token: keyword prefix + unit numbering ("Serial1/0.5").
+  std::size_t split = 0;
+  while (split < token.size() &&
+         (std::isalpha(static_cast<unsigned char>(token[split])) != 0 ||
+          token[split] == '-')) {
+    ++split;
+  }
+  if (split > 0 && split < token.size()) {
+    bool unit_ok = true;
+    for (std::size_t i = split; i < token.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(token[i])) == 0 &&
+          !is_identifier_punct(token[i])) {
+        unit_ok = false;
+        break;
+      }
+    }
+    if (unit_ok && keywords_.contains(std::string(token.substr(0, split)))) {
+      return std::string(token);
+    }
+  }
+
+  // Anything else is user-specific: hash it.
+  return hash_word(token);
+}
+
+std::string Anonymizer::anonymize_line(std::string_view line) {
+  // Preserve leading indentation (it is structural in IOS).
+  std::size_t indent = 0;
+  while (indent < line.size() && line[indent] == ' ') ++indent;
+  const std::string_view body = line.substr(indent);
+
+  // Comment lines lose their text; the bare separator survives.
+  if (!body.empty() && body[0] == '!') {
+    return std::string(indent, ' ') + "!";
+  }
+
+  const auto tokens = util::split_ws(body);
+  std::string out(indent, ' ');
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += ' ';
+    const std::string_view token = tokens[i];
+    // AS-number context: "router bgp <asn>", "neighbor X remote-as <asn>",
+    // "redistribute bgp <asn>".
+    const bool asn_position =
+        util::is_all_digits(token) && i >= 1 &&
+        (util::iequals(tokens[i - 1], "bgp") ||
+         util::iequals(tokens[i - 1], "remote-as"));
+    if (asn_position) {
+      std::uint32_t asn = 0;
+      if (util::parse_u32(token, asn)) {
+        out += std::to_string(anonymize_asn(asn));
+        continue;
+      }
+    }
+    out += anonymize_token(token);
+  }
+  return out;
+}
+
+std::string Anonymizer::anonymize(std::string_view config_text) {
+  std::string out;
+  out.reserve(config_text.size());
+  for (const auto line : util::split_lines(config_text)) {
+    out += anonymize_line(line);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rd::anonymize

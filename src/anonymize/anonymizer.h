@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "anonymize/ipanon.h"
+
+namespace rd::anonymize {
+
+/// Structure-preserving configuration anonymizer (paper §4.1).
+///
+/// Reproduces the paper's recipe:
+///  - comment text is removed (bare "!" separators survive);
+///  - tokens found in the IOS-dialect keyword whitelist pass through;
+///  - all other non-numeric tokens are replaced by SHA-1-derived identifiers
+///    (the paper's "8aTzlvBrbaW"-style strings);
+///  - IP addresses are anonymized prefix-preservingly; netmasks and wildcard
+///    masks are structural and pass through unchanged;
+///  - public AS numbers are renumbered consistently; private AS numbers
+///    (64512-65534) pass through, as in the paper;
+///  - other plain integers (process ids, metrics, ports) pass through.
+///
+/// The same instance must be used for every file of a network so that names
+/// and addresses shared across routers stay consistent — link inference on
+/// the anonymized fleet must yield the same topology as on the original.
+class Anonymizer {
+ public:
+  explicit Anonymizer(std::uint64_t key);
+
+  /// Anonymize a full configuration text.
+  std::string anonymize(std::string_view config_text);
+
+  /// Anonymize one token in isolation (exposed for tests).
+  std::string anonymize_token(std::string_view token);
+
+  ip::Ipv4Address anonymize_address(ip::Ipv4Address addr) const noexcept {
+    return ip_.anonymize(addr);
+  }
+
+  std::uint32_t anonymize_asn(std::uint32_t asn);
+
+  /// Number of distinct free-form tokens hashed so far.
+  std::size_t hashed_token_count() const noexcept {
+    return token_cache_.size();
+  }
+
+ private:
+  std::string hash_word(std::string_view word);
+  std::string anonymize_line(std::string_view line);
+
+  std::uint64_t key_;
+  PrefixPreservingAnonymizer ip_;
+  std::unordered_set<std::string> keywords_;
+  std::unordered_map<std::string, std::string> token_cache_;
+  std::unordered_map<std::uint32_t, std::uint32_t> asn_map_;
+  std::unordered_set<std::uint32_t> asn_used_;
+};
+
+}  // namespace rd::anonymize

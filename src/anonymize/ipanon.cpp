@@ -1,0 +1,48 @@
+#include "anonymize/ipanon.h"
+
+namespace rd::anonymize {
+namespace {
+
+// A small keyed mixer (xorshift-multiply, splitmix-style). Used as the PRF
+// f_i(prefix): only the low bit of the output is consumed per position.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ip::Ipv4Address PrefixPreservingAnonymizer::anonymize(
+    ip::Ipv4Address addr) const noexcept {
+  const std::uint32_t in = addr.value();
+  std::uint32_t out = 0;
+  // Bits 0..29 are permuted prefix-preservingly. The two low-order host
+  // bits pass through unchanged: inside a /30 point-to-point subnet the
+  // network/broadcast/usable-host positions must survive anonymization, or
+  // the external-facing inference (paper §5.2) would misclassify links when
+  // run on anonymized data. This is the "structure-preserving" part of the
+  // paper's §4.1 scheme; the privacy cost is two bits.
+  for (int i = 0; i < 30; ++i) {
+    // The first i bits of the input (as a value), plus the position, plus
+    // the key, determine the flip for bit i.
+    const std::uint32_t prefix_bits = i == 0 ? 0u : (in >> (32 - i));
+    const std::uint64_t prf =
+        mix(key_ ^ (std::uint64_t{prefix_bits} << 8) ^
+            static_cast<std::uint64_t>(i) ^ 0xA5A5A5A5ULL * (i + 1));
+    const std::uint32_t in_bit = (in >> (31 - i)) & 1u;
+    const std::uint32_t flip = static_cast<std::uint32_t>(prf & 1u);
+    out = (out << 1) | (in_bit ^ flip);
+  }
+  return ip::Ipv4Address((out << 2) | (in & 3u));
+}
+
+ip::Prefix PrefixPreservingAnonymizer::anonymize(
+    const ip::Prefix& prefix) const noexcept {
+  return ip::Prefix(anonymize(prefix.network()), prefix.length());
+}
+
+}  // namespace rd::anonymize

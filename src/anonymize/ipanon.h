@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ip/ipv4.h"
+
+namespace rd::anonymize {
+
+/// Prefix-preserving IPv4 address anonymization in the style of tcpdpriv
+/// "-a50" / Crypto-PAn: two addresses that share exactly a k-bit prefix map
+/// to addresses that share exactly a k-bit prefix. This keeps subnet
+/// relationships — the raw material of the paper's link inference and
+/// address-structure analyses — intact while hiding the actual values.
+///
+/// Bit i of the output is bit i of the input XOR a keyed pseudorandom
+/// function of the input's first i bits, so the mapping is a permutation on
+/// the 32-bit address space for any key. The two low-order bits pass
+/// through unchanged (structure preservation: /30 host/network/broadcast
+/// positions must survive so the link analyses work on anonymized data).
+class PrefixPreservingAnonymizer {
+ public:
+  explicit PrefixPreservingAnonymizer(std::uint64_t key) noexcept
+      : key_(key) {}
+
+  ip::Ipv4Address anonymize(ip::Ipv4Address addr) const noexcept;
+
+  /// Anonymize a prefix: the network bits are mapped, the length is kept.
+  ip::Prefix anonymize(const ip::Prefix& prefix) const noexcept;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace rd::anonymize

@@ -1,0 +1,149 @@
+#include "anonymize/sha1.h"
+
+#include <cstring>
+
+namespace rd::anonymize {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Sha1::Sha1() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+}
+
+void Sha1::update(std::string_view data) noexcept {
+  update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) noexcept {
+  total_bytes_ += len;
+  while (len > 0) {
+    const std::size_t take =
+        len < (64 - buffered_) ? len : (64 - buffered_);
+    std::memcpy(buffer_ + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(&zero, 1);
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(length_bytes, 8);
+
+  std::array<std::uint8_t, 20> out;
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+std::array<std::uint8_t, 20> Sha1::hash(std::string_view data) noexcept {
+  Sha1 sha;
+  sha.update(data);
+  return sha.digest();
+}
+
+std::string Sha1::hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const auto d = hash(data);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : d) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
+}
+
+std::string base62_token(const std::array<std::uint8_t, 20>& digest,
+                         std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  std::string out;
+  out.reserve(length);
+  // Consume digest bytes pairwise to reduce modulo bias below anything that
+  // matters for identifier generation.
+  for (std::size_t i = 0; out.size() < length; ++i) {
+    const std::size_t a = digest[(2 * i) % digest.size()];
+    const std::size_t b = digest[(2 * i + 1) % digest.size()];
+    out += kAlphabet[(a * 256 + b + i) % 62];
+  }
+  // Identifiers should not start with a digit; rotate into the letters.
+  if (out[0] >= '0' && out[0] <= '9') {
+    out[0] = kAlphabet[10 + (static_cast<std::size_t>(out[0] - '0') * 5) % 52];
+  }
+  return out;
+}
+
+}  // namespace rd::anonymize

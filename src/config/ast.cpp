@@ -1,0 +1,94 @@
+#include "config/ast.h"
+
+#include "util/strings.h"
+
+namespace rd::config {
+
+std::string_view to_keyword(RoutingProtocol protocol) noexcept {
+  switch (protocol) {
+    case RoutingProtocol::kOspf:
+      return "ospf";
+    case RoutingProtocol::kEigrp:
+      return "eigrp";
+    case RoutingProtocol::kIgrp:
+      return "igrp";
+    case RoutingProtocol::kRip:
+      return "rip";
+    case RoutingProtocol::kBgp:
+      return "bgp";
+    case RoutingProtocol::kIsis:
+      return "isis";
+  }
+  return "unknown";
+}
+
+std::optional<RoutingProtocol> protocol_from_keyword(
+    std::string_view keyword) noexcept {
+  if (util::iequals(keyword, "ospf")) return RoutingProtocol::kOspf;
+  if (util::iequals(keyword, "eigrp")) return RoutingProtocol::kEigrp;
+  if (util::iequals(keyword, "igrp")) return RoutingProtocol::kIgrp;
+  if (util::iequals(keyword, "rip")) return RoutingProtocol::kRip;
+  if (util::iequals(keyword, "bgp")) return RoutingProtocol::kBgp;
+  if (util::iequals(keyword, "isis") || util::iequals(keyword, "is-is")) {
+    return RoutingProtocol::kIsis;
+  }
+  return std::nullopt;
+}
+
+bool is_conventional_igp(RoutingProtocol protocol) noexcept {
+  return protocol != RoutingProtocol::kBgp;
+}
+
+std::string InterfaceConfig::hardware_type() const {
+  // The hardware type is the leading alphabetic run of the interface name:
+  // "Serial1/0.5" -> "Serial", "FastEthernet0/1" -> "FastEthernet".
+  std::size_t end = 0;
+  while (end < name.size() &&
+         ((name[end] >= 'a' && name[end] <= 'z') ||
+          (name[end] >= 'A' && name[end] <= 'Z') || name[end] == '-')) {
+    ++end;
+  }
+  return name.substr(0, end);
+}
+
+const InterfaceConfig* RouterConfig::find_interface(
+    std::string_view name) const noexcept {
+  for (const auto& itf : interfaces) {
+    if (itf.name == name) return &itf;
+  }
+  return nullptr;
+}
+
+const AccessList* RouterConfig::find_access_list(
+    std::string_view id) const noexcept {
+  for (const auto& acl : access_lists) {
+    if (acl.id == id) return &acl;
+  }
+  return nullptr;
+}
+
+const PrefixList* RouterConfig::find_prefix_list(
+    std::string_view name) const noexcept {
+  for (const auto& pl : prefix_lists) {
+    if (pl.name == name) return &pl;
+  }
+  return nullptr;
+}
+
+const AsPathAccessList* RouterConfig::find_as_path_list(
+    std::string_view id) const noexcept {
+  for (const auto& list : as_path_lists) {
+    if (list.id == id) return &list;
+  }
+  return nullptr;
+}
+
+const RouteMap* RouterConfig::find_route_map(
+    std::string_view name) const noexcept {
+  for (const auto& rm : route_maps) {
+    if (rm.name == name) return &rm;
+  }
+  return nullptr;
+}
+
+}  // namespace rd::config

@@ -1,0 +1,298 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ip/ipv4.h"
+
+namespace rd::config {
+
+/// Routing protocols recognized by the configuration dialect. The paper's
+/// data set (Table 1) contained OSPF, EIGRP (plus two IGRP instances), RIP,
+/// and BGP; IS-IS is parsed but never appeared in the 31 networks.
+enum class RoutingProtocol : std::uint8_t {
+  kOspf,
+  kEigrp,
+  kIgrp,
+  kRip,
+  kBgp,
+  kIsis,
+};
+
+std::string_view to_keyword(RoutingProtocol protocol) noexcept;
+std::optional<RoutingProtocol> protocol_from_keyword(
+    std::string_view keyword) noexcept;
+
+/// True for protocols conventionally classed as IGPs (everything but BGP).
+bool is_conventional_igp(RoutingProtocol protocol) noexcept;
+
+/// "ip address A.B.C.D M.M.M.M" on an interface.
+struct InterfaceAddress {
+  ip::Ipv4Address address;
+  ip::Netmask mask;
+
+  ip::Prefix subnet() const noexcept {
+    return ip::Prefix(address, mask.length());
+  }
+  friend bool operator==(const InterfaceAddress&,
+                         const InterfaceAddress&) = default;
+};
+
+/// One "interface <Name>" stanza.
+struct InterfaceConfig {
+  std::string name;  // e.g. "Serial1/0.5" or "FastEthernet0/1"
+  std::optional<InterfaceAddress> address;
+  std::vector<InterfaceAddress> secondary_addresses;
+  std::optional<std::string> description;
+  std::optional<std::string> access_group_in;   // "ip access-group N in"
+  std::optional<std::string> access_group_out;  // "ip access-group N out"
+  bool point_to_point = false;
+  bool shutdown = false;
+  std::optional<std::uint32_t> bandwidth_kbps;
+  std::optional<std::uint32_t> ospf_cost;  // "ip ospf cost N"
+  /// "ip router isis": IS-IS is enabled per interface rather than via
+  /// network statements. (The paper's data set contained no IS-IS; the
+  /// dialect supports it for completeness.)
+  bool isis = false;
+  /// Attribute lines the parser recognizes as valid but does not model
+  /// (e.g. "frame-relay interface-dlci 28"); preserved for round-tripping.
+  std::vector<std::string> extra_lines;
+
+  /// Hardware type parsed from the name ("Serial", "FastEthernet", ...).
+  std::string hardware_type() const;
+
+  friend bool operator==(const InterfaceConfig&,
+                         const InterfaceConfig&) = default;
+};
+
+enum class FilterAction : std::uint8_t { kPermit, kDeny };
+
+/// One clause of an access list. Standard clauses match on source only;
+/// extended clauses carry a protocol, destination, and optional port.
+struct AclRule {
+  FilterAction action = FilterAction::kPermit;
+  bool extended = false;
+  std::string protocol;  // "ip", "tcp", "udp", "icmp", "pim"; empty=standard
+  bool any_source = false;
+  ip::Prefix source;  // valid when !any_source
+  bool any_destination = true;
+  ip::Prefix destination;  // valid when !any_destination (extended only)
+  std::optional<std::uint16_t> destination_port;  // "eq <port>"
+
+  friend bool operator==(const AclRule&, const AclRule&) = default;
+};
+
+/// "access-list <id> ..." (numbered) or "ip access-list standard|extended
+/// <name>" (named) — a list of clauses. `named` records which syntax the
+/// list was written in; `extended_block` records the named-mode flavour.
+struct AccessList {
+  std::string id;  // "143" or a name like "MGMT-IN"
+  bool named = false;
+  bool extended_block = false;  // named-mode "extended" (vs "standard")
+  std::vector<AclRule> rules;
+
+  friend bool operator==(const AccessList&, const AccessList&) = default;
+};
+
+/// One entry of an "ip prefix-list": sequence, action, prefix, and the
+/// optional ge/le length bounds.
+struct PrefixListEntry {
+  std::uint32_t sequence = 5;
+  FilterAction action = FilterAction::kPermit;
+  ip::Prefix prefix;
+  std::optional<int> ge;  // match lengths >= ge
+  std::optional<int> le;  // match lengths <= le
+
+  friend bool operator==(const PrefixListEntry&,
+                         const PrefixListEntry&) = default;
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+
+  friend bool operator==(const PrefixList&, const PrefixList&) = default;
+};
+
+/// "ip as-path access-list <id> permit|deny <regex>": matches on the BGP
+/// AS-path attribute. The static analyses treat the regex as opaque text —
+/// its presence is what matters for the §6.1 policy-style comparison
+/// (AS-path-based vs address-based policies).
+struct AsPathEntry {
+  FilterAction action = FilterAction::kPermit;
+  std::string regex;  // e.g. "^$", "_701_", "^65001(_.*)?$"
+
+  friend bool operator==(const AsPathEntry&, const AsPathEntry&) = default;
+};
+
+struct AsPathAccessList {
+  std::string id;
+  std::vector<AsPathEntry> entries;
+
+  friend bool operator==(const AsPathAccessList&,
+                         const AsPathAccessList&) = default;
+};
+
+/// One numbered clause of a route-map.
+struct RouteMapClause {
+  FilterAction action = FilterAction::kPermit;
+  std::uint32_t sequence = 10;
+  std::vector<std::string> match_ip_address_acls;  // "match ip address N..."
+  /// "match ip address prefix-list NAME..."
+  std::vector<std::string> match_prefix_lists;
+  /// "match as-path N..." — requires BGP attributes (§6.1).
+  std::vector<std::string> match_as_paths;
+  std::optional<std::uint32_t> match_tag;
+  std::optional<std::uint32_t> set_tag;
+  std::optional<std::uint32_t> set_metric;
+  std::optional<std::uint32_t> set_local_preference;
+
+  friend bool operator==(const RouteMapClause&,
+                         const RouteMapClause&) = default;
+};
+
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapClause> clauses;
+
+  friend bool operator==(const RouteMap&, const RouteMap&) = default;
+};
+
+/// "network <addr> <wildcard> [area N]" under an IGP stanza, or
+/// "network <addr> mask <netmask>" under BGP.
+struct NetworkStatement {
+  ip::Ipv4Address address;
+  ip::Netmask mask;  // stored as a netmask; IGP text uses the wildcard form
+  std::optional<std::uint32_t> area;  // OSPF only
+
+  ip::Prefix prefix() const noexcept {
+    return ip::Prefix(address, mask.length());
+  }
+  friend bool operator==(const NetworkStatement&,
+                         const NetworkStatement&) = default;
+};
+
+/// Source of a "redistribute ..." command.
+enum class RedistributeSource : std::uint8_t {
+  kConnected,
+  kStatic,
+  kProtocol,
+};
+
+struct Redistribute {
+  RedistributeSource source = RedistributeSource::kProtocol;
+  RoutingProtocol protocol = RoutingProtocol::kOspf;  // when kProtocol
+  std::optional<std::uint32_t> process_id;            // "redistribute ospf 64"
+  std::optional<std::string> route_map;               // "match route-map X"
+  std::optional<std::uint32_t> metric;
+  std::optional<std::uint32_t> metric_type;  // OSPF "metric-type 1"
+  bool subnets = false;                      // OSPF "subnets" keyword
+
+  friend bool operator==(const Redistribute&, const Redistribute&) = default;
+};
+
+/// "distribute-list <acl> in|out [<interface>]" under a router stanza.
+struct DistributeList {
+  std::string acl;
+  bool inbound = true;
+  std::optional<std::string> interface;
+
+  friend bool operator==(const DistributeList&,
+                         const DistributeList&) = default;
+};
+
+/// "neighbor <ip> ..." lines of a BGP stanza, merged per neighbor address.
+struct BgpNeighbor {
+  ip::Ipv4Address address;
+  std::uint32_t remote_as = 0;
+  std::optional<std::string> distribute_list_in;
+  std::optional<std::string> distribute_list_out;
+  std::optional<std::string> prefix_list_in;   // "neighbor X prefix-list N in"
+  std::optional<std::string> prefix_list_out;
+  std::optional<std::string> route_map_in;
+  std::optional<std::string> route_map_out;
+  std::optional<std::string> update_source;
+  std::optional<std::string> description;
+  bool next_hop_self = false;
+  bool route_reflector_client = false;
+
+  friend bool operator==(const BgpNeighbor&, const BgpNeighbor&) = default;
+};
+
+/// "aggregate-address A.B.C.D M.M.M.M [summary-only]" under BGP: originate
+/// a summary when any contained route is present — the §3.1 enterprise
+/// technique of crafting "a small number of key routes that summarize the
+/// external routes".
+struct AggregateAddress {
+  ip::Ipv4Address address;
+  ip::Netmask mask;
+  bool summary_only = false;  // suppress the more-specific routes
+
+  ip::Prefix prefix() const noexcept {
+    return ip::Prefix(address, mask.length());
+  }
+  friend bool operator==(const AggregateAddress&,
+                         const AggregateAddress&) = default;
+};
+
+/// One "router <protocol> [<id>]" stanza.
+struct RouterStanza {
+  RoutingProtocol protocol = RoutingProtocol::kOspf;
+  /// OSPF/EIGRP/IGRP process id, or the local AS number for BGP. RIP has no
+  /// id in IOS.
+  std::optional<std::uint32_t> process_id;
+  std::vector<NetworkStatement> networks;
+  std::vector<AggregateAddress> aggregates;  // BGP only
+  std::vector<Redistribute> redistributes;
+  std::vector<DistributeList> distribute_lists;
+  std::vector<BgpNeighbor> neighbors;  // BGP only
+  std::optional<ip::Ipv4Address> router_id;
+  std::vector<std::string> passive_interfaces;
+  bool passive_default = false;
+  std::optional<std::uint32_t> default_metric;
+  bool synchronization = false;  // BGP; parsed for realism
+
+  friend bool operator==(const RouterStanza&, const RouterStanza&) = default;
+};
+
+/// "ip route <dest> <mask> <next-hop>" at top level.
+struct StaticRoute {
+  ip::Ipv4Address destination;
+  ip::Netmask mask;
+  /// Next hop is either an IP address or an exit interface name.
+  std::variant<ip::Ipv4Address, std::string> next_hop;
+  std::optional<std::uint32_t> administrative_distance;
+
+  ip::Prefix prefix() const noexcept {
+    return ip::Prefix(destination, mask.length());
+  }
+  friend bool operator==(const StaticRoute&, const StaticRoute&) = default;
+};
+
+/// The complete parsed configuration of one router — the unit of analysis.
+struct RouterConfig {
+  std::string hostname;
+  std::string source_file;  // provenance; empty when parsed from memory
+  std::vector<InterfaceConfig> interfaces;
+  std::vector<RouterStanza> router_stanzas;
+  std::vector<AccessList> access_lists;
+  std::vector<PrefixList> prefix_lists;
+  std::vector<AsPathAccessList> as_path_lists;
+  std::vector<RouteMap> route_maps;
+  std::vector<StaticRoute> static_routes;
+  /// Number of configuration command lines in the source text (comment and
+  /// blank lines excluded) — the quantity plotted in the paper's Figure 4.
+  std::size_t line_count = 0;
+
+  const InterfaceConfig* find_interface(std::string_view name) const noexcept;
+  const AccessList* find_access_list(std::string_view id) const noexcept;
+  const PrefixList* find_prefix_list(std::string_view name) const noexcept;
+  const AsPathAccessList* find_as_path_list(
+      std::string_view id) const noexcept;
+  const RouteMap* find_route_map(std::string_view name) const noexcept;
+};
+
+}  // namespace rd::config

@@ -1,0 +1,38 @@
+#include "config/lexer.h"
+
+#include "util/strings.h"
+
+namespace rd::config {
+
+std::vector<Line> lex(std::string_view text) {
+  std::vector<Line> out;
+  const auto lines = util::split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view raw = lines[i];
+    int indent = 0;
+    while (static_cast<std::size_t>(indent) < raw.size() &&
+           raw[static_cast<std::size_t>(indent)] == ' ') {
+      ++indent;
+    }
+    const std::string_view body = util::trim(raw);
+    if (body.empty() || body[0] == '!') continue;
+    Line line;
+    line.number = i + 1;
+    line.indent = indent;
+    line.raw = body;
+    line.tokens = util::split_ws(body);
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::size_t count_command_lines(std::string_view text) {
+  std::size_t count = 0;
+  for (const auto raw : util::split_lines(text)) {
+    const std::string_view body = util::trim(raw);
+    if (!body.empty() && body[0] != '!') ++count;
+  }
+  return count;
+}
+
+}  // namespace rd::config

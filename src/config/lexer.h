@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace rd::config {
+
+/// One command line of an IOS configuration, tokenized.
+///
+/// IOS configuration is line-oriented: top-level commands start in column 0
+/// and sub-mode commands (interface attributes, router-stanza attributes) are
+/// indented by one space. The lexer preserves that structure; the parser uses
+/// it to delimit blocks.
+struct Line {
+  std::size_t number = 0;  // 1-based line number in the source text
+  int indent = 0;          // count of leading spaces
+  std::string_view raw;    // trimmed command text
+  std::vector<std::string_view> tokens;  // whitespace-split fields
+};
+
+/// Tokenize a configuration text. Comment lines (leading '!' possibly after
+/// whitespace) and blank lines are dropped; everything else becomes a Line.
+/// Views point into `text`, which must outlive the result.
+std::vector<Line> lex(std::string_view text);
+
+/// Count configuration command lines (what the paper's Figure 4 measures):
+/// all non-blank, non-comment lines.
+std::size_t count_command_lines(std::string_view text);
+
+}  // namespace rd::config

@@ -1,0 +1,742 @@
+#include "config/parser.h"
+
+#include <algorithm>
+
+#include "config/lexer.h"
+#include "util/strings.h"
+
+namespace rd::config {
+namespace {
+
+using util::iequals;
+using util::parse_u32;
+
+/// Classful default mask, used when an EIGRP/RIP/IGRP network statement gives
+/// no wildcard: class A -> /8, B -> /16, C -> /24, otherwise /32.
+ip::Netmask classful_mask(ip::Ipv4Address addr) noexcept {
+  const std::uint32_t v = addr.value();
+  if ((v & 0x80000000u) == 0) return ip::Netmask::from_length(8);
+  if ((v & 0xC0000000u) == 0x80000000u) return ip::Netmask::from_length(16);
+  if ((v & 0xE0000000u) == 0xC0000000u) return ip::Netmask::from_length(24);
+  return ip::Netmask::from_length(32);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lines_(lex(text)) {}
+
+  ParseResult run(std::string_view source_file) {
+    result_.config.source_file = std::string(source_file);
+    result_.config.line_count = 0;
+    while (pos_ < lines_.size()) {
+      const Line& line = lines_[pos_];
+      if (line.indent > 0) {
+        // Orphan sub-mode line: skip with a diagnostic.
+        diag(line, "sub-mode command outside any block");
+        ++pos_;
+        continue;
+      }
+      dispatch_top_level(line);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void diag(const Line& line, std::string message) {
+    result_.diagnostics.push_back({line.number, std::move(message)});
+  }
+
+  const Line* peek_sub() const noexcept {
+    if (pos_ < lines_.size() && lines_[pos_].indent > 0) return &lines_[pos_];
+    return nullptr;
+  }
+
+  void dispatch_top_level(const Line& line) {
+    const auto& t = line.tokens;
+    ++pos_;
+    if (iequals(t[0], "hostname") && t.size() >= 2) {
+      result_.config.hostname = std::string(t[1]);
+    } else if (iequals(t[0], "interface") && t.size() >= 2) {
+      parse_interface(line);
+    } else if (iequals(t[0], "router") && t.size() >= 2) {
+      parse_router(line);
+    } else if (iequals(t[0], "access-list") && t.size() >= 3) {
+      parse_access_list(line);
+    } else if (iequals(t[0], "route-map") && t.size() >= 2) {
+      parse_route_map(line);
+    } else if (iequals(t[0], "ip") && t.size() >= 2 &&
+               iequals(t[1], "route")) {
+      parse_static_route(line);
+    } else if (iequals(t[0], "ip") && t.size() >= 4 &&
+               iequals(t[1], "access-list")) {
+      parse_named_access_list(line);
+    } else if (iequals(t[0], "ip") && t.size() >= 3 &&
+               iequals(t[1], "prefix-list")) {
+      parse_prefix_list(line);
+    } else if (iequals(t[0], "ip") && t.size() >= 5 &&
+               iequals(t[1], "as-path") && iequals(t[2], "access-list")) {
+      parse_as_path_list(line);
+    } else if (iequals(t[0], "version") || iequals(t[0], "end") ||
+               iequals(t[0], "service") || iequals(t[0], "no") ||
+               iequals(t[0], "boot") || iequals(t[0], "logging") ||
+               iequals(t[0], "snmp-server") || iequals(t[0], "line") ||
+               iequals(t[0], "banner") || iequals(t[0], "enable") ||
+               iequals(t[0], "ip")) {
+      // Benign top-level commands the model does not need; consume any
+      // sub-block they own (e.g. "line vty 0 4").
+      skip_block();
+    } else {
+      diag(line, "unrecognized top-level command: " + std::string(t[0]));
+      skip_block();
+    }
+  }
+
+  void skip_block() {
+    while (peek_sub() != nullptr) ++pos_;
+  }
+
+  // --- interface ---------------------------------------------------------
+
+  void parse_interface(const Line& head) {
+    InterfaceConfig itf;
+    itf.name = std::string(head.tokens[1]);
+    for (std::size_t i = 2; i < head.tokens.size(); ++i) {
+      if (iequals(head.tokens[i], "point-to-point")) itf.point_to_point = true;
+    }
+    while (const Line* sub = peek_sub()) {
+      ++pos_;
+      if (!parse_interface_attr(*sub, itf)) {
+        itf.extra_lines.emplace_back(sub->raw);
+      }
+    }
+    result_.config.interfaces.push_back(std::move(itf));
+  }
+
+  bool parse_interface_attr(const Line& line, InterfaceConfig& itf) {
+    const auto& t = line.tokens;
+    if (iequals(t[0], "ip") && t.size() >= 4 && iequals(t[1], "address")) {
+      const auto addr = ip::Ipv4Address::parse(t[2]);
+      const auto mask = ip::Netmask::parse(t[3]);
+      if (!addr || !mask) {
+        diag(line, "malformed ip address");
+        return true;  // recognized but malformed; do not stash as extra
+      }
+      const InterfaceAddress ia{*addr, *mask};
+      if (t.size() >= 5 && iequals(t[4], "secondary")) {
+        itf.secondary_addresses.push_back(ia);
+      } else {
+        itf.address = ia;
+      }
+      return true;
+    }
+    if (iequals(t[0], "ip") && t.size() >= 4 &&
+        iequals(t[1], "access-group")) {
+      if (iequals(t[3], "in")) {
+        itf.access_group_in = std::string(t[2]);
+      } else {
+        itf.access_group_out = std::string(t[2]);
+      }
+      return true;
+    }
+    if (iequals(t[0], "ip") && t.size() >= 3 && iequals(t[1], "router") &&
+        iequals(t[2], "isis")) {
+      itf.isis = true;
+      return true;
+    }
+    if (iequals(t[0], "ip") && t.size() >= 4 && iequals(t[1], "ospf") &&
+        iequals(t[2], "cost")) {
+      std::uint32_t cost = 0;
+      if (parse_u32(t[3], cost)) itf.ospf_cost = cost;
+      return true;
+    }
+    if (iequals(t[0], "description")) {
+      itf.description = std::string(util::trim(
+          line.raw.substr(std::string_view("description").size())));
+      return true;
+    }
+    if (iequals(t[0], "bandwidth") && t.size() >= 2) {
+      std::uint32_t bw = 0;
+      if (parse_u32(t[1], bw)) itf.bandwidth_kbps = bw;
+      return true;
+    }
+    if (iequals(t[0], "shutdown")) {
+      itf.shutdown = true;
+      return true;
+    }
+    return false;
+  }
+
+  // --- router stanza ------------------------------------------------------
+
+  void parse_router(const Line& head) {
+    const auto protocol = protocol_from_keyword(head.tokens[1]);
+    if (!protocol) {
+      diag(head, "unknown routing protocol: " + std::string(head.tokens[1]));
+      skip_block();
+      return;
+    }
+    RouterStanza stanza;
+    stanza.protocol = *protocol;
+    if (head.tokens.size() >= 3) {
+      std::uint32_t id = 0;
+      if (parse_u32(head.tokens[2], id)) stanza.process_id = id;
+    }
+    while (const Line* sub = peek_sub()) {
+      ++pos_;
+      parse_router_attr(*sub, stanza);
+    }
+    result_.config.router_stanzas.push_back(std::move(stanza));
+  }
+
+  void parse_router_attr(const Line& line, RouterStanza& stanza) {
+    const auto& t = line.tokens;
+    if (iequals(t[0], "network") && t.size() >= 2) {
+      parse_network_statement(line, stanza);
+    } else if (iequals(t[0], "redistribute") && t.size() >= 2) {
+      parse_redistribute(line, stanza);
+    } else if (iequals(t[0], "distribute-list") && t.size() >= 3) {
+      DistributeList dl;
+      dl.acl = std::string(t[1]);
+      dl.inbound = iequals(t[2], "in");
+      if (t.size() >= 4) dl.interface = std::string(t[3]);
+      stanza.distribute_lists.push_back(std::move(dl));
+    } else if (iequals(t[0], "aggregate-address") && t.size() >= 3) {
+      const auto addr = ip::Ipv4Address::parse(t[1]);
+      const auto mask = ip::Netmask::parse(t[2]);
+      if (!addr || !mask) {
+        diag(line, "malformed aggregate-address");
+        return;
+      }
+      AggregateAddress aggregate;
+      aggregate.address = *addr;
+      aggregate.mask = *mask;
+      for (std::size_t i = 3; i < t.size(); ++i) {
+        if (iequals(t[i], "summary-only")) aggregate.summary_only = true;
+      }
+      stanza.aggregates.push_back(aggregate);
+    } else if (iequals(t[0], "neighbor") && t.size() >= 3) {
+      parse_neighbor(line, stanza);
+    } else if (iequals(t[0], "router-id") && t.size() >= 2) {
+      stanza.router_id = ip::Ipv4Address::parse(t[1]);
+    } else if (iequals(t[0], "passive-interface") && t.size() >= 2) {
+      if (iequals(t[1], "default")) {
+        stanza.passive_default = true;
+      } else {
+        stanza.passive_interfaces.emplace_back(t[1]);
+      }
+    } else if (iequals(t[0], "default-metric") && t.size() >= 2) {
+      std::uint32_t metric = 0;
+      if (parse_u32(t[1], metric)) stanza.default_metric = metric;
+    } else if (iequals(t[0], "synchronization")) {
+      stanza.synchronization = true;
+    } else if (iequals(t[0], "no") && t.size() >= 2 &&
+               iequals(t[1], "synchronization")) {
+      stanza.synchronization = false;
+    } else if (iequals(t[0], "no") || iequals(t[0], "maximum-paths") ||
+               iequals(t[0], "timers") || iequals(t[0], "area") ||
+               iequals(t[0], "auto-summary") || iequals(t[0], "version") ||
+               iequals(t[0], "bgp") || iequals(t[0], "log-adjacency-changes")) {
+      // Recognized-but-unmodeled stanza attributes.
+    } else {
+      diag(line, "unrecognized router attribute: " + std::string(t[0]));
+    }
+  }
+
+  void parse_network_statement(const Line& line, RouterStanza& stanza) {
+    const auto& t = line.tokens;
+    const auto addr = ip::Ipv4Address::parse(t[1]);
+    if (!addr) {
+      diag(line, "malformed network statement");
+      return;
+    }
+    NetworkStatement ns;
+    ns.address = *addr;
+    if (t.size() >= 4 && iequals(t[2], "mask")) {
+      // BGP form: network A mask M
+      const auto mask = ip::Netmask::parse(t[3]);
+      if (!mask) {
+        diag(line, "malformed network mask");
+        return;
+      }
+      ns.mask = *mask;
+    } else if (t.size() >= 3 && !iequals(t[2], "area")) {
+      // IGP form: network A WILDCARD [area N]
+      const auto mask = ip::Netmask::parse_wildcard(t[2]);
+      if (!mask) {
+        diag(line, "malformed network wildcard");
+        return;
+      }
+      ns.mask = *mask;
+    } else {
+      ns.mask = classful_mask(*addr);
+    }
+    for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+      if (iequals(t[i], "area")) {
+        std::uint32_t area = 0;
+        if (parse_u32(t[i + 1], area)) ns.area = area;
+      }
+    }
+    stanza.networks.push_back(ns);
+  }
+
+  void parse_redistribute(const Line& line, RouterStanza& stanza) {
+    const auto& t = line.tokens;
+    Redistribute redist;
+    std::size_t opt_start = 2;
+    if (iequals(t[1], "connected")) {
+      redist.source = RedistributeSource::kConnected;
+    } else if (iequals(t[1], "static")) {
+      redist.source = RedistributeSource::kStatic;
+    } else if (const auto protocol = protocol_from_keyword(t[1])) {
+      redist.source = RedistributeSource::kProtocol;
+      redist.protocol = *protocol;
+      std::uint32_t id = 0;
+      if (t.size() >= 3 && parse_u32(t[2], id)) {
+        redist.process_id = id;
+        opt_start = 3;
+      }
+    } else {
+      diag(line, "unknown redistribute source: " + std::string(t[1]));
+      return;
+    }
+    for (std::size_t i = opt_start; i < t.size(); ++i) {
+      if (iequals(t[i], "metric") && i + 1 < t.size()) {
+        std::uint32_t metric = 0;
+        if (parse_u32(t[i + 1], metric)) redist.metric = metric;
+        ++i;
+      } else if (iequals(t[i], "metric-type") && i + 1 < t.size()) {
+        std::uint32_t mt = 0;
+        if (parse_u32(t[i + 1], mt)) redist.metric_type = mt;
+        ++i;
+      } else if (iequals(t[i], "subnets")) {
+        redist.subnets = true;
+      } else if (iequals(t[i], "route-map") && i + 1 < t.size()) {
+        redist.route_map = std::string(t[i + 1]);
+        ++i;
+      } else if (iequals(t[i], "match")) {
+        // "match route-map X" (the paper's dialect) or "match internal ..."
+        // The route-map branch is handled above on the next token.
+      } else if (iequals(t[i], "internal") || iequals(t[i], "external")) {
+        // OSPF route-class selectors; accepted, not modeled.
+      } else {
+        diag(line, "unrecognized redistribute option: " + std::string(t[i]));
+      }
+    }
+    stanza.redistributes.push_back(std::move(redist));
+  }
+
+  void parse_neighbor(const Line& line, RouterStanza& stanza) {
+    const auto& t = line.tokens;
+    const auto addr = ip::Ipv4Address::parse(t[1]);
+    if (!addr) {
+      diag(line, "malformed neighbor address");
+      return;
+    }
+    auto it = std::find_if(
+        stanza.neighbors.begin(), stanza.neighbors.end(),
+        [&](const BgpNeighbor& n) { return n.address == *addr; });
+    if (it == stanza.neighbors.end()) {
+      stanza.neighbors.push_back(BgpNeighbor{});
+      it = std::prev(stanza.neighbors.end());
+      it->address = *addr;
+    }
+    BgpNeighbor& nbr = *it;
+    if (iequals(t[2], "remote-as") && t.size() >= 4) {
+      std::uint32_t asn = 0;
+      if (parse_u32(t[3], asn)) nbr.remote_as = asn;
+    } else if (iequals(t[2], "distribute-list") && t.size() >= 5) {
+      if (iequals(t[4], "in")) {
+        nbr.distribute_list_in = std::string(t[3]);
+      } else {
+        nbr.distribute_list_out = std::string(t[3]);
+      }
+    } else if (iequals(t[2], "route-map") && t.size() >= 5) {
+      if (iequals(t[4], "in")) {
+        nbr.route_map_in = std::string(t[3]);
+      } else {
+        nbr.route_map_out = std::string(t[3]);
+      }
+    } else if (iequals(t[2], "prefix-list") && t.size() >= 5) {
+      if (iequals(t[4], "in")) {
+        nbr.prefix_list_in = std::string(t[3]);
+      } else {
+        nbr.prefix_list_out = std::string(t[3]);
+      }
+    } else if (iequals(t[2], "update-source") && t.size() >= 4) {
+      nbr.update_source = std::string(t[3]);
+    } else if (iequals(t[2], "description")) {
+      std::string desc;
+      for (std::size_t i = 3; i < t.size(); ++i) {
+        if (i > 3) desc += ' ';
+        desc += std::string(t[i]);
+      }
+      nbr.description = std::move(desc);
+    } else if (iequals(t[2], "next-hop-self")) {
+      nbr.next_hop_self = true;
+    } else if (iequals(t[2], "route-reflector-client")) {
+      nbr.route_reflector_client = true;
+    } else if (iequals(t[2], "send-community") || iequals(t[2], "version") ||
+               iequals(t[2], "soft-reconfiguration")) {
+      // Accepted, not modeled.
+    } else {
+      diag(line, "unrecognized neighbor attribute: " + std::string(t[2]));
+    }
+  }
+
+  // --- access lists -------------------------------------------------------
+
+  void parse_access_list(const Line& line) {
+    const auto& t = line.tokens;
+    const std::string id(t[1]);
+    if (iequals(t[2], "remark")) return;  // comments inside ACLs
+    AclRule rule;
+    if (!parse_acl_rule(line, /*action_index=*/2, rule)) return;
+    // extended_block is a named-mode property only.
+    append_acl_rule(id, /*named=*/false, /*extended_block=*/false,
+                    std::move(rule));
+  }
+
+  void parse_named_access_list(const Line& head) {
+    // "ip access-list standard|extended NAME" followed by indented clauses.
+    const bool extended = iequals(head.tokens[2], "extended");
+    if (!extended && !iequals(head.tokens[2], "standard")) {
+      diag(head, "unknown access-list flavour");
+      skip_block();
+      return;
+    }
+    const std::string id(head.tokens[3]);
+    // Register the (possibly empty) list so references resolve.
+    bool exists = false;
+    for (const auto& acl : result_.config.access_lists) {
+      exists = exists || acl.id == id;
+    }
+    if (!exists) {
+      AccessList acl;
+      acl.id = id;
+      acl.named = true;
+      acl.extended_block = extended;
+      result_.config.access_lists.push_back(std::move(acl));
+    }
+    while (const Line* sub = peek_sub()) {
+      ++pos_;
+      if (iequals(sub->tokens[0], "remark")) continue;
+      AclRule rule;
+      if (parse_acl_rule(*sub, /*action_index=*/0, rule)) {
+        append_acl_rule(id, /*named=*/true, extended, std::move(rule));
+      }
+    }
+  }
+
+  void append_acl_rule(const std::string& id, bool named, bool extended_block,
+                       AclRule rule) {
+    for (auto& acl : result_.config.access_lists) {
+      if (acl.id == id) {
+        acl.rules.push_back(std::move(rule));
+        return;
+      }
+    }
+    AccessList acl;
+    acl.id = id;
+    acl.named = named;
+    acl.extended_block = extended_block;
+    acl.rules.push_back(std::move(rule));
+    result_.config.access_lists.push_back(std::move(acl));
+  }
+
+  /// Parse one permit/deny clause starting at `action_index`. Returns false
+  /// (with a diagnostic) on malformed input.
+  bool parse_acl_rule(const Line& line, std::size_t action_index,
+                      AclRule& rule) {
+    const auto& t = line.tokens;
+    if (t.size() <= action_index) {
+      diag(line, "truncated access-list clause");
+      return false;
+    }
+    if (iequals(t[action_index], "permit")) {
+      rule.action = FilterAction::kPermit;
+    } else if (iequals(t[action_index], "deny")) {
+      rule.action = FilterAction::kDeny;
+    } else {
+      diag(line, "malformed access-list action");
+      return false;
+    }
+
+    std::size_t i = action_index + 1;
+    if (i >= t.size()) {
+      diag(line, "truncated access-list");
+      return false;
+    }
+
+    // Extended form starts with a protocol keyword; standard form starts
+    // with an address spec.
+    const bool extended = !iequals(t[i], "any") && !iequals(t[i], "host") &&
+                          !ip::Ipv4Address::parse(t[i]).has_value();
+    rule.extended = extended;
+    if (extended) {
+      rule.protocol = util::to_lower(t[i]);
+      ++i;
+    }
+
+    auto parse_addr_spec = [&](bool& any, ip::Prefix& prefix) -> bool {
+      if (i >= t.size()) return false;
+      if (iequals(t[i], "any")) {
+        any = true;
+        ++i;
+        return true;
+      }
+      if (iequals(t[i], "host")) {
+        if (i + 1 >= t.size()) return false;
+        const auto addr = ip::Ipv4Address::parse(t[i + 1]);
+        if (!addr) return false;
+        any = false;
+        prefix = ip::Prefix::host(*addr);
+        i += 2;
+        return true;
+      }
+      const auto addr = ip::Ipv4Address::parse(t[i]);
+      if (!addr) return false;
+      // A wildcard may follow; without one the spec is a host match.
+      if (i + 1 < t.size()) {
+        if (const auto wc = ip::Netmask::parse_wildcard(t[i + 1])) {
+          any = false;
+          prefix = ip::Prefix(*addr, wc->length());
+          i += 2;
+          return true;
+        }
+      }
+      any = false;
+      prefix = ip::Prefix::host(*addr);
+      ++i;
+      return true;
+    };
+
+    if (!parse_addr_spec(rule.any_source, rule.source)) {
+      diag(line, "malformed access-list source");
+      return false;
+    }
+    if (extended) {
+      if (!parse_addr_spec(rule.any_destination, rule.destination)) {
+        diag(line, "malformed access-list destination");
+        return false;
+      }
+      if (i + 1 < t.size() && iequals(t[i], "eq")) {
+        std::uint32_t port = 0;
+        if (parse_u32(t[i + 1], port) && port <= 65535) {
+          rule.destination_port = static_cast<std::uint16_t>(port);
+        }
+      }
+    } else {
+      rule.any_destination = true;
+    }
+    return true;
+  }
+
+  // "ip as-path access-list N permit|deny <regex...>"
+  void parse_as_path_list(const Line& line) {
+    const auto& t = line.tokens;
+    const std::string id(t[3]);
+    AsPathEntry entry;
+    if (iequals(t[4], "permit")) {
+      entry.action = FilterAction::kPermit;
+    } else if (iequals(t[4], "deny")) {
+      entry.action = FilterAction::kDeny;
+    } else {
+      diag(line, "malformed as-path access-list action");
+      return;
+    }
+    // The regex is the remainder of the line, spaces preserved as single
+    // separators (AS-path regexes rarely contain runs of spaces).
+    std::string regex;
+    for (std::size_t i = 5; i < t.size(); ++i) {
+      if (!regex.empty()) regex += ' ';
+      regex += std::string(t[i]);
+    }
+    if (regex.empty()) {
+      diag(line, "empty as-path regex");
+      return;
+    }
+    entry.regex = std::move(regex);
+    for (auto& list : result_.config.as_path_lists) {
+      if (list.id == id) {
+        list.entries.push_back(std::move(entry));
+        return;
+      }
+    }
+    AsPathAccessList list;
+    list.id = id;
+    list.entries.push_back(std::move(entry));
+    result_.config.as_path_lists.push_back(std::move(list));
+  }
+
+  // "ip prefix-list NAME [seq N] permit|deny A.B.C.D/L [ge X] [le Y]"
+  void parse_prefix_list(const Line& line) {
+    const auto& t = line.tokens;
+    PrefixListEntry entry;
+    const std::string name(t[2]);
+    std::size_t i = 3;
+    if (i + 1 < t.size() && iequals(t[i], "seq")) {
+      std::uint32_t seq = 0;
+      if (parse_u32(t[i + 1], seq)) entry.sequence = seq;
+      i += 2;
+    }
+    if (i >= t.size()) {
+      diag(line, "truncated prefix-list");
+      return;
+    }
+    if (iequals(t[i], "permit")) {
+      entry.action = FilterAction::kPermit;
+    } else if (iequals(t[i], "deny")) {
+      entry.action = FilterAction::kDeny;
+    } else if (iequals(t[i], "description")) {
+      return;  // accepted, not modeled
+    } else {
+      diag(line, "malformed prefix-list action");
+      return;
+    }
+    ++i;
+    if (i >= t.size()) {
+      diag(line, "truncated prefix-list");
+      return;
+    }
+    const auto prefix = ip::Prefix::parse(t[i]);
+    if (!prefix) {
+      diag(line, "malformed prefix-list prefix");
+      return;
+    }
+    entry.prefix = *prefix;
+    ++i;
+    while (i + 1 < t.size()) {
+      std::uint32_t bound = 0;
+      if (iequals(t[i], "ge") && parse_u32(t[i + 1], bound) && bound <= 32) {
+        entry.ge = static_cast<int>(bound);
+      } else if (iequals(t[i], "le") && parse_u32(t[i + 1], bound) &&
+                 bound <= 32) {
+        entry.le = static_cast<int>(bound);
+      } else {
+        diag(line, "unrecognized prefix-list option");
+      }
+      i += 2;
+    }
+    for (auto& pl : result_.config.prefix_lists) {
+      if (pl.name == name) {
+        pl.entries.push_back(entry);
+        return;
+      }
+    }
+    PrefixList pl;
+    pl.name = name;
+    pl.entries.push_back(entry);
+    result_.config.prefix_lists.push_back(std::move(pl));
+  }
+
+  // --- route maps ---------------------------------------------------------
+
+  void parse_route_map(const Line& head) {
+    const auto& t = head.tokens;
+    const std::string name(t[1]);
+    RouteMapClause clause;
+    if (t.size() >= 3 && iequals(t[2], "deny")) {
+      clause.action = FilterAction::kDeny;
+    }
+    if (t.size() >= 4) {
+      std::uint32_t seq = 0;
+      if (parse_u32(t[3], seq)) clause.sequence = seq;
+    }
+    while (const Line* sub = peek_sub()) {
+      ++pos_;
+      const auto& st = sub->tokens;
+      if (iequals(st[0], "match") && st.size() >= 4 &&
+          iequals(st[1], "ip") && iequals(st[2], "address")) {
+        if (iequals(st[3], "prefix-list")) {
+          for (std::size_t i = 4; i < st.size(); ++i) {
+            clause.match_prefix_lists.emplace_back(st[i]);
+          }
+        } else {
+          for (std::size_t i = 3; i < st.size(); ++i) {
+            clause.match_ip_address_acls.emplace_back(st[i]);
+          }
+        }
+      } else if (iequals(st[0], "match") && st.size() >= 3 &&
+                 iequals(st[1], "as-path")) {
+        for (std::size_t i = 2; i < st.size(); ++i) {
+          clause.match_as_paths.emplace_back(st[i]);
+        }
+      } else if (iequals(st[0], "match") && st.size() >= 3 &&
+                 iequals(st[1], "tag")) {
+        std::uint32_t tag = 0;
+        if (parse_u32(st[2], tag)) clause.match_tag = tag;
+      } else if (iequals(st[0], "set") && st.size() >= 3 &&
+                 iequals(st[1], "tag")) {
+        std::uint32_t tag = 0;
+        if (parse_u32(st[2], tag)) clause.set_tag = tag;
+      } else if (iequals(st[0], "set") && st.size() >= 3 &&
+                 iequals(st[1], "metric")) {
+        std::uint32_t metric = 0;
+        if (parse_u32(st[2], metric)) clause.set_metric = metric;
+      } else if (iequals(st[0], "set") && st.size() >= 3 &&
+                 iequals(st[1], "local-preference")) {
+        std::uint32_t pref = 0;
+        if (parse_u32(st[2], pref)) clause.set_local_preference = pref;
+      } else {
+        diag(*sub, "unrecognized route-map attribute");
+      }
+    }
+    for (auto& rm : result_.config.route_maps) {
+      if (rm.name == name) {
+        rm.clauses.push_back(std::move(clause));
+        return;
+      }
+    }
+    RouteMap rm;
+    rm.name = name;
+    rm.clauses.push_back(std::move(clause));
+    result_.config.route_maps.push_back(std::move(rm));
+  }
+
+  // --- static routes ------------------------------------------------------
+
+  void parse_static_route(const Line& line) {
+    const auto& t = line.tokens;
+    if (t.size() < 5) {
+      diag(line, "truncated static route");
+      return;
+    }
+    const auto dest = ip::Ipv4Address::parse(t[2]);
+    const auto mask = ip::Netmask::parse(t[3]);
+    if (!dest || !mask) {
+      diag(line, "malformed static route");
+      return;
+    }
+    StaticRoute route;
+    route.destination = *dest;
+    route.mask = *mask;
+    if (const auto nh = ip::Ipv4Address::parse(t[4])) {
+      route.next_hop = *nh;
+    } else {
+      route.next_hop = std::string(t[4]);
+    }
+    if (t.size() >= 6) {
+      std::uint32_t ad = 0;
+      if (parse_u32(t[5], ad)) route.administrative_distance = ad;
+    }
+    result_.config.static_routes.push_back(std::move(route));
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+  ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult parse_config(std::string_view text, std::string_view source_file) {
+  Parser parser(text);
+  ParseResult result = parser.run(source_file);
+  result.config.line_count = count_command_lines(text);
+  if (result.config.hostname.empty()) {
+    result.config.hostname = std::string(source_file);
+  }
+  return result;
+}
+
+}  // namespace rd::config

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/ast.h"
+
+namespace rd::config {
+
+/// A note emitted while parsing: an unrecognized or malformed command.
+/// Parsing is lenient (the pipeline must survive real-world configs), so
+/// diagnostics never abort a parse; they record what was skipped.
+struct ParseDiagnostic {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  RouterConfig config;
+  std::vector<ParseDiagnostic> diagnostics;
+};
+
+/// Parse one router's configuration text into the typed model.
+ParseResult parse_config(std::string_view text,
+                         std::string_view source_file = {});
+
+}  // namespace rd::config

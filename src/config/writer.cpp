@@ -1,0 +1,299 @@
+#include "config/writer.h"
+
+#include <string>
+
+namespace rd::config {
+namespace {
+
+void write_interface(const InterfaceConfig& itf, std::string& out) {
+  out += "interface " + itf.name;
+  if (itf.point_to_point) out += " point-to-point";
+  out += '\n';
+  if (itf.description) out += " description " + *itf.description + '\n';
+  if (itf.bandwidth_kbps) {
+    out += " bandwidth " + std::to_string(*itf.bandwidth_kbps) + '\n';
+  }
+  if (itf.address) {
+    out += " ip address " + itf.address->address.to_string() + ' ' +
+           itf.address->mask.to_string() + '\n';
+  }
+  for (const auto& secondary : itf.secondary_addresses) {
+    out += " ip address " + secondary.address.to_string() + ' ' +
+           secondary.mask.to_string() + " secondary\n";
+  }
+  if (itf.access_group_in) {
+    out += " ip access-group " + *itf.access_group_in + " in\n";
+  }
+  if (itf.access_group_out) {
+    out += " ip access-group " + *itf.access_group_out + " out\n";
+  }
+  if (itf.ospf_cost) {
+    out += " ip ospf cost " + std::to_string(*itf.ospf_cost) + '\n';
+  }
+  if (itf.isis) out += " ip router isis\n";
+  for (const auto& extra : itf.extra_lines) out += ' ' + extra + '\n';
+  if (itf.shutdown) out += " shutdown\n";
+  out += "!\n";
+}
+
+void write_redistribute(const Redistribute& redist, std::string& out) {
+  out += " redistribute ";
+  switch (redist.source) {
+    case RedistributeSource::kConnected:
+      out += "connected";
+      break;
+    case RedistributeSource::kStatic:
+      out += "static";
+      break;
+    case RedistributeSource::kProtocol:
+      out += to_keyword(redist.protocol);
+      if (redist.process_id) out += ' ' + std::to_string(*redist.process_id);
+      break;
+  }
+  if (redist.metric) out += " metric " + std::to_string(*redist.metric);
+  if (redist.metric_type) {
+    out += " metric-type " + std::to_string(*redist.metric_type);
+  }
+  if (redist.subnets) out += " subnets";
+  if (redist.route_map) out += " route-map " + *redist.route_map;
+  out += '\n';
+}
+
+void write_network(const RouterStanza& stanza, const NetworkStatement& ns,
+                   std::string& out) {
+  out += " network " + ns.address.to_string();
+  if (stanza.protocol == RoutingProtocol::kBgp) {
+    out += " mask " + ns.mask.to_string();
+  } else {
+    out += ' ' + ns.mask.to_wildcard_string();
+    if (ns.area) out += " area " + std::to_string(*ns.area);
+  }
+  out += '\n';
+}
+
+void write_neighbor(const BgpNeighbor& nbr, std::string& out) {
+  const std::string head = " neighbor " + nbr.address.to_string() + ' ';
+  out += head + "remote-as " + std::to_string(nbr.remote_as) + '\n';
+  if (nbr.description) out += head + "description " + *nbr.description + '\n';
+  if (nbr.update_source) {
+    out += head + "update-source " + *nbr.update_source + '\n';
+  }
+  if (nbr.next_hop_self) out += head + "next-hop-self\n";
+  if (nbr.route_reflector_client) out += head + "route-reflector-client\n";
+  if (nbr.distribute_list_in) {
+    out += head + "distribute-list " + *nbr.distribute_list_in + " in\n";
+  }
+  if (nbr.distribute_list_out) {
+    out += head + "distribute-list " + *nbr.distribute_list_out + " out\n";
+  }
+  if (nbr.prefix_list_in) {
+    out += head + "prefix-list " + *nbr.prefix_list_in + " in\n";
+  }
+  if (nbr.prefix_list_out) {
+    out += head + "prefix-list " + *nbr.prefix_list_out + " out\n";
+  }
+  if (nbr.route_map_in) {
+    out += head + "route-map " + *nbr.route_map_in + " in\n";
+  }
+  if (nbr.route_map_out) {
+    out += head + "route-map " + *nbr.route_map_out + " out\n";
+  }
+}
+
+void write_router(const RouterStanza& stanza, std::string& out) {
+  out += "router ";
+  out += to_keyword(stanza.protocol);
+  if (stanza.process_id) out += ' ' + std::to_string(*stanza.process_id);
+  out += '\n';
+  if (stanza.router_id) {
+    out += " router-id " + stanza.router_id->to_string() + '\n';
+  }
+  for (const auto& redist : stanza.redistributes) {
+    write_redistribute(redist, out);
+  }
+  for (const auto& ns : stanza.networks) write_network(stanza, ns, out);
+  for (const auto& aggregate : stanza.aggregates) {
+    out += " aggregate-address " + aggregate.address.to_string() + ' ' +
+           aggregate.mask.to_string();
+    if (aggregate.summary_only) out += " summary-only";
+    out += '\n';
+  }
+  if (stanza.passive_default) out += " passive-interface default\n";
+  for (const auto& itf : stanza.passive_interfaces) {
+    out += " passive-interface " + itf + '\n';
+  }
+  for (const auto& nbr : stanza.neighbors) write_neighbor(nbr, out);
+  for (const auto& dl : stanza.distribute_lists) {
+    out += " distribute-list " + dl.acl + (dl.inbound ? " in" : " out");
+    if (dl.interface) out += ' ' + *dl.interface;
+    out += '\n';
+  }
+  if (stanza.default_metric) {
+    out += " default-metric " + std::to_string(*stanza.default_metric) + '\n';
+  }
+  if (stanza.protocol == RoutingProtocol::kBgp && !stanza.synchronization) {
+    out += " no synchronization\n";
+  }
+  out += "!\n";
+}
+
+std::string addr_spec(bool any, const ip::Prefix& prefix) {
+  if (any) return "any";
+  if (prefix.length() == 32) return "host " + prefix.network().to_string();
+  return prefix.network().to_string() + ' ' +
+         prefix.mask().to_wildcard_string();
+}
+
+void write_acl_rule_body(const AclRule& rule, std::string& out) {
+  out += rule.action == FilterAction::kPermit ? "permit" : "deny";
+  if (rule.extended) {
+    out += ' ' + rule.protocol;
+    out += ' ' + addr_spec(rule.any_source, rule.source);
+    out += ' ' + addr_spec(rule.any_destination, rule.destination);
+    if (rule.destination_port) {
+      out += " eq " + std::to_string(*rule.destination_port);
+    }
+  } else {
+    out += ' ' + addr_spec(rule.any_source, rule.source);
+  }
+  out += '\n';
+}
+
+void write_access_list(const AccessList& acl, std::string& out) {
+  if (acl.named) {
+    out += "ip access-list ";
+    out += acl.extended_block ? "extended " : "standard ";
+    out += acl.id + '\n';
+    for (const auto& rule : acl.rules) {
+      out += ' ';
+      write_acl_rule_body(rule, out);
+    }
+    out += "!\n";
+    return;
+  }
+  for (const auto& rule : acl.rules) {
+    out += "access-list " + acl.id + ' ';
+    write_acl_rule_body(rule, out);
+  }
+}
+
+void write_prefix_list(const PrefixList& pl, std::string& out) {
+  for (const auto& entry : pl.entries) {
+    out += "ip prefix-list " + pl.name + " seq " +
+           std::to_string(entry.sequence) +
+           (entry.action == FilterAction::kPermit ? " permit " : " deny ") +
+           entry.prefix.to_string();
+    if (entry.ge) out += " ge " + std::to_string(*entry.ge);
+    if (entry.le) out += " le " + std::to_string(*entry.le);
+    out += '\n';
+  }
+}
+
+void write_route_map(const RouteMap& rm, std::string& out) {
+  for (const auto& clause : rm.clauses) {
+    out += "route-map " + rm.name +
+           (clause.action == FilterAction::kPermit ? " permit " : " deny ") +
+           std::to_string(clause.sequence) + '\n';
+    if (!clause.match_ip_address_acls.empty()) {
+      out += " match ip address";
+      for (const auto& acl : clause.match_ip_address_acls) out += ' ' + acl;
+      out += '\n';
+    }
+    if (!clause.match_prefix_lists.empty()) {
+      out += " match ip address prefix-list";
+      for (const auto& pl : clause.match_prefix_lists) out += ' ' + pl;
+      out += '\n';
+    }
+    if (!clause.match_as_paths.empty()) {
+      out += " match as-path";
+      for (const auto& ap : clause.match_as_paths) out += ' ' + ap;
+      out += '\n';
+    }
+    if (clause.match_tag) {
+      out += " match tag " + std::to_string(*clause.match_tag) + '\n';
+    }
+    if (clause.set_tag) {
+      out += " set tag " + std::to_string(*clause.set_tag) + '\n';
+    }
+    if (clause.set_metric) {
+      out += " set metric " + std::to_string(*clause.set_metric) + '\n';
+    }
+    if (clause.set_local_preference) {
+      out += " set local-preference " +
+             std::to_string(*clause.set_local_preference) + '\n';
+    }
+  }
+}
+
+void write_static_route(const StaticRoute& route, std::string& out) {
+  out += "ip route " + route.destination.to_string() + ' ' +
+         route.mask.to_string() + ' ';
+  if (const auto* nh = std::get_if<ip::Ipv4Address>(&route.next_hop)) {
+    out += nh->to_string();
+  } else {
+    out += std::get<std::string>(route.next_hop);
+  }
+  if (route.administrative_distance) {
+    out += ' ' + std::to_string(*route.administrative_distance);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string write_config(const RouterConfig& config) {
+  std::string out;
+  out.reserve(4096);
+  // Standard IOS housekeeping preamble. The parser recognizes these as
+  // benign and skips them; they are part of what Figure 4's line counts
+  // measure in real configurations.
+  out +=
+      "version 12.2\n"
+      "service timestamps debug uptime\n"
+      "service timestamps log uptime\n"
+      "service password-encryption\n"
+      "!\n";
+  out += "hostname " + config.hostname + "\n!\n";
+  out +=
+      "boot system flash\n"
+      "enable secret 5 $1$ yJxd3pqT3BrJ\n"
+      "no ip domain-lookup\n"
+      "ip classless\n"
+      "ip subnet-zero\n"
+      "!\n";
+  for (const auto& itf : config.interfaces) write_interface(itf, out);
+  for (const auto& stanza : config.router_stanzas) write_router(stanza, out);
+  for (const auto& acl : config.access_lists) write_access_list(acl, out);
+  if (!config.access_lists.empty()) out += "!\n";
+  for (const auto& pl : config.prefix_lists) write_prefix_list(pl, out);
+  if (!config.prefix_lists.empty()) out += "!\n";
+  for (const auto& ap : config.as_path_lists) {
+    for (const auto& entry : ap.entries) {
+      out += "ip as-path access-list " + ap.id +
+             (entry.action == FilterAction::kPermit ? " permit " : " deny ") +
+             entry.regex + '\n';
+    }
+  }
+  if (!config.as_path_lists.empty()) out += "!\n";
+  for (const auto& rm : config.route_maps) write_route_map(rm, out);
+  if (!config.route_maps.empty()) out += "!\n";
+  for (const auto& route : config.static_routes) {
+    write_static_route(route, out);
+  }
+  out +=
+      "!\n"
+      "snmp-server community public RO\n"
+      "snmp-server location unknown\n"
+      "!\n"
+      "line con 0\n"
+      " exec-timeout 5 0\n"
+      "line aux 0\n"
+      "line vty 0 4\n"
+      " password 7 striVb2qkWdy\n"
+      " login\n"
+      "!\n";
+  out += "end\n";
+  return out;
+}
+
+}  // namespace rd::config

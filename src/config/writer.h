@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "config/ast.h"
+
+namespace rd::config {
+
+/// Serialize a router configuration back to IOS-dialect text.
+///
+/// write_config(parse_config(text)) is idempotent on the modeled subset:
+/// parsing the output yields an equal RouterConfig (round-trip property,
+/// covered by tests). The synthetic fleet generator emits all its
+/// configuration files through this writer so that the analysis pipeline
+/// consumes genuine configuration *text*, exactly as the paper's did.
+std::string write_config(const RouterConfig& config);
+
+}  // namespace rd::config

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/instances.h"
+#include "ip/ipv4.h"
+#include "model/network.h"
+
+namespace rd::graph {
+
+/// The hierarchical address-block tree recovered from a network's subnets
+/// (paper §3.4). Leaves are the subnets mentioned in the configurations;
+/// internal nodes are the joined blocks; roots are the network's address
+/// blocks ("AB0", "AB1", ... in the paper's Figure 12).
+struct AddressSpaceStructure {
+  struct Node {
+    ip::Prefix block;
+    std::int32_t parent = -1;           // -1 for roots
+    std::vector<std::uint32_t> children;
+    bool leaf = false;  // an original subnet (may also be a root)
+  };
+
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> roots;
+
+  /// Root blocks in ascending order — the recovered block plan.
+  std::vector<ip::Prefix> root_blocks() const;
+
+  /// Index of the root block containing an address, or -1.
+  std::int32_t root_containing(ip::Ipv4Address addr) const;
+};
+
+/// Run the paper's join rule over a set of subnets: repeatedly join two
+/// subnets whose network numbers differ in no more than the two low-order
+/// mask bits, provided at least half of the enlarged block is used; record
+/// the join tree.
+AddressSpaceStructure extract_address_structure(
+    std::vector<ip::Prefix> subnets);
+
+/// Convenience: extract the structure of a network's interface subnets.
+AddressSpaceStructure extract_address_structure(const model::Network& network);
+
+/// Associate each routing instance with the root address blocks whose space
+/// it touches (via covered interfaces for IGPs, via interface subnets of the
+/// hosting routers for BGP) — the paper's first use of the structure (§3.4).
+std::vector<std::vector<std::uint32_t>> blocks_per_instance(
+    const model::Network& network, const InstanceSet& instances,
+    const AddressSpaceStructure& structure);
+
+/// Missing-router heuristic (paper §3.4): an external-facing interface whose
+/// address sits inside a root block that is predominantly internal-facing
+/// very likely points at a router whose configuration is absent from the
+/// data set.
+struct MissingRouterSuspect {
+  model::InterfaceId interface = model::kInvalidId;
+  std::uint32_t root_block = 0;
+  /// Fraction of the root block's interfaces that are internal-facing.
+  double internal_fraction = 0.0;
+};
+
+std::vector<MissingRouterSuspect> detect_missing_routers(
+    const model::Network& network, const AddressSpaceStructure& structure,
+    double internal_fraction_threshold = 0.8);
+
+}  // namespace rd::graph

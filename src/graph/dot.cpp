@@ -1,0 +1,165 @@
+#include "graph/dot.h"
+
+#include <string>
+
+namespace rd::graph {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string process_label(const model::Network& network,
+                          const ProcessGraph::Vertex& v) {
+  switch (v.kind) {
+    case ProcessGraph::VertexKind::kLocalRib:
+      return network.routers()[v.router].hostname + " local RIB";
+    case ProcessGraph::VertexKind::kRouterRib:
+      return network.routers()[v.router].hostname + " router RIB";
+    case ProcessGraph::VertexKind::kProcessRib: {
+      const auto& p = network.processes()[v.process];
+      std::string label = network.routers()[v.router].hostname + " " +
+                          std::string(config::to_keyword(p.protocol));
+      if (p.process_id) label += " " + std::to_string(*p.process_id);
+      return label + " RIB";
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string instance_label(const InstanceSet& set, std::uint32_t index) {
+  const RoutingInstance& inst = set.instances[index];
+  std::string label = "instance " + std::to_string(index + 1) + ": " +
+                      std::string(config::to_keyword(inst.protocol));
+  if (inst.bgp_as) label += " AS " + std::to_string(*inst.bgp_as);
+  label += ", " + std::to_string(inst.router_count()) + " routers";
+  return label;
+}
+
+std::string to_dot(const model::Network& network, const ProcessGraph& graph) {
+  std::string out = "digraph process_graph {\n  rankdir=LR;\n";
+  for (std::uint32_t v = 0; v < graph.vertices().size(); ++v) {
+    const auto& vertex = graph.vertices()[v];
+    const char* shape =
+        vertex.kind == ProcessGraph::VertexKind::kRouterRib ? "box" : "ellipse";
+    out += "  v" + std::to_string(v) + " [shape=" + shape + ",label=" +
+           quoted(process_label(network, vertex)) + "];\n";
+  }
+  for (const auto& edge : graph.edges()) {
+    std::string attrs;
+    switch (edge.kind) {
+      case ProcessGraph::EdgeKind::kIgpAdjacency:
+        attrs = "dir=both,color=blue";
+        break;
+      case ProcessGraph::EdgeKind::kBgpSession:
+        attrs = "dir=both,color=darkgreen";
+        break;
+      case ProcessGraph::EdgeKind::kRedistribution:
+        attrs = "style=dashed,color=red";
+        break;
+      case ProcessGraph::EdgeKind::kSelection:
+        attrs = "color=gray";
+        break;
+      case ProcessGraph::EdgeKind::kExternal:
+        attrs = "style=dotted,label=\"external\"";
+        break;
+    }
+    if (edge.policy) {
+      attrs += ",label=" + quoted(*edge.policy);
+    }
+    out += "  v" + std::to_string(edge.from) + " -> v" +
+           std::to_string(edge.to) + " [" + attrs + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const model::Network& network,
+                   const InstanceGraph& graph) {
+  (void)network;
+  std::string out = "digraph instance_graph {\n  rankdir=LR;\n";
+  out += "  external [shape=doublecircle,label=\"External World\"];\n";
+  for (std::uint32_t i = 0; i < graph.set.instances.size(); ++i) {
+    out += "  i" + std::to_string(i) + " [shape=box,style=rounded,label=" +
+           quoted(instance_label(graph.set, i)) + "];\n";
+  }
+  for (const auto& edge : graph.edges) {
+    switch (edge.kind) {
+      case InstanceEdge::Kind::kRedistribution: {
+        std::string attrs = "color=red,style=dashed";
+        if (edge.policy) attrs += ",label=" + quoted(*edge.policy);
+        out += "  i" + std::to_string(edge.from) + " -> i" +
+               std::to_string(edge.to) + " [" + attrs + "];\n";
+        break;
+      }
+      case InstanceEdge::Kind::kEbgpSession:
+        out += "  i" + std::to_string(edge.from) + " -> i" +
+               std::to_string(edge.to) + " [dir=both,penwidth=2];\n";
+        break;
+      case InstanceEdge::Kind::kExternal:
+        out += "  external -> i" + std::to_string(edge.from) +
+               " [dir=both,penwidth=2,style=bold];\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const model::Network& network, const InstanceGraph& graph,
+                   const Pathway& pathway) {
+  std::string out = "digraph pathway {\n  rankdir=BT;\n";
+  out += "  rib [shape=box,label=" +
+         quoted(network.routers()[pathway.router].hostname + " Router RIB") +
+         "];\n";
+  if (pathway.reaches_external) {
+    out += "  external [shape=doublecircle,label=\"External World\"];\n";
+  }
+  for (const auto& node : pathway.nodes) {
+    out += "  i" + std::to_string(node.instance) +
+           " [shape=box,style=rounded,label=" +
+           quoted(instance_label(graph.set, node.instance)) + "];\n";
+    if (node.depth == 0) {
+      out += "  i" + std::to_string(node.instance) + " -> rib;\n";
+    }
+  }
+  for (const auto& edge : pathway.edges) {
+    std::string attrs = edge.kind == InstanceEdge::Kind::kRedistribution
+                            ? "color=red,style=dashed"
+                            : "penwidth=2";
+    if (edge.has_policy) attrs += ",label=\"policy\"";
+    out += "  i" + std::to_string(edge.source_instance) + " -> i" +
+           std::to_string(edge.sink_instance) + " [" + attrs + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const AddressSpaceStructure& structure) {
+  std::string out = "digraph address_space {\n";
+  for (std::uint32_t n = 0; n < structure.nodes.size(); ++n) {
+    const auto& node = structure.nodes[n];
+    const char* shape = node.leaf ? "ellipse" : "box";
+    out += "  n" + std::to_string(n) + " [shape=" + std::string(shape) +
+           ",label=" + quoted(node.block.to_string()) + "];\n";
+  }
+  for (std::uint32_t n = 0; n < structure.nodes.size(); ++n) {
+    for (const std::uint32_t child : structure.nodes[n].children) {
+      out += "  n" + std::to_string(n) + " -> n" + std::to_string(child) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rd::graph

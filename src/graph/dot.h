@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "graph/process_graph.h"
+
+namespace rd::graph {
+
+/// Graphviz DOT renderings of the paper's four abstractions, so the figures
+/// (Figures 5, 6, 7, 9, 10, 12) can be regenerated visually from any
+/// network. Labels use hostnames and protocol/AS identifiers only.
+std::string to_dot(const model::Network& network, const ProcessGraph& graph);
+
+std::string to_dot(const model::Network& network,
+                   const InstanceGraph& graph);
+
+std::string to_dot(const model::Network& network, const InstanceGraph& graph,
+                   const Pathway& pathway);
+
+std::string to_dot(const AddressSpaceStructure& structure);
+
+/// Human-readable one-line label of an instance, e.g. "instance 3: ospf, 12
+/// routers" or "instance 5: bgp AS 65001, 6 routers".
+std::string instance_label(const InstanceSet& set, std::uint32_t index);
+
+}  // namespace rd::graph

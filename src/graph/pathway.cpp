@@ -1,0 +1,142 @@
+#include "graph/pathway.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <utility>
+
+namespace rd::graph {
+
+Pathway compute_pathway(const model::Network& network,
+                        const InstanceGraph& graph, model::RouterId router) {
+  Pathway out;
+  out.router = router;
+
+  const std::size_t n = graph.set.instances.size();
+  // Reverse-flow adjacency: for each instance, which instances feed it.
+  struct Feed {
+    std::uint32_t source;
+    InstanceEdge::Kind kind;
+    bool has_policy;
+  };
+  std::vector<std::vector<Feed>> feeders(n);
+  std::vector<bool> fed_externally(n, false);
+  for (const auto& edge : graph.edges) {
+    switch (edge.kind) {
+      case InstanceEdge::Kind::kRedistribution:
+        feeders[edge.to].push_back(
+            {edge.from, edge.kind, edge.policy.has_value()});
+        break;
+      case InstanceEdge::Kind::kEbgpSession:
+        // Route exchange is bidirectional over a session.
+        feeders[edge.to].push_back(
+            {edge.from, edge.kind, edge.policy.has_value()});
+        feeders[edge.from].push_back(
+            {edge.to, edge.kind, edge.policy.has_value()});
+        break;
+      case InstanceEdge::Kind::kExternal:
+        fed_externally[edge.from] = true;
+        break;
+    }
+  }
+
+  // Seed: instances with a process on this router (they feed the router RIB
+  // via route selection).
+  std::vector<std::uint32_t> depth(n, model::kInvalidId);
+  std::queue<std::uint32_t> frontier;
+  for (const model::ProcessId p : network.router_processes(router)) {
+    const std::uint32_t inst = graph.set.instance_of[p];
+    if (depth[inst] == model::kInvalidId) {
+      depth[inst] = 0;
+      frontier.push(inst);
+      out.nodes.push_back({inst, 0});
+    }
+  }
+
+  while (!frontier.empty()) {
+    const std::uint32_t inst = frontier.front();
+    frontier.pop();
+    if (fed_externally[inst]) out.reaches_external = true;
+    for (const Feed& feed : feeders[inst]) {
+      out.edges.push_back({feed.source, inst, feed.kind, feed.has_policy});
+      if (depth[feed.source] == model::kInvalidId) {
+        depth[feed.source] = depth[inst] + 1;
+        out.max_depth = std::max(out.max_depth, depth[feed.source]);
+        out.nodes.push_back({feed.source, depth[feed.source]});
+        frontier.push(feed.source);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PathwayPolicy> locate_pathway_policies(
+    const model::Network& network, const InstanceGraph& graph,
+    const Pathway& pathway) {
+  std::vector<PathwayPolicy> out;
+
+  // Pathway edges can repeat a (source, sink) pair; deduplicate.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& edge : pathway.edges) {
+    pairs.insert({edge.source_instance, edge.sink_instance});
+  }
+
+  // Redistribution policies: route-maps on redistribute commands moving
+  // routes between the two instances, plus outbound stanza distribute-lists
+  // on the importing stanza.
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = graph.set.instance_of[redist.source_process];
+    const std::uint32_t to = graph.set.instance_of[redist.target_process];
+    if (!pairs.contains({from, to})) continue;
+    if (redist.route_map) {
+      out.push_back({PathwayPolicy::Kind::kRedistributionRouteMap, from, to,
+                     redist.router, *redist.route_map, false});
+    }
+    const auto& target = network.processes()[redist.target_process];
+    const auto& stanza = network.routers()[redist.router]
+                             .router_stanzas[target.stanza_index];
+    for (const auto& dl : stanza.distribute_lists) {
+      out.push_back({PathwayPolicy::Kind::kStanzaDistributeList, from, to,
+                     redist.router, dl.acl, dl.inbound});
+    }
+  }
+
+  // Session policies on EBGP edges between instances of the pathway.
+  for (const auto& session : network.bgp_sessions()) {
+    if (session.external() || !session.ebgp()) continue;
+    const std::uint32_t local = graph.set.instance_of[session.local_process];
+    const std::uint32_t remote =
+        graph.set.instance_of[session.remote_process];
+    if (!pairs.contains({remote, local}) && !pairs.contains({local, remote})) {
+      continue;
+    }
+    const auto& process = network.processes()[session.local_process];
+    const auto& nbr = network.routers()[process.router]
+                          .router_stanzas[process.stanza_index]
+                          .neighbors[session.neighbor_index];
+    auto add = [&](PathwayPolicy::Kind kind, const std::string& name,
+                   bool inbound) {
+      // Route flow for an inbound policy is remote -> local.
+      out.push_back({kind, inbound ? remote : local, inbound ? local : remote,
+                     process.router, name, inbound});
+    };
+    if (nbr.distribute_list_in) {
+      add(PathwayPolicy::Kind::kSessionDistributeList, *nbr.distribute_list_in,
+          true);
+    }
+    if (nbr.distribute_list_out) {
+      add(PathwayPolicy::Kind::kSessionDistributeList,
+          *nbr.distribute_list_out, false);
+    }
+    if (nbr.route_map_in) {
+      add(PathwayPolicy::Kind::kSessionRouteMap, *nbr.route_map_in, true);
+    }
+    if (nbr.route_map_out) {
+      add(PathwayPolicy::Kind::kSessionRouteMap, *nbr.route_map_out, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace rd::graph

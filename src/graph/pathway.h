@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/instances.h"
+
+namespace rd::graph {
+
+/// The route pathway graph for one router (paper §3.3): a breadth-first
+/// search backwards along route flow from the router's RIB through the
+/// instance graph, showing where every route the router uses can come from.
+struct Pathway {
+  struct Node {
+    std::uint32_t instance = 0;  // index into the InstanceGraph's set
+    std::uint32_t depth = 0;     // 0 = feeds the router RIB directly
+  };
+  struct Edge {
+    /// Route flow direction: routes move from `source` into `sink`.
+    std::uint32_t source_instance = 0;
+    std::uint32_t sink_instance = 0;
+    InstanceEdge::Kind kind = InstanceEdge::Kind::kRedistribution;
+    bool has_policy = false;
+  };
+
+  model::RouterId router = model::kInvalidId;
+  std::vector<Node> nodes;  // in BFS order
+  std::vector<Edge> edges;
+  /// True when some pathway reaches the external world — the router can
+  /// learn routes originated outside the network.
+  bool reaches_external = false;
+  /// Instances whose routes reach this router via the external world only
+  /// exist outside the model; this counts the layers of protocols and
+  /// redistributions external routes traverse (net5's "at least 3 layers").
+  std::uint32_t max_depth = 0;
+};
+
+Pathway compute_pathway(const model::Network& network,
+                        const InstanceGraph& graph, model::RouterId router);
+
+/// One policy located along a route pathway (paper §3.3: pathways "can be
+/// used to locate all the routing policies that affect the routes seen by
+/// any particular router, and pinpoint where the policies are applied").
+struct PathwayPolicy {
+  enum class Kind : std::uint8_t {
+    kRedistributionRouteMap,   // route-map on a redistribute command
+    kSessionDistributeList,    // per-neighbor distribute-list
+    kSessionRouteMap,          // per-neighbor route-map
+    kStanzaDistributeList,     // stanza-level distribute-list
+  };
+  Kind kind = Kind::kRedistributionRouteMap;
+  std::uint32_t source_instance = 0;  // route flow: source -> sink
+  std::uint32_t sink_instance = 0;
+  model::RouterId router = model::kInvalidId;  // where it is applied
+  std::string name;                            // ACL id or route-map name
+  bool inbound = false;  // direction for session/stanza policies
+};
+
+/// Enumerate every policy applied on the edges of a router's pathway, with
+/// the router where each is configured.
+std::vector<PathwayPolicy> locate_pathway_policies(
+    const model::Network& network, const InstanceGraph& graph,
+    const Pathway& pathway);
+
+}  // namespace rd::graph

@@ -1,0 +1,95 @@
+#include "graph/process_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace rd::graph {
+
+ProcessGraph ProcessGraph::build(const model::Network& network) {
+  ProcessGraph g;
+
+  // Vertices: every process RIB, then per-router local and router RIBs.
+  g.process_vertex_.resize(network.processes().size());
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    g.process_vertex_[p] = static_cast<std::uint32_t>(g.vertices_.size());
+    g.vertices_.push_back(
+        {VertexKind::kProcessRib, network.processes()[p].router, p});
+  }
+  g.local_vertex_.resize(network.router_count());
+  g.router_vertex_.resize(network.router_count());
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    g.local_vertex_[r] = static_cast<std::uint32_t>(g.vertices_.size());
+    g.vertices_.push_back({VertexKind::kLocalRib, r, model::kInvalidId});
+    g.router_vertex_[r] = static_cast<std::uint32_t>(g.vertices_.size());
+    g.vertices_.push_back({VertexKind::kRouterRib, r, model::kInvalidId});
+  }
+
+  // Selection edges: every process RIB and the local RIB feed the router RIB.
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    const model::RouterId r = network.processes()[p].router;
+    g.edges_.push_back({EdgeKind::kSelection, g.process_vertex_[p],
+                        g.router_vertex_[r], false, std::nullopt,
+                        model::kInvalidId});
+  }
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    g.edges_.push_back({EdgeKind::kSelection, g.local_vertex_[r],
+                        g.router_vertex_[r], false, std::nullopt,
+                        model::kInvalidId});
+  }
+
+  // IGP adjacencies.
+  for (const auto& adj : network.igp_adjacencies()) {
+    g.edges_.push_back({EdgeKind::kIgpAdjacency,
+                        g.process_vertex_[adj.process_a],
+                        g.process_vertex_[adj.process_b], true, std::nullopt,
+                        adj.link});
+  }
+  // Potential adjacencies to routers outside the data set.
+  for (const auto& ext : network.external_igp_adjacencies()) {
+    g.edges_.push_back({EdgeKind::kExternal, g.process_vertex_[ext.process],
+                        g.process_vertex_[ext.process], false, std::nullopt,
+                        network.interfaces()[ext.interface].link});
+  }
+
+  // BGP sessions; a session configured on both endpoints yields two
+  // BgpSession records, collapsed here into one edge per process pair.
+  std::set<std::pair<model::ProcessId, model::ProcessId>> seen_sessions;
+  for (const auto& session : network.bgp_sessions()) {
+    if (session.external()) {
+      g.edges_.push_back({EdgeKind::kExternal,
+                          g.process_vertex_[session.local_process],
+                          g.process_vertex_[session.local_process], false,
+                          std::nullopt, model::kInvalidId});
+      continue;
+    }
+    const auto key = std::minmax(session.local_process, session.remote_process);
+    if (!seen_sessions.insert(key).second) continue;
+    g.edges_.push_back({EdgeKind::kBgpSession, g.process_vertex_[key.first],
+                        g.process_vertex_[key.second], true, std::nullopt,
+                        model::kInvalidId});
+  }
+
+  // Redistribution edges.
+  for (const auto& redist : network.redistribution_edges()) {
+    const std::uint32_t from =
+        redist.source_kind == model::RibKind::kLocal
+            ? g.local_vertex_[redist.router]
+            : g.process_vertex_[redist.source_process];
+    g.edges_.push_back({EdgeKind::kRedistribution, from,
+                        g.process_vertex_[redist.target_process], false,
+                        redist.route_map, model::kInvalidId});
+  }
+
+  // Incidence lists.
+  g.incident_.resize(g.vertices_.size());
+  for (std::uint32_t e = 0; e < g.edges_.size(); ++e) {
+    g.incident_[g.edges_[e].from].push_back(e);
+    if (g.edges_[e].to != g.edges_[e].from) {
+      g.incident_[g.edges_[e].to].push_back(e);
+    }
+  }
+  return g;
+}
+
+}  // namespace rd::graph

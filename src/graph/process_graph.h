@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace rd::graph {
+
+/// The routing process graph (paper §3.1): vertices are RIBs — one per
+/// routing process, plus each router's local RIB (connected + static routes)
+/// and router RIB (the forwarding table) — and edges are every channel over
+/// which routes can move between RIBs.
+class ProcessGraph {
+ public:
+  enum class VertexKind : std::uint8_t {
+    kProcessRib,  // one per routing process
+    kLocalRib,    // one per router: connected subnets + static routes
+    kRouterRib,   // one per router: the forwarding RIB
+  };
+
+  struct Vertex {
+    VertexKind kind = VertexKind::kProcessRib;
+    model::RouterId router = model::kInvalidId;
+    model::ProcessId process = model::kInvalidId;  // kProcessRib only
+  };
+
+  enum class EdgeKind : std::uint8_t {
+    kIgpAdjacency,    // same-protocol processes across a link (bidirectional)
+    kBgpSession,      // configured BGP session (bidirectional)
+    kRedistribution,  // within one router: source RIB -> target process RIB
+    kSelection,       // process/local RIB -> router RIB (route selection)
+    kExternal,        // adjacency or session to a router outside the data set
+  };
+
+  struct Edge {
+    EdgeKind kind = EdgeKind::kIgpAdjacency;
+    std::uint32_t from = 0;  // vertex index; for bidirectional kinds the
+    std::uint32_t to = 0;    //   (from, to) order is not meaningful
+    bool bidirectional = false;
+    /// Policy annotation (route-map or distribute-list name), when present.
+    std::optional<std::string> policy;
+    model::LinkId link = model::kInvalidId;  // kIgpAdjacency only
+  };
+
+  static ProcessGraph build(const model::Network& network);
+
+  const std::vector<Vertex>& vertices() const noexcept { return vertices_; }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Vertex index of a process RIB / a router's local RIB / router RIB.
+  std::uint32_t process_vertex(model::ProcessId p) const {
+    return process_vertex_[p];
+  }
+  std::uint32_t local_rib_vertex(model::RouterId r) const {
+    return local_vertex_[r];
+  }
+  std::uint32_t router_rib_vertex(model::RouterId r) const {
+    return router_vertex_[r];
+  }
+
+  /// Edges incident to a vertex (indices into edges()).
+  const std::vector<std::uint32_t>& incident_edges(std::uint32_t v) const {
+    return incident_[v];
+  }
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> process_vertex_;
+  std::vector<std::uint32_t> local_vertex_;
+  std::vector<std::uint32_t> router_vertex_;
+  std::vector<std::vector<std::uint32_t>> incident_;
+};
+
+}  // namespace rd::graph

@@ -1,0 +1,138 @@
+#include "ip/aggregate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rd::ip {
+
+namespace {
+
+// Lowest common ancestor of two prefixes in the binary prefix tree.
+Prefix lowest_common_ancestor(const Prefix& a, const Prefix& b) noexcept {
+  const std::uint32_t xa = a.network().value();
+  const std::uint32_t xb = b.network().value();
+  int length = std::min(a.length(), b.length());
+  const std::uint32_t diff = xa ^ xb;
+  if (diff != 0) {
+    // Highest differing bit bounds the common length from above.
+    int highest = 31;
+    while (((diff >> highest) & 1u) == 0) --highest;
+    length = std::min(length, 31 - highest);
+  }
+  return Prefix(a.network(), length);
+}
+
+bool prefix_less(const Prefix& a, const Prefix& b) noexcept {
+  if (a.network() != b.network()) return a.network() < b.network();
+  return a.length() < b.length();
+}
+
+}  // namespace
+
+std::vector<Prefix> remove_contained(std::vector<Prefix> prefixes) {
+  std::sort(prefixes.begin(), prefixes.end(), prefix_less);
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  std::vector<Prefix> out;
+  out.reserve(prefixes.size());
+  for (const Prefix& p : prefixes) {
+    // Sorted order guarantees a container, if any, appears earlier, and the
+    // most recent survivor is the only candidate container.
+    if (!out.empty() && out.back().contains(p)) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Prefix> aggregate_exact(std::vector<Prefix> prefixes) {
+  std::vector<Prefix> current = remove_contained(std::move(prefixes));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Prefix> next;
+    next.reserve(current.size());
+    std::size_t i = 0;
+    while (i < current.size()) {
+      if (i + 1 < current.size() && current[i].length() > 0 &&
+          current[i].length() == current[i + 1].length() &&
+          current[i].buddy() == current[i + 1]) {
+        next.push_back(current[i].parent());
+        i += 2;
+        changed = true;
+      } else {
+        next.push_back(current[i]);
+        ++i;
+      }
+    }
+    current = remove_contained(std::move(next));
+  }
+  return current;
+}
+
+std::vector<Prefix> cover_half_used(std::vector<Prefix> prefixes) {
+  std::vector<Prefix> current = remove_contained(std::move(prefixes));
+  // Prefix sums over the sorted, disjoint set let us compute "addresses used
+  // inside a candidate block" with two binary searches.
+  while (current.size() > 1) {
+    std::vector<std::uint64_t> cum(current.size() + 1, 0);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      cum[i + 1] = cum[i] + current[i].size();
+    }
+    auto used_inside = [&](const Prefix& block) {
+      // All current prefixes are disjoint; those inside `block` form a
+      // contiguous run in sorted order.
+      const auto lo = std::lower_bound(
+          current.begin(), current.end(), block.network(),
+          [](const Prefix& p, Ipv4Address a) { return p.network() < a; });
+      auto hi = lo;
+      while (hi != current.end() && block.contains(*hi)) ++hi;
+      const auto lo_i = static_cast<std::size_t>(lo - current.begin());
+      const auto hi_i = static_cast<std::size_t>(hi - current.begin());
+      return cum[hi_i] - cum[lo_i];
+    };
+
+    // Only adjacent pairs in sorted order can realize a minimal join; pick
+    // the join with the longest (smallest) resulting block so the tree is
+    // built bottom-up, mirroring the paper's incremental expansion.
+    int best_length = -1;
+    Prefix best_block;
+    for (std::size_t i = 0; i + 1 < current.size(); ++i) {
+      const Prefix lca = lowest_common_ancestor(current[i], current[i + 1]);
+      // "Differ in no more than the least two bits": the joined block may
+      // expand each member by at most two mask bits.
+      const int shorter = std::min(current[i].length(), current[i + 1].length());
+      if (shorter - lca.length() > 2) continue;
+      if (lca.length() == 0) continue;
+      if (used_inside(lca) * 2 < lca.size()) continue;  // < half used
+      if (lca.length() > best_length) {
+        best_length = lca.length();
+        best_block = lca;
+      }
+    }
+    if (best_length < 0) break;
+
+    std::vector<Prefix> next;
+    next.reserve(current.size());
+    bool inserted = false;
+    for (const Prefix& p : current) {
+      if (best_block.contains(p)) {
+        if (!inserted) {
+          next.push_back(best_block);
+          inserted = true;
+        }
+      } else {
+        next.push_back(p);
+      }
+    }
+    current = remove_contained(std::move(next));
+  }
+  return current;
+}
+
+std::uint64_t total_addresses(const std::vector<Prefix>& prefixes) {
+  std::uint64_t total = 0;
+  for (const Prefix& p : prefixes) total += p.size();
+  return total;
+}
+
+}  // namespace rd::ip

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "ip/ipv4.h"
+
+namespace rd::ip {
+
+/// Exact CIDR aggregation: repeatedly merge buddy prefixes into their parent
+/// and drop prefixes contained in others. The result covers exactly the same
+/// address set as the input, with the minimum number of prefixes.
+std::vector<Prefix> aggregate_exact(std::vector<Prefix> prefixes);
+
+/// The paper's address-structure join rule (§3.4): repeatedly join two
+/// subnets whose network numbers differ in no more than the two low-order
+/// bits of the shorter mask — i.e. expand a prefix as long as at least half
+/// of the enlarged block is "used" by input subnets. Returns the roots of the
+/// resulting cover (deduplicated, contained prefixes removed).
+///
+/// Unlike aggregate_exact, the result may cover more address space than the
+/// input; that slack is what reveals a network's intended block plan.
+std::vector<Prefix> cover_half_used(std::vector<Prefix> prefixes);
+
+/// Remove duplicates and prefixes wholly contained in another input prefix.
+std::vector<Prefix> remove_contained(std::vector<Prefix> prefixes);
+
+/// Total address count covered by a set of non-overlapping prefixes.
+std::uint64_t total_addresses(const std::vector<Prefix>& prefixes);
+
+}  // namespace rd::ip

@@ -1,0 +1,104 @@
+#include "ip/ipv4.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace rd::ip {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    std::uint32_t octet = 0;
+    if (!util::parse_u32(part, octet) || octet > 255 || part.size() > 3) {
+      return std::nullopt;
+    }
+    // Reject leading zeros like "01" which are ambiguous in some parsers.
+    if (part.size() > 1 && part[0] == '0') return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+namespace {
+
+// Returns the prefix length if bits is a contiguous run of ones from the MSB
+// (a valid netmask), otherwise -1.
+int contiguous_mask_length(std::uint32_t bits) noexcept {
+  if (bits == 0) return 0;
+  int length = 0;
+  std::uint32_t probe = 0x80000000u;
+  while (probe != 0 && (bits & probe) != 0) {
+    ++length;
+    probe >>= 1;
+  }
+  // All remaining bits must be zero.
+  const std::uint32_t expect =
+      length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  return bits == expect ? length : -1;
+}
+
+}  // namespace
+
+std::optional<Netmask> Netmask::parse(std::string_view text) noexcept {
+  const auto addr = Ipv4Address::parse(text);
+  if (!addr) return std::nullopt;
+  const int length = contiguous_mask_length(addr->value());
+  if (length < 0) return std::nullopt;
+  return from_length(length);
+}
+
+std::optional<Netmask> Netmask::parse_wildcard(
+    std::string_view text) noexcept {
+  const auto addr = Ipv4Address::parse(text);
+  if (!addr) return std::nullopt;
+  const int length = contiguous_mask_length(~addr->value());
+  if (length < 0) return std::nullopt;
+  return from_length(length);
+}
+
+std::string Netmask::to_string() const {
+  return Ipv4Address(bits()).to_string();
+}
+
+std::string Netmask::to_wildcard_string() const {
+  return Ipv4Address(wildcard_bits()).to_string();
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  std::uint32_t length = 0;
+  if (!addr || !util::parse_u32(text.substr(slash + 1), length) ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<int>(length));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+bool is_rfc1918(Ipv4Address addr) noexcept {
+  static constexpr Prefix k10{Ipv4Address(10, 0, 0, 0), 8};
+  static constexpr Prefix k172{Ipv4Address(172, 16, 0, 0), 12};
+  static constexpr Prefix k192{Ipv4Address(192, 168, 0, 0), 16};
+  return k10.contains(addr) || k172.contains(addr) || k192.contains(addr);
+}
+
+bool is_private_asn(std::uint32_t asn) noexcept {
+  return asn >= 64512 && asn <= 65534;
+}
+
+}  // namespace rd::ip

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rd::ip {
+
+/// An IPv4 address as a host-order 32-bit value with value semantics.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept
+      : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parse dotted-quad notation ("66.251.75.144"); nullopt on any error.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept =
+      default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A netmask such as 255.255.255.252. Only contiguous masks are valid.
+class Netmask {
+ public:
+  constexpr Netmask() noexcept = default;
+
+  /// Construct from a prefix length in [0, 32].
+  static constexpr Netmask from_length(int length) noexcept {
+    Netmask m;
+    m.length_ = length < 0 ? 0 : (length > 32 ? 32 : length);
+    return m;
+  }
+
+  /// Parse a dotted-quad netmask; rejects non-contiguous masks.
+  static std::optional<Netmask> parse(std::string_view text) noexcept;
+
+  /// Interpret a dotted quad as a Cisco wildcard mask (0.0.0.3 == /30).
+  /// Rejects non-contiguous wildcards.
+  static std::optional<Netmask> parse_wildcard(std::string_view text) noexcept;
+
+  constexpr int length() const noexcept { return length_; }
+
+  constexpr std::uint32_t bits() const noexcept {
+    return length_ == 0 ? 0u : (~std::uint32_t{0} << (32 - length_));
+  }
+  constexpr std::uint32_t wildcard_bits() const noexcept { return ~bits(); }
+
+  std::string to_string() const;           // "255.255.255.252"
+  std::string to_wildcard_string() const;  // "0.0.0.3"
+
+  friend constexpr auto operator<=>(Netmask, Netmask) noexcept = default;
+
+ private:
+  int length_ = 0;
+};
+
+/// An IPv4 prefix: network address + mask length. The network address is
+/// always stored canonicalized (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  constexpr Prefix(Ipv4Address addr, int length) noexcept
+      : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
+        network_(addr.value() & Netmask::from_length(length_).bits()) {}
+
+  /// Parse "10.0.0.0/8"; nullopt on any error.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  /// The prefix containing a single address.
+  static constexpr Prefix host(Ipv4Address addr) noexcept {
+    return Prefix(addr, 32);
+  }
+
+  constexpr Ipv4Address network() const noexcept { return network_; }
+  constexpr int length() const noexcept { return length_; }
+  constexpr Netmask mask() const noexcept {
+    return Netmask::from_length(length_);
+  }
+
+  constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask().bits()) == network_.value();
+  }
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+  constexpr bool overlaps(const Prefix& other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// Number of addresses covered (2^(32-length)), as a 64-bit count.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Broadcast / last address in the prefix.
+  constexpr Ipv4Address last_address() const noexcept {
+    return Ipv4Address(network_.value() | mask().wildcard_bits());
+  }
+
+  /// The enclosing prefix one bit shorter; identity at length 0.
+  constexpr Prefix parent() const noexcept {
+    return length_ == 0 ? *this : Prefix(network_, length_ - 1);
+  }
+
+  /// The sibling prefix sharing this prefix's parent; identity at length 0.
+  constexpr Prefix buddy() const noexcept {
+    if (length_ == 0) return *this;
+    const std::uint32_t flip = std::uint32_t{1} << (32 - length_);
+    return Prefix(Ipv4Address(network_.value() ^ flip), length_);
+  }
+
+  std::string to_string() const;  // "10.0.0.0/8"
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  int length_ = 0;
+  Ipv4Address network_;
+};
+
+/// Classification used throughout the analyses: RFC1918 private space.
+bool is_rfc1918(Ipv4Address addr) noexcept;
+
+/// Private AS number range (64512-65534, RFC 1930 / the range the paper's
+/// anonymizer leaves unhashed).
+bool is_private_asn(std::uint32_t asn) noexcept;
+
+}  // namespace rd::ip
+
+template <>
+struct std::hash<rd::ip::Ipv4Address> {
+  std::size_t operator()(rd::ip::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<rd::ip::Prefix> {
+  std::size_t operator()(const rd::ip::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 6) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ip/ipv4.h"
+
+namespace rd::ip {
+
+/// A binary (Patricia-style, one bit per level) trie keyed by IPv4 prefix.
+/// Supports exact insert/lookup and longest-prefix match; used by the
+/// analyses for address-block attribution and route-filter evaluation.
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Insert or overwrite the value at an exact prefix.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Exact-match lookup.
+  const Value* find(const Prefix& prefix) const noexcept {
+    const Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = child_of(node, bit_at(prefix.network(), depth));
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address; nullptr when nothing covers it.
+  const Value* longest_match(Ipv4Address addr) const noexcept {
+    const Node* node = &root_;
+    const Value* best = node->value ? &*node->value : nullptr;
+    for (int depth = 0; depth < 32; ++depth) {
+      node = child_of(node, bit_at(addr, depth));
+      if (node == nullptr) break;
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest prefix (with its value) covering `addr`.
+  std::optional<std::pair<Prefix, const Value*>> longest_match_prefix(
+      Ipv4Address addr) const {
+    const Node* node = &root_;
+    std::optional<std::pair<Prefix, const Value*>> best;
+    if (node->value) best = {Prefix(addr, 0), &*node->value};
+    for (int depth = 0; depth < 32; ++depth) {
+      node = child_of(node, bit_at(addr, depth));
+      if (node == nullptr) break;
+      if (node->value) best = {Prefix(addr, depth + 1), &*node->value};
+    }
+    return best;
+  }
+
+  /// Visit the value of every stored prefix that contains `addr`, from the
+  /// shortest to the longest match.
+  void for_each_match(Ipv4Address addr,
+                      const std::function<void(const Value&)>& fn) const {
+    const Node* node = &root_;
+    if (node->value) fn(*node->value);
+    for (int depth = 0; depth < 32; ++depth) {
+      node = child_of(node, bit_at(addr, depth));
+      if (node == nullptr) return;
+      if (node->value) fn(*node->value);
+    }
+  }
+
+  /// True if any stored prefix contains (or equals) `prefix`'s network.
+  bool covers(const Prefix& prefix) const noexcept {
+    const Node* node = &root_;
+    if (node->value) return true;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = child_of(node, bit_at(prefix.network(), depth));
+      if (node == nullptr) return false;
+      if (node->value) return true;
+    }
+    return false;
+  }
+
+  /// Visit every (prefix, value) pair in lexicographic prefix order.
+  void for_each(
+      const std::function<void(const Prefix&, const Value&)>& fn) const {
+    walk(&root_, Prefix(Ipv4Address(0u), 0), fn);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  static bool bit_at(Ipv4Address addr, int depth) noexcept {
+    return (addr.value() >> (31 - depth)) & 1u;
+  }
+
+  static const Node* child_of(const Node* node, bool bit) noexcept {
+    return node->child[bit ? 1 : 0].get();
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      auto& slot = node->child[bit_at(prefix.network(), depth) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+    }
+    return node;
+  }
+
+  void walk(const Node* node, Prefix at,
+            const std::function<void(const Prefix&, const Value&)>& fn) const {
+    if (node->value) fn(at, *node->value);
+    if (at.length() == 32) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      const Node* child = node->child[bit].get();
+      if (child == nullptr) continue;
+      const std::uint32_t flip =
+          bit == 1 ? (std::uint32_t{1} << (31 - at.length())) : 0u;
+      walk(child,
+           Prefix(Ipv4Address(at.network().value() | flip), at.length() + 1),
+           fn);
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rd::ip

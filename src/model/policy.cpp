@@ -1,0 +1,118 @@
+#include "model/policy.h"
+
+namespace rd::model {
+
+namespace {
+
+bool source_spec_matches(const config::AclRule& rule, ip::Ipv4Address addr) {
+  return rule.any_source || rule.source.contains(addr);
+}
+
+bool destination_spec_matches(const config::AclRule& rule,
+                              ip::Ipv4Address addr) {
+  return rule.any_destination || rule.destination.contains(addr);
+}
+
+}  // namespace
+
+bool acl_permits_route(const config::AccessList& acl, const Route& route) {
+  for (const auto& rule : acl.rules) {
+    if (source_spec_matches(rule, route.prefix.network())) {
+      return rule.action == config::FilterAction::kPermit;
+    }
+  }
+  return false;  // implicit deny
+}
+
+bool prefix_list_permits_route(const config::PrefixList& prefix_list,
+                               const Route& route) {
+  for (const auto& entry : prefix_list.entries) {
+    if (!entry.prefix.contains(route.prefix)) continue;
+    const int length = route.prefix.length();
+    if (entry.ge || entry.le) {
+      if (entry.ge && length < *entry.ge) continue;
+      if (entry.le && length > *entry.le) continue;
+      if (!entry.ge && length < entry.prefix.length()) continue;
+    } else if (length != entry.prefix.length()) {
+      continue;  // exact-length match without ge/le
+    }
+    return entry.action == config::FilterAction::kPermit;
+  }
+  return false;  // implicit deny
+}
+
+bool acl_permits_packet(const config::AccessList& acl, ip::Ipv4Address source,
+                        ip::Ipv4Address destination,
+                        std::optional<std::uint16_t> dst_port,
+                        std::string_view protocol) {
+  for (const auto& rule : acl.rules) {
+    if (!source_spec_matches(rule, source)) continue;
+    if (rule.extended) {
+      if (!protocol.empty() && rule.protocol != "ip" &&
+          rule.protocol != protocol) {
+        continue;
+      }
+      if (!destination_spec_matches(rule, destination)) continue;
+      if (rule.destination_port && dst_port &&
+          *rule.destination_port != *dst_port) {
+        continue;
+      }
+      if (rule.destination_port && !dst_port) continue;
+    }
+    return rule.action == config::FilterAction::kPermit;
+  }
+  return false;  // implicit deny
+}
+
+PolicyVerdict route_map_evaluate(const config::RouteMap& route_map,
+                                 const config::RouterConfig& config,
+                                 const Route& route) {
+  for (const auto& clause : route_map.clauses) {
+    // All match conditions of a clause must hold (AND across kinds; OR
+    // across the ACLs of one "match ip address" line, as in IOS).
+    if (clause.match_tag && route.tag != clause.match_tag) continue;
+    if (!clause.match_ip_address_acls.empty()) {
+      bool any = false;
+      for (const auto& acl_id : clause.match_ip_address_acls) {
+        const auto* acl = config.find_access_list(acl_id);
+        if (acl != nullptr && acl_permits_route(*acl, route)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+    if (!clause.match_prefix_lists.empty()) {
+      bool any = false;
+      for (const auto& pl_name : clause.match_prefix_lists) {
+        const auto* pl = config.find_prefix_list(pl_name);
+        if (pl != nullptr && prefix_list_permits_route(*pl, route)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+    // "match as-path": the static model carries no AS-path attribute, so
+    // the condition is treated as satisfied — a permissive upper bound on
+    // reachability, consistent with the paper's avoidance of route-
+    // selection modeling. The §6.1 policy-style analysis counts these
+    // matches statically instead.
+    if (clause.action == config::FilterAction::kDeny) {
+      return {false, route};
+    }
+    Route out = route;
+    if (clause.set_tag) out.tag = clause.set_tag;
+    return {true, out};
+  }
+  return {false, route};  // off the end: implicit deny
+}
+
+bool distribute_list_permits(const config::RouterConfig& config,
+                             std::string_view acl_id, const Route& route) {
+  const auto* acl = config.find_access_list(acl_id);
+  if (acl == nullptr) return true;
+  return acl_permits_route(*acl, route);
+}
+
+}  // namespace rd::model

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "config/ast.h"
+#include "ip/ipv4.h"
+
+namespace rd::model {
+
+/// A route as modeled by the paper (§2.3): an IP subnet plus the attributes
+/// the analyses need. `tag` carries the IGP route tag used by designs like
+/// net5's (§6.1) to steer route selection without BGP attributes.
+struct Route {
+  ip::Prefix prefix;
+  std::optional<std::uint32_t> tag;
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// Result of pushing a route through a policy.
+struct PolicyVerdict {
+  bool permitted = false;
+  Route route;  // possibly rewritten (set tag / metric)
+};
+
+/// Evaluate a standard/extended ACL as a *route* filter (distribute-list
+/// semantics): a clause matches when its source spec covers the route's
+/// network address. First matching clause wins; no match is an implicit deny.
+bool acl_permits_route(const config::AccessList& acl, const Route& route);
+
+/// Evaluate an ip prefix-list over a route: an entry matches when its
+/// prefix contains the route's prefix and the route's length satisfies the
+/// ge/le bounds (with no bounds, the lengths must match exactly, as in
+/// IOS). First match wins; implicit deny at the end.
+bool prefix_list_permits_route(const config::PrefixList& prefix_list,
+                               const Route& route);
+
+/// Evaluate an ACL as a *packet* filter: match on source/destination
+/// addresses, protocol, and port (extended rules). Implicit deny at the
+/// end. An empty `protocol` is a wildcard packet that matches any rule's
+/// protocol; otherwise an extended rule matches when its protocol is "ip"
+/// or equals the packet's.
+bool acl_permits_packet(const config::AccessList& acl, ip::Ipv4Address source,
+                        ip::Ipv4Address destination,
+                        std::optional<std::uint16_t> dst_port = {},
+                        std::string_view protocol = {});
+
+/// Evaluate a route-map over a route. Clauses run in sequence order; the
+/// first whose match conditions hold decides (permit applies set-clauses,
+/// deny drops). No matching clause is an implicit deny, as in IOS
+/// redistribution contexts.
+PolicyVerdict route_map_evaluate(const config::RouteMap& route_map,
+                                 const config::RouterConfig& config,
+                                 const Route& route);
+
+/// Apply an optional distribute-list ACL (by id, resolved in `config`) to a
+/// route; absent or unresolvable lists permit everything, mirroring IOS
+/// behaviour for references to undefined ACLs.
+bool distribute_list_permits(const config::RouterConfig& config,
+                             std::string_view acl_id, const Route& route);
+
+}  // namespace rd::model

@@ -1,0 +1,1431 @@
+#include "synth/archetypes.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <string>
+
+#include "synth/builder.h"
+#include "util/rng.h"
+
+namespace rd::synth {
+
+namespace {
+
+using config::FilterAction;
+using config::RoutingProtocol;
+using ip::Ipv4Address;
+using ip::Prefix;
+using util::Rng;
+
+constexpr std::uint16_t kWellKnownPorts[] = {23,  25,   53,   80,   110,
+                                             135, 139,  161,  443,  445,
+                                             1433, 1434, 5060, 8080};
+
+/// Standard address layout every synthetic network uses: a structured plan
+/// (infrastructure, LANs, spoke-local space, external-facing /30s) so that
+/// the §3.4 address-structure analysis has real structure to recover. The
+/// external-facing block is deliberately distinct from internal blocks, as
+/// the paper observes many networks do.
+struct Pools {
+  AddressPlanner infra{Prefix(Ipv4Address(10, 0, 0, 0), 11)};     // p2p+loops
+  AddressPlanner lans{Prefix(Ipv4Address(10, 64, 0, 0), 10)};     // site LANs
+  AddressPlanner local{Prefix(Ipv4Address(10, 128, 0, 0), 10)};   // spoke-only
+  AddressPlanner ext{Prefix(Ipv4Address(66, 192, 0, 0), 12)};     // edge /30s
+  AddressPlanner customer{Prefix(Ipv4Address(128, 0, 0, 0), 3)};  // learned
+  AddressPlanner hosts{Prefix(Ipv4Address(192, 0, 0, 0), 10)};    // ACL noise
+};
+
+std::string next_acl_id(const config::RouterConfig& cfg) {
+  return std::to_string(100 + cfg.access_lists.size());
+}
+
+/// Create a packet filter with a realistic clause mix and apply it inbound
+/// on an interface. Returns the rule count.
+std::size_t make_packet_filter(NetworkBuilder& b, std::uint32_t r,
+                               const std::string& iface, Rng& rng,
+                               std::uint32_t rules_min,
+                               std::uint32_t rules_max, Pools& pools) {
+  // A quarter of the filters use the named-ACL syntax, as real configs mix
+  // both forms.
+  const bool named = rng.chance(0.25);
+  const std::string id =
+      named ? "FILTER-" + std::to_string(b.router(r).access_lists.size())
+            : next_acl_id(b.router(r));
+  const auto rules = static_cast<std::uint32_t>(
+      rng.range(rules_min, std::max(rules_min, rules_max)));
+  for (std::uint32_t i = 0; i + 1 < rules; ++i) {
+    switch (rng.below(4)) {
+      case 0: {  // block a worm/abuse port
+        const auto port =
+            kWellKnownPorts[rng.below(std::size(kWellKnownPorts))];
+        b.add_extended_acl_rule(r, id, FilterAction::kDeny,
+                                rng.chance(0.5) ? "udp" : "tcp", Prefix{},
+                                true, Prefix{}, true, port);
+        break;
+      }
+      case 1: {  // allow a specific server
+        const Prefix server = pools.hosts.allocate(32);
+        const auto port =
+            kWellKnownPorts[rng.below(std::size(kWellKnownPorts))];
+        b.add_extended_acl_rule(r, id, FilterAction::kPermit, "tcp", Prefix{},
+                                true, server, false, port);
+        break;
+      }
+      case 2:  // disable a protocol (e.g. PIM) from internal hosts
+        b.add_extended_acl_rule(r, id, FilterAction::kDeny,
+                                rng.chance(0.3) ? "pim" : "icmp", Prefix{},
+                                true, Prefix{}, true);
+        break;
+      default: {  // deny a subnet outright (the paper's line-30 example)
+        const Prefix subnet = pools.hosts.allocate(28);
+        b.add_acl_rule(r, id, FilterAction::kDeny, subnet);
+        break;
+      }
+    }
+  }
+  b.add_acl_rule(r, id, FilterAction::kPermit, Prefix{}, /*any=*/true);
+  if (named) {
+    for (auto& acl : b.router(r).access_lists) {
+      if (acl.id == id) {
+        acl.named = true;
+        acl.extended_block = true;
+      }
+    }
+  }
+  b.apply_filter(r, iface, id, /*inbound=*/true);
+  return rules;
+}
+
+/// How much housekeeping noise a router config carries. Calibrates the
+/// Figure 4 line-count distribution (the paper's net5 averages ~270 lines).
+struct NoiseProfile {
+  std::uint32_t statics_min = 1;
+  std::uint32_t statics_max = 7;
+  std::uint32_t mgmt_acl_min = 8;
+  std::uint32_t mgmt_acl_max = 45;
+};
+
+/// Management noise that bulks configs toward the paper's line counts:
+/// interface descriptions, static host routes toward a management station,
+/// an (unapplied) management ACL, and the occasional ISDN-backup or tunnel
+/// interface that populates Table 3's long tail. BRI/Dialer interfaces are
+/// left unnumbered — the paper found 528 unnumbered interfaces.
+void add_mgmt_noise(NetworkBuilder& b, std::uint32_t r, Rng& rng,
+                    Ipv4Address next_hop, Pools& pools,
+                    const NoiseProfile& profile = {}) {
+  auto& cfg = b.router(r);
+  for (auto& itf : cfg.interfaces) {
+    if (!itf.description && rng.chance(0.7)) {
+      itf.description = "circuit-" + std::to_string(rng.below(100000));
+    }
+    if (!itf.bandwidth_kbps && rng.chance(0.4)) {
+      itf.bandwidth_kbps = 64 * (1u << rng.below(6));
+    }
+    // Frame-relay encapsulation details on serial circuits.
+    if (itf.extra_lines.empty() && rng.chance(0.6) &&
+        itf.name.starts_with("Serial")) {
+      itf.extra_lines = {
+          "encapsulation frame-relay",
+          "frame-relay interface-dlci " + std::to_string(16 + rng.below(900)),
+      };
+    }
+    // Dual-subnet LANs via secondary addressing.
+    if (itf.address && itf.address->mask.length() == 24 && rng.chance(0.15)) {
+      const Prefix extra = pools.local.allocate(24);
+      itf.secondary_addresses.push_back(
+          {Ipv4Address(extra.network().value() + 1),
+           ip::Netmask::from_length(24)});
+    }
+  }
+  // High-fanout aggregation routers (frame-relay hubs) carry per-PVC map
+  // statements and LMI tuning — the long tail of the paper's Figure 4.
+  if (cfg.interfaces.size() > 30) {
+    for (auto& itf : cfg.interfaces) {
+      if (!itf.name.starts_with("Serial") || !itf.address) continue;
+      if (itf.extra_lines.empty()) {
+        itf.extra_lines.push_back("encapsulation frame-relay");
+      }
+      const auto peer =
+          ip::Ipv4Address(itf.address->address.value() ^ 3u);
+      itf.extra_lines.push_back("frame-relay map ip " + peer.to_string() +
+                                ' ' + std::to_string(16 + rng.below(900)) +
+                                " broadcast");
+      itf.extra_lines.push_back("frame-relay lmi-type ansi");
+    }
+  }
+
+  const auto statics = static_cast<std::uint32_t>(
+      rng.range(profile.statics_min, profile.statics_max));
+  for (std::uint32_t i = 0; i < statics; ++i) {
+    config::StaticRoute route;
+    const Prefix dest = pools.hosts.allocate(32);
+    route.destination = dest.network();
+    route.mask = ip::Netmask::from_length(32);
+    route.next_hop = next_hop;
+    cfg.static_routes.push_back(route);
+  }
+  // Management ACL: defined but not applied to any interface (so it counts
+  // toward config size and defined rules without skewing Figure 11).
+  if (profile.mgmt_acl_max > 0) {
+    const auto mgmt_rules = static_cast<std::uint32_t>(
+        rng.range(profile.mgmt_acl_min, profile.mgmt_acl_max));
+    for (std::uint32_t i = 0; i < mgmt_rules; ++i) {
+      b.add_acl_rule(r, "99", FilterAction::kPermit,
+                     pools.hosts.allocate(32));
+    }
+  }
+  // ISDN backup pair; mostly numbered, occasionally unnumbered (the paper
+  // found 528 unnumbered interfaces of 96,487).
+  if (rng.chance(0.10)) {
+    // Dial-backup addresses are /32s (negotiated peers), so they create
+    // neither links nor spurious external-facing evidence.
+    const bool numbered = rng.chance(0.7);
+    config::InterfaceConfig bri;
+    bri.name = "BRI0";
+    bri.extra_lines = {"encapsulation ppp", "dialer pool-member 1"};
+    if (numbered) {
+      bri.address = {pools.local.allocate(32).network(),
+                     ip::Netmask::from_length(32)};
+    }
+    cfg.interfaces.push_back(std::move(bri));
+    config::InterfaceConfig dialer;
+    dialer.name = "Dialer0";
+    dialer.extra_lines = {"encapsulation ppp", "dialer pool 1"};
+    if (numbered) {
+      dialer.address = {pools.local.allocate(32).network(),
+                        ip::Netmask::from_length(32)};
+    }
+    cfg.interfaces.push_back(std::move(dialer));
+  }
+  if (rng.chance(0.04)) {
+    config::InterfaceConfig tun;
+    tun.name = "Tunnel0";
+    tun.address = {pools.local.allocate(30).network(),
+                   ip::Netmask::from_length(30)};
+    cfg.interfaces.push_back(std::move(tun));
+  }
+  if (rng.chance(0.02)) {
+    config::InterfaceConfig extra;
+    const char* rare[] = {"Async", "Port", "Channel", "Virtual",
+                          "Fddi",  "CBR",  "Multilink"};
+    extra.name = std::string(rare[rng.below(std::size(rare))]) + "1";
+    cfg.interfaces.push_back(std::move(extra));
+  }
+}
+
+/// An inbound route filter for a BGP session: permit a customer's blocks.
+std::string make_route_filter(NetworkBuilder& b, std::uint32_t r,
+                              const std::vector<Prefix>& permitted) {
+  const std::string id = next_acl_id(b.router(r));
+  for (const Prefix& p : permitted) {
+    b.add_acl_rule(r, id, FilterAction::kPermit, p);
+  }
+  return id;  // implicit deny tail
+}
+
+config::BgpNeighbor& add_neighbor(config::RouterStanza& stanza,
+                                  Ipv4Address address,
+                                  std::uint32_t remote_as) {
+  config::BgpNeighbor nbr;
+  nbr.address = address;
+  nbr.remote_as = remote_as;
+  stanza.neighbors.push_back(nbr);
+  return stanza.neighbors.back();
+}
+
+void add_redistribute(config::RouterStanza& stanza,
+                      config::RedistributeSource source,
+                      RoutingProtocol protocol, std::uint32_t process_id,
+                      const std::optional<std::string>& route_map,
+                      bool subnets = true) {
+  config::Redistribute redist;
+  redist.source = source;
+  redist.protocol = protocol;
+  if (source == config::RedistributeSource::kProtocol) {
+    redist.process_id = process_id;
+  }
+  redist.route_map = route_map;
+  redist.subnets = subnets;
+  redist.metric = 100;
+  stanza.redistributes.push_back(std::move(redist));
+}
+
+/// A route-map with one permit clause matching an ACL over `blocks`,
+/// optionally setting a tag (net5's tagged redistribution, §6.1).
+std::string make_block_route_map(NetworkBuilder& b, std::uint32_t r,
+                                 const std::vector<Prefix>& blocks,
+                                 std::optional<std::uint32_t> set_tag,
+                                 const std::string& name) {
+  const std::string acl = make_route_filter(b, r, blocks);
+  config::RouteMap rm;
+  rm.name = name;
+  config::RouteMapClause clause;
+  clause.action = FilterAction::kPermit;
+  clause.sequence = 10;
+  clause.match_ip_address_acls.push_back(acl);
+  clause.set_tag = set_tag;
+  rm.clauses.push_back(std::move(clause));
+  b.router(r).route_maps.push_back(std::move(rm));
+  return name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Backbone
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_backbone(const BackboneParams& params) {
+  NetworkBuilder b(params.name);
+  Rng rng(params.seed);
+  Pools pools;
+
+  const std::uint32_t n_core = params.core_routers;
+  std::vector<std::uint32_t> core;
+  core.reserve(n_core);
+  for (std::uint32_t i = 0; i < n_core; ++i) core.push_back(b.add_router());
+  std::vector<Ipv4Address> core_loopback(n_core);
+  for (std::uint32_t i = 0; i < n_core; ++i) {
+    core_loopback[i] = b.add_loopback(core[i], pools.infra);
+  }
+
+  // Core ring plus chords (a typical POP backbone skeleton).
+  for (std::uint32_t i = 0; i < n_core; ++i) {
+    b.connect_p2p(core[i], core[(i + 1) % n_core], pools.infra,
+                  params.core_hw);
+  }
+  for (std::uint32_t i = 0; i + n_core / 2 < n_core; i += 3) {
+    b.connect_p2p(core[i], core[i + n_core / 2], pools.infra, params.core_hw);
+  }
+
+  // Access routers dual-homed into the core.
+  std::vector<std::uint32_t> access;
+  access.reserve(params.access_routers);
+  for (std::uint32_t i = 0; i < params.access_routers; ++i) {
+    const std::uint32_t r = b.add_router();
+    access.push_back(r);
+    b.add_loopback(r, pools.infra);
+    // The HSSI/ATM backbone alternates its aggregation technology; the POS
+    // backbones are uniform.
+    const std::string& agg = (params.core_hw == "Hssi" && i % 2 == 0)
+                                 ? params.core_hw
+                                 : params.aggregation_hw;
+    b.connect_p2p(r, core[i % n_core], pools.infra, agg);
+    b.connect_p2p(r, core[(i + 1) % n_core], pools.infra, agg);
+    // A management LAN or two.
+    const auto n_lans = static_cast<std::uint32_t>(rng.range(1, 3));
+    for (std::uint32_t l = 0; l < n_lans; ++l) {
+      b.add_lan(r, pools.lans.allocate(24),
+                rng.chance(0.35) ? "GigabitEthernet" : "FastEthernet");
+    }
+  }
+
+  // One OSPF instance network-wide covering the infrastructure and LANs.
+  auto all_routers = core;
+  all_routers.insert(all_routers.end(), access.begin(), access.end());
+  for (const std::uint32_t r : all_routers) {
+    auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, 1);
+    NetworkBuilder::cover_subnet(ospf, pools.infra.pool());
+    NetworkBuilder::cover_subnet(ospf, pools.lans.pool());
+  }
+
+  // BGP everywhere: core as a route-reflector full mesh, access as clients.
+  for (std::uint32_t i = 0; i < n_core; ++i) {
+    auto& bgp = b.routing_stanza(core[i], RoutingProtocol::kBgp,
+                                 params.as_number);
+    bgp.router_id = core_loopback[i];
+    for (std::uint32_t j = 0; j < n_core; ++j) {
+      if (j == i) continue;
+      auto& nbr = add_neighbor(bgp, core_loopback[j], params.as_number);
+      nbr.update_source = "Loopback0";
+    }
+    config::NetworkStatement ns;
+    ns.address = pools.lans.pool().network();
+    ns.mask = ip::Netmask::from_length(pools.lans.pool().length());
+    bgp.networks.push_back(ns);
+  }
+  for (std::uint32_t i = 0; i < access.size(); ++i) {
+    auto& bgp = b.routing_stanza(access[i], RoutingProtocol::kBgp,
+                                 params.as_number);
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      auto& nbr =
+          add_neighbor(bgp, core_loopback[(i + k) % n_core], params.as_number);
+      nbr.update_source = "Loopback0";
+      nbr.next_hop_self = false;
+    }
+    // The reflector side.
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      auto& core_bgp = b.routing_stanza(core[(i + k) % n_core],
+                                        RoutingProtocol::kBgp,
+                                        params.as_number);
+      // Access loopback is the first /32 interface of the router.
+      for (const auto& itf : b.router(access[i]).interfaces) {
+        if (itf.address && itf.address->mask.length() == 32) {
+          auto& nbr = add_neighbor(core_bgp, itf.address->address,
+                                   params.as_number);
+          nbr.route_reflector_client = true;
+          nbr.update_source = "Loopback0";
+          break;
+        }
+      }
+    }
+  }
+
+  // External EBGP peers spread across the access layer. External routes stay
+  // in BGP — the hallmark of the backbone design (never redistributed into
+  // the IGP).
+  for (std::uint32_t s = 0; s < params.external_peers; ++s) {
+    const std::uint32_t r = access[s % access.size()];
+    const auto att = b.attach_external(r, pools.ext, "Serial");
+    auto& bgp =
+        b.routing_stanza(r, RoutingProtocol::kBgp, params.as_number);
+    const auto peer_as = static_cast<std::uint32_t>(rng.range(1000, 30000));
+    auto& nbr = add_neighbor(bgp, att.neighbor_address, peer_as);
+    // Customer blocks permitted in; our space announced out. Half the
+    // sessions use prefix-lists, half classic distribute-lists — both
+    // idioms are common in production backbones.
+    std::vector<Prefix> blocks;
+    const auto n_blocks = static_cast<std::uint32_t>(rng.range(1, 3));
+    for (std::uint32_t k = 0; k < n_blocks; ++k) {
+      blocks.push_back(
+          pools.customer.allocate(static_cast<int>(rng.range(16, 24))));
+    }
+    if (rng.chance(0.5)) {
+      const std::string pl_name = "PL-CUST-" + std::to_string(s);
+      for (const Prefix& block : blocks) {
+        b.add_prefix_list_entry(r, pl_name, FilterAction::kPermit, block,
+                                std::nullopt,
+                                block.length() < 24 ? std::optional<int>(24)
+                                                    : std::nullopt);
+      }
+      nbr.prefix_list_in = pl_name;
+    } else {
+      nbr.distribute_list_in = make_route_filter(b, r, blocks);
+    }
+    // Outbound: either a plain address filter or an AS-path-based
+    // no-transit policy — the §6.1 observation that backbones must lean on
+    // BGP attributes where enterprises can stay address-based.
+    if (rng.chance(0.5)) {
+      nbr.distribute_list_out =
+          make_route_filter(b, r, {pools.lans.pool(), pools.customer.pool()});
+    } else {
+      auto& cfg = b.router(r);
+      const std::string ap_id = std::to_string(cfg.as_path_lists.size() + 1);
+      config::AsPathAccessList ap;
+      ap.id = ap_id;
+      // Announce locally-originated routes and customer routes only.
+      ap.entries.push_back({FilterAction::kPermit, "^$"});
+      ap.entries.push_back(
+          {FilterAction::kPermit,
+           "^" + std::to_string(rng.range(64512, 64999)) + "$"});
+      cfg.as_path_lists.push_back(std::move(ap));
+      config::RouteMap rm;
+      rm.name = "RM-NO-TRANSIT-" + std::to_string(s);
+      config::RouteMapClause clause;
+      clause.action = FilterAction::kPermit;
+      clause.sequence = 10;
+      clause.match_as_paths.push_back(ap_id);
+      rm.clauses.push_back(std::move(clause));
+      cfg.route_maps.push_back(std::move(rm));
+      nbr.route_map_out = "RM-NO-TRANSIT-" + std::to_string(s);
+    }
+    if (rng.chance(params.filters.edge_filter_rate)) {
+      make_packet_filter(b, r, att.interface, rng,
+                         params.filters.edge_rules_min,
+                         params.filters.edge_rules_max, pools);
+    }
+  }
+
+  // Sparse internal filtering (backbones filter at the edge).
+  for (const std::uint32_t r : access) {
+    if (!rng.chance(params.filters.internal_filter_rate)) continue;
+    for (const auto& itf : b.router(r).interfaces) {
+      if (itf.address && itf.address->mask.length() == 24) {
+        make_packet_filter(b, r, itf.name, rng,
+                           params.filters.internal_rules_min,
+                           params.filters.internal_rules_max, pools);
+        break;
+      }
+    }
+  }
+
+  for (const std::uint32_t r : all_routers) {
+    add_mgmt_noise(b, r, rng, core_loopback[0], pools);
+  }
+
+  return {params.name, "backbone", b.take()};
+}
+
+// ---------------------------------------------------------------------------
+// Textbook enterprise
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_textbook_enterprise(const TextbookEnterpriseParams& params) {
+  NetworkBuilder b(params.name);
+  Rng rng(params.seed);
+  Pools pools;
+
+  const std::uint32_t n = std::max<std::uint32_t>(params.routers, 3);
+  const std::uint32_t n_border = std::min(params.border_routers, 2u);
+  const std::uint32_t instances = std::max(1u, std::min(2u, params.igp_instances));
+
+  std::vector<std::uint32_t> routers;
+  routers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) routers.push_back(b.add_router());
+
+  // Border router(s) first, then a distribution tier, then spokes.
+  const std::uint32_t n_dist = std::max(1u, n / 10);
+  auto tier_of = [&](std::uint32_t i) {
+    if (i < n_border) return 0;            // border
+    if (i < n_border + n_dist) return 1;   // distribution
+    return 2;                              // spoke
+  };
+
+  // Split routers across IGP instances (second instance gets the top half
+  // of the spoke space when requested).
+  auto igp_id = [&](std::uint32_t i) -> std::uint32_t {
+    if (instances == 1 || tier_of(i) == 0) return 1;
+    return (i % instances) + 1;
+  };
+
+  // Two WAN pools keep the instances disjoint at the link level. Within
+  // each instance, the design is multi-area OSPF: the border/distribution
+  // core sits in area 0 and each distribution router's subtree is its own
+  // area (the paper's Figure 2 configlet shows exactly such multi-area
+  // configurations).
+  AddressPlanner wan1(Prefix(Ipv4Address(10, 1, 0, 0), 16));
+  AddressPlanner wan2(Prefix(Ipv4Address(10, 2, 0, 0), 16));
+  auto wan_for = [&](std::uint32_t id) -> AddressPlanner& {
+    return id == 1 ? wan1 : wan2;
+  };
+  std::map<std::uint32_t, AddressPlanner> area0_pool;   // per instance id
+  std::map<std::uint32_t, AddressPlanner> dist_pool;    // per dist index
+  auto area0_of = [&](std::uint32_t id) -> AddressPlanner& {
+    auto it = area0_pool.find(id);
+    if (it == area0_pool.end()) {
+      it = area0_pool.emplace(id, AddressPlanner(wan_for(id).allocate(20)))
+               .first;
+    }
+    return it->second;
+  };
+  auto pool_of_dist = [&](std::uint32_t dist_index) -> AddressPlanner& {
+    auto it = dist_pool.find(dist_index);
+    if (it == dist_pool.end()) {
+      const std::uint32_t id = igp_id(dist_index);
+      it = dist_pool.emplace(dist_index,
+                             AddressPlanner(wan_for(id).allocate(22)))
+               .first;
+    }
+    return it->second;
+  };
+  auto area_of_dist = [&](std::uint32_t dist_index) -> std::uint32_t {
+    return dist_index - n_border + 1;  // areas 1..n_dist
+  };
+
+  // Wire the tree: distribution to border (area 0 links), spokes to
+  // distribution (per-area links); remember each spoke's area.
+  std::vector<std::uint32_t> area_of(n, 0);
+  for (std::uint32_t i = n_border; i < n; ++i) {
+    const std::uint32_t id = igp_id(i);
+    if (tier_of(i) == 1) {
+      b.connect_p2p(routers[i], routers[i % n_border], area0_of(id),
+                    "Serial");
+      continue;
+    }
+    // Pick a distribution router in the same instance when possible.
+    std::uint32_t dist_index = n_border + (i % n_dist);
+    if (instances == 2 && igp_id(dist_index) != id) {
+      dist_index = n_border + ((i + 1) % n_dist);
+    }
+    b.connect_p2p(routers[i], routers[dist_index], pool_of_dist(dist_index),
+                  "Serial");
+    area_of[i] = area_of_dist(dist_index);
+    // LANs on spokes.
+    const auto n_lans = static_cast<std::uint32_t>(rng.range(1, 3));
+    for (std::uint32_t l = 0; l < n_lans; ++l) {
+      const char* hw = rng.chance(0.15) ? "TokenRing"
+                       : rng.chance(0.3) ? "Ethernet"
+                                         : "FastEthernet";
+      const std::string name = b.add_lan(routers[i],
+                                         pools.lans.allocate(24), hw);
+      if (rng.chance(params.filters.internal_filter_rate)) {
+        make_packet_filter(b, routers[i], name, rng,
+                           params.filters.internal_rules_min,
+                           params.filters.internal_rules_max, pools);
+      }
+    }
+  }
+
+  // IGP coverage. Border: area 0. Distribution: area 0 plus its own area
+  // (making it an ABR). Spokes: their area only.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t id = igp_id(i);
+    auto& ospf = b.routing_stanza(routers[i], RoutingProtocol::kOspf, id);
+    switch (tier_of(i)) {
+      case 0:
+        NetworkBuilder::cover_subnet(ospf, area0_of(1).pool(), 0);
+        break;
+      case 1:
+        NetworkBuilder::cover_subnet(ospf, area0_of(id).pool(), 0);
+        NetworkBuilder::cover_subnet(ospf, pool_of_dist(i).pool(),
+                                     area_of_dist(i));
+        break;
+      default:
+        NetworkBuilder::cover_subnet(
+            ospf, pool_of_dist(n_border + ((area_of[i] - 1))).pool(),
+            area_of[i]);
+        NetworkBuilder::cover_subnet(ospf, pools.lans.pool(), area_of[i]);
+        break;
+    }
+  }
+  if (instances == 2) {
+    for (std::uint32_t i = 0; i < n_border; ++i) {
+      auto& ospf2 = b.routing_stanza(routers[i], RoutingProtocol::kOspf, 2);
+      NetworkBuilder::cover_subnet(ospf2, area0_of(2).pool(), 0);
+    }
+  }
+
+  // Border BGP: EBGP to the provider; summarize externally-learned routes
+  // into the IGP via a route-map (the §3.1 enterprise design).
+  for (std::uint32_t i = 0; i < n_border; ++i) {
+    const std::uint32_t r = routers[i];
+    const auto att = b.attach_external(r, pools.ext, "Serial");
+    auto& bgp = b.routing_stanza(r, RoutingProtocol::kBgp, params.bgp_as);
+    const auto provider_as =
+        static_cast<std::uint32_t>(rng.range(2000, 20000));
+    auto& nbr = add_neighbor(bgp, att.neighbor_address, provider_as);
+    std::vector<Prefix> learned;
+    const auto n_blocks = static_cast<std::uint32_t>(rng.range(2, 4));
+    for (std::uint32_t k = 0; k < n_blocks; ++k) {
+      learned.push_back(
+          pools.customer.allocate(static_cast<int>(rng.range(14, 20))));
+    }
+    nbr.distribute_list_in = make_route_filter(b, r, learned);
+    nbr.distribute_list_out = make_route_filter(
+        b, r, {pools.lans.pool(), wan1.pool(), wan2.pool()});
+    if (rng.chance(params.filters.edge_filter_rate)) {
+      make_packet_filter(b, r, att.interface, rng,
+                         params.filters.edge_rules_min,
+                         params.filters.edge_rules_max, pools);
+    }
+    // Inject key summary routes into every local IGP instance.
+    const std::string rm = make_block_route_map(
+        b, r, learned, /*set_tag=*/200, "RM-INJECT-" + std::to_string(i));
+    for (std::uint32_t id = 1; id <= instances; ++id) {
+      auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, id);
+      add_redistribute(ospf, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kBgp, params.bgp_as, rm);
+      add_redistribute(ospf, config::RedistributeSource::kConnected,
+                       RoutingProtocol::kOspf, 0, std::nullopt);
+    }
+    // And announce the IGP space via BGP, summarized into the site block
+    // (§3.1: "craft a small number of key routes that summarize").
+    add_redistribute(bgp, config::RedistributeSource::kProtocol,
+                     RoutingProtocol::kOspf, 1,
+                     make_block_route_map(b, r,
+                                          {pools.lans.pool(), wan1.pool()},
+                                          std::nullopt,
+                                          "RM-EXPORT-" + std::to_string(i)));
+    config::AggregateAddress summary;
+    summary.address = pools.lans.pool().network();
+    summary.mask = ip::Netmask::from_length(pools.lans.pool().length());
+    summary.summary_only = true;
+    bgp.aggregates.push_back(summary);
+  }
+  // Dual-border sites need an IBGP session between the borders, or the two
+  // halves of the AS cannot exchange externally-learned routes (the
+  // analysis/ibgp.h signaling-hole check flags exactly that).
+  if (n_border == 2) {
+    const auto link =
+        b.connect_p2p(routers[0], routers[1], area0_of(1), "FastEthernet");
+    auto& bgp0 = b.routing_stanza(routers[0], RoutingProtocol::kBgp,
+                                  params.bgp_as);
+    add_neighbor(bgp0, link.address_b, params.bgp_as);
+    auto& bgp1 = b.routing_stanza(routers[1], RoutingProtocol::kBgp,
+                                  params.bgp_as);
+    add_neighbor(bgp1, link.address_a, params.bgp_as);
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    add_mgmt_noise(b, routers[i], rng, Ipv4Address(10, 1, 0, 1), pools);
+  }
+
+  return {params.name, "textbook-enterprise", b.take()};
+}
+
+// ---------------------------------------------------------------------------
+// Tier-2 ISP: backbone BGP structure + staging IGP instances
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_tier2_isp(const Tier2Params& params) {
+  NetworkBuilder b(params.name);
+  Rng rng(params.seed);
+  Pools pools;
+
+  std::vector<std::uint32_t> core;
+  std::vector<Ipv4Address> core_loopback;
+  for (std::uint32_t i = 0; i < params.core_routers; ++i) {
+    const std::uint32_t r = b.add_router();
+    core.push_back(r);
+    core_loopback.push_back(b.add_loopback(r, pools.infra));
+  }
+  for (std::uint32_t i = 0; i < core.size(); ++i) {
+    b.connect_p2p(core[i], core[(i + 1) % core.size()], pools.infra, "POS");
+  }
+
+  std::vector<std::uint32_t> edge;
+  for (std::uint32_t i = 0; i < params.edge_routers; ++i) {
+    const std::uint32_t r = b.add_router();
+    edge.push_back(r);
+    b.add_loopback(r, pools.infra);
+    b.connect_p2p(r, core[i % core.size()], pools.infra, "ATM");
+  }
+
+  // Infrastructure OSPF everywhere.
+  std::vector<std::uint32_t> all_routers = core;
+  all_routers.insert(all_routers.end(), edge.begin(), edge.end());
+  for (const std::uint32_t r : all_routers) {
+    auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, 1);
+    NetworkBuilder::cover_subnet(ospf, pools.infra.pool());
+  }
+
+  // BGP with core reflectors.
+  for (std::uint32_t i = 0; i < core.size(); ++i) {
+    auto& bgp =
+        b.routing_stanza(core[i], RoutingProtocol::kBgp, params.as_number);
+    for (std::uint32_t j = 0; j < core.size(); ++j) {
+      if (j != i) {
+        add_neighbor(bgp, core_loopback[j], params.as_number).update_source =
+            "Loopback0";
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < edge.size(); ++i) {
+    auto& bgp =
+        b.routing_stanza(edge[i], RoutingProtocol::kBgp, params.as_number);
+    add_neighbor(bgp, core_loopback[i % core.size()], params.as_number)
+        .update_source = "Loopback0";
+    auto& core_bgp = b.routing_stanza(core[i % core.size()],
+                                      RoutingProtocol::kBgp,
+                                      params.as_number);
+    for (const auto& itf : b.router(edge[i]).interfaces) {
+      if (itf.address && itf.address->mask.length() == 32) {
+        add_neighbor(core_bgp, itf.address->address, params.as_number)
+            .route_reflector_client = true;
+        break;
+      }
+    }
+  }
+
+  // Edge services: per-customer staging IGP processes (single-router
+  // instances with external peers — the designers prefer an IGP to a static
+  // route because it validates the customer link, §7.1) plus customer EBGP.
+  std::uint32_t next_ospf_pid = 100;
+  for (const std::uint32_t r : edge) {
+    for (std::uint32_t s = 0; s < params.staging_per_edge; ++s) {
+      const auto att = b.attach_external(r, pools.ext, "Serial");
+      const double which = rng.uniform();
+      config::RouterStanza* stanza = nullptr;
+      if (which < 0.42) {
+        stanza = &b.routing_stanza(r, RoutingProtocol::kOspf, next_ospf_pid++);
+      } else if (which < 0.95) {
+        stanza = &b.routing_stanza(r, RoutingProtocol::kEigrp,
+                                   static_cast<std::uint32_t>(
+                                       1000 + rng.below(500)));
+      } else {
+        stanza = &b.rip_stanza(r);
+      }
+      NetworkBuilder::cover_subnet(*stanza, att.subnet);
+      // Route filter toward the customer.
+      config::DistributeList dl;
+      dl.acl = make_route_filter(
+          b, r, {pools.customer.allocate(static_cast<int>(rng.range(18, 24)))});
+      dl.inbound = true;
+      stanza->distribute_lists.push_back(dl);
+      if (rng.chance(params.filters.edge_filter_rate)) {
+        make_packet_filter(b, r, att.interface, rng,
+                           params.filters.edge_rules_min,
+                           params.filters.edge_rules_max, pools);
+      }
+    }
+    for (std::uint32_t s = 0; s < params.customer_ebgp_per_edge; ++s) {
+      const auto att = b.attach_external(r, pools.ext, "Serial");
+      auto& bgp =
+          b.routing_stanza(r, RoutingProtocol::kBgp, params.as_number);
+      const auto cust_as = static_cast<std::uint32_t>(rng.range(1000, 64000));
+      auto& nbr = add_neighbor(bgp, att.neighbor_address, cust_as);
+      nbr.distribute_list_in = make_route_filter(
+          b, r, {pools.customer.allocate(static_cast<int>(rng.range(16, 24)))});
+      if (rng.chance(params.filters.edge_filter_rate)) {
+        make_packet_filter(b, r, att.interface, rng,
+                           params.filters.edge_rules_min,
+                           params.filters.edge_rules_max, pools);
+      }
+    }
+  }
+
+  for (const std::uint32_t r : all_routers) {
+    add_mgmt_noise(b, r, rng, core_loopback[0], pools);
+  }
+  return {params.name, "tier2-isp", b.take()};
+}
+
+// ---------------------------------------------------------------------------
+// Managed enterprise: compartments, per-spoke processes, regional BGP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RegionSpec {
+  std::uint32_t routers = 0;  // total including border routers
+  std::uint32_t borders = 1;  // routers running the region's BGP
+  std::uint32_t as_number = 0;
+};
+
+struct ManagedLayout {
+  std::vector<RegionSpec> regions;
+  std::uint32_t core_as = 0;
+  std::uint32_t core_routers = 2;
+  std::uint32_t external_peers = 2;
+  double extra_igp_processes = 1.6;
+  double igp_edge_rate = 0.08;
+  double ebgp_spoke_rate = 0.0;
+  double ospf_share = 0.45;
+  double rip_share = 0.01;
+  std::uint32_t extra_bgp_only_instances = 0;  // net5's route-server ASs
+  FilterProfile filters;
+  NoiseProfile noise;
+};
+
+SynthNetwork build_managed(const std::string& name, std::uint64_t seed,
+                           const ManagedLayout& layout,
+                           const std::string& label) {
+  NetworkBuilder b(name);
+  Rng rng(seed);
+  Pools pools;
+
+  // Core site.
+  std::vector<std::uint32_t> core;
+  for (std::uint32_t i = 0; i < layout.core_routers; ++i) {
+    const std::uint32_t r = b.add_router();
+    core.push_back(r);
+    b.add_loopback(r, pools.infra);
+    b.routing_stanza(r, RoutingProtocol::kBgp, layout.core_as);
+  }
+  // Core LAN connecting the core routers (one multipoint subnet); the core
+  // routers IBGP-mesh over it.
+  const Prefix core_lan = pools.lans.allocate(26);
+  std::vector<Ipv4Address> core_lan_addr(core.size());
+  for (std::uint32_t i = 0; i < core.size(); ++i) {
+    auto& cfg = b.router(core[i]);
+    config::InterfaceConfig itf;
+    itf.name = "FastEthernet9/" + std::to_string(i);
+    core_lan_addr[i] =
+        Ipv4Address(core_lan.network().value() + 1 + i);
+    itf.address = {core_lan_addr[i],
+                   ip::Netmask::from_length(core_lan.length())};
+    cfg.interfaces.push_back(std::move(itf));
+  }
+  for (std::uint32_t i = 0; i < core.size(); ++i) {
+    auto& bgp = b.routing_stanza(core[i], RoutingProtocol::kBgp,
+                                 layout.core_as);
+    for (std::uint32_t j = 0; j < core.size(); ++j) {
+      if (j != i) add_neighbor(bgp, core_lan_addr[j], layout.core_as);
+    }
+  }
+
+  std::uint32_t region_index = 0;
+  for (const RegionSpec& region : layout.regions) {
+    ++region_index;
+    // Per-region address plan: a WAN pool and a LAN pool — the structured
+    // block layout that lets policies stay address-based (§6.1). The LAN
+    // pool is sized to the region (each spoke takes a /24).
+    AddressPlanner wan(pools.infra.allocate(18));
+    // Each spoke takes up to three /24 LANs; size the region pool for that.
+    int lan_len = 16;
+    while (lan_len > 10 &&
+           (std::uint64_t{1} << (24 - lan_len)) < 3ull * region.routers + 8) {
+      --lan_len;
+    }
+    AddressPlanner lan(pools.lans.allocate(lan_len));
+    const std::uint32_t eigrp_pid = 100;
+
+    const std::uint32_t n_border =
+        std::min(region.borders, std::max(1u, region.routers));
+    std::vector<std::uint32_t> borders;
+    std::vector<Ipv4Address> border_loopbacks;
+    std::vector<Prefix> region_blocks = {wan.pool(), lan.pool()};
+
+    for (std::uint32_t i = 0; i < n_border; ++i) {
+      const std::uint32_t r = b.add_router();
+      borders.push_back(r);
+      border_loopbacks.push_back(b.add_loopback(r, wan));
+      // Create both stanzas before taking references: routing_stanza may
+      // grow the stanza vector and invalidate earlier references.
+      b.routing_stanza(r, RoutingProtocol::kEigrp, eigrp_pid);
+      auto& bgp =
+          b.routing_stanza(r, RoutingProtocol::kBgp, region.as_number);
+      auto& eigrp = b.routing_stanza(r, RoutingProtocol::kEigrp, eigrp_pid);
+      NetworkBuilder::cover_subnet(eigrp, wan.pool());
+      NetworkBuilder::cover_subnet(eigrp, lan.pool());
+      // Region BGP + EBGP uplinks to the core site (EBGP used inside one
+      // network: the paper's intra-domain EBGP, §5.2).
+      for (std::uint32_t c = 0; c < core.size(); ++c) {
+        const auto link =
+            b.connect_p2p(r, core[c], pools.infra, "Serial");
+        add_neighbor(bgp, link.address_b, layout.core_as);
+        auto& core_bgp = b.routing_stanza(core[c], RoutingProtocol::kBgp,
+                                          layout.core_as);
+        add_neighbor(core_bgp, link.address_a, region.as_number);
+      }
+      // Redistribution both ways, address-filtered and tagged.
+      const std::string rm_in = make_block_route_map(
+          b, r, {pools.lans.pool(), pools.infra.pool(), pools.customer.pool()},
+          /*set_tag=*/region.as_number,
+          "RM-BGP-IN-" + std::to_string(region_index));
+      add_redistribute(eigrp, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kBgp, region.as_number, rm_in);
+      const std::string rm_out = make_block_route_map(
+          b, r, region_blocks, std::nullopt,
+          "RM-BGP-OUT-" + std::to_string(region_index));
+      add_redistribute(bgp, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kEigrp, eigrp_pid, rm_out);
+      // IBGP chain among the region's borders so they form one BGP
+      // instance (the paper's 39-router AS 65010, net5 Figure 9). Each
+      // hop reflects, so routes propagate along the whole chain — a plain
+      // IBGP chain would leave signaling holes (analysis/ibgp.h flags
+      // exactly that).
+      if (i > 0) {
+        auto& up = add_neighbor(bgp, border_loopbacks[i - 1],
+                                region.as_number);
+        up.update_source = "Loopback0";
+        up.route_reflector_client = true;
+        auto& prev_bgp = b.routing_stanza(borders[i - 1],
+                                          RoutingProtocol::kBgp,
+                                          region.as_number);
+        auto& down = add_neighbor(prev_bgp, border_loopbacks[i],
+                                  region.as_number);
+        down.update_source = "Loopback0";
+        down.route_reflector_client = true;
+      }
+    }
+    // Chain border routers together so the region is connected even with
+    // multiple borders.
+    for (std::uint32_t i = 1; i < n_border; ++i) {
+      b.connect_p2p(borders[i - 1], borders[i], wan, "Serial");
+    }
+
+    // Spokes.
+    const std::uint32_t n_spokes =
+        region.routers > n_border ? region.routers - n_border : 0;
+    std::uint32_t next_spoke_as = 64800;
+    for (std::uint32_t s = 0; s < n_spokes; ++s) {
+      const std::uint32_t r = b.add_router();
+      const std::uint32_t hub = borders[s % n_border];
+      const auto uplink = b.connect_p2p(r, hub, wan, "Serial");
+      // Some spokes get a backup circuit to another border.
+      if (n_border > 1 && rng.chance(0.4)) {
+        b.connect_p2p(r, borders[(s + 1) % n_border], wan, "Serial");
+      }
+
+      const bool ebgp_spoke = rng.chance(layout.ebgp_spoke_rate);
+      config::RouterStanza* membership = nullptr;
+      if (ebgp_spoke) {
+        // BGP-to-the-edge: the spoke speaks EBGP to its hub instead of the
+        // region IGP (an intra-domain EBGP session, §5.2).
+        auto& spoke_bgp =
+            b.routing_stanza(r, RoutingProtocol::kBgp, next_spoke_as);
+        add_neighbor(spoke_bgp, uplink.address_b, region.as_number);
+        auto& hub_bgp =
+            b.routing_stanza(hub, RoutingProtocol::kBgp, region.as_number);
+        add_neighbor(hub_bgp, uplink.address_a, next_spoke_as);
+        membership = &b.routing_stanza(r, RoutingProtocol::kBgp,
+                                       next_spoke_as);
+        ++next_spoke_as;
+      } else {
+        membership =
+            &b.routing_stanza(r, RoutingProtocol::kEigrp, eigrp_pid);
+        NetworkBuilder::cover_subnet(*membership, wan.pool());
+      }
+      // Primary LANs, in the region pool (carried by the region routing).
+      const auto n_lans = static_cast<std::uint32_t>(rng.range(1, 3));
+      for (std::uint32_t l = 0; l < n_lans; ++l) {
+        const Prefix lan_subnet = lan.allocate(24);
+        const std::string lan_name = b.add_lan(
+            r, lan_subnet, rng.chance(0.2) ? "Ethernet" : "FastEthernet");
+        if (ebgp_spoke) {
+          config::NetworkStatement ns;
+          ns.address = lan_subnet.network();
+          ns.mask = ip::Netmask::from_length(lan_subnet.length());
+          membership->networks.push_back(ns);
+        } else if (l == 0) {
+          NetworkBuilder::cover_subnet(*membership, lan.pool());
+        }
+        if (rng.chance(layout.filters.internal_filter_rate)) {
+          make_packet_filter(b, r, lan_name, rng,
+                             layout.filters.internal_rules_min,
+                             layout.filters.internal_rules_max, pools);
+        }
+      }
+
+      // Extra isolated processes — the intra-domain instance population.
+      double budget = layout.extra_igp_processes;
+      std::uint32_t extra_ospf_pid = 10;
+      std::uint32_t extra_eigrp_pid = 200;
+      while (budget >= 1.0 || (budget > 0.0 && rng.chance(budget))) {
+        budget -= 1.0;
+        const Prefix local_lan = pools.local.allocate(24);
+        const char* hw = rng.chance(0.12)   ? "TokenRing"
+                         : rng.chance(0.40) ? "Ethernet"
+                                            : "FastEthernet";
+        const std::string itf = b.add_lan(r, local_lan, hw);
+        const double which = rng.uniform();
+        config::RouterStanza* stanza = nullptr;
+        if (which < layout.rip_share) {
+          stanza = &b.rip_stanza(r);
+        } else if (which < layout.rip_share + layout.ospf_share) {
+          stanza =
+              &b.routing_stanza(r, RoutingProtocol::kOspf, extra_ospf_pid++);
+        } else {
+          stanza = &b.routing_stanza(r, RoutingProtocol::kEigrp,
+                                     extra_eigrp_pid++);
+        }
+        NetworkBuilder::cover_subnet(*stanza, local_lan);
+        // Spoke-local LANs are filtered at half the primary-LAN rate (they
+        // host single closed user groups).
+        if (rng.chance(0.5 * layout.filters.internal_filter_rate)) {
+          make_packet_filter(b, r, itf, rng,
+                             layout.filters.internal_rules_min,
+                             layout.filters.internal_rules_max, pools);
+        }
+      }
+
+      // A few spokes speak an IGP to an external neighbor (IGP as EGP).
+      if (rng.chance(layout.igp_edge_rate)) {
+        const auto att = b.attach_external(r, pools.ext, "Serial");
+        const double which = rng.uniform();
+        config::RouterStanza* stanza = nullptr;
+        if (which < 0.08) {
+          stanza = &b.rip_stanza(r);
+        } else if (which < 0.55) {
+          stanza =
+              &b.routing_stanza(r, RoutingProtocol::kOspf, extra_ospf_pid++);
+        } else {
+          stanza = &b.routing_stanza(r, RoutingProtocol::kEigrp,
+                                     extra_eigrp_pid++);
+        }
+        NetworkBuilder::cover_subnet(*stanza, att.subnet);
+        if (rng.chance(layout.filters.edge_filter_rate)) {
+          make_packet_filter(b, r, att.interface, rng,
+                             layout.filters.edge_rules_min,
+                             layout.filters.edge_rules_max, pools);
+        }
+      }
+      add_mgmt_noise(b, r, rng, Ipv4Address(wan.pool().network().value() + 1),
+                     pools, layout.noise);
+    }
+    for (const std::uint32_t border : borders) {
+      add_mgmt_noise(b, border, rng,
+                     Ipv4Address(wan.pool().network().value() + 1), pools,
+                     layout.noise);
+    }
+  }
+
+  // External EBGP peers at the core site.
+  for (std::uint32_t s = 0; s < layout.external_peers; ++s) {
+    const std::uint32_t r = core[s % core.size()];
+    const auto att = b.attach_external(r, pools.ext, "Serial");
+    auto& bgp = b.routing_stanza(r, RoutingProtocol::kBgp, layout.core_as);
+    const auto peer_as = static_cast<std::uint32_t>(rng.range(1000, 30000));
+    auto& nbr = add_neighbor(bgp, att.neighbor_address, peer_as);
+    nbr.distribute_list_in = make_route_filter(
+        b, r, {pools.customer.allocate(static_cast<int>(rng.range(14, 18)))});
+    if (rng.chance(layout.filters.edge_filter_rate)) {
+      make_packet_filter(b, r, att.interface, rng,
+                         layout.filters.edge_rules_min,
+                         layout.filters.edge_rules_max, pools);
+    }
+  }
+
+  // Extra single-router BGP instances (net5's additional internal ASs):
+  // routers hanging off the core LAN, each with its own AS and an EBGP
+  // session to a core router.
+  for (std::uint32_t i = 0; i < layout.extra_bgp_only_instances; ++i) {
+    const std::uint32_t r = b.add_router();
+    const auto link = b.connect_p2p(r, core[i % core.size()], pools.infra,
+                                    "FastEthernet");
+    auto& bgp = b.routing_stanza(
+        r, RoutingProtocol::kBgp,
+        static_cast<std::uint32_t>(64700 + i));
+    add_neighbor(bgp, link.address_b, layout.core_as);
+    auto& core_bgp =
+        b.routing_stanza(core[i % core.size()], RoutingProtocol::kBgp,
+                         layout.core_as);
+    add_neighbor(core_bgp, link.address_a,
+                 static_cast<std::uint32_t>(64700 + i));
+    // A local service LAN announced via BGP only — keeping this router a
+    // BGP-only compartment (no extra IGP instance).
+    const Prefix service_lan = pools.local.allocate(24);
+    b.add_lan(r, service_lan, "FastEthernet");
+    config::NetworkStatement ns;
+    ns.address = service_lan.network();
+    ns.mask = ip::Netmask::from_length(service_lan.length());
+    bgp.networks.push_back(ns);
+  }
+
+  return {name, label, b.take()};
+}
+
+}  // namespace
+
+SynthNetwork make_managed_enterprise(const ManagedEnterpriseParams& params) {
+  Rng rng(params.seed);
+  ManagedLayout layout;
+  layout.core_as = 64512;
+  layout.core_routers = params.core_routers;
+  layout.external_peers = 3;
+  layout.extra_igp_processes = params.extra_igp_processes;
+  layout.igp_edge_rate = params.igp_edge_rate;
+  layout.ebgp_spoke_rate = params.ebgp_spoke_rate;
+  layout.ospf_share = params.ospf_share;
+  layout.rip_share = params.rip_share;
+  layout.filters = params.filters;
+  for (std::uint32_t i = 0; i < params.regions; ++i) {
+    RegionSpec region;
+    region.routers = params.spokes_per_region +
+                     static_cast<std::uint32_t>(rng.range(
+                         -static_cast<std::int64_t>(params.spokes_per_region) /
+                             4,
+                         static_cast<std::int64_t>(params.spokes_per_region) /
+                             4));
+    region.borders = 1 + static_cast<std::uint32_t>(rng.below(2));
+    region.as_number = 64600 + i;
+    layout.regions.push_back(region);
+  }
+  return build_managed(params.name, params.seed, layout,
+                       "managed-enterprise");
+}
+
+// ---------------------------------------------------------------------------
+// net5 (paper §5.1 / §6.1)
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_net5(std::uint64_t seed) {
+  // Calibrated to the paper: 881 routers; 24 routing instances; 10 IGP
+  // instances with the largest at 445 routers (instances 6 and 7 at 32 and
+  // 64); 14 internal BGP ASs; 16 external peer ASs; the 445-router
+  // compartment reaches the core through 6 redundant redistribution routers.
+  ManagedLayout layout;
+  layout.core_as = 65000;
+  layout.core_routers = 3;      // 1 BGP AS for the core
+  layout.external_peers = 16;   // 16 external EBGP peer ASs
+  layout.extra_igp_processes = 0.0;  // instance count is pinned here
+  layout.igp_edge_rate = 0.0;
+  layout.filters.internal_filter_rate = 0.30;
+  layout.filters.internal_rules_min = 5;
+  layout.filters.internal_rules_max = 47;  // the paper's 47-clause filter
+  layout.filters.edge_filter_rate = 0.9;
+  layout.extra_bgp_only_instances = 3;  // ASs 11..13 of the 14
+  layout.noise = {/*statics_min=*/8, /*statics_max=*/20,
+                  /*mgmt_acl_min=*/60, /*mgmt_acl_max=*/180};
+
+  // 10 regions = 10 IGP instances; sizes sum to 881 - 3 core - 3 extra
+  // = 875. Region ASs contribute 10 of the 14 internal BGP ASs.
+  const std::uint32_t sizes[] = {445, 150, 88, 64, 50, 32, 28, 13, 4, 1};
+  const std::uint32_t borders[] = {6, 2, 2, 1, 1, 1, 1, 1, 1, 1};
+  const std::uint32_t as_numbers[] = {65001, 65010, 65040, 10436, 64610,
+                                      64611, 64612, 64613, 64614, 64615};
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    layout.regions.push_back({sizes[i], borders[i], as_numbers[i]});
+  }
+  return build_managed("net5", seed, layout, "net5");
+}
+
+// ---------------------------------------------------------------------------
+// net15 (paper §6.2, Figure 12, Table 2)
+// ---------------------------------------------------------------------------
+
+Net15Plan net15_plan() {
+  Net15Plan plan;
+  plan.ab0 = *Prefix::parse("171.64.0.0/16");     // shared external services
+  plan.ab1 = *Prefix::parse("10.101.0.0/16");     // left infrastructure
+  plan.ab2 = *Prefix::parse("10.102.0.0/16");     // left hosts
+  plan.ab3 = *Prefix::parse("10.103.0.0/16");     // right infrastructure
+  plan.ab4 = *Prefix::parse("10.104.0.0/16");     // right hosts
+  plan.external_left = *Prefix::parse("171.66.0.0/16");
+  plan.external_right = *Prefix::parse("171.67.0.0/16");
+  return plan;
+}
+
+SynthNetwork make_net15(std::uint64_t seed) {
+  NetworkBuilder b("net15");
+  Rng rng(seed);
+  Pools pools;
+  const Net15Plan plan = net15_plan();
+
+  // One site: an OSPF instance over `infra_block` with host LANs from
+  // `host_block`, and two border routers each with its own private AS and an
+  // EBGP session to the public AS.
+  struct Site {
+    std::vector<std::uint32_t> routers;
+    std::uint32_t border1, border2;
+  };
+
+  auto build_site = [&](std::uint32_t n_routers, const Prefix& infra_block,
+                        const Prefix& host_block, std::uint32_t ospf_pid,
+                        std::uint32_t as1, std::uint32_t as2,
+                        std::uint32_t public_as,
+                        const std::vector<Prefix>& permit_in,
+                        const Prefix& permit_out) -> Site {
+    Site site;
+    AddressPlanner wan(infra_block);
+    AddressPlanner lan(host_block);
+    // Two border routers + spokes.
+    for (std::uint32_t i = 0; i < n_routers; ++i) {
+      site.routers.push_back(b.add_router());
+    }
+    site.border1 = site.routers[0];
+    site.border2 = site.routers[1];
+    b.connect_p2p(site.border1, site.border2, wan, "Serial");
+    for (std::uint32_t i = 2; i < n_routers; ++i) {
+      b.connect_p2p(site.routers[i], site.routers[i % 2], wan, "Serial");
+      const std::string lan_name =
+          b.add_lan(site.routers[i], lan.allocate(24), "FastEthernet");
+      if (rng.chance(0.25)) {
+        make_packet_filter(b, site.routers[i], lan_name, rng, 3, 15, pools);
+      }
+    }
+    for (const std::uint32_t r : site.routers) {
+      auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, ospf_pid);
+      NetworkBuilder::cover_subnet(ospf, infra_block);
+      NetworkBuilder::cover_subnet(ospf, host_block);
+    }
+    // Border BGP: each border its own AS (two BGP instances per site).
+    const std::uint32_t as_of[2] = {as1, as2};
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      const std::uint32_t r = k == 0 ? site.border1 : site.border2;
+      const auto att = b.attach_external(r, pools.ext, "Serial");
+      auto& bgp = b.routing_stanza(r, RoutingProtocol::kBgp, as_of[k]);
+      auto& nbr = add_neighbor(bgp, att.neighbor_address, public_as);
+      // Inbound: only the named blocks; no default (Figure 12's key fact).
+      nbr.distribute_list_in = make_route_filter(b, r, permit_in);
+      // Outbound: only the site's host block.
+      nbr.distribute_list_out = make_route_filter(b, r, {permit_out});
+      make_packet_filter(b, r, att.interface, rng, 5, 20, pools);
+      // Redistribute BGP-learned routes into OSPF (filtered to the same
+      // blocks) and the host block outward into BGP.
+      const std::string rm_in = make_block_route_map(
+          b, r, permit_in, std::nullopt,
+          "RM-IN-" + std::to_string(as_of[k]));
+      auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, ospf_pid);
+      add_redistribute(ospf, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kBgp, as_of[k], rm_in);
+      const std::string rm_out = make_block_route_map(
+          b, r, {permit_out, infra_block}, std::nullopt,
+          "RM-OUT-" + std::to_string(as_of[k]));
+      add_redistribute(bgp, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kOspf, ospf_pid, rm_out);
+    }
+    return site;
+  };
+
+  // Table 2: A1 = {AB0, AB1}(in, left), A2 = {AB2}(out, left),
+  //          A3 = {AB0, AB3}(in, right), A4 = {AB4}(out, right),
+  //          A5 = {AB0}(second inbound guard, right).
+  const Site left =
+      build_site(39, plan.ab1, plan.ab2, /*ospf_pid=*/1, 64620, 64621,
+                 plan.public_as_left, {plan.ab0, plan.ab1}, plan.ab2);
+  const Site right =
+      build_site(40, plan.ab3, plan.ab4, /*ospf_pid=*/2, 64630, 64631,
+                 plan.public_as_right, {plan.ab0, plan.ab3}, plan.ab4);
+  // The A5 guard: the right site's second border applies a stricter inbound
+  // list ({AB0} only) on its session.
+  {
+    auto& bgp = b.routing_stanza(right.border2, RoutingProtocol::kBgp, 64631);
+    auto& nbr = bgp.neighbors.front();
+    nbr.distribute_list_in = make_route_filter(b, right.border2, {plan.ab0});
+  }
+  (void)left;
+
+  return {"net15", "net15", b.take()};
+}
+
+// ---------------------------------------------------------------------------
+// No-BGP enterprise
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_no_bgp_enterprise(const NoBgpParams& params) {
+  NetworkBuilder b(params.name);
+  Rng rng(params.seed);
+  Pools pools;
+
+  const std::uint32_t n = std::max<std::uint32_t>(params.routers, 2);
+  AddressPlanner wan(pools.infra.allocate(16));
+  std::vector<std::uint32_t> routers;
+  for (std::uint32_t i = 0; i < n; ++i) routers.push_back(b.add_router());
+
+  for (std::uint32_t i = 1; i < n; ++i) {
+    b.connect_p2p(routers[i], routers[0], wan, "Serial");
+    const std::string lan_name =
+        b.add_lan(routers[i], pools.lans.allocate(24),
+                  rng.chance(0.2) ? "TokenRing" : "Ethernet");
+    if (rng.chance(params.filters.internal_filter_rate)) {
+      make_packet_filter(b, routers[i], lan_name, rng,
+                         params.filters.internal_rules_min,
+                         params.filters.internal_rules_max, pools);
+    }
+  }
+  for (const std::uint32_t r : routers) {
+    auto& ospf = b.routing_stanza(r, RoutingProtocol::kOspf, 1);
+    NetworkBuilder::cover_subnet(ospf, wan.pool());
+    NetworkBuilder::cover_subnet(ospf, pools.lans.pool());
+  }
+
+  // Hub uplink to the provider, without BGP.
+  const auto att = b.attach_external(routers[0], pools.ext, "Serial");
+  auto& hub_cfg = b.router(routers[0]);
+  switch (params.edge) {
+    case NoBgpParams::Edge::kStatic: {
+      config::StaticRoute def;
+      def.destination = Ipv4Address(0u);
+      def.mask = ip::Netmask::from_length(0);
+      def.next_hop = att.neighbor_address;
+      hub_cfg.static_routes.push_back(def);
+      auto& ospf = b.routing_stanza(routers[0], RoutingProtocol::kOspf, 1);
+      add_redistribute(ospf, config::RedistributeSource::kStatic,
+                       RoutingProtocol::kOspf, 0, std::nullopt);
+      break;
+    }
+    case NoBgpParams::Edge::kRip: {
+      auto& rip = b.rip_stanza(routers[0]);
+      NetworkBuilder::cover_subnet(rip, att.subnet);
+      auto& ospf = b.routing_stanza(routers[0], RoutingProtocol::kOspf, 1);
+      add_redistribute(ospf, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kRip, 0, std::nullopt);
+      break;
+    }
+    case NoBgpParams::Edge::kEigrp: {
+      auto& eigrp = b.routing_stanza(routers[0], RoutingProtocol::kEigrp, 77);
+      NetworkBuilder::cover_subnet(eigrp, att.subnet);
+      auto& ospf = b.routing_stanza(routers[0], RoutingProtocol::kOspf, 1);
+      add_redistribute(ospf, config::RedistributeSource::kProtocol,
+                       RoutingProtocol::kEigrp, 77, std::nullopt);
+      break;
+    }
+  }
+  if (rng.chance(params.filters.edge_filter_rate)) {
+    make_packet_filter(b, routers[0], att.interface, rng,
+                       params.filters.edge_rules_min,
+                       params.filters.edge_rules_max, pools);
+  }
+  for (const std::uint32_t r : routers) {
+    NoiseProfile noise;
+    if (params.filters.internal_filter_rate == 0.0 &&
+        params.filters.edge_filter_rate == 0.0) {
+      noise.mgmt_acl_min = 0;
+      noise.mgmt_acl_max = 0;  // a truly filter-definition-free network
+    }
+    add_mgmt_noise(b, r, rng, att.neighbor_address, pools, noise);
+  }
+  return {params.name, "no-bgp", b.take()};
+}
+
+// ---------------------------------------------------------------------------
+// Merged hybrid (OSPF company + EIGRP company glued by internal EBGP)
+// ---------------------------------------------------------------------------
+
+SynthNetwork make_merged_hybrid(const MergedHybridParams& params) {
+  NetworkBuilder b(params.name);
+  Rng rng(params.seed);
+  Pools pools;
+
+  AddressPlanner wan_left(pools.infra.allocate(16));
+  AddressPlanner wan_right(pools.infra.allocate(16));
+
+  auto build_side = [&](std::uint32_t n, AddressPlanner& wan,
+                        RoutingProtocol protocol,
+                        std::uint32_t pid) -> std::vector<std::uint32_t> {
+    std::vector<std::uint32_t> routers;
+    for (std::uint32_t i = 0; i < n; ++i) routers.push_back(b.add_router());
+    for (std::uint32_t i = 1; i < n; ++i) {
+      b.connect_p2p(routers[i], routers[(i - 1) / 2], wan, "Serial");
+      const std::string lan_name =
+          b.add_lan(routers[i], pools.lans.allocate(24), "Ethernet");
+      if (rng.chance(params.filters.internal_filter_rate)) {
+        make_packet_filter(b, routers[i], lan_name, rng, 3, 12, pools);
+      }
+    }
+    for (const std::uint32_t r : routers) {
+      auto& stanza = b.routing_stanza(r, protocol, pid);
+      NetworkBuilder::cover_subnet(stanza, wan.pool());
+      NetworkBuilder::cover_subnet(stanza, pools.lans.pool());
+    }
+    return routers;
+  };
+
+  const auto left = build_side(std::max(params.ospf_side_routers, 2u),
+                               wan_left, RoutingProtocol::kOspf, 1);
+  const auto right = build_side(std::max(params.eigrp_side_routers, 2u),
+                                wan_right, RoutingProtocol::kEigrp, 55);
+
+  // The merger link: internal EBGP between the two former companies.
+  const auto bridge =
+      b.connect_p2p(left[0], right[0], pools.infra, "Serial");
+  auto& bgp_left =
+      b.routing_stanza(left[0], RoutingProtocol::kBgp, params.as_left);
+  add_neighbor(bgp_left, bridge.address_b, params.as_right);
+  auto& bgp_right =
+      b.routing_stanza(right[0], RoutingProtocol::kBgp, params.as_right);
+  add_neighbor(bgp_right, bridge.address_a, params.as_left);
+
+  // Each side redistributes its IGP into its BGP and the other's routes
+  // back into its IGP.
+  add_redistribute(bgp_left, config::RedistributeSource::kProtocol,
+                   RoutingProtocol::kOspf, 1,
+                   make_block_route_map(b, left[0],
+                                        {wan_left.pool(), pools.lans.pool()},
+                                        std::nullopt, "RM-L-OUT"));
+  add_redistribute(b.routing_stanza(left[0], RoutingProtocol::kOspf, 1),
+                   config::RedistributeSource::kProtocol,
+                   RoutingProtocol::kBgp, params.as_left,
+                   make_block_route_map(b, left[0],
+                                        {wan_right.pool(), pools.lans.pool()},
+                                        std::nullopt, "RM-L-IN"));
+  add_redistribute(bgp_right, config::RedistributeSource::kProtocol,
+                   RoutingProtocol::kEigrp, 55,
+                   make_block_route_map(b, right[0],
+                                        {wan_right.pool(), pools.lans.pool()},
+                                        std::nullopt, "RM-R-OUT"));
+  add_redistribute(b.routing_stanza(right[0], RoutingProtocol::kEigrp, 55),
+                   config::RedistributeSource::kProtocol,
+                   RoutingProtocol::kBgp, params.as_right,
+                   make_block_route_map(b, right[0],
+                                        {wan_left.pool(), pools.lans.pool()},
+                                        std::nullopt, "RM-R-IN"));
+
+  // Internet access via the left side only.
+  const auto att = b.attach_external(left[0], pools.ext, "Serial");
+  const auto provider_as = static_cast<std::uint32_t>(rng.range(2000, 20000));
+  auto& nbr = add_neighbor(bgp_left, att.neighbor_address, provider_as);
+  nbr.distribute_list_in = make_route_filter(
+      b, left[0], {pools.customer.allocate(14)});
+  if (rng.chance(params.filters.edge_filter_rate)) {
+    make_packet_filter(b, left[0], att.interface, rng, 5, 20, pools);
+  }
+
+  NoiseProfile noise;
+  if (params.filters.internal_filter_rate == 0.0 &&
+      params.filters.edge_filter_rate == 0.0) {
+    noise.mgmt_acl_min = 0;
+    noise.mgmt_acl_max = 0;  // a truly filter-definition-free network
+  }
+  for (const auto& side : {left, right}) {
+    for (const std::uint32_t r : side) {
+      add_mgmt_noise(b, r, rng, bridge.address_a, pools, noise);
+    }
+  }
+  return {params.name, "merged-hybrid", b.take()};
+}
+
+}  // namespace rd::synth

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.h"
+
+namespace rd::synth {
+
+/// One synthetic network: a name, an archetype label (ground truth for
+/// tests), and the configuration files — exactly what the paper's pipeline
+/// consumed for one production network.
+struct SynthNetwork {
+  std::string name;
+  std::string archetype;  // "backbone", "textbook-enterprise", "tier2-isp",
+                          // "managed-enterprise", "net5", "net15", "no-bgp",
+                          // "merged-hybrid"
+  std::vector<config::RouterConfig> configs;
+};
+
+/// Knobs shared by several archetypes.
+struct FilterProfile {
+  /// Probability that an internal LAN interface carries a packet filter.
+  double internal_filter_rate = 0.0;
+  /// Clause-count range for internal filters.
+  std::uint32_t internal_rules_min = 3;
+  std::uint32_t internal_rules_max = 12;
+  /// Probability that an external edge carries a packet filter.
+  double edge_filter_rate = 1.0;
+  std::uint32_t edge_rules_min = 4;
+  std::uint32_t edge_rules_max = 20;
+};
+
+// --- Canonical designs (paper §3.1 examples, §7.1) -------------------------
+
+struct BackboneParams {
+  std::uint64_t seed = 1;
+  std::string name = "backbone";
+  std::uint32_t core_routers = 12;
+  std::uint32_t access_routers = 388;
+  std::uint32_t external_peers = 900;  // EBGP sessions to other domains
+  std::uint32_t as_number = 7018;
+  /// Core link technology: "POS" for three of the paper's four backbones,
+  /// "Hssi"+"ATM" for the fourth (§7.3).
+  std::string core_hw = "POS";
+  std::string aggregation_hw = "POS";
+  FilterProfile filters{.internal_filter_rate = 0.02, .edge_filter_rate = 0.9};
+};
+
+SynthNetwork make_backbone(const BackboneParams& params);
+
+struct TextbookEnterpriseParams {
+  std::uint64_t seed = 2;
+  std::string name = "enterprise";
+  std::uint32_t routers = 40;
+  std::uint32_t border_routers = 1;  // BGP speakers
+  std::uint32_t igp_instances = 1;   // 1 or 2 (the 101-router case used 2)
+  std::uint32_t bgp_as = 65001;
+  FilterProfile filters{.internal_filter_rate = 0.15,
+                        .edge_filter_rate = 1.0};
+};
+
+SynthNetwork make_textbook_enterprise(const TextbookEnterpriseParams& params);
+
+// --- The paper's case studies ----------------------------------------------
+
+/// net5 (paper §5.1/§6.1): 881 routers, 14 internal BGP ASs, 24 routing
+/// instances (largest EIGRP instance 445 routers), 16 external peer ASs,
+/// EIGRP used as the inter-instance glue with tagged redistribution, and an
+/// IBGP-mesh-free design.
+SynthNetwork make_net5(std::uint64_t seed = 5);
+
+/// net15 (paper §6.2, Figure 12 / Table 2): 79 routers, 6 routing instances,
+/// EBGP to two public ASs, policies A1-A5 over address blocks AB0-AB4 that
+/// deny Internet-at-large reachability and isolate the two sites.
+SynthNetwork make_net15(std::uint64_t seed = 15);
+
+/// The address blocks and policy contents of net15 (Table 2), exposed so the
+/// reachability bench can report them symbolically.
+struct Net15Plan {
+  ip::Prefix ab0, ab1, ab2, ab3, ab4;
+  ip::Prefix external_left;   // space behind AS 25286
+  ip::Prefix external_right;  // space behind AS 12762
+  std::uint32_t public_as_left = 25286;
+  std::uint32_t public_as_right = 12762;
+};
+Net15Plan net15_plan();
+
+// --- The rest of the production mix ----------------------------------------
+
+struct Tier2Params {
+  std::uint64_t seed = 3;
+  std::string name = "tier2";
+  std::uint32_t core_routers = 10;
+  std::uint32_t edge_routers = 150;
+  /// Staging IGP instances per edge router (single-router instances with
+  /// external customer peers, §7.1).
+  std::uint32_t staging_per_edge = 2;
+  std::uint32_t customer_ebgp_per_edge = 3;
+  std::uint32_t as_number = 6461;
+  FilterProfile filters{.internal_filter_rate = 0.05,
+                        .edge_filter_rate = 0.6};
+};
+
+SynthNetwork make_tier2_isp(const Tier2Params& params);
+
+struct ManagedEnterpriseParams {
+  std::uint64_t seed = 4;
+  std::string name = "managed";
+  std::uint32_t regions = 6;
+  std::uint32_t spokes_per_region = 40;
+  std::uint32_t core_routers = 2;
+  /// Average extra single-router IGP processes per spoke (the source of the
+  /// paper's tens of thousands of intra-domain instances, Table 1).
+  double extra_igp_processes = 1.6;
+  /// Fraction of spokes with an IGP-speaking external attachment (IGP in
+  /// the EGP role, §5.2).
+  double igp_edge_rate = 0.08;
+  /// Fraction of spokes attached via EBGP instead of the region IGP
+  /// (BGP-to-the-edge; the paper's intra-domain EBGP population, §5.2).
+  double ebgp_spoke_rate = 0.0;
+  /// Fraction of extra processes that are OSPF (rest EIGRP, a dash of RIP).
+  double ospf_share = 0.45;
+  double rip_share = 0.01;
+  FilterProfile filters{.internal_filter_rate = 0.35,
+                        .edge_filter_rate = 0.8};
+};
+
+SynthNetwork make_managed_enterprise(const ManagedEnterpriseParams& params);
+
+struct NoBgpParams {
+  std::uint64_t seed = 6;
+  std::string name = "nobgp";
+  std::uint32_t routers = 12;
+  /// Edge protocol used toward the provider: RIP or EIGRP or static-only.
+  enum class Edge { kStatic, kRip, kEigrp } edge = Edge::kStatic;
+  FilterProfile filters{.internal_filter_rate = 0.2, .edge_filter_rate = 1.0};
+};
+
+SynthNetwork make_no_bgp_enterprise(const NoBgpParams& params);
+
+struct MergedHybridParams {
+  std::uint64_t seed = 7;
+  std::string name = "merged";
+  std::uint32_t ospf_side_routers = 20;
+  std::uint32_t eigrp_side_routers = 20;
+  std::uint32_t as_left = 64601;
+  std::uint32_t as_right = 64602;
+  FilterProfile filters{.internal_filter_rate = 0.5, .edge_filter_rate = 1.0};
+};
+
+/// A corporate-merger vestige (paper §8.2): an OSPF network and an EIGRP
+/// network glued by an internal EBGP pair — EBGP in the intra-domain role.
+SynthNetwork make_merged_hybrid(const MergedHybridParams& params);
+
+}  // namespace rd::synth

@@ -1,0 +1,233 @@
+#include "synth/builder.h"
+
+#include <algorithm>
+
+namespace rd::synth {
+
+namespace {
+
+/// Interface naming convention per hardware type: serial-style interfaces
+/// get slot/port numbering, LAN types get sequential units.
+std::string interface_name(const std::string& hw_type, std::uint32_t unit) {
+  if (hw_type == "Serial" || hw_type == "POS" || hw_type == "ATM" ||
+      hw_type == "Hssi") {
+    const std::uint32_t slot = unit / 8;
+    const std::uint32_t port = unit % 8;
+    return hw_type + std::to_string(slot) + "/" + std::to_string(port);
+  }
+  if (hw_type == "Loopback") return hw_type + std::to_string(unit);
+  return hw_type + std::to_string(unit / 4) + "/" + std::to_string(unit % 4);
+}
+
+}  // namespace
+
+std::uint32_t NetworkBuilder::add_router() {
+  return add_router(name_prefix_ + "-r" + std::to_string(routers_.size()));
+}
+
+std::uint32_t NetworkBuilder::add_router(std::string hostname) {
+  config::RouterConfig config;
+  config.hostname = std::move(hostname);
+  routers_.push_back(std::move(config));
+  units_.emplace_back();
+  return static_cast<std::uint32_t>(routers_.size() - 1);
+}
+
+config::InterfaceConfig& NetworkBuilder::new_interface(
+    std::uint32_t r, const std::string& hw_type, bool point_to_point) {
+  auto& counters = units_[r];
+  auto it = std::find_if(counters.begin(), counters.end(),
+                         [&](const auto& c) { return c.first == hw_type; });
+  if (it == counters.end()) {
+    counters.emplace_back(hw_type, 0);
+    it = std::prev(counters.end());
+  }
+  config::InterfaceConfig itf;
+  itf.name = interface_name(hw_type, it->second++);
+  itf.point_to_point = point_to_point;
+  routers_[r].interfaces.push_back(std::move(itf));
+  return routers_[r].interfaces.back();
+}
+
+P2pLink NetworkBuilder::connect_p2p(std::uint32_t a, std::uint32_t b,
+                                    AddressPlanner& planner,
+                                    const std::string& hw_type) {
+  const ip::Prefix subnet = planner.allocate(30);
+  P2pLink link;
+  link.subnet = subnet;
+  link.address_a = ip::Ipv4Address(subnet.network().value() + 1);
+  link.address_b = ip::Ipv4Address(subnet.network().value() + 2);
+
+  auto& ia = new_interface(a, hw_type, true);
+  ia.address = {link.address_a, ip::Netmask::from_length(30)};
+  link.interface_a = ia.name;
+  auto& ib = new_interface(b, hw_type, true);
+  ib.address = {link.address_b, ip::Netmask::from_length(30)};
+  link.interface_b = ib.name;
+  return link;
+}
+
+std::string NetworkBuilder::add_lan(std::uint32_t r, const ip::Prefix& subnet,
+                                    const std::string& hw_type) {
+  auto& itf = new_interface(r, hw_type, false);
+  itf.address = {ip::Ipv4Address(subnet.network().value() + 1),
+                 ip::Netmask::from_length(subnet.length())};
+  return itf.name;
+}
+
+ExternalAttachment NetworkBuilder::attach_external(std::uint32_t r,
+                                                   AddressPlanner& planner,
+                                                   const std::string& hw_type) {
+  const ip::Prefix subnet = planner.allocate(30);
+  ExternalAttachment out;
+  out.subnet = subnet;
+  out.local_address = ip::Ipv4Address(subnet.network().value() + 1);
+  out.neighbor_address = ip::Ipv4Address(subnet.network().value() + 2);
+  auto& itf = new_interface(r, hw_type, true);
+  itf.address = {out.local_address, ip::Netmask::from_length(30)};
+  out.interface = itf.name;
+  return out;
+}
+
+ip::Ipv4Address NetworkBuilder::add_loopback(std::uint32_t r,
+                                             AddressPlanner& planner) {
+  const ip::Prefix subnet = planner.allocate(32);
+  auto& itf = new_interface(r, "Loopback", false);
+  itf.address = {subnet.network(), ip::Netmask::from_length(32)};
+  return subnet.network();
+}
+
+config::RouterStanza& NetworkBuilder::routing_stanza(
+    std::uint32_t r, config::RoutingProtocol protocol,
+    std::uint32_t process_id) {
+  for (auto& stanza : routers_[r].router_stanzas) {
+    if (stanza.protocol == protocol && stanza.process_id == process_id) {
+      return stanza;
+    }
+  }
+  config::RouterStanza stanza;
+  stanza.protocol = protocol;
+  stanza.process_id = process_id;
+  routers_[r].router_stanzas.push_back(std::move(stanza));
+  return routers_[r].router_stanzas.back();
+}
+
+config::RouterStanza& NetworkBuilder::rip_stanza(std::uint32_t r) {
+  for (auto& stanza : routers_[r].router_stanzas) {
+    if (stanza.protocol == config::RoutingProtocol::kRip) return stanza;
+  }
+  config::RouterStanza stanza;
+  stanza.protocol = config::RoutingProtocol::kRip;
+  routers_[r].router_stanzas.push_back(std::move(stanza));
+  return routers_[r].router_stanzas.back();
+}
+
+void NetworkBuilder::cover_subnet(config::RouterStanza& stanza,
+                                  const ip::Prefix& subnet,
+                                  std::uint32_t ospf_area) {
+  config::NetworkStatement ns;
+  ns.address = subnet.network();
+  ns.mask = ip::Netmask::from_length(subnet.length());
+  if (stanza.protocol == config::RoutingProtocol::kOspf) ns.area = ospf_area;
+  stanza.networks.push_back(ns);
+}
+
+void NetworkBuilder::add_acl_rule(std::uint32_t r, const std::string& acl_id,
+                                  config::FilterAction action,
+                                  const ip::Prefix& prefix, bool any) {
+  config::AclRule rule;
+  rule.action = action;
+  rule.extended = false;
+  rule.any_source = any;
+  rule.source = prefix;
+  rule.any_destination = true;
+  auto& lists = routers_[r].access_lists;
+  for (auto& acl : lists) {
+    if (acl.id == acl_id) {
+      acl.rules.push_back(rule);
+      return;
+    }
+  }
+  config::AccessList acl;
+  acl.id = acl_id;
+  acl.rules.push_back(rule);
+  lists.push_back(std::move(acl));
+}
+
+void NetworkBuilder::add_extended_acl_rule(
+    std::uint32_t r, const std::string& acl_id, config::FilterAction action,
+    const std::string& protocol, const ip::Prefix& source, bool any_source,
+    const ip::Prefix& destination, bool any_destination,
+    std::optional<std::uint16_t> port) {
+  config::AclRule rule;
+  rule.action = action;
+  rule.extended = true;
+  rule.protocol = protocol;
+  rule.any_source = any_source;
+  rule.source = source;
+  rule.any_destination = any_destination;
+  rule.destination = destination;
+  rule.destination_port = port;
+  auto& lists = routers_[r].access_lists;
+  for (auto& acl : lists) {
+    if (acl.id == acl_id) {
+      acl.rules.push_back(rule);
+      return;
+    }
+  }
+  config::AccessList acl;
+  acl.id = acl_id;
+  acl.rules.push_back(rule);
+  lists.push_back(std::move(acl));
+}
+
+void NetworkBuilder::add_prefix_list_entry(std::uint32_t r,
+                                           const std::string& name,
+                                           config::FilterAction action,
+                                           const ip::Prefix& prefix,
+                                           std::optional<int> ge,
+                                           std::optional<int> le) {
+  auto& lists = routers_[r].prefix_lists;
+  config::PrefixList* list = nullptr;
+  for (auto& pl : lists) {
+    if (pl.name == name) {
+      list = &pl;
+      break;
+    }
+  }
+  if (list == nullptr) {
+    config::PrefixList pl;
+    pl.name = name;
+    lists.push_back(std::move(pl));
+    list = &lists.back();
+  }
+  config::PrefixListEntry entry;
+  entry.sequence = static_cast<std::uint32_t>(5 * (list->entries.size() + 1));
+  entry.action = action;
+  entry.prefix = prefix;
+  entry.ge = ge;
+  entry.le = le;
+  list->entries.push_back(entry);
+}
+
+void NetworkBuilder::apply_filter(std::uint32_t r,
+                                  const std::string& interface_name,
+                                  const std::string& acl_id, bool inbound) {
+  for (auto& itf : routers_[r].interfaces) {
+    if (itf.name == interface_name) {
+      if (inbound) {
+        itf.access_group_in = acl_id;
+      } else {
+        itf.access_group_out = acl_id;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<config::RouterConfig> NetworkBuilder::take() {
+  units_.clear();
+  return std::move(routers_);
+}
+
+}  // namespace rd::synth

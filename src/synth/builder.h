@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.h"
+#include "synth/plan.h"
+#include "util/rng.h"
+
+namespace rd::synth {
+
+/// Result of wiring a point-to-point link: the two assigned host addresses
+/// and the interface names created on each router.
+struct P2pLink {
+  ip::Prefix subnet;
+  ip::Ipv4Address address_a;
+  ip::Ipv4Address address_b;
+  std::string interface_a;
+  std::string interface_b;
+};
+
+/// Result of creating an external-facing point-to-point attachment: our end
+/// is configured; the neighbor address exists only as a value (the router
+/// holding it is outside the data set).
+struct ExternalAttachment {
+  ip::Prefix subnet;
+  ip::Ipv4Address local_address;
+  ip::Ipv4Address neighbor_address;
+  std::string interface;
+};
+
+/// Incremental builder for one synthetic network: accumulates RouterConfigs
+/// and provides the wiring idioms shared by all archetypes. All randomness
+/// flows through the provided Rng so fleets are reproducible.
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string name_prefix)
+      : name_prefix_(std::move(name_prefix)) {}
+
+  /// Create a router; returns its index.
+  std::uint32_t add_router();
+  std::uint32_t add_router(std::string hostname);
+
+  config::RouterConfig& router(std::uint32_t r) { return routers_[r]; }
+  std::size_t router_count() const noexcept { return routers_.size(); }
+
+  /// Connect two routers with a /30 of the given hardware type
+  /// ("Serial", "POS", "Hssi", "ATM", ...).
+  P2pLink connect_p2p(std::uint32_t a, std::uint32_t b,
+                      AddressPlanner& planner, const std::string& hw_type);
+
+  /// Attach a LAN subnet to a router (one interface on a multipoint subnet).
+  /// Returns the interface name.
+  std::string add_lan(std::uint32_t r, const ip::Prefix& subnet,
+                      const std::string& hw_type);
+
+  /// Attach an external-facing /30 (our side only).
+  ExternalAttachment attach_external(std::uint32_t r, AddressPlanner& planner,
+                                     const std::string& hw_type);
+
+  /// Add a loopback /32.
+  ip::Ipv4Address add_loopback(std::uint32_t r, AddressPlanner& planner);
+
+  /// Find or create a "router <protocol> <id>" stanza on a router.
+  config::RouterStanza& routing_stanza(std::uint32_t r,
+                                       config::RoutingProtocol protocol,
+                                       std::uint32_t process_id);
+  config::RouterStanza& rip_stanza(std::uint32_t r);  // RIP has no id
+
+  /// Add "network <subnet>" coverage (wildcard form; area for OSPF).
+  static void cover_subnet(config::RouterStanza& stanza,
+                           const ip::Prefix& subnet,
+                           std::uint32_t ospf_area = 0);
+
+  /// Append a standard ACL clause; creates the list on first use.
+  void add_acl_rule(std::uint32_t r, const std::string& acl_id,
+                    config::FilterAction action, const ip::Prefix& prefix,
+                    bool any = false);
+  /// Append an extended ACL clause (protocol + src/dst any + optional port).
+  void add_extended_acl_rule(std::uint32_t r, const std::string& acl_id,
+                             config::FilterAction action,
+                             const std::string& protocol,
+                             const ip::Prefix& source, bool any_source,
+                             const ip::Prefix& destination,
+                             bool any_destination,
+                             std::optional<std::uint16_t> port = {});
+
+  /// Append an entry to an ip prefix-list; creates the list on first use.
+  /// Sequence numbers are assigned 5, 10, 15, ...
+  void add_prefix_list_entry(std::uint32_t r, const std::string& name,
+                             config::FilterAction action,
+                             const ip::Prefix& prefix,
+                             std::optional<int> ge = {},
+                             std::optional<int> le = {});
+
+  /// Apply an ACL as a packet filter on an interface (by name).
+  void apply_filter(std::uint32_t r, const std::string& interface_name,
+                    const std::string& acl_id, bool inbound);
+
+  /// Extract the finished configurations (builder is left empty).
+  std::vector<config::RouterConfig> take();
+
+  const std::string& name_prefix() const noexcept { return name_prefix_; }
+
+ private:
+  config::InterfaceConfig& new_interface(std::uint32_t r,
+                                         const std::string& hw_type,
+                                         bool point_to_point);
+
+  std::string name_prefix_;
+  std::vector<config::RouterConfig> routers_;
+  /// Per-router, per-hardware-type unit counters for interface naming.
+  std::vector<std::vector<std::pair<std::string, std::uint32_t>>> units_;
+};
+
+}  // namespace rd::synth

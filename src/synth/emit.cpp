@@ -1,0 +1,71 @@
+#include "synth/emit.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "config/parser.h"
+#include "config/writer.h"
+
+namespace rd::synth {
+
+std::vector<std::filesystem::path> emit_network(
+    const std::vector<config::RouterConfig>& configs,
+    const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(configs.size());
+  std::size_t index = 0;
+  for (const auto& config : configs) {
+    ++index;
+    const auto path = directory / ("config" + std::to_string(index));
+    std::ofstream out(path);
+    out << config::write_config(config);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<config::RouterConfig> load_network(
+    const std::filesystem::path& directory) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().starts_with("config")) {
+      paths.push_back(entry.path());
+    }
+  }
+  // directory_iterator order is unspecified; sort numerically so router ids
+  // are stable across platforms.
+  std::sort(paths.begin(), paths.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              const std::string sa = a.filename().string();
+              const std::string sb = b.filename().string();
+              if (sa.size() != sb.size()) return sa.size() < sb.size();
+              return sa < sb;
+            });
+  std::vector<config::RouterConfig> configs;
+  configs.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    configs.push_back(
+        config::parse_config(text, path.filename().string()).config);
+  }
+  return configs;
+}
+
+std::vector<config::RouterConfig> reparse(
+    const std::vector<config::RouterConfig>& configs) {
+  std::vector<config::RouterConfig> out;
+  out.reserve(configs.size());
+  for (const auto& config : configs) {
+    out.push_back(
+        config::parse_config(config::write_config(config), config.hostname)
+            .config);
+  }
+  return out;
+}
+
+}  // namespace rd::synth

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "config/ast.h"
+
+namespace rd::synth {
+
+/// Write a network's configurations to a directory as "config1", "config2",
+/// ... — the exact layout the paper's anonymized data sets used (§4.1,
+/// "filenames of the form config1, config2, ...").
+/// Returns the file paths written.
+std::vector<std::filesystem::path> emit_network(
+    const std::vector<config::RouterConfig>& configs,
+    const std::filesystem::path& directory);
+
+/// Load every "config*" file in a directory and parse it. Files that fail
+/// to read are skipped. The parse is lenient by design.
+std::vector<config::RouterConfig> load_network(
+    const std::filesystem::path& directory);
+
+/// Serialize the configs to text in memory (no filesystem round trip) and
+/// re-parse — the canonical way to run the pipeline on generator output so
+/// the analyses always consume configuration *text*.
+std::vector<config::RouterConfig> reparse(
+    const std::vector<config::RouterConfig>& configs);
+
+}  // namespace rd::synth

@@ -1,0 +1,223 @@
+#include "synth/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace rd::synth {
+
+std::size_t Fleet::total_routers() const {
+  std::size_t total = 0;
+  for (const auto& network : networks) total += network.configs.size();
+  return total;
+}
+
+Fleet generate_fleet(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Fleet fleet;
+  fleet.networks.reserve(31);
+
+  // --- 4 backbones (sizes 400, 560, 600, 600; three POS, one HSSI/ATM).
+  {
+    BackboneParams p;
+    p.seed = rng.fork("bb0").next();
+    p.name = "net-bb0";
+    p.core_routers = 12;
+    p.access_routers = 388;
+    p.external_peers = 800;
+    p.as_number = 7018;
+    fleet.networks.push_back(make_backbone(p));
+  }
+  {
+    BackboneParams p;
+    p.seed = rng.fork("bb1").next();
+    p.name = "net-bb1";
+    p.core_routers = 14;
+    p.access_routers = 546;
+    p.external_peers = 1200;
+    p.as_number = 3356;
+    p.aggregation_hw = "ATM";  // POS core, ATM aggregation
+    fleet.networks.push_back(make_backbone(p));
+  }
+  {
+    BackboneParams p;
+    p.seed = rng.fork("bb2").next();
+    p.name = "net-bb2";
+    p.core_routers = 16;
+    p.access_routers = 584;
+    p.external_peers = 1400;
+    p.as_number = 1239;
+    fleet.networks.push_back(make_backbone(p));
+  }
+  {
+    BackboneParams p;
+    p.seed = rng.fork("bb3").next();
+    p.name = "net-bb3";
+    p.core_routers = 12;
+    p.access_routers = 588;
+    p.external_peers = 1000;
+    p.as_number = 2914;
+    p.core_hw = "Hssi";  // the fourth backbone (paper §7.3)
+    p.aggregation_hw = "ATM";
+    fleet.networks.push_back(make_backbone(p));
+  }
+
+  // --- 7 textbook enterprises (19-101 routers).
+  const std::uint32_t textbook_sizes[] = {19, 24, 30, 42, 55, 76, 101};
+  for (std::size_t i = 0; i < std::size(textbook_sizes); ++i) {
+    TextbookEnterpriseParams p;
+    p.seed = rng.fork("textbook" + std::to_string(i)).next();
+    p.name = "net-ent" + std::to_string(i);
+    p.routers = textbook_sizes[i];
+    p.border_routers = i >= 4 ? 2 : 1;
+    p.igp_instances = (i + 1 == std::size(textbook_sizes)) ? 2 : 1;
+    p.bgp_as = 65101 + static_cast<std::uint32_t>(i);
+    p.filters.internal_filter_rate = 0.01 * static_cast<double>(i);
+    p.filters.edge_rules_min = 20;
+    p.filters.edge_rules_max = 60;
+    fleet.networks.push_back(make_textbook_enterprise(p));
+  }
+
+  // --- 20 unclassifiable networks.
+  // The two case studies.
+  fleet.networks.push_back(make_net5(rng.fork("net5").next()));
+  fleet.networks.push_back(make_net15(rng.fork("net15").next()));
+
+  // Two tier-2 ISPs with staging IGP instances.
+  {
+    Tier2Params p;
+    p.seed = rng.fork("tier2a").next();
+    p.name = "net-tier2a";
+    p.core_routers = 10;
+    p.edge_routers = 880;
+    p.staging_per_edge = 2;
+    p.customer_ebgp_per_edge = 4;
+    p.as_number = 6461;
+    fleet.networks.push_back(make_tier2_isp(p));
+  }
+  {
+    Tier2Params p;
+    p.seed = rng.fork("tier2b").next();
+    p.name = "net-tier2b";
+    p.core_routers = 10;
+    p.edge_routers = 440;
+    p.staging_per_edge = 2;
+    p.customer_ebgp_per_edge = 5;
+    p.as_number = 6453;
+    fleet.networks.push_back(make_tier2_isp(p));
+  }
+
+  // Three large managed enterprises.
+  const struct {
+    const char* name;
+    std::uint32_t regions;
+    std::uint32_t spokes;
+    double internal_filters;
+  } managed_large[] = {
+      {"net-mgd0", 14, 122, 0.45},
+      {"net-mgd1", 13, 107, 0.35},
+      {"net-mgd2", 8, 92, 0.50},
+  };
+  for (const auto& spec : managed_large) {
+    ManagedEnterpriseParams p;
+    p.seed = rng.fork(spec.name).next();
+    p.name = spec.name;
+    p.regions = spec.regions;
+    p.spokes_per_region = spec.spokes;
+    p.core_routers = 3;
+    p.extra_igp_processes = 4.6;
+    p.igp_edge_rate = 0.06;
+    p.ebgp_spoke_rate = 0.18;
+    p.filters.internal_filter_rate = spec.internal_filters;
+    fleet.networks.push_back(make_managed_enterprise(p));
+  }
+
+  // Three networks without BGP.
+  const NoBgpParams::Edge no_bgp_edges[] = {NoBgpParams::Edge::kStatic,
+                                            NoBgpParams::Edge::kRip,
+                                            NoBgpParams::Edge::kEigrp};
+  const std::uint32_t no_bgp_sizes[] = {6, 12, 24};
+  for (std::size_t i = 0; i < 3; ++i) {
+    NoBgpParams p;
+    p.seed = rng.fork("nobgp" + std::to_string(i)).next();
+    p.name = "net-nobgp" + std::to_string(i);
+    p.routers = no_bgp_sizes[i];
+    p.edge = no_bgp_edges[i];
+    p.filters.internal_filter_rate = 0.08;
+    // One of the three defines no packet filters at all (the paper drops
+    // three filterless networks from the Figure 11 population).
+    if (i == 0) {
+      p.filters.internal_filter_rate = 0.0;
+      p.filters.edge_filter_rate = 0.0;
+    }
+    fleet.networks.push_back(make_no_bgp_enterprise(p));
+  }
+
+  // Three merger hybrids (internal EBGP gluing OSPF and EIGRP halves). Two
+  // of them carry no packet filters, which together with one filterless
+  // no-BGP network gives the paper's three networks without any packet
+  // filter definitions (§5.3).
+  const struct {
+    std::uint32_t left, right;
+    double internal_filters;
+    double edge_filters;
+  } hybrids[] = {
+      {2, 2, 0.0, 0.0},
+      {15, 15, 0.0, 0.0},
+      {20, 24, 0.4, 1.0},
+  };
+  for (std::size_t i = 0; i < std::size(hybrids); ++i) {
+    MergedHybridParams p;
+    p.seed = rng.fork("hybrid" + std::to_string(i)).next();
+    p.name = "net-hyb" + std::to_string(i);
+    p.ospf_side_routers = hybrids[i].left;
+    p.eigrp_side_routers = hybrids[i].right;
+    p.as_left = 64640 + static_cast<std::uint32_t>(2 * i);
+    p.as_right = 64641 + static_cast<std::uint32_t>(2 * i);
+    p.filters.internal_filter_rate = hybrids[i].internal_filters;
+    p.filters.edge_filter_rate = hybrids[i].edge_filters;
+    fleet.networks.push_back(make_merged_hybrid(p));
+  }
+
+  // Seven small/medium managed enterprises.
+  const struct {
+    std::uint32_t regions;
+    std::uint32_t spokes;
+    double internal_filters;
+  } managed_small[] = {
+      {1, 6, 0.05},  {1, 8, 0.5},   {1, 13, 0.3}, {2, 8, 0.08},
+      {2, 16, 0.65}, {2, 18, 0.06}, {3, 16, 0.4},
+  };
+  for (std::size_t i = 0; i < std::size(managed_small); ++i) {
+    ManagedEnterpriseParams p;
+    p.seed = rng.fork("mgdsmall" + std::to_string(i)).next();
+    p.name = "net-mgds" + std::to_string(i);
+    p.regions = managed_small[i].regions;
+    p.spokes_per_region = managed_small[i].spokes;
+    p.extra_igp_processes = 3.0;
+    p.igp_edge_rate = 0.12;
+    p.ebgp_spoke_rate = 0.08;
+    p.filters.internal_filter_rate = managed_small[i].internal_filters;
+    fleet.networks.push_back(make_managed_enterprise(p));
+  }
+
+  return fleet;
+}
+
+std::vector<double> repository_network_sizes(std::uint64_t seed,
+                                             std::size_t count) {
+  // The Figure 8 "known networks" curve: the majority of networks are
+  // small (>60% below 10 routers), with a long tail past 1280. Modeled as a
+  // discretized log-normal calibrated to that shape.
+  util::Rng rng(seed);
+  std::vector<double> sizes;
+  sizes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = rng.log_normal(/*mu=*/1.7, /*sigma=*/1.6);
+    sizes.push_back(std::max(1.0, std::floor(v)));
+  }
+  return sizes;
+}
+
+}  // namespace rd::synth

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/archetypes.h"
+
+namespace rd::synth {
+
+/// The 31-network synthetic fleet standing in for the paper's proprietary
+/// data set (DESIGN.md §2). Composition mirrors §7:
+///   - 4 backbone networks (400-600 routers, mean ~540; three POS-based,
+///     one HSSI/ATM-based);
+///   - 7 textbook enterprises (19-101 routers; the largest split across two
+///     IGP instances);
+///   - 20 networks defying classification: the net5 and net15 case studies,
+///     two tier-2 ISPs with staging IGP instances, three large managed
+///     enterprises (up to 1750 routers), three networks with no BGP at all,
+///     merger hybrids gluing OSPF and EIGRP sides with internal EBGP, and
+///     assorted small managed networks.
+struct Fleet {
+  std::vector<SynthNetwork> networks;
+
+  std::size_t total_routers() const;
+};
+
+/// Generate the fleet. Fully deterministic in `seed`.
+Fleet generate_fleet(std::uint64_t seed);
+
+/// Sizes (router counts) of the ~2,400 networks in the paper's Figure 8
+/// "known networks" repository: a heavy-tailed population dominated by small
+/// networks. Deterministic in `seed`.
+std::vector<double> repository_network_sizes(std::uint64_t seed,
+                                             std::size_t count = 2400);
+
+}  // namespace rd::synth

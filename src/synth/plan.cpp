@@ -1,0 +1,23 @@
+#include "synth/plan.h"
+
+namespace rd::synth {
+
+ip::Prefix AddressPlanner::allocate(int length) {
+  if (length < pool_.length() || length > 32) {
+    throw std::length_error("AddressPlanner: bad subnet length");
+  }
+  const std::uint64_t size = std::uint64_t{1} << (32 - length);
+  // Align the cursor to the subnet size.
+  std::uint64_t start = next_;
+  if (start % size != 0) start += size - (start % size);
+  const std::uint64_t pool_end =
+      std::uint64_t{pool_.network().value()} + pool_.size();
+  if (start + size > pool_end) {
+    throw std::length_error("AddressPlanner: pool exhausted");
+  }
+  next_ = start + size;
+  return ip::Prefix(ip::Ipv4Address(static_cast<std::uint32_t>(start)),
+                    length);
+}
+
+}  // namespace rd::synth

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ip/ipv4.h"
+
+namespace rd::synth {
+
+/// Sequential subnet allocator over an address pool. Synthetic networks use
+/// one planner per address block so the emitted configurations exhibit the
+/// structured block plans the paper's §3.4 analysis recovers.
+class AddressPlanner {
+ public:
+  explicit AddressPlanner(ip::Prefix pool) noexcept
+      : pool_(pool), next_(pool.network().value()) {}
+
+  /// Carve the next subnet of the given prefix length (aligned). Throws
+  /// std::length_error when the pool is exhausted — synthetic plans are
+  /// sized in advance, so exhaustion is a generator bug.
+  ip::Prefix allocate(int length);
+
+  /// Addresses handed out so far.
+  std::uint64_t used() const noexcept {
+    return next_ - pool_.network().value();
+  }
+
+  const ip::Prefix& pool() const noexcept { return pool_; }
+
+ private:
+  ip::Prefix pool_;
+  std::uint64_t next_;  // 64-bit so a fully-consumed pool does not wrap
+};
+
+}  // namespace rd::synth

@@ -1,0 +1,138 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rd::util {
+
+Json& Json::push_back(Json element) {
+  auto* array = std::get_if<Array>(&value_);
+  if (array == nullptr) throw std::logic_error("Json: push_back on non-array");
+  array->elements.push_back(std::move(element));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  auto* object = std::get_if<Object>(&value_);
+  if (object == nullptr) throw std::logic_error("Json: set on non-object");
+  for (auto& [existing, existing_value] : object->members) {
+    if (existing == key) {
+      existing_value = std::move(value);
+      return *this;
+    }
+  }
+  object->members.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const noexcept {
+  if (const auto* array = std::get_if<Array>(&value_)) {
+    return array->elements.size();
+  }
+  if (const auto* object = std::get_if<Object>(&value_)) {
+    return object->members.size();
+  }
+  return 0;
+}
+
+void Json::write_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent < 0 ? "" : "\n" + std::string(static_cast<std::size_t>(indent) *
+                                               (depth + 1),
+                                           ' ');
+  const std::string close_pad =
+      indent < 0
+          ? ""
+          : "\n" + std::string(static_cast<std::size_t>(indent) * depth, ' ');
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<long long>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", *d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no NaN/Inf
+    }
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_string(out, *s);
+  } else if (const auto* array = std::get_if<Array>(&value_)) {
+    if (array->elements.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& element : array->elements) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      element.write(out, indent, depth + 1);
+    }
+    out += close_pad;
+    out += ']';
+  } else if (const auto* object = std::get_if<Object>(&value_)) {
+    if (object->members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : object->members) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      write_string(out, key);
+      out += indent < 0 ? ":" : ": ";
+      value.write(out, indent, depth + 1);
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace rd::util

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rd::util {
+
+/// Minimal JSON value and serializer (no external dependencies): enough for
+/// exporting analysis reports to downstream tooling. Construction only —
+/// this is an emitter, not a parser.
+class Json {
+ public:
+  Json() : value_(nullptr) {}                        // null
+  Json(bool b) : value_(b) {}                        // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                      // NOLINT(runtime/explicit)
+  Json(long long i) : value_(i) {}                   // NOLINT(runtime/explicit)
+  Json(std::size_t u) : value_(static_cast<long long>(u)) {}  // NOLINT
+  Json(int i) : value_(static_cast<long long>(i)) {}          // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}             // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}               // NOLINT
+
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+
+  /// Append to an array (must be an array).
+  Json& push_back(Json element);
+
+  /// Set an object key (must be an object). Insertion order is preserved.
+  Json& set(std::string key, Json value);
+
+  /// Serialize. `indent` < 0 emits compact JSON; otherwise pretty-printed
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  bool is_array() const noexcept {
+    return std::holds_alternative<Array>(value_);
+  }
+  bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+  std::size_t size() const noexcept;
+
+ private:
+  struct Array {
+    std::vector<Json> elements;
+  };
+  struct Object {
+    std::vector<std::pair<std::string, Json>> members;
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_string(std::string& out, const std::string& s);
+
+  std::variant<std::nullptr_t, bool, long long, double, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace rd::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rd::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every synthetic workload in this repository derives its randomness from a
+/// seed so that fleets, benchmarks, and tests are exactly reproducible across
+/// runs and machines. The engine is self-contained: no dependence on
+/// std::mt19937 layout or libstdc++ distribution implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Pick an index according to a vector of non-negative weights.
+  /// Returns weights.size() - 1 if all weights are zero.
+  std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Sample from a (discretized) log-normal-ish heavy-tail distribution used
+  /// for config file size modelling: exp(mu + sigma * z), z standard normal.
+  double log_normal(double mu, double sigma) noexcept;
+
+  /// Derive an independent child RNG, keyed by a label, without perturbing
+  /// this generator's own stream. Useful to give each synthetic network its
+  /// own stream so adding a network does not change the others.
+  Rng fork(std::string_view label) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rd::util

@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rd::util {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  const std::size_t mid = values.size() / 2;
+  s.median = (values.size() % 2 == 1)
+                 ? values[mid]
+                 : 0.5 * (values[mid - 1] + values[mid]);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Emit one point per distinct value, at the highest rank of that value.
+    if (i + 1 == values.size() || values[i + 1] != values[i]) {
+      out.push_back({values[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+std::vector<CdfPoint> cdf_at(const std::vector<double>& values,
+                             const std::vector<double>& thresholds) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  out.reserve(thresholds.size());
+  const double n = sorted.empty() ? 1.0 : static_cast<double>(sorted.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(
+        {t, static_cast<double>(std::distance(sorted.begin(), it)) / n});
+  }
+  return out;
+}
+
+std::vector<HistogramBucket> bucket_histogram(
+    const std::vector<double>& values, const std::vector<double>& upper_bounds,
+    const std::vector<std::string>& labels) {
+  std::vector<HistogramBucket> buckets;
+  buckets.reserve(upper_bounds.size() + 1);
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    buckets.push_back({i < labels.size() ? labels[i] : std::string{},
+                       upper_bounds[i], 0, 0.0});
+  }
+  buckets.push_back({labels.size() > upper_bounds.size()
+                         ? labels[upper_bounds.size()]
+                         : std::string{},
+                     std::numeric_limits<double>::infinity(), 0, 0.0});
+  for (double v : values) {
+    std::size_t idx = buckets.size() - 1;
+    for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+      if (v <= upper_bounds[i]) {
+        idx = i;
+        break;
+      }
+    }
+    ++buckets[idx].count;
+  }
+  const double n = values.empty() ? 1.0 : static_cast<double>(values.size());
+  for (auto& b : buckets) b.fraction = static_cast<double>(b.count) / n;
+  return buckets;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace rd::util

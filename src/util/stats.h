@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rd::util {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(std::vector<double> values);
+
+/// One point of an empirical CDF: fraction of samples <= value.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// Empirical CDF evaluated at every distinct sample value.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+
+/// Evaluate the empirical CDF at specific thresholds (fraction <= t).
+std::vector<CdfPoint> cdf_at(const std::vector<double>& values,
+                             const std::vector<double>& thresholds);
+
+/// Histogram with caller-supplied bucket upper bounds (last bucket catches
+/// everything above the final bound). Mirrors the x-axis of the paper's
+/// Figure 8 (<10, 20, 40, ..., 1280, >1280).
+struct HistogramBucket {
+  std::string label;
+  double upper_bound = 0.0;  // inclusive; +inf for the overflow bucket
+  std::size_t count = 0;
+  double fraction = 0.0;
+};
+
+std::vector<HistogramBucket> bucket_histogram(
+    const std::vector<double>& values, const std::vector<double>& upper_bounds,
+    const std::vector<std::string>& labels);
+
+/// Quantile of a sample (linear interpolation), q in [0,1].
+double quantile(std::vector<double> values, double q);
+
+}  // namespace rd::util

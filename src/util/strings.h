@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rd::util {
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Split a text blob into lines. Handles both \n and \r\n; the final line is
+/// included even without a trailing newline.
+std::vector<std::string_view> split_lines(std::string_view text);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool is_all_digits(std::string_view s) noexcept;
+
+/// Parse a non-negative integer; returns false on overflow or bad chars.
+bool parse_u32(std::string_view s, std::uint32_t& out) noexcept;
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+}  // namespace rd::util

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rd::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '%' && c != ',' &&
+        c != '+') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      out += ' ';
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep;
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += ' ';
+    out += header_[c];
+    out.append(widths[c] - header_[c].size(), ' ');
+    out += " |";
+  }
+  out += '\n';
+  out += sep;
+  for (const auto& row : rows_) emit_row(row, out);
+  out += sep;
+  return out;
+}
+
+std::string fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace rd::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rd::util {
+
+/// Minimal ASCII table renderer used by the benchmark harnesses to print
+/// paper-style tables (Table 1, Table 2, Table 3, ...).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_int(long long v);
+std::string fmt_double(double v, int decimals);
+std::string fmt_percent(double fraction, int decimals);
+
+}  // namespace rd::util

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/address_space.h"
+#include "testutil.h"
+
+namespace rd::graph {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+using rd::test::pfx;
+
+std::vector<ip::Prefix> roots_of(std::vector<ip::Prefix> subnets) {
+  return extract_address_structure(std::move(subnets)).root_blocks();
+}
+
+TEST(AddressStructure, EmptyInput) {
+  const auto s = extract_address_structure(std::vector<ip::Prefix>{});
+  EXPECT_TRUE(s.nodes.empty());
+  EXPECT_TRUE(s.roots.empty());
+}
+
+TEST(AddressStructure, SingleSubnetIsItsOwnRoot) {
+  const auto roots = roots_of({pfx("10.0.0.0/24")});
+  EXPECT_EQ(roots, (std::vector<ip::Prefix>{pfx("10.0.0.0/24")}));
+}
+
+TEST(AddressStructure, JoinsRunOfSlash30s) {
+  // A run of /30s from one block plan joins into the covering block.
+  std::vector<ip::Prefix> subnets;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    subnets.push_back(ip::Prefix(ip::Ipv4Address(0x0A000000u + i * 4), 30));
+  }
+  const auto roots = roots_of(subnets);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], pfx("10.0.0.0/26"));
+}
+
+TEST(AddressStructure, SeparatePlansStaySeparate) {
+  const auto roots = roots_of({pfx("10.1.0.0/24"), pfx("10.1.1.0/24"),
+                               pfx("192.168.7.0/24"), pfx("192.168.6.0/24")});
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0], pfx("10.1.0.0/23"));
+  EXPECT_EQ(roots[1], pfx("192.168.6.0/23"));
+}
+
+TEST(AddressStructure, HalfUsedRuleBlocksSparseJoin) {
+  // Two /24s eight blocks apart: any covering block would be < half used.
+  const auto roots = roots_of({pfx("10.0.0.0/24"), pfx("10.0.8.0/24")});
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(AddressStructure, TreeHasConsistentParentChildLinks) {
+  std::vector<ip::Prefix> subnets;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    subnets.push_back(ip::Prefix(ip::Ipv4Address(0x0A000000u + i * 256), 24));
+  }
+  const auto s = extract_address_structure(subnets);
+  for (std::uint32_t n = 0; n < s.nodes.size(); ++n) {
+    for (const auto child : s.nodes[n].children) {
+      EXPECT_EQ(s.nodes[child].parent, static_cast<std::int32_t>(n));
+      EXPECT_TRUE(s.nodes[n].block.contains(s.nodes[child].block));
+    }
+  }
+  // Roots have no parent.
+  for (const auto r : s.roots) EXPECT_EQ(s.nodes[r].parent, -1);
+}
+
+TEST(AddressStructure, LeavesAreInputSubnets) {
+  const std::vector<ip::Prefix> input{pfx("10.0.0.0/24"), pfx("10.0.1.0/24")};
+  const auto s = extract_address_structure(input);
+  std::vector<ip::Prefix> leaves;
+  for (const auto& node : s.nodes) {
+    if (node.leaf) leaves.push_back(node.block);
+  }
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(leaves, input);
+}
+
+TEST(AddressStructure, NestedInputSubnetsBecomeChildren) {
+  const auto s = extract_address_structure(
+      std::vector<ip::Prefix>{pfx("10.0.0.0/16"), pfx("10.0.5.0/24")});
+  ASSERT_EQ(s.roots.size(), 1u);
+  EXPECT_EQ(s.nodes[s.roots[0]].block, pfx("10.0.0.0/16"));
+  ASSERT_EQ(s.nodes[s.roots[0]].children.size(), 1u);
+  EXPECT_TRUE(s.nodes[s.roots[0]].leaf);  // the /16 is itself an input
+}
+
+TEST(AddressStructure, RootContaining) {
+  const auto s = extract_address_structure(
+      std::vector<ip::Prefix>{pfx("10.0.0.0/24"), pfx("192.168.0.0/24")});
+  EXPECT_EQ(s.root_containing(addr("10.0.0.55")), 0);
+  EXPECT_EQ(s.root_containing(addr("192.168.0.1")), 1);
+  EXPECT_EQ(s.root_containing(addr("8.8.8.8")), -1);
+}
+
+TEST(AddressStructure, DuplicatesCollapse) {
+  const auto roots = roots_of({pfx("10.0.0.0/24"), pfx("10.0.0.0/24")});
+  EXPECT_EQ(roots.size(), 1u);
+}
+
+// --- instance-block association (paper §3.4 first use) -------------------------
+
+TEST(BlocksPerInstance, AssociatesCoveredSubnets) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.1.1.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n",
+       "hostname b\n"
+       "interface FastEthernet0/0\n ip address 192.168.0.1 255.255.255.0\n"
+       "router ospf 1\n network 192.168.0.0 0.0.255.255 area 0\n"});
+  const auto instances = compute_instances(net);
+  const auto structure = extract_address_structure(net);
+  const auto blocks = blocks_per_instance(net, instances, structure);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 1u);
+  EXPECT_EQ(blocks[1].size(), 1u);
+  EXPECT_NE(blocks[0][0], blocks[1][0]);
+}
+
+// --- missing-router detection (paper §3.4 second use) ---------------------------
+
+TEST(MissingRouter, DetectsHoleInInternalBlock) {
+  // Six /30s from one block plan, five fully populated, one half-populated
+  // (the missing router). The heuristic should flag the orphan interface.
+  std::vector<std::string> texts;
+  for (int i = 0; i < 6; ++i) {
+    const std::string base = "10.0.0." + std::to_string(i * 4);
+    const std::string a = "10.0.0." + std::to_string(i * 4 + 1);
+    const std::string b = "10.0.0." + std::to_string(i * 4 + 2);
+    texts.push_back("hostname a" + std::to_string(i) +
+                    "\ninterface Serial0/0 point-to-point\n ip address " + a +
+                    " 255.255.255.252\n");
+    if (i != 5) {  // the 6th peer's config is "missing from the data set"
+      texts.push_back("hostname b" + std::to_string(i) +
+                      "\ninterface Serial0/0 point-to-point\n ip address " +
+                      b + " 255.255.255.252\n");
+    }
+  }
+  const auto net = network_of(texts);
+  const auto structure = extract_address_structure(net);
+  const auto suspects = detect_missing_routers(net, structure, 0.8);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(net.interfaces()[suspects[0].interface].address->to_string(),
+            "10.0.0.21");
+  EXPECT_GE(suspects[0].internal_fraction, 0.8);
+}
+
+TEST(MissingRouter, TrueEdgeBlockNotFlagged) {
+  // External-facing interfaces drawn from their own block (as the paper
+  // says many networks do) should not be flagged.
+  std::vector<std::string> texts;
+  for (int i = 0; i < 6; ++i) {
+    texts.push_back(
+        "hostname e" + std::to_string(i) +
+        "\ninterface Serial0/0 point-to-point\n ip address 66.0.0." +
+        std::to_string(i * 4 + 1) + " 255.255.255.252\n");
+  }
+  const auto net = network_of(texts);
+  const auto structure = extract_address_structure(net);
+  EXPECT_TRUE(detect_missing_routers(net, structure, 0.8).empty());
+}
+
+}  // namespace
+}  // namespace rd::graph

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anonymize/anonymizer.h"
+#include "anonymize/ipanon.h"
+#include "anonymize/sha1.h"
+#include "config/lexer.h"
+#include "testutil.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rd::anonymize {
+namespace {
+
+// --- SHA-1 (RFC 3174 / FIPS 180 test vectors) --------------------------------
+
+TEST(Sha1, KnownVectors) {
+  EXPECT_EQ(Sha1::hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(Sha1::hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 sha;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(chunk);
+  const auto digest = sha.digest();
+  static constexpr std::uint8_t kExpected[20] = {
+      0x34, 0xaa, 0x97, 0x3c, 0xd4, 0xc4, 0xda, 0xa4, 0xf6, 0x1e,
+      0xeb, 0x2b, 0xdb, 0xad, 0x27, 0x31, 0x65, 0x34, 0x01, 0x6f};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(digest[static_cast<std::size_t>(i)], kExpected[i]);
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Sha1 sha;
+  sha.update("hello ");
+  sha.update("world");
+  EXPECT_EQ(sha.digest(), Sha1::hash("hello world"));
+}
+
+TEST(Sha1, BlockBoundaries) {
+  // Lengths around the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string data(len, 'x');
+    Sha1 split;
+    split.update(data.substr(0, len / 2));
+    split.update(data.substr(len / 2));
+    EXPECT_EQ(split.digest(), Sha1::hash(data)) << len;
+  }
+}
+
+TEST(Base62, ProducesIdentifierSafeTokens) {
+  const auto digest = Sha1::hash("route-map-name");
+  const auto token = base62_token(digest, 11);
+  EXPECT_EQ(token.size(), 11u);
+  for (char c : token) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                (c >= 'A' && c <= 'Z'));
+  }
+  EXPECT_FALSE(token[0] >= '0' && token[0] <= '9');
+  // Deterministic.
+  EXPECT_EQ(base62_token(digest, 11), token);
+}
+
+// --- Prefix-preserving IP anonymization --------------------------------------
+
+TEST(IpAnon, IsDeterministic) {
+  const PrefixPreservingAnonymizer anon(1234);
+  const auto a = *ip::Ipv4Address::parse("66.251.75.144");
+  EXPECT_EQ(anon.anonymize(a), anon.anonymize(a));
+}
+
+TEST(IpAnon, DifferentKeysDifferentMappings) {
+  const PrefixPreservingAnonymizer a1(1), a2(2);
+  const auto a = *ip::Ipv4Address::parse("10.1.2.3");
+  EXPECT_NE(a1.anonymize(a), a2.anonymize(a));
+}
+
+int shared_prefix_length(std::uint32_t x, std::uint32_t y) {
+  const std::uint32_t diff = x ^ y;
+  if (diff == 0) return 32;
+  int count = 0;
+  for (int bit = 31; bit >= 0 && ((diff >> bit) & 1u) == 0; --bit) ++count;
+  return count;
+}
+
+TEST(IpAnon, PreservesPrefixRelationsExactly) {
+  // The defining property: anonymized addresses share exactly as many
+  // leading bits as the originals.
+  const PrefixPreservingAnonymizer anon(777);
+  util::Rng rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    // Craft y sharing exactly k bits with x.
+    const int k = static_cast<int>(rng.below(32));
+    std::uint32_t y = x ^ (1u << (31 - k));
+    y ^= static_cast<std::uint32_t>(rng.next()) & ((1u << (31 - k)) - 1u);
+    const auto ax = anon.anonymize(ip::Ipv4Address(x)).value();
+    const auto ay = anon.anonymize(ip::Ipv4Address(y)).value();
+    ASSERT_EQ(shared_prefix_length(x, y), k);
+    EXPECT_EQ(shared_prefix_length(ax, ay), k);
+  }
+}
+
+TEST(IpAnon, IsInjectiveOnSample) {
+  const PrefixPreservingAnonymizer anon(5);
+  util::Rng rng(6);
+  std::set<std::uint32_t> outputs;
+  std::set<std::uint32_t> inputs;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    if (!inputs.insert(x).second) continue;
+    EXPECT_TRUE(outputs.insert(anon.anonymize(ip::Ipv4Address(x)).value())
+                    .second);
+  }
+}
+
+TEST(IpAnon, PrefixOverloadKeepsLength) {
+  const PrefixPreservingAnonymizer anon(9);
+  const auto p = *ip::Prefix::parse("10.1.2.0/24");
+  const auto q = anon.anonymize(p);
+  EXPECT_EQ(q.length(), 24);
+  // Subnet membership is preserved: an address inside maps inside.
+  const auto inside = anon.anonymize(*ip::Ipv4Address::parse("10.1.2.77"));
+  EXPECT_TRUE(q.contains(inside));
+}
+
+// --- Whole-config anonymization ----------------------------------------------
+
+TEST(Anonymizer, KeywordsPassThrough) {
+  Anonymizer anon(1);
+  EXPECT_EQ(anon.anonymize_token("interface"), "interface");
+  EXPECT_EQ(anon.anonymize_token("redistribute"), "redistribute");
+  EXPECT_EQ(anon.anonymize_token("FastEthernet"), "FastEthernet");
+}
+
+TEST(Anonymizer, InterfaceUnitsPassThrough) {
+  Anonymizer anon(1);
+  EXPECT_EQ(anon.anonymize_token("Serial1/0.5"), "Serial1/0.5");
+  EXPECT_EQ(anon.anonymize_token("FastEthernet0/1"), "FastEthernet0/1");
+  EXPECT_EQ(anon.anonymize_token("Loopback0"), "Loopback0");
+}
+
+TEST(Anonymizer, PlainIntegersPassThrough) {
+  Anonymizer anon(1);
+  EXPECT_EQ(anon.anonymize_token("100"), "100");
+  EXPECT_EQ(anon.anonymize_token("65000"), "65000");
+}
+
+TEST(Anonymizer, MasksPassThroughAddressesDoNot) {
+  Anonymizer anon(1);
+  EXPECT_EQ(anon.anonymize_token("255.255.255.252"), "255.255.255.252");
+  EXPECT_EQ(anon.anonymize_token("0.0.0.127"), "0.0.0.127");
+  const auto mapped = anon.anonymize_token("66.251.75.144");
+  EXPECT_NE(mapped, "66.251.75.144");
+  EXPECT_TRUE(ip::Ipv4Address::parse(mapped).has_value());
+}
+
+TEST(Anonymizer, FreeTokensAreHashedConsistently) {
+  Anonymizer anon(1);
+  const auto h1 = anon.anonymize_token("my-route-map");
+  const auto h2 = anon.anonymize_token("my-route-map");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, "my-route-map");
+  EXPECT_EQ(h1.size(), 11u);  // the paper's "8aTzlvBrbaW" style
+  EXPECT_NE(anon.anonymize_token("other-name"), h1);
+  EXPECT_EQ(anon.hashed_token_count(), 2u);
+}
+
+TEST(Anonymizer, PublicAsnRenumberedPrivateKept) {
+  Anonymizer anon(1);
+  const auto pub = anon.anonymize_asn(7018);
+  EXPECT_NE(pub, 7018u);
+  EXPECT_FALSE(ip::is_private_asn(pub));
+  EXPECT_EQ(anon.anonymize_asn(7018), pub);  // consistent
+  EXPECT_EQ(anon.anonymize_asn(65001), 65001u);  // private untouched
+}
+
+TEST(Anonymizer, AsnRenumberingIsInjective) {
+  Anonymizer anon(2);
+  std::set<std::uint32_t> outputs;
+  for (std::uint32_t asn = 1; asn <= 500; ++asn) {
+    EXPECT_TRUE(outputs.insert(anon.anonymize_asn(asn)).second);
+  }
+}
+
+TEST(Anonymizer, CommentTextRemoved) {
+  Anonymizer anon(1);
+  const auto out = anon.anonymize("! secret location: datacenter 7\nend\n");
+  EXPECT_EQ(out, "!\nend\n");
+}
+
+TEST(Anonymizer, AsnContextDetected) {
+  Anonymizer anon(1);
+  const auto out = anon.anonymize(
+      "router bgp 7018\n neighbor 10.0.0.2 remote-as 701\n");
+  EXPECT_EQ(out.find("7018"), std::string::npos);
+  EXPECT_EQ(out.find(" 701\n"), std::string::npos);
+  // Structure is intact.
+  EXPECT_NE(out.find("router bgp "), std::string::npos);
+  EXPECT_NE(out.find("remote-as "), std::string::npos);
+}
+
+TEST(Anonymizer, PreservesIndentation) {
+  Anonymizer anon(1);
+  const auto out = anon.anonymize("interface Ethernet0\n shutdown\n");
+  EXPECT_NE(out.find("\n shutdown\n"), std::string::npos);
+}
+
+TEST(Anonymizer, HostnameIsHidden) {
+  Anonymizer anon(1);
+  const auto out = anon.anonymize("hostname nyc-core-7\n");
+  EXPECT_EQ(out.find("nyc-core-7"), std::string::npos);
+  EXPECT_NE(out.find("hostname "), std::string::npos);
+}
+
+TEST(Anonymizer, AnonymizedConfigStillParses) {
+  Anonymizer anon(99);
+  const auto out = anon.anonymize(rd::test::kFigure2Config);
+  const auto result = config::parse_config(out, "anon");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << (result.diagnostics.empty() ? "" : result.diagnostics[0].message);
+  const auto& cfg = result.config;
+  EXPECT_EQ(cfg.interfaces.size(), 3u);
+  EXPECT_EQ(cfg.router_stanzas.size(), 3u);
+  EXPECT_EQ(cfg.access_lists.size(), 1u);
+  EXPECT_EQ(cfg.route_maps.size(), 1u);
+  EXPECT_EQ(cfg.static_routes.size(), 1u);
+  // Same structural quantities: masks unchanged.
+  EXPECT_EQ(cfg.interfaces[1].address->mask.length(), 30);
+}
+
+TEST(Anonymizer, StructurePreservedForLinkInference) {
+  // Two routers sharing a /30: after anonymization with one Anonymizer
+  // instance, they must still share a subnet (the paper's key requirement).
+  const std::string r1 =
+      "hostname a\ninterface Serial0/0\n ip address 10.0.0.1 "
+      "255.255.255.252\n";
+  const std::string r2 =
+      "hostname b\ninterface Serial0/0\n ip address 10.0.0.2 "
+      "255.255.255.252\n";
+  Anonymizer anon(123);
+  const auto net = rd::test::network_of({anon.anonymize(r1),
+                                         anon.anonymize(r2)});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_EQ(net.links()[0].interfaces.size(), 2u);
+  EXPECT_EQ(net.links()[0].subnet.length(), 30);
+}
+
+TEST(Anonymizer, LineCountUnchanged) {
+  Anonymizer anon(5);
+  const auto out = anon.anonymize(rd::test::kFigure2Config);
+  EXPECT_EQ(config::count_command_lines(out),
+            config::count_command_lines(rd::test::kFigure2Config));
+}
+
+}  // namespace
+}  // namespace rd::anonymize

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "synth/builder.h"
+#include "synth/plan.h"
+#include "testutil.h"
+
+namespace rd::synth {
+namespace {
+
+using rd::test::pfx;
+
+TEST(Builder, AddRouterNamesSequentially) {
+  NetworkBuilder b("net");
+  EXPECT_EQ(b.add_router(), 0u);
+  EXPECT_EQ(b.add_router("custom"), 1u);
+  EXPECT_EQ(b.router(0).hostname, "net-r0");
+  EXPECT_EQ(b.router(1).hostname, "custom");
+  EXPECT_EQ(b.router_count(), 2u);
+}
+
+TEST(Builder, ConnectP2pAssignsBothEnds) {
+  NetworkBuilder b("net");
+  const auto r0 = b.add_router();
+  const auto r1 = b.add_router();
+  AddressPlanner planner(pfx("10.0.0.0/24"));
+  const auto link = b.connect_p2p(r0, r1, planner, "Serial");
+  EXPECT_EQ(link.subnet.length(), 30);
+  EXPECT_EQ(link.address_a.to_string(), "10.0.0.1");
+  EXPECT_EQ(link.address_b.to_string(), "10.0.0.2");
+  EXPECT_EQ(link.interface_a, "Serial0/0");
+  ASSERT_EQ(b.router(r0).interfaces.size(), 1u);
+  EXPECT_TRUE(b.router(r0).interfaces[0].point_to_point);
+  EXPECT_EQ(b.router(r0).interfaces[0].address->mask.length(), 30);
+}
+
+TEST(Builder, SerialNamingUsesSlotPort) {
+  NetworkBuilder b("net");
+  const auto r0 = b.add_router();
+  const auto r1 = b.add_router();
+  AddressPlanner planner(pfx("10.0.0.0/16"));
+  std::string last;
+  for (int i = 0; i < 9; ++i) {
+    last = b.connect_p2p(r0, r1, planner, "Serial").interface_a;
+  }
+  EXPECT_EQ(last, "Serial1/0");  // 9th port rolls into slot 1
+}
+
+TEST(Builder, LanAndLoopback) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  AddressPlanner planner(pfx("10.0.0.0/16"));
+  const auto lan_name = b.add_lan(r, pfx("10.5.0.0/24"), "FastEthernet");
+  EXPECT_EQ(lan_name, "FastEthernet0/0");
+  const auto loop = b.add_loopback(r, planner);
+  EXPECT_EQ(loop.to_string(), "10.0.0.0");
+  ASSERT_EQ(b.router(r).interfaces.size(), 2u);
+  EXPECT_EQ(b.router(r).interfaces[1].name, "Loopback0");
+  EXPECT_EQ(b.router(r).interfaces[1].address->mask.length(), 32);
+}
+
+TEST(Builder, ExternalAttachmentLeavesNeighborUnconfigured) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  AddressPlanner planner(pfx("66.0.0.0/24"));
+  const auto att = b.attach_external(r, planner, "Serial");
+  EXPECT_EQ(att.local_address.to_string(), "66.0.0.1");
+  EXPECT_EQ(att.neighbor_address.to_string(), "66.0.0.2");
+  EXPECT_EQ(b.router(r).interfaces.size(), 1u);  // only our side exists
+}
+
+TEST(Builder, RoutingStanzaIsIdempotent) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  auto& first = b.routing_stanza(r, config::RoutingProtocol::kOspf, 1);
+  NetworkBuilder::cover_subnet(first, pfx("10.0.0.0/8"), 3);
+  auto& again = b.routing_stanza(r, config::RoutingProtocol::kOspf, 1);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(b.router(r).router_stanzas.size(), 1u);
+  EXPECT_EQ(again.networks[0].area, 3u);
+  // A different process id creates a new stanza.
+  b.routing_stanza(r, config::RoutingProtocol::kOspf, 2);
+  EXPECT_EQ(b.router(r).router_stanzas.size(), 2u);
+}
+
+TEST(Builder, RipStanzaSingleton) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  auto& rip = b.rip_stanza(r);
+  auto& again = b.rip_stanza(r);
+  EXPECT_EQ(&rip, &again);
+  EXPECT_FALSE(rip.process_id.has_value());
+}
+
+TEST(Builder, AclHelpersGroupById) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  b.add_acl_rule(r, "10", config::FilterAction::kPermit, pfx("10.0.0.0/8"));
+  b.add_acl_rule(r, "10", config::FilterAction::kDeny, {}, /*any=*/true);
+  b.add_extended_acl_rule(r, "101", config::FilterAction::kDeny, "udp", {},
+                          true, {}, true, 1434);
+  ASSERT_EQ(b.router(r).access_lists.size(), 2u);
+  EXPECT_EQ(b.router(r).access_lists[0].rules.size(), 2u);
+  EXPECT_EQ(b.router(r).access_lists[1].rules[0].destination_port, 1434u);
+}
+
+TEST(Builder, PrefixListSequenceNumbers) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  b.add_prefix_list_entry(r, "PL", config::FilterAction::kPermit,
+                          pfx("10.0.0.0/8"), {}, 24);
+  b.add_prefix_list_entry(r, "PL", config::FilterAction::kDeny,
+                          pfx("0.0.0.0/0"));
+  ASSERT_EQ(b.router(r).prefix_lists.size(), 1u);
+  const auto& pl = b.router(r).prefix_lists[0];
+  ASSERT_EQ(pl.entries.size(), 2u);
+  EXPECT_EQ(pl.entries[0].sequence, 5u);
+  EXPECT_EQ(pl.entries[1].sequence, 10u);
+  EXPECT_EQ(pl.entries[0].le, 24);
+}
+
+TEST(Builder, ApplyFilterByInterfaceName) {
+  NetworkBuilder b("net");
+  const auto r = b.add_router();
+  const auto name = b.add_lan(r, pfx("10.0.0.0/24"), "Ethernet");
+  b.apply_filter(r, name, "42", /*inbound=*/true);
+  b.apply_filter(r, name, "43", /*inbound=*/false);
+  b.apply_filter(r, "nonexistent", "44", true);  // silently ignored
+  EXPECT_EQ(b.router(r).interfaces[0].access_group_in, "42");
+  EXPECT_EQ(b.router(r).interfaces[0].access_group_out, "43");
+}
+
+TEST(Builder, TakeResetsBuilder) {
+  NetworkBuilder b("net");
+  b.add_router();
+  const auto configs = b.take();
+  EXPECT_EQ(configs.size(), 1u);
+  EXPECT_EQ(b.router_count(), 0u);
+}
+
+TEST(Planner, UsedTracksConsumption) {
+  AddressPlanner planner(pfx("10.0.0.0/24"));
+  EXPECT_EQ(planner.used(), 0u);
+  planner.allocate(32);
+  planner.allocate(30);  // aligns to offset 4
+  EXPECT_EQ(planner.used(), 8u);
+  EXPECT_EQ(planner.pool(), pfx("10.0.0.0/24"));
+}
+
+}  // namespace
+}  // namespace rd::synth

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "config/lexer.h"
+#include "config/parser.h"
+#include "testutil.h"
+
+namespace rd::config {
+namespace {
+
+using rd::test::kFigure2Config;
+using rd::test::parse;
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesAndTracksIndent) {
+  const auto lines = lex("interface Ethernet0\n ip address 1.2.3.4 "
+                         "255.255.255.0\n!\nrouter ospf 1\n");
+  ASSERT_EQ(lines.size(), 3u);  // comment dropped
+  EXPECT_EQ(lines[0].indent, 0);
+  EXPECT_EQ(lines[0].tokens[0], "interface");
+  EXPECT_EQ(lines[1].indent, 1);
+  EXPECT_EQ(lines[1].tokens.size(), 4u);  // ip address <addr> <mask>
+  EXPECT_EQ(lines[2].tokens[2], "1");
+}
+
+TEST(Lexer, DropsBlankAndCommentLines) {
+  const auto lines = lex("\n  \n! a comment\n   ! another\nend\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].raw, "end");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto lines = lex("a\n!\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].number, 1u);
+  EXPECT_EQ(lines[1].number, 3u);
+}
+
+TEST(Lexer, CountsCommandLines) {
+  EXPECT_EQ(count_command_lines("a\n!\nb\n\nc\n"), 3u);
+  EXPECT_EQ(count_command_lines(""), 0u);
+}
+
+// --- parser: the paper's Figure 2 configlet ---------------------------------
+
+TEST(ParserFigure2, ParsesWholeConfiglet) {
+  const auto result = parse_config(kFigure2Config, "R2");
+  EXPECT_TRUE(result.diagnostics.empty());
+  const auto& cfg = result.config;
+  EXPECT_EQ(cfg.interfaces.size(), 3u);
+  EXPECT_EQ(cfg.router_stanzas.size(), 3u);
+  EXPECT_EQ(cfg.access_lists.size(), 1u);
+  EXPECT_EQ(cfg.route_maps.size(), 1u);
+  EXPECT_EQ(cfg.static_routes.size(), 1u);
+}
+
+TEST(ParserFigure2, InterfaceDetails) {
+  const auto cfg = parse(kFigure2Config);
+  const auto* eth = cfg.find_interface("Ethernet0");
+  ASSERT_NE(eth, nullptr);
+  ASSERT_TRUE(eth->address.has_value());
+  EXPECT_EQ(eth->address->address.to_string(), "66.251.75.144");
+  EXPECT_EQ(eth->address->mask.length(), 25);
+  EXPECT_EQ(eth->access_group_in, "143");
+  EXPECT_FALSE(eth->point_to_point);
+
+  const auto* serial = cfg.find_interface("Serial1/0.5");
+  ASSERT_NE(serial, nullptr);
+  EXPECT_TRUE(serial->point_to_point);
+  EXPECT_EQ(serial->address->mask.length(), 30);
+  // The frame-relay line is preserved verbatim.
+  ASSERT_EQ(serial->extra_lines.size(), 1u);
+  EXPECT_EQ(serial->extra_lines[0], "frame-relay interface-dlci 28");
+
+  EXPECT_EQ(cfg.find_interface("Hssi2/0")->hardware_type(), "Hssi");
+}
+
+TEST(ParserFigure2, OspfStanzas) {
+  const auto cfg = parse(kFigure2Config);
+  const auto& ospf64 = cfg.router_stanzas[0];
+  EXPECT_EQ(ospf64.protocol, RoutingProtocol::kOspf);
+  EXPECT_EQ(ospf64.process_id, 64u);
+  ASSERT_EQ(ospf64.redistributes.size(), 2u);
+  EXPECT_EQ(ospf64.redistributes[0].source, RedistributeSource::kConnected);
+  EXPECT_EQ(ospf64.redistributes[0].metric_type, 1u);
+  EXPECT_TRUE(ospf64.redistributes[0].subnets);
+  EXPECT_EQ(ospf64.redistributes[1].source, RedistributeSource::kProtocol);
+  EXPECT_EQ(ospf64.redistributes[1].protocol, RoutingProtocol::kBgp);
+  EXPECT_EQ(ospf64.redistributes[1].process_id, 64780u);
+  EXPECT_EQ(ospf64.redistributes[1].metric, 1u);
+  ASSERT_EQ(ospf64.networks.size(), 1u);
+  EXPECT_EQ(ospf64.networks[0].prefix().to_string(), "66.251.75.128/25");
+  EXPECT_EQ(ospf64.networks[0].area, 0u);
+
+  const auto& ospf128 = cfg.router_stanzas[1];
+  EXPECT_EQ(ospf128.process_id, 128u);
+  EXPECT_EQ(ospf128.networks[0].area, 11u);
+  ASSERT_EQ(ospf128.distribute_lists.size(), 2u);
+  EXPECT_EQ(ospf128.distribute_lists[0].acl, "44");
+  EXPECT_TRUE(ospf128.distribute_lists[0].inbound);
+  EXPECT_EQ(ospf128.distribute_lists[0].interface, "Serial1/0.5");
+  EXPECT_FALSE(ospf128.distribute_lists[1].inbound);
+}
+
+TEST(ParserFigure2, BgpStanza) {
+  const auto cfg = parse(kFigure2Config);
+  const auto& bgp = cfg.router_stanzas[2];
+  EXPECT_EQ(bgp.protocol, RoutingProtocol::kBgp);
+  EXPECT_EQ(bgp.process_id, 64780u);
+  ASSERT_EQ(bgp.redistributes.size(), 1u);
+  EXPECT_EQ(bgp.redistributes[0].protocol, RoutingProtocol::kOspf);
+  EXPECT_EQ(bgp.redistributes[0].process_id, 64u);
+  EXPECT_EQ(bgp.redistributes[0].route_map, "8aTzlvBrbaW");
+  ASSERT_EQ(bgp.neighbors.size(), 1u);
+  const auto& nbr = bgp.neighbors[0];
+  EXPECT_EQ(nbr.address.to_string(), "66.253.160.68");
+  EXPECT_EQ(nbr.remote_as, 12762u);
+  EXPECT_EQ(nbr.distribute_list_in, "4");
+  EXPECT_EQ(nbr.distribute_list_out, "3");
+}
+
+TEST(ParserFigure2, AccessListAndRouteMap) {
+  const auto cfg = parse(kFigure2Config);
+  const auto* acl = cfg.find_access_list("143");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->rules.size(), 2u);
+  EXPECT_EQ(acl->rules[0].action, FilterAction::kDeny);
+  EXPECT_EQ(acl->rules[0].source.to_string(), "134.161.0.0/16");
+  EXPECT_TRUE(acl->rules[1].any_source);
+  EXPECT_EQ(acl->rules[1].action, FilterAction::kPermit);
+
+  const auto* rm = cfg.find_route_map("8aTzlvBrbaW");
+  ASSERT_NE(rm, nullptr);
+  ASSERT_EQ(rm->clauses.size(), 2u);
+  EXPECT_EQ(rm->clauses[0].action, FilterAction::kDeny);
+  EXPECT_EQ(rm->clauses[0].sequence, 10u);
+  EXPECT_EQ(rm->clauses[0].match_ip_address_acls,
+            std::vector<std::string>{"4"});
+  EXPECT_EQ(rm->clauses[1].action, FilterAction::kPermit);
+  EXPECT_EQ(rm->clauses[1].sequence, 20u);
+}
+
+TEST(ParserFigure2, StaticRoute) {
+  const auto cfg = parse(kFigure2Config);
+  const auto& route = cfg.static_routes[0];
+  EXPECT_EQ(route.destination.to_string(), "10.235.240.71");
+  EXPECT_EQ(route.mask.length(), 16);
+  EXPECT_EQ(std::get<ip::Ipv4Address>(route.next_hop).to_string(),
+            "10.234.12.7");
+  EXPECT_EQ(route.prefix().to_string(), "10.235.0.0/16");
+}
+
+// --- parser: general behaviour ----------------------------------------------
+
+TEST(Parser, Hostname) {
+  EXPECT_EQ(parse("hostname core-7\n").hostname, "core-7");
+  // Falls back to the source-file name.
+  EXPECT_EQ(config::parse_config("end\n", "config9").config.hostname,
+            "config9");
+}
+
+TEST(Parser, SecondaryAddresses) {
+  const auto cfg = parse(
+      "interface Ethernet0\n"
+      " ip address 10.0.0.1 255.255.255.0\n"
+      " ip address 10.0.1.1 255.255.255.0 secondary\n");
+  ASSERT_EQ(cfg.interfaces.size(), 1u);
+  EXPECT_EQ(cfg.interfaces[0].address->address.to_string(), "10.0.0.1");
+  ASSERT_EQ(cfg.interfaces[0].secondary_addresses.size(), 1u);
+  EXPECT_EQ(cfg.interfaces[0].secondary_addresses[0].address.to_string(),
+            "10.0.1.1");
+}
+
+TEST(Parser, InterfaceAttributes) {
+  const auto cfg = parse(
+      "interface Serial0/0\n"
+      " description uplink to hub\n"
+      " bandwidth 1544\n"
+      " ip ospf cost 200\n"
+      " shutdown\n");
+  const auto& itf = cfg.interfaces[0];
+  EXPECT_EQ(itf.description, "uplink to hub");
+  EXPECT_EQ(itf.bandwidth_kbps, 1544u);
+  EXPECT_EQ(itf.ospf_cost, 200u);
+  EXPECT_TRUE(itf.shutdown);
+  EXPECT_FALSE(itf.address.has_value());
+}
+
+TEST(Parser, BgpNetworkWithMask) {
+  const auto cfg = parse(
+      "router bgp 65000\n"
+      " network 10.64.0.0 mask 255.192.0.0\n");
+  ASSERT_EQ(cfg.router_stanzas[0].networks.size(), 1u);
+  EXPECT_EQ(cfg.router_stanzas[0].networks[0].prefix().to_string(),
+            "10.64.0.0/10");
+}
+
+TEST(Parser, ClassfulNetworkStatement) {
+  const auto cfg = parse(
+      "router rip\n"
+      " network 10.0.0.0\n"
+      " network 192.168.4.0\n");
+  const auto& stanza = cfg.router_stanzas[0];
+  EXPECT_EQ(stanza.protocol, RoutingProtocol::kRip);
+  EXPECT_FALSE(stanza.process_id.has_value());
+  EXPECT_EQ(stanza.networks[0].prefix().to_string(), "10.0.0.0/8");
+  EXPECT_EQ(stanza.networks[1].prefix().to_string(), "192.168.4.0/24");
+}
+
+TEST(Parser, EigrpAndIgrp) {
+  const auto cfg = parse("router eigrp 100\nrouter igrp 7\n");
+  EXPECT_EQ(cfg.router_stanzas[0].protocol, RoutingProtocol::kEigrp);
+  EXPECT_EQ(cfg.router_stanzas[1].protocol, RoutingProtocol::kIgrp);
+}
+
+TEST(Parser, PassiveInterfaces) {
+  const auto cfg = parse(
+      "router ospf 1\n"
+      " passive-interface default\n"
+      " passive-interface Ethernet0\n");
+  EXPECT_TRUE(cfg.router_stanzas[0].passive_default);
+  EXPECT_EQ(cfg.router_stanzas[0].passive_interfaces,
+            std::vector<std::string>{"Ethernet0"});
+}
+
+TEST(Parser, NeighborAttributesMergeByAddress) {
+  const auto cfg = parse(
+      "router bgp 65000\n"
+      " neighbor 10.0.0.2 remote-as 65001\n"
+      " neighbor 10.0.0.2 update-source Loopback0\n"
+      " neighbor 10.0.0.2 next-hop-self\n"
+      " neighbor 10.0.0.2 route-reflector-client\n"
+      " neighbor 10.0.0.2 route-map FOO in\n"
+      " neighbor 10.0.0.6 remote-as 65002\n");
+  const auto& stanza = cfg.router_stanzas[0];
+  ASSERT_EQ(stanza.neighbors.size(), 2u);
+  EXPECT_EQ(stanza.neighbors[0].remote_as, 65001u);
+  EXPECT_EQ(stanza.neighbors[0].update_source, "Loopback0");
+  EXPECT_TRUE(stanza.neighbors[0].next_hop_self);
+  EXPECT_TRUE(stanza.neighbors[0].route_reflector_client);
+  EXPECT_EQ(stanza.neighbors[0].route_map_in, "FOO");
+  EXPECT_EQ(stanza.neighbors[1].remote_as, 65002u);
+}
+
+TEST(Parser, ExtendedAclRules) {
+  const auto cfg = parse(
+      "access-list 101 permit tcp any host 10.0.0.5 eq 80\n"
+      "access-list 101 deny udp 10.1.0.0 0.0.255.255 any eq 1434\n"
+      "access-list 101 deny pim any any\n"
+      "access-list 101 permit ip any any\n");
+  const auto* acl = cfg.find_access_list("101");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->rules.size(), 4u);
+  EXPECT_TRUE(acl->rules[0].extended);
+  EXPECT_EQ(acl->rules[0].protocol, "tcp");
+  EXPECT_TRUE(acl->rules[0].any_source);
+  EXPECT_FALSE(acl->rules[0].any_destination);
+  EXPECT_EQ(acl->rules[0].destination.to_string(), "10.0.0.5/32");
+  EXPECT_EQ(acl->rules[0].destination_port, 80u);
+  EXPECT_EQ(acl->rules[1].source.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(acl->rules[1].destination_port, 1434u);
+  EXPECT_EQ(acl->rules[2].protocol, "pim");
+  EXPECT_TRUE(acl->rules[3].any_source);
+  EXPECT_TRUE(acl->rules[3].any_destination);
+}
+
+TEST(Parser, StandardAclHostForm) {
+  const auto cfg = parse("access-list 10 permit host 10.0.0.9\n");
+  EXPECT_EQ(cfg.access_lists[0].rules[0].source.to_string(), "10.0.0.9/32");
+}
+
+TEST(Parser, StandardAclBareAddressIsHostMatch) {
+  const auto cfg = parse("access-list 10 permit 10.0.0.9\n");
+  EXPECT_EQ(cfg.access_lists[0].rules[0].source.to_string(), "10.0.0.9/32");
+}
+
+TEST(Parser, AclRemarksIgnored) {
+  const auto cfg = parse(
+      "access-list 10 remark management hosts follow\n"
+      "access-list 10 permit any\n");
+  ASSERT_EQ(cfg.access_lists.size(), 1u);
+  EXPECT_EQ(cfg.access_lists[0].rules.size(), 1u);
+}
+
+TEST(Parser, RouteMapSetClauses) {
+  const auto cfg = parse(
+      "route-map RM permit 10\n"
+      " match tag 7\n"
+      " set tag 9\n"
+      " set metric 120\n"
+      " set local-preference 200\n");
+  const auto& clause = cfg.route_maps[0].clauses[0];
+  EXPECT_EQ(clause.match_tag, 7u);
+  EXPECT_EQ(clause.set_tag, 9u);
+  EXPECT_EQ(clause.set_metric, 120u);
+  EXPECT_EQ(clause.set_local_preference, 200u);
+}
+
+TEST(Parser, StaticRouteWithInterfaceNextHop) {
+  const auto cfg = parse("ip route 0.0.0.0 0.0.0.0 Serial0/0 250\n");
+  const auto& route = cfg.static_routes[0];
+  EXPECT_EQ(std::get<std::string>(route.next_hop), "Serial0/0");
+  EXPECT_EQ(route.administrative_distance, 250u);
+  EXPECT_EQ(route.prefix().to_string(), "0.0.0.0/0");
+}
+
+TEST(Parser, SkipsHousekeepingWithoutDiagnostics) {
+  const auto result = parse_config(
+      "version 12.2\n"
+      "service timestamps log uptime\n"
+      "no ip domain-lookup\n"
+      "ip classless\n"
+      "enable secret 5 xyz\n"
+      "snmp-server community public RO\n"
+      "line vty 0 4\n"
+      " password 7 abc\n"
+      " login\n"
+      "end\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.config.line_count, 10u);
+}
+
+TEST(Parser, DiagnosesUnknownCommands) {
+  const auto result = parse_config("frobnicate everything\n");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("frobnicate"),
+            std::string::npos);
+}
+
+TEST(Parser, DiagnosesMalformedButContinues) {
+  const auto result = parse_config(
+      "interface Ethernet0\n"
+      " ip address 999.0.0.1 255.255.255.0\n"
+      "router ospf 1\n"
+      " network 10.0.0.0 0.0.0.255 area 0\n");
+  EXPECT_FALSE(result.diagnostics.empty());
+  EXPECT_EQ(result.config.interfaces.size(), 1u);
+  EXPECT_EQ(result.config.router_stanzas.size(), 1u);
+  EXPECT_EQ(result.config.router_stanzas[0].networks.size(), 1u);
+}
+
+TEST(Parser, OrphanSubCommandDiagnosed) {
+  const auto result = parse_config(" ip address 10.0.0.1 255.255.255.0\n");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_TRUE(result.config.interfaces.empty());
+}
+
+TEST(Parser, UnknownProtocolSkipsBlock) {
+  const auto result = parse_config(
+      "router banyan 3\n"
+      " network 10.0.0.0\n"
+      "router ospf 1\n");
+  EXPECT_EQ(result.config.router_stanzas.size(), 1u);
+  EXPECT_EQ(result.config.router_stanzas[0].protocol, RoutingProtocol::kOspf);
+}
+
+TEST(Parser, MultipleInstancesOfSameProtocol) {
+  // The paper's R2 runs two OSPF processes; process ids are router-local.
+  const auto cfg = parse("router ospf 64\nrouter ospf 128\n");
+  ASSERT_EQ(cfg.router_stanzas.size(), 2u);
+  EXPECT_EQ(cfg.router_stanzas[0].process_id, 64u);
+  EXPECT_EQ(cfg.router_stanzas[1].process_id, 128u);
+}
+
+TEST(Parser, LineCountMatchesFigure4Definition) {
+  // Comments and blanks are excluded, everything else counts.
+  const auto result = parse_config("hostname x\n!\n\ninterface Ethernet0\n"
+                                   " shutdown\n!\nend\n");
+  EXPECT_EQ(result.config.line_count, 4u);
+}
+
+}  // namespace
+}  // namespace rd::config

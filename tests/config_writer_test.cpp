@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "config/writer.h"
+#include "synth/archetypes.h"
+#include "testutil.h"
+
+namespace rd::config {
+namespace {
+
+using rd::test::kFigure2Config;
+
+/// The round-trip property: parsing the writer's output yields the same
+/// modeled configuration. (write is not byte-identical to arbitrary input —
+/// it normalizes layout — but parse∘write must be the identity on the
+/// model.)
+void expect_round_trip(const RouterConfig& config) {
+  const std::string text = write_config(config);
+  const auto result = parse_config(text, config.hostname);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << "first diagnostic: "
+      << (result.diagnostics.empty() ? "" : result.diagnostics[0].message);
+  const RouterConfig& reparsed = result.config;
+  EXPECT_EQ(reparsed.hostname, config.hostname);
+  EXPECT_EQ(reparsed.interfaces, config.interfaces);
+  EXPECT_EQ(reparsed.router_stanzas, config.router_stanzas);
+  EXPECT_EQ(reparsed.access_lists, config.access_lists);
+  EXPECT_EQ(reparsed.route_maps, config.route_maps);
+  EXPECT_EQ(reparsed.static_routes, config.static_routes);
+}
+
+TEST(Writer, RoundTripsFigure2) {
+  auto cfg = rd::test::parse(kFigure2Config, "R2");
+  cfg.hostname = "R2";
+  expect_round_trip(cfg);
+}
+
+TEST(Writer, WriteIsIdempotent) {
+  const auto cfg = rd::test::parse(kFigure2Config, "R2");
+  const std::string once = write_config(cfg);
+  const std::string twice = write_config(parse_config(once, "R2").config);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Writer, EmitsWildcardFormForIgp) {
+  RouterConfig cfg;
+  cfg.hostname = "r";
+  RouterStanza ospf;
+  ospf.protocol = RoutingProtocol::kOspf;
+  ospf.process_id = 1;
+  NetworkStatement ns;
+  ns.address = *ip::Ipv4Address::parse("10.0.0.0");
+  ns.mask = ip::Netmask::from_length(12);
+  ns.area = 0;
+  ospf.networks.push_back(ns);
+  cfg.router_stanzas.push_back(ospf);
+  const auto text = write_config(cfg);
+  EXPECT_NE(text.find("network 10.0.0.0 0.15.255.255 area 0"),
+            std::string::npos);
+}
+
+TEST(Writer, EmitsMaskFormForBgp) {
+  RouterConfig cfg;
+  cfg.hostname = "r";
+  RouterStanza bgp;
+  bgp.protocol = RoutingProtocol::kBgp;
+  bgp.process_id = 65000;
+  NetworkStatement ns;
+  ns.address = *ip::Ipv4Address::parse("10.64.0.0");
+  ns.mask = ip::Netmask::from_length(10);
+  bgp.networks.push_back(ns);
+  cfg.router_stanzas.push_back(bgp);
+  const auto text = write_config(cfg);
+  EXPECT_NE(text.find("network 10.64.0.0 mask 255.192.0.0"),
+            std::string::npos);
+}
+
+TEST(Writer, EmitsHousekeepingPreamble) {
+  RouterConfig cfg;
+  cfg.hostname = "r";
+  const auto text = write_config(cfg);
+  EXPECT_NE(text.find("version"), std::string::npos);
+  EXPECT_NE(text.find("hostname r"), std::string::npos);
+  EXPECT_NE(text.find("line vty"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+// Round-trip the generators' output: every synthetic archetype must survive
+// write -> parse unchanged. This is what guarantees the whole pipeline can
+// run from configuration text alone.
+class ArchetypeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchetypeRoundTrip, AllConfigsRoundTrip) {
+  synth::SynthNetwork net;
+  switch (GetParam()) {
+    case 0: {
+      synth::TextbookEnterpriseParams p;
+      p.routers = 25;
+      net = synth::make_textbook_enterprise(p);
+      break;
+    }
+    case 1: {
+      synth::BackboneParams p;
+      p.access_routers = 30;
+      p.external_peers = 40;
+      net = synth::make_backbone(p);
+      break;
+    }
+    case 2: {
+      synth::Tier2Params p;
+      p.edge_routers = 20;
+      net = synth::make_tier2_isp(p);
+      break;
+    }
+    case 3: {
+      synth::ManagedEnterpriseParams p;
+      p.regions = 2;
+      p.spokes_per_region = 10;
+      p.ebgp_spoke_rate = 0.3;
+      net = synth::make_managed_enterprise(p);
+      break;
+    }
+    case 4: {
+      synth::NoBgpParams p;
+      p.edge = synth::NoBgpParams::Edge::kRip;
+      net = synth::make_no_bgp_enterprise(p);
+      break;
+    }
+    case 5: {
+      synth::MergedHybridParams p;
+      net = synth::make_merged_hybrid(p);
+      break;
+    }
+    case 6:
+      net = synth::make_net15();
+      break;
+    default:
+      GTEST_FAIL();
+  }
+  ASSERT_FALSE(net.configs.empty());
+  for (const auto& cfg : net.configs) expect_round_trip(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchetypes, ArchetypeRoundTrip,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace rd::config

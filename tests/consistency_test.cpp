@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/consistency.h"
+#include "synth/emit.h"
+#include "synth/fleet.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+
+bool has(const std::vector<ConsistencyFinding>& findings,
+         ConsistencyKind kind) {
+  return std::any_of(
+      findings.begin(), findings.end(),
+      [&](const ConsistencyFinding& f) { return f.kind == kind; });
+}
+
+TEST(Consistency, CleanNetworkHasNoFindings) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "router bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n",
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"});
+  EXPECT_TRUE(check_consistency(net).empty());
+}
+
+TEST(Consistency, DuplicateAddressAcrossRouters) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n",
+       "hostname b\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"});
+  const auto findings = check_consistency(net);
+  ASSERT_TRUE(has(findings, ConsistencyKind::kDuplicateAddress));
+  EXPECT_NE(findings[0].detail.find("10.0.0.1"), std::string::npos);
+}
+
+TEST(Consistency, DuplicateViaSecondaryAddress) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n",
+       "hostname b\ninterface FastEthernet0/0\n"
+       " ip address 10.9.0.1 255.255.255.0\n"
+       " ip address 10.0.0.1 255.255.255.0 secondary\n"});
+  EXPECT_TRUE(has(check_consistency(net),
+                  ConsistencyKind::kDuplicateAddress));
+}
+
+TEST(Consistency, MaskMismatchOnOneWire) {
+  // One side believes the wire is a /30, the other a /24.
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n",
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.0\n"});
+  const auto findings = check_consistency(net);
+  ASSERT_TRUE(has(findings, ConsistencyKind::kMaskMismatch));
+}
+
+TEST(Consistency, OneSidedInternalSession) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "router bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n",
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router bgp 65002\n"});  // b never configures the session back
+  EXPECT_TRUE(has(check_consistency(net),
+                  ConsistencyKind::kOneSidedBgpSession));
+}
+
+TEST(Consistency, AsnMismatchDetected) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "router bgp 65001\n neighbor 10.0.0.2 remote-as 65009\n",  // wrong AS
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router bgp 65002\n neighbor 10.0.0.1 remote-as 65001\n"});
+  const auto findings = check_consistency(net);
+  EXPECT_TRUE(has(findings, ConsistencyKind::kAsnMismatch));
+}
+
+TEST(Consistency, TrueExternalSessionNotFlagged) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n"});
+  EXPECT_FALSE(has(check_consistency(net),
+                   ConsistencyKind::kAsnMismatch));
+  EXPECT_FALSE(has(check_consistency(net),
+                   ConsistencyKind::kOneSidedBgpSession));
+}
+
+TEST(Consistency, KindNames) {
+  EXPECT_EQ(to_string(ConsistencyKind::kDuplicateAddress),
+            "duplicate-address");
+  EXPECT_EQ(to_string(ConsistencyKind::kAsnMismatch), "asn-mismatch");
+}
+
+TEST(Consistency, FleetIsConsistentByConstruction) {
+  // The generators never emit duplicate addresses, mask mismatches, or
+  // one-sided internal sessions — verified over a few representative
+  // networks (the fleet invariants suite covers the rest of the pipeline).
+  const auto fleet = synth::generate_fleet(42);
+  std::size_t checked = 0;
+  for (const auto& net : fleet.networks) {
+    if (net.configs.size() > 150) continue;  // keep the test fast
+    const auto network = model::Network::build(synth::reparse(net.configs));
+    const auto findings = check_consistency(network);
+    EXPECT_TRUE(findings.empty())
+        << net.name << ": " << findings.size() << " findings, first: "
+        << (findings.empty() ? "" : findings[0].detail);
+    ++checked;
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+}  // namespace
+}  // namespace rd::analysis

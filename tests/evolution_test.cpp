@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "analysis/evolution.h"
+#include "config/parser.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+
+TEST(Evolution, IdenticalSnapshotsShowNoChange) {
+  synth::TextbookEnterpriseParams p;
+  p.routers = 12;
+  const auto net = synth::make_textbook_enterprise(p);
+  const auto before = model::Network::build(synth::reparse(net.configs));
+  const auto after = model::Network::build(synth::reparse(net.configs));
+  const auto diff = diff_designs(before, after);
+  EXPECT_FALSE(diff.design_changed());
+  EXPECT_TRUE(diff.added_routers.empty());
+  EXPECT_TRUE(diff.removed_routers.empty());
+  EXPECT_EQ(diff.routers_with_policy_changes, 0u);
+  EXPECT_EQ(diff.instances_before, diff.instances_after);
+}
+
+TEST(Evolution, DetectsAddedAndRemovedRouters) {
+  const auto before =
+      network_of({"hostname a\n", "hostname b\n", "hostname c\n"});
+  const auto after =
+      network_of({"hostname a\n", "hostname c\n", "hostname d\n"});
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.added_routers, std::vector<std::string>{"d"});
+  EXPECT_EQ(diff.removed_routers, std::vector<std::string>{"b"});
+  EXPECT_TRUE(diff.design_changed());
+}
+
+TEST(Evolution, DetectsPolicyChange) {
+  const auto before = network_of(
+      {"hostname a\naccess-list 10 permit 10.0.0.0 0.255.255.255\n"});
+  const auto after = network_of(
+      {"hostname a\naccess-list 10 deny 10.0.0.0 0.255.255.255\n"});
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.routers_with_policy_changes, 1u);
+  EXPECT_TRUE(diff.design_changed());
+}
+
+TEST(Evolution, DetectsProcessChange) {
+  const auto before = network_of({"hostname a\nrouter ospf 1\n"});
+  const auto after = network_of({"hostname a\nrouter eigrp 9\n"});
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.routers_with_process_changes, 1u);
+  ASSERT_EQ(diff.appeared_instances.size(), 1u);
+  ASSERT_EQ(diff.disappeared_instances.size(), 1u);
+  EXPECT_NE(diff.appeared_instances[0].find("eigrp"), std::string::npos);
+  EXPECT_NE(diff.disappeared_instances[0].find("ospf"), std::string::npos);
+}
+
+TEST(Evolution, DetectsInterfaceAndStaticChanges) {
+  const auto before = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"});
+  const auto after = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       " shutdown\n"
+       "ip route 10.5.0.0 255.255.0.0 10.0.0.9\n"});
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.routers_with_interface_changes, 1u);
+  EXPECT_EQ(diff.routers_with_static_route_changes, 1u);
+}
+
+TEST(Evolution, InstanceGrowthVisible) {
+  // A merger: the second snapshot glues a new OSPF island onto the design.
+  const auto before = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"});
+  const auto after = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n",
+       "hostname z\ninterface FastEthernet0/0\n"
+       " ip address 10.9.0.1 255.255.255.0\n"
+       "router eigrp 7\n network 10.9.0.0 0.0.255.255\n"});
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.instances_before, 1u);
+  EXPECT_EQ(diff.instances_after, 2u);
+  EXPECT_EQ(diff.added_routers, std::vector<std::string>{"z"});
+}
+
+TEST(Evolution, DecommissioningSpokesShrinksTopology) {
+  synth::ManagedEnterpriseParams p;
+  p.regions = 2;
+  p.spokes_per_region = 10;
+  const auto net = synth::make_managed_enterprise(p);
+  const auto before = model::Network::build(synth::reparse(net.configs));
+  // Remove the last three routers (spokes).
+  std::vector<config::RouterConfig> fewer(net.configs.begin(),
+                                          net.configs.end() - 3);
+  const auto after = model::Network::build(synth::reparse(fewer));
+  const auto diff = diff_designs(before, after);
+  EXPECT_EQ(diff.removed_routers.size(), 3u);
+  EXPECT_LT(diff.links_after, diff.links_before);
+}
+
+}  // namespace
+}  // namespace rd::analysis

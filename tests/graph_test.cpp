@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/dot.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "graph/process_graph.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::graph {
+namespace {
+
+using rd::test::network_of;
+
+/// The paper's §2 example (Figures 1/5/6/7): a three-router enterprise
+/// (R1-R3, OSPF 128, border R2 running BGP AS 64780 and redistributing BGP
+/// into OSPF) attached to a three-router transit backbone (R4-R6, OSPF 0 +
+/// IBGP mesh in AS 12762), which also peers with an external router R7.
+model::Network figure1_network() {
+  const std::string r1 =
+      "hostname R1\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.1 "
+      "255.255.255.252\n"
+      "router ospf 128\n network 10.1.0.0 0.0.255.255 area 0\n";
+  const std::string r2 =
+      "hostname R2\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.2 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.1.0.5 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.9.0.1 "
+      "255.255.255.252\n"
+      "router ospf 128\n"
+      " network 10.1.0.0 0.0.255.255 area 0\n"
+      " redistribute bgp 64780 metric 1 subnets route-map INJECT\n"
+      "router bgp 64780\n"
+      " neighbor 10.9.0.2 remote-as 12762\n"
+      " redistribute ospf 128 route-map EXPORT\n"
+      "route-map INJECT permit 10\n"
+      "route-map EXPORT permit 10\n";
+  const std::string r3 =
+      "hostname R3\n"
+      "interface Serial0/0 point-to-point\n ip address 10.1.0.6 "
+      "255.255.255.252\n"
+      "router ospf 128\n network 10.1.0.0 0.0.255.255 area 0\n";
+  const std::string r4 =
+      "hostname R4\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.1 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.2.0.9 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.2 remote-as 12762\n"
+      " neighbor 10.2.0.10 remote-as 12762\n";
+  const std::string r5 =
+      "hostname R5\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.2 "
+      "255.255.255.252\n"
+      "interface Serial0/2 point-to-point\n ip address 10.2.0.5 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.99.0.1 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.1 remote-as 12762\n"
+      " neighbor 10.2.0.6 remote-as 12762\n"
+      " neighbor 10.99.0.2 remote-as 7018\n";  // external R7
+  const std::string r6 =
+      "hostname R6\n"
+      "interface Serial0/0 point-to-point\n ip address 10.2.0.6 "
+      "255.255.255.252\n"
+      "interface Serial0/1 point-to-point\n ip address 10.2.0.10 "
+      "255.255.255.252\n"
+      "interface Serial1/0 point-to-point\n ip address 10.9.0.2 "
+      "255.255.255.252\n"
+      "router ospf 0\n network 10.2.0.0 0.0.255.255 area 0\n"
+      "router bgp 12762\n"
+      " neighbor 10.2.0.5 remote-as 12762\n"
+      " neighbor 10.2.0.9 remote-as 12762\n"
+      " neighbor 10.9.0.1 remote-as 64780\n";
+  return network_of({r1, r2, r3, r4, r5, r6});
+}
+
+// --- ProcessGraph -------------------------------------------------------------
+
+TEST(ProcessGraph, VertexInventory) {
+  const auto net = figure1_network();
+  const auto g = ProcessGraph::build(net);
+  // 9 process RIBs (4 OSPF... R1,R2,R3 OSPF + R2 BGP + R4,R5,R6 OSPF+BGP = 10)
+  // plus local+router RIB per router.
+  EXPECT_EQ(net.processes().size(), 10u);
+  EXPECT_EQ(g.vertices().size(), 10u + 2u * 6u);
+}
+
+TEST(ProcessGraph, SelectionEdgesFeedRouterRib) {
+  const auto net = figure1_network();
+  const auto g = ProcessGraph::build(net);
+  std::size_t selection = 0;
+  for (const auto& edge : g.edges()) {
+    if (edge.kind == ProcessGraph::EdgeKind::kSelection) ++selection;
+  }
+  // One per process plus one local RIB per router.
+  EXPECT_EQ(selection, net.processes().size() + net.router_count());
+}
+
+TEST(ProcessGraph, AdjacencySessionAndExternalEdges) {
+  const auto net = figure1_network();
+  const auto g = ProcessGraph::build(net);
+  std::size_t adjacency = 0;
+  std::size_t sessions = 0;
+  std::size_t external = 0;
+  std::size_t redist = 0;
+  for (const auto& edge : g.edges()) {
+    switch (edge.kind) {
+      case ProcessGraph::EdgeKind::kIgpAdjacency: ++adjacency; break;
+      case ProcessGraph::EdgeKind::kBgpSession: ++sessions; break;
+      case ProcessGraph::EdgeKind::kExternal: ++external; break;
+      case ProcessGraph::EdgeKind::kRedistribution: ++redist; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(adjacency, 5u);  // R1-R2, R2-R3, R4-R5, R5-R6, R4-R6
+  EXPECT_EQ(sessions, 4u);   // 3 IBGP + 1 internal EBGP, deduplicated
+  EXPECT_EQ(external, 1u);   // R5 -> R7
+  EXPECT_EQ(redist, 2u);     // bgp->ospf and ospf->bgp on R2
+}
+
+TEST(ProcessGraph, IncidenceListsConsistent) {
+  const auto net = figure1_network();
+  const auto g = ProcessGraph::build(net);
+  for (std::uint32_t v = 0; v < g.vertices().size(); ++v) {
+    for (const std::uint32_t e : g.incident_edges(v)) {
+      EXPECT_TRUE(g.edges()[e].from == v || g.edges()[e].to == v);
+    }
+  }
+}
+
+// --- Instances ------------------------------------------------------------------
+
+TEST(Instances, Figure1Partition) {
+  const auto net = figure1_network();
+  const auto set = compute_instances(net);
+  ASSERT_EQ(set.instances.size(), 4u);
+  // Collect (protocol, router-count) pairs.
+  std::multiset<std::pair<int, std::size_t>> shape;
+  for (const auto& inst : set.instances) {
+    shape.insert({static_cast<int>(inst.protocol), inst.router_count()});
+  }
+  const int ospf = static_cast<int>(config::RoutingProtocol::kOspf);
+  const int bgp = static_cast<int>(config::RoutingProtocol::kBgp);
+  EXPECT_TRUE(shape.contains({ospf, 3}));  // two OSPF instances of 3 routers
+  EXPECT_EQ(shape.count({ospf, 3}), 2u);
+  EXPECT_TRUE(shape.contains({bgp, 1}));   // AS 64780
+  EXPECT_TRUE(shape.contains({bgp, 3}));   // AS 12762 IBGP mesh
+}
+
+TEST(Instances, EbgpIsBoundaryIbgpIsGlue) {
+  const auto net = figure1_network();
+  const auto set = compute_instances(net);
+  for (const auto& inst : set.instances) {
+    if (inst.bgp_as == 12762u) {
+      EXPECT_EQ(inst.router_count(), 3u);
+    }
+    if (inst.bgp_as == 64780u) {
+      EXPECT_EQ(inst.router_count(), 1u);
+    }
+  }
+}
+
+TEST(Instances, InstanceOfIsConsistent) {
+  const auto net = figure1_network();
+  const auto set = compute_instances(net);
+  ASSERT_EQ(set.instance_of.size(), net.processes().size());
+  for (std::uint32_t i = 0; i < set.instances.size(); ++i) {
+    for (const auto p : set.instances[i].processes) {
+      EXPECT_EQ(set.instance_of[p], i);
+    }
+  }
+}
+
+TEST(Instances, IsolatedProcessIsItsOwnInstance) {
+  const auto net = network_of({"hostname a\nrouter ospf 1\n",
+                               "hostname b\nrouter ospf 1\n"});
+  EXPECT_EQ(compute_instances(net).instances.size(), 2u);
+}
+
+TEST(Instances, BfsMatchesUnionFindOnFigure1) {
+  const auto net = figure1_network();
+  const auto uf = compute_instances(net);
+  const auto bfs = compute_instances_bfs(net);
+  ASSERT_EQ(uf.instances.size(), bfs.instances.size());
+  EXPECT_EQ(uf.instance_of, bfs.instance_of);
+}
+
+// Property: the two instance computations agree on every archetype.
+class InstanceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(InstanceEquivalence, UnionFindEqualsBfs) {
+  synth::SynthNetwork net;
+  switch (GetParam()) {
+    case 0: {
+      synth::ManagedEnterpriseParams p;
+      p.regions = 3;
+      p.spokes_per_region = 15;
+      p.ebgp_spoke_rate = 0.2;
+      net = synth::make_managed_enterprise(p);
+      break;
+    }
+    case 1: {
+      synth::Tier2Params p;
+      p.edge_routers = 40;
+      net = synth::make_tier2_isp(p);
+      break;
+    }
+    case 2: {
+      synth::BackboneParams p;
+      p.access_routers = 40;
+      p.external_peers = 60;
+      net = synth::make_backbone(p);
+      break;
+    }
+    case 3:
+      net = synth::make_net15();
+      break;
+    default:
+      GTEST_FAIL();
+  }
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto uf = compute_instances(network);
+  const auto bfs = compute_instances_bfs(network);
+  EXPECT_EQ(uf.instance_of, bfs.instance_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, InstanceEquivalence,
+                         ::testing::Range(0, 4));
+
+// --- InstanceGraph ----------------------------------------------------------------
+
+TEST(InstanceGraph, Figure6Edges) {
+  const auto net = figure1_network();
+  const auto g = InstanceGraph::build(net);
+  std::size_t redist = 0;
+  std::size_t ebgp = 0;
+  std::size_t external = 0;
+  for (const auto& edge : g.edges) {
+    switch (edge.kind) {
+      case InstanceEdge::Kind::kRedistribution: ++redist; break;
+      case InstanceEdge::Kind::kEbgpSession: ++ebgp; break;
+      case InstanceEdge::Kind::kExternal: ++external; break;
+    }
+  }
+  EXPECT_EQ(redist, 2u);    // BGP64780 <-> OSPF128 both ways on R2
+  EXPECT_EQ(ebgp, 1u);      // AS 64780 <-> AS 12762
+  EXPECT_EQ(external, 1u);  // AS 12762 -> R7
+}
+
+TEST(InstanceGraph, RedistributionWithinInstanceNotAnEdge) {
+  const auto net = network_of({"hostname a\n"
+                               "router ospf 1\n"
+                               " redistribute connected\n"});
+  const auto g = InstanceGraph::build(net);
+  EXPECT_TRUE(g.edges.empty());
+}
+
+// --- Pathways (Figure 7 / Figure 10) ------------------------------------------------
+
+std::uint32_t router_by_name(const model::Network& net,
+                             std::string_view name) {
+  for (std::uint32_t r = 0; r < net.router_count(); ++r) {
+    if (net.routers()[r].hostname == name) return r;
+  }
+  ADD_FAILURE() << "no router " << name;
+  return 0;
+}
+
+TEST(Pathway, EnterpriseRouterLearnsThroughLayers) {
+  const auto net = figure1_network();
+  const auto g = InstanceGraph::build(net);
+  const auto pathway = compute_pathway(net, g, router_by_name(net, "R1"));
+  // R1: RIB <- ospf128 <- bgp64780 <- bgp12762 <- external world.
+  EXPECT_TRUE(pathway.reaches_external);
+  EXPECT_EQ(pathway.max_depth, 2u);
+  EXPECT_EQ(pathway.nodes.size(), 3u);
+}
+
+TEST(Pathway, BackboneRouterLearnsDirectly) {
+  const auto net = figure1_network();
+  const auto g = InstanceGraph::build(net);
+  const auto pathway = compute_pathway(net, g, router_by_name(net, "R5"));
+  // R5 sits in ospf0 and bgp12762; the latter is fed externally (depth 0).
+  EXPECT_TRUE(pathway.reaches_external);
+  std::set<std::uint32_t> depths;
+  for (const auto& node : pathway.nodes) depths.insert(node.depth);
+  EXPECT_TRUE(depths.contains(0u));
+}
+
+TEST(Pathway, IsolatedRouterReachesNothing) {
+  const auto net = network_of({"hostname a\nrouter ospf 1\n"});
+  const auto g = InstanceGraph::build(net);
+  const auto pathway = compute_pathway(net, g, 0);
+  EXPECT_FALSE(pathway.reaches_external);
+  EXPECT_EQ(pathway.nodes.size(), 1u);
+  EXPECT_EQ(pathway.max_depth, 0u);
+}
+
+// --- DOT output ----------------------------------------------------------------------
+
+TEST(Dot, RendersAllGraphKinds) {
+  const auto net = figure1_network();
+  const auto pg = ProcessGraph::build(net);
+  const auto ig = InstanceGraph::build(net);
+  const auto pathway = compute_pathway(net, ig, router_by_name(net, "R1"));
+
+  const auto d1 = to_dot(net, pg);
+  EXPECT_NE(d1.find("digraph process_graph"), std::string::npos);
+  EXPECT_NE(d1.find("R2 bgp 64780 RIB"), std::string::npos);
+
+  const auto d2 = to_dot(net, ig);
+  EXPECT_NE(d2.find("External World"), std::string::npos);
+  EXPECT_NE(d2.find("bgp AS 12762"), std::string::npos);
+
+  const auto d3 = to_dot(net, ig, pathway);
+  EXPECT_NE(d3.find("R1 Router RIB"), std::string::npos);
+}
+
+TEST(Dot, InstanceLabel) {
+  const auto net = figure1_network();
+  const auto set = compute_instances(net);
+  bool found = false;
+  for (std::uint32_t i = 0; i < set.instances.size(); ++i) {
+    const auto label = instance_label(set, i);
+    if (label.find("bgp AS 12762, 3 routers") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rd::graph

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/ibgp.h"
+#include "graph/instances.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+
+/// n routers on a shared LAN 10.0.0.0/24 (addresses .1 .. .n), each running
+/// BGP AS 65000 with the sessions described by `peers(i)` returning the
+/// 1-based neighbor numbers of router i, optionally flagging clients.
+std::vector<std::string> lan_as(
+    int n,
+    const std::function<std::vector<std::pair<int, bool>>(int)>& peers) {
+  std::vector<std::string> texts;
+  for (int i = 1; i <= n; ++i) {
+    std::string text = "hostname b" + std::to_string(i) +
+                       "\ninterface FastEthernet0/0\n ip address 10.0.0." +
+                       std::to_string(i) + " 255.255.255.0\n";
+    text += "router bgp 65000\n";
+    for (const auto& [j, client] : peers(i)) {
+      text += " neighbor 10.0.0." + std::to_string(j) + " remote-as 65000\n";
+      if (client) {
+        text += " neighbor 10.0.0." + std::to_string(j) +
+                " route-reflector-client\n";
+      }
+    }
+    texts.push_back(text);
+  }
+  return texts;
+}
+
+IbgpStructure analyze_single(const model::Network& net) {
+  const auto instances = graph::compute_instances(net);
+  const auto structures = analyze_ibgp(net, instances);
+  for (const auto& entry : structures) {
+    if (entry.as_number == 65000) return entry;
+  }
+  ADD_FAILURE() << "AS 65000 not found";
+  return {};
+}
+
+TEST(Ibgp, FullMeshDetected) {
+  const auto net = network_of(lan_as(4, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    for (int j = 1; j <= 4; ++j) {
+      if (j != i) peers.push_back({j, false});
+    }
+    return peers;
+  }));
+  const auto entry = analyze_single(net);
+  EXPECT_EQ(entry.routers.size(), 4u);
+  EXPECT_EQ(entry.sessions, 6u);
+  EXPECT_TRUE(entry.full_mesh());
+  EXPECT_FALSE(entry.uses_route_reflection());
+  EXPECT_EQ(entry.disconnected_pairs, 0u);
+  EXPECT_TRUE(entry.isolated_routers.empty());
+}
+
+TEST(Ibgp, RouteReflectorHierarchyPropagates) {
+  // Router 1 is the reflector; 2..4 are its clients, no client-client
+  // sessions. Every pair must still be signalable.
+  const auto net = network_of(lan_as(4, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    if (i == 1) {
+      for (int j = 2; j <= 4; ++j) peers.push_back({j, true});
+    } else {
+      peers.push_back({1, false});
+    }
+    return peers;
+  }));
+  const auto entry = analyze_single(net);
+  EXPECT_EQ(entry.sessions, 3u);
+  EXPECT_FALSE(entry.full_mesh());
+  EXPECT_TRUE(entry.uses_route_reflection());
+  EXPECT_EQ(entry.reflectors, 1u);
+  EXPECT_EQ(entry.clients, 3u);
+  EXPECT_EQ(entry.disconnected_pairs, 0u);
+}
+
+TEST(Ibgp, PlainIbgpChainHasHoles) {
+  // 1 - 2 - 3 without reflection: 2 does not re-advertise, so routes from 1
+  // never reach 3 (and vice versa): 2 ordered holes.
+  const auto net = network_of(lan_as(3, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    if (i == 1) peers.push_back({2, false});
+    if (i == 2) {
+      peers.push_back({1, false});
+      peers.push_back({3, false});
+    }
+    if (i == 3) peers.push_back({2, false});
+    return peers;
+  }));
+  const auto entry = analyze_single(net);
+  EXPECT_EQ(entry.sessions, 2u);
+  EXPECT_EQ(entry.disconnected_pairs, 2u);
+}
+
+TEST(Ibgp, ReflectorChainPropagates) {
+  // Same chain but 2 reflects: holes disappear.
+  const auto net = network_of(lan_as(3, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    if (i == 1) peers.push_back({2, false});
+    if (i == 2) {
+      peers.push_back({1, true});
+      peers.push_back({3, true});
+    }
+    if (i == 3) peers.push_back({2, false});
+    return peers;
+  }));
+  const auto entry = analyze_single(net);
+  EXPECT_EQ(entry.disconnected_pairs, 0u);
+}
+
+TEST(Ibgp, IsolatedRouterFlagged) {
+  const auto net = network_of(lan_as(3, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    if (i == 1) peers.push_back({2, false});
+    if (i == 2) peers.push_back({1, false});
+    return peers;  // router 3 has no sessions
+  }));
+  const auto entry = analyze_single(net);
+  ASSERT_EQ(entry.isolated_routers.size(), 1u);
+  EXPECT_EQ(net.routers()[entry.isolated_routers[0]].hostname, "b3");
+}
+
+TEST(Ibgp, AsNumberReuseYieldsComponentsNotHoles) {
+  // Two disjoint pairs sharing AS 65000 (private-AS reuse across
+  // compartments): two components, no intra-component holes.
+  const auto net = network_of(lan_as(4, [](int i) {
+    std::vector<std::pair<int, bool>> peers;
+    if (i == 1) peers.push_back({2, false});
+    if (i == 2) peers.push_back({1, false});
+    if (i == 3) peers.push_back({4, false});
+    if (i == 4) peers.push_back({3, false});
+    return peers;
+  }));
+  const auto entry = analyze_single(net);
+  EXPECT_EQ(entry.components, 2u);
+  EXPECT_EQ(entry.disconnected_pairs, 0u);
+  EXPECT_TRUE(entry.isolated_routers.empty());
+}
+
+TEST(Ibgp, SingleRouterAsIsTrivial) {
+  const auto net = network_of(
+      {"hostname solo\nrouter bgp 64700\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto structures = analyze_ibgp(net, instances);
+  ASSERT_EQ(structures.size(), 1u);
+  EXPECT_EQ(structures[0].routers.size(), 1u);
+  EXPECT_EQ(structures[0].sessions, 0u);
+}
+
+TEST(Ibgp, BackboneReflectorDesignIsSound) {
+  synth::BackboneParams p;
+  p.access_routers = 30;
+  p.external_peers = 20;
+  const auto net = model::Network::build(
+      synth::reparse(synth::make_backbone(p).configs));
+  const auto instances = graph::compute_instances(net);
+  const auto structures = analyze_ibgp(net, instances);
+  ASSERT_EQ(structures.size(), 1u);
+  const auto& entry = structures[0];
+  EXPECT_EQ(entry.routers.size(), 42u);  // 12 core + 30 access
+  EXPECT_TRUE(entry.uses_route_reflection());
+  EXPECT_FALSE(entry.full_mesh());  // that's the point of the reflectors
+  EXPECT_EQ(entry.disconnected_pairs, 0u);  // and signaling is complete
+  EXPECT_TRUE(entry.isolated_routers.empty());
+}
+
+TEST(Ibgp, Net5AvoidsTheMeshEntirely) {
+  const auto net5 = synth::make_net5();
+  const auto net = model::Network::build(synth::reparse(net5.configs));
+  const auto instances = graph::compute_instances(net);
+  const auto structures = analyze_ibgp(net, instances);
+  // Many small ASs; none anywhere near a full mesh of the network size,
+  // and none with signaling holes inside the AS.
+  for (const auto& entry : structures) {
+    if (entry.routers.size() < 2) continue;
+    EXPECT_EQ(entry.disconnected_pairs, 0u) << "AS " << entry.as_number;
+    EXPECT_LE(entry.routers.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace rd::analysis

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/archetype.h"
+#include "analysis/filters.h"
+#include "analysis/roles.h"
+#include "anonymize/anonymizer.h"
+#include "config/writer.h"
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "graph/process_graph.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd {
+namespace {
+
+/// End-to-end: generate a network, write its configs to disk as
+/// config1..configN, read them back, and run the entire pipeline — exactly
+/// the paper's workflow over an anonymized data-set directory.
+TEST(Integration, FullPipelineFromDisk) {
+  synth::ManagedEnterpriseParams p;
+  p.regions = 2;
+  p.spokes_per_region = 12;
+  p.ebgp_spoke_rate = 0.2;
+  const auto net = synth::make_managed_enterprise(p);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rd_integration_dir";
+  std::filesystem::remove_all(dir);
+  synth::emit_network(net.configs, dir);
+  const auto configs = synth::load_network(dir);
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(configs.size(), net.configs.size());
+
+  const auto network = model::Network::build(configs);
+  EXPECT_GT(network.links().size(), 0u);
+  EXPECT_GT(network.processes().size(), network.router_count());
+
+  const auto pg = graph::ProcessGraph::build(network);
+  EXPECT_EQ(pg.vertices().size(),
+            network.processes().size() + 2 * network.router_count());
+
+  const auto ig = graph::InstanceGraph::build(network);
+  EXPECT_GT(ig.set.instances.size(), 2u);
+  EXPECT_FALSE(ig.edges.empty());
+
+  const auto structure = graph::extract_address_structure(network);
+  EXPECT_FALSE(structure.roots.empty());
+
+  const auto pathway = graph::compute_pathway(network, ig, 0);
+  EXPECT_FALSE(pathway.nodes.empty());
+
+  const auto roles = analysis::classify_roles(network, ig.set);
+  EXPECT_TRUE(roles.uses_bgp);
+
+  const auto cls = analysis::classify_design(network, ig.set);
+  EXPECT_EQ(cls.archetype, analysis::DesignArchetype::kUnclassifiable);
+}
+
+/// The anonymization equivalence property (the paper's core §4 requirement):
+/// analyzing anonymized configs yields the same structural results as
+/// analyzing the originals.
+TEST(Integration, AnonymizationPreservesAnalysis) {
+  synth::ManagedEnterpriseParams p;
+  p.regions = 2;
+  p.spokes_per_region = 10;
+  p.igp_edge_rate = 0.2;
+  const auto net = synth::make_managed_enterprise(p);
+
+  std::vector<config::RouterConfig> plain;
+  std::vector<config::RouterConfig> anonymized;
+  anonymize::Anonymizer anonymizer(20260705);
+  for (const auto& cfg : net.configs) {
+    const auto text = config::write_config(cfg);
+    plain.push_back(config::parse_config(text, cfg.hostname).config);
+    anonymized.push_back(
+        config::parse_config(anonymizer.anonymize(text), "anon").config);
+  }
+
+  const auto net_plain = model::Network::build(std::move(plain));
+  const auto net_anon = model::Network::build(std::move(anonymized));
+
+  // Identical link-level topology.
+  ASSERT_EQ(net_anon.links().size(), net_plain.links().size());
+  ASSERT_EQ(net_anon.interfaces().size(), net_plain.interfaces().size());
+  for (std::size_t i = 0; i < net_plain.links().size(); ++i) {
+    EXPECT_EQ(net_anon.links()[i].interfaces.size(),
+              net_plain.links()[i].interfaces.size());
+    EXPECT_EQ(net_anon.links()[i].subnet.length(),
+              net_plain.links()[i].subnet.length());
+    EXPECT_EQ(net_anon.links()[i].external_facing,
+              net_plain.links()[i].external_facing);
+  }
+
+  // Identical routing structure.
+  EXPECT_EQ(net_anon.processes().size(), net_plain.processes().size());
+  EXPECT_EQ(net_anon.igp_adjacencies().size(),
+            net_plain.igp_adjacencies().size());
+  EXPECT_EQ(net_anon.bgp_sessions().size(), net_plain.bgp_sessions().size());
+  EXPECT_EQ(net_anon.redistribution_edges().size(),
+            net_plain.redistribution_edges().size());
+
+  // Identical instance partition sizes.
+  const auto inst_plain = graph::compute_instances(net_plain);
+  const auto inst_anon = graph::compute_instances(net_anon);
+  EXPECT_EQ(inst_anon.instance_of, inst_plain.instance_of);
+
+  // Identical role classification (Table 1 rows survive anonymization).
+  const auto roles_plain = analysis::classify_roles(net_plain, inst_plain);
+  const auto roles_anon = analysis::classify_roles(net_anon, inst_anon);
+  EXPECT_EQ(roles_anon.igp_instances, roles_plain.igp_instances);
+  EXPECT_EQ(roles_anon.ebgp_intra_sessions, roles_plain.ebgp_intra_sessions);
+  EXPECT_EQ(roles_anon.ebgp_inter_sessions, roles_plain.ebgp_inter_sessions);
+
+  // Identical filter statistics (Figure 11 survives anonymization).
+  const auto filters_plain = analysis::gather_filter_stats(net_plain);
+  const auto filters_anon = analysis::gather_filter_stats(net_anon);
+  EXPECT_EQ(filters_anon.total_applied_rules,
+            filters_plain.total_applied_rules);
+  EXPECT_DOUBLE_EQ(filters_anon.internal_fraction(),
+                   filters_plain.internal_fraction());
+
+  // Address-space structure: same root-block count and sizes (values are
+  // permuted prefix-preservingly).
+  const auto s_plain = graph::extract_address_structure(net_plain);
+  const auto s_anon = graph::extract_address_structure(net_anon);
+  EXPECT_EQ(s_anon.roots.size(), s_plain.roots.size());
+}
+
+/// The paper's Figure 2 configlet analyzed as a one-router network.
+TEST(Integration, Figure2AsNetwork) {
+  const auto network = test::network_of({std::string(test::kFigure2Config)});
+  // Three processes: ospf 64, ospf 128, bgp 64780.
+  ASSERT_EQ(network.processes().size(), 3u);
+  const auto instances = graph::compute_instances(network);
+  EXPECT_EQ(instances.instances.size(), 3u);
+
+  // The BGP neighbor 66.253.160.68 is not in the data set: external session.
+  ASSERT_EQ(network.bgp_sessions().size(), 1u);
+  EXPECT_TRUE(network.bgp_sessions()[0].external());
+
+  // Its half-empty /30 (Hssi2/0) is external-facing.
+  bool hssi_external = false;
+  for (const auto& itf : network.interfaces()) {
+    if (itf.name == "Hssi2/0") hssi_external = itf.external_facing;
+  }
+  EXPECT_TRUE(hssi_external);
+
+  // Both OSPF instances redistribute from the local RIB (connected).
+  const auto ig = graph::InstanceGraph::build(network);
+  const auto roles = analysis::classify_roles(network, ig.set);
+  EXPECT_EQ(roles.ebgp_inter_sessions, 1u);
+}
+
+/// Large-scale sanity: the tier-2 archetype's staging instances are visible
+/// end-to-end from emitted text.
+TEST(Integration, Tier2StagingInstancesFromText) {
+  synth::Tier2Params p;
+  p.edge_routers = 25;
+  p.staging_per_edge = 2;
+  const auto net = synth::make_tier2_isp(p);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto instances = graph::compute_instances(network);
+  std::size_t staging = 0;
+  for (const auto& inst : instances.instances) {
+    if (config::is_conventional_igp(inst.protocol) &&
+        inst.router_count() == 1) {
+      ++staging;
+    }
+  }
+  EXPECT_GE(staging, 40u);  // ~2 per edge router
+}
+
+}  // namespace
+}  // namespace rd

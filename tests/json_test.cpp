@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace rd::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7LL).dump(), "-7");
+  EXPECT_EQ(Json(std::size_t{9}).dump(), "9");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(Json("a\nb\tc").dump(), "\"a\\nb\\tc\"");
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ArraysCompact) {
+  auto array = Json::array();
+  array.push_back(1);
+  array.push_back("two");
+  array.push_back(Json());
+  EXPECT_EQ(array.dump(), "[1,\"two\",null]");
+  EXPECT_TRUE(array.is_array());
+  EXPECT_EQ(array.size(), 3u);
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  auto object = Json::object();
+  object.set("z", 1);
+  object.set("a", 2);
+  EXPECT_EQ(object.dump(), "{\"z\":1,\"a\":2}");
+  EXPECT_TRUE(object.is_object());
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  auto object = Json::object();
+  object.set("k", 1);
+  object.set("k", 2);
+  EXPECT_EQ(object.dump(), "{\"k\":2}");
+  EXPECT_EQ(object.size(), 1u);
+}
+
+TEST(Json, Nesting) {
+  auto inner = Json::object();
+  inner.set("x", 1);
+  auto array = Json::array();
+  array.push_back(std::move(inner));
+  auto root = Json::object();
+  root.set("items", std::move(array));
+  EXPECT_EQ(root.dump(), "{\"items\":[{\"x\":1}]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  auto root = Json::object();
+  root.set("a", 1);
+  auto array = Json::array();
+  array.push_back(2);
+  root.set("b", std::move(array));
+  EXPECT_EQ(root.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  auto array = Json::array();
+  EXPECT_THROW(array.set("k", 1), std::logic_error);
+  auto object = Json::object();
+  EXPECT_THROW(object.push_back(1), std::logic_error);
+  EXPECT_THROW(Json(1).push_back(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rd::util

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/egress.h"
+#include "analysis/lint.h"
+#include "graph/instances.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+using rd::test::pfx;
+
+bool has_finding(const std::vector<LintFinding>& findings, LintKind kind,
+                 std::string_view subject = {}) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const LintFinding& f) {
+                       return f.kind == kind &&
+                              (subject.empty() || f.subject == subject);
+                     });
+}
+
+// --- lint ------------------------------------------------------------------------
+
+TEST(Lint, CleanConfigNoFindings) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       " ip access-group 101 in\n"
+       "access-list 101 deny udp any any eq 1434\n"
+       "access-list 101 permit ip any any\n"});
+  EXPECT_TRUE(lint_network(net).empty());
+}
+
+TEST(Lint, UnusedAccessList) {
+  const auto net = network_of(
+      {"hostname a\naccess-list 10 permit any\n"});
+  const auto findings = lint_network(net);
+  EXPECT_TRUE(has_finding(findings, LintKind::kUnusedAccessList, "10"));
+}
+
+TEST(Lint, UnusedRouteMap) {
+  const auto net = network_of({"hostname a\nroute-map ORPHAN permit 10\n"});
+  EXPECT_TRUE(has_finding(lint_network(net), LintKind::kUnusedRouteMap,
+                          "ORPHAN"));
+}
+
+TEST(Lint, UndefinedReferences) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       " ip access-group 120 in\n"
+       "router ospf 1\n"
+       " network 10.0.0.0 0.255.255.255 area 0\n"
+       " redistribute connected route-map MISSING\n"
+       "router bgp 65000\n"
+       " neighbor 10.0.0.9 remote-as 701\n"
+       " neighbor 10.0.0.9 prefix-list NOPL in\n"});
+  const auto findings = lint_network(net);
+  EXPECT_TRUE(
+      has_finding(findings, LintKind::kUndefinedAclReference, "120"));
+  EXPECT_TRUE(
+      has_finding(findings, LintKind::kUndefinedRouteMapRef, "MISSING"));
+  EXPECT_TRUE(
+      has_finding(findings, LintKind::kUndefinedPrefixListRef, "NOPL"));
+}
+
+TEST(Lint, DuplicateClause) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n"
+       " ip access-group 10 in\n"
+       "access-list 10 permit 10.1.0.0 0.0.255.255\n"
+       "access-list 10 permit 10.1.0.0 0.0.255.255\n"});
+  EXPECT_TRUE(
+      has_finding(lint_network(net), LintKind::kDuplicateAclClause, "10"));
+}
+
+TEST(Lint, ShadowedClause) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n"
+       " ip access-group 10 in\n"
+       "access-list 10 deny 10.0.0.0 0.255.255.255\n"
+       "access-list 10 permit 10.5.0.0 0.0.255.255\n"  // inside 10/8: dead
+       "access-list 10 permit any\n"});
+  EXPECT_TRUE(
+      has_finding(lint_network(net), LintKind::kShadowedAclClause, "10"));
+}
+
+TEST(Lint, MultiPolicyFilterFlagged) {
+  // A 47-clause filter mixing tcp/udp/pim and address clauses — the
+  // paper's §5.3 example.
+  std::string text =
+      "hostname a\ninterface FastEthernet0/0\n"
+      " ip address 10.0.0.1 255.255.255.0\n ip access-group 150 in\n";
+  for (int i = 0; i < 15; ++i) {
+    text += "access-list 150 deny udp any any eq " +
+            std::to_string(1000 + i) + "\n";
+    text += "access-list 150 deny tcp any any eq " +
+            std::to_string(2000 + i) + "\n";
+    text += "access-list 150 deny 10.5." + std::to_string(i) +
+            ".0 0.0.0.255\n";
+  }
+  text += "access-list 150 deny pim any any\n";
+  text += "access-list 150 permit ip any any\n";
+  const auto net = network_of({text});
+  const auto findings = lint_network(net);
+  EXPECT_TRUE(
+      has_finding(findings, LintKind::kMultiPolicyFilter, "150"));
+}
+
+TEST(Lint, RedundantStaticRoute) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "ip route 10.1.0.0 255.255.255.0 10.1.0.254\n"});
+  EXPECT_TRUE(has_finding(lint_network(net),
+                          LintKind::kRedundantStaticRoute, "10.1.0.0/24"));
+}
+
+TEST(Lint, KindNames) {
+  EXPECT_EQ(to_string(LintKind::kMultiPolicyFilter), "multi-policy-filter");
+  EXPECT_EQ(to_string(LintKind::kRedundantStaticRoute),
+            "redundant-static-route");
+}
+
+// --- egress ---------------------------------------------------------------------
+
+TEST(Egress, TwoEgressPointsAttributedCorrectly) {
+  // Left OSPF island fed by border L (external session 0); right OSPF
+  // island fed by border R (external session 1). Routers in each island
+  // can only use their own egress.
+  const auto net = network_of(
+      {"hostname L\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65001\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n",
+       "hostname R\n"
+       "interface FastEthernet0/0\n ip address 10.2.0.1 255.255.255.0\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.5 255.255.255.252\n"
+       "router ospf 1\n network 10.2.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65002\n"
+       "router bgp 65002\n neighbor 10.9.0.6 remote-as 702\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto egress = EgressAnalysis::run(net, instances);
+  ASSERT_EQ(egress.points().size(), 2u);
+
+  const auto left = egress.router_egress(net, instances, 0);
+  const auto right = egress.router_egress(net, instances, 1);
+  ASSERT_EQ(left.size(), 1u);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_NE(left[0], right[0]);
+  EXPECT_EQ(egress.points()[left[0]].router, 0u);
+  EXPECT_EQ(egress.points()[right[0]].router, 1u);
+}
+
+TEST(Egress, SharedCoreSeesBothEgresses) {
+  // One OSPF instance with two borders: every router can use both.
+  const auto net = network_of(
+      {"hostname L\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.1.0.1 255.255.255.252\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65001\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n",
+       "hostname mid\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.1.0.2 255.255.255.252\n"
+       "interface Serial0/1 point-to-point\n"
+       " ip address 10.1.0.5 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n",
+       "hostname R\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.1.0.6 255.255.255.252\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.9.0.5 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65002\n"
+       "router bgp 65002\n neighbor 10.9.0.6 remote-as 702\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto egress = EgressAnalysis::run(net, instances);
+  ASSERT_EQ(egress.points().size(), 2u);
+  const auto mid = egress.router_egress(net, instances, 1);
+  EXPECT_EQ(mid.size(), 2u);
+}
+
+TEST(Egress, FilterBlocksAnEgress) {
+  // The second border's inbound filter denies everything: its point is not
+  // a usable egress for the core.
+  const auto net = network_of(
+      {"hostname L\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.1.0.1 255.255.255.252\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65001\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n",
+       "hostname R\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.1.0.2 255.255.255.252\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.9.0.5 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65002\n"
+       "router bgp 65002\n"
+       " neighbor 10.9.0.6 remote-as 702\n"
+       " neighbor 10.9.0.6 distribute-list 66 in\n"
+       "access-list 66 deny any\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto egress = EgressAnalysis::run(net, instances);
+  const auto usable = egress.router_egress(net, instances, 0);
+  ASSERT_EQ(usable.size(), 1u);
+  EXPECT_EQ(egress.points()[usable[0]].router, 0u);  // only L's point
+}
+
+TEST(Egress, Net15SitesUseOnlyTheirOwnSide) {
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+  ReachabilityAnalysis::Options base;
+  const auto plan = synth::net15_plan();
+  base.external_prefixes = {plan.ab0};
+  const auto egress = EgressAnalysis::run(network, instances, base);
+  ASSERT_EQ(egress.points().size(), 4u);  // two borders per site
+
+  // Find one spoke per site via the OSPF coverage.
+  auto spoke_of_block = [&](const ip::Prefix& block) -> model::RouterId {
+    for (const auto& itf : network.interfaces()) {
+      if (itf.subnet && block.contains(*itf.subnet)) return itf.router;
+    }
+    return model::kInvalidId;
+  };
+  const auto left_router = spoke_of_block(plan.ab2);
+  const auto right_router = spoke_of_block(plan.ab4);
+  ASSERT_NE(left_router, model::kInvalidId);
+  ASSERT_NE(right_router, model::kInvalidId);
+
+  const auto left = egress.router_egress(network, instances, left_router);
+  const auto right = egress.router_egress(network, instances, right_router);
+  EXPECT_FALSE(left.empty());
+  EXPECT_FALSE(right.empty());
+  for (const auto l : left) {
+    for (const auto r : right) EXPECT_NE(l, r);
+  }
+}
+
+}  // namespace
+}  // namespace rd::analysis

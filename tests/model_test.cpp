@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "model/network.h"
+#include "testutil.h"
+
+namespace rd::model {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+using rd::test::pfx;
+
+std::string p2p_router(const std::string& host, const std::string& address) {
+  return "hostname " + host +
+         "\n"
+         "interface Serial0/0 point-to-point\n"
+         " ip address " +
+         address +
+         " 255.255.255.252\n";
+}
+
+// --- link inference (paper §2.1) ---------------------------------------------
+
+TEST(LinkInference, MatchesSameSubnet) {
+  const auto net = network_of(
+      {p2p_router("a", "10.0.0.1"), p2p_router("b", "10.0.0.2")});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_EQ(net.links()[0].subnet, pfx("10.0.0.0/30"));
+  EXPECT_EQ(net.links()[0].interfaces.size(), 2u);
+  EXPECT_FALSE(net.links()[0].external_facing);
+}
+
+TEST(LinkInference, DifferentSubnetsDoNotMatch) {
+  const auto net = network_of(
+      {p2p_router("a", "10.0.0.1"), p2p_router("b", "10.0.0.5")});
+  EXPECT_EQ(net.links().size(), 2u);
+}
+
+TEST(LinkInference, LoopbacksAreNotLinks) {
+  const auto net = network_of({"hostname a\ninterface Loopback0\n"
+                               " ip address 10.0.0.1 255.255.255.255\n"});
+  EXPECT_TRUE(net.links().empty());
+  EXPECT_EQ(net.interfaces().size(), 1u);
+}
+
+TEST(LinkInference, ShutdownInterfacesExcluded) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0\n"
+       " ip address 10.0.0.1 255.255.255.252\n shutdown\n",
+       p2p_router("b", "10.0.0.2")});
+  // Only b's side forms a (half-populated) link.
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_EQ(net.links()[0].interfaces.size(), 1u);
+}
+
+TEST(LinkInference, MultipointLanGroupsAllMembers) {
+  std::vector<std::string> texts;
+  for (int i = 1; i <= 4; ++i) {
+    texts.push_back("hostname r" + std::to_string(i) +
+                    "\ninterface FastEthernet0/0\n ip address 10.0.0." +
+                    std::to_string(i) + " 255.255.255.0\n");
+  }
+  const auto net = network_of(texts);
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_EQ(net.links()[0].interfaces.size(), 4u);
+}
+
+TEST(LinkInference, UnnumberedInterfacesIgnored) {
+  const auto net = network_of({"hostname a\ninterface BRI0\n"});
+  EXPECT_TRUE(net.links().empty());
+  EXPECT_FALSE(net.interfaces()[0].numbered());
+}
+
+// --- external-facing rules (paper §5.2) ---------------------------------------
+
+TEST(ExternalFacing, HalfEmptySlash30IsExternal) {
+  const auto net = network_of({p2p_router("a", "10.0.0.1")});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_TRUE(net.links()[0].external_facing);
+  EXPECT_TRUE(net.interfaces()[0].external_facing);
+}
+
+TEST(ExternalFacing, FullSlash30IsInternal) {
+  const auto net = network_of(
+      {p2p_router("a", "10.0.0.1"), p2p_router("b", "10.0.0.2")});
+  EXPECT_FALSE(net.links()[0].external_facing);
+}
+
+TEST(ExternalFacing, LanIsInternalByDefault) {
+  const auto net = network_of({"hostname a\ninterface FastEthernet0/0\n"
+                               " ip address 10.0.0.1 255.255.255.0\n"});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_FALSE(net.links()[0].external_facing);
+}
+
+TEST(ExternalFacing, LanWithForeignNextHopIsExternal) {
+  // The paper's rule: a multipoint link used as next hop for addresses not
+  // in the data set implies an external router on the link.
+  const auto net = network_of({"hostname a\ninterface FastEthernet0/0\n"
+                               " ip address 10.0.0.1 255.255.255.0\n"
+                               "ip route 171.5.0.0 255.255.0.0 10.0.0.200\n"});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_TRUE(net.links()[0].external_facing);
+}
+
+TEST(ExternalFacing, LanWithInternalNextHopStaysInternal) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       "ip route 171.5.0.0 255.255.0.0 10.0.0.2\n",
+       "hostname b\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.2 255.255.255.0\n"});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_FALSE(net.links()[0].external_facing);
+}
+
+TEST(ExternalFacing, BgpNeighborOnLanMarksExternal) {
+  const auto net = network_of({"hostname a\ninterface FastEthernet0/0\n"
+                               " ip address 10.0.0.1 255.255.255.0\n"
+                               "router bgp 65000\n"
+                               " neighbor 10.0.0.77 remote-as 701\n"});
+  ASSERT_EQ(net.links().size(), 1u);
+  EXPECT_TRUE(net.links()[0].external_facing);
+}
+
+// --- processes and coverage ---------------------------------------------------
+
+TEST(Processes, NetworkStatementCoversInterfaces) {
+  const auto net = network_of({"hostname a\n"
+                               "interface FastEthernet0/0\n"
+                               " ip address 10.1.0.1 255.255.255.0\n"
+                               "interface FastEthernet0/1\n"
+                               " ip address 192.168.0.1 255.255.255.0\n"
+                               "router ospf 1\n"
+                               " network 10.0.0.0 0.255.255.255 area 0\n"});
+  ASSERT_EQ(net.processes().size(), 1u);
+  EXPECT_EQ(net.processes()[0].covered_interfaces.size(), 1u);
+  EXPECT_EQ(net.interfaces()[net.processes()[0].covered_interfaces[0]].name,
+            "FastEthernet0/0");
+}
+
+TEST(Processes, BgpHasNoCoverage) {
+  const auto net = network_of({"hostname a\n"
+                               "interface FastEthernet0/0\n"
+                               " ip address 10.1.0.1 255.255.255.0\n"
+                               "router bgp 65000\n"
+                               " network 10.1.0.0 mask 255.255.255.0\n"});
+  ASSERT_EQ(net.processes().size(), 1u);
+  EXPECT_TRUE(net.processes()[0].covered_interfaces.empty());
+}
+
+TEST(Processes, MultipleProcessesPerRouter) {
+  const auto net = network_of({std::string(rd::test::kFigure2Config)});
+  EXPECT_EQ(net.processes().size(), 3u);
+  EXPECT_EQ(net.router_processes(0).size(), 3u);
+}
+
+// --- IGP adjacency (paper §2.2) ------------------------------------------------
+
+std::string ospf_router(const std::string& host, const std::string& address,
+                        int pid = 1) {
+  return "hostname " + host +
+         "\ninterface Serial0/0 point-to-point\n ip address " + address +
+         " 255.255.255.252\nrouter ospf " + std::to_string(pid) +
+         "\n network 10.0.0.0 0.255.255.255 area 0\n";
+}
+
+TEST(Adjacency, FormsAcrossCoveredLink) {
+  const auto net = network_of(
+      {ospf_router("a", "10.0.0.1"), ospf_router("b", "10.0.0.2")});
+  ASSERT_EQ(net.igp_adjacencies().size(), 1u);
+}
+
+TEST(Adjacency, ProcessIdsNeedNotMatch) {
+  // Process ids have no network-wide semantics (paper §3.2).
+  const auto net = network_of(
+      {ospf_router("a", "10.0.0.1", 64), ospf_router("b", "10.0.0.2", 128)});
+  EXPECT_EQ(net.igp_adjacencies().size(), 1u);
+}
+
+TEST(Adjacency, RequiresSameProtocol) {
+  const auto net = network_of(
+      {ospf_router("a", "10.0.0.1"),
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router eigrp 1\n network 10.0.0.0 0.255.255.255\n"});
+  EXPECT_TRUE(net.igp_adjacencies().empty());
+}
+
+TEST(Adjacency, RequiresCoverageOnBothEnds) {
+  const auto net = network_of(
+      {ospf_router("a", "10.0.0.1"),
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router ospf 1\n network 192.168.0.0 0.0.255.255 area 0\n"});
+  EXPECT_TRUE(net.igp_adjacencies().empty());
+}
+
+TEST(Adjacency, PassiveInterfaceBlocks) {
+  auto b_text = ospf_router("b", "10.0.0.2");
+  b_text += " passive-interface Serial0/0\n";
+  const auto net = network_of({ospf_router("a", "10.0.0.1"), b_text});
+  EXPECT_TRUE(net.igp_adjacencies().empty());
+}
+
+TEST(Adjacency, ExternalFacingCoverageIsPotentialExternalAdjacency) {
+  const auto net = network_of({ospf_router("a", "10.0.0.1")});  // half /30
+  ASSERT_EQ(net.external_igp_adjacencies().size(), 1u);
+  EXPECT_EQ(net.external_igp_adjacencies()[0].process, 0u);
+}
+
+TEST(Adjacency, PassiveExternalCoverageIsNotExternalAdjacency) {
+  auto text = ospf_router("a", "10.0.0.1");
+  text += " passive-interface Serial0/0\n";
+  const auto net = network_of({text});
+  EXPECT_TRUE(net.external_igp_adjacencies().empty());
+}
+
+// --- BGP sessions ---------------------------------------------------------------
+
+std::string bgp_router(const std::string& host, const std::string& address,
+                       std::uint32_t local_as, const std::string& peer,
+                       std::uint32_t peer_as) {
+  return "hostname " + host +
+         "\ninterface Serial0/0 point-to-point\n ip address " + address +
+         " 255.255.255.252\nrouter bgp " + std::to_string(local_as) +
+         "\n neighbor " + peer + " remote-as " + std::to_string(peer_as) +
+         "\n";
+}
+
+TEST(BgpSessions, ResolvesInternalPeer) {
+  const auto net = network_of(
+      {bgp_router("a", "10.0.0.1", 65001, "10.0.0.2", 65002),
+       bgp_router("b", "10.0.0.2", 65002, "10.0.0.1", 65001)});
+  ASSERT_EQ(net.bgp_sessions().size(), 2u);
+  for (const auto& session : net.bgp_sessions()) {
+    EXPECT_FALSE(session.external());
+    EXPECT_TRUE(session.ebgp());
+  }
+}
+
+TEST(BgpSessions, IbgpDetected) {
+  const auto net = network_of(
+      {bgp_router("a", "10.0.0.1", 65001, "10.0.0.2", 65001),
+       bgp_router("b", "10.0.0.2", 65001, "10.0.0.1", 65001)});
+  for (const auto& session : net.bgp_sessions()) {
+    EXPECT_FALSE(session.ebgp());
+  }
+}
+
+TEST(BgpSessions, UnresolvedPeerIsExternal) {
+  const auto net = network_of(
+      {bgp_router("a", "10.0.0.1", 65001, "10.0.0.2", 701)});
+  ASSERT_EQ(net.bgp_sessions().size(), 1u);
+  EXPECT_TRUE(net.bgp_sessions()[0].external());
+}
+
+TEST(BgpSessions, WrongAsDoesNotResolve) {
+  // b exists but has AS 65003, while a expects 65002 at that address.
+  const auto net = network_of(
+      {bgp_router("a", "10.0.0.1", 65001, "10.0.0.2", 65002),
+       bgp_router("b", "10.0.0.2", 65003, "10.0.0.1", 65001)});
+  EXPECT_TRUE(net.bgp_sessions()[0].external());
+}
+
+// --- redistribution edges -------------------------------------------------------
+
+TEST(Redistribution, BuildsEdgesFromFigure2) {
+  const auto net = network_of({std::string(rd::test::kFigure2Config)});
+  // ospf64: connected + bgp; ospf128: connected; bgp: ospf64 -> 4 edges.
+  ASSERT_EQ(net.redistribution_edges().size(), 4u);
+  std::size_t local_edges = 0;
+  std::size_t process_edges = 0;
+  for (const auto& edge : net.redistribution_edges()) {
+    if (edge.source_kind == RibKind::kLocal) {
+      ++local_edges;
+    } else {
+      ++process_edges;
+    }
+  }
+  EXPECT_EQ(local_edges, 2u);    // two "redistribute connected"
+  EXPECT_EQ(process_edges, 2u);  // bgp->ospf64 and ospf64->bgp
+}
+
+TEST(Redistribution, RouteMapAnnotationKept) {
+  const auto net = network_of({std::string(rd::test::kFigure2Config)});
+  bool found = false;
+  for (const auto& edge : net.redistribution_edges()) {
+    if (edge.route_map == "8aTzlvBrbaW") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Redistribution, UnspecifiedProcessIdMatchesAll) {
+  const auto net = network_of({"hostname a\n"
+                               "router ospf 1\n"
+                               "router ospf 2\n"
+                               "router bgp 65000\n"
+                               " redistribute ospf\n"});
+  // "redistribute ospf" with no id: both OSPF processes match.
+  std::size_t count = 0;
+  for (const auto& edge : net.redistribution_edges()) {
+    if (edge.source_kind == RibKind::kProcess) ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Redistribution, DanglingSourceFallsBackToLocal) {
+  const auto net = network_of({"hostname a\n"
+                               "router ospf 1\n"
+                               " redistribute eigrp 7\n"});
+  ASSERT_EQ(net.redistribution_edges().size(), 1u);
+  EXPECT_EQ(net.redistribution_edges()[0].source_kind, RibKind::kLocal);
+}
+
+// --- misc accessors -------------------------------------------------------------
+
+TEST(Network, InterfaceWithAddress) {
+  const auto net = network_of({p2p_router("a", "10.0.0.1")});
+  EXPECT_TRUE(net.interface_with_address(addr("10.0.0.1")).has_value());
+  EXPECT_FALSE(net.interface_with_address(addr("10.0.0.2")).has_value());
+}
+
+TEST(Network, AddressIsInternal) {
+  const auto net = network_of({p2p_router("a", "10.0.0.1")});
+  EXPECT_TRUE(net.address_is_internal(addr("10.0.0.2")));  // same /30
+  EXPECT_FALSE(net.address_is_internal(addr("10.0.0.5")));
+}
+
+TEST(Network, InterfaceSubnetsDeduplicated) {
+  const auto net = network_of(
+      {p2p_router("a", "10.0.0.1"), p2p_router("b", "10.0.0.2")});
+  EXPECT_EQ(net.interface_subnets().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rd::model

@@ -1,0 +1,273 @@
+// Tests for the named-ACL and prefix-list surface of the configuration
+// dialect, their policy semantics, and their integration with pathway
+// policy location (§3.3) and reachability.
+
+#include <gtest/gtest.h>
+
+#include "analysis/reachability.h"
+#include "config/parser.h"
+#include "config/writer.h"
+#include "graph/instances.h"
+#include "graph/pathway.h"
+#include "model/policy.h"
+#include "testutil.h"
+
+namespace rd {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+using rd::test::parse;
+using rd::test::pfx;
+
+// --- named ACLs -----------------------------------------------------------------
+
+TEST(NamedAcl, ParsesStandardBlock) {
+  const auto cfg = parse(
+      "ip access-list standard MGMT\n"
+      " permit 10.0.0.0 0.255.255.255\n"
+      " deny any\n");
+  const auto* acl = cfg.find_access_list("MGMT");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_TRUE(acl->named);
+  EXPECT_FALSE(acl->extended_block);
+  ASSERT_EQ(acl->rules.size(), 2u);
+  EXPECT_EQ(acl->rules[0].source.to_string(), "10.0.0.0/8");
+}
+
+TEST(NamedAcl, ParsesExtendedBlock) {
+  const auto cfg = parse(
+      "ip access-list extended EDGE-IN\n"
+      " remark block worms\n"
+      " deny udp any any eq 1434\n"
+      " permit tcp any host 10.0.0.5 eq 443\n"
+      " permit ip any any\n");
+  const auto* acl = cfg.find_access_list("EDGE-IN");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_TRUE(acl->extended_block);
+  ASSERT_EQ(acl->rules.size(), 3u);  // remark dropped
+  EXPECT_EQ(acl->rules[0].destination_port, 1434u);
+}
+
+TEST(NamedAcl, RoundTrips) {
+  const std::string text =
+      "hostname r\n"
+      "ip access-list extended EDGE-IN\n"
+      " deny udp any any eq 1434\n"
+      " permit ip any any\n"
+      "ip access-list standard MGMT\n"
+      " permit host 10.0.0.9\n";
+  const auto cfg = parse(text, "r");
+  const auto reparsed =
+      config::parse_config(config::write_config(cfg), "r").config;
+  EXPECT_EQ(reparsed.access_lists, cfg.access_lists);
+}
+
+TEST(NamedAcl, UsableAsPacketFilter) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       " ip access-group EDGE-IN in\n"
+       "ip access-list extended EDGE-IN\n"
+       " permit ip any any\n"});
+  const auto& cfg = net.routers()[0];
+  const auto* acl = cfg.find_access_list("EDGE-IN");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_TRUE(
+      model::acl_permits_packet(*acl, addr("1.1.1.1"), addr("2.2.2.2")));
+}
+
+TEST(NamedAcl, EmptyBlockStillRegisters) {
+  const auto cfg = parse("ip access-list standard EMPTY\n");
+  ASSERT_NE(cfg.find_access_list("EMPTY"), nullptr);
+  EXPECT_TRUE(cfg.find_access_list("EMPTY")->rules.empty());
+}
+
+// --- prefix lists ------------------------------------------------------------------
+
+TEST(PrefixList, ParsesEntries) {
+  const auto cfg = parse(
+      "ip prefix-list CUST seq 5 permit 171.10.0.0/16 le 24\n"
+      "ip prefix-list CUST seq 10 deny 0.0.0.0/0\n"
+      "ip prefix-list CUST description customer blocks\n");
+  const auto* pl = cfg.find_prefix_list("CUST");
+  ASSERT_NE(pl, nullptr);
+  ASSERT_EQ(pl->entries.size(), 2u);
+  EXPECT_EQ(pl->entries[0].sequence, 5u);
+  EXPECT_EQ(pl->entries[0].prefix, pfx("171.10.0.0/16"));
+  EXPECT_EQ(pl->entries[0].le, 24);
+  EXPECT_FALSE(pl->entries[0].ge.has_value());
+  EXPECT_EQ(pl->entries[1].action, config::FilterAction::kDeny);
+}
+
+TEST(PrefixList, RoundTrips) {
+  const std::string text =
+      "hostname r\n"
+      "ip prefix-list CUST seq 5 permit 171.10.0.0/16 ge 18 le 24\n"
+      "ip prefix-list CUST seq 10 permit 171.12.0.0/16\n";
+  const auto cfg = parse(text, "r");
+  const auto reparsed =
+      config::parse_config(config::write_config(cfg), "r").config;
+  EXPECT_EQ(reparsed.prefix_lists, cfg.prefix_lists);
+}
+
+TEST(PrefixList, ExactMatchWithoutBounds) {
+  const auto cfg =
+      parse("ip prefix-list P seq 5 permit 10.0.0.0/8\n");
+  const auto* pl = cfg.find_prefix_list("P");
+  EXPECT_TRUE(model::prefix_list_permits_route(*pl, {pfx("10.0.0.0/8"), {}}));
+  EXPECT_FALSE(
+      model::prefix_list_permits_route(*pl, {pfx("10.1.0.0/16"), {}}));
+}
+
+TEST(PrefixList, LeBoundAllowsMoreSpecifics) {
+  const auto cfg =
+      parse("ip prefix-list P seq 5 permit 10.0.0.0/8 le 24\n");
+  const auto* pl = cfg.find_prefix_list("P");
+  EXPECT_TRUE(model::prefix_list_permits_route(*pl, {pfx("10.0.0.0/8"), {}}));
+  EXPECT_TRUE(
+      model::prefix_list_permits_route(*pl, {pfx("10.1.0.0/16"), {}}));
+  EXPECT_TRUE(
+      model::prefix_list_permits_route(*pl, {pfx("10.1.2.0/24"), {}}));
+  EXPECT_FALSE(
+      model::prefix_list_permits_route(*pl, {pfx("10.1.2.0/30"), {}}));
+}
+
+TEST(PrefixList, GeBoundExcludesAggregate) {
+  const auto cfg =
+      parse("ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 le 24\n");
+  const auto* pl = cfg.find_prefix_list("P");
+  EXPECT_FALSE(model::prefix_list_permits_route(*pl, {pfx("10.0.0.0/8"), {}}));
+  EXPECT_TRUE(model::prefix_list_permits_route(*pl, {pfx("10.1.0.0/16"), {}}));
+  EXPECT_FALSE(
+      model::prefix_list_permits_route(*pl, {pfx("10.1.2.0/30"), {}}));
+}
+
+TEST(PrefixList, FirstMatchWinsAndImplicitDeny) {
+  const auto cfg = parse(
+      "ip prefix-list P seq 5 deny 10.5.0.0/16 le 32\n"
+      "ip prefix-list P seq 10 permit 10.0.0.0/8 le 32\n");
+  const auto* pl = cfg.find_prefix_list("P");
+  EXPECT_FALSE(
+      model::prefix_list_permits_route(*pl, {pfx("10.5.1.0/24"), {}}));
+  EXPECT_TRUE(
+      model::prefix_list_permits_route(*pl, {pfx("10.6.0.0/16"), {}}));
+  EXPECT_FALSE(
+      model::prefix_list_permits_route(*pl, {pfx("192.168.0.0/16"), {}}));
+}
+
+TEST(PrefixList, NeighborApplication) {
+  const auto cfg = parse(
+      "router bgp 65000\n"
+      " neighbor 10.0.0.2 remote-as 701\n"
+      " neighbor 10.0.0.2 prefix-list CUST in\n"
+      " neighbor 10.0.0.2 prefix-list MINE out\n");
+  const auto& nbr = cfg.router_stanzas[0].neighbors[0];
+  EXPECT_EQ(nbr.prefix_list_in, "CUST");
+  EXPECT_EQ(nbr.prefix_list_out, "MINE");
+}
+
+TEST(PrefixList, RouteMapMatch) {
+  const auto cfg = parse(
+      "ip prefix-list P seq 5 permit 10.0.0.0/8 le 24\n"
+      "route-map RM permit 10\n"
+      " match ip address prefix-list P\n");
+  const auto* rm = cfg.find_route_map("RM");
+  ASSERT_EQ(rm->clauses[0].match_prefix_lists,
+            std::vector<std::string>{"P"});
+  EXPECT_TRUE(model::route_map_evaluate(*rm, cfg, {pfx("10.1.0.0/16"), {}})
+                  .permitted);
+  EXPECT_FALSE(
+      model::route_map_evaluate(*rm, cfg, {pfx("192.168.0.0/16"), {}})
+          .permitted);
+}
+
+TEST(PrefixList, FiltersExternalRoutesInReachability) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65000\n"
+       " neighbor 10.9.0.2 remote-as 701\n"
+       " neighbor 10.9.0.2 prefix-list CUST in\n"
+       "ip prefix-list CUST seq 5 permit 171.5.0.0/16 le 24\n"});
+  const auto instances = graph::compute_instances(net);
+  analysis::ReachabilityAnalysis::Options options;
+  options.external_prefixes = {pfx("171.5.0.0/16"), pfx("8.8.0.0/16")};
+  const auto reach =
+      analysis::ReachabilityAnalysis::run(net, instances, options);
+  EXPECT_TRUE(reach.instance_has_route_to(0, addr("171.5.1.1")));
+  EXPECT_FALSE(reach.instance_has_route_to(0, addr("8.8.8.8")));
+  EXPECT_FALSE(reach.instance_reaches_internet(0));  // default denied
+}
+
+// --- pathway policy location (§3.3) -------------------------------------------------
+
+TEST(PathwayPolicies, LocatesRedistributionAndSessionPolicies) {
+  const auto net = network_of(
+      {"hostname border\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.1.0.1 255.255.255.252\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router ospf 1\n"
+       " network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65001 route-map INJECT\n"
+       "router bgp 65001\n"
+       " neighbor 10.9.0.2 remote-as 65002\n"
+       " neighbor 10.9.0.2 distribute-list 44 in\n"
+       "route-map INJECT permit 10\n"
+       "access-list 44 permit any\n",
+       "hostname peer\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.2 255.255.255.252\n"
+       "router bgp 65002\n"
+       " neighbor 10.9.0.1 remote-as 65001\n"
+       " neighbor 10.9.0.1 route-map TOWARD-65001 out\n"
+       "route-map TOWARD-65001 permit 10\n",
+       "hostname inner\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.1.0.2 255.255.255.252\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"});
+  const auto ig = graph::InstanceGraph::build(net);
+  // Pathway of the inner router: ospf <- bgp65001 <- bgp65002.
+  std::uint32_t inner = 2;
+  const auto pathway = graph::compute_pathway(net, ig, inner);
+  const auto policies = graph::locate_pathway_policies(net, ig, pathway);
+
+  bool found_inject = false;
+  bool found_dl44 = false;
+  bool found_rm_out = false;
+  for (const auto& policy : policies) {
+    if (policy.name == "INJECT") {
+      found_inject = true;
+      EXPECT_EQ(net.routers()[policy.router].hostname, "border");
+      EXPECT_EQ(policy.kind,
+                graph::PathwayPolicy::Kind::kRedistributionRouteMap);
+    }
+    if (policy.name == "44") {
+      found_dl44 = true;
+      EXPECT_TRUE(policy.inbound);
+      EXPECT_EQ(policy.kind,
+                graph::PathwayPolicy::Kind::kSessionDistributeList);
+    }
+    if (policy.name == "TOWARD-65001") {
+      found_rm_out = true;
+      EXPECT_FALSE(policy.inbound);
+      EXPECT_EQ(net.routers()[policy.router].hostname, "peer");
+    }
+  }
+  EXPECT_TRUE(found_inject);
+  EXPECT_TRUE(found_dl44);
+  EXPECT_TRUE(found_rm_out);
+}
+
+TEST(PathwayPolicies, EmptyWhenNoPolicies) {
+  const auto net = network_of({"hostname a\nrouter ospf 1\n"});
+  const auto ig = graph::InstanceGraph::build(net);
+  const auto pathway = graph::compute_pathway(net, ig, 0);
+  EXPECT_TRUE(graph::locate_pathway_policies(net, ig, pathway).empty());
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/ospf_areas.h"
+#include "graph/instances.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+
+TEST(OspfAreas, SingleAreaInstance) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto report = analyze_ospf_areas(net, instances);
+  ASSERT_EQ(report.instances.size(), 1u);
+  EXPECT_TRUE(report.instances[0].has_backbone());
+  EXPECT_FALSE(report.instances[0].multi_area());
+  EXPECT_TRUE(report.instances[0].abrs.empty());
+  EXPECT_TRUE(report.instances[0].orphan_areas.empty());
+}
+
+TEST(OspfAreas, AbrDetected) {
+  // One router with interfaces in area 0 and area 5: an ABR.
+  const auto net = network_of(
+      {"hostname abr\n"
+       "interface FastEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.5.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.0.0.0 0.0.255.255 area 0\n"
+       " network 10.5.0.0 0.0.255.255 area 5\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto report = analyze_ospf_areas(net, instances);
+  ASSERT_EQ(report.instances.size(), 1u);
+  EXPECT_TRUE(report.instances[0].multi_area());
+  ASSERT_EQ(report.instances[0].abrs.size(), 1u);
+  EXPECT_TRUE(report.instances[0].orphan_areas.empty());
+}
+
+TEST(OspfAreas, OrphanAreaDetected) {
+  // Area 7 exists on a router with no presence in area 0, and no ABR
+  // connects it: partitioned from the backbone.
+  const auto net = network_of(
+      {"hostname core\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n",
+       "hostname stranded\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "interface FastEthernet0/0\n ip address 10.7.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.0.0.0 0.0.0.3 area 0\n"
+       " network 10.7.0.0 0.0.255.255 area 7\n",
+       "hostname leaf\n"
+       "interface FastEthernet0/0\n ip address 10.7.0.2 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.8.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.7.0.0 0.0.255.255 area 7\n"
+       " network 10.8.0.0 0.0.255.255 area 8\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto report = analyze_ospf_areas(net, instances);
+  ASSERT_EQ(report.instances.size(), 1u);
+  // Area 7 is fine ("stranded" is an ABR for it); area 8 hangs off "leaf"
+  // which has no area-0 presence: orphaned.
+  EXPECT_EQ(report.instances[0].orphan_areas,
+            std::vector<std::uint32_t>{8});
+  // Both "stranded" (0+7) and "leaf" (7+8) straddle areas.
+  EXPECT_EQ(report.instances[0].abrs.size(), 2u);
+}
+
+TEST(OspfAreas, FirstMatchingStatementAssignsArea) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.2.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.2.0 0.0.0.255 area 3\n"
+       " network 10.0.0.0 0.255.255.255 area 0\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto report = analyze_ospf_areas(net, instances);
+  ASSERT_EQ(report.instances.size(), 1u);
+  ASSERT_EQ(report.instances[0].area_routers.size(), 1u);
+  EXPECT_TRUE(report.instances[0].area_routers.contains(3));
+}
+
+TEST(OspfAreas, NonOspfInstancesSkipped) {
+  const auto net = network_of(
+      {"hostname a\nrouter eigrp 9\nrouter bgp 65000\n"});
+  const auto instances = graph::compute_instances(net);
+  EXPECT_TRUE(analyze_ospf_areas(net, instances).instances.empty());
+}
+
+TEST(OspfAreas, TextbookEnterpriseIsMultiAreaWithDistAbrs) {
+  synth::TextbookEnterpriseParams p;
+  p.routers = 60;
+  const auto net = synth::make_textbook_enterprise(p);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto instances = graph::compute_instances(network);
+  const auto report = analyze_ospf_areas(network, instances);
+  ASSERT_FALSE(report.instances.empty());
+  const auto& entry = report.instances[0];
+  EXPECT_TRUE(entry.has_backbone());
+  EXPECT_TRUE(entry.multi_area());
+  // One area per distribution router (60/10 = 6 dists), each an ABR.
+  EXPECT_EQ(entry.abrs.size(), 6u);
+  EXPECT_EQ(entry.area_routers.size(), 7u);  // area 0 + 6 subtree areas
+  EXPECT_TRUE(entry.orphan_areas.empty());
+  EXPECT_EQ(report.total_abrs(), 6u);
+  EXPECT_EQ(report.total_orphan_areas(), 0u);
+}
+
+TEST(OspfAreas, TwoInstanceTextbookKeepsAreaIntegrity) {
+  synth::TextbookEnterpriseParams p;
+  p.routers = 101;
+  p.border_routers = 2;
+  p.igp_instances = 2;
+  const auto net = synth::make_textbook_enterprise(p);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto instances = graph::compute_instances(network);
+  const auto report = analyze_ospf_areas(network, instances);
+  EXPECT_GE(report.instances.size(), 2u);
+  EXPECT_EQ(report.total_orphan_areas(), 0u);
+}
+
+}  // namespace
+}  // namespace rd::analysis

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "analysis/packet_reachability.h"
+#include "graph/instances.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+
+struct Fixture {
+  model::Network network;
+  graph::InstanceSet instances;
+  ReachabilityAnalysis routes;
+
+  explicit Fixture(std::vector<std::string> texts)
+      : network(rd::test::network_of(std::move(texts))),
+        instances(graph::compute_instances(network)),
+        routes(ReachabilityAnalysis::run(network, instances)) {}
+
+  PacketReachability analysis() const {
+    return PacketReachability(network, instances, routes);
+  }
+};
+
+/// Two routed LANs on one router, with a selective inbound filter on LAN A:
+/// only host .10 may reach the server on TCP/1433.
+Fixture filtered_fixture() {
+  return Fixture(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip access-group 101 in\n"
+       "interface FastEthernet0/1\n"
+       " ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.0.0 0.0.255.255 area 0\n"
+       " network 10.2.0.0 0.0.255.255 area 0\n"
+       "access-list 101 permit tcp host 10.1.0.10 host 10.2.0.5 eq 1433\n"
+       "access-list 101 deny tcp any any eq 1433\n"
+       "access-list 101 permit ip any any\n"});
+}
+
+TEST(PacketReachability, SelectiveApplicationAccess) {
+  // The paper §5.3: filters "dictate which set of hosts can use a
+  // particular application through selective filtering on the port".
+  const auto fixture = filtered_fixture();
+  const auto pr = fixture.analysis();
+  EXPECT_TRUE(pr.can_use_application(addr("10.1.0.10"), addr("10.2.0.5"),
+                                     "tcp", 1433));
+  EXPECT_FALSE(pr.can_use_application(addr("10.1.0.11"), addr("10.2.0.5"),
+                                      "tcp", 1433));
+}
+
+TEST(PacketReachability, OtherTrafficUnaffected) {
+  const auto fixture = filtered_fixture();
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("10.1.0.11");
+  query.destination = addr("10.2.0.5");
+  query.destination_port = 80;
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kPossiblyReachable);
+}
+
+TEST(PacketReachability, FilteredVerdictNamed) {
+  const auto fixture = filtered_fixture();
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("10.1.0.11");
+  query.destination = addr("10.2.0.5");
+  query.destination_port = 1433;
+  query.protocol = "tcp";
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kFilteredAtSource);
+  EXPECT_EQ(to_string(FlowVerdict::kFilteredAtSource), "filtered-at-source");
+}
+
+TEST(PacketReachability, OutboundFilterAtDestination) {
+  const auto fixture = Fixture(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n"
+       " ip address 10.2.0.1 255.255.255.0\n"
+       " ip access-group 102 out\n"
+       "router ospf 1\n"
+       " network 10.1.0.0 0.0.255.255 area 0\n"
+       " network 10.2.0.0 0.0.255.255 area 0\n"
+       "access-list 102 deny udp any any eq 161\n"
+       "access-list 102 permit ip any any\n"});
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("10.1.0.9");
+  query.destination = addr("10.2.0.9");
+  query.destination_port = 161;
+  query.protocol = "udp";
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kFilteredAtDestination);
+}
+
+TEST(PacketReachability, NoRouteBetweenIsolatedInstances) {
+  const auto fixture = Fixture(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n",
+       "hostname b\ninterface FastEthernet0/0\n"
+       " ip address 10.2.0.1 255.255.255.0\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"});
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("10.1.0.9");
+  query.destination = addr("10.2.0.9");
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kNoRoute);
+}
+
+TEST(PacketReachability, ReturnRouteRequired) {
+  // a's OSPF learns b's EIGRP space via redistribution on b, but b never
+  // learns a's space: one-way reachability only.
+  const auto fixture = Fixture(
+      {"hostname ab\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute eigrp 9\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"});
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("10.1.0.9");
+  query.destination = addr("10.2.0.9");
+  // Forward route exists (OSPF holds the EIGRP space) but not the reverse.
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kNoReturnRoute);
+}
+
+TEST(PacketReachability, UnattachedEndpoints) {
+  const auto fixture = Fixture({"hostname a\ninterface FastEthernet0/0\n"
+                                " ip address 10.1.0.1 255.255.255.0\n"
+                                "router ospf 1\n"
+                                " network 10.1.0.0 0.0.255.255 area 0\n"});
+  const auto pr = fixture.analysis();
+  FlowQuery query;
+  query.source = addr("192.168.9.9");
+  query.destination = addr("10.1.0.9");
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kSourceNotAttached);
+
+  query.source = addr("10.1.0.9");
+  query.destination = addr("192.168.9.9");
+  EXPECT_EQ(pr.evaluate(query), FlowVerdict::kDestinationNotAttached);
+}
+
+TEST(PacketReachability, PimDisabledNetworkWide) {
+  // The paper §5.3: filters "drop packets of a specific protocol (e.g.,
+  // PIM) ... effectively disabling that protocol in parts of the network".
+  const auto fixture = Fixture(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip access-group 103 in\n"
+       "interface FastEthernet0/1\n"
+       " ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.0.0 0.0.255.255 area 0\n"
+       " network 10.2.0.0 0.0.255.255 area 0\n"
+       "access-list 103 deny pim any any\n"
+       "access-list 103 permit ip any any\n"});
+  const auto pr = fixture.analysis();
+  FlowQuery pim;
+  pim.source = addr("10.1.0.9");
+  pim.destination = addr("10.2.0.9");
+  pim.protocol = "pim";
+  EXPECT_EQ(pr.evaluate(pim), FlowVerdict::kFilteredAtSource);
+  FlowQuery icmp = pim;
+  icmp.protocol = "icmp";
+  EXPECT_EQ(pr.evaluate(icmp), FlowVerdict::kPossiblyReachable);
+}
+
+}  // namespace
+}  // namespace rd::analysis

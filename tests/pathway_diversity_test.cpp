@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pathway_diversity.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+
+TEST(PathwayDiversity, UniformInstanceHasOneShape) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"});
+  const auto ig = graph::InstanceGraph::build(net);
+  const auto diversity = analyze_pathway_diversity(net, ig);
+  EXPECT_EQ(diversity.routers, 2u);
+  EXPECT_EQ(diversity.distinct_shapes(), 1u);
+  EXPECT_DOUBLE_EQ(diversity.top2_coverage(), 1.0);
+}
+
+TEST(PathwayDiversity, BorderAndSpokeDiffer) {
+  // The border (in both OSPF and BGP) has a different pathway shape than
+  // the pure-OSPF spoke.
+  const auto net = network_of(
+      {"hostname border\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n"
+       "interface Serial1/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+       " redistribute bgp 65001\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n",
+       "hostname spoke\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.2 255.255.255.252\n"
+       "router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"});
+  const auto ig = graph::InstanceGraph::build(net);
+  const auto diversity = analyze_pathway_diversity(net, ig);
+  EXPECT_EQ(diversity.distinct_shapes(), 2u);
+}
+
+TEST(PathwaySignature, EncodesDepthProtocolAndExternal) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65001\n neighbor 10.9.0.2 remote-as 701\n"});
+  const auto ig = graph::InstanceGraph::build(net);
+  const auto pathway = graph::compute_pathway(net, ig, 0);
+  EXPECT_EQ(pathway_signature(ig.set, pathway), "0:bgp|ext");
+}
+
+TEST(PathwayDiversity, TextbookIsFarSimplerThanManaged) {
+  synth::TextbookEnterpriseParams tp;
+  tp.routers = 40;
+  const auto textbook = model::Network::build(
+      synth::reparse(synth::make_textbook_enterprise(tp).configs));
+  const auto ig_t = graph::InstanceGraph::build(textbook);
+  const auto d_textbook = analyze_pathway_diversity(textbook, ig_t);
+
+  synth::ManagedEnterpriseParams mp;
+  mp.regions = 3;
+  mp.spokes_per_region = 12;
+  mp.extra_igp_processes = 2.0;
+  const auto managed = model::Network::build(
+      synth::reparse(synth::make_managed_enterprise(mp).configs));
+  const auto ig_m = graph::InstanceGraph::build(managed);
+  const auto d_managed = analyze_pathway_diversity(managed, ig_m);
+
+  EXPECT_LE(d_textbook.distinct_shapes(), 3u);
+  EXPECT_GT(d_managed.distinct_shapes(), d_textbook.distinct_shapes() * 2);
+  EXPECT_GT(d_textbook.top2_coverage(), 0.9);
+}
+
+}  // namespace
+}  // namespace rd::analysis

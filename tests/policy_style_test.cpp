@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "analysis/policy_style.h"
+#include "config/parser.h"
+#include "model/policy.h"
+#include "config/writer.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::network_of;
+using rd::test::parse;
+
+// --- as-path dialect ---------------------------------------------------------------
+
+TEST(AsPathList, Parses) {
+  const auto cfg = parse(
+      "ip as-path access-list 7 permit ^$\n"
+      "ip as-path access-list 7 deny _701_\n"
+      "ip as-path access-list 9 permit ^65001(_.*)?$\n");
+  const auto* list7 = cfg.find_as_path_list("7");
+  ASSERT_NE(list7, nullptr);
+  ASSERT_EQ(list7->entries.size(), 2u);
+  EXPECT_EQ(list7->entries[0].regex, "^$");
+  EXPECT_EQ(list7->entries[0].action, config::FilterAction::kPermit);
+  EXPECT_EQ(list7->entries[1].regex, "_701_");
+  EXPECT_EQ(list7->entries[1].action, config::FilterAction::kDeny);
+  ASSERT_NE(cfg.find_as_path_list("9"), nullptr);
+  EXPECT_EQ(cfg.find_as_path_list("42"), nullptr);
+}
+
+TEST(AsPathList, MatchClauseParses) {
+  const auto cfg = parse(
+      "route-map RM permit 10\n"
+      " match as-path 7 9\n");
+  const auto& clause = cfg.route_maps[0].clauses[0];
+  EXPECT_EQ(clause.match_as_paths,
+            (std::vector<std::string>{"7", "9"}));
+}
+
+TEST(AsPathList, RoundTrips) {
+  const std::string text =
+      "hostname r\n"
+      "ip as-path access-list 7 permit ^$\n"
+      "route-map RM permit 10\n"
+      " match as-path 7\n";
+  const auto cfg = parse(text, "r");
+  const auto reparsed =
+      config::parse_config(config::write_config(cfg), "r").config;
+  EXPECT_EQ(reparsed.as_path_lists, cfg.as_path_lists);
+  EXPECT_EQ(reparsed.route_maps, cfg.route_maps);
+}
+
+TEST(AsPathList, MatchIsPermissiveInRouteEvaluation) {
+  // The static model carries no AS-path: an as-path match is an upper
+  // bound (treated satisfied), so reachability is never under-reported.
+  const auto cfg = parse(
+      "ip as-path access-list 7 permit ^$\n"
+      "route-map RM permit 10\n"
+      " match as-path 7\n");
+  EXPECT_TRUE(model::route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                        {rd::test::pfx("10.0.0.0/8"), {}})
+                  .permitted);
+}
+
+// --- policy-style census (§6.1) ------------------------------------------------------
+
+TEST(PolicyStyle, CountsByKind) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "access-list 4 permit 10.0.0.0 0.255.255.255\n"
+       "ip as-path access-list 7 permit ^$\n"
+       "route-map A permit 10\n"
+       " match ip address 4\n"
+       "route-map B permit 10\n"
+       " match tag 9\n"
+       "route-map C permit 10\n"
+       " match as-path 7\n"
+       "route-map D permit 10\n"
+       "router bgp 65000\n"
+       " neighbor 10.0.0.2 remote-as 701\n"
+       " neighbor 10.0.0.2 distribute-list 4 in\n"});
+  const auto style = analyze_policy_style(net);
+  EXPECT_EQ(style.route_map_clauses, 4u);
+  EXPECT_EQ(style.address_based_clauses, 1u);
+  EXPECT_EQ(style.tag_based_clauses, 1u);
+  EXPECT_EQ(style.attribute_based_clauses, 1u);
+  EXPECT_EQ(style.unconditional_clauses, 1u);
+  EXPECT_EQ(style.session_address_filters, 1u);
+  EXPECT_EQ(style.as_path_list_entries, 1u);
+  EXPECT_TRUE(style.needs_bgp_attributes());
+}
+
+TEST(PolicyStyle, BackboneNeedsAttributes) {
+  synth::BackboneParams p;
+  p.access_routers = 20;
+  p.external_peers = 30;
+  const auto net = model::Network::build(
+      synth::reparse(synth::make_backbone(p).configs));
+  const auto style = analyze_policy_style(net);
+  EXPECT_TRUE(style.needs_bgp_attributes());
+  EXPECT_GT(style.as_path_list_entries, 0u);
+}
+
+TEST(PolicyStyle, Net5IsPurelyAddressAndTagBased) {
+  // The §6.1 claim: net5's structured address plan carries the policy;
+  // no BGP attributes needed anywhere.
+  const auto net5 = synth::make_net5();
+  const auto net = model::Network::build(synth::reparse(net5.configs));
+  const auto style = analyze_policy_style(net);
+  EXPECT_FALSE(style.needs_bgp_attributes());
+  EXPECT_TRUE(style.purely_address_and_tag_based());
+  EXPECT_GT(style.tag_based_clauses, 0u);
+  EXPECT_GT(style.address_based_clauses, 0u);
+}
+
+TEST(PolicyStyle, EmptyNetwork) {
+  const auto net = network_of({"hostname a\n"});
+  const auto style = analyze_policy_style(net);
+  EXPECT_EQ(style.route_map_clauses, 0u);
+  EXPECT_FALSE(style.needs_bgp_attributes());
+  EXPECT_FALSE(style.purely_address_and_tag_based());
+}
+
+}  // namespace
+}  // namespace rd::analysis

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "model/policy.h"
+#include "testutil.h"
+
+namespace rd::model {
+namespace {
+
+using rd::test::addr;
+using rd::test::parse;
+using rd::test::pfx;
+
+config::AccessList standard_acl() {
+  return parse("access-list 10 deny 10.5.0.0 0.0.255.255\n"
+               "access-list 10 permit 10.0.0.0 0.255.255.255\n")
+      .access_lists[0];
+}
+
+TEST(AclRouteFilter, FirstMatchWins) {
+  const auto acl = standard_acl();
+  EXPECT_FALSE(acl_permits_route(acl, {pfx("10.5.1.0/24"), {}}));
+  EXPECT_TRUE(acl_permits_route(acl, {pfx("10.6.0.0/16"), {}}));
+}
+
+TEST(AclRouteFilter, ImplicitDeny) {
+  const auto acl = standard_acl();
+  EXPECT_FALSE(acl_permits_route(acl, {pfx("192.168.0.0/16"), {}}));
+}
+
+TEST(AclRouteFilter, MatchesOnNetworkAddress) {
+  // A route filter matches the route's network number, so a /8 whose
+  // network address is inside the clause matches even if the route covers
+  // more space.
+  const auto acl = parse("access-list 10 permit 10.0.0.0 0.0.0.255\n")
+                       .access_lists[0];
+  EXPECT_TRUE(acl_permits_route(acl, {pfx("10.0.0.0/8"), {}}));
+  EXPECT_FALSE(acl_permits_route(acl, {pfx("10.1.0.0/16"), {}}));
+}
+
+TEST(AclRouteFilter, PermitAny) {
+  const auto acl = parse("access-list 10 permit any\n").access_lists[0];
+  EXPECT_TRUE(acl_permits_route(acl, {pfx("0.0.0.0/0"), {}}));
+  EXPECT_TRUE(acl_permits_route(acl, {pfx("203.0.113.0/24"), {}}));
+}
+
+TEST(AclPacketFilter, StandardMatchesSourceOnly) {
+  const auto acl = standard_acl();
+  EXPECT_FALSE(
+      acl_permits_packet(acl, addr("10.5.0.9"), addr("192.168.1.1")));
+  EXPECT_TRUE(acl_permits_packet(acl, addr("10.9.0.9"), addr("8.8.8.8")));
+}
+
+TEST(AclPacketFilter, ExtendedMatchesDestinationAndPort) {
+  const auto acl = parse(
+      "access-list 101 permit tcp any host 10.0.0.5 eq 80\n"
+      "access-list 101 deny ip any any\n")
+      .access_lists[0];
+  EXPECT_TRUE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 80));
+  EXPECT_FALSE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 22));
+  EXPECT_FALSE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.6"), 80));
+}
+
+TEST(AclPacketFilter, PortlessPacketSkipsPortRule) {
+  const auto acl = parse(
+      "access-list 101 permit tcp any any eq 80\n"
+      "access-list 101 permit icmp any any\n")
+      .access_lists[0];
+  // No port info: the port-specific clause cannot match; the icmp one does.
+  EXPECT_TRUE(acl_permits_packet(acl, addr("1.1.1.1"), addr("2.2.2.2")));
+}
+
+TEST(RouteMap, DenyClauseDrops) {
+  const auto cfg = parse(
+      "access-list 4 permit 10.5.0.0 0.0.255.255\n"
+      "route-map RM deny 10\n"
+      " match ip address 4\n"
+      "route-map RM permit 20\n");
+  const auto verdict = route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                          {pfx("10.5.0.0/16"), {}});
+  EXPECT_FALSE(verdict.permitted);
+}
+
+TEST(RouteMap, FallThroughToPermit) {
+  const auto cfg = parse(
+      "access-list 4 permit 10.5.0.0 0.0.255.255\n"
+      "route-map RM deny 10\n"
+      " match ip address 4\n"
+      "route-map RM permit 20\n");
+  // The bare permit clause matches everything else.
+  EXPECT_TRUE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                 {pfx("192.168.0.0/16"), {}})
+                  .permitted);
+}
+
+TEST(RouteMap, ImplicitDenyAtEnd) {
+  const auto cfg = parse(
+      "access-list 4 permit 10.0.0.0 0.255.255.255\n"
+      "route-map RM permit 10\n"
+      " match ip address 4\n");
+  EXPECT_FALSE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                  {pfx("192.168.0.0/16"), {}})
+                   .permitted);
+}
+
+TEST(RouteMap, SetTagApplied) {
+  const auto cfg = parse(
+      "route-map RM permit 10\n"
+      " set tag 6500\n");
+  const auto verdict = route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                          {pfx("10.0.0.0/8"), {}});
+  ASSERT_TRUE(verdict.permitted);
+  EXPECT_EQ(verdict.route.tag, 6500u);
+}
+
+TEST(RouteMap, MatchTagFilters) {
+  // net5's design: route selection keyed off tags carried by the IGP.
+  const auto cfg = parse(
+      "route-map RM permit 10\n"
+      " match tag 7\n");
+  EXPECT_TRUE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                 {pfx("10.0.0.0/8"), 7})
+                  .permitted);
+  EXPECT_FALSE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                  {pfx("10.0.0.0/8"), 8})
+                   .permitted);
+  EXPECT_FALSE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                  {pfx("10.0.0.0/8"), {}})
+                   .permitted);
+}
+
+TEST(RouteMap, MultipleMatchAclsAreOrred) {
+  const auto cfg = parse(
+      "access-list 1 permit 10.0.0.0 0.255.255.255\n"
+      "access-list 2 permit 192.168.0.0 0.0.255.255\n"
+      "route-map RM permit 10\n"
+      " match ip address 1 2\n");
+  const auto* rm = cfg.find_route_map("RM");
+  EXPECT_TRUE(route_map_evaluate(*rm, cfg, {pfx("10.1.0.0/16"), {}}).permitted);
+  EXPECT_TRUE(
+      route_map_evaluate(*rm, cfg, {pfx("192.168.5.0/24"), {}}).permitted);
+  EXPECT_FALSE(
+      route_map_evaluate(*rm, cfg, {pfx("172.16.0.0/12"), {}}).permitted);
+}
+
+TEST(RouteMap, UnresolvableAclMeansClauseNoMatch) {
+  const auto cfg = parse(
+      "route-map RM permit 10\n"
+      " match ip address 4\n");
+  // ACL 4 is undefined: the clause cannot match; implicit deny follows.
+  EXPECT_FALSE(route_map_evaluate(*cfg.find_route_map("RM"), cfg,
+                                  {pfx("10.0.0.0/8"), {}})
+                   .permitted);
+}
+
+TEST(DistributeList, AbsentListPermits) {
+  const auto cfg = parse("hostname a\n");
+  EXPECT_TRUE(distribute_list_permits(cfg, "44", {pfx("10.0.0.0/8"), {}}));
+}
+
+TEST(DistributeList, ResolvedListFilters) {
+  const auto cfg = parse("access-list 44 permit 10.0.0.0 0.255.255.255\n");
+  EXPECT_TRUE(distribute_list_permits(cfg, "44", {pfx("10.0.0.0/8"), {}}));
+  EXPECT_FALSE(
+      distribute_list_permits(cfg, "44", {pfx("192.168.0.0/16"), {}}));
+}
+
+}  // namespace
+}  // namespace rd::model

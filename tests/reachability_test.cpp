@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "analysis/reachability.h"
+#include "graph/instances.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+
+namespace rd::analysis {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+using rd::test::pfx;
+
+// --- basic propagation ----------------------------------------------------------
+
+TEST(Reachability, IgpInstanceOriginatesCoveredSubnets) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  EXPECT_TRUE(analysis.instance_has_route_to(0, addr("10.1.0.55")));
+  EXPECT_FALSE(analysis.instance_has_route_to(0, addr("10.2.0.1")));
+}
+
+TEST(Reachability, RedistributionMovesRoutesAcrossInstances) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"
+       " redistribute ospf 1\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  // Identify the EIGRP instance.
+  std::uint32_t eigrp = instances.instances[0].protocol ==
+                                config::RoutingProtocol::kEigrp
+                            ? 0u
+                            : 1u;
+  EXPECT_TRUE(analysis.instance_has_route_to(eigrp, addr("10.1.0.5")));
+  // One-way redistribution: OSPF does not learn EIGRP's subnets.
+  EXPECT_FALSE(
+      analysis.instance_has_route_to(1u - eigrp, addr("10.2.0.5")));
+}
+
+TEST(Reachability, RouteMapFiltersRedistribution) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.3.0.1 255.255.255.0\n"
+       "interface FastEthernet1/0\n ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.0.0 0.0.255.255 area 0\n"
+       " network 10.3.0.0 0.0.255.255 area 0\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"
+       " redistribute ospf 1 route-map ONLY1\n"
+       "access-list 4 permit 10.1.0.0 0.0.255.255\n"
+       "route-map ONLY1 permit 10\n"
+       " match ip address 4\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  std::uint32_t eigrp = instances.instances[0].protocol ==
+                                config::RoutingProtocol::kEigrp
+                            ? 0u
+                            : 1u;
+  EXPECT_TRUE(analysis.instance_has_route_to(eigrp, addr("10.1.0.5")));
+  EXPECT_FALSE(analysis.instance_has_route_to(eigrp, addr("10.3.0.5")));
+}
+
+TEST(Reachability, StaticRoutesViaRedistributeStatic) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute static\n"
+       "ip route 172.20.0.0 255.255.0.0 10.1.0.254\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  EXPECT_TRUE(analysis.instance_has_route_to(0, addr("172.20.3.4")));
+}
+
+TEST(Reachability, ExternalSessionInjectsFilteredRoutes) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65000\n"
+       " neighbor 10.9.0.2 remote-as 701\n"
+       " neighbor 10.9.0.2 distribute-list 44 in\n"
+       "access-list 44 permit 171.5.0.0 0.0.255.255\n"});
+  const auto instances = graph::compute_instances(net);
+  ReachabilityAnalysis::Options options;
+  options.external_prefixes = {pfx("171.5.0.0/16"), pfx("8.8.0.0/16")};
+  const auto analysis = ReachabilityAnalysis::run(net, instances, options);
+  EXPECT_TRUE(analysis.instance_has_route_to(0, addr("171.5.1.1")));
+  EXPECT_FALSE(analysis.instance_has_route_to(0, addr("8.8.8.8")));
+  // The default route is not permitted by ACL 44.
+  EXPECT_FALSE(analysis.instance_reaches_internet(0));
+}
+
+TEST(Reachability, UnfilteredExternalSessionGetsDefault) {
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65000\n neighbor 10.9.0.2 remote-as 701\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  EXPECT_TRUE(analysis.instance_reaches_internet(0));
+}
+
+TEST(Reachability, AnnouncedExternallyRespectsOutFilters) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65000\n"
+       " network 10.1.0.0 mask 255.255.255.0\n"
+       " network 10.2.0.0 mask 255.255.255.0\n"
+       " neighbor 10.9.0.2 remote-as 701\n"
+       " neighbor 10.9.0.2 distribute-list 45 out\n"
+       "access-list 45 permit 10.1.0.0 0.0.255.255\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  bool announced_101 = false;
+  bool announced_102 = false;
+  for (const auto& route : analysis.announced_externally()) {
+    if (route.prefix == pfx("10.1.0.0/24")) announced_101 = true;
+    if (route.prefix == pfx("10.2.0.0/24")) announced_102 = true;
+  }
+  EXPECT_TRUE(announced_101);
+  EXPECT_FALSE(announced_102);
+}
+
+TEST(Reachability, TagsCarriedThroughRedistribution) {
+  // net5's trick: set a tag at injection, match it later.
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.2.0.1 255.255.255.0\n"
+       "interface FastEthernet1/0\n ip address 10.3.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"
+       " redistribute ospf 1 route-map SETTAG\n"
+       "router rip\n network 10.3.0.0 0.0.255.255\n"
+       " redistribute eigrp 9 route-map NEEDTAG\n"
+       "route-map SETTAG permit 10\n"
+       " set tag 77\n"
+       "route-map NEEDTAG permit 10\n"
+       " match tag 77\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  std::uint32_t rip = 99;
+  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+    if (instances.instances[i].protocol == config::RoutingProtocol::kRip) {
+      rip = i;
+    }
+  }
+  ASSERT_NE(rip, 99u);
+  // OSPF's subnet reached RIP because the tag matched en route...
+  EXPECT_TRUE(analysis.instance_has_route_to(rip, addr("10.1.0.5")));
+  // ...but EIGRP's own (untagged) subnet did not.
+  EXPECT_FALSE(analysis.instance_has_route_to(rip, addr("10.2.0.5")));
+}
+
+TEST(Reachability, FixpointTerminates) {
+  // Mutual redistribution must not loop forever.
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n"
+       "interface FastEthernet0/1\n ip address 10.2.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.1.0.0 0.0.255.255 area 0\n"
+       " redistribute eigrp 9\n"
+       "router eigrp 9\n network 10.2.0.0 0.0.255.255\n"
+       " redistribute ospf 1\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  EXPECT_LT(analysis.iterations_used(), 64u);
+  EXPECT_TRUE(analysis.instance_has_route_to(0, addr("10.2.0.5")));
+  EXPECT_TRUE(analysis.instance_has_route_to(1, addr("10.1.0.5")));
+}
+
+TEST(Reachability, AggregateAddressOriginatesSummary) {
+  // §3.1: border routers craft summary routes. The /16 aggregate appears
+  // once a contained /24 is in the BGP instance, and is announced out.
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n ip address 10.1.2.1 255.255.255.0\n"
+       "interface Serial0/0 point-to-point\n"
+       " ip address 10.9.0.1 255.255.255.252\n"
+       "router bgp 65000\n"
+       " network 10.1.2.0 mask 255.255.255.0\n"
+       " aggregate-address 10.1.0.0 255.255.0.0 summary-only\n"
+       " neighbor 10.9.0.2 remote-as 701\n"
+       " neighbor 10.9.0.2 distribute-list 45 out\n"
+       "access-list 45 permit 10.1.0.0 0.0.0.0\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  bool aggregate_present = false;
+  for (const auto& route : analysis.instance_routes(0)) {
+    if (route.prefix == pfx("10.1.0.0/16")) aggregate_present = true;
+  }
+  EXPECT_TRUE(aggregate_present);
+  bool aggregate_announced = false;
+  for (const auto& route : analysis.announced_externally()) {
+    if (route.prefix == pfx("10.1.0.0/16")) aggregate_announced = true;
+  }
+  EXPECT_TRUE(aggregate_announced);
+}
+
+TEST(Reachability, AggregateWithoutContributorStaysSilent) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "router bgp 65000\n"
+       " aggregate-address 10.1.0.0 255.255.0.0\n"});
+  const auto instances = graph::compute_instances(net);
+  const auto analysis = ReachabilityAnalysis::run(net, instances);
+  EXPECT_TRUE(analysis.instance_routes(0).empty());
+}
+
+TEST(Reachability, RemovingFiltersNeverShrinksReachability) {
+  // Monotonicity property: the same network with every route filter
+  // stripped must hold a superset of routes in every instance.
+  const auto net15 = synth::make_net15();
+  auto stripped_configs = synth::reparse(net15.configs);
+  for (auto& cfg : stripped_configs) {
+    for (auto& stanza : cfg.router_stanzas) {
+      stanza.distribute_lists.clear();
+      for (auto& nbr : stanza.neighbors) {
+        nbr.distribute_list_in.reset();
+        nbr.distribute_list_out.reset();
+        nbr.prefix_list_in.reset();
+        nbr.prefix_list_out.reset();
+        nbr.route_map_in.reset();
+        nbr.route_map_out.reset();
+      }
+      for (auto& redist : stanza.redistributes) redist.route_map.reset();
+    }
+  }
+  const auto filtered = model::Network::build(synth::reparse(net15.configs));
+  const auto open = model::Network::build(std::move(stripped_configs));
+  const auto instances_filtered = graph::compute_instances(filtered);
+  const auto instances_open = graph::compute_instances(open);
+  ASSERT_EQ(instances_filtered.instances.size(),
+            instances_open.instances.size());
+
+  ReachabilityAnalysis::Options options;
+  const auto plan = synth::net15_plan();
+  options.external_prefixes = {plan.ab0, plan.external_left,
+                               plan.external_right};
+  const auto reach_filtered =
+      ReachabilityAnalysis::run(filtered, instances_filtered, options);
+  const auto reach_open =
+      ReachabilityAnalysis::run(open, instances_open, options);
+  for (std::uint32_t i = 0; i < instances_filtered.instances.size(); ++i) {
+    for (const auto& route : reach_filtered.instance_routes(i)) {
+      EXPECT_TRUE(reach_open.instance_routes(i).contains(route))
+          << "instance " << i << " lost " << route.prefix.to_string();
+    }
+  }
+  // And the open network really is more reachable somewhere (the default
+  // route now gets in).
+  bool strictly_more = false;
+  for (std::uint32_t i = 0; i < instances_open.instances.size(); ++i) {
+    if (reach_open.instance_routes(i).size() >
+        reach_filtered.instance_routes(i).size()) {
+      strictly_more = true;
+    }
+  }
+  EXPECT_TRUE(strictly_more);
+}
+
+// --- the net15 case study (Figure 12 / Table 2) -----------------------------------
+
+class Net15Reachability : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto net15 = synth::make_net15();
+    network_ = new model::Network(
+        model::Network::build(synth::reparse(net15.configs)));
+    instances_ = new graph::InstanceSet(graph::compute_instances(*network_));
+    ReachabilityAnalysis::Options options;
+    const auto plan = synth::net15_plan();
+    options.external_prefixes = {plan.ab0, plan.external_left,
+                                 plan.external_right};
+    analysis_ = new ReachabilityAnalysis(
+        ReachabilityAnalysis::run(*network_, *instances_, options));
+  }
+  static void TearDownTestSuite() {
+    delete analysis_;
+    delete instances_;
+    delete network_;
+    analysis_ = nullptr;
+    instances_ = nullptr;
+    network_ = nullptr;
+  }
+
+  static std::uint32_t ospf_instance_containing(ip::Ipv4Address a) {
+    for (std::uint32_t i = 0; i < instances_->instances.size(); ++i) {
+      const auto& inst = instances_->instances[i];
+      if (inst.protocol != config::RoutingProtocol::kOspf) continue;
+      for (const auto p : inst.processes) {
+        for (const auto itf :
+             network_->processes()[p].covered_interfaces) {
+          if (network_->interfaces()[itf].subnet &&
+              network_->interfaces()[itf].subnet->contains(a)) {
+            return i;
+          }
+        }
+      }
+    }
+    ADD_FAILURE() << "no OSPF instance contains " << a.to_string();
+    return 0;
+  }
+
+  static model::Network* network_;
+  static graph::InstanceSet* instances_;
+  static ReachabilityAnalysis* analysis_;
+};
+
+model::Network* Net15Reachability::network_ = nullptr;
+graph::InstanceSet* Net15Reachability::instances_ = nullptr;
+ReachabilityAnalysis* Net15Reachability::analysis_ = nullptr;
+
+TEST_F(Net15Reachability, HasSixInstances) {
+  EXPECT_EQ(instances_->instances.size(), 6u);
+}
+
+TEST_F(Net15Reachability, NoInternetAtLargeReachability) {
+  // Paper: "There is no default route permitted" — no instance reaches the
+  // Internet at large.
+  for (std::uint32_t i = 0; i < instances_->instances.size(); ++i) {
+    EXPECT_FALSE(analysis_->instance_reaches_internet(i)) << i;
+  }
+}
+
+TEST_F(Net15Reachability, SharedServicesBlockReachableFromBothSites) {
+  const auto plan = synth::net15_plan();
+  const auto left = ospf_instance_containing(
+      ip::Ipv4Address(plan.ab2.network().value() + 257));
+  const auto right = ospf_instance_containing(
+      ip::Ipv4Address(plan.ab4.network().value() + 257));
+  EXPECT_TRUE(analysis_->instance_has_route_to(
+      left, ip::Ipv4Address(plan.ab0.network().value() + 1)));
+  EXPECT_TRUE(analysis_->instance_has_route_to(
+      right, ip::Ipv4Address(plan.ab0.network().value() + 1)));
+}
+
+TEST_F(Net15Reachability, SitesMutuallyUnreachable) {
+  // Paper: packets from AB2 cannot reach AB4 at all, or vice versa
+  // (A2 ∩ A5 = A2 ∩ A3 = A4 ∩ A1 = ∅).
+  const auto plan = synth::net15_plan();
+  const auto ab2_host = ip::Ipv4Address(plan.ab2.network().value() + 257);
+  const auto ab4_host = ip::Ipv4Address(plan.ab4.network().value() + 257);
+  const auto left = ospf_instance_containing(ab2_host);
+  const auto right = ospf_instance_containing(ab4_host);
+  EXPECT_NE(left, right);
+  EXPECT_FALSE(analysis_->instance_has_route_to(left, ab4_host));
+  EXPECT_FALSE(analysis_->instance_has_route_to(right, ab2_host));
+  EXPECT_FALSE(
+      analysis_->two_way_reachable(left, ab2_host, right, ab4_host));
+}
+
+TEST_F(Net15Reachability, HostBlocksAnnouncedOutward) {
+  // Paper: "routes to the hosts connected to the network (AB2 and AB4) are
+  // allowed out."
+  const auto plan = synth::net15_plan();
+  bool ab2_out = false;
+  bool ab4_out = false;
+  for (const auto& route : analysis_->announced_externally()) {
+    if (plan.ab2.contains(route.prefix)) ab2_out = true;
+    if (plan.ab4.contains(route.prefix)) ab4_out = true;
+  }
+  EXPECT_TRUE(ab2_out);
+  EXPECT_TRUE(ab4_out);
+}
+
+TEST_F(Net15Reachability, ExternalRouteLoadIsBounded) {
+  // Paper §6.2: the ingress filters bound the number of external routes the
+  // OSPF instances must carry.
+  const auto plan = synth::net15_plan();
+  const auto left = ospf_instance_containing(
+      ip::Ipv4Address(plan.ab2.network().value() + 257));
+  EXPECT_LE(analysis_->external_route_count(left), 8u);
+}
+
+}  // namespace
+}  // namespace rd::analysis

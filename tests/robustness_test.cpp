@@ -1,0 +1,234 @@
+// Robustness and cross-implementation property tests:
+//   - the parser never crashes on mutated configuration text and always
+//     produces a usable (possibly partial) model;
+//   - the prefix trie agrees with a linear longest-prefix-match scan;
+//   - anonymize -> parse -> analyze equals parse -> analyze across
+//     archetypes (the paper's §4 requirement, swept);
+//   - the pipeline tolerates truncated and interleaved files.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "anonymize/anonymizer.h"
+#include "config/parser.h"
+#include "config/writer.h"
+#include "graph/instances.h"
+#include "ip/prefix_trie.h"
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+// --- parser fuzz ------------------------------------------------------------------
+
+std::string mutate(std::string text, util::Rng& rng) {
+  if (text.empty()) return text;
+  const auto kind = rng.below(4);
+  const auto pos = rng.below(text.size());
+  switch (kind) {
+    case 0:  // flip a character
+      text[pos] = static_cast<char>(32 + rng.below(95));
+      break;
+    case 1:  // delete a span
+      text.erase(pos, rng.below(20) + 1);
+      break;
+    case 2:  // duplicate a span
+      text.insert(pos, text.substr(pos, rng.below(30) + 1));
+      break;
+    default:  // truncate
+      text.resize(pos);
+      break;
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, NeverCrashesAndModelBuilds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  std::string text(test::kFigure2Config);
+  for (int round = 0; round < 40; ++round) {
+    text = mutate(std::move(text), rng);
+    const auto result = config::parse_config(text, "fuzz");
+    // Whatever came out must be consumable by the whole pipeline.
+    const auto network = model::Network::build({result.config});
+    const auto instances = graph::compute_instances(network);
+    EXPECT_EQ(instances.instance_of.size(), network.processes().size());
+    // And serializable: the writer must not crash on partial models.
+    const auto text2 = config::write_config(result.config);
+    EXPECT_FALSE(text2.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 12));
+
+TEST(ParserRobustness, DeepIndentationAndLongLines) {
+  std::string text = "interface Ethernet0\n";
+  text += std::string(200, ' ') + "shutdown\n";
+  text += "access-list 1 permit " + std::string(5000, '1') + "\n";
+  const auto result = config::parse_config(text, "r");
+  EXPECT_EQ(result.config.interfaces.size(), 1u);
+}
+
+TEST(ParserRobustness, BinaryGarbage) {
+  std::string text;
+  util::Rng rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    text += static_cast<char>(rng.below(256));
+  }
+  const auto result = config::parse_config(text, "garbage");
+  (void)result;  // must not crash; content is unspecified
+}
+
+TEST(ParserRobustness, EveryPrefixOfFigure2Parses) {
+  const std::string text(test::kFigure2Config);
+  for (std::size_t len = 0; len <= text.size(); len += 17) {
+    const auto result = config::parse_config(text.substr(0, len), "prefix");
+    const auto network = model::Network::build({result.config});
+    (void)network;
+  }
+}
+
+// --- trie vs linear LPM -------------------------------------------------------------
+
+TEST(TrieProperty, AgreesWithLinearScan) {
+  util::Rng rng(2024);
+  ip::PrefixTrie<int> trie;
+  std::vector<std::pair<ip::Prefix, int>> table;
+  for (int i = 0; i < 500; ++i) {
+    const ip::Prefix p(ip::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                       static_cast<int>(rng.below(33)));
+    // Avoid duplicate prefixes with conflicting values.
+    bool duplicate = false;
+    for (const auto& [q, v] : table) duplicate = duplicate || q == p;
+    if (duplicate) continue;
+    trie.insert(p, i);
+    table.emplace_back(p, i);
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const ip::Ipv4Address addr(static_cast<std::uint32_t>(rng.next()));
+    // Linear LPM.
+    int best_len = -1;
+    const int* best = nullptr;
+    for (const auto& [p, v] : table) {
+      if (p.contains(addr) && p.length() > best_len) {
+        best_len = p.length();
+        best = &v;
+      }
+    }
+    const int* got = trie.longest_match(addr);
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, *best);
+    }
+  }
+}
+
+// --- anonymization equivalence across archetypes ------------------------------------
+
+class AnonymizationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnonymizationSweep, AnalysisInvariant) {
+  synth::SynthNetwork net;
+  switch (GetParam()) {
+    case 0: {
+      synth::BackboneParams p;
+      p.access_routers = 25;
+      p.external_peers = 40;
+      net = synth::make_backbone(p);
+      break;
+    }
+    case 1: {
+      synth::Tier2Params p;
+      p.edge_routers = 20;
+      net = synth::make_tier2_isp(p);
+      break;
+    }
+    case 2: {
+      synth::TextbookEnterpriseParams p;
+      p.routers = 30;
+      p.igp_instances = 2;
+      p.border_routers = 2;
+      net = synth::make_textbook_enterprise(p);
+      break;
+    }
+    case 3:
+      net = synth::make_net15();
+      break;
+    case 4: {
+      synth::MergedHybridParams p;
+      net = synth::make_merged_hybrid(p);
+      break;
+    }
+    default:
+      GTEST_FAIL();
+  }
+  anonymize::Anonymizer anonymizer(0xFEEDu + GetParam());
+  std::vector<config::RouterConfig> plain;
+  std::vector<config::RouterConfig> anon;
+  for (const auto& cfg : net.configs) {
+    const auto text = config::write_config(cfg);
+    plain.push_back(config::parse_config(text, "p").config);
+    anon.push_back(
+        config::parse_config(anonymizer.anonymize(text), "a").config);
+  }
+  const auto net_plain = model::Network::build(std::move(plain));
+  const auto net_anon = model::Network::build(std::move(anon));
+  EXPECT_EQ(net_anon.links().size(), net_plain.links().size());
+  EXPECT_EQ(net_anon.igp_adjacencies().size(),
+            net_plain.igp_adjacencies().size());
+  EXPECT_EQ(net_anon.bgp_sessions().size(), net_plain.bgp_sessions().size());
+  std::size_t ext_plain = 0;
+  std::size_t ext_anon = 0;
+  for (const auto& link : net_plain.links()) ext_plain += link.external_facing;
+  for (const auto& link : net_anon.links()) ext_anon += link.external_facing;
+  EXPECT_EQ(ext_anon, ext_plain);
+  EXPECT_EQ(graph::compute_instances(net_anon).instance_of,
+            graph::compute_instances(net_plain).instance_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, AnonymizationSweep,
+                         ::testing::Range(0, 5));
+
+// --- pipeline on odd inputs -----------------------------------------------------------
+
+TEST(PipelineRobustness, EmptyNetwork) {
+  const auto network = model::Network::build({});
+  EXPECT_EQ(network.router_count(), 0u);
+  const auto instances = graph::compute_instances(network);
+  EXPECT_TRUE(instances.instances.empty());
+  const auto ig = graph::InstanceGraph::build(network);
+  EXPECT_TRUE(ig.edges.empty());
+}
+
+TEST(PipelineRobustness, DuplicateHostnames) {
+  // Two files claiming the same hostname must still yield two routers.
+  const auto network = test::network_of(
+      {"hostname twin\nrouter ospf 1\n", "hostname twin\nrouter ospf 1\n"});
+  EXPECT_EQ(network.router_count(), 2u);
+  EXPECT_EQ(graph::compute_instances(network).instances.size(), 2u);
+}
+
+TEST(PipelineRobustness, SameAddressTwice) {
+  // An address collision (config error / stale file) must not crash link
+  // inference or session resolution.
+  const auto network = test::network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n",
+       "hostname b\ninterface FastEthernet0/0\n"
+       " ip address 10.0.0.1 255.255.255.0\n"
+       "router bgp 65000\n neighbor 10.0.0.1 remote-as 65000\n"});
+  EXPECT_EQ(network.links().size(), 1u);
+  EXPECT_EQ(network.links()[0].interfaces.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rd

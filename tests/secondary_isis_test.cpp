@@ -1,0 +1,131 @@
+// Tests for secondary-address modeling and IS-IS interface association.
+
+#include <gtest/gtest.h>
+
+#include "config/writer.h"
+#include "graph/address_space.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "testutil.h"
+
+namespace rd::model {
+namespace {
+
+using rd::test::addr;
+using rd::test::network_of;
+using rd::test::pfx;
+
+// --- secondary addresses -----------------------------------------------------------
+
+TEST(SecondaryAddresses, RecordedOnModelInterface) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip address 10.2.0.1 255.255.255.0 secondary\n"});
+  ASSERT_EQ(net.interfaces().size(), 1u);
+  const auto& itf = net.interfaces()[0];
+  EXPECT_EQ(itf.secondary_addresses.size(), 1u);
+  EXPECT_EQ(itf.secondary_subnets.size(), 1u);
+  EXPECT_EQ(itf.secondary_subnets[0], pfx("10.2.0.0/24"));
+}
+
+TEST(SecondaryAddresses, CountTowardInternality) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip address 10.2.0.1 255.255.255.0 secondary\n"});
+  EXPECT_TRUE(net.address_is_internal(addr("10.2.0.99")));
+  EXPECT_TRUE(net.address_is_internal(addr("10.1.0.99")));
+  EXPECT_FALSE(net.address_is_internal(addr("10.3.0.1")));
+}
+
+TEST(SecondaryAddresses, AppearInInterfaceSubnets) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip address 10.1.1.1 255.255.255.0 secondary\n"});
+  const auto subnets = net.interface_subnets();
+  ASSERT_EQ(subnets.size(), 2u);
+  // And the address structure joins them into one block.
+  const auto structure = graph::extract_address_structure(net);
+  EXPECT_EQ(structure.root_blocks(),
+            (std::vector<ip::Prefix>{pfx("10.1.0.0/23")}));
+}
+
+TEST(SecondaryAddresses, SecondaryOwnershipPreventsExternalMarking) {
+  // The /30's missing side is owned by b as a *secondary* address: the
+  // link is internal.
+  const auto net = network_of(
+      {"hostname a\ninterface Serial0/0 point-to-point\n"
+       " ip address 10.0.0.1 255.255.255.252\n",
+       "hostname b\ninterface Serial0/0 point-to-point\n"
+       " ip address 172.16.0.1 255.255.255.252\n"
+       " ip address 10.0.0.2 255.255.255.252 secondary\n"});
+  // a's /30 has .2 owned (as secondary) -> internal.
+  for (const auto& link : net.links()) {
+    if (link.subnet == pfx("10.0.0.0/30")) {
+      EXPECT_FALSE(link.external_facing);
+    }
+  }
+}
+
+TEST(SecondaryAddresses, NetworkStatementCoversViaSecondary) {
+  const auto net = network_of(
+      {"hostname a\ninterface FastEthernet0/0\n"
+       " ip address 192.168.0.1 255.255.255.0\n"
+       " ip address 10.5.0.1 255.255.255.0 secondary\n"
+       "router ospf 1\n network 10.0.0.0 0.255.255.255 area 0\n"});
+  ASSERT_EQ(net.processes().size(), 1u);
+  EXPECT_EQ(net.processes()[0].covered_interfaces.size(), 1u);
+}
+
+// --- IS-IS ---------------------------------------------------------------------------
+
+TEST(Isis, InterfaceAssociation) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface FastEthernet0/0\n"
+       " ip address 10.1.0.1 255.255.255.0\n"
+       " ip router isis\n"
+       "interface FastEthernet0/1\n"
+       " ip address 10.2.0.1 255.255.255.0\n"
+       "router isis\n"});
+  ASSERT_EQ(net.processes().size(), 1u);
+  EXPECT_EQ(net.processes()[0].protocol, config::RoutingProtocol::kIsis);
+  ASSERT_EQ(net.processes()[0].covered_interfaces.size(), 1u);
+  EXPECT_EQ(net.interfaces()[net.processes()[0].covered_interfaces[0]].name,
+            "FastEthernet0/0");
+}
+
+TEST(Isis, AdjacencyAcrossLink) {
+  auto isis_router = [](const std::string& host, const std::string& address) {
+    return "hostname " + host +
+           "\ninterface Serial0/0 point-to-point\n ip address " + address +
+           " 255.255.255.252\n ip router isis\nrouter isis\n";
+  };
+  const auto net = network_of(
+      {isis_router("a", "10.0.0.1"), isis_router("b", "10.0.0.2")});
+  EXPECT_EQ(net.igp_adjacencies().size(), 1u);
+  const auto instances = graph::compute_instances(net);
+  ASSERT_EQ(instances.instances.size(), 1u);
+  EXPECT_EQ(instances.instances[0].router_count(), 2u);
+  EXPECT_EQ(instances.instances[0].protocol, config::RoutingProtocol::kIsis);
+}
+
+TEST(Isis, RoundTripsThroughWriter) {
+  const std::string text =
+      "hostname a\n"
+      "interface FastEthernet0/0\n"
+      " ip address 10.1.0.1 255.255.255.0\n"
+      " ip router isis\n"
+      "router isis\n";
+  const auto cfg = rd::test::parse(text, "a");
+  EXPECT_TRUE(cfg.interfaces[0].isis);
+  const auto reparsed =
+      config::parse_config(config::write_config(cfg), "a").config;
+  EXPECT_EQ(reparsed.interfaces, cfg.interfaces);
+  EXPECT_EQ(reparsed.router_stanzas, cfg.router_stanzas);
+}
+
+}  // namespace
+}  // namespace rd::model

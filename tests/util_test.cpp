@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace rd::util {
+namespace {
+
+// --- strings ----------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \r\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitChar) {
+  const auto parts = split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", '.').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = split_ws("  ip   address\t10.0.0.1  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "ip");
+  EXPECT_EQ(parts[1], "address");
+  EXPECT_EQ(parts[2], "10.0.0.1");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitLines) {
+  const auto lines = split_lines("a\nb\r\n\nc");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(lines[3], "c");
+}
+
+TEST(Strings, SplitLinesTrailingNewline) {
+  EXPECT_EQ(split_lines("a\n").size(), 1u);
+  EXPECT_EQ(split_lines("").size(), 0u);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("interface Serial0", "interface"));
+  EXPECT_FALSE(starts_with("int", "interface"));
+  EXPECT_TRUE(ends_with("config1", "1"));
+  EXPECT_FALSE(ends_with("1", "config1"));
+}
+
+TEST(Strings, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("OSPF", "ospf"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("ospf", "ospf2"));
+}
+
+TEST(Strings, ToLowerAndJoin) {
+  EXPECT_EQ(to_lower("FastEthernet"), "fastethernet");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ParseU32) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(parse_u32("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_u32("4294967295", v));
+  EXPECT_FALSE(parse_u32("4294967296", v));
+  EXPECT_FALSE(parse_u32("", v));
+  EXPECT_FALSE(parse_u32("-1", v));
+  EXPECT_FALSE(parse_u32("1x", v));
+}
+
+TEST(Strings, IsAllDigits) {
+  EXPECT_TRUE(is_all_digits("0123"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("12a"));
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedDistribution) {
+  Rng rng(11);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted({3.0, 1.0})];
+  EXPECT_NEAR(counts[0] / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng a(42);
+  const auto x1 = a.fork("x").next();
+  const auto y1 = a.fork("y").next();
+  EXPECT_NE(x1, y1);
+  // Forking does not perturb the parent.
+  Rng b(42);
+  b.fork("x");
+  EXPECT_EQ(a.next(), b.next());
+  // Same label -> same child stream.
+  Rng c(42);
+  EXPECT_EQ(c.fork("x").next(), x1);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.log_normal(1.0, 1.0), 0.0);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, SummaryOddMedianAndEmpty) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({1.0, 1.0, 2.0, 4.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 4.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, CdfAtThresholds) {
+  const auto points = cdf_at({1.0, 2.0, 3.0, 4.0}, {0.5, 2.0, 10.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.0);
+  EXPECT_DOUBLE_EQ(points[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(points[2].fraction, 1.0);
+}
+
+TEST(Stats, BucketHistogram) {
+  const auto buckets = bucket_histogram({5.0, 15.0, 25.0, 1000.0}, {10.0, 20.0},
+                                        {"<10", "20", ">20"});
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_EQ(buckets[2].count, 2u);
+  EXPECT_DOUBLE_EQ(buckets[2].fraction, 0.5);
+}
+
+TEST(Stats, Quantile) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "count"});
+  t.add_row({"ospf", "12"});
+  t.add_row({"eigrp", "7"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("ospf"), std::string::npos);
+  EXPECT_NE(s.find("12 |"), std::string::npos);  // right-aligned numeric
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find("x"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.421, 1), "42.1%");
+}
+
+}  // namespace
+}  // namespace rd::util
