@@ -21,8 +21,10 @@
 #include "graph/pathway.h"
 #include "ip/aggregate.h"
 #include "model/network.h"
+#include "pipeline/pipeline.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -87,6 +89,102 @@ void BM_AnonymizeConfig(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnonymizeConfig);
+
+// --- parallel pipeline (serial baseline vs thread counts) --------------------
+//
+// BM_SerialParseNetwork is the serial baseline for BM_ParallelParse: both
+// parse the same ~170-router managed enterprise end to end and build the
+// model. Speedup = serial time / parallel time at the reported thread count.
+
+void BM_SerialParseNetwork(benchmark::State& state) {
+  const auto net = managed_of_size(40);
+  const auto texts = config_texts(net);
+  std::size_t bytes = 0;
+  for (const auto& text : texts) bytes += text.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline::build_network_serial(texts));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["routers"] = static_cast<double>(texts.size());
+}
+BENCHMARK(BM_SerialParseNetwork);
+
+void BM_ParallelParse(benchmark::State& state) {
+  const auto net = managed_of_size(40);
+  const auto texts = config_texts(net);
+  std::size_t bytes = 0;
+  for (const auto& text : texts) bytes += text.size();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline::build_network_parallel(texts, pool));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["routers"] = static_cast<double>(texts.size());
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_ParallelParse)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+namespace {
+
+// A reduced fleet for the fleet-analysis benchmark: one network per
+// archetype family, sized so one full analysis pass is milliseconds, not
+// seconds (the real 31-network fleet includes 881- and 1750-router nets).
+std::vector<pipeline::FleetInput> bench_fleet_inputs() {
+  std::vector<pipeline::FleetInput> inputs;
+  const auto add = [&inputs](const synth::SynthNetwork& net) {
+    std::vector<std::string> texts;
+    texts.reserve(net.configs.size());
+    for (const auto& cfg : net.configs) {
+      texts.push_back(config::write_config(cfg));
+    }
+    inputs.push_back({net.name, std::move(texts)});
+  };
+  synth::BackboneParams bb;
+  bb.core_routers = 4;
+  bb.access_routers = 16;
+  bb.external_peers = 30;
+  add(synth::make_backbone(bb));
+  synth::TextbookEnterpriseParams te;
+  te.routers = 24;
+  add(synth::make_textbook_enterprise(te));
+  synth::Tier2Params t2;
+  t2.core_routers = 4;
+  t2.edge_routers = 10;
+  add(synth::make_tier2_isp(t2));
+  synth::ManagedEnterpriseParams me;
+  me.regions = 3;
+  me.spokes_per_region = 10;
+  add(synth::make_managed_enterprise(me));
+  synth::NoBgpParams nb;
+  add(synth::make_no_bgp_enterprise(nb));
+  synth::MergedHybridParams mh;
+  add(synth::make_merged_hybrid(mh));
+  return inputs;
+}
+
+}  // namespace
+
+void BM_SerialFleet(benchmark::State& state) {
+  const auto inputs = bench_fleet_inputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline::analyze_fleet_serial(inputs));
+  }
+  state.counters["networks"] = static_cast<double>(inputs.size());
+}
+BENCHMARK(BM_SerialFleet);
+
+void BM_ParallelFleet(benchmark::State& state) {
+  const auto inputs = bench_fleet_inputs();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline::analyze_fleet_parallel(inputs, pool));
+  }
+  state.counters["networks"] = static_cast<double>(inputs.size());
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_ParallelFleet)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // --- model building ------------------------------------------------------------
 

@@ -9,8 +9,15 @@
 // Usage:
 //   audit_network                # audit a generated managed enterprise
 //   audit_network <config-dir>   # audit a directory of IOS config files
-
+//   audit_network [<config-dir>] --threads N
+//                                # parse configs on N threads (default: the
+//                                # RD_THREADS env override, else hardware
+//                                # concurrency); results are identical at
+//                                # every thread count
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 
 #include "analysis/archetype.h"
@@ -23,9 +30,11 @@
 #include "analysis/router_rib.h"
 #include "analysis/vulnerability.h"
 #include "analysis/whatif.h"
+#include "config/writer.h"
 #include "graph/address_space.h"
 #include "graph/instances.h"
 #include "model/network.h"
+#include "pipeline/pipeline.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 #include "util/table.h"
@@ -33,24 +42,46 @@
 int main(int argc, char** argv) {
   using namespace rd;
 
-  std::vector<config::RouterConfig> configs;
-  if (argc > 1) {
-    configs = synth::load_network(argv[1]);
+  pipeline::Options options;
+  const char* config_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const long parsed =
+          i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : 0;
+      if (parsed < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        return 1;
+      }
+      options.threads = static_cast<std::size_t>(parsed);
+    } else {
+      config_dir = argv[i];
+    }
+  }
+
+  std::vector<std::string> texts;
+  if (config_dir != nullptr) {
+    if (!std::filesystem::is_directory(config_dir)) {
+      std::fprintf(stderr, "%s is not a directory\n", config_dir);
+      return 1;
+    }
+    texts = synth::load_network_texts(config_dir);
   } else {
     synth::ManagedEnterpriseParams params;
     params.regions = 3;
     params.spokes_per_region = 14;
     params.igp_edge_rate = 0.15;
-    configs = synth::reparse(synth::make_managed_enterprise(params).configs);
+    for (const auto& cfg : synth::make_managed_enterprise(params).configs) {
+      texts.push_back(config::write_config(cfg));
+    }
     std::printf("(auditing a generated managed enterprise; pass a config "
                 "directory to audit your own network)\n\n");
   }
-  if (configs.empty()) {
+  if (texts.empty()) {
     std::fprintf(stderr, "no configuration files found\n");
     return 1;
   }
 
-  const auto network = model::Network::build(std::move(configs));
+  const auto network = pipeline::build_network_parallel(texts, options);
   const auto ig = graph::InstanceGraph::build(network);
 
   // --- Inventory -----------------------------------------------------------

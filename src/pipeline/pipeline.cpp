@@ -1,0 +1,274 @@
+#include "pipeline/pipeline.h"
+
+#include <map>
+#include <utility>
+
+#include "analysis/archetype.h"
+#include "analysis/census.h"
+#include "analysis/consistency.h"
+#include "analysis/lint.h"
+#include "analysis/reachability.h"
+#include "config/parser.h"
+#include "graph/dot.h"
+#include "graph/instances.h"
+#include "util/json.h"
+
+namespace rd::pipeline {
+
+namespace {
+
+config::RouterConfig parse_one(const std::string& text) {
+  return config::parse_config(text).config;
+}
+
+// util::Json has no uint32_t constructor; ids need an explicit widening.
+util::Json uid(std::uint32_t v) {
+  return util::Json(static_cast<long long>(v));
+}
+
+}  // namespace
+
+model::Network build_network_serial(const std::vector<std::string>& texts) {
+  std::vector<config::RouterConfig> configs;
+  configs.reserve(texts.size());
+  for (const auto& text : texts) configs.push_back(parse_one(text));
+  return model::Network::build(std::move(configs));
+}
+
+model::Network build_network_parallel(const std::vector<std::string>& texts,
+                                      util::ThreadPool& pool) {
+  auto configs = util::parallel_map(pool, texts, parse_one);
+  return model::Network::build(std::move(configs));
+}
+
+model::Network build_network_parallel(const std::vector<std::string>& texts,
+                                      const Options& options) {
+  util::ThreadPool pool(options.threads);
+  return build_network_parallel(texts, pool);
+}
+
+std::string network_signature(const model::Network& network) {
+  using util::Json;
+  auto root = Json::object();
+
+  auto routers = Json::array();
+  for (const auto& config : network.routers()) {
+    auto r = Json::object();
+    r.set("hostname", config.hostname);
+    r.set("interfaces", config.interfaces.size());
+    r.set("stanzas", config.router_stanzas.size());
+    r.set("acls", config.access_lists.size());
+    r.set("route_maps", config.route_maps.size());
+    r.set("statics", config.static_routes.size());
+    routers.push_back(std::move(r));
+  }
+  root.set("routers", std::move(routers));
+
+  auto interfaces = Json::array();
+  for (const auto& itf : network.interfaces()) {
+    auto i = Json::object();
+    i.set("router", uid(itf.router));
+    i.set("name", itf.name);
+    i.set("hw", itf.hardware_type);
+    i.set("address", itf.address ? itf.address->to_string() : "-");
+    i.set("subnet", itf.subnet ? itf.subnet->to_string() : "-");
+    auto secondaries = Json::array();
+    for (const auto& prefix : itf.secondary_subnets) {
+      secondaries.push_back(prefix.to_string());
+    }
+    i.set("secondaries", std::move(secondaries));
+    i.set("link", uid(itf.link));
+    i.set("shutdown", itf.shutdown);
+    i.set("p2p", itf.point_to_point);
+    i.set("external", itf.external_facing);
+    interfaces.push_back(std::move(i));
+  }
+  root.set("interfaces", std::move(interfaces));
+
+  auto links = Json::array();
+  for (const auto& link : network.links()) {
+    auto l = Json::object();
+    l.set("subnet", link.subnet.to_string());
+    auto members = Json::array();
+    for (const auto id : link.interfaces) members.push_back(uid(id));
+    l.set("interfaces", std::move(members));
+    l.set("external", link.external_facing);
+    links.push_back(std::move(l));
+  }
+  root.set("links", std::move(links));
+
+  auto processes = Json::array();
+  for (const auto& process : network.processes()) {
+    auto p = Json::object();
+    p.set("router", uid(process.router));
+    p.set("protocol", static_cast<int>(process.protocol));
+    p.set("id", process.process_id ? uid(*process.process_id) : Json());
+    auto covered = Json::array();
+    for (const auto id : process.covered_interfaces) covered.push_back(uid(id));
+    p.set("covers", std::move(covered));
+    processes.push_back(std::move(p));
+  }
+  root.set("processes", std::move(processes));
+
+  auto igp = Json::array();
+  for (const auto& adj : network.igp_adjacencies()) {
+    auto a = Json::object();
+    a.set("a", uid(adj.process_a));
+    a.set("b", uid(adj.process_b));
+    a.set("link", uid(adj.link));
+    igp.push_back(std::move(a));
+  }
+  root.set("igp_adjacencies", std::move(igp));
+
+  auto external_igp = Json::array();
+  for (const auto& adj : network.external_igp_adjacencies()) {
+    auto a = Json::object();
+    a.set("process", uid(adj.process));
+    a.set("interface", uid(adj.interface));
+    external_igp.push_back(std::move(a));
+  }
+  root.set("external_igp_adjacencies", std::move(external_igp));
+
+  auto sessions = Json::array();
+  for (const auto& session : network.bgp_sessions()) {
+    auto s = Json::object();
+    s.set("local", uid(session.local_process));
+    s.set("remote_address", session.remote_address.to_string());
+    s.set("local_as", uid(session.local_as));
+    s.set("remote_as", uid(session.remote_as));
+    s.set("remote", uid(session.remote_process));
+    sessions.push_back(std::move(s));
+  }
+  root.set("bgp_sessions", std::move(sessions));
+
+  auto redists = Json::array();
+  for (const auto& edge : network.redistribution_edges()) {
+    auto e = Json::object();
+    e.set("router", uid(edge.router));
+    e.set("source_kind", static_cast<int>(edge.source_kind));
+    e.set("source", uid(edge.source_process));
+    e.set("target", uid(edge.target_process));
+    e.set("route_map", edge.route_map ? Json(*edge.route_map) : Json());
+    redists.push_back(std::move(e));
+  }
+  root.set("redistribution_edges", std::move(redists));
+
+  return root.dump();
+}
+
+NetworkReport analyze_network(const std::string& name,
+                              const model::Network& network) {
+  using util::Json;
+  const auto ig = graph::InstanceGraph::build(network);
+  const auto classification = analysis::classify_design(network, ig.set);
+  const auto census = analysis::interface_census(network);
+  const auto consistency = analysis::check_consistency(network);
+  const auto lint = analysis::lint_network(network);
+  const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
+
+  NetworkReport report;
+  report.name = name;
+  report.archetype = std::string(analysis::to_string(classification.archetype));
+  report.routers = network.router_count();
+  report.links = network.links().size();
+  report.instances = ig.set.instances.size();
+  report.consistency_findings = consistency.size();
+  report.lint_findings = lint.size();
+
+  auto root = Json::object();
+  root.set("name", name);
+
+  auto inventory = Json::object();
+  inventory.set("routers", network.router_count());
+  inventory.set("interfaces", network.interfaces().size());
+  inventory.set("unnumbered", analysis::unnumbered_interface_count(network));
+  inventory.set("links", network.links().size());
+  inventory.set("instances", ig.set.instances.size());
+  inventory.set("instance_edges", ig.edges.size());
+  root.set("inventory", std::move(inventory));
+
+  auto census_json = Json::object();
+  for (const auto& [type, count] : census) census_json.set(type, count);
+  root.set("census", std::move(census_json));
+
+  auto design = Json::object();
+  design.set("archetype", report.archetype);
+  design.set("bgp_instances", classification.features.bgp_instance_count);
+  design.set("igp_instances", classification.features.igp_instance_count);
+  design.set("staging_igp_instances",
+             classification.features.staging_igp_instances);
+  design.set("internal_as", classification.features.internal_as_count);
+  design.set("external_ebgp", classification.features.external_ebgp_sessions);
+  design.set("internal_ebgp", classification.features.internal_ebgp_sessions);
+  root.set("design", std::move(design));
+
+  auto consistency_json = Json::array();
+  for (const auto& finding : consistency) {
+    auto f = Json::object();
+    f.set("kind", std::string(analysis::to_string(finding.kind)));
+    f.set("router_a", uid(finding.router_a));
+    f.set("router_b", uid(finding.router_b));
+    f.set("detail", finding.detail);
+    consistency_json.push_back(std::move(f));
+  }
+  root.set("consistency", std::move(consistency_json));
+
+  std::map<std::string, std::size_t> lint_by_kind;
+  for (const auto& finding : lint) {
+    ++lint_by_kind[std::string(analysis::to_string(finding.kind))];
+  }
+  auto lint_json = Json::object();
+  lint_json.set("total", lint.size());
+  for (const auto& [kind, count] : lint_by_kind) lint_json.set(kind, count);
+  root.set("lint", std::move(lint_json));
+
+  std::size_t internet_reaching = 0;
+  std::size_t external_routes = 0;
+  std::size_t total_routes = 0;
+  for (std::uint32_t i = 0; i < ig.set.instances.size(); ++i) {
+    if (reach.instance_reaches_internet(i)) ++internet_reaching;
+    external_routes += reach.external_route_count(i);
+    total_routes += reach.instance_routes(i).size();
+  }
+  report.internet_reaching_instances = internet_reaching;
+  auto reach_json = Json::object();
+  reach_json.set("internet_reaching_instances", internet_reaching);
+  reach_json.set("external_routes", external_routes);
+  reach_json.set("total_routes", total_routes);
+  reach_json.set("announced_externally", reach.announced_externally().size());
+  reach_json.set("iterations", reach.iterations_used());
+  root.set("reachability", std::move(reach_json));
+
+  report.json = root.dump();
+  report.instance_graph_dot = graph::to_dot(network, ig);
+  return report;
+}
+
+std::vector<NetworkReport> analyze_fleet_serial(
+    const std::vector<FleetInput>& inputs) {
+  std::vector<NetworkReport> reports;
+  reports.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    reports.push_back(
+        analyze_network(input.name, build_network_serial(input.texts)));
+  }
+  return reports;
+}
+
+std::vector<NetworkReport> analyze_fleet_parallel(
+    const std::vector<FleetInput>& inputs, util::ThreadPool& pool) {
+  // One task per network; each task runs the whole per-network pipeline
+  // (parse serially within the task — the fleet-level fan-out already
+  // saturates the pool). parallel_map merges reports in input index order.
+  return util::parallel_map(pool, inputs, [](const FleetInput& input) {
+    return analyze_network(input.name, build_network_serial(input.texts));
+  });
+}
+
+std::vector<NetworkReport> analyze_fleet_parallel(
+    const std::vector<FleetInput>& inputs, const Options& options) {
+  util::ThreadPool pool(options.threads);
+  return analyze_fleet_parallel(inputs, pool);
+}
+
+}  // namespace rd::pipeline

@@ -25,7 +25,9 @@ std::vector<std::filesystem::path> emit_network(
   return paths;
 }
 
-std::vector<config::RouterConfig> load_network(
+namespace {
+
+std::vector<std::filesystem::path> config_paths(
     const std::filesystem::path& directory) {
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory)) {
@@ -43,7 +45,15 @@ std::vector<config::RouterConfig> load_network(
               if (sa.size() != sb.size()) return sa.size() < sb.size();
               return sa < sb;
             });
+  return paths;
+}
+
+}  // namespace
+
+std::vector<config::RouterConfig> load_network(
+    const std::filesystem::path& directory) {
   std::vector<config::RouterConfig> configs;
+  const auto paths = config_paths(directory);
   configs.reserve(paths.size());
   for (const auto& path : paths) {
     std::ifstream in(path);
@@ -54,6 +64,20 @@ std::vector<config::RouterConfig> load_network(
         config::parse_config(text, path.filename().string()).config);
   }
   return configs;
+}
+
+std::vector<std::string> load_network_texts(
+    const std::filesystem::path& directory) {
+  std::vector<std::string> texts;
+  const auto paths = config_paths(directory);
+  texts.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) continue;
+    texts.emplace_back((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  return texts;
 }
 
 std::vector<config::RouterConfig> reparse(

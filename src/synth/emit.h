@@ -21,6 +21,12 @@ std::vector<std::filesystem::path> emit_network(
 std::vector<config::RouterConfig> load_network(
     const std::filesystem::path& directory);
 
+/// Load the raw texts of every "config*" file in a directory, in the same
+/// stable numeric order `load_network` uses, without parsing — the input
+/// shape the parallel pipeline consumes (pipeline/pipeline.h).
+std::vector<std::string> load_network_texts(
+    const std::filesystem::path& directory);
+
 /// Serialize the configs to text in memory (no filesystem round trip) and
 /// re-parse — the canonical way to run the pipeline on generator output so
 /// the analyses always consume configuration *text*.

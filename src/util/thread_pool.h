@@ -1,0 +1,79 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rd::util {
+
+/// A fixed-size worker pool with deterministic fork/join helpers — no work
+/// stealing, no futures. The design center is the pipeline's determinism
+/// contract (DESIGN.md "Parallel execution"): `parallel_map` writes result
+/// `i` into slot `i`, so the output of a parallel run is byte-identical to
+/// the serial loop regardless of scheduling.
+///
+/// `threads` is the total concurrency level. The caller of `run_indexed`
+/// always participates as one executor, so a pool of concurrency 1 spawns
+/// zero background threads and degenerates to a plain serial loop; that is
+/// also what makes nested `run_indexed` calls (a task fanning out on the
+/// pool it runs on) deadlock-free.
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks `default_thread_count()`.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrency level (background workers + the participating caller).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Run `fn(0) .. fn(n-1)`, each index exactly once, across the pool and
+  /// the calling thread; blocks until all have finished. Indices are claimed
+  /// from a shared counter (no stealing, no per-thread queues). If tasks
+  /// throw, every index still runs, and the exception thrown by the
+  /// lowest-numbered throwing index is rethrown here — the same exception
+  /// a serial loop that deferred its throw would pick, independent of
+  /// scheduling.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count from the environment: `RD_THREADS`, when it parses as an
+  /// integer in [1, 1024]; anything else (unset, empty, non-numeric, zero,
+  /// negative, absurd) falls back to `hardware_concurrency` (minimum 1).
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Index-space parallel loop over [0, n).
+inline void parallel_for(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  pool.run_indexed(n, fn);
+}
+
+/// Map `fn` over `items`; result `i` lands in slot `i`, so the returned
+/// vector equals the serial `for` loop's output element-for-element. The
+/// result type must be default-constructible.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const T&>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, const T&>>;
+  std::vector<R> out(items.size());
+  pool.run_indexed(items.size(),
+                   [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace rd::util

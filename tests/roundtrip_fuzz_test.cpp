@@ -1,15 +1,38 @@
 // Model-level round-trip fuzzing: generate random RouterConfig models —
 // covering corners the archetype generators never produce — and assert
 // parse(write(config)) == config on the modeled fields.
+//
+// The fuzz volume is dialable from the environment so CI tiers can crank it
+// up without editing source:
+//   RD_FUZZ_SEEDS  — number of parameterized seed groups (default 8)
+//   RD_FUZZ_ITERS  — configs generated per seed group (default 25)
+//   RD_FUZZ_SCALE  — multiplier on the generated config's section-count
+//                    caps: interfaces, stanzas, ACLs, ... (default 1)
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "config/parser.h"
 #include "config/writer.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace rd::config {
 namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(util::trim(raw), parsed) || parsed == 0) {
+    return fallback;
+  }
+  return parsed;
+}
+
+// Caps the random section counts scale against; read once.
+const std::uint64_t kScale = env_u64("RD_FUZZ_SCALE", 1);
 
 ip::Ipv4Address random_address(util::Rng& rng) {
   return ip::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
@@ -182,16 +205,16 @@ RouterConfig random_config(std::uint64_t seed) {
   util::Rng rng(seed);
   RouterConfig cfg;
   cfg.hostname = random_name(rng);
-  const auto n_interfaces = 1 + rng.below(8);
+  const auto n_interfaces = 1 + rng.below(8 * kScale);
   for (std::uint64_t i = 0; i < n_interfaces; ++i) {
     cfg.interfaces.push_back(random_interface(rng, static_cast<int>(i)));
   }
   bool used_rip = false;
-  const auto n_stanzas = rng.below(5);
+  const auto n_stanzas = rng.below(5 * kScale);
   for (std::uint64_t i = 0; i < n_stanzas; ++i) {
     cfg.router_stanzas.push_back(random_stanza(rng, used_rip));
   }
-  const auto n_acls = rng.below(4);
+  const auto n_acls = rng.below(4 * kScale);
   for (std::uint64_t a = 0; a < n_acls; ++a) {
     AccessList acl;
     acl.named = rng.chance(0.3);
@@ -214,7 +237,7 @@ RouterConfig random_config(std::uint64_t seed) {
     }
     cfg.access_lists.push_back(std::move(acl));
   }
-  const auto n_pls = rng.below(3);
+  const auto n_pls = rng.below(3 * kScale);
   for (std::uint64_t p = 0; p < n_pls; ++p) {
     PrefixList pl;
     pl.name = random_name(rng);
@@ -240,7 +263,7 @@ RouterConfig random_config(std::uint64_t seed) {
     ap.entries.push_back({FilterAction::kPermit, "^$"});
     cfg.as_path_lists.push_back(std::move(ap));
   }
-  const auto n_maps = rng.below(3);
+  const auto n_maps = rng.below(3 * kScale);
   for (std::uint64_t m = 0; m < n_maps; ++m) {
     RouteMap rm;
     rm.name = random_name(rng);
@@ -264,7 +287,7 @@ RouterConfig random_config(std::uint64_t seed) {
     }
     cfg.route_maps.push_back(std::move(rm));
   }
-  const auto n_statics = rng.below(5);
+  const auto n_statics = rng.below(5 * kScale);
   for (std::uint64_t i = 0; i < n_statics; ++i) {
     StaticRoute route;
     route.destination = random_address(rng);
@@ -283,7 +306,8 @@ RouterConfig random_config(std::uint64_t seed) {
 class RoundTripFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(RoundTripFuzz, ParseOfWriteIsIdentity) {
-  for (int i = 0; i < 25; ++i) {
+  const int iters = static_cast<int>(env_u64("RD_FUZZ_ITERS", 25));
+  for (int i = 0; i < iters; ++i) {
     const auto seed =
         static_cast<std::uint64_t>(GetParam()) * 1000 + static_cast<std::uint64_t>(i);
     const auto cfg = random_config(seed);
@@ -305,7 +329,9 @@ TEST_P(RoundTripFuzz, ParseOfWriteIsIdentity) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz, ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RoundTripFuzz,
+    ::testing::Range(0, static_cast<int>(env_u64("RD_FUZZ_SEEDS", 8))));
 
 }  // namespace
 }  // namespace rd::config

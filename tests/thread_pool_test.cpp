@@ -1,0 +1,175 @@
+// Unit tests for rd::util::ThreadPool and the parallel_map / parallel_for
+// primitives: result ordering, exception propagation, nested fan-out, the
+// degenerate (zero-item, single-thread) cases, and RD_THREADS parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rd::util {
+namespace {
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(8);
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out =
+      parallel_map(pool, items, [](const int& v) { return v * v + 1; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i + 1)) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapOfStringsMatchesSerialLoop) {
+  ThreadPool pool(4);
+  std::vector<std::string> items;
+  for (int i = 0; i < 257; ++i) items.push_back("item" + std::to_string(i));
+  const auto fn = [](const std::string& s) { return s + "/mapped"; };
+  const auto parallel = parallel_map(pool, items, fn);
+  std::vector<std::string> serial;
+  for (const auto& s : items) serial.push_back(fn(s));
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerReachesCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 64,
+                   [](std::size_t i) {
+                     if (i == 17) throw std::runtime_error("task 17 failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, LowestThrowingIndexWinsDeterministically) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 10; ++round) {
+    std::string message;
+    try {
+      parallel_for(pool, 100, [](std::size_t i) {
+        if (i == 5 || i == 50 || i == 99) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+    }
+    EXPECT_EQ(message, "index 5") << "round " << round;
+  }
+}
+
+TEST(ThreadPool, EveryIndexStillRunsWhenSomeThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 50, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i % 7 == 0) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  const auto out = parallel_map(pool, std::vector<int>{},
+                                [](const int& v) { return v; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsSeriallyInIndexOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  // With concurrency 1 there are no background workers: the caller executes
+  // every index itself, in order, so plain (unsynchronized) writes are safe.
+  std::vector<std::size_t> order;
+  parallel_for(pool, 20, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  parallel_for(pool, 6, [&](std::size_t) {
+    parallel_for(pool, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 6 * 8);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreadsAllRun) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 10'000, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10'000);
+}
+
+class RdThreadsEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prior = std::getenv("RD_THREADS");
+    if (prior != nullptr) saved_ = prior;
+  }
+  void TearDown() override {
+    if (saved_) {
+      setenv("RD_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("RD_THREADS");
+    }
+  }
+  static std::size_t hardware_fallback() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST_F(RdThreadsEnv, ValidValueIsUsed) {
+  setenv("RD_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 7u);
+  setenv("RD_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+  setenv("RD_THREADS", " 16 ", 1);  // surrounding whitespace tolerated
+  EXPECT_EQ(ThreadPool::default_thread_count(), 16u);
+}
+
+TEST_F(RdThreadsEnv, BadValuesFallBackToHardwareConcurrency) {
+  const auto fallback = hardware_fallback();
+  for (const char* bad :
+       {"", "0", "-3", "abc", "4x", "3.5", "99999999999999999999", "4096"}) {
+    setenv("RD_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::default_thread_count(), fallback)
+        << "RD_THREADS='" << bad << "'";
+  }
+}
+
+TEST_F(RdThreadsEnv, UnsetFallsBackToHardwareConcurrency) {
+  unsetenv("RD_THREADS");
+  EXPECT_EQ(ThreadPool::default_thread_count(), hardware_fallback());
+}
+
+TEST_F(RdThreadsEnv, DefaultConstructedPoolHonorsEnv) {
+  setenv("RD_THREADS", "3", 1);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rd::util
