@@ -96,6 +96,29 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", census_table.to_string().c_str());
 
+  // --- Parse diagnostics -----------------------------------------------------
+  // Lines the lenient parser skipped: the model above is built without
+  // them, so a nonzero count means the audit is looking at a partial view.
+  const auto total_diags = network.total_parse_diagnostics();
+  std::printf("=== Parse diagnostics ===\n");
+  std::printf("config lines skipped by the parser: %zu\n", total_diags);
+  if (total_diags > 0) {
+    std::size_t shown_diags = 0;
+    for (model::RouterId r = 0;
+         r < network.router_count() && shown_diags < 6; ++r) {
+      for (const auto& diag : network.parse_diagnostics(r)) {
+        if (shown_diags++ >= 6) break;
+        std::printf("  %s line %zu: %s\n",
+                    network.routers()[r].hostname.c_str(), diag.line,
+                    diag.message.c_str());
+      }
+    }
+    if (total_diags > shown_diags) {
+      std::printf("  ... and %zu more\n", total_diags - shown_diags);
+    }
+  }
+  std::printf("\n");
+
   // --- Design --------------------------------------------------------------
   std::printf("=== Routing design ===\n");
   const auto cls = analysis::classify_design(network, ig.set);

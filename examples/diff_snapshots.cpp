@@ -1,23 +1,121 @@
-// Longitudinal design comparison (paper §8.2): given two snapshots of a
+// Longitudinal design comparison (paper §8.2): given snapshots of a
 // network's configuration files, report what changed at the routing-design
 // level — equipment, topology, processes, instances, and policies.
 //
 // Usage:
 //   diff_snapshots <dir-before> <dir-after>
+//   diff_snapshots --series <dir1> <dir2> [<dir3> ...]
+//                              # N ordered snapshots through the incremental
+//                              # series pipeline (content-addressed parse
+//                              # cache; per-snapshot reports + diff chain)
 //   diff_snapshots             # demo: a managed enterprise before/after a
 //                              # region decommissioning + policy change
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/evolution.h"
 #include "config/parser.h"
 #include "config/writer.h"
 #include "model/network.h"
+#include "pipeline/parse_cache.h"
+#include "pipeline/series.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 
+namespace {
+
+void print_diff(const rd::analysis::DesignDiff& diff) {
+  std::printf("design changed: %s\n\n",
+              diff.design_changed() ? "YES" : "no");
+  std::printf("equipment:\n");
+  std::printf("  added routers:   %zu\n", diff.added_routers.size());
+  for (const auto& name : diff.added_routers) {
+    std::printf("    + %s\n", name.c_str());
+  }
+  std::printf("  removed routers: %zu\n", diff.removed_routers.size());
+  for (const auto& name : diff.removed_routers) {
+    std::printf("    - %s\n", name.c_str());
+  }
+  std::printf("\nper-router changes (matched by hostname):\n");
+  std::printf("  interface changes:    %zu routers\n",
+              diff.routers_with_interface_changes);
+  std::printf("  process changes:      %zu routers\n",
+              diff.routers_with_process_changes);
+  std::printf("  policy changes:       %zu routers\n",
+              diff.routers_with_policy_changes);
+  std::printf("  static-route changes: %zu routers\n",
+              diff.routers_with_static_route_changes);
+  std::printf("\ntopology: links %zu -> %zu\n", diff.links_before,
+              diff.links_after);
+  std::printf("routing instances: %zu -> %zu\n", diff.instances_before,
+              diff.instances_after);
+  for (const auto& inst : diff.appeared_instances) {
+    std::printf("  appeared:    %s\n", inst.c_str());
+  }
+  for (const auto& inst : diff.disappeared_instances) {
+    std::printf("  disappeared: %s\n", inst.c_str());
+  }
+}
+
+int run_series(int argc, char** argv) {
+  using namespace rd;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: diff_snapshots --series <dir1> <dir2> [<dir3> ...]\n");
+    return 2;
+  }
+  std::vector<pipeline::SnapshotInput> series;
+  for (int i = 2; i < argc; ++i) {
+    pipeline::SnapshotInput snapshot;
+    snapshot.name = argv[i];
+    snapshot.texts = synth::load_network_texts(argv[i]);
+    if (snapshot.texts.empty()) {
+      std::fprintf(stderr, "no config* files in %s\n", argv[i]);
+      return 1;
+    }
+    series.push_back(std::move(snapshot));
+  }
+
+  pipeline::ParseCache cache;
+  const auto report = pipeline::analyze_snapshot_series(series, cache);
+
+  for (std::size_t i = 0; i < report.snapshots.size(); ++i) {
+    const auto& snap = report.snapshots[i];
+    std::printf("snapshot %zu: %s\n", i, snap.report.name.c_str());
+    std::printf(
+        "  archetype %s; %zu routers, %zu links, %zu instances\n",
+        snap.report.archetype.c_str(), snap.report.routers,
+        snap.report.links, snap.report.instances);
+    std::printf("  findings: %zu consistency, %zu lint; "
+                "%zu parse diagnostics\n",
+                snap.report.consistency_findings, snap.report.lint_findings,
+                snap.report.parse_diagnostics);
+    std::printf("  parse cache: %zu hits, %zu misses\n", snap.cache_hits,
+                snap.cache_misses);
+    if (i > 0) {
+      std::printf("\n--- diff %s -> %s ---\n",
+                  report.snapshots[i - 1].report.name.c_str(),
+                  snap.report.name.c_str());
+      print_diff(report.diffs[i - 1]);
+    }
+    std::printf("\n");
+  }
+  const auto stats = cache.stats();
+  std::printf("parse cache totals: %zu hits, %zu misses, %zu entries\n",
+              stats.hits, stats.misses, stats.entries);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rd;
+
+  if (argc > 1 && std::string(argv[1]) == "--series") {
+    return run_series(argc, argv);
+  }
 
   model::Network before = model::Network::build({});
   model::Network after = model::Network::build({});
@@ -65,36 +163,6 @@ int main(int argc, char** argv) {
   }
 
   const auto diff = analysis::diff_designs(before, after);
-
-  std::printf("design changed: %s\n\n",
-              diff.design_changed() ? "YES" : "no");
-  std::printf("equipment:\n");
-  std::printf("  added routers:   %zu\n", diff.added_routers.size());
-  for (const auto& name : diff.added_routers) {
-    std::printf("    + %s\n", name.c_str());
-  }
-  std::printf("  removed routers: %zu\n", diff.removed_routers.size());
-  for (const auto& name : diff.removed_routers) {
-    std::printf("    - %s\n", name.c_str());
-  }
-  std::printf("\nper-router changes (matched by hostname):\n");
-  std::printf("  interface changes:    %zu routers\n",
-              diff.routers_with_interface_changes);
-  std::printf("  process changes:      %zu routers\n",
-              diff.routers_with_process_changes);
-  std::printf("  policy changes:       %zu routers\n",
-              diff.routers_with_policy_changes);
-  std::printf("  static-route changes: %zu routers\n",
-              diff.routers_with_static_route_changes);
-  std::printf("\ntopology: links %zu -> %zu\n", diff.links_before,
-              diff.links_after);
-  std::printf("routing instances: %zu -> %zu\n", diff.instances_before,
-              diff.instances_after);
-  for (const auto& inst : diff.appeared_instances) {
-    std::printf("  appeared:    %s\n", inst.c_str());
-  }
-  for (const auto& inst : diff.disappeared_instances) {
-    std::printf("  disappeared: %s\n", inst.c_str());
-  }
+  print_diff(diff);
   return 0;
 }

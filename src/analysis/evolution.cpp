@@ -87,4 +87,15 @@ DesignDiff diff_designs(const model::Network& before,
   return diff;
 }
 
+std::vector<DesignDiff> diff_design_chain(
+    const std::vector<model::Network>& snapshots) {
+  std::vector<DesignDiff> chain;
+  if (snapshots.size() < 2) return chain;
+  chain.reserve(snapshots.size() - 1);
+  for (std::size_t i = 0; i + 1 < snapshots.size(); ++i) {
+    chain.push_back(diff_designs(snapshots[i], snapshots[i + 1]));
+  }
+  return chain;
+}
+
 }  // namespace rd::analysis

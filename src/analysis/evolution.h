@@ -45,9 +45,19 @@ struct DesignDiff {
            instances_before != instances_after ||
            !appeared_instances.empty() || !disappeared_instances.empty();
   }
+
+  friend bool operator==(const DesignDiff&, const DesignDiff&) = default;
 };
 
 DesignDiff diff_designs(const model::Network& before,
                         const model::Network& after);
+
+/// N-way longitudinal chain: consecutive-pair diffs over an ordered series
+/// of snapshots. `result[i]` compares snapshot i to snapshot i+1; an empty
+/// or single-element series yields an empty chain. This is the two-snapshot
+/// diff generalized to the paper's "multiple snapshots of the router
+/// configuration data over time".
+std::vector<DesignDiff> diff_design_chain(
+    const std::vector<model::Network>& snapshots);
 
 }  // namespace rd::analysis

@@ -26,6 +26,8 @@ std::string_view to_string(LintKind kind) noexcept {
       return "shadowed-acl-clause";
     case LintKind::kRedundantStaticRoute:
       return "redundant-static-route";
+    case LintKind::kNoncanonicalNetwork:
+      return "noncanonical-network-statement";
   }
   return "?";
 }
@@ -172,6 +174,23 @@ std::vector<LintFinding> lint_network(const model::Network& network,
             break;
           }
         }
+      }
+    }
+
+    // Non-canonical network statements: the address has host bits set below
+    // the mask, so IOS silently canonicalizes it ("network 10.0.0.5 /8"
+    // covers 10.0.0.0/8). Prefix::parse would hide the sloppiness the same
+    // way; the strict constructor detects it.
+    for (const auto& stanza : cfg.router_stanzas) {
+      for (const auto& ns : stanza.networks) {
+        if (ip::Prefix::make_strict(ns.address, ns.mask.length())) continue;
+        const ip::Prefix canonical(ns.address, ns.mask.length());
+        findings.push_back(
+            {LintKind::kNoncanonicalNetwork, r,
+             ns.address.to_string() + "/" + std::to_string(ns.mask.length()),
+             std::string(config::to_keyword(stanza.protocol)) +
+                 " network statement has host bits set; matches " +
+                 canonical.to_string()});
       }
     }
 

@@ -24,6 +24,7 @@ enum class LintKind : std::uint8_t {
   kDuplicateAclClause,    // identical clause appears twice in one list
   kShadowedAclClause,     // clause can never match (earlier clause covers it)
   kRedundantStaticRoute,  // static duplicating a connected subnet
+  kNoncanonicalNetwork,   // network statement with host bits set in the mask
 };
 
 std::string_view to_string(LintKind kind) noexcept;

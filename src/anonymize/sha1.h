@@ -1,48 +1,14 @@
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <string>
-#include <string_view>
+// SHA-1 moved to util/hash.h so the pipeline's content-addressed parse
+// cache and the anonymizer share one implementation; this header keeps the
+// historical rd::anonymize spelling working.
+
+#include "util/hash.h"
 
 namespace rd::anonymize {
 
-/// SHA-1 message digest (RFC 3174), implemented from scratch.
-///
-/// The paper's anonymizer hashes every non-whitelisted token with SHA-1; we
-/// reproduce that exactly rather than depending on an external crypto
-/// library. (SHA-1 is cryptographically broken for collision resistance, but
-/// the anonymization threat model here — hiding names — only needs preimage
-/// resistance, matching the paper's choice.)
-class Sha1 {
- public:
-  Sha1() noexcept;
-
-  void update(std::string_view data) noexcept;
-  void update(const std::uint8_t* data, std::size_t len) noexcept;
-
-  /// Finalize and return the 20-byte digest. The object must not be reused
-  /// after finalization.
-  std::array<std::uint8_t, 20> digest() noexcept;
-
-  /// One-shot convenience.
-  static std::array<std::uint8_t, 20> hash(std::string_view data) noexcept;
-
-  /// Lowercase hex of the full 20-byte digest.
-  static std::string hex(std::string_view data);
-
- private:
-  void process_block(const std::uint8_t* block) noexcept;
-
-  std::uint32_t h_[5];
-  std::uint64_t total_bytes_ = 0;
-  std::uint8_t buffer_[64];
-  std::size_t buffered_ = 0;
-};
-
-/// Encode the first `length` characters of a base62 rendering of a digest —
-/// yields identifier-safe strings like the paper's "8aTzlvBrbaW".
-std::string base62_token(const std::array<std::uint8_t, 20>& digest,
-                         std::size_t length);
+using util::Sha1;
+using util::base62_token;
 
 }  // namespace rd::anonymize

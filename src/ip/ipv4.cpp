@@ -86,6 +86,18 @@ std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
   return Prefix(*addr, static_cast<int>(length));
 }
 
+std::optional<Prefix> Prefix::parse_strict(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  std::uint32_t length = 0;
+  if (!addr || !util::parse_u32(text.substr(slash + 1), length) ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return make_strict(*addr, static_cast<int>(length));
+}
+
 std::string Prefix::to_string() const {
   return network_.to_string() + "/" + std::to_string(length_);
 }

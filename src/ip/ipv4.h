@@ -77,8 +77,23 @@ class Prefix {
       : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
         network_(addr.value() & Netmask::from_length(length_).bits()) {}
 
-  /// Parse "10.0.0.0/8"; nullopt on any error.
+  /// Parse "10.0.0.0/8"; nullopt on any error. Host bits are silently
+  /// canonicalized ("10.0.0.5/8" parses as "10.0.0.0/8").
   static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  /// Like `parse`, but rejects non-canonical input: any host bit set below
+  /// the mask ("10.0.0.5/8") yields nullopt. Callers that must distinguish
+  /// sloppy from canonical notation (the lint pass) use this.
+  static std::optional<Prefix> parse_strict(std::string_view text) noexcept;
+
+  /// Construct from parts, rejecting host bits the same way `parse_strict`
+  /// does; nullopt when `addr` is not the canonical network address.
+  static constexpr std::optional<Prefix> make_strict(Ipv4Address addr,
+                                                     int length) noexcept {
+    const Prefix canonical(addr, length);
+    if (canonical.network() != addr) return std::nullopt;
+    return canonical;
+  }
 
   /// The prefix containing a single address.
   static constexpr Prefix host(Ipv4Address addr) noexcept {

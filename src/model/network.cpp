@@ -21,9 +21,24 @@ bool is_passive(const config::RouterStanza& stanza,
 
 }  // namespace
 
+Network Network::build_parsed(std::vector<config::ParseResult> parses) {
+  std::vector<config::RouterConfig> configs;
+  configs.reserve(parses.size());
+  std::vector<std::vector<config::ParseDiagnostic>> diagnostics;
+  diagnostics.reserve(parses.size());
+  for (auto& parse : parses) {
+    configs.push_back(std::move(parse.config));
+    diagnostics.push_back(std::move(parse.diagnostics));
+  }
+  Network net = build(std::move(configs));
+  net.parse_diagnostics_ = std::move(diagnostics);
+  return net;
+}
+
 Network Network::build(std::vector<config::RouterConfig> configs) {
   Network net;
   net.routers_ = std::move(configs);
+  net.parse_diagnostics_.resize(net.routers_.size());
   net.index_interfaces();
   net.infer_links();
   net.index_processes();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "config/ast.h"
+#include "config/parser.h"
 #include "ip/ipv4.h"
 
 namespace rd::model {
@@ -115,10 +116,32 @@ struct RedistributionEdge {
 class Network {
  public:
   /// Build the model. Configs are moved in; each becomes one Router.
+  /// Routers built this way carry no parse diagnostics (the configs were
+  /// constructed in memory, not parsed).
   static Network build(std::vector<config::RouterConfig> configs);
+
+  /// Build the model from full parse results, preserving each router's
+  /// parse diagnostics so malformed config lines stay visible in reports
+  /// instead of vanishing at the model boundary.
+  static Network build_parsed(std::vector<config::ParseResult> parses);
 
   const std::vector<config::RouterConfig>& routers() const noexcept {
     return routers_;
+  }
+  /// Per-router parse diagnostics, indexed by RouterId; empty vectors when
+  /// the network was built from in-memory configs.
+  const std::vector<std::vector<config::ParseDiagnostic>>& parse_diagnostics()
+      const noexcept {
+    return parse_diagnostics_;
+  }
+  const std::vector<config::ParseDiagnostic>& parse_diagnostics(
+      RouterId r) const {
+    return parse_diagnostics_[r];
+  }
+  std::size_t total_parse_diagnostics() const noexcept {
+    std::size_t total = 0;
+    for (const auto& diags : parse_diagnostics_) total += diags.size();
+    return total;
   }
   const std::vector<Interface>& interfaces() const noexcept {
     return interfaces_;
@@ -177,6 +200,7 @@ class Network {
   void build_redistribution_edges();
 
   std::vector<config::RouterConfig> routers_;
+  std::vector<std::vector<config::ParseDiagnostic>> parse_diagnostics_;
   std::vector<Interface> interfaces_;
   std::vector<Link> links_;
   std::vector<RoutingProcess> processes_;

@@ -1,0 +1,41 @@
+#include "pipeline/parse_cache.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace rd::pipeline {
+
+std::shared_ptr<const config::ParseResult> ParseCache::parse(
+    const std::string& text) {
+  const Key key = util::Sha1::hash(text);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Parse outside the lock; a concurrent miss on the same key parses too,
+  // and try_emplace below keeps whichever result lands first.
+  auto parsed =
+      std::make_shared<const config::ParseResult>(config::parse_config(text));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.try_emplace(key, std::move(parsed));
+  return it->second;
+}
+
+ParseCache::Stats ParseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, entries_.size()};
+}
+
+void ParseCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace rd::pipeline

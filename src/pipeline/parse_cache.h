@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "config/parser.h"
+
+namespace rd::pipeline {
+
+/// A content-addressed memo of per-router parse results, the cacheable unit
+/// of the snapshot-series workload (paper §8.2): between consecutive
+/// snapshots of a network, almost every router's configuration file is
+/// byte-identical, so its parse — the front end's dominant cost — can be
+/// reused verbatim.
+///
+/// Keying: SHA-1 of the configuration text (util/hash.h, shared with the
+/// anonymizer). The key depends on nothing but content, so identical texts
+/// dedup across routers, networks, and snapshots, and invalidation is
+/// automatic — a changed text is a different key. Entries are immutable
+/// `shared_ptr<const ParseResult>`s; the cache never evicts (a fleet's
+/// worth of parsed configs is small, and eviction would reintroduce the
+/// cold-path cost it exists to remove).
+///
+/// Thread safety: `parse` may be called concurrently from ThreadPool tasks.
+/// Hash and parse run outside the lock; only the map lookup/insert and the
+/// hit/miss counters are serialized. When two threads race to parse the
+/// same new text, both parse but the first insert wins and both return the
+/// winning entry, so callers always share one result per content key.
+class ParseCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;    // parses served from the cache
+    std::size_t misses = 0;  // parses computed (including lost races)
+    std::size_t entries = 0; // distinct content keys resident
+  };
+
+  /// Return the parse of `text`, memoized by content hash.
+  std::shared_ptr<const config::ParseResult> parse(const std::string& text);
+
+  Stats stats() const;
+
+  /// Drop every entry and reset the counters.
+  void clear();
+
+ private:
+  using Key = std::array<std::uint8_t, 20>;
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      // The key is itself a cryptographic digest; fold the first bytes.
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+        h = (h << 8) | key[i];
+      }
+      return h;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const config::ParseResult>, KeyHash>
+      entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace rd::pipeline

@@ -17,8 +17,11 @@ namespace rd::pipeline {
 
 namespace {
 
-config::RouterConfig parse_one(const std::string& text) {
-  return config::parse_config(text).config;
+// Full ParseResult, not just the config: diagnostics ride along so the
+// model and reports can surface malformed lines (dropping them here was the
+// bug this pipeline once had).
+config::ParseResult parse_one(const std::string& text) {
+  return config::parse_config(text);
 }
 
 // util::Json has no uint32_t constructor; ids need an explicit widening.
@@ -29,16 +32,16 @@ util::Json uid(std::uint32_t v) {
 }  // namespace
 
 model::Network build_network_serial(const std::vector<std::string>& texts) {
-  std::vector<config::RouterConfig> configs;
-  configs.reserve(texts.size());
-  for (const auto& text : texts) configs.push_back(parse_one(text));
-  return model::Network::build(std::move(configs));
+  std::vector<config::ParseResult> parses;
+  parses.reserve(texts.size());
+  for (const auto& text : texts) parses.push_back(parse_one(text));
+  return model::Network::build_parsed(std::move(parses));
 }
 
 model::Network build_network_parallel(const std::vector<std::string>& texts,
                                       util::ThreadPool& pool) {
-  auto configs = util::parallel_map(pool, texts, parse_one);
-  return model::Network::build(std::move(configs));
+  auto parses = util::parallel_map(pool, texts, parse_one);
+  return model::Network::build_parsed(std::move(parses));
 }
 
 model::Network build_network_parallel(const std::vector<std::string>& texts,
@@ -153,6 +156,19 @@ std::string network_signature(const model::Network& network) {
   }
   root.set("redistribution_edges", std::move(redists));
 
+  auto diagnostics = Json::array();
+  for (const auto& router_diags : network.parse_diagnostics()) {
+    auto per_router = Json::array();
+    for (const auto& diag : router_diags) {
+      auto d = Json::object();
+      d.set("line", diag.line);
+      d.set("message", diag.message);
+      per_router.push_back(std::move(d));
+    }
+    diagnostics.push_back(std::move(per_router));
+  }
+  root.set("parse_diagnostics", std::move(diagnostics));
+
   return root.dump();
 }
 
@@ -186,6 +202,32 @@ NetworkReport analyze_network(const std::string& name,
   inventory.set("instances", ig.set.instances.size());
   inventory.set("instance_edges", ig.edges.size());
   root.set("inventory", std::move(inventory));
+
+  // Parse diagnostics, per router: what the lenient parser skipped. These
+  // were historically dropped at the model boundary; an operator reading a
+  // fleet report must see that config lines went unmodeled.
+  report.parse_diagnostics = network.total_parse_diagnostics();
+  auto diags_json = Json::object();
+  diags_json.set("total", report.parse_diagnostics);
+  auto diags_routers = Json::array();
+  for (model::RouterId r = 0; r < network.router_count(); ++r) {
+    const auto& router_diags = network.parse_diagnostics(r);
+    if (router_diags.empty()) continue;
+    auto entry = Json::object();
+    entry.set("router", network.routers()[r].hostname);
+    entry.set("count", router_diags.size());
+    auto messages = Json::array();
+    for (const auto& diag : router_diags) {
+      auto m = Json::object();
+      m.set("line", diag.line);
+      m.set("message", diag.message);
+      messages.push_back(std::move(m));
+    }
+    entry.set("messages", std::move(messages));
+    diags_routers.push_back(std::move(entry));
+  }
+  diags_json.set("routers", std::move(diags_routers));
+  root.set("parse_diagnostics", std::move(diags_json));
 
   auto census_json = Json::object();
   for (const auto& [type, count] : census) census_json.set(type, count);

@@ -69,6 +69,7 @@ struct NetworkReport {
   std::size_t instances = 0;
   std::size_t consistency_findings = 0;
   std::size_t lint_findings = 0;
+  std::size_t parse_diagnostics = 0;
   std::size_t internet_reaching_instances = 0;
   std::string json;
   std::string instance_graph_dot;

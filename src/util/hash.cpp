@@ -1,0 +1,262 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+// The parse cache hashes every configuration text on every snapshot, so
+// SHA-1 throughput is the ceiling on the warm-path speedup: a snapshot with
+// no changed routers costs exactly one pass of this code over the fleet's
+// config bytes. On x86-64 the SHA-NI instruction set does four rounds per
+// instruction; we compile that path with a per-function target attribute
+// and select it at runtime, keeping the binary runnable on older CPUs.
+// Define RD_SHA1_FORCE_PORTABLE to benchmark or test the generic path on
+// hardware that would otherwise dispatch to SHA-NI.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(RD_SHA1_FORCE_PORTABLE)
+#define RD_SHA1_HAVE_X86_SHA 1
+#include <immintrin.h>
+#endif
+
+namespace rd::util {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+#if RD_SHA1_HAVE_X86_SHA
+
+// Schedule step: W[4n..4n+3] from the four preceding 4-word groups
+// (msg1 covers W[i-16]/W[i-14], the xor adds W[i-8], msg2 adds W[i-3]
+// and the rotate).
+#define RD_SHA1_SCHED(n)                                                   \
+  msg[(n) & 3] = _mm_sha1msg2_epu32(                                       \
+      _mm_xor_si128(_mm_sha1msg1_epu32(msg[(n) & 3], msg[((n) + 1) & 3]),  \
+                    msg[((n) + 2) & 3]),                                   \
+      msg[((n) + 3) & 3])
+
+// Four rounds, then derive the next group's E operand from the pre-round
+// ABCD (sha1nexte rotates the old `a` into the new round's `e`).
+#define RD_SHA1_GROUP(n, imm)                                     \
+  do {                                                            \
+    abcd_prev = abcd;                                             \
+    abcd = _mm_sha1rnds4_epu32(abcd, e_in, imm);                  \
+    if ((n) + 1 < 20) {                                           \
+      if ((n) + 1 >= 4) RD_SHA1_SCHED((n) + 1);                   \
+      e_in = _mm_sha1nexte_epu32(abcd_prev, msg[((n) + 1) & 3]);  \
+    }                                                             \
+  } while (0)
+
+__attribute__((target("sha,sse4.1"))) void process_blocks_shani(
+    std::uint32_t* h, const std::uint8_t* data, std::size_t blocks) noexcept {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0001020304050607LL, 0x08090a0b0c0d0e0fLL);
+  // Lanes are a,b,c,d from high to low; 0x1B reverses the h[] load order.
+  __m128i abcd =
+      _mm_shuffle_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)),
+                        0x1B);
+  __m128i e = _mm_set_epi32(static_cast<int>(h[4]), 0, 0, 0);
+
+  for (; blocks > 0; --blocks, data += 64) {
+    const __m128i abcd_save = abcd;
+    const __m128i e_save = e;
+    __m128i msg[4];
+    for (int i = 0; i < 4; ++i) {
+      msg[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)),
+          kByteSwap);
+    }
+    __m128i e_in = _mm_add_epi32(e, msg[0]);
+    __m128i abcd_prev;
+    RD_SHA1_GROUP(0, 0);
+    RD_SHA1_GROUP(1, 0);
+    RD_SHA1_GROUP(2, 0);
+    RD_SHA1_GROUP(3, 0);
+    RD_SHA1_GROUP(4, 0);
+    RD_SHA1_GROUP(5, 1);
+    RD_SHA1_GROUP(6, 1);
+    RD_SHA1_GROUP(7, 1);
+    RD_SHA1_GROUP(8, 1);
+    RD_SHA1_GROUP(9, 1);
+    RD_SHA1_GROUP(10, 2);
+    RD_SHA1_GROUP(11, 2);
+    RD_SHA1_GROUP(12, 2);
+    RD_SHA1_GROUP(13, 2);
+    RD_SHA1_GROUP(14, 2);
+    RD_SHA1_GROUP(15, 3);
+    RD_SHA1_GROUP(16, 3);
+    RD_SHA1_GROUP(17, 3);
+    RD_SHA1_GROUP(18, 3);
+    RD_SHA1_GROUP(19, 3);
+    e = _mm_sha1nexte_epu32(abcd_prev, e_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+  }
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h),
+                   _mm_shuffle_epi32(abcd, 0x1B));
+  h[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e, 3));
+}
+
+#undef RD_SHA1_GROUP
+#undef RD_SHA1_SCHED
+
+bool cpu_has_sha_ni() noexcept {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+}
+
+#endif  // RD_SHA1_HAVE_X86_SHA
+
+}  // namespace
+
+Sha1::Sha1() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+}
+
+void Sha1::update(std::string_view data) noexcept {
+  update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) noexcept {
+  total_bytes_ += len;
+  // Top up a partially filled buffer first, then run whole blocks straight
+  // from the input (no copy), buffering only the tail.
+  if (buffered_ > 0) {
+    const std::size_t take =
+        len < (64 - buffered_) ? len : (64 - buffered_);
+    std::memcpy(buffer_ + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == 64) {
+      process_blocks(buffer_, 1);
+      buffered_ = 0;
+    }
+  }
+  const std::size_t blocks = len / 64;
+  if (blocks > 0) {
+    process_blocks(data, blocks);
+    data += blocks * 64;
+    len -= blocks * 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffered_ = len;
+  }
+}
+
+void Sha1::process_blocks(const std::uint8_t* data,
+                          std::size_t blocks) noexcept {
+#if RD_SHA1_HAVE_X86_SHA
+  static const bool kShaNi = cpu_has_sha_ni();
+  if (kShaNi) {
+    process_blocks_shani(h_, data, blocks);
+    return;
+  }
+#endif
+  for (; blocks > 0; --blocks, data += 64) process_block(data);
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(&zero, 1);
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(length_bytes, 8);
+
+  std::array<std::uint8_t, 20> out;
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  // One loop per round family keeps f and k branch-free inside each loop.
+  const auto round = [&](std::uint32_t f, std::uint32_t k,
+                         std::uint32_t wi) noexcept {
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + wi;
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  };
+  for (int i = 0; i < 20; ++i) round((b & c) | (~b & d), 0x5A827999u, w[i]);
+  for (int i = 20; i < 40; ++i) round(b ^ c ^ d, 0x6ED9EBA1u, w[i]);
+  for (int i = 40; i < 60; ++i) {
+    round((b & c) | (b & d) | (c & d), 0x8F1BBCDCu, w[i]);
+  }
+  for (int i = 60; i < 80; ++i) round(b ^ c ^ d, 0xCA62C1D6u, w[i]);
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+std::array<std::uint8_t, 20> Sha1::hash(std::string_view data) noexcept {
+  Sha1 sha;
+  sha.update(data);
+  return sha.digest();
+}
+
+std::string Sha1::hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const auto d = hash(data);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : d) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
+}
+
+std::string base62_token(const std::array<std::uint8_t, 20>& digest,
+                         std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  std::string out;
+  out.reserve(length);
+  // Consume digest bytes pairwise to reduce modulo bias below anything that
+  // matters for identifier generation.
+  for (std::size_t i = 0; out.size() < length; ++i) {
+    const std::size_t a = digest[(2 * i) % digest.size()];
+    const std::size_t b = digest[(2 * i + 1) % digest.size()];
+    out += kAlphabet[(a * 256 + b + i) % 62];
+  }
+  // Identifiers should not start with a digit; rotate into the letters.
+  if (out[0] >= '0' && out[0] <= '9') {
+    out[0] = kAlphabet[10 + (static_cast<std::size_t>(out[0] - '0') * 5) % 52];
+  }
+  return out;
+}
+
+}  // namespace rd::util

@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -86,9 +87,12 @@ void Json::write(std::string& out, int indent, int depth) const {
     out += std::to_string(*i);
   } else if (const auto* d = std::get_if<double>(&value_)) {
     if (std::isfinite(*d)) {
+      // std::to_chars, not snprintf("%.10g"): the latter honors LC_NUMERIC,
+      // and a ","-decimal locale would emit invalid JSON.
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.10g", *d);
-      out += buf;
+      const auto res = std::to_chars(buf, buf + sizeof(buf), *d,
+                                     std::chars_format::general, 10);
+      out.append(buf, res.ptr);
     } else {
       out += "null";  // JSON has no NaN/Inf
     }

@@ -105,6 +105,35 @@ TEST(Prefix, ParsesSlashNotation) {
   EXPECT_FALSE(Prefix::parse("x/8"));
 }
 
+TEST(Prefix, ParseStrictRejectsHostBits) {
+  const auto ok = Prefix::parse_strict("10.0.0.0/8");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->to_string(), "10.0.0.0/8");
+  // The lenient parse would silently mask this to 10.0.0.0/8.
+  EXPECT_FALSE(Prefix::parse_strict("10.0.0.5/8"));
+  EXPECT_FALSE(Prefix::parse_strict("192.168.4.1/22"));
+  // Malformed inputs fail the same way as Prefix::parse.
+  EXPECT_FALSE(Prefix::parse_strict("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse_strict("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse_strict("x/8"));
+  // /32 and /0 edge cases: every address is canonical at /32; only 0.0.0.0
+  // is canonical at /0.
+  EXPECT_TRUE(Prefix::parse_strict("10.1.2.3/32"));
+  EXPECT_TRUE(Prefix::parse_strict("0.0.0.0/0"));
+  EXPECT_FALSE(Prefix::parse_strict("10.0.0.0/0"));
+}
+
+TEST(Prefix, MakeStrictMirrorsParseStrict) {
+  const auto addr = *Ipv4Address::parse("10.1.2.3");
+  EXPECT_FALSE(Prefix::make_strict(addr, 8));
+  const auto host = Prefix::make_strict(addr, 32);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->to_string(), "10.1.2.3/32");
+  const auto net = Prefix::make_strict(*Ipv4Address::parse("10.0.0.0"), 8);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->to_string(), "10.0.0.0/8");
+}
+
 TEST(Prefix, Containment) {
   const Prefix big = *Prefix::parse("10.0.0.0/8");
   const Prefix small = *Prefix::parse("10.5.0.0/16");

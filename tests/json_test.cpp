@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "util/json.h"
 
 namespace rd::util {
@@ -26,6 +29,34 @@ TEST(Json, StringEscaping) {
 TEST(Json, NonFiniteBecomesNull) {
   EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
   EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, DoubleEmissionIgnoresLocale) {
+  // snprintf("%.10g") honors the C locale's decimal separator, so under a
+  // comma locale 2.5 used to serialize as "2,5" — invalid JSON that also
+  // silently changed array arity ([2,5] parses as two integers). Emission
+  // now goes through std::to_chars, which is locale-independent; prove it
+  // by dumping under every comma-separator locale the host provides.
+  const char* kCommaLocales[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                 "fr_FR", "nl_NL.UTF-8"};
+  const std::string before = setlocale(LC_ALL, nullptr);
+  bool tried_comma_locale = false;
+  for (const char* name : kCommaLocales) {
+    if (setlocale(LC_ALL, name) == nullptr) continue;
+    tried_comma_locale = true;
+    EXPECT_EQ(Json(2.5).dump(), "2.5") << name;
+    EXPECT_EQ(Json(-0.125).dump(), "-0.125") << name;
+    auto array = Json::array();
+    array.push_back(2.5);
+    array.push_back(0.75);
+    EXPECT_EQ(array.dump(), "[2.5,0.75]") << name;
+  }
+  setlocale(LC_ALL, before.c_str());
+  // Most CI containers ship only the C locale; the invariant still holds
+  // there, so check it unconditionally too.
+  if (!tried_comma_locale) {
+    EXPECT_EQ(Json(2.5).dump(), "2.5");
+  }
 }
 
 TEST(Json, ArraysCompact) {

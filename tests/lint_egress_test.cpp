@@ -116,6 +116,31 @@ TEST(Lint, MultiPolicyFilterFlagged) {
       has_finding(findings, LintKind::kMultiPolicyFilter, "150"));
 }
 
+TEST(Lint, NoncanonicalNetworkStatement) {
+  // The OSPF network statement covers 10.1.2.0/24 but is written with host
+  // bits set — Prefix's silent canonicalization used to hide this entirely.
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface Ethernet0\n"
+       " ip address 10.1.2.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.2.5 0.0.0.255 area 0\n"});
+  const auto findings = lint_network(net);
+  EXPECT_TRUE(
+      has_finding(findings, LintKind::kNoncanonicalNetwork, "10.1.2.5/24"));
+}
+
+TEST(Lint, CanonicalNetworkStatementNotFlagged) {
+  const auto net = network_of(
+      {"hostname a\n"
+       "interface Ethernet0\n"
+       " ip address 10.1.2.1 255.255.255.0\n"
+       "router ospf 1\n"
+       " network 10.1.2.0 0.0.0.255 area 0\n"});
+  EXPECT_FALSE(
+      has_finding(lint_network(net), LintKind::kNoncanonicalNetwork));
+}
+
 TEST(Lint, RedundantStaticRoute) {
   const auto net = network_of(
       {"hostname a\ninterface FastEthernet0/0\n"
@@ -129,6 +154,8 @@ TEST(Lint, KindNames) {
   EXPECT_EQ(to_string(LintKind::kMultiPolicyFilter), "multi-policy-filter");
   EXPECT_EQ(to_string(LintKind::kRedundantStaticRoute),
             "redundant-static-route");
+  EXPECT_EQ(to_string(LintKind::kNoncanonicalNetwork),
+            "noncanonical-network-statement");
 }
 
 // --- egress ---------------------------------------------------------------------
