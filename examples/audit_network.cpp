@@ -14,6 +14,9 @@
 //                                # RD_THREADS env override, else hardware
 //                                # concurrency); results are identical at
 //                                # every thread count
+//
+// Exit codes: 0 = audit ran and no error-severity design-rule finding,
+// 1 = at least one error-severity finding, 2 = usage or I/O error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +25,11 @@
 
 #include "analysis/archetype.h"
 #include "analysis/census.h"
-#include "analysis/consistency.h"
 #include "analysis/filters.h"
 #include "analysis/ibgp.h"
-#include "analysis/lint.h"
 #include "analysis/reachability.h"
 #include "analysis/router_rib.h"
+#include "analysis/rules.h"
 #include "analysis/vulnerability.h"
 #include "analysis/whatif.h"
 #include "config/writer.h"
@@ -38,6 +40,7 @@
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace rd;
@@ -45,12 +48,28 @@ int main(int argc, char** argv) {
   pipeline::Options options;
   const char* config_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: audit_network [<config-dir>] [--threads N]\n"
+          "\n"
+          "Audit a network's router configurations: inventory, design\n"
+          "classification, vulnerability assessment, and the unified\n"
+          "design-rule engine (rdlint rules RD001..RD044). With no\n"
+          "config-dir a managed enterprise is generated and audited.\n"
+          "\n"
+          "exit codes:\n"
+          "  0  audit ran; no error-severity design-rule finding\n"
+          "  1  at least one error-severity design-rule finding\n"
+          "  2  usage or I/O error\n");
+      return 0;
+    }
     if (std::strcmp(argv[i], "--threads") == 0) {
       const long parsed =
           i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : 0;
       if (parsed < 1) {
         std::fprintf(stderr, "--threads wants a positive integer\n");
-        return 1;
+        return 2;
       }
       options.threads = static_cast<std::size_t>(parsed);
     } else {
@@ -62,7 +81,7 @@ int main(int argc, char** argv) {
   if (config_dir != nullptr) {
     if (!std::filesystem::is_directory(config_dir)) {
       std::fprintf(stderr, "%s is not a directory\n", config_dir);
-      return 1;
+      return 2;
     }
     texts = synth::load_network_texts(config_dir);
   } else {
@@ -78,7 +97,7 @@ int main(int argc, char** argv) {
   }
   if (texts.empty()) {
     std::fprintf(stderr, "no configuration files found\n");
-    return 1;
+    return 2;
   }
 
   const auto network = pipeline::build_network_parallel(texts, options);
@@ -275,41 +294,42 @@ int main(int argc, char** argv) {
               max_rib, ribs.routers_with_external_routes().size(),
               network.router_count());
 
-  // --- Cross-router consistency (paper §8.1 anomaly detection) ----------------
-  std::printf("\n=== Consistency ===\n");
-  const auto inconsistencies = analysis::check_consistency(network);
-  std::printf("cross-router inconsistencies: %zu\n", inconsistencies.size());
-  for (std::size_t i = 0; i < inconsistencies.size() && i < 6; ++i) {
-    const auto& finding = inconsistencies[i];
-    std::printf("  [%s] %s%s%s: %s\n",
-                std::string(analysis::to_string(finding.kind)).c_str(),
-                network.routers()[finding.router_a].hostname.c_str(),
-                finding.router_b != model::kInvalidId ? " / " : "",
-                finding.router_b != model::kInvalidId
-                    ? network.routers()[finding.router_b].hostname.c_str()
-                    : "",
-                finding.detail.c_str());
-  }
-
-  // --- Configuration lint (paper §5.3's IOS-language pitfalls) ----------------
-  std::printf("\n=== Configuration lint ===\n");
-  const auto findings = analysis::lint_network(network);
-  std::map<std::string, std::size_t> by_kind;
-  for (const auto& finding : findings) {
-    ++by_kind[std::string(analysis::to_string(finding.kind))];
-  }
-  std::printf("findings: %zu\n", findings.size());
-  for (const auto& [kind, count] : by_kind) {
-    std::printf("  %-32s %zu\n", kind.c_str(), count);
+  // --- Design rules (paper §8: lint, consistency, vulnerability, and the
+  // cross-router rules, unified under one registry with provenance) -----------
+  std::printf("\n=== Design rules ===\n");
+  const auto engine = analysis::RuleEngine::with_default_rules();
+  util::ThreadPool pool(options.threads);
+  const auto rules = engine.run(network, ig, pool);
+  std::printf("findings: %zu (%zu errors, %zu warnings, %zu info), "
+              "suppressed: %zu\n",
+              rules.findings.size(), rules.errors, rules.warnings,
+              rules.infos, rules.suppressed);
+  std::map<std::string, std::size_t> by_rule;
+  for (const auto& finding : rules.findings) ++by_rule[finding.rule_id];
+  for (const auto& [rule, count] : by_rule) {
+    const auto* info = engine.find(rule);
+    std::printf("  %-6s %-36s %-8s %zu\n", rule.c_str(),
+                info != nullptr ? info->name.c_str() : "?",
+                info != nullptr
+                    ? std::string(analysis::severity_name(info->severity))
+                          .c_str()
+                    : "?",
+                count);
   }
   std::size_t shown = 0;
-  for (const auto& finding : findings) {
-    if (finding.kind == analysis::LintKind::kMultiPolicyFilter &&
-        shown++ < 3) {
-      std::printf("  e.g. %s: ACL %s — %s\n",
-                  network.routers()[finding.router].hostname.c_str(),
-                  finding.subject.c_str(), finding.detail.c_str());
-    }
+  for (const auto& finding : rules.findings) {
+    if (finding.severity == analysis::Severity::kInfo || shown >= 8) continue;
+    ++shown;
+    std::printf("  [%s] %s:%zu %s: %s: %s\n", finding.rule_id.c_str(),
+                finding.where.file.c_str(), finding.where.line,
+                finding.router_name.c_str(), finding.subject.c_str(),
+                finding.detail.c_str());
+  }
+  if (rules.has_errors()) {
+    std::printf("\n%zu error-severity finding(s) — exiting nonzero "
+                "(see --help for the exit-code contract)\n",
+                rules.errors);
+    return 1;
   }
   return 0;
 }

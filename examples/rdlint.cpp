@@ -1,0 +1,309 @@
+// rdlint: the unified design-rule CLI (paper §8 static analysis).
+//
+// Runs every registered design rule (RD001..RD044: lint, cross-router
+// consistency, vulnerability assessment, and the cross-router design rules)
+// over a network's configuration files and reports the findings with source
+// provenance (file + line). Inline "! rdlint-disable <RDid>" comments in a
+// config suppress that rule's findings for that router.
+//
+// Usage:
+//   rdlint                       # demo: generate + lint a managed enterprise
+//   rdlint <config-dir>          # lint one network (file/line provenance)
+//   rdlint <dir1> <dir2> ...     # ordered snapshots: lint each through the
+//                                # parse cache, report new/fixed/unchanged
+//                                # per transition, emit the last snapshot
+//   rdlint --help                # full option and exit-code reference
+//
+// Options:
+//   --format text|json|sarif     # report format for stdout (default text)
+//   --baseline FILE              # classify findings against a previous
+//                                # "--format json" report
+//   --threads N                  # rule + parse concurrency (default: the
+//                                # RD_THREADS env override, else hardware
+//                                # concurrency); output is identical at
+//                                # every thread count
+//   --timings                    # per-rule wall time on stderr
+//
+// Exit codes: 0 = no error-severity finding, 1 = at least one
+// error-severity finding, 2 = usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "config/writer.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "pipeline/parse_cache.h"
+#include "pipeline/series.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace rd;
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void print_usage() {
+  std::printf(
+      "usage: rdlint [options] [<config-dir> ...]\n"
+      "\n"
+      "Run the design-rule engine (RD001..RD044) over router\n"
+      "configurations. With no directory a managed enterprise is\n"
+      "generated and linted; with several directories they are treated\n"
+      "as ordered snapshots of one network and each transition is\n"
+      "classified as new/fixed/unchanged findings.\n"
+      "\n"
+      "options:\n"
+      "  --format text|json|sarif  stdout report format (default text)\n"
+      "  --baseline FILE           classify against a previous\n"
+      "                            '--format json' report\n"
+      "  --threads N               concurrency; output is identical at\n"
+      "                            every thread count\n"
+      "  --timings                 per-rule wall time on stderr\n"
+      "  --help                    this text\n"
+      "\n"
+      "suppressions: a '! rdlint-disable RD007 RD031' comment anywhere in\n"
+      "a router's config drops those rules' findings for that router.\n"
+      "\n"
+      "exit codes:\n"
+      "  0  no error-severity finding\n"
+      "  1  at least one error-severity finding\n"
+      "  2  usage or I/O error\n");
+}
+
+void print_finding(const analysis::Finding& finding, const char* prefix) {
+  std::printf("  %s[%s][%s] %s:%zu %s%s%s%s: %s\n", prefix,
+              finding.rule_id.c_str(),
+              std::string(analysis::severity_name(finding.severity)).c_str(),
+              finding.where.file.c_str(), finding.where.line,
+              finding.router_name.c_str(),
+              finding.subject.empty() ? "" : ": ",
+              finding.subject.c_str(),
+              finding.router_b_name.empty()
+                  ? ""
+                  : (" (with " + finding.router_b_name + ")").c_str(),
+              finding.detail.c_str());
+}
+
+void print_text_report(const analysis::RuleEngine& engine,
+                       const analysis::RuleEngine::Result& result,
+                       const std::string& name) {
+  std::printf("rdlint: %s: %zu finding(s) (%zu errors, %zu warnings, "
+              "%zu info), %zu suppressed\n",
+              name.c_str(), result.findings.size(), result.errors,
+              result.warnings, result.infos, result.suppressed);
+  (void)engine;
+  for (const auto& finding : result.findings) print_finding(finding, "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> dirs;
+  std::string format = "text";
+  const char* baseline_path = nullptr;
+  std::size_t threads = 0;
+  bool timings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--format") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--format wants text, json, or sarif\n");
+        return 2;
+      }
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--baseline wants a file\n");
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const long parsed =
+          i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : 0;
+      if (parsed < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        return 2;
+      }
+      threads = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--timings") == 0) {
+      timings = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s' (see --help)\n", argv[i]);
+      return 2;
+    } else {
+      dirs.emplace_back(argv[i]);
+    }
+  }
+  for (const auto& dir : dirs) {
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "%s is not a directory\n", dir.string().c_str());
+      return 2;
+    }
+  }
+
+  util::ThreadPool pool(threads);
+  const auto engine = analysis::RuleEngine::with_default_rules();
+
+  // Build the (final) network and, in series mode, walk the snapshots
+  // through the parse cache, classifying each transition by fingerprint.
+  std::string name;
+  std::optional<model::Network> network;
+  std::optional<analysis::RuleEngine::Result> result;
+  if (dirs.empty()) {
+    synth::ManagedEnterpriseParams params;
+    params.regions = 3;
+    params.spokes_per_region = 14;
+    params.igp_edge_rate = 0.15;
+    std::vector<std::string> texts;
+    for (const auto& cfg : synth::make_managed_enterprise(params).configs) {
+      texts.push_back(config::write_config(cfg));
+    }
+    name = "generated-managed-enterprise";
+    network = pipeline::build_network_parallel(texts, pool);
+    result = engine.run(*network, pool);
+    std::fprintf(stderr, "(linting a generated managed enterprise; pass a "
+                         "config directory to lint your own network)\n");
+  } else if (dirs.size() == 1) {
+    // Single network: parse through synth::load_network so every finding
+    // carries its config file name.
+    name = dirs[0].filename().string();
+    if (name.empty()) name = dirs[0].string();
+    auto configs = synth::load_network(dirs[0]);
+    if (configs.empty()) {
+      std::fprintf(stderr, "no configuration files in %s\n",
+                   dirs[0].string().c_str());
+      return 2;
+    }
+    network = model::Network::build(std::move(configs));
+    result = engine.run(*network, pool);
+  } else {
+    // Snapshot series: unchanged routers cost one hash, not one parse.
+    pipeline::ParseCache cache;
+    std::vector<std::string> previous;
+    for (std::size_t s = 0; s < dirs.size(); ++s) {
+      auto texts = synth::load_network_texts(dirs[s]);
+      if (texts.empty()) {
+        std::fprintf(stderr, "no configuration files in %s\n",
+                     dirs[s].string().c_str());
+        return 2;
+      }
+      name = dirs[s].filename().string();
+      if (name.empty()) name = dirs[s].string();
+      network = pipeline::build_network_cached(texts, cache, pool);
+      result = engine.run(*network, pool);
+      if (s > 0) {
+        const auto delta = analysis::diff_against_baseline(result->findings,
+                                                           previous);
+        std::fprintf(stderr,
+                     "snapshot %s -> %s: %zu new, %zu fixed, %zu unchanged\n",
+                     dirs[s - 1].filename().string().c_str(), name.c_str(),
+                     delta.new_findings.size(), delta.fixed.size(),
+                     delta.unchanged.size());
+      }
+      previous.clear();
+      previous.reserve(result->findings.size());
+      for (const auto& f : result->findings) {
+        previous.push_back(analysis::finding_fingerprint(f));
+      }
+    }
+  }
+
+  if (timings) {
+    std::fprintf(stderr, "per-rule wall time (nondeterministic):\n");
+    for (const auto& t : result->timings) {
+      std::fprintf(stderr, "  %-6s %8.3f ms  %zu finding(s)\n",
+                   t.rule_id.c_str(), t.millis, t.findings);
+    }
+  }
+
+  // Baseline classification (fingerprint set comparison against a previous
+  // --format json report).
+  std::optional<analysis::BaselineDelta> delta;
+  if (baseline_path != nullptr) {
+    const auto text = read_file(baseline_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path);
+      return 2;
+    }
+    const auto fingerprints = analysis::baseline_fingerprints(*text);
+    if (!fingerprints) {
+      std::fprintf(stderr, "%s is not an rdlint JSON report\n",
+                   baseline_path);
+      return 2;
+    }
+    delta = analysis::diff_against_baseline(result->findings, *fingerprints);
+  }
+
+  if (format == "sarif") {
+    if (delta) {
+      std::fprintf(stderr, "note: --baseline summary: %zu new, %zu fixed, "
+                           "%zu unchanged (not represented in SARIF)\n",
+                   delta->new_findings.size(), delta->fixed.size(),
+                   delta->unchanged.size());
+    }
+    std::printf("%s\n", analysis::findings_to_sarif(engine, *result).c_str());
+  } else if (format == "json") {
+    auto json = analysis::findings_to_json(engine, *result, name);
+    if (delta) {
+      // Re-parse the report and graft the baseline section on, so stdout
+      // stays one valid JSON document.
+      auto doc = util::Json::parse(json);
+      auto baseline = util::Json::object();
+      baseline.set("new", delta->new_findings.size());
+      baseline.set("fixed", delta->fixed.size());
+      baseline.set("unchanged", delta->unchanged.size());
+      auto fixed = util::Json::array();
+      for (const auto& fp : delta->fixed) fixed.push_back(fp);
+      baseline.set("fixed_fingerprints", std::move(fixed));
+      auto fresh = util::Json::array();
+      for (const auto& f : delta->new_findings) {
+        fresh.push_back(analysis::finding_fingerprint(f));
+      }
+      baseline.set("new_fingerprints", std::move(fresh));
+      doc->set("baseline", std::move(baseline));
+      json = doc->dump(2);
+    }
+    std::printf("%s\n", json.c_str());
+  } else {
+    print_text_report(engine, *result, name);
+    if (delta) {
+      std::printf("baseline: %zu new, %zu fixed, %zu unchanged\n",
+                  delta->new_findings.size(), delta->fixed.size(),
+                  delta->unchanged.size());
+      for (const auto& finding : delta->new_findings) {
+        print_finding(finding, "new ");
+      }
+      for (const auto& fp : delta->fixed) {
+        std::printf("  fixed %s\n", fp.c_str());
+      }
+    }
+  }
+
+  return result->has_errors() ? 1 : 0;
+}

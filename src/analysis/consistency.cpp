@@ -20,111 +20,140 @@ std::string_view to_string(ConsistencyKind kind) noexcept {
 }
 
 std::vector<ConsistencyFinding> check_consistency(
-    const model::Network& network) {
+    const model::Network& network, std::uint32_t kind_mask) {
   std::vector<ConsistencyFinding> findings;
+  const auto enabled = [kind_mask](ConsistencyKind kind) {
+    return (kind_mask & consistency_kind_bit(kind)) != 0;
+  };
+  // Line of an interface's "interface" command in its owning router's config.
+  const auto interface_line = [&](model::InterfaceId i) {
+    const auto& itf = network.interfaces()[i];
+    return network.routers()[itf.router].interfaces[itf.config_index].line;
+  };
 
   // --- duplicate addresses ----------------------------------------------------
-  std::unordered_map<std::uint32_t, model::InterfaceId> first_owner;
-  auto note_address = [&](ip::Ipv4Address addr, model::InterfaceId i) {
-    const auto [it, inserted] = first_owner.try_emplace(addr.value(), i);
-    if (inserted || it->second == i) return;
-    const auto& a = network.interfaces()[it->second];
-    const auto& b = network.interfaces()[i];
-    findings.push_back({ConsistencyKind::kDuplicateAddress, a.router,
-                        b.router,
-                        addr.to_string() + " on " + a.name + " and " +
-                            b.name});
-  };
-  for (model::InterfaceId i = 0; i < network.interfaces().size(); ++i) {
-    const auto& itf = network.interfaces()[i];
-    if (itf.address) note_address(*itf.address, i);
-    for (const auto secondary : itf.secondary_addresses) {
-      note_address(secondary, i);
+  if (enabled(ConsistencyKind::kDuplicateAddress)) {
+    std::unordered_map<std::uint32_t, model::InterfaceId> first_owner;
+    auto note_address = [&](ip::Ipv4Address addr, model::InterfaceId i) {
+      const auto [it, inserted] = first_owner.try_emplace(addr.value(), i);
+      if (inserted || it->second == i) return;
+      const auto& a = network.interfaces()[it->second];
+      const auto& b = network.interfaces()[i];
+      findings.push_back({ConsistencyKind::kDuplicateAddress, a.router,
+                          b.router,
+                          addr.to_string() + " on " + a.name + " and " +
+                              b.name,
+                          interface_line(it->second)});
+    };
+    for (model::InterfaceId i = 0; i < network.interfaces().size(); ++i) {
+      const auto& itf = network.interfaces()[i];
+      if (itf.address) note_address(*itf.address, i);
+      for (const auto secondary : itf.secondary_addresses) {
+        note_address(secondary, i);
+      }
     }
   }
 
   // --- mask mismatches: one link's subnet strictly contains another's ---------
-  struct SubnetRef {
-    ip::Prefix subnet;
-    model::RouterId router;
-  };
-  std::vector<SubnetRef> subnets;
-  for (const auto& link : network.links()) {
-    subnets.push_back(
-        {link.subnet,
-         network.interfaces()[link.interfaces.front()].router});
-  }
-  std::sort(subnets.begin(), subnets.end(),
-            [](const SubnetRef& a, const SubnetRef& b) {
-              if (a.subnet.network() != b.subnet.network()) {
-                return a.subnet.network() < b.subnet.network();
-              }
-              return a.subnet.length() < b.subnet.length();
-            });
-  for (std::size_t i = 0; i < subnets.size(); ++i) {
-    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
-      if (!subnets[i].subnet.contains(subnets[j].subnet.network())) break;
-      if (subnets[i].subnet.contains(subnets[j].subnet) &&
-          subnets[i].subnet != subnets[j].subnet) {
-        findings.push_back(
-            {ConsistencyKind::kMaskMismatch, subnets[i].router,
-             subnets[j].router,
-             subnets[i].subnet.to_string() + " overlaps " +
-                 subnets[j].subnet.to_string() +
-                 " (interfaces on one wire with different masks?)"});
+  if (enabled(ConsistencyKind::kMaskMismatch)) {
+    struct SubnetRef {
+      ip::Prefix subnet;
+      model::RouterId router;
+      std::size_t line;
+    };
+    std::vector<SubnetRef> subnets;
+    for (const auto& link : network.links()) {
+      const auto first = link.interfaces.front();
+      subnets.push_back({link.subnet, network.interfaces()[first].router,
+                         interface_line(first)});
+    }
+    std::sort(subnets.begin(), subnets.end(),
+              [](const SubnetRef& a, const SubnetRef& b) {
+                if (a.subnet.network() != b.subnet.network()) {
+                  return a.subnet.network() < b.subnet.network();
+                }
+                return a.subnet.length() < b.subnet.length();
+              });
+    for (std::size_t i = 0; i < subnets.size(); ++i) {
+      for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+        if (!subnets[i].subnet.contains(subnets[j].subnet.network())) break;
+        if (subnets[i].subnet.contains(subnets[j].subnet) &&
+            subnets[i].subnet != subnets[j].subnet) {
+          findings.push_back(
+              {ConsistencyKind::kMaskMismatch, subnets[i].router,
+               subnets[j].router,
+               subnets[i].subnet.to_string() + " overlaps " +
+                   subnets[j].subnet.to_string() +
+                   " (interfaces on one wire with different masks?)",
+               subnets[i].line});
+        }
       }
     }
   }
 
   // --- BGP session symmetry ----------------------------------------------------
-  // Owner of every address, and the BGP AS numbers per router.
-  std::unordered_map<std::uint32_t, model::RouterId> owner;
-  for (const auto& itf : network.interfaces()) {
-    if (itf.address) owner.emplace(itf.address->value(), itf.router);
-  }
-  std::unordered_map<model::RouterId, std::vector<std::uint32_t>> router_ases;
-  for (const auto& process : network.processes()) {
-    if (process.protocol == config::RoutingProtocol::kBgp &&
-        process.process_id) {
-      router_ases[process.router].push_back(*process.process_id);
+  if (enabled(ConsistencyKind::kOneSidedBgpSession) ||
+      enabled(ConsistencyKind::kAsnMismatch)) {
+    // Owner of every address, and the BGP AS numbers per router.
+    std::unordered_map<std::uint32_t, model::RouterId> owner;
+    for (const auto& itf : network.interfaces()) {
+      if (itf.address) owner.emplace(itf.address->value(), itf.router);
     }
-  }
+    std::unordered_map<model::RouterId, std::vector<std::uint32_t>>
+        router_ases;
+    for (const auto& process : network.processes()) {
+      if (process.protocol == config::RoutingProtocol::kBgp &&
+          process.process_id) {
+        router_ases[process.router].push_back(*process.process_id);
+      }
+    }
 
-  for (const auto& session : network.bgp_sessions()) {
-    const auto& local = network.processes()[session.local_process];
-    if (!session.external()) {
-      // Resolved internally: is the mirror statement present?
-      const auto& remote = network.processes()[session.remote_process];
-      const auto& remote_stanza =
-          network.routers()[remote.router].router_stanzas[remote.stanza_index];
-      bool mirrored = false;
-      for (const auto& nbr : remote_stanza.neighbors) {
-        const auto it = owner.find(nbr.address.value());
-        if (it != owner.end() && it->second == local.router) {
-          mirrored = true;
-          break;
+    for (const auto& session : network.bgp_sessions()) {
+      const auto& local = network.processes()[session.local_process];
+      // The local "neighbor <ip> ..." statement the finding points at.
+      const std::size_t neighbor_line =
+          network.routers()[local.router]
+              .router_stanzas[local.stanza_index]
+              .neighbors[session.neighbor_index]
+              .line;
+      if (!session.external()) {
+        if (!enabled(ConsistencyKind::kOneSidedBgpSession)) continue;
+        // Resolved internally: is the mirror statement present?
+        const auto& remote = network.processes()[session.remote_process];
+        const auto& remote_stanza = network.routers()[remote.router]
+                                        .router_stanzas[remote.stanza_index];
+        bool mirrored = false;
+        for (const auto& nbr : remote_stanza.neighbors) {
+          const auto it = owner.find(nbr.address.value());
+          if (it != owner.end() && it->second == local.router) {
+            mirrored = true;
+            break;
+          }
         }
+        if (!mirrored) {
+          findings.push_back(
+              {ConsistencyKind::kOneSidedBgpSession, local.router,
+               remote.router,
+               "session to " + session.remote_address.to_string() +
+                   " has no mirror neighbor statement",
+               neighbor_line});
+        }
+        continue;
       }
-      if (!mirrored) {
-        findings.push_back(
-            {ConsistencyKind::kOneSidedBgpSession, local.router,
-             remote.router,
-             "session to " + session.remote_address.to_string() +
-                 " has no mirror neighbor statement"});
-      }
-      continue;
+      if (!enabled(ConsistencyKind::kAsnMismatch)) continue;
+      // External by resolution — but if the address is owned by a router in
+      // the data set that runs BGP, the configured remote AS must be wrong.
+      const auto it = owner.find(session.remote_address.value());
+      if (it == owner.end()) continue;
+      const auto ases = router_ases.find(it->second);
+      if (ases == router_ases.end()) continue;
+      findings.push_back(
+          {ConsistencyKind::kAsnMismatch, local.router, it->second,
+           "neighbor " + session.remote_address.to_string() +
+               " expects AS " + std::to_string(session.remote_as) +
+               " but the owning router runs a different AS",
+           neighbor_line});
     }
-    // External by resolution — but if the address is owned by a router in
-    // the data set that runs BGP, the configured remote AS must be wrong.
-    const auto it = owner.find(session.remote_address.value());
-    if (it == owner.end()) continue;
-    const auto ases = router_ases.find(it->second);
-    if (ases == router_ases.end()) continue;
-    findings.push_back(
-        {ConsistencyKind::kAsnMismatch, local.router, it->second,
-         "neighbor " + session.remote_address.to_string() +
-             " expects AS " + std::to_string(session.remote_as) +
-             " but the owning router runs a different AS"});
   }
   return findings;
 }

@@ -22,14 +22,27 @@ enum class ConsistencyKind : std::uint8_t {
 
 std::string_view to_string(ConsistencyKind kind) noexcept;
 
+/// Bit for one ConsistencyKind in a check_consistency kind mask.
+constexpr std::uint32_t consistency_kind_bit(ConsistencyKind kind) noexcept {
+  return 1u << static_cast<std::uint32_t>(kind);
+}
+
 struct ConsistencyFinding {
   ConsistencyKind kind = ConsistencyKind::kDuplicateAddress;
   model::RouterId router_a = model::kInvalidId;
   model::RouterId router_b = model::kInvalidId;  // kInvalidId if N/A
   std::string detail;
+  /// 1-based line in router_a's source config (0 = unknown): the finding's
+  /// anchor on the router it is reported against.
+  std::size_t line = 0;
 };
 
+/// Run the checks selected by `kind_mask` (one bit per ConsistencyKind).
 std::vector<ConsistencyFinding> check_consistency(
-    const model::Network& network);
+    const model::Network& network, std::uint32_t kind_mask);
+inline std::vector<ConsistencyFinding> check_consistency(
+    const model::Network& network) {
+  return check_consistency(network, 0xFFFFFFFFu);
+}
 
 }  // namespace rd::analysis

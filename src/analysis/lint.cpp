@@ -1,6 +1,7 @@
 #include "analysis/lint.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 
@@ -34,40 +35,60 @@ std::string_view to_string(LintKind kind) noexcept {
 
 namespace {
 
-/// Collect every ACL / route-map / prefix-list name a config references.
+/// Every ACL / route-map / prefix-list name a config references, mapped to
+/// the first referencing source line (0 when the reference site carries no
+/// line, e.g. synthesized configs).
 struct References {
-  std::set<std::string> acls;
-  std::set<std::string> route_maps;
-  std::set<std::string> prefix_lists;
+  std::map<std::string, std::size_t> acls;
+  std::map<std::string, std::size_t> route_maps;
+  std::map<std::string, std::size_t> prefix_lists;
 };
 
 References collect_references(const config::RouterConfig& cfg) {
   References refs;
   for (const auto& itf : cfg.interfaces) {
-    if (itf.access_group_in) refs.acls.insert(*itf.access_group_in);
-    if (itf.access_group_out) refs.acls.insert(*itf.access_group_out);
+    if (itf.access_group_in) refs.acls.try_emplace(*itf.access_group_in,
+                                                   itf.line);
+    if (itf.access_group_out) refs.acls.try_emplace(*itf.access_group_out,
+                                                    itf.line);
   }
   for (const auto& stanza : cfg.router_stanzas) {
-    for (const auto& dl : stanza.distribute_lists) refs.acls.insert(dl.acl);
+    for (const auto& dl : stanza.distribute_lists) {
+      refs.acls.try_emplace(dl.acl, stanza.line);
+    }
     for (const auto& redist : stanza.redistributes) {
-      if (redist.route_map) refs.route_maps.insert(*redist.route_map);
+      if (redist.route_map) {
+        refs.route_maps.try_emplace(*redist.route_map, redist.line);
+      }
     }
     for (const auto& nbr : stanza.neighbors) {
-      if (nbr.distribute_list_in) refs.acls.insert(*nbr.distribute_list_in);
-      if (nbr.distribute_list_out) refs.acls.insert(*nbr.distribute_list_out);
-      if (nbr.route_map_in) refs.route_maps.insert(*nbr.route_map_in);
-      if (nbr.route_map_out) refs.route_maps.insert(*nbr.route_map_out);
-      if (nbr.prefix_list_in) refs.prefix_lists.insert(*nbr.prefix_list_in);
-      if (nbr.prefix_list_out) refs.prefix_lists.insert(*nbr.prefix_list_out);
+      if (nbr.distribute_list_in) {
+        refs.acls.try_emplace(*nbr.distribute_list_in, nbr.line);
+      }
+      if (nbr.distribute_list_out) {
+        refs.acls.try_emplace(*nbr.distribute_list_out, nbr.line);
+      }
+      if (nbr.route_map_in) {
+        refs.route_maps.try_emplace(*nbr.route_map_in, nbr.line);
+      }
+      if (nbr.route_map_out) {
+        refs.route_maps.try_emplace(*nbr.route_map_out, nbr.line);
+      }
+      if (nbr.prefix_list_in) {
+        refs.prefix_lists.try_emplace(*nbr.prefix_list_in, nbr.line);
+      }
+      if (nbr.prefix_list_out) {
+        refs.prefix_lists.try_emplace(*nbr.prefix_list_out, nbr.line);
+      }
     }
   }
   for (const auto& rm : cfg.route_maps) {
     for (const auto& clause : rm.clauses) {
       for (const auto& acl : clause.match_ip_address_acls) {
-        refs.acls.insert(acl);
+        refs.acls.try_emplace(acl, clause.line);
       }
       for (const auto& pl : clause.match_prefix_lists) {
-        refs.prefix_lists.insert(pl);
+        refs.prefix_lists.try_emplace(pl, clause.line);
       }
     }
   }
@@ -106,72 +127,110 @@ std::vector<LintFinding> lint_network(const model::Network& network,
                                       const LintOptions& options) {
   std::vector<LintFinding> findings;
 
+  const bool needs_references =
+      options.enabled(LintKind::kUnusedAccessList) ||
+      options.enabled(LintKind::kUnusedRouteMap) ||
+      options.enabled(LintKind::kUndefinedAclReference) ||
+      options.enabled(LintKind::kUndefinedRouteMapRef) ||
+      options.enabled(LintKind::kUndefinedPrefixListRef);
+
   for (model::RouterId r = 0; r < network.router_count(); ++r) {
     const auto& cfg = network.routers()[r];
-    const auto refs = collect_references(cfg);
+    const References refs =
+        needs_references ? collect_references(cfg) : References{};
 
     // Unused definitions. The conventional "99"-style management ACLs are
     // often intentionally unapplied, but the paper's inventory task still
     // wants them surfaced.
-    for (const auto& acl : cfg.access_lists) {
-      if (!refs.acls.contains(acl.id)) {
-        findings.push_back({LintKind::kUnusedAccessList, r, acl.id,
-                            std::to_string(acl.rules.size()) + " clauses"});
+    if (options.enabled(LintKind::kUnusedAccessList)) {
+      for (const auto& acl : cfg.access_lists) {
+        if (!refs.acls.contains(acl.id)) {
+          findings.push_back({LintKind::kUnusedAccessList, r, acl.id,
+                              std::to_string(acl.rules.size()) + " clauses",
+                              acl.line});
+        }
       }
     }
-    for (const auto& rm : cfg.route_maps) {
-      if (!refs.route_maps.contains(rm.name)) {
-        findings.push_back({LintKind::kUnusedRouteMap, r, rm.name, ""});
-      }
-    }
-
-    // Dangling references.
-    for (const auto& acl_id : refs.acls) {
-      if (cfg.find_access_list(acl_id) == nullptr) {
-        findings.push_back({LintKind::kUndefinedAclReference, r, acl_id,
-                            "referenced but not defined (permits "
-                            "everything)"});
-      }
-    }
-    for (const auto& rm_name : refs.route_maps) {
-      if (cfg.find_route_map(rm_name) == nullptr) {
-        findings.push_back(
-            {LintKind::kUndefinedRouteMapRef, r, rm_name, ""});
-      }
-    }
-    for (const auto& pl_name : refs.prefix_lists) {
-      if (cfg.find_prefix_list(pl_name) == nullptr) {
-        findings.push_back(
-            {LintKind::kUndefinedPrefixListRef, r, pl_name, ""});
+    if (options.enabled(LintKind::kUnusedRouteMap)) {
+      for (const auto& rm : cfg.route_maps) {
+        if (!refs.route_maps.contains(rm.name)) {
+          const std::size_t line =
+              rm.clauses.empty() ? 0 : rm.clauses.front().line;
+          findings.push_back({LintKind::kUnusedRouteMap, r, rm.name, "",
+                              line});
+        }
       }
     }
 
-    // Clause-level checks.
-    for (const auto& acl : cfg.access_lists) {
-      if (acl.rules.size() >= options.multi_policy_clause_threshold &&
-          concern_count(acl) >= 3) {
-        findings.push_back(
-            {LintKind::kMultiPolicyFilter, r, acl.id,
-             std::to_string(acl.rules.size()) + " clauses spanning " +
-                 std::to_string(concern_count(acl)) +
-                 " concerns (split per policy)"});
+    // Dangling references, anchored at the first referencing line.
+    if (options.enabled(LintKind::kUndefinedAclReference)) {
+      for (const auto& [acl_id, line] : refs.acls) {
+        if (cfg.find_access_list(acl_id) == nullptr) {
+          findings.push_back({LintKind::kUndefinedAclReference, r, acl_id,
+                              "referenced but not defined (permits "
+                              "everything)",
+                              line});
+        }
       }
-      for (std::size_t i = 0; i < acl.rules.size(); ++i) {
-        for (std::size_t j = 0; j < i; ++j) {
-          if (acl.rules[j] == acl.rules[i]) {
-            findings.push_back({LintKind::kDuplicateAclClause, r, acl.id,
-                                "clause " + std::to_string(i + 1) +
-                                    " duplicates clause " +
-                                    std::to_string(j + 1)});
-            break;
-          }
-          if (clause_shadows(acl.rules[j], acl.rules[i]) &&
-              i + 1 != acl.rules.size()) {
-            findings.push_back({LintKind::kShadowedAclClause, r, acl.id,
-                                "clause " + std::to_string(i + 1) +
-                                    " can never match (shadowed by clause " +
-                                    std::to_string(j + 1) + ")"});
-            break;
+    }
+    if (options.enabled(LintKind::kUndefinedRouteMapRef)) {
+      for (const auto& [rm_name, line] : refs.route_maps) {
+        if (cfg.find_route_map(rm_name) == nullptr) {
+          findings.push_back(
+              {LintKind::kUndefinedRouteMapRef, r, rm_name, "", line});
+        }
+      }
+    }
+    if (options.enabled(LintKind::kUndefinedPrefixListRef)) {
+      for (const auto& [pl_name, line] : refs.prefix_lists) {
+        if (cfg.find_prefix_list(pl_name) == nullptr) {
+          findings.push_back(
+              {LintKind::kUndefinedPrefixListRef, r, pl_name, "", line});
+        }
+      }
+    }
+
+    // Clause-level checks (one pass per ACL, findings interleaved in the
+    // original order: multi-policy first, then per-clause duplicates and
+    // shadows).
+    if (options.enabled(LintKind::kMultiPolicyFilter) ||
+        options.enabled(LintKind::kDuplicateAclClause) ||
+        options.enabled(LintKind::kShadowedAclClause)) {
+      for (const auto& acl : cfg.access_lists) {
+        if (options.enabled(LintKind::kMultiPolicyFilter) &&
+            acl.rules.size() >= options.multi_policy_clause_threshold &&
+            concern_count(acl) >= 3) {
+          findings.push_back(
+              {LintKind::kMultiPolicyFilter, r, acl.id,
+               std::to_string(acl.rules.size()) + " clauses spanning " +
+                   std::to_string(concern_count(acl)) +
+                   " concerns (split per policy)",
+               acl.line});
+        }
+        for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+          for (std::size_t j = 0; j < i; ++j) {
+            if (acl.rules[j] == acl.rules[i]) {
+              if (options.enabled(LintKind::kDuplicateAclClause)) {
+                findings.push_back({LintKind::kDuplicateAclClause, r, acl.id,
+                                    "clause " + std::to_string(i + 1) +
+                                        " duplicates clause " +
+                                        std::to_string(j + 1),
+                                    acl.rules[i].line});
+              }
+              break;
+            }
+            if (clause_shadows(acl.rules[j], acl.rules[i]) &&
+                i + 1 != acl.rules.size()) {
+              if (options.enabled(LintKind::kShadowedAclClause)) {
+                findings.push_back({LintKind::kShadowedAclClause, r, acl.id,
+                                    "clause " + std::to_string(i + 1) +
+                                        " can never match (shadowed by "
+                                        "clause " +
+                                        std::to_string(j + 1) + ")",
+                                    acl.rules[i].line});
+              }
+              break;
+            }
           }
         }
       }
@@ -181,27 +240,34 @@ std::vector<LintFinding> lint_network(const model::Network& network,
     // the mask, so IOS silently canonicalizes it ("network 10.0.0.5 /8"
     // covers 10.0.0.0/8). Prefix::parse would hide the sloppiness the same
     // way; the strict constructor detects it.
-    for (const auto& stanza : cfg.router_stanzas) {
-      for (const auto& ns : stanza.networks) {
-        if (ip::Prefix::make_strict(ns.address, ns.mask.length())) continue;
-        const ip::Prefix canonical(ns.address, ns.mask.length());
-        findings.push_back(
-            {LintKind::kNoncanonicalNetwork, r,
-             ns.address.to_string() + "/" + std::to_string(ns.mask.length()),
-             std::string(config::to_keyword(stanza.protocol)) +
-                 " network statement has host bits set; matches " +
-                 canonical.to_string()});
+    if (options.enabled(LintKind::kNoncanonicalNetwork)) {
+      for (const auto& stanza : cfg.router_stanzas) {
+        for (const auto& ns : stanza.networks) {
+          if (ip::Prefix::make_strict(ns.address, ns.mask.length())) continue;
+          const ip::Prefix canonical(ns.address, ns.mask.length());
+          findings.push_back(
+              {LintKind::kNoncanonicalNetwork, r,
+               ns.address.to_string() + "/" +
+                   std::to_string(ns.mask.length()),
+               std::string(config::to_keyword(stanza.protocol)) +
+                   " network statement has host bits set; matches " +
+                   canonical.to_string(),
+               ns.line});
+        }
       }
     }
 
     // Static routes duplicating connected subnets.
-    for (const auto& route : cfg.static_routes) {
-      for (const model::InterfaceId i : network.router_interfaces(r)) {
-        const auto& itf = network.interfaces()[i];
-        if (itf.subnet && *itf.subnet == route.prefix()) {
-          findings.push_back({LintKind::kRedundantStaticRoute, r,
-                              route.prefix().to_string(),
-                              "duplicates connected subnet on " + itf.name});
+    if (options.enabled(LintKind::kRedundantStaticRoute)) {
+      for (const auto& route : cfg.static_routes) {
+        for (const model::InterfaceId i : network.router_interfaces(r)) {
+          const auto& itf = network.interfaces()[i];
+          if (itf.subnet && *itf.subnet == route.prefix()) {
+            findings.push_back({LintKind::kRedundantStaticRoute, r,
+                                route.prefix().to_string(),
+                                "duplicates connected subnet on " + itf.name,
+                                route.line});
+          }
         }
       }
     }

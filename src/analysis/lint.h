@@ -34,12 +34,29 @@ struct LintFinding {
   model::RouterId router = model::kInvalidId;
   std::string subject;  // ACL id / route-map name / prefix
   std::string detail;
+  /// 1-based line in the router's source config (0 = unknown). For dangling
+  /// references this is the first referencing line; otherwise the line of
+  /// the flagged construct.
+  std::size_t line = 0;
 };
+
+/// Bit for one LintKind in LintOptions::kind_mask.
+constexpr std::uint32_t lint_kind_bit(LintKind kind) noexcept {
+  return 1u << static_cast<std::uint32_t>(kind);
+}
 
 struct LintOptions {
   /// A filter with at least this many clauses that mixes several protocols
   /// and interleaves permit/deny is flagged as multi-policy.
   std::size_t multi_policy_clause_threshold = 30;
+  /// Which checks to run (one bit per LintKind, default all). The rule
+  /// engine runs each kind as its own rule; the mask keeps a single-kind
+  /// run from paying for the other nine checks.
+  std::uint32_t kind_mask = 0xFFFFFFFFu;
+
+  bool enabled(LintKind kind) const noexcept {
+    return (kind_mask & lint_kind_bit(kind)) != 0;
+  }
 };
 
 std::vector<LintFinding> lint_network(const model::Network& network,

@@ -2,7 +2,7 @@
 
 #include <cctype>
 
-#include "anonymize/sha1.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace rd::anonymize {
@@ -46,6 +46,17 @@ bool is_identifier_punct(char c) noexcept {
   return c == '/' || c == '.' || c == ':' || c == '-' || c == '_';
 }
 
+/// "RD" followed by digits only — the design-rule id grammar. Anything else
+/// inside a suppression comment is user text and must not survive.
+bool is_rule_id(std::string_view token) noexcept {
+  if (token.size() < 3 || token.size() > 8) return false;
+  if (token[0] != 'R' || token[1] != 'D') return false;
+  for (std::size_t i = 2; i < token.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(token[i])) == 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Anonymizer::Anonymizer(std::uint64_t key) : key_(key), ip_(key) {
@@ -57,11 +68,11 @@ std::string Anonymizer::hash_word(std::string_view word) {
   if (const auto it = token_cache_.find(key); it != token_cache_.end()) {
     return it->second;
   }
-  Sha1 sha;
+  util::Sha1 sha;
   sha.update(std::string_view(reinterpret_cast<const char*>(&key_),
                               sizeof(key_)));
   sha.update(word);
-  std::string hashed = base62_token(sha.digest(), 11);
+  std::string hashed = util::base62_token(sha.digest(), 11);
   token_cache_.emplace(key, hashed);
   return hashed;
 }
@@ -72,7 +83,7 @@ std::uint32_t Anonymizer::anonymize_asn(std::uint32_t asn) {
     return it->second;
   }
   // Derive a stable pseudorandom public ASN; resolve collisions by probing.
-  Sha1 sha;
+  util::Sha1 sha;
   sha.update(std::string_view(reinterpret_cast<const char*>(&key_),
                               sizeof(key_)));
   const std::string text = "asn:" + std::to_string(asn);
@@ -144,8 +155,21 @@ std::string Anonymizer::anonymize_line(std::string_view line) {
   while (indent < line.size() && line[indent] == ' ') ++indent;
   const std::string_view body = line.substr(indent);
 
-  // Comment lines lose their text; the bare separator survives.
+  // Comment lines lose their text; the bare separator survives. The one
+  // exception is "! rdlint-disable <RDid>...": suppressions are structural
+  // (rule ids carry no user information) and must survive anonymization so
+  // the design-rule engine still honors them on the shared configs.
   if (!body.empty() && body[0] == '!') {
+    const auto comment = util::trim(body.substr(1));
+    const auto words = util::split_ws(comment);
+    if (!words.empty() && util::iequals(words[0], "rdlint-disable")) {
+      std::string out(indent, ' ');
+      out += "! rdlint-disable";
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        if (is_rule_id(words[i])) out += ' ' + std::string(words[i]);
+      }
+      return out;
+    }
     return std::string(indent, ' ') + "!";
   }
 

@@ -42,6 +42,12 @@ struct InterfaceAddress {
 };
 
 /// One "interface <Name>" stanza.
+///
+/// Source provenance (`line`, 1-based, 0 = unknown/synthesized) is carried
+/// on this and every other command-level AST node so static-analysis
+/// findings can point at the offending config line. Provenance is excluded
+/// from equality: a synthesized config and its written-then-reparsed twin
+/// are the same configuration even though only the latter has line numbers.
 struct InterfaceConfig {
   std::string name;  // e.g. "Serial1/0.5" or "FastEthernet0/1"
   std::optional<InterfaceAddress> address;
@@ -60,12 +66,23 @@ struct InterfaceConfig {
   /// Attribute lines the parser recognizes as valid but does not model
   /// (e.g. "frame-relay interface-dlci 28"); preserved for round-tripping.
   std::vector<std::string> extra_lines;
+  std::size_t line = 0;  // source line of the "interface" command
 
   /// Hardware type parsed from the name ("Serial", "FastEthernet", ...).
   std::string hardware_type() const;
 
-  friend bool operator==(const InterfaceConfig&,
-                         const InterfaceConfig&) = default;
+  friend bool operator==(const InterfaceConfig& a, const InterfaceConfig& b) {
+    return a.name == b.name && a.address == b.address &&
+           a.secondary_addresses == b.secondary_addresses &&
+           a.description == b.description &&
+           a.access_group_in == b.access_group_in &&
+           a.access_group_out == b.access_group_out &&
+           a.point_to_point == b.point_to_point &&
+           a.shutdown == b.shutdown &&
+           a.bandwidth_kbps == b.bandwidth_kbps &&
+           a.ospf_cost == b.ospf_cost && a.isis == b.isis &&
+           a.extra_lines == b.extra_lines;
+  }
 };
 
 enum class FilterAction : std::uint8_t { kPermit, kDeny };
@@ -81,8 +98,15 @@ struct AclRule {
   bool any_destination = true;
   ip::Prefix destination;  // valid when !any_destination (extended only)
   std::optional<std::uint16_t> destination_port;  // "eq <port>"
+  std::size_t line = 0;  // source line of the clause; not part of equality
 
-  friend bool operator==(const AclRule&, const AclRule&) = default;
+  friend bool operator==(const AclRule& a, const AclRule& b) {
+    return a.action == b.action && a.extended == b.extended &&
+           a.protocol == b.protocol && a.any_source == b.any_source &&
+           a.source == b.source && a.any_destination == b.any_destination &&
+           a.destination == b.destination &&
+           a.destination_port == b.destination_port;
+  }
 };
 
 /// "access-list <id> ..." (numbered) or "ip access-list standard|extended
@@ -93,8 +117,12 @@ struct AccessList {
   bool named = false;
   bool extended_block = false;  // named-mode "extended" (vs "standard")
   std::vector<AclRule> rules;
+  std::size_t line = 0;  // source line where the list first appears
 
-  friend bool operator==(const AccessList&, const AccessList&) = default;
+  friend bool operator==(const AccessList& a, const AccessList& b) {
+    return a.id == b.id && a.named == b.named &&
+           a.extended_block == b.extended_block && a.rules == b.rules;
+  }
 };
 
 /// One entry of an "ip prefix-list": sequence, action, prefix, and the
@@ -149,9 +177,17 @@ struct RouteMapClause {
   std::optional<std::uint32_t> set_tag;
   std::optional<std::uint32_t> set_metric;
   std::optional<std::uint32_t> set_local_preference;
+  std::size_t line = 0;  // source line of the "route-map" head
 
-  friend bool operator==(const RouteMapClause&,
-                         const RouteMapClause&) = default;
+  friend bool operator==(const RouteMapClause& a, const RouteMapClause& b) {
+    return a.action == b.action && a.sequence == b.sequence &&
+           a.match_ip_address_acls == b.match_ip_address_acls &&
+           a.match_prefix_lists == b.match_prefix_lists &&
+           a.match_as_paths == b.match_as_paths &&
+           a.match_tag == b.match_tag && a.set_tag == b.set_tag &&
+           a.set_metric == b.set_metric &&
+           a.set_local_preference == b.set_local_preference;
+  }
 };
 
 struct RouteMap {
@@ -167,12 +203,15 @@ struct NetworkStatement {
   ip::Ipv4Address address;
   ip::Netmask mask;  // stored as a netmask; IGP text uses the wildcard form
   std::optional<std::uint32_t> area;  // OSPF only
+  std::size_t line = 0;
 
   ip::Prefix prefix() const noexcept {
     return ip::Prefix(address, mask.length());
   }
-  friend bool operator==(const NetworkStatement&,
-                         const NetworkStatement&) = default;
+  friend bool operator==(const NetworkStatement& a,
+                         const NetworkStatement& b) {
+    return a.address == b.address && a.mask == b.mask && a.area == b.area;
+  }
 };
 
 /// Source of a "redistribute ..." command.
@@ -190,8 +229,14 @@ struct Redistribute {
   std::optional<std::uint32_t> metric;
   std::optional<std::uint32_t> metric_type;  // OSPF "metric-type 1"
   bool subnets = false;                      // OSPF "subnets" keyword
+  std::size_t line = 0;
 
-  friend bool operator==(const Redistribute&, const Redistribute&) = default;
+  friend bool operator==(const Redistribute& a, const Redistribute& b) {
+    return a.source == b.source && a.protocol == b.protocol &&
+           a.process_id == b.process_id && a.route_map == b.route_map &&
+           a.metric == b.metric && a.metric_type == b.metric_type &&
+           a.subnets == b.subnets;
+  }
 };
 
 /// "distribute-list <acl> in|out [<interface>]" under a router stanza.
@@ -218,8 +263,21 @@ struct BgpNeighbor {
   std::optional<std::string> description;
   bool next_hop_self = false;
   bool route_reflector_client = false;
+  std::size_t line = 0;  // first "neighbor <ip> ..." line for this peer
 
-  friend bool operator==(const BgpNeighbor&, const BgpNeighbor&) = default;
+  friend bool operator==(const BgpNeighbor& a, const BgpNeighbor& b) {
+    return a.address == b.address && a.remote_as == b.remote_as &&
+           a.distribute_list_in == b.distribute_list_in &&
+           a.distribute_list_out == b.distribute_list_out &&
+           a.prefix_list_in == b.prefix_list_in &&
+           a.prefix_list_out == b.prefix_list_out &&
+           a.route_map_in == b.route_map_in &&
+           a.route_map_out == b.route_map_out &&
+           a.update_source == b.update_source &&
+           a.description == b.description &&
+           a.next_hop_self == b.next_hop_self &&
+           a.route_reflector_client == b.route_reflector_client;
+  }
 };
 
 /// "aggregate-address A.B.C.D M.M.M.M [summary-only]" under BGP: originate
@@ -254,8 +312,19 @@ struct RouterStanza {
   bool passive_default = false;
   std::optional<std::uint32_t> default_metric;
   bool synchronization = false;  // BGP; parsed for realism
+  std::size_t line = 0;          // source line of the "router" command
 
-  friend bool operator==(const RouterStanza&, const RouterStanza&) = default;
+  friend bool operator==(const RouterStanza& a, const RouterStanza& b) {
+    return a.protocol == b.protocol && a.process_id == b.process_id &&
+           a.networks == b.networks && a.aggregates == b.aggregates &&
+           a.redistributes == b.redistributes &&
+           a.distribute_lists == b.distribute_lists &&
+           a.neighbors == b.neighbors && a.router_id == b.router_id &&
+           a.passive_interfaces == b.passive_interfaces &&
+           a.passive_default == b.passive_default &&
+           a.default_metric == b.default_metric &&
+           a.synchronization == b.synchronization;
+  }
 };
 
 /// "ip route <dest> <mask> <next-hop>" at top level.
@@ -265,11 +334,16 @@ struct StaticRoute {
   /// Next hop is either an IP address or an exit interface name.
   std::variant<ip::Ipv4Address, std::string> next_hop;
   std::optional<std::uint32_t> administrative_distance;
+  std::size_t line = 0;
 
   ip::Prefix prefix() const noexcept {
     return ip::Prefix(destination, mask.length());
   }
-  friend bool operator==(const StaticRoute&, const StaticRoute&) = default;
+  friend bool operator==(const StaticRoute& a, const StaticRoute& b) {
+    return a.destination == b.destination && a.mask == b.mask &&
+           a.next_hop == b.next_hop &&
+           a.administrative_distance == b.administrative_distance;
+  }
 };
 
 /// The complete parsed configuration of one router — the unit of analysis.
@@ -283,6 +357,10 @@ struct RouterConfig {
   std::vector<AsPathAccessList> as_path_lists;
   std::vector<RouteMap> route_maps;
   std::vector<StaticRoute> static_routes;
+  /// Rule ids named in "! rdlint-disable <RDid>..." comments anywhere in the
+  /// source text: design-rule findings for those rules are suppressed on
+  /// this router. Sorted and deduplicated.
+  std::vector<std::string> lint_suppressions;
   /// Number of configuration command lines in the source text (comment and
   /// blank lines excluded) — the quantity plotted in the paper's Figure 4.
   std::size_t line_count = 0;

@@ -99,6 +99,7 @@ class Parser {
 
   void parse_interface(const Line& head) {
     InterfaceConfig itf;
+    itf.line = head.number;
     itf.name = std::string(head.tokens[1]);
     for (std::size_t i = 2; i < head.tokens.size(); ++i) {
       if (iequals(head.tokens[i], "point-to-point")) itf.point_to_point = true;
@@ -176,6 +177,7 @@ class Parser {
       return;
     }
     RouterStanza stanza;
+    stanza.line = head.number;
     stanza.protocol = *protocol;
     if (head.tokens.size() >= 3) {
       std::uint32_t id = 0;
@@ -250,6 +252,7 @@ class Parser {
       return;
     }
     NetworkStatement ns;
+    ns.line = line.number;
     ns.address = *addr;
     if (t.size() >= 4 && iequals(t[2], "mask")) {
       // BGP form: network A mask M
@@ -282,6 +285,7 @@ class Parser {
   void parse_redistribute(const Line& line, RouterStanza& stanza) {
     const auto& t = line.tokens;
     Redistribute redist;
+    redist.line = line.number;
     std::size_t opt_start = 2;
     if (iequals(t[1], "connected")) {
       redist.source = RedistributeSource::kConnected;
@@ -339,6 +343,7 @@ class Parser {
       stanza.neighbors.push_back(BgpNeighbor{});
       it = std::prev(stanza.neighbors.end());
       it->address = *addr;
+      it->line = line.number;  // first line mentioning this peer
     }
     BgpNeighbor& nbr = *it;
     if (iequals(t[2], "remote-as") && t.size() >= 4) {
@@ -393,7 +398,7 @@ class Parser {
     if (!parse_acl_rule(line, /*action_index=*/2, rule)) return;
     // extended_block is a named-mode property only.
     append_acl_rule(id, /*named=*/false, /*extended_block=*/false,
-                    std::move(rule));
+                    line.number, std::move(rule));
   }
 
   void parse_named_access_list(const Line& head) {
@@ -415,6 +420,7 @@ class Parser {
       acl.id = id;
       acl.named = true;
       acl.extended_block = extended;
+      acl.line = head.number;
       result_.config.access_lists.push_back(std::move(acl));
     }
     while (const Line* sub = peek_sub()) {
@@ -422,13 +428,14 @@ class Parser {
       if (iequals(sub->tokens[0], "remark")) continue;
       AclRule rule;
       if (parse_acl_rule(*sub, /*action_index=*/0, rule)) {
-        append_acl_rule(id, /*named=*/true, extended, std::move(rule));
+        append_acl_rule(id, /*named=*/true, extended, head.number,
+                        std::move(rule));
       }
     }
   }
 
   void append_acl_rule(const std::string& id, bool named, bool extended_block,
-                       AclRule rule) {
+                       std::size_t line, AclRule rule) {
     for (auto& acl : result_.config.access_lists) {
       if (acl.id == id) {
         acl.rules.push_back(std::move(rule));
@@ -439,6 +446,7 @@ class Parser {
     acl.id = id;
     acl.named = named;
     acl.extended_block = extended_block;
+    acl.line = line;
     acl.rules.push_back(std::move(rule));
     result_.config.access_lists.push_back(std::move(acl));
   }
@@ -452,6 +460,7 @@ class Parser {
       diag(line, "truncated access-list clause");
       return false;
     }
+    rule.line = line.number;
     if (iequals(t[action_index], "permit")) {
       rule.action = FilterAction::kPermit;
     } else if (iequals(t[action_index], "deny")) {
@@ -635,6 +644,7 @@ class Parser {
     const auto& t = head.tokens;
     const std::string name(t[1]);
     RouteMapClause clause;
+    clause.line = head.number;
     if (t.size() >= 3 && iequals(t[2], "deny")) {
       clause.action = FilterAction::kDeny;
     }
@@ -708,6 +718,7 @@ class Parser {
       return;
     }
     StaticRoute route;
+    route.line = line.number;
     route.destination = *dest;
     route.mask = *mask;
     if (const auto nh = ip::Ipv4Address::parse(t[4])) {
@@ -727,12 +738,32 @@ class Parser {
   ParseResult result_;
 };
 
+/// Scan the raw text for "! rdlint-disable <RDid>..." comments. Comments
+/// are dropped by the lexer, so suppressions are collected here, straight
+/// from the source. Ids are sorted and deduplicated.
+std::vector<std::string> collect_suppressions(std::string_view text) {
+  std::vector<std::string> ids;
+  for (const auto raw : util::split_lines(text)) {
+    const auto body = util::trim(raw);
+    if (body.empty() || body[0] != '!') continue;
+    const auto tokens = util::split_ws(body.substr(1));
+    if (tokens.empty() || !iequals(tokens[0], "rdlint-disable")) continue;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      ids.emplace_back(tokens[i]);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
 }  // namespace
 
 ParseResult parse_config(std::string_view text, std::string_view source_file) {
   Parser parser(text);
   ParseResult result = parser.run(source_file);
   result.config.line_count = count_command_lines(text);
+  result.config.lint_suppressions = collect_suppressions(text);
   if (result.config.hostname.empty()) {
     result.config.hostname = std::string(source_file);
   }

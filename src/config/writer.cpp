@@ -254,6 +254,11 @@ std::string write_config(const RouterConfig& config) {
       "service password-encryption\n"
       "!\n";
   out += "hostname " + config.hostname + "\n!\n";
+  if (!config.lint_suppressions.empty()) {
+    out += "! rdlint-disable";
+    for (const auto& id : config.lint_suppressions) out += ' ' + id;
+    out += "\n!\n";
+  }
   out +=
       "boot system flash\n"
       "enable secret 5 $1$ yJxd3pqT3BrJ\n"

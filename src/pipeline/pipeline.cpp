@@ -5,9 +5,8 @@
 
 #include "analysis/archetype.h"
 #include "analysis/census.h"
-#include "analysis/consistency.h"
-#include "analysis/lint.h"
 #include "analysis/reachability.h"
+#include "analysis/rules.h"
 #include "config/parser.h"
 #include "graph/dot.h"
 #include "graph/instances.h"
@@ -178,9 +177,21 @@ NetworkReport analyze_network(const std::string& name,
   const auto ig = graph::InstanceGraph::build(network);
   const auto classification = analysis::classify_design(network, ig.set);
   const auto census = analysis::interface_census(network);
-  const auto consistency = analysis::check_consistency(network);
-  const auto lint = analysis::lint_network(network);
+  // One engine run covers the consistency and lint sections below plus the
+  // vulnerability and cross-router rules; the registry is immutable and
+  // shared across the (possibly concurrent) per-network tasks.
+  static const auto engine = analysis::RuleEngine::with_default_rules();
+  const auto rules_result = engine.run(network, ig);
   const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
+
+  const auto category_of = [&](const analysis::Finding& f) -> std::string {
+    const auto* info = engine.find(f.rule_id);
+    return info != nullptr ? info->category : std::string();
+  };
+  const auto name_of = [&](const analysis::Finding& f) -> std::string {
+    const auto* info = engine.find(f.rule_id);
+    return info != nullptr ? info->name : std::string();
+  };
 
   NetworkReport report;
   report.name = name;
@@ -188,8 +199,13 @@ NetworkReport analyze_network(const std::string& name,
   report.routers = network.router_count();
   report.links = network.links().size();
   report.instances = ig.set.instances.size();
-  report.consistency_findings = consistency.size();
-  report.lint_findings = lint.size();
+  report.rule_findings = rules_result.findings.size();
+  report.rule_errors = rules_result.errors;
+  for (const auto& finding : rules_result.findings) {
+    const auto category = category_of(finding);
+    if (category == "consistency") ++report.consistency_findings;
+    if (category == "lint") ++report.lint_findings;
+  }
 
   auto root = Json::object();
   root.set("name", name);
@@ -244,25 +260,45 @@ NetworkReport analyze_network(const std::string& name,
   design.set("internal_ebgp", classification.features.internal_ebgp_sessions);
   root.set("design", std::move(design));
 
+  // The consistency and lint sections keep their pre-engine shape (kind
+  // strings equal the rule names), now derived from the unified run so
+  // rdlint-disable suppressions apply here too.
   auto consistency_json = Json::array();
-  for (const auto& finding : consistency) {
+  for (const auto& finding : rules_result.findings) {
+    if (category_of(finding) != "consistency") continue;
     auto f = Json::object();
-    f.set("kind", std::string(analysis::to_string(finding.kind)));
-    f.set("router_a", uid(finding.router_a));
+    f.set("kind", name_of(finding));
+    f.set("router_a", uid(finding.router));
     f.set("router_b", uid(finding.router_b));
     f.set("detail", finding.detail);
+    if (finding.where.line != 0) f.set("line", finding.where.line);
     consistency_json.push_back(std::move(f));
   }
   root.set("consistency", std::move(consistency_json));
 
   std::map<std::string, std::size_t> lint_by_kind;
-  for (const auto& finding : lint) {
-    ++lint_by_kind[std::string(analysis::to_string(finding.kind))];
+  for (const auto& finding : rules_result.findings) {
+    if (category_of(finding) == "lint") ++lint_by_kind[name_of(finding)];
   }
   auto lint_json = Json::object();
-  lint_json.set("total", lint.size());
+  lint_json.set("total", report.lint_findings);
   for (const auto& [kind, count] : lint_by_kind) lint_json.set(kind, count);
   root.set("lint", std::move(lint_json));
+
+  // The unified design-rule summary (per-rule counts; full findings with
+  // provenance are the rdlint CLI's output).
+  auto rules_json = Json::object();
+  rules_json.set("total", rules_result.findings.size());
+  rules_json.set("errors", rules_result.errors);
+  rules_json.set("warnings", rules_result.warnings);
+  rules_json.set("info", rules_result.infos);
+  rules_json.set("suppressed", rules_result.suppressed);
+  std::map<std::string, std::size_t> by_rule;
+  for (const auto& finding : rules_result.findings) ++by_rule[finding.rule_id];
+  auto by_rule_json = Json::object();
+  for (const auto& [rule, count] : by_rule) by_rule_json.set(rule, count);
+  rules_json.set("by_rule", std::move(by_rule_json));
+  root.set("rules", std::move(rules_json));
 
   std::size_t internet_reaching = 0;
   std::size_t external_routes = 0;

@@ -69,6 +69,10 @@ struct NetworkReport {
   std::size_t instances = 0;
   std::size_t consistency_findings = 0;
   std::size_t lint_findings = 0;
+  /// All design-rule findings (suppressions applied) and the subset with
+  /// error severity — the CLI exit-code gate.
+  std::size_t rule_findings = 0;
+  std::size_t rule_errors = 0;
   std::size_t parse_diagnostics = 0;
   std::size_t internet_reaching_instances = 0;
   std::string json;

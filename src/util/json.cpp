@@ -139,4 +139,279 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+const Json* Json::get(std::string_view key) const noexcept {
+  const auto* object = std::get_if<Object>(&value_);
+  if (object == nullptr) return nullptr;
+  for (const auto& [existing, value] : object->members) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const Json* Json::at(std::size_t index) const noexcept {
+  const auto* array = std::get_if<Array>(&value_);
+  if (array == nullptr || index >= array->elements.size()) return nullptr;
+  return &array->elements[index];
+}
+
+double Json::number_or(double fallback) const noexcept {
+  if (const auto* i = std::get_if<long long>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  return fallback;
+}
+
+long long Json::int_or(long long fallback) const noexcept {
+  if (const auto* i = std::get_if<long long>(&value_)) return *i;
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return static_cast<long long>(*d);
+  }
+  return fallback;
+}
+
+bool Json::bool_or(bool fallback) const noexcept {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  return fallback;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view cursor.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) noexcept {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) noexcept {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    if (depth_ > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        return std::nullopt;
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        return std::nullopt;
+      case 'n':
+        if (consume_literal("null")) return Json();
+        return std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    auto object = Json::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return object;
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      object.set(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return object;
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    auto array = Json::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return array;
+    }
+    while (true) {
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return array;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the code point (BMP only; no surrogate pairing).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return std::nullopt;
+    if (integral) {
+      long long value = 0;
+      const auto res =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (res.ec == std::errc{} && res.ptr == token.data() + token.size()) {
+        return Json(value);
+      }
+      // Overflow: fall through to double.
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    return Json(value);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return JsonReader(text).run();
+}
+
 }  // namespace rd::util

@@ -3,15 +3,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 namespace rd::util {
 
-/// Minimal JSON value and serializer (no external dependencies): enough for
-/// exporting analysis reports to downstream tooling. Construction only —
-/// this is an emitter, not a parser.
+/// Minimal JSON value, serializer, and parser (no external dependencies):
+/// enough for exporting analysis reports to downstream tooling and for
+/// reading those reports back (rdlint --baseline).
 class Json {
  public:
   Json() : value_(nullptr) {}                        // null
@@ -44,13 +46,46 @@ class Json {
   /// with that many spaces per level.
   std::string dump(int indent = -1) const;
 
+  /// Parse a complete JSON document. Returns std::nullopt on malformed
+  /// input (including trailing garbage). Numbers without '.', 'e', or a
+  /// fraction parse as integers; "\uXXXX" escapes are decoded to UTF-8
+  /// (surrogate pairs unsupported — they parse as two replacement-free
+  /// 3-byte sequences, fine for the ASCII reports this repo emits).
+  static std::optional<Json> parse(std::string_view text);
+
   bool is_array() const noexcept {
     return std::holds_alternative<Array>(value_);
   }
   bool is_object() const noexcept {
     return std::holds_alternative<Object>(value_);
   }
+  bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  bool is_number() const noexcept {
+    return std::holds_alternative<long long>(value_) ||
+           std::holds_alternative<double>(value_);
+  }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
   std::size_t size() const noexcept;
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const Json* get(std::string_view key) const noexcept;
+  /// Array element access; nullptr when not an array or out of range.
+  const Json* at(std::size_t index) const noexcept;
+  /// The string value, or nullptr when not a string.
+  const std::string* if_string() const noexcept {
+    return std::get_if<std::string>(&value_);
+  }
+  /// Numeric value widened to double; `fallback` when not a number.
+  double number_or(double fallback) const noexcept;
+  /// Integer value; doubles are truncated; `fallback` when not a number.
+  long long int_or(long long fallback) const noexcept;
+  /// Boolean value, or `fallback` when not a bool.
+  bool bool_or(bool fallback) const noexcept;
 
  private:
   struct Array {

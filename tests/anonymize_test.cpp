@@ -4,13 +4,17 @@
 
 #include "anonymize/anonymizer.h"
 #include "anonymize/ipanon.h"
-#include "anonymize/sha1.h"
 #include "config/lexer.h"
 #include "testutil.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
 namespace rd::anonymize {
+
+using util::Sha1;
+using util::base62_token;
+
 namespace {
 
 // --- SHA-1 (RFC 3174 / FIPS 180 test vectors) --------------------------------

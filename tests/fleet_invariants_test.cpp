@@ -6,6 +6,7 @@
 
 #include "analysis/ibgp.h"
 #include "analysis/ospf_areas.h"
+#include "analysis/rules.h"
 #include "analysis/whatif.h"
 #include "graph/address_space.h"
 #include "graph/instances.h"
@@ -136,6 +137,27 @@ TEST_F(FleetInvariants, ArticulationAnalysisRunsEverywhere) {
       EXPECT_TRUE(std::find(routers.begin(), routers.end(), cut.router) !=
                   routers.end())
           << entry.name;
+    }
+  }
+}
+
+TEST_F(FleetInvariants, NoErrorSeverityDesignRuleFindings) {
+  // Warnings and info findings are expected (the generators deliberately
+  // leave §8-style design smells in place), but an error-severity finding
+  // means a generator emitted a broken network — the same contract the
+  // example demos rely on to exit 0.
+  const auto engine = analysis::RuleEngine::with_default_rules();
+  for (const auto& entry : *entries_) {
+    const auto result = engine.run(entry.network);
+    EXPECT_EQ(result.errors, 0u) << entry.name;
+    if (result.errors != 0) {
+      for (const auto& f : result.findings) {
+        if (f.severity == analysis::Severity::kError) {
+          ADD_FAILURE() << entry.name << ": " << f.rule_id << " "
+                        << f.router_name << " " << f.subject << ": "
+                        << f.detail;
+        }
+      }
     }
   }
 }

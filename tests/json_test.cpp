@@ -115,5 +115,93 @@ TEST(Json, TypeErrorsThrow) {
   EXPECT_THROW(Json(1).push_back(1), std::logic_error);
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_EQ(Json::parse("true")->bool_or(false), true);
+  EXPECT_EQ(Json::parse("false")->bool_or(true), false);
+  EXPECT_EQ(Json::parse("42")->int_or(0), 42);
+  EXPECT_EQ(Json::parse("-7")->int_or(0), -7);
+  EXPECT_EQ(*Json::parse("\"hi\"")->if_string(), "hi");
+  EXPECT_EQ(Json::parse("  42  ")->int_or(0), 42);  // surrounding whitespace
+}
+
+TEST(JsonParse, IntegerVersusDouble) {
+  // Numbers without '.', 'e', or a fraction stay integers (so a reparsed
+  // report dumps back byte-identically); the rest widen to double.
+  EXPECT_EQ(Json::parse("42")->dump(), "42");
+  EXPECT_EQ(Json::parse("2.5")->number_or(0), 2.5);
+  EXPECT_EQ(Json::parse("1e2")->number_or(0), 100.0);
+  EXPECT_EQ(Json::parse("-0.25")->number_or(0), -0.25);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(*Json::parse(R"("a\"b\\c\/d\n\t")")->if_string(), "a\"b\\c/d\n\t");
+  // \uXXXX decodes to UTF-8: U+0041 'A' (1 byte), U+00E9 'é' (2 bytes),
+  // U+00A7 '§' as emitted in the rules' paper citations.
+  EXPECT_EQ(*Json::parse("\"\\u0041\"")->if_string(), "A");
+  EXPECT_EQ(*Json::parse("\"\\u00e9\"")->if_string(), "\xc3\xa9");
+  EXPECT_EQ(*Json::parse("\"\\u00a75.2\"")->if_string(), "\xc2\xa7"
+                                                         "5.2");
+}
+
+TEST(JsonParse, Structures) {
+  const auto doc = Json::parse(
+      R"({"name": "rdlint", "count": 2, "items": [1, {"x": true}], "none": null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(*doc->get("name")->if_string(), "rdlint");
+  EXPECT_EQ(doc->get("count")->int_or(0), 2);
+  const auto* items = doc->get("items");
+  ASSERT_TRUE(items != nullptr && items->is_array());
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_EQ(items->at(0)->int_or(0), 1);
+  EXPECT_EQ(items->at(1)->get("x")->bool_or(false), true);
+  EXPECT_EQ(items->at(2), nullptr);  // out of range
+  EXPECT_TRUE(doc->get("none")->is_null());
+  EXPECT_EQ(doc->get("absent"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsItsOwnOutput) {
+  auto root = Json::object();
+  root.set("a", 1);
+  root.set("b", "two\nlines");
+  auto array = Json::array();
+  array.push_back(Json());
+  array.push_back(true);
+  array.push_back(2.5);
+  root.set("c", std::move(array));
+  for (const int indent : {-1, 0, 2}) {
+    const auto text = root.dump(indent);
+    const auto reparsed = Json::parse(text);
+    ASSERT_TRUE(reparsed.has_value()) << text;
+    EXPECT_EQ(reparsed->dump(indent), text);
+  }
+}
+
+TEST(JsonParse, MalformedInputReturnsNullopt) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("   ").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("truth").has_value());
+  EXPECT_FALSE(Json::parse("nan").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());       // trailing garbage
+  EXPECT_FALSE(Json::parse("{} extra").has_value());  // trailing garbage
+}
+
+TEST(JsonParse, DepthGuardRejectsDeepNesting) {
+  // 256 levels are fine; a pathological 10k-deep document must fail
+  // cleanly instead of overflowing the stack.
+  const std::string deep(10000, '[');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+  std::string balanced;
+  for (int i = 0; i < 100; ++i) balanced += '[';
+  balanced += "1";
+  for (int i = 0; i < 100; ++i) balanced += ']';
+  EXPECT_TRUE(Json::parse(balanced).has_value());
+}
+
 }  // namespace
 }  // namespace rd::util
