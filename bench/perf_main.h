@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared entry point for the perf_* benchmark binaries, adding a `--check`
+// smoke mode: each registered benchmark runs for a single iteration, which
+// is enough for ctest to prove the benchmark code still compiles and runs
+// (see bench/CMakeLists.txt's perf_*_check tests) without paying
+// measurement-grade repetition. `--check` maps onto
+// `--benchmark_min_time=0`, which the bundled google-benchmark (1.7.x)
+// treats as "stop after the first iteration".
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rd::bench {
+
+inline int perf_main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0";
+  bool check = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--check") == 0) {
+      check = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (check) args.push_back(min_time.data());
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rd::bench
+
+#define RD_PERF_MAIN                                  \
+  int main(int argc, char** argv) {                   \
+    return ::rd::bench::perf_main(argc, argv);        \
+  }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "perf_main.h"
+
 #include "analysis/egress.h"
 #include "analysis/ibgp.h"
 #include "analysis/reachability.h"
@@ -480,4 +482,4 @@ BENCHMARK(BM_PathwayAllRouters);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RD_PERF_MAIN

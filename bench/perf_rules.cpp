@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "perf_main.h"
+
 #include "analysis/rules.h"
 #include "config/parser.h"
 #include "config/writer.h"
@@ -99,4 +101,4 @@ const int kRegistered = [] {
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RD_PERF_MAIN

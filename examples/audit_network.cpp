@@ -264,20 +264,38 @@ int main(int argc, char** argv) {
                 network.routers()[cuts[i].router].hostname.c_str(),
                 cuts[i].instance + 1);
   }
-  if (!cuts.empty()) {
-    const auto impact = analysis::simulate_router_failure(
-        network, ig.set, {cuts.front().router});
-    std::printf("simulated failure of %s: instances %zu -> %zu, "
-                "fragmented: %zu, severed exchange pairs: %zu\n",
-                network.routers()[cuts.front().router].hostname.c_str(),
-                impact.instances_before, impact.instances_after,
-                impact.fragmented_instances.size(),
-                impact.severed_instance_pairs);
+  // Sweep every interesting single failure — articulation routers plus
+  // sole redistribution points — with one degraded-network reachability
+  // fixpoint per scenario, fanned out across the pool (results identical
+  // at every thread count).
+  util::ThreadPool pool(options.threads);
+  const auto scenarios = analysis::single_failure_scenarios(network, ig);
+  if (!scenarios.empty()) {
+    const auto impacts = analysis::sweep_failure_scenarios(
+        network, ig.set, scenarios, {}, pool);
+    // No thread count in the line: output is byte-identical at every
+    // --threads value, and this report is diffed to prove it.
+    std::printf("single-failure sweep: %zu scenarios\n", impacts.size());
+    for (std::size_t i = 0; i < impacts.size() && i < 5; ++i) {
+      const auto& impact = impacts[i];
+      std::printf("  %s: instances %zu -> %zu, fragmented: %zu, "
+                  "reaching internet: %zu, announced: %zu%s\n",
+                  impact.scenario.name.c_str(),
+                  impact.structural.instances_before,
+                  impact.structural.instances_after,
+                  impact.structural.fragmented_instances.size(),
+                  impact.instances_reaching_internet,
+                  impact.announced_externally,
+                  impact.reachability_converged ? "" : " (NOT CONVERGED)");
+    }
   }
 
   // --- Route load (paper §2.3 / §6.2) ----------------------------------------
   std::printf("\n=== Route load ===\n");
   const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
+  if (const auto warning = reach.convergence_warning(); !warning.empty()) {
+    std::printf("%s\n", warning.c_str());
+  }
   const auto ribs = analysis::RouterRibAnalysis::run(network, ig.set, reach);
   const auto sizes = ribs.rib_sizes();
   std::size_t max_rib = 0;
@@ -298,7 +316,6 @@ int main(int argc, char** argv) {
   // cross-router rules, unified under one registry with provenance) -----------
   std::printf("\n=== Design rules ===\n");
   const auto engine = analysis::RuleEngine::with_default_rules();
-  util::ThreadPool pool(options.threads);
   const auto rules = engine.run(network, ig, pool);
   std::printf("findings: %zu (%zu errors, %zu warnings, %zu info), "
               "suppressed: %zu\n",

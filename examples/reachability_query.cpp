@@ -7,6 +7,9 @@
 //   reachability_query                       # query the net15 case study
 //   reachability_query <config-dir>          # your own network
 //   reachability_query <config-dir> A B      # two-way reachability of A, B
+//   reachability_query --naive ...           # use the reference full-rescan
+//                                            # engine (identical results,
+//                                            # asymptotically slower)
 
 #include <cstdio>
 #include <cstring>
@@ -41,8 +44,16 @@ int main(int argc, char** argv) {
 
   std::vector<config::RouterConfig> configs;
   analysis::ReachabilityAnalysis::Options options;
-  if (argc > 1) {
-    configs = synth::load_network(argv[1]);
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--naive") == 0) {
+      options.engine = analysis::ReachabilityAnalysis::Engine::kNaive;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) {
+    configs = synth::load_network(positional[0]);
   } else {
     configs = synth::reparse(synth::make_net15().configs);
     const auto plan = synth::net15_plan();
@@ -60,11 +71,14 @@ int main(int argc, char** argv) {
   const auto instances = graph::compute_instances(network);
   const auto reach =
       analysis::ReachabilityAnalysis::run(network, instances, options);
+  if (const auto warning = reach.convergence_warning(); !warning.empty()) {
+    std::fprintf(stderr, "%s\n", warning.c_str());
+  }
 
   // Optional query: two addresses.
-  if (argc > 3) {
-    const auto a = ip::Ipv4Address::parse(argv[2]);
-    const auto b = ip::Ipv4Address::parse(argv[3]);
+  if (positional.size() > 2) {
+    const auto a = ip::Ipv4Address::parse(positional[1]);
+    const auto b = ip::Ipv4Address::parse(positional[2]);
     if (!a || !b) {
       std::fprintf(stderr, "bad addresses\n");
       return 1;
@@ -76,13 +90,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::printf("%s is attached to instance %lld; %s to instance %lld\n",
-                argv[2], static_cast<long long>(ia + 1), argv[3],
+                positional[1], static_cast<long long>(ia + 1), positional[2],
                 static_cast<long long>(ib + 1));
-    std::printf("%s -> %s: %s\n", argv[2], argv[3],
+    std::printf("%s -> %s: %s\n", positional[1], positional[2],
                 reach.instance_has_route_to(static_cast<std::uint32_t>(ia), *b)
                     ? "route present"
                     : "NO ROUTE");
-    std::printf("%s -> %s: %s\n", argv[3], argv[2],
+    std::printf("%s -> %s: %s\n", positional[2], positional[1],
                 reach.instance_has_route_to(static_cast<std::uint32_t>(ib), *a)
                     ? "route present"
                     : "NO ROUTE");
@@ -122,7 +136,7 @@ int main(int argc, char** argv) {
   }
 
   // The net15 demo question: can the two host blocks talk?
-  if (argc <= 1) {
+  if (positional.empty()) {
     const auto plan = synth::net15_plan();
     const auto a = ip::Ipv4Address(plan.ab2.network().value() + 257);
     const auto b = ip::Ipv4Address(plan.ab4.network().value() + 257);

@@ -4,9 +4,10 @@
 
 namespace rd::analysis {
 
-EgressAnalysis EgressAnalysis::run(
-    const model::Network& network, const graph::InstanceSet& instances,
-    const ReachabilityAnalysis::Options& base) {
+EgressAnalysis EgressAnalysis::run(const model::Network& network,
+                                   const graph::InstanceSet& instances,
+                                   const ReachabilityAnalysis::Options& base,
+                                   util::ThreadPool& pool) {
   EgressAnalysis out;
   out.per_instance_.resize(instances.instances.size());
 
@@ -25,17 +26,35 @@ EgressAnalysis EgressAnalysis::run(
                            network.interfaces()[ext.interface].name});
   }
 
-  for (const auto& point : out.points_) {
-    ReachabilityAnalysis::Options options = base;
-    options.active_external_endpoints = std::set<std::size_t>{point.index};
-    const auto reach = ReachabilityAnalysis::run(network, instances, options);
-    for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
-      if (reach.external_route_count(i) > 0) {
-        out.per_instance_[i].push_back(point.index);
-      }
+  // One fixpoint per point (only that point injects routes), in parallel;
+  // the merge below walks the per-point results in point order, so the
+  // instance->points lists come out identical at any thread count.
+  const auto reached = util::parallel_map(
+      pool, out.points_, [&](const EgressPoint& point) {
+        ReachabilityAnalysis::Options options = base;
+        options.active_external_endpoints =
+            std::vector<std::size_t>{point.index};
+        const auto reach =
+            ReachabilityAnalysis::run(network, instances, options);
+        std::vector<std::uint32_t> with_routes;
+        for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+          if (reach.external_route_count(i) > 0) with_routes.push_back(i);
+        }
+        return with_routes;
+      });
+  for (std::size_t p = 0; p < out.points_.size(); ++p) {
+    for (const std::uint32_t i : reached[p]) {
+      out.per_instance_[i].push_back(out.points_[p].index);
     }
   }
   return out;
+}
+
+EgressAnalysis EgressAnalysis::run(const model::Network& network,
+                                   const graph::InstanceSet& instances,
+                                   const ReachabilityAnalysis::Options& base) {
+  util::ThreadPool pool;
+  return run(network, instances, base, pool);
 }
 
 std::vector<std::size_t> EgressAnalysis::router_egress(

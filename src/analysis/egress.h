@@ -7,6 +7,7 @@
 #include "analysis/reachability.h"
 #include "graph/instances.h"
 #include "model/network.h"
+#include "util/thread_pool.h"
 
 namespace rd::analysis {
 
@@ -27,6 +28,13 @@ class EgressAnalysis {
     std::string description;  // neighbor address or interface name
   };
 
+  /// One independent fixpoint per point, fanned out across `pool`; the
+  /// per-point results merge in point order, so output is identical at any
+  /// thread count.
+  static EgressAnalysis run(const model::Network& network,
+                            const graph::InstanceSet& instances,
+                            const ReachabilityAnalysis::Options& base,
+                            util::ThreadPool& pool);
   static EgressAnalysis run(const model::Network& network,
                             const graph::InstanceSet& instances,
                             const ReachabilityAnalysis::Options& base);

@@ -1,6 +1,11 @@
 #include "analysis/reachability.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+#include "util/rng.h"
 
 namespace rd::analysis {
 
@@ -15,6 +20,8 @@ struct SessionPolicy {
   const config::BgpNeighbor* neighbor = nullptr;
 };
 
+/// Interpreting evaluation (the kNaive oracle path): named filters are
+/// re-resolved in the owning config on every call.
 bool session_permits(const SessionPolicy& policy, bool inbound,
                      const Route& route) {
   if (policy.config == nullptr || policy.neighbor == nullptr) return true;
@@ -54,54 +61,76 @@ bool stanza_permits(const config::RouterConfig& config,
   return true;
 }
 
-}  // namespace
+// --- Shared problem discovery ------------------------------------------------
+//
+// Both engines evaluate the same propagation rules; the Problem struct is
+// the rule set resolved once — seeds, edges, endpoints — so the engines
+// differ only in evaluation strategy.
 
-ReachabilityAnalysis ReachabilityAnalysis::run(
-    const model::Network& network, const graph::InstanceSet& instances,
-    const Options& options) {
-  ReachabilityAnalysis analysis;
-  const std::size_t n = instances.instances.size();
-  analysis.routes_.resize(n);
+struct InternalFlow {
+  std::uint32_t from_instance = 0;
+  std::uint32_t to_instance = 0;
+  SessionPolicy sender_out;  // policy at the sending end
+  SessionPolicy receiver_in;
+};
 
-  // --- External offer universe: default route + policy-mentioned prefixes
-  // + caller-supplied prefixes. Internal subnets are excluded so external
-  // origin stays meaningful.
-  analysis.external_origin_.insert(ip::Prefix(ip::Ipv4Address(0u), 0));
-  for (const auto& config : network.routers()) {
-    for (const auto& acl : config.access_lists) {
-      for (const auto& rule : acl.rules) {
-        if (rule.action != config::FilterAction::kPermit) continue;
-        if (!rule.any_source && !rule.extended) {
-          analysis.external_origin_.insert(rule.source);
-        }
-      }
-    }
-    for (const auto& pl : config.prefix_lists) {
-      for (const auto& entry : pl.entries) {
-        if (entry.action == config::FilterAction::kPermit) {
-          analysis.external_origin_.insert(entry.prefix);
-        }
-      }
-    }
+struct ExternalEndpoint {
+  std::uint32_t instance = 0;
+  SessionPolicy policy;
+};
+
+/// External IGP adjacencies also exchange routes with the world; stanza
+/// distribute-lists are their only policy hook.
+struct ExternalIgpEndpoint {
+  std::uint32_t instance = 0;
+  const config::RouterConfig* config = nullptr;
+  const config::RouterStanza* stanza = nullptr;
+};
+
+struct AggregatePoint {
+  std::uint32_t instance = 0;
+  ip::Prefix prefix;
+};
+
+/// A kProcess redistribution edge with its policy context resolved.
+struct RedistEdge {
+  std::uint32_t from_instance = 0;
+  std::uint32_t to_instance = 0;
+  const config::RouterConfig* config = nullptr;
+  const config::RouterStanza* stanza = nullptr;  // target stanza
+  const std::optional<std::string>* route_map = nullptr;
+};
+
+struct Problem {
+  std::size_t instance_count = 0;
+  std::size_t max_iterations = 0;
+  std::vector<std::size_t> instance_process_counts;
+  std::vector<std::pair<std::uint32_t, Route>> seeds;  // origination + local RIB
+  std::vector<Route> universe;  // external offers, ascending by prefix
+  std::vector<InternalFlow> flows;
+  std::vector<ExternalEndpoint> external_endpoints;
+  std::vector<ExternalIgpEndpoint> external_igp_endpoints;
+  std::vector<AggregatePoint> aggregate_points;
+  std::vector<RedistEdge> redist_edges;
+};
+
+Problem discover(const model::Network& network,
+                 const graph::InstanceSet& instances,
+                 const ReachabilityAnalysis::Options& options,
+                 const std::set<ip::Prefix>& external_origin) {
+  Problem problem;
+  problem.instance_count = instances.instances.size();
+  problem.max_iterations = options.max_iterations;
+  problem.instance_process_counts.reserve(problem.instance_count);
+  for (const auto& instance : instances.instances) {
+    problem.instance_process_counts.push_back(instance.processes.size());
   }
-  for (const auto& prefix : options.external_prefixes) {
-    analysis.external_origin_.insert(prefix);
-  }
-  // Remove prefixes that are actually internal subnets.
-  for (auto it = analysis.external_origin_.begin();
-       it != analysis.external_origin_.end();) {
-    if (it->length() > 0 && network.address_is_internal(it->network())) {
-      it = analysis.external_origin_.erase(it);
-    } else {
-      ++it;
-    }
+  problem.universe.reserve(external_origin.size());
+  for (const auto& prefix : external_origin) {
+    problem.universe.push_back({prefix, std::nullopt});
   }
 
-  auto add_route = [&](std::uint32_t instance, const Route& route) {
-    return analysis.routes_[instance].insert(route).second;
-  };
-
-  // --- Origination.
+  // --- Origination seeds.
   for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
     const auto& process = network.processes()[p];
     const std::uint32_t inst = instances.instance_of[p];
@@ -110,12 +139,13 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     if (config::is_conventional_igp(process.protocol)) {
       for (const model::InterfaceId i : process.covered_interfaces) {
         if (network.interfaces()[i].subnet) {
-          add_route(inst, {*network.interfaces()[i].subnet, std::nullopt});
+          problem.seeds.emplace_back(
+              inst, Route{*network.interfaces()[i].subnet, std::nullopt});
         }
       }
     } else {
       for (const auto& ns : stanza.networks) {
-        add_route(inst, {ns.prefix(), std::nullopt});
+        problem.seeds.emplace_back(inst, Route{ns.prefix(), std::nullopt});
       }
     }
   }
@@ -151,22 +181,15 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
         const auto* rm = config.find_route_map(*command.route_map);
         if (rm != nullptr) {
           const auto verdict = model::route_map_evaluate(*rm, config, route);
-          if (verdict.permitted) add_route(inst, verdict.route);
+          if (verdict.permitted) problem.seeds.emplace_back(inst, verdict.route);
           continue;
         }
       }
-      add_route(inst, route);
+      problem.seeds.emplace_back(inst, route);
     }
   }
 
-  // --- Pre-resolve session policies for internal sessions.
-  struct InternalFlow {
-    std::uint32_t from_instance;
-    std::uint32_t to_instance;
-    SessionPolicy sender_out;  // policy at the sending end
-    SessionPolicy receiver_in;
-  };
-  std::vector<InternalFlow> flows;
+  // --- Internal EBGP session flows.
   for (const auto& session : network.bgp_sessions()) {
     if (session.external() || !session.ebgp()) continue;
     // Flow into the configuring endpoint: remote instance -> local instance.
@@ -200,19 +223,19 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
         break;
       }
     }
-    flows.push_back(flow);
+    problem.flows.push_back(flow);
   }
 
   // --- External session endpoints (for injection and announcement).
-  struct ExternalEndpoint {
-    std::uint32_t instance;
-    SessionPolicy policy;
-  };
-  std::vector<ExternalEndpoint> external_endpoints;
+  std::vector<std::size_t> active;
+  if (options.active_external_endpoints) {
+    active = *options.active_external_endpoints;
+    std::sort(active.begin(), active.end());
+  }
   std::size_t endpoint_index = 0;
   auto endpoint_active = [&](std::size_t index) {
     return !options.active_external_endpoints ||
-           options.active_external_endpoints->contains(index);
+           std::binary_search(active.begin(), active.end(), index);
   };
   for (const auto& session : network.bgp_sessions()) {
     if (!session.external()) continue;
@@ -221,57 +244,80 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     const auto& process = network.processes()[session.local_process];
     const auto& config = network.routers()[process.router];
     const auto& stanza = config.router_stanzas[process.stanza_index];
-    external_endpoints.push_back(
+    problem.external_endpoints.push_back(
         {instances.instance_of[session.local_process],
          {&config, &stanza.neighbors[session.neighbor_index]}});
   }
-  // External IGP adjacencies also exchange routes with the world; stanza
-  // distribute-lists are their only policy hook.
-  struct ExternalIgpEndpoint {
-    std::uint32_t instance;
-    const config::RouterConfig* config;
-    const config::RouterStanza* stanza;
-  };
-  std::vector<ExternalIgpEndpoint> external_igp_endpoints;
   for (const auto& ext : network.external_igp_adjacencies()) {
     const std::size_t index = endpoint_index++;
     if (!endpoint_active(index)) continue;
     const auto& process = network.processes()[ext.process];
     const auto& config = network.routers()[process.router];
-    external_igp_endpoints.push_back(
+    problem.external_igp_endpoints.push_back(
         {instances.instance_of[ext.process], &config,
          &config.router_stanzas[process.stanza_index]});
   }
 
   // --- BGP aggregation points ("aggregate-address", §3.1 summarization):
   // the summary originates once any contained more-specific is present.
-  struct AggregatePoint {
-    std::uint32_t instance;
-    ip::Prefix prefix;
-  };
-  std::vector<AggregatePoint> aggregate_points;
   for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
     const auto& process = network.processes()[p];
     if (process.protocol != config::RoutingProtocol::kBgp) continue;
     const auto& stanza = network.routers()[process.router]
                              .router_stanzas[process.stanza_index];
     for (const auto& aggregate : stanza.aggregates) {
-      aggregate_points.push_back(
+      problem.aggregate_points.push_back(
           {instances.instance_of[p], aggregate.prefix()});
     }
   }
 
-  // --- Fixpoint propagation.
+  // --- Inter-instance redistribution edges.
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = instances.instance_of[redist.source_process];
+    const std::uint32_t to = instances.instance_of[redist.target_process];
+    if (from == to) continue;
+    const auto& config = network.routers()[redist.router];
+    const auto& target = network.processes()[redist.target_process];
+    problem.redist_edges.push_back(
+        {from, to, &config, &config.router_stanzas[target.stanza_index],
+         &redist.route_map});
+  }
+  return problem;
+}
+
+// --- Engines -----------------------------------------------------------------
+
+struct FixpointResult {
+  std::vector<std::vector<Route>> routes;  // per instance, sorted
+  std::vector<Route> announced;            // sorted
+  std::size_t iterations = 0;
+  bool converged = true;
+};
+
+/// The original full-rescan evaluator, kept byte-for-byte in semantics as
+/// the differential oracle: std::set storage, interpreting policy
+/// evaluation, deep-copied source sets, a global `changed` flag.
+FixpointResult run_naive(const Problem& problem) {
+  FixpointResult result;
+  std::vector<std::set<Route>> sets(problem.instance_count);
+  auto add_route = [&](std::uint32_t instance, const Route& route) {
+    return sets[instance].insert(route).second;
+  };
+  for (const auto& [instance, route] : problem.seeds) {
+    add_route(instance, route);
+  }
+
   bool changed = true;
-  while (changed && analysis.iterations_ < options.max_iterations) {
+  while (changed && result.iterations < problem.max_iterations) {
     changed = false;
-    ++analysis.iterations_;
+    ++result.iterations;
 
     // Aggregation (suppression of more-specifics is not modeled — the
     // analysis stays an upper bound on reachability).
-    for (const auto& point : aggregate_points) {
+    for (const auto& point : problem.aggregate_points) {
       bool contained = false;
-      for (const auto& route : analysis.routes_[point.instance]) {
+      for (const auto& route : sets[point.instance]) {
         if (route.prefix != point.prefix &&
             point.prefix.contains(route.prefix)) {
           contained = true;
@@ -285,18 +331,16 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     }
 
     // External world -> instances.
-    for (const auto& endpoint : external_endpoints) {
-      for (const auto& prefix : analysis.external_origin_) {
-        const Route route{prefix, std::nullopt};
+    for (const auto& endpoint : problem.external_endpoints) {
+      for (const Route& route : problem.universe) {
         if (!session_permits(endpoint.policy, /*inbound=*/true, route)) {
           continue;
         }
         if (add_route(endpoint.instance, route)) changed = true;
       }
     }
-    for (const auto& endpoint : external_igp_endpoints) {
-      for (const auto& prefix : analysis.external_origin_) {
-        const Route route{prefix, std::nullopt};
+    for (const auto& endpoint : problem.external_igp_endpoints) {
+      for (const Route& route : problem.universe) {
         if (!stanza_permits(*endpoint.config, *endpoint.stanza,
                             /*inbound=*/true, route)) {
           continue;
@@ -306,9 +350,9 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     }
 
     // Internal EBGP flows.
-    for (const auto& flow : flows) {
+    for (const auto& flow : problem.flows) {
       // Copy: the source set may grow while we insert into the target.
-      const std::set<Route> source = analysis.routes_[flow.from_instance];
+      const std::set<Route> source = sets[flow.from_instance];
       for (const Route& route : source) {
         if (!session_permits(flow.sender_out, /*inbound=*/false, route)) {
           continue;
@@ -321,66 +365,543 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     }
 
     // Redistribution between instances.
-    for (const auto& redist : network.redistribution_edges()) {
-      if (redist.source_kind != model::RibKind::kProcess) continue;
-      const std::uint32_t from = instances.instance_of[redist.source_process];
-      const std::uint32_t to = instances.instance_of[redist.target_process];
-      if (from == to) continue;
-      const auto& config = network.routers()[redist.router];
-      const auto& target = network.processes()[redist.target_process];
-      const auto& stanza = config.router_stanzas[target.stanza_index];
-      const std::set<Route> source = analysis.routes_[from];
+    for (const auto& edge : problem.redist_edges) {
+      const std::set<Route> source = sets[edge.from_instance];
       for (const Route& route : source) {
         Route forwarded = route;
-        if (redist.route_map) {
-          const auto* rm = config.find_route_map(*redist.route_map);
+        if (*edge.route_map) {
+          const auto* rm = edge.config->find_route_map(**edge.route_map);
           if (rm != nullptr) {
-            const auto verdict = model::route_map_evaluate(*rm, config, route);
+            const auto verdict =
+                model::route_map_evaluate(*rm, *edge.config, route);
             if (!verdict.permitted) continue;
             forwarded = verdict.route;
           }
         }
-        if (!stanza_permits(config, stanza, /*inbound=*/false, forwarded)) {
+        if (!stanza_permits(*edge.config, *edge.stanza, /*inbound=*/false,
+                            forwarded)) {
           continue;
         }
-        if (add_route(to, forwarded)) changed = true;
+        if (add_route(edge.to_instance, forwarded)) changed = true;
+      }
+    }
+  }
+  result.converged = !changed;
+
+  // --- What the network announces to the world.
+  std::set<Route> announced;
+  for (const auto& endpoint : problem.external_endpoints) {
+    for (const Route& route : sets[endpoint.instance]) {
+      if (session_permits(endpoint.policy, /*inbound=*/false, route)) {
+        announced.insert(route);
+      }
+    }
+  }
+  for (const auto& endpoint : problem.external_igp_endpoints) {
+    for (const Route& route : sets[endpoint.instance]) {
+      if (stanza_permits(*endpoint.config, *endpoint.stanza,
+                         /*inbound=*/false, route)) {
+        announced.insert(route);
+      }
+    }
+  }
+  result.announced.assign(announced.begin(), announced.end());
+  result.routes.resize(problem.instance_count);
+  for (std::size_t i = 0; i < problem.instance_count; ++i) {
+    result.routes[i].assign(sets[i].begin(), sets[i].end());
+  }
+  return result;
+}
+
+/// One direction of a BGP session's policy chain, lowered to compiled
+/// matchers. Null members mean "permit" — absent filters and dangling name
+/// references alike, matching the interpreting path exactly.
+struct CompiledSessionDir {
+  const model::CompiledAclFilter* distribute_list = nullptr;
+  const model::CompiledPrefixList* prefix_list = nullptr;
+  const model::CompiledRouteMap* route_map = nullptr;
+
+  bool permits(const Route& route) const {
+    if (distribute_list && !distribute_list->permits_route(route)) {
+      return false;
+    }
+    if (prefix_list && !prefix_list->permits_route(route)) return false;
+    if (route_map && !route_map->evaluate(route).permitted) return false;
+    return true;
+  }
+};
+
+CompiledSessionDir compile_session_dir(model::PolicyCompiler& compiler,
+                                       const SessionPolicy& policy,
+                                       bool inbound) {
+  CompiledSessionDir out;
+  if (policy.config == nullptr || policy.neighbor == nullptr) return out;
+  const auto& dl = inbound ? policy.neighbor->distribute_list_in
+                           : policy.neighbor->distribute_list_out;
+  if (dl) out.distribute_list = compiler.acl(*policy.config, *dl);
+  const auto& pl = inbound ? policy.neighbor->prefix_list_in
+                           : policy.neighbor->prefix_list_out;
+  if (pl) out.prefix_list = compiler.prefix_list(*policy.config, *pl);
+  const auto& rm = inbound ? policy.neighbor->route_map_in
+                           : policy.neighbor->route_map_out;
+  if (rm) out.route_map = compiler.route_map(*policy.config, *rm);
+  return out;
+}
+
+/// Stanza distribute-lists of one direction; unresolvable ACL references
+/// permit (as distribute_list_permits does) and are simply dropped.
+struct CompiledStanzaDir {
+  std::vector<const model::CompiledAclFilter*> acls;
+
+  bool permits(const Route& route) const {
+    for (const auto* acl : acls) {
+      if (!acl->permits_route(route)) return false;
+    }
+    return true;
+  }
+};
+
+CompiledStanzaDir compile_stanza_dir(model::PolicyCompiler& compiler,
+                                     const config::RouterConfig& config,
+                                     const config::RouterStanza& stanza,
+                                     bool inbound) {
+  CompiledStanzaDir out;
+  for (const auto& dl : stanza.distribute_lists) {
+    if (dl.inbound != inbound) continue;
+    if (const auto* acl = compiler.acl(config, dl.acl)) out.acls.push_back(acl);
+  }
+  return out;
+}
+
+/// Open-addressed membership index over one instance's route log. Slots
+/// hold 1-based log positions, so the table owns no Route storage, probes
+/// stay in one flat allocation, and teardown is a single vector free —
+/// a node-based std::unordered_set spent measurable time on both counts.
+class RouteIndex {
+ public:
+  /// Size the table for `expected` entries up front, so bulk phases (the
+  /// external-universe injection in particular) skip the doubling
+  /// rehashes. Only honored while the table is still empty — resizing a
+  /// populated table would invalidate its probe sequences.
+  void reserve(std::size_t expected) {
+    if (count_ != 0) return;
+    std::size_t want = 16;
+    while (want * 3 < expected * 4) want *= 2;
+    if (want > slots_.size()) slots_.assign(want, 0);
+  }
+
+  /// True when `route` was absent; the caller must then append it to
+  /// `log`, which this call has already indexed at position log.size().
+  bool insert(const Route& route, const std::vector<Route>& log) {
+    if (slots_.empty()) {
+      slots_.resize(16, 0);
+    } else if ((count_ + 1) * 4 > slots_.size() * 3) {
+      grow(log);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = model::RouteHash{}(route) & mask;
+    while (slots_[i] != 0) {
+      if (log[slots_[i] - 1] == route) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = static_cast<std::uint32_t>(log.size()) + 1;
+    ++count_;
+    return true;
+  }
+
+ private:
+  void grow(const std::vector<Route>& log) {
+    std::vector<std::uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const std::size_t mask = slots_.size() - 1;
+    for (const std::uint32_t slot : old) {
+      if (slot == 0) continue;
+      std::size_t i = model::RouteHash{}(log[slot - 1]) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;
+  std::size_t count_ = 0;
+};
+
+/// The delta-driven evaluator: per-instance append-only route logs with a
+/// hashed membership index, per-edge cursors into the source log, and a
+/// dirty-instance worklist. Each edge evaluates each source route exactly
+/// once over the run, through policies compiled once up front.
+FixpointResult run_semi_naive(const Problem& problem,
+                              std::optional<std::uint64_t> shuffle_seed) {
+  FixpointResult result;
+  const std::size_t n = problem.instance_count;
+
+  // --- Compile every edge's policy chain. The compiler dedups by AST node,
+  // so edges sharing a policy share one compiled object — and one route-map
+  // verdict memo.
+  model::PolicyCompiler compiler;
+  struct CompiledFlow {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    CompiledSessionDir sender_out;
+    CompiledSessionDir receiver_in;
+  };
+  std::vector<CompiledFlow> flows;
+  flows.reserve(problem.flows.size());
+  for (const auto& flow : problem.flows) {
+    flows.push_back({flow.from_instance, flow.to_instance,
+                     compile_session_dir(compiler, flow.sender_out, false),
+                     compile_session_dir(compiler, flow.receiver_in, true)});
+  }
+  struct CompiledRedist {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    const model::CompiledRouteMap* route_map = nullptr;  // null: pass through
+    CompiledStanzaDir outbound;
+  };
+  std::vector<CompiledRedist> redists;
+  redists.reserve(problem.redist_edges.size());
+  for (const auto& edge : problem.redist_edges) {
+    CompiledRedist compiled;
+    compiled.from = edge.from_instance;
+    compiled.to = edge.to_instance;
+    if (*edge.route_map) {
+      compiled.route_map = compiler.route_map(*edge.config, **edge.route_map);
+    }
+    compiled.outbound =
+        compile_stanza_dir(compiler, *edge.config, *edge.stanza, false);
+    redists.push_back(std::move(compiled));
+  }
+  struct CompiledExternal {
+    std::uint32_t instance = 0;
+    CompiledSessionDir inbound;
+    CompiledSessionDir outbound;
+  };
+  std::vector<CompiledExternal> externals;
+  externals.reserve(problem.external_endpoints.size());
+  for (const auto& endpoint : problem.external_endpoints) {
+    externals.push_back({endpoint.instance,
+                         compile_session_dir(compiler, endpoint.policy, true),
+                         compile_session_dir(compiler, endpoint.policy, false)});
+  }
+  struct CompiledIgpExternal {
+    std::uint32_t instance = 0;
+    CompiledStanzaDir inbound;
+    CompiledStanzaDir outbound;
+  };
+  std::vector<CompiledIgpExternal> igp_externals;
+  igp_externals.reserve(problem.external_igp_endpoints.size());
+  for (const auto& endpoint : problem.external_igp_endpoints) {
+    igp_externals.push_back(
+        {endpoint.instance,
+         compile_stanza_dir(compiler, *endpoint.config, *endpoint.stanza, true),
+         compile_stanza_dir(compiler, *endpoint.config, *endpoint.stanza,
+                            false)});
+  }
+
+  // --- Route logs: append-only per instance, with an open-addressed
+  // membership index. Only instances that face the external world receive
+  // the offer universe, so only they reserve capacity for it; everyone
+  // gets a per-process route allowance so growth doesn't dominate.
+  std::vector<std::vector<Route>> log(n);
+  std::vector<RouteIndex> member(n);
+  std::vector<char> dirty(n, 0);
+  std::vector<char> faces_world(n, 0);
+  for (const auto& endpoint : externals) faces_world[endpoint.instance] = 1;
+  for (const auto& endpoint : igp_externals) faces_world[endpoint.instance] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t expected =
+        (faces_world[i] ? problem.universe.size() : 0) +
+        4 * problem.instance_process_counts[i];
+    log[i].reserve(expected);
+    member[i].reserve(expected);
+  }
+  auto add_route = [&](std::uint32_t instance, const Route& route) {
+    if (!member[instance].insert(route, log[instance])) return false;
+    log[instance].push_back(route);
+    dirty[instance] = 1;
+    return true;
+  };
+
+  for (const auto& [instance, route] : problem.seeds) {
+    add_route(instance, route);
+  }
+  // External injection happens exactly once: the offer universe and the
+  // inbound policies are constant, so re-offering every iteration (as the
+  // naïve loop does) can never add anything new after the first pass.
+  // Endpoints sharing an instance and a compiled chain are interchangeable
+  // here (identical offers, identical announcements below), so each
+  // distinct (instance, chain) pair is evaluated once.
+  std::set<std::tuple<std::uint32_t, const void*, const void*, const void*>>
+      seen_session;
+  auto session_seen = [&](std::uint32_t instance,
+                          const CompiledSessionDir& dir) {
+    return !seen_session
+                .insert({instance, dir.distribute_list, dir.prefix_list,
+                         dir.route_map})
+                .second;
+  };
+  std::set<std::pair<std::uint32_t,
+                     std::vector<const model::CompiledAclFilter*>>>
+      seen_stanza;
+  auto stanza_seen = [&](std::uint32_t instance,
+                         const CompiledStanzaDir& dir) {
+    return !seen_stanza.insert({instance, dir.acls}).second;
+  };
+  for (const auto& endpoint : externals) {
+    if (session_seen(endpoint.instance, endpoint.inbound)) continue;
+    for (const Route& route : problem.universe) {
+      if (endpoint.inbound.permits(route)) add_route(endpoint.instance, route);
+    }
+  }
+  for (const auto& endpoint : igp_externals) {
+    if (stanza_seen(endpoint.instance, endpoint.inbound)) continue;
+    for (const Route& route : problem.universe) {
+      if (endpoint.inbound.permits(route)) add_route(endpoint.instance, route);
+    }
+  }
+
+  // --- Edges grouped by source instance, each holding a cursor into the
+  // source log. An aggregation point is an edge from an instance to itself.
+  struct Edge {
+    enum class Kind : std::uint8_t { kFlow, kRedist, kAggregate };
+    Kind kind = Kind::kFlow;
+    std::size_t index = 0;   // into flows / redists / aggregate_points
+    std::size_t cursor = 0;  // first unseen entry of the source log
+  };
+  std::vector<std::vector<Edge>> edges_by_source(n);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    edges_by_source[flows[i].from].push_back({Edge::Kind::kFlow, i, 0});
+  }
+  for (std::size_t i = 0; i < redists.size(); ++i) {
+    edges_by_source[redists[i].from].push_back({Edge::Kind::kRedist, i, 0});
+  }
+  for (std::size_t i = 0; i < problem.aggregate_points.size(); ++i) {
+    edges_by_source[problem.aggregate_points[i].instance].push_back(
+        {Edge::Kind::kAggregate, i, 0});
+  }
+  if (shuffle_seed) {
+    // Fisher–Yates per source list. The fixpoint is confluent, so this can
+    // only change the order work is discovered in, never the result — the
+    // differential stress test runs many seeds to prove it.
+    util::Rng rng(*shuffle_seed);
+    for (auto& edges : edges_by_source) {
+      for (std::size_t i = edges.size(); i > 1; --i) {
+        std::swap(edges[i - 1], edges[rng.below(i)]);
+      }
+    }
+  }
+  std::vector<char> aggregate_done(problem.aggregate_points.size(), 0);
+
+  // --- Worklist rounds. A round drains every dirty instance; an edge only
+  // looks at log entries appended since its cursor. Routes discovered
+  // mid-round land in the next round's worklist.
+  std::vector<std::uint32_t> current;
+  while (true) {
+    current.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (dirty[i]) {
+        current.push_back(i);
+        dirty[i] = 0;
+      }
+    }
+    if (current.empty()) break;
+    if (result.iterations >= problem.max_iterations) {
+      result.converged = false;
+      break;
+    }
+    ++result.iterations;
+
+    for (const std::uint32_t instance : current) {
+      for (Edge& edge : edges_by_source[instance]) {
+        // Snapshot the bound: entries appended while this edge runs (e.g.
+        // an aggregate writing into its own source) stay for the next
+        // round. Entries are read by index — push_back may reallocate.
+        const std::size_t bound = log[instance].size();
+        switch (edge.kind) {
+          case Edge::Kind::kFlow: {
+            const CompiledFlow& flow = flows[edge.index];
+            for (std::size_t r = edge.cursor; r < bound; ++r) {
+              const Route route = log[instance][r];
+              if (!flow.sender_out.permits(route)) continue;
+              if (!flow.receiver_in.permits(route)) continue;
+              add_route(flow.to, route);
+            }
+            break;
+          }
+          case Edge::Kind::kRedist: {
+            const CompiledRedist& redist = redists[edge.index];
+            for (std::size_t r = edge.cursor; r < bound; ++r) {
+              Route forwarded = log[instance][r];
+              if (redist.route_map) {
+                const auto& verdict = redist.route_map->evaluate(forwarded);
+                if (!verdict.permitted) continue;
+                forwarded = verdict.route;
+              }
+              if (!redist.outbound.permits(forwarded)) continue;
+              add_route(redist.to, forwarded);
+            }
+            break;
+          }
+          case Edge::Kind::kAggregate: {
+            if (aggregate_done[edge.index]) break;
+            const AggregatePoint& point = problem.aggregate_points[edge.index];
+            for (std::size_t r = edge.cursor; r < bound; ++r) {
+              const Route route = log[instance][r];
+              if (route.prefix != point.prefix &&
+                  point.prefix.contains(route.prefix)) {
+                add_route(point.instance, {point.prefix, std::nullopt});
+                aggregate_done[edge.index] = 1;
+                break;
+              }
+            }
+            break;
+          }
+        }
+        edge.cursor = bound;
       }
     }
   }
 
-  // --- What the network announces to the world.
-  for (const auto& endpoint : external_endpoints) {
-    for (const Route& route : analysis.routes_[endpoint.instance]) {
-      if (session_permits(endpoint.policy, /*inbound=*/false, route)) {
-        analysis.announced_.insert(route);
+  // --- Announce pass, through the compiled outbound chains: one
+  // evaluation per distinct (instance, chain) pair, deduplicated through a
+  // membership index as it is collected — endpoints announce heavily
+  // overlapping sets, and sorting the concatenation was measurably slower
+  // than probing per permitted route.
+  seen_session.clear();
+  seen_stanza.clear();
+  RouteIndex announced_member;
+  auto announce = [&](const Route& route) {
+    if (announced_member.insert(route, result.announced)) {
+      result.announced.push_back(route);
+    }
+  };
+  for (const auto& endpoint : externals) {
+    if (session_seen(endpoint.instance, endpoint.outbound)) continue;
+    for (const Route& route : log[endpoint.instance]) {
+      if (endpoint.outbound.permits(route)) announce(route);
+    }
+  }
+  for (const auto& endpoint : igp_externals) {
+    if (stanza_seen(endpoint.instance, endpoint.outbound)) continue;
+    for (const Route& route : log[endpoint.instance]) {
+      if (endpoint.outbound.permits(route)) announce(route);
+    }
+  }
+  std::sort(result.announced.begin(), result.announced.end());
+
+  result.routes = std::move(log);
+  for (auto& routes : result.routes) {
+    std::sort(routes.begin(), routes.end());  // membership index kept us
+                                              // duplicate-free already
+  }
+  return result;
+}
+
+}  // namespace
+
+ReachabilityAnalysis ReachabilityAnalysis::run(
+    const model::Network& network, const graph::InstanceSet& instances,
+    const Options& options) {
+  ReachabilityAnalysis analysis;
+  const std::size_t n = instances.instances.size();
+
+  // --- External offer universe: default route + policy-mentioned prefixes
+  // + caller-supplied prefixes. Internal subnets are excluded so external
+  // origin stays meaningful. Candidates are collected into a vector and
+  // sorted once — at fleet scale there are thousands, and the internal
+  // test runs against a covering trie of interface subnets instead of
+  // Network's per-call linear interface scan.
+  std::vector<ip::Prefix> origin;
+  origin.push_back(ip::Prefix(ip::Ipv4Address(0u), 0));
+  for (const auto& config : network.routers()) {
+    for (const auto& acl : config.access_lists) {
+      for (const auto& rule : acl.rules) {
+        if (rule.action != config::FilterAction::kPermit) continue;
+        if (!rule.any_source && !rule.extended) {
+          origin.push_back(rule.source);
+        }
+      }
+    }
+    for (const auto& pl : config.prefix_lists) {
+      for (const auto& entry : pl.entries) {
+        if (entry.action == config::FilterAction::kPermit) {
+          origin.push_back(entry.prefix);
+        }
       }
     }
   }
-  for (const auto& endpoint : external_igp_endpoints) {
-    for (const Route& route : analysis.routes_[endpoint.instance]) {
-      if (stanza_permits(*endpoint.config, *endpoint.stanza,
-                         /*inbound=*/false, route)) {
-        analysis.announced_.insert(route);
-      }
+  for (const auto& prefix : options.external_prefixes) {
+    origin.push_back(prefix);
+  }
+  std::sort(origin.begin(), origin.end());
+  origin.erase(std::unique(origin.begin(), origin.end()), origin.end());
+  ip::PrefixTrie<char> internal;
+  for (const auto& itf : network.interfaces()) {
+    if (itf.subnet) internal.insert(*itf.subnet, 1);
+    for (const auto& secondary : itf.secondary_subnets) {
+      internal.insert(secondary, 1);
+    }
+  }
+  std::erase_if(origin, [&](const ip::Prefix& prefix) {
+    return prefix.length() > 0 &&
+           internal.longest_match(prefix.network()) != nullptr;
+  });
+  analysis.external_origin_ =
+      std::set<ip::Prefix>(origin.begin(), origin.end());
+
+  const Problem problem =
+      discover(network, instances, options, analysis.external_origin_);
+  FixpointResult result = options.engine == Engine::kNaive
+                              ? run_naive(problem)
+                              : run_semi_naive(problem, options.shuffle_seed);
+
+  analysis.routes_ = std::move(result.routes);
+  analysis.announced_ = std::move(result.announced);
+  analysis.iterations_ = result.iterations;
+  analysis.converged_ = result.converged;
+
+  // --- Covering index bookkeeping. Routes sort shortest-prefix-first, so
+  // "holds a default" is just a front() check; the per-instance tries are
+  // built on first query (see instance_has_route_to) — eager construction
+  // cost rivaled the whole semi-naïve fixpoint at fleet scale, and many
+  // callers never query coverage at all.
+  analysis.route_tries_.resize(n);
+  analysis.trie_built_.assign(n, 0);
+  analysis.has_default_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& routes = analysis.routes_[i];
+    if (!routes.empty() && routes.front().prefix.length() == 0) {
+      analysis.has_default_[i] = 1;
     }
   }
   return analysis;
 }
 
+bool ReachabilityAnalysis::instance_holds(std::uint32_t instance,
+                                          const model::Route& route) const {
+  const auto& routes = routes_[instance];
+  return std::binary_search(routes.begin(), routes.end(), route);
+}
+
 bool ReachabilityAnalysis::instance_has_route_to(std::uint32_t instance,
                                                  ip::Ipv4Address addr) const {
-  for (const auto& route : routes_[instance]) {
-    if (route.prefix.length() > 0 && route.prefix.contains(addr)) return true;
+  if (!trie_built_[instance]) {
+    // Routes are sorted shortest-prefix-first, so insert_uncovered stores
+    // only a minimal cover — a prefix under an already-indexed cover can
+    // never change the boolean covering answer below.
+    for (const auto& route : routes_[instance]) {
+      if (route.prefix.length() > 0) {
+        route_tries_[instance].insert_uncovered(route.prefix, 1);
+      }
+    }
+    trie_built_[instance] = 1;
   }
-  return false;
+  return route_tries_[instance].longest_match(addr) != nullptr;
 }
 
 bool ReachabilityAnalysis::instance_reaches_internet(
     std::uint32_t instance) const {
-  for (const auto& route : routes_[instance]) {
-    if (route.prefix.length() == 0) return true;  // default route
-  }
-  return false;
+  return has_default_[instance] != 0;
 }
 
 std::size_t ReachabilityAnalysis::external_route_count(
@@ -398,6 +919,14 @@ bool ReachabilityAnalysis::two_way_reachable(std::uint32_t instance_a,
                                              ip::Ipv4Address addr_b) const {
   return instance_has_route_to(instance_a, addr_b) &&
          instance_has_route_to(instance_b, addr_a);
+}
+
+std::string ReachabilityAnalysis::convergence_warning() const {
+  if (converged_) return {};
+  return "warning: route propagation stopped after " +
+         std::to_string(iterations_) +
+         " iterations without reaching a fixpoint; reachability results are "
+         "a lower bound (raise Options::max_iterations)";
 }
 
 }  // namespace rd::analysis

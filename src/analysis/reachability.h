@@ -3,9 +3,11 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "graph/instances.h"
+#include "ip/prefix_trie.h"
 #include "model/network.h"
 #include "model/policy.h"
 
@@ -20,8 +22,27 @@ namespace rd::analysis {
 /// sessions. The external world is modeled as offering a default route plus
 /// every prefix the network's own policies mention (a finite universe that
 /// exercises every filter clause).
+///
+/// Two evaluators compute the same fixpoint (DESIGN.md §9):
+///   - `Engine::kSemiNaive` (default): delta-driven propagation. Each
+///     instance's routes live in an append-only log; every propagation edge
+///     keeps a cursor into its source log and only examines routes appended
+///     since it last ran, driven by a worklist of dirty instances. Policies
+///     are compiled once per run (`model::PolicyCompiler`).
+///   - `Engine::kNaive`: the original full-rescan loop over `std::set`,
+///     interpreting named policies on every evaluation. Kept as the
+///     differential oracle; asymptotically slower but line-for-line the
+///     reference semantics.
+/// The propagation rules are monotone (routes are only ever added), so the
+/// fixpoint is confluent: both engines — and any edge-processing order, see
+/// `Options::shuffle_seed` — produce identical route sets.
 class ReachabilityAnalysis {
  public:
+  enum class Engine : std::uint8_t {
+    kSemiNaive,  // delta-driven worklist + compiled policies (default)
+    kNaive,      // full-rescan reference evaluator (differential oracle)
+  };
+
   struct Options {
     /// Extra prefixes the external world advertises, beyond the default
     /// route and policy-mentioned prefixes.
@@ -31,8 +52,13 @@ class ReachabilityAnalysis {
     /// indices count the network's external BGP sessions first (in
     /// bgp_sessions() order, externals only), then the external IGP
     /// adjacencies. Used by the egress analysis to attribute external
-    /// routes to entry points.
-    std::optional<std::set<std::size_t>> active_external_endpoints;
+    /// routes to entry points. Need not be sorted; the engine sorts a copy.
+    std::optional<std::vector<std::size_t>> active_external_endpoints;
+    Engine engine = Engine::kSemiNaive;
+    /// When set, the semi-naïve engine shuffles its edge-processing order
+    /// from this seed. Results are unaffected (the fixpoint is confluent);
+    /// the differential stress test uses this to prove exactly that.
+    std::optional<std::uint64_t> shuffle_seed;
   };
 
   static ReachabilityAnalysis run(const model::Network& network,
@@ -43,10 +69,15 @@ class ReachabilityAnalysis {
     return run(network, instances, Options{});
   }
 
-  /// Routes present in an instance's RIBs after the fixpoint.
-  const std::set<model::Route>& instance_routes(std::uint32_t instance) const {
+  /// Routes present in an instance's RIBs after the fixpoint, sorted
+  /// ascending (the same order the former std::set iteration produced).
+  const std::vector<model::Route>& instance_routes(
+      std::uint32_t instance) const {
     return routes_[instance];
   }
+
+  /// Exact membership test (binary search over the sorted routes).
+  bool instance_holds(std::uint32_t instance, const model::Route& route) const;
 
   /// True when the instance holds a route covering `addr`.
   bool instance_has_route_to(std::uint32_t instance,
@@ -57,8 +88,8 @@ class ReachabilityAnalysis {
   bool instance_reaches_internet(std::uint32_t instance) const;
 
   /// Prefixes the network announces to the external world (over external
-  /// EBGP sessions), after outbound policies.
-  const std::set<model::Route>& announced_externally() const {
+  /// EBGP sessions), after outbound policies. Sorted ascending.
+  const std::vector<model::Route>& announced_externally() const {
     return announced_;
   }
 
@@ -75,17 +106,34 @@ class ReachabilityAnalysis {
 
   std::size_t iterations_used() const noexcept { return iterations_; }
 
+  /// False when the fixpoint loop was cut off by `Options::max_iterations`
+  /// before quiescing; route sets are then a lower bound.
+  bool converged() const noexcept { return converged_; }
+
+  /// A parse-diagnostic-style warning line when the fixpoint did not
+  /// converge; empty string otherwise.
+  std::string convergence_warning() const;
+
  private:
-  std::vector<std::set<model::Route>> routes_;
-  std::set<model::Route> announced_;
+  std::vector<std::vector<model::Route>> routes_;  // per instance, sorted
+  std::vector<model::Route> announced_;            // sorted
   std::set<ip::Prefix> external_origin_;  // prefixes injected from outside
+  /// Per-instance covering index over routes with length > 0; a non-null
+  /// longest_match means some real (non-default) route covers the address.
+  /// Built lazily on an instance's first instance_has_route_to query (many
+  /// callers never ask), so the first query for a given instance must not
+  /// race another query of the same instance.
+  mutable std::vector<ip::PrefixTrie<char>> route_tries_;
+  mutable std::vector<char> trie_built_;
+  std::vector<char> has_default_;  // instance holds a 0.0.0.0/0 route
   std::size_t iterations_ = 0;
+  bool converged_ = true;
 };
 
 }  // namespace rd::analysis
 
 namespace rd::model {
-/// Ordering for storing routes in std::set.
+/// Ordering for routes (sorted route vectors, std::set in the oracle).
 inline bool operator<(const Route& a, const Route& b) noexcept {
   if (a.prefix != b.prefix) return a.prefix < b.prefix;
   return a.tag < b.tag;

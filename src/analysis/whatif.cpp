@@ -189,4 +189,60 @@ std::vector<model::RouterId> sole_redistribution_routers(
   return {routers.begin(), routers.end()};
 }
 
+std::vector<FailureScenario> single_failure_scenarios(
+    const model::Network& network, const graph::InstanceGraph& graph) {
+  std::set<model::RouterId> candidates;
+  for (const auto& art :
+       instance_articulation_routers(network, graph.set)) {
+    candidates.insert(art.router);
+  }
+  for (const model::RouterId r :
+       sole_redistribution_routers(network, graph)) {
+    candidates.insert(r);
+  }
+  std::vector<FailureScenario> scenarios;
+  scenarios.reserve(candidates.size());
+  for (const model::RouterId r : candidates) {
+    scenarios.push_back({network.routers()[r].hostname, {r}});
+  }
+  return scenarios;
+}
+
+std::vector<ScenarioImpact> sweep_failure_scenarios(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<FailureScenario>& scenarios,
+    const ReachabilityAnalysis::Options& reach_options,
+    util::ThreadPool& pool) {
+  // Each scenario is an independent fixpoint on its own degraded network
+  // model; parallel_map puts result i in slot i, so the sweep's output is
+  // identical at any thread count.
+  return util::parallel_map(pool, scenarios, [&](const FailureScenario& s) {
+    ScenarioImpact impact;
+    impact.scenario = s;
+    impact.structural = simulate_router_failure(network, baseline, s.failed);
+    const auto degraded = without_routers(network, s.failed);
+    const auto degraded_instances = graph::compute_instances(degraded);
+    const auto reach =
+        ReachabilityAnalysis::run(degraded, degraded_instances, reach_options);
+    for (std::uint32_t i = 0; i < degraded_instances.instances.size(); ++i) {
+      if (reach.instance_reaches_internet(i)) {
+        ++impact.instances_reaching_internet;
+      }
+      impact.total_routes += reach.instance_routes(i).size();
+    }
+    impact.announced_externally = reach.announced_externally().size();
+    impact.reachability_converged = reach.converged();
+    return impact;
+  });
+}
+
+std::vector<ScenarioImpact> sweep_failure_scenarios(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<FailureScenario>& scenarios,
+    const ReachabilityAnalysis::Options& reach_options, std::size_t threads) {
+  util::ThreadPool pool(threads);
+  return sweep_failure_scenarios(network, baseline, scenarios, reach_options,
+                                 pool);
+}
+
 }  // namespace rd::analysis

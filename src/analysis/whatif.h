@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "analysis/reachability.h"
 #include "graph/instances.h"
 #include "model/network.h"
+#include "util/thread_pool.h"
 
 namespace rd::analysis {
 
@@ -56,5 +59,46 @@ std::vector<ArticulationRouter> instance_articulation_routers(
 /// disconnection mode.
 std::vector<model::RouterId> sole_redistribution_routers(
     const model::Network& network, const graph::InstanceGraph& graph);
+
+/// One named failure scenario of a what-if sweep.
+struct FailureScenario {
+  std::string name;  // hostname(s) of the failed equipment
+  std::vector<model::RouterId> failed;
+};
+
+/// Structural + reachability impact of one scenario, evaluated on the
+/// degraded network.
+struct ScenarioImpact {
+  FailureScenario scenario;
+  FailureImpact structural;
+  /// Degraded-network reachability fixpoint summary.
+  std::size_t instances_reaching_internet = 0;
+  std::size_t total_routes = 0;  // sum over degraded instances
+  std::size_t announced_externally = 0;
+  bool reachability_converged = true;
+};
+
+/// The interesting single-router failure scenarios: articulation routers
+/// plus sole redistribution points, deduplicated and ordered by router id —
+/// the candidates §8.1's survivability question asks about.
+std::vector<FailureScenario> single_failure_scenarios(
+    const model::Network& network, const graph::InstanceGraph& graph);
+
+/// Evaluate every scenario — one independent route-propagation fixpoint per
+/// scenario on the degraded network — fanned out across the pool. Result
+/// `i` is scenario `i`'s impact regardless of scheduling, so parallel
+/// sweeps are byte-identical to the serial loop.
+std::vector<ScenarioImpact> sweep_failure_scenarios(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<FailureScenario>& scenarios,
+    const ReachabilityAnalysis::Options& reach_options, util::ThreadPool& pool);
+
+/// Convenience overload: `threads` == 0 picks the RD_THREADS /
+/// hardware-concurrency default; 1 is a plain serial loop.
+std::vector<ScenarioImpact> sweep_failure_scenarios(
+    const model::Network& network, const graph::InstanceSet& baseline,
+    const std::vector<FailureScenario>& scenarios,
+    const ReachabilityAnalysis::Options& reach_options,
+    std::size_t threads = 0);
 
 }  // namespace rd::analysis

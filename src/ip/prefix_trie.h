@@ -25,6 +25,26 @@ class PrefixTrie {
     node->value = std::move(value);
   }
 
+  /// Insert unless an existing entry already covers `prefix` (an ancestor
+  /// entry or an exact one). Keeps a covering index minimal: under a
+  /// cover, a new entry can never change the answer of a covering query
+  /// such as `longest_match(addr) != nullptr`. Feed prefixes shortest
+  /// first so covers land before what they cover. Returns true when the
+  /// value was stored.
+  bool insert_uncovered(const Prefix& prefix, Value value) {
+    Node* node = &root_;
+    if (node->value) return false;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      auto& slot = node->child[bit_at(prefix.network(), depth) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+      if (node->value) return false;
+    }
+    node->value = std::move(value);
+    ++size_;
+    return true;
+  }
+
   /// Exact-match lookup.
   const Value* find(const Prefix& prefix) const noexcept {
     const Node* node = &root_;
@@ -65,6 +85,14 @@ class PrefixTrie {
   /// shortest to the longest match.
   void for_each_match(Ipv4Address addr,
                       const std::function<void(const Value&)>& fn) const {
+    visit_matches(addr, fn);
+  }
+
+  /// for_each_match without the std::function indirection — the compiled
+  /// policy filters sit on the reachability engine's per-route hot path,
+  /// where the erased call per matching node was measurable.
+  template <typename Fn>
+  void visit_matches(Ipv4Address addr, Fn&& fn) const {
     const Node* node = &root_;
     if (node->value) fn(*node->value);
     for (int depth = 0; depth < 32; ++depth) {

@@ -1,5 +1,9 @@
 #include "model/policy.h"
 
+#include <limits>
+#include <map>
+#include <utility>
+
 namespace rd::model {
 
 namespace {
@@ -113,6 +117,164 @@ bool distribute_list_permits(const config::RouterConfig& config,
   const auto* acl = config.find_access_list(acl_id);
   if (acl == nullptr) return true;
   return acl_permits_route(*acl, route);
+}
+
+// --- Compiled policies -------------------------------------------------------
+
+CompiledAclFilter::CompiledAclFilter(const config::AccessList& acl) {
+  for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+    const auto& rule = acl.rules[i];
+    const ip::Prefix source = rule.any_source
+                                  ? ip::Prefix(ip::Ipv4Address(0u), 0)
+                                  : rule.source;
+    // First clause per distinct source prefix wins: when two clauses share
+    // a source spec the earlier always decides, whatever its action.
+    if (trie_.find(source) == nullptr) {
+      trie_.insert(source, {i, rule.action == config::FilterAction::kPermit});
+    }
+  }
+}
+
+bool CompiledAclFilter::permits_address(ip::Ipv4Address addr) const noexcept {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  bool permit = false;
+  trie_.visit_matches(addr, [&](const FirstClause& clause) {
+    if (clause.index < best) {
+      best = clause.index;
+      permit = clause.permit;
+    }
+  });
+  return best != std::numeric_limits<std::size_t>::max() && permit;
+}
+
+CompiledPrefixList::CompiledPrefixList(const config::PrefixList& prefix_list) {
+  std::map<ip::Prefix, std::vector<Entry>> grouped;
+  for (std::size_t i = 0; i < prefix_list.entries.size(); ++i) {
+    const auto& entry = prefix_list.entries[i];
+    grouped[entry.prefix].push_back(
+        {i, entry.prefix.length(), entry.ge, entry.le,
+         entry.action == config::FilterAction::kPermit});
+  }
+  for (auto& [prefix, entries] : grouped) {
+    trie_.insert(prefix, std::move(entries));
+  }
+}
+
+bool CompiledPrefixList::permits_route(const Route& route) const {
+  const int length = route.prefix.length();
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  bool permit = false;
+  trie_.visit_matches(route.prefix.network(), [&](const std::vector<Entry>&
+                                                       entries) {
+    for (const auto& entry : entries) {
+      // A stored prefix deeper than the route's own length matches the
+      // network address but does not contain the route.
+      if (entry.prefix_length > length) continue;
+      if (entry.ge || entry.le) {
+        if (entry.ge && length < *entry.ge) continue;
+        if (entry.le && length > *entry.le) continue;
+        if (!entry.ge && length < entry.prefix_length) continue;
+      } else if (length != entry.prefix_length) {
+        continue;  // exact-length match without ge/le
+      }
+      if (entry.index < best) {
+        best = entry.index;
+        permit = entry.permit;
+      }
+    }
+  });
+  return best != std::numeric_limits<std::size_t>::max() && permit;
+}
+
+CompiledRouteMap::CompiledRouteMap(const config::RouteMap& route_map,
+                                   const config::RouterConfig& config,
+                                   PolicyCompiler& compiler) {
+  clauses_.reserve(route_map.clauses.size());
+  for (const auto& clause : route_map.clauses) {
+    Clause compiled;
+    compiled.permit = clause.action == config::FilterAction::kPermit;
+    compiled.has_acl_matches = !clause.match_ip_address_acls.empty();
+    compiled.has_prefix_list_matches = !clause.match_prefix_lists.empty();
+    for (const auto& acl_id : clause.match_ip_address_acls) {
+      if (const auto* acl = compiler.acl(config, acl_id)) {
+        compiled.acls.push_back(acl);
+      }
+    }
+    for (const auto& pl_name : clause.match_prefix_lists) {
+      if (const auto* pl = compiler.prefix_list(config, pl_name)) {
+        compiled.prefix_lists.push_back(pl);
+      }
+    }
+    compiled.match_tag = clause.match_tag;
+    compiled.set_tag = clause.set_tag;
+    clauses_.push_back(std::move(compiled));
+  }
+}
+
+const PolicyVerdict& CompiledRouteMap::evaluate(const Route& route) const {
+  const auto [it, fresh] = verdicts_.try_emplace(route);
+  if (fresh) it->second = evaluate_uncached(route);
+  return it->second;
+}
+
+PolicyVerdict CompiledRouteMap::evaluate_uncached(const Route& route) const {
+  for (const auto& clause : clauses_) {
+    // Mirror of route_map_evaluate: AND across match kinds, OR across the
+    // matchers of one kind; "match as-path" is treated as satisfied.
+    if (clause.match_tag && route.tag != clause.match_tag) continue;
+    if (clause.has_acl_matches) {
+      bool any = false;
+      for (const auto* acl : clause.acls) {
+        if (acl->permits_route(route)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+    if (clause.has_prefix_list_matches) {
+      bool any = false;
+      for (const auto* pl : clause.prefix_lists) {
+        if (pl->permits_route(route)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+    if (!clause.permit) return {false, route};
+    Route out = route;
+    if (clause.set_tag) out.tag = clause.set_tag;
+    return {true, out};
+  }
+  return {false, route};  // off the end: implicit deny
+}
+
+const CompiledAclFilter* PolicyCompiler::acl(
+    const config::RouterConfig& config, std::string_view id) {
+  const auto* node = config.find_access_list(id);
+  if (node == nullptr) return nullptr;
+  auto& slot = acls_[node];
+  if (!slot) slot = std::make_unique<CompiledAclFilter>(*node);
+  return slot.get();
+}
+
+const CompiledPrefixList* PolicyCompiler::prefix_list(
+    const config::RouterConfig& config, std::string_view name) {
+  const auto* node = config.find_prefix_list(name);
+  if (node == nullptr) return nullptr;
+  auto& slot = prefix_lists_[node];
+  if (!slot) slot = std::make_unique<CompiledPrefixList>(*node);
+  return slot.get();
+}
+
+const CompiledRouteMap* PolicyCompiler::route_map(
+    const config::RouterConfig& config, std::string_view name) {
+  const auto* node = config.find_route_map(name);
+  if (node == nullptr) return nullptr;
+  auto& slot = route_maps_[node];
+  if (!slot) slot = std::make_unique<CompiledRouteMap>(*node, config, *this);
+  return slot.get();
 }
 
 }  // namespace rd::model

@@ -1,11 +1,16 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "config/ast.h"
 #include "ip/ipv4.h"
+#include "ip/prefix_trie.h"
 
 namespace rd::model {
 
@@ -60,5 +65,130 @@ PolicyVerdict route_map_evaluate(const config::RouteMap& route_map,
 /// behaviour for references to undefined ACLs.
 bool distribute_list_permits(const config::RouterConfig& config,
                              std::string_view acl_id, const Route& route);
+
+/// Hash for Route, used by the reachability engine's membership indexes and
+/// the compiled-policy verdict caches.
+struct RouteHash {
+  std::size_t operator()(const Route& route) const noexcept {
+    std::uint64_t h = route.prefix.network().value();
+    h = h * 0x9e3779b97f4a7c15ULL +
+        static_cast<std::uint64_t>(route.prefix.length()) + 1u;
+    h = h * 0x9e3779b97f4a7c15ULL + (route.tag ? 1ULL + *route.tag : 0ULL);
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// --- Compiled policies -------------------------------------------------------
+//
+// The naïve route-propagation loop re-resolves every named filter (linear
+// string search in the owning RouterConfig) and re-walks every ACL clause
+// for every route on every iteration. The compiled forms below are lowered
+// once per analysis run: name references are resolved to pointers, and
+// clause bodies become `ip::PrefixTrie` lookups, so evaluating a route is
+// O(prefix length) instead of O(clauses). Semantics are bit-for-bit those of
+// the interpreting functions above — the differential reachability suite
+// checks the two paths against each other.
+
+/// An access list compiled for *route-filter* semantics (acl_permits_route):
+/// the first clause whose source spec covers the route's network address
+/// decides. The trie stores, per distinct source prefix, the earliest clause
+/// using it; evaluation takes the covering clause with the lowest index.
+class CompiledAclFilter {
+ public:
+  explicit CompiledAclFilter(const config::AccessList& acl);
+
+  bool permits_route(const Route& route) const noexcept {
+    return permits_address(route.prefix.network());
+  }
+  bool permits_address(ip::Ipv4Address addr) const noexcept;
+
+ private:
+  struct FirstClause {
+    std::size_t index = 0;
+    bool permit = false;
+  };
+  ip::PrefixTrie<FirstClause> trie_;
+};
+
+/// A prefix list compiled onto a trie keyed by entry prefix. Entries sharing
+/// a prefix stay grouped in written order; evaluation visits only the stored
+/// prefixes covering the route and applies the ge/le bounds of
+/// prefix_list_permits_route, first (lowest-index) match winning.
+class CompiledPrefixList {
+ public:
+  explicit CompiledPrefixList(const config::PrefixList& prefix_list);
+
+  bool permits_route(const Route& route) const;
+
+ private:
+  struct Entry {
+    std::size_t index = 0;
+    int prefix_length = 0;
+    std::optional<int> ge;
+    std::optional<int> le;
+    bool permit = false;
+  };
+  ip::PrefixTrie<std::vector<Entry>> trie_;
+};
+
+class PolicyCompiler;
+
+/// A route-map with every clause's named references resolved to compiled
+/// matchers, plus a verdict memo: edges sharing one route-map (the common
+/// case — one policy applied to many neighbors) evaluate each distinct route
+/// once. The memo makes instances non-shareable across threads; every
+/// fixpoint builds its own PolicyCompiler.
+class CompiledRouteMap {
+ public:
+  CompiledRouteMap(const config::RouteMap& route_map,
+                   const config::RouterConfig& config,
+                   PolicyCompiler& compiler);
+
+  const PolicyVerdict& evaluate(const Route& route) const;
+
+ private:
+  struct Clause {
+    bool permit = false;
+    /// Distinguishes "no match ip address lines" (condition absent) from
+    /// "lines present but none resolved" (condition unsatisfiable).
+    bool has_acl_matches = false;
+    bool has_prefix_list_matches = false;
+    std::vector<const CompiledAclFilter*> acls;
+    std::vector<const CompiledPrefixList*> prefix_lists;
+    std::optional<std::uint32_t> match_tag;
+    std::optional<std::uint32_t> set_tag;
+  };
+  PolicyVerdict evaluate_uncached(const Route& route) const;
+
+  std::vector<Clause> clauses_;
+  mutable std::unordered_map<Route, PolicyVerdict, RouteHash> verdicts_;
+};
+
+/// Resolves and caches compiled policy objects, keyed by the AST node they
+/// lower, for the lifetime of one analysis run. Unresolvable names yield
+/// nullptr, which callers treat exactly as the interpreting functions treat
+/// a dangling reference. Not thread-safe: concurrent fixpoints (the what-if
+/// sweeps) each own one compiler.
+class PolicyCompiler {
+ public:
+  const CompiledAclFilter* acl(const config::RouterConfig& config,
+                               std::string_view id);
+  const CompiledPrefixList* prefix_list(const config::RouterConfig& config,
+                                        std::string_view name);
+  const CompiledRouteMap* route_map(const config::RouterConfig& config,
+                                    std::string_view name);
+
+ private:
+  std::unordered_map<const config::AccessList*,
+                     std::unique_ptr<CompiledAclFilter>>
+      acls_;
+  std::unordered_map<const config::PrefixList*,
+                     std::unique_ptr<CompiledPrefixList>>
+      prefix_lists_;
+  std::unordered_map<const config::RouteMap*,
+                     std::unique_ptr<CompiledRouteMap>>
+      route_maps_;
+};
 
 }  // namespace rd::model

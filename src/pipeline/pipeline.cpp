@@ -315,6 +315,7 @@ NetworkReport analyze_network(const std::string& name,
   reach_json.set("total_routes", total_routes);
   reach_json.set("announced_externally", reach.announced_externally().size());
   reach_json.set("iterations", reach.iterations_used());
+  reach_json.set("converged", reach.converged());
   root.set("reachability", std::move(reach_json));
 
   report.json = root.dump();

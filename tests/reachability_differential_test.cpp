@@ -1,0 +1,310 @@
+// Differential tests for the reachability engines: the semi-naïve
+// delta-propagation engine must produce results identical to the naïve
+// full-rescan oracle (`Engine::kNaive`) on every synthetic archetype, with
+// any endpoint subset, at any thread count, and under randomized edge
+// orderings. The propagation rules are monotone, so the fixpoint is
+// confluent — identical outputs are a theorem the suite checks empirically.
+//
+// Stress volume is dialable: RD_FUZZ_SEEDS controls how many shuffle seeds
+// the confluence test tries (default 8).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/egress.h"
+#include "analysis/reachability.h"
+#include "analysis/whatif.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "pipeline/pipeline.h"
+#include "synth/archetypes.h"
+#include "synth/emit.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace rd::analysis {
+namespace {
+
+using Engine = ReachabilityAnalysis::Engine;
+using Options = ReachabilityAnalysis::Options;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(util::trim(raw), parsed) || parsed == 0) {
+    return fallback;
+  }
+  return parsed;
+}
+
+struct Case {
+  std::string name;
+  model::Network network;
+  graph::InstanceSet instances;
+  Options options;  // external prefixes etc.; engine overridden per run
+};
+
+Case make_case(std::string name, const synth::SynthNetwork& net,
+               std::vector<ip::Prefix> external = {}) {
+  auto network = model::Network::build(synth::reparse(net.configs));
+  auto instances = graph::compute_instances(network);
+  Case c{std::move(name), std::move(network), std::move(instances), {}};
+  c.options.external_prefixes = std::move(external);
+  return c;
+}
+
+// One network per archetype family, sized for test-time budgets (the same
+// spread the fleet benchmarks use).
+std::vector<Case> differential_cases() {
+  std::vector<Case> cases;
+  cases.push_back(make_case("net5", synth::make_net5()));
+  {
+    const auto plan = synth::net15_plan();
+    cases.push_back(make_case(
+        "net15", synth::make_net15(),
+        {plan.ab0, plan.external_left, plan.external_right}));
+  }
+  {
+    synth::BackboneParams p;
+    p.core_routers = 4;
+    p.access_routers = 16;
+    p.external_peers = 30;
+    cases.push_back(make_case("backbone", synth::make_backbone(p)));
+  }
+  {
+    synth::TextbookEnterpriseParams p;
+    p.routers = 24;
+    cases.push_back(
+        make_case("textbook", synth::make_textbook_enterprise(p)));
+  }
+  {
+    synth::Tier2Params p;
+    p.core_routers = 4;
+    p.edge_routers = 10;
+    cases.push_back(make_case("tier2", synth::make_tier2_isp(p)));
+  }
+  {
+    synth::ManagedEnterpriseParams p;
+    p.regions = 3;
+    p.spokes_per_region = 10;
+    cases.push_back(make_case("managed", synth::make_managed_enterprise(p)));
+  }
+  {
+    synth::NoBgpParams p;
+    cases.push_back(make_case("no_bgp", synth::make_no_bgp_enterprise(p)));
+  }
+  {
+    synth::MergedHybridParams p;
+    cases.push_back(make_case("merged", synth::make_merged_hybrid(p)));
+  }
+  return cases;
+}
+
+void expect_identical(const Case& c, const ReachabilityAnalysis& oracle,
+                      const ReachabilityAnalysis& candidate,
+                      const std::string& label) {
+  EXPECT_EQ(oracle.converged(), candidate.converged()) << c.name << " " << label;
+  EXPECT_EQ(oracle.announced_externally(), candidate.announced_externally())
+      << c.name << " " << label << ": announced sets differ";
+  for (std::uint32_t i = 0; i < c.instances.instances.size(); ++i) {
+    EXPECT_EQ(oracle.instance_routes(i), candidate.instance_routes(i))
+        << c.name << " " << label << ": instance " << i << " routes differ ("
+        << oracle.instance_routes(i).size() << " vs "
+        << candidate.instance_routes(i).size() << ")";
+    EXPECT_EQ(oracle.instance_reaches_internet(i),
+              candidate.instance_reaches_internet(i))
+        << c.name << " " << label << ": instance " << i;
+    EXPECT_EQ(oracle.external_route_count(i),
+              candidate.external_route_count(i))
+        << c.name << " " << label << ": instance " << i;
+  }
+}
+
+TEST(ReachabilityDifferential, EnginesAgreeAcrossFleet) {
+  for (const auto& c : differential_cases()) {
+    Options naive = c.options;
+    naive.engine = Engine::kNaive;
+    Options semi = c.options;
+    semi.engine = Engine::kSemiNaive;
+    const auto oracle =
+        ReachabilityAnalysis::run(c.network, c.instances, naive);
+    const auto fast = ReachabilityAnalysis::run(c.network, c.instances, semi);
+    ASSERT_TRUE(oracle.converged()) << c.name;
+    expect_identical(c, oracle, fast, "semi-naive");
+    // The derived covering queries must agree too (they run on the trie in
+    // one engine's output representation, linear scans in neither).
+    bool any_route = false;
+    for (std::uint32_t i = 0; i < c.instances.instances.size(); ++i) {
+      for (const auto& route : oracle.instance_routes(i)) {
+        if (route.prefix.length() == 0) continue;
+        any_route = true;
+        EXPECT_TRUE(fast.instance_has_route_to(i, route.prefix.network()))
+            << c.name << " instance " << i;
+        EXPECT_TRUE(fast.instance_holds(i, route)) << c.name;
+      }
+    }
+    EXPECT_TRUE(any_route) << c.name << ": case propagates nothing";
+  }
+}
+
+TEST(ReachabilityDifferential, EnginesAgreeWithEndpointSubsets) {
+  const auto cases = differential_cases();
+  const auto& net15 = cases[1];
+  for (const std::vector<std::size_t>& subset :
+       {std::vector<std::size_t>{}, std::vector<std::size_t>{0},
+        std::vector<std::size_t>{1}, std::vector<std::size_t>{1, 0}}) {
+    Options naive = net15.options;
+    naive.active_external_endpoints = subset;  // unsorted accepted
+    naive.engine = Engine::kNaive;
+    Options semi = naive;
+    semi.engine = Engine::kSemiNaive;
+    const auto oracle =
+        ReachabilityAnalysis::run(net15.network, net15.instances, naive);
+    const auto fast =
+        ReachabilityAnalysis::run(net15.network, net15.instances, semi);
+    expect_identical(net15, oracle, fast,
+                     "endpoints=" + std::to_string(subset.size()));
+  }
+}
+
+// Randomized edge orderings: the fixpoint is confluent, so any shuffle of
+// the semi-naïve engine's edge lists must reproduce the oracle exactly.
+TEST(ReachabilityDifferential, ShuffledEdgeOrderingsAreConfluent) {
+  const std::uint64_t seeds = env_u64("RD_FUZZ_SEEDS", 8);
+  const auto cases = differential_cases();
+  for (const auto* c : {&cases[1], &cases[5]}) {  // net15 + managed
+    Options naive = c->options;
+    naive.engine = Engine::kNaive;
+    const auto oracle =
+        ReachabilityAnalysis::run(c->network, c->instances, naive);
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      Options semi = c->options;
+      semi.engine = Engine::kSemiNaive;
+      semi.shuffle_seed = s * 0x9e3779b97f4a7c15ULL + 1;
+      const auto shuffled =
+          ReachabilityAnalysis::run(c->network, c->instances, semi);
+      expect_identical(*c, oracle, shuffled,
+                       "shuffle seed " + std::to_string(s));
+    }
+  }
+}
+
+void expect_same_sweep(const std::vector<ScenarioImpact>& a,
+                       const std::vector<ScenarioImpact>& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scenario.name, b[i].scenario.name) << label;
+    EXPECT_EQ(a[i].scenario.failed, b[i].scenario.failed) << label;
+    EXPECT_EQ(a[i].structural.instances_after, b[i].structural.instances_after)
+        << label;
+    EXPECT_EQ(a[i].structural.fragmented_instances,
+              b[i].structural.fragmented_instances)
+        << label;
+    EXPECT_EQ(a[i].structural.severed_instance_pairs,
+              b[i].structural.severed_instance_pairs)
+        << label;
+    EXPECT_EQ(a[i].instances_reaching_internet, b[i].instances_reaching_internet)
+        << label;
+    EXPECT_EQ(a[i].total_routes, b[i].total_routes) << label;
+    EXPECT_EQ(a[i].announced_externally, b[i].announced_externally) << label;
+    EXPECT_EQ(a[i].reachability_converged, b[i].reachability_converged)
+        << label;
+  }
+}
+
+TEST(ReachabilityDifferential, WhatIfSweepIdenticalAcrossThreadsAndEngines) {
+  synth::ManagedEnterpriseParams p;
+  p.regions = 3;
+  p.spokes_per_region = 8;
+  const auto net = synth::make_managed_enterprise(p);
+  const auto network = model::Network::build(synth::reparse(net.configs));
+  const auto graph = graph::InstanceGraph::build(network);
+
+  auto scenarios = single_failure_scenarios(network, graph);
+  if (scenarios.empty()) {  // belt and braces: always sweep something
+    scenarios.push_back({network.routers()[0].hostname, {0}});
+  }
+  ASSERT_FALSE(scenarios.empty());
+
+  Options semi;
+  semi.engine = Engine::kSemiNaive;
+  const auto serial =
+      sweep_failure_scenarios(network, graph.set, scenarios, semi, 1);
+  for (const std::size_t threads : {2UL, 8UL}) {
+    const auto parallel =
+        sweep_failure_scenarios(network, graph.set, scenarios, semi, threads);
+    expect_same_sweep(serial, parallel,
+                      "threads=" + std::to_string(threads));
+  }
+  // And the naïve engine, swept in parallel, matches the semi-naïve sweep.
+  Options naive;
+  naive.engine = Engine::kNaive;
+  const auto oracle =
+      sweep_failure_scenarios(network, graph.set, scenarios, naive, 8);
+  expect_same_sweep(serial, oracle, "naive oracle sweep");
+}
+
+TEST(ReachabilityDifferential, EgressAttributionIdenticalAcrossThreads) {
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+  Options base;
+  const auto plan = synth::net15_plan();
+  base.external_prefixes = {plan.ab0, plan.external_left,
+                            plan.external_right};
+
+  util::ThreadPool serial_pool(1);
+  const auto serial =
+      EgressAnalysis::run(network, instances, base, serial_pool);
+  ASSERT_FALSE(serial.points().empty());
+  for (const std::size_t threads : {2UL, 8UL}) {
+    util::ThreadPool pool(threads);
+    const auto parallel = EgressAnalysis::run(network, instances, base, pool);
+    ASSERT_EQ(serial.points().size(), parallel.points().size());
+    for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
+      EXPECT_EQ(serial.instance_egress(i), parallel.instance_egress(i))
+          << "instance " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ReachabilityDifferential, NonConvergenceIsSurfacedByBothEngines) {
+  const auto plan = synth::net15_plan();
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto instances = graph::compute_instances(network);
+  for (const Engine engine : {Engine::kNaive, Engine::kSemiNaive}) {
+    Options truncated;
+    truncated.external_prefixes = {plan.ab0, plan.external_left,
+                                   plan.external_right};
+    truncated.engine = engine;
+    truncated.max_iterations = 1;
+    const auto cut =
+        ReachabilityAnalysis::run(network, instances, truncated);
+    EXPECT_FALSE(cut.converged());
+    EXPECT_FALSE(cut.convergence_warning().empty());
+
+    Options full = truncated;
+    full.max_iterations = 64;
+    const auto done = ReachabilityAnalysis::run(network, instances, full);
+    EXPECT_TRUE(done.converged());
+    EXPECT_TRUE(done.convergence_warning().empty());
+  }
+}
+
+TEST(ReachabilityDifferential, PipelineReportCarriesConvergence) {
+  const auto net15 = synth::make_net15();
+  const auto network = model::Network::build(synth::reparse(net15.configs));
+  const auto report = pipeline::analyze_network("net15", network);
+  EXPECT_NE(report.json.find("\"converged\":true"), std::string::npos)
+      << report.json;
+}
+
+}  // namespace
+}  // namespace rd::analysis

@@ -257,7 +257,7 @@ TEST(Reachability, RemovingFiltersNeverShrinksReachability) {
       ReachabilityAnalysis::run(open, instances_open, options);
   for (std::uint32_t i = 0; i < instances_filtered.instances.size(); ++i) {
     for (const auto& route : reach_filtered.instance_routes(i)) {
-      EXPECT_TRUE(reach_open.instance_routes(i).contains(route))
+      EXPECT_TRUE(reach_open.instance_holds(i, route))
           << "instance " << i << " lost " << route.prefix.to_string();
     }
   }
