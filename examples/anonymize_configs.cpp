@@ -18,11 +18,12 @@
 #include <fstream>
 
 #include "anonymize/anonymizer.h"
+#include "cli_util.h"
 #include "config/writer.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   std::filesystem::path in_dir;
@@ -78,4 +79,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("anonymize_configs", run, argc, argv);
 }

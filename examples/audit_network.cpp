@@ -14,6 +14,9 @@
 //                                # RD_THREADS env override, else hardware
 //                                # concurrency); results are identical at
 //                                # every thread count
+//   audit_network ... --trace audit.json --metrics
+//                                # record spans into a Chrome trace-event
+//                                # file and dump event counters to stderr
 //
 // Exit codes: 0 = audit ran and no error-severity design-rule finding,
 // 1 = at least one error-severity finding, 2 = usage or I/O error.
@@ -32,6 +35,7 @@
 #include "analysis/rules.h"
 #include "analysis/vulnerability.h"
 #include "analysis/whatif.h"
+#include "cli_util.h"
 #include "config/writer.h"
 #include "graph/address_space.h"
 #include "graph/instances.h"
@@ -42,21 +46,32 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   pipeline::Options options;
+  cli::ObsOptions obs_options;
   const char* config_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: audit_network [<config-dir>] [--threads N]\n"
+          "                     [--trace FILE] [--metrics]\n"
           "\n"
           "Audit a network's router configurations: inventory, design\n"
           "classification, vulnerability assessment, and the unified\n"
           "design-rule engine (rdlint rules RD001..RD044). With no\n"
           "config-dir a managed enterprise is generated and audited.\n"
+          "\n"
+          "options:\n"
+          "  --threads N    concurrency in [1, 1024] (default: RD_THREADS,\n"
+          "                 else hardware concurrency); output is identical\n"
+          "                 at every thread count\n"
+          "  --trace FILE   write a Chrome trace-event JSON file covering\n"
+          "                 parse, rules, and reachability spans (open in\n"
+          "                 chrome://tracing or https://ui.perfetto.dev)\n"
+          "  --metrics      dump deterministic event counters to stderr\n"
           "\n"
           "exit codes:\n"
           "  0  audit ran; no error-severity design-rule finding\n"
@@ -64,18 +79,22 @@ int main(int argc, char** argv) {
           "  2  usage or I/O error\n");
       return 0;
     }
+    bool obs_error = false;
+    if (obs_options.consume(argc, argv, i, &obs_error)) {
+      if (obs_error) return 2;
+      continue;
+    }
     if (std::strcmp(argv[i], "--threads") == 0) {
-      const long parsed =
-          i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : 0;
-      if (parsed < 1) {
-        std::fprintf(stderr, "--threads wants a positive integer\n");
+      if (!cli::parse_threads(i + 1 < argc ? argv[++i] : nullptr,
+                              options.threads)) {
+        std::fprintf(stderr, "--threads wants an integer in [1, 1024]\n");
         return 2;
       }
-      options.threads = static_cast<std::size_t>(parsed);
     } else {
       config_dir = argv[i];
     }
   }
+  obs_options.enable();
 
   std::vector<std::string> texts;
   if (config_dir != nullptr) {
@@ -342,6 +361,7 @@ int main(int argc, char** argv) {
                 finding.router_name.c_str(), finding.subject.c_str(),
                 finding.detail.c_str());
   }
+  if (const int rc = obs_options.finish("audit_network"); rc != 0) return rc;
   if (rules.has_errors()) {
     std::printf("\n%zu error-severity finding(s) — exiting nonzero "
                 "(see --help for the exit-code contract)\n",
@@ -349,4 +369,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("audit_network", run, argc, argv);
 }

@@ -1,0 +1,116 @@
+// Shared scaffolding for the example CLIs: one exception boundary, one
+// --threads parser, and one --trace/--metrics option handler, so every tool
+// honors the same contract.
+//
+// Exit-code contract (printed by each tool's --help):
+//   0  the tool ran and found nothing error-worthy
+//   1  the analysis itself reported error-severity results
+//   2  usage or I/O error (bad flag, unreadable path, malformed input)
+//
+// An uncaught exception — std::filesystem errors from a bad path, bad_alloc,
+// a parse-layer throw — lands in guarded_main's catch, prints a one-line
+// diagnostic to stderr, and exits 2 instead of calling std::terminate.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.h"
+#include "util/strings.h"
+
+namespace rd::cli {
+
+/// Runs `run(argc, argv)` behind the exit-2 exception boundary. Every
+/// example's `main` is one line: `return guarded_main("tool", run, ...)`.
+inline int guarded_main(const char* tool, int (*run)(int, char**), int argc,
+                        char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "%s: error: unknown exception\n", tool);
+    return 2;
+  }
+}
+
+/// Parses a --threads value with exactly the semantics the RD_THREADS
+/// environment override gets in util::ThreadPool: util::parse_u64 on the
+/// trimmed text, accepted iff in [1, 1024]. Returns false (caller exits 2)
+/// on anything else, where RD_THREADS would silently fall back.
+inline bool parse_threads(const char* text, std::size_t& out) {
+  std::uint64_t parsed = 0;
+  if (text == nullptr || !util::parse_u64(util::trim(text), parsed) ||
+      parsed < 1 || parsed > 1024) {
+    return false;
+  }
+  out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+/// The observability surface shared by audit_network, rdlint, and
+/// reachability_query:
+///   --trace FILE   record spans + counters, write a Chrome trace-event
+///                  JSON file (load it in chrome://tracing or Perfetto)
+///   --metrics      count logical events, dump name-sorted totals to stderr
+struct ObsOptions {
+  std::string trace_path;
+  bool metrics = false;
+
+  /// Consumes argv[i] (advancing i past a flag argument) when it is one of
+  /// ours; leaves unrelated flags to the caller. Returns true if consumed.
+  /// Sets *error when a flag is missing its argument (caller exits 2).
+  bool consume(int argc, char** argv, int& i, bool* error) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace wants an output file\n");
+        *error = true;
+        return true;
+      }
+      trace_path = argv[++i];
+      return true;
+    }
+    if (arg == "--metrics") {
+      metrics = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Arms the registry. Call once, after option parsing, before any work.
+  void enable() const {
+    if (!trace_path.empty()) obs::Registry::instance().set_tracing(true);
+    if (!trace_path.empty() || metrics) {
+      obs::Registry::instance().set_counting(true);
+    }
+  }
+
+  /// Writes the trace file and dumps counters to stderr. Call once, after
+  /// the work, before computing the final exit code. Returns 0, or 2 when
+  /// the trace file cannot be written.
+  int finish(const char* tool) const {
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::binary);
+      if (out) out << obs::Registry::instance().trace_json();
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write trace file %s\n", tool,
+                     trace_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "%s: wrote %zu trace events to %s\n", tool,
+                   obs::Registry::instance().event_count(),
+                   trace_path.c_str());
+    }
+    if (metrics) {
+      std::fprintf(stderr, "%s",
+                   obs::Registry::instance().metrics_text().c_str());
+    }
+    return 0;
+  }
+};
+
+}  // namespace rd::cli

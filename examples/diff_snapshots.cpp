@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/evolution.h"
+#include "cli_util.h"
 #include "config/parser.h"
 #include "config/writer.h"
 #include "model/network.h"
@@ -73,7 +74,7 @@ int run_series(int argc, char** argv) {
     snapshot.texts = synth::load_network_texts(argv[i]);
     if (snapshot.texts.empty()) {
       std::fprintf(stderr, "no config* files in %s\n", argv[i]);
-      return 1;
+      return 2;
     }
     series.push_back(std::move(snapshot));
   }
@@ -110,11 +111,17 @@ int run_series(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   if (argc > 1 && std::string(argv[1]) == "--series") {
     return run_series(argc, argv);
+  }
+  if (argc == 2) {
+    std::fprintf(stderr, "usage: diff_snapshots <dir-before> <dir-after>\n"
+                         "       diff_snapshots --series <dir1> <dir2> ...\n"
+                         "       diff_snapshots              (demo mode)\n");
+    return 2;
   }
 
   model::Network before = model::Network::build({});
@@ -165,4 +172,8 @@ int main(int argc, char** argv) {
   const auto diff = analysis::diff_designs(before, after);
   print_diff(diff);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("diff_snapshots", run, argc, argv);
 }

@@ -9,6 +9,7 @@
 
 #include "analysis/archetype.h"
 #include "analysis/filters.h"
+#include "cli_util.h"
 #include "analysis/roles.h"
 #include "graph/address_space.h"
 #include "graph/instances.h"
@@ -17,7 +18,7 @@
 #include "synth/emit.h"
 #include "util/json.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   std::vector<config::RouterConfig> configs;
@@ -132,4 +133,8 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", design.dump(2).c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("export_design", run, argc, argv);
 }

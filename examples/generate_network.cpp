@@ -14,11 +14,12 @@
 #include <filesystem>
 #include <string>
 
+#include "cli_util.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 #include "synth/fleet.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   const std::string archetype = argc > 1 ? argv[1] : "enterprise";
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
                  "unknown archetype '%s' (try: backbone enterprise tier2 "
                  "managed net5 net15 nobgp hybrid fleet)\n",
                  archetype.c_str());
-    return 1;
+    return 2;
   }
 
   const auto paths = synth::emit_network(net.configs, out_dir);
@@ -83,4 +84,8 @@ int main(int argc, char** argv) {
               paths.size(), net.archetype.c_str(), out_dir.c_str());
   std::printf("analyze them with:  quickstart %s\n", out_dir.c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("generate_network", run, argc, argv);
 }

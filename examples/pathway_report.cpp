@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cli_util.h"
 #include "graph/dot.h"
 #include "graph/instances.h"
 #include "graph/pathway.h"
@@ -19,11 +20,16 @@
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   std::vector<config::RouterConfig> configs;
   std::string target;
+  if (argc == 2) {
+    std::fprintf(stderr, "usage: pathway_report <config-dir> <hostname>\n"
+                         "       pathway_report              (demo mode)\n");
+    return 2;
+  }
   if (argc > 2) {
     configs = synth::load_network(argv[1]);
     target = argv[2];
@@ -42,7 +48,7 @@ int main(int argc, char** argv) {
   }
   if (router == model::kInvalidId) {
     std::fprintf(stderr, "router '%s' not found\n", target.c_str());
-    return 1;
+    return 2;
   }
 
   const auto ig = graph::InstanceGraph::build(network);
@@ -85,4 +91,8 @@ int main(int argc, char** argv) {
   std::printf("\n--- DOT (pipe into `dot -Tpng`) ---\n%s",
               graph::to_dot(network, ig, pathway).c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("pathway_report", run, argc, argv);
 }

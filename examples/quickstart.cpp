@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "analysis/archetype.h"
+#include "cli_util.h"
 #include "graph/dot.h"
 #include "graph/instances.h"
 #include "graph/pathway.h"
@@ -19,7 +20,7 @@
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   // 1. Obtain configuration files.
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
   }
   if (configs.empty()) {
     std::fprintf(stderr, "no configuration files found\n");
-    return 1;
+    return 2;
   }
 
   // 2. Build the network model: link inference, external-facing marking,
@@ -81,4 +82,8 @@ int main(int argc, char** argv) {
   std::printf("\n--- instance graph (pipe into `dot -Tpng`) ---\n%s",
               graph::to_dot(network, ig).c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("quickstart", run, argc, argv);
 }

@@ -22,7 +22,11 @@
 //                                # RD_THREADS env override, else hardware
 //                                # concurrency); output is identical at
 //                                # every thread count
-//   --timings                    # per-rule wall time on stderr
+//   --trace FILE                 # Chrome trace-event JSON: one span per
+//                                # rule, plus parse and pool spans
+//   --metrics                    # deterministic event counters on stderr
+//   --timings                    # per-rule wall time on stderr (superseded
+//                                # by --trace, kept for compatibility)
 //
 // Exit codes: 0 = no error-severity finding, 1 = at least one
 // error-severity finding, 2 = usage or I/O error.
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "analysis/rules.h"
+#include "cli_util.h"
 #include "config/writer.h"
 #include "graph/instances.h"
 #include "model/network.h"
@@ -73,9 +78,14 @@ void print_usage() {
       "  --format text|json|sarif  stdout report format (default text)\n"
       "  --baseline FILE           classify against a previous\n"
       "                            '--format json' report\n"
-      "  --threads N               concurrency; output is identical at\n"
-      "                            every thread count\n"
+      "  --threads N               concurrency in [1, 1024]; output is\n"
+      "                            identical at every thread count\n"
+      "  --trace FILE              Chrome trace-event JSON (per-rule,\n"
+      "                            parse, and pool spans; open in\n"
+      "                            chrome://tracing or Perfetto)\n"
+      "  --metrics                 deterministic event counters on stderr\n"
       "  --timings                 per-rule wall time on stderr\n"
+      "                            (superseded by --trace)\n"
       "  --help                    this text\n"
       "\n"
       "suppressions: a '! rdlint-disable RD007 RD031' comment anywhere in\n"
@@ -114,18 +124,24 @@ void print_text_report(const analysis::RuleEngine& engine,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   std::vector<std::filesystem::path> dirs;
   std::string format = "text";
   const char* baseline_path = nullptr;
   std::size_t threads = 0;
   bool timings = false;
+  cli::ObsOptions obs_options;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       print_usage();
       return 0;
+    }
+    bool obs_error = false;
+    if (obs_options.consume(argc, argv, i, &obs_error)) {
+      if (obs_error) return 2;
+      continue;
     }
     if (std::strcmp(argv[i], "--format") == 0) {
       if (i + 1 >= argc) {
@@ -144,13 +160,10 @@ int main(int argc, char** argv) {
       }
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      const long parsed =
-          i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : 0;
-      if (parsed < 1) {
-        std::fprintf(stderr, "--threads wants a positive integer\n");
+      if (!cli::parse_threads(i + 1 < argc ? argv[++i] : nullptr, threads)) {
+        std::fprintf(stderr, "--threads wants an integer in [1, 1024]\n");
         return 2;
       }
-      threads = static_cast<std::size_t>(parsed);
     } else if (std::strcmp(argv[i], "--timings") == 0) {
       timings = true;
     } else if (argv[i][0] == '-') {
@@ -167,6 +180,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs_options.enable();
   util::ThreadPool pool(threads);
   const auto engine = analysis::RuleEngine::with_default_rules();
 
@@ -305,5 +319,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (const int rc = obs_options.finish("rdlint"); rc != 0) return rc;
   return result->has_errors() ? 1 : 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("rdlint", run, argc, argv);
 }

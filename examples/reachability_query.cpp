@@ -10,11 +10,17 @@
 //   reachability_query --naive ...           # use the reference full-rescan
 //                                            # engine (identical results,
 //                                            # asymptotically slower)
+//   reachability_query --trace FILE          # Chrome trace-event JSON of
+//                                            # the fixpoint rounds
+//   reachability_query --metrics             # event counters on stderr
+//
+// Exit codes: 0 = query answered, 2 = usage or I/O error.
 
 #include <cstdio>
 #include <cstring>
 
 #include "analysis/reachability.h"
+#include "cli_util.h"
 #include "graph/instances.h"
 #include "model/network.h"
 #include "synth/archetypes.h"
@@ -39,19 +45,26 @@ std::int64_t instance_attached_to(const rd::model::Network& network,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace rd;
 
   std::vector<config::RouterConfig> configs;
   analysis::ReachabilityAnalysis::Options options;
+  cli::ObsOptions obs_options;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
+    bool obs_error = false;
+    if (obs_options.consume(argc, argv, i, &obs_error)) {
+      if (obs_error) return 2;
+      continue;
+    }
     if (std::strcmp(argv[i], "--naive") == 0) {
       options.engine = analysis::ReachabilityAnalysis::Engine::kNaive;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  obs_options.enable();
   if (!positional.empty()) {
     configs = synth::load_network(positional[0]);
   } else {
@@ -64,7 +77,7 @@ int main(int argc, char** argv) {
   }
   if (configs.empty()) {
     std::fprintf(stderr, "no configuration files found\n");
-    return 1;
+    return 2;
   }
 
   const auto network = model::Network::build(std::move(configs));
@@ -81,13 +94,13 @@ int main(int argc, char** argv) {
     const auto b = ip::Ipv4Address::parse(positional[2]);
     if (!a || !b) {
       std::fprintf(stderr, "bad addresses\n");
-      return 1;
+      return 2;
     }
     const auto ia = instance_attached_to(network, instances, *a);
     const auto ib = instance_attached_to(network, instances, *b);
     if (ia < 0 || ib < 0) {
       std::printf("address not attached to any routing instance\n");
-      return 0;
+      return obs_options.finish("reachability_query");
     }
     std::printf("%s is attached to instance %lld; %s to instance %lld\n",
                 positional[1], static_cast<long long>(ia + 1), positional[2],
@@ -105,7 +118,7 @@ int main(int argc, char** argv) {
                                         static_cast<std::uint32_t>(ib), *b)
                     ? "yes"
                     : "no");
-    return 0;
+    return obs_options.finish("reachability_query");
   }
 
   // Default report: per-instance route table sizes and Internet access.
@@ -152,5 +165,9 @@ int main(int argc, char** argv) {
                     ? "yes"
                     : "no");
   }
-  return 0;
+  return obs_options.finish("reachability_query");
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("reachability_query", run, argc, argv);
 }

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace rd::analysis {
@@ -711,6 +712,17 @@ FixpointResult run_semi_naive(const Problem& problem,
     }
     ++result.iterations;
 
+    // Per-round span with the semi-naïve delta sizes: how many instances
+    // were dirty and how many routes this round appended. The size sum is
+    // only taken when tracing is on.
+    obs::Span round_span("reachability.round", "reachability");
+    std::size_t before = 0;
+    if (round_span.armed()) {
+      round_span.arg("round", result.iterations);
+      round_span.arg("dirty_instances", current.size());
+      for (const auto& entries : log) before += entries.size();
+    }
+
     for (const std::uint32_t instance : current) {
       for (Edge& edge : edges_by_source[instance]) {
         // Snapshot the bound: entries appended while this edge runs (e.g.
@@ -760,6 +772,11 @@ FixpointResult run_semi_naive(const Problem& problem,
         edge.cursor = bound;
       }
     }
+    if (round_span.armed()) {
+      std::size_t after = 0;
+      for (const auto& entries : log) after += entries.size();
+      round_span.arg("routes_appended", after - before);
+    }
   }
 
   // --- Announce pass, through the compiled outbound chains: one
@@ -802,6 +819,9 @@ FixpointResult run_semi_naive(const Problem& problem,
 ReachabilityAnalysis ReachabilityAnalysis::run(
     const model::Network& network, const graph::InstanceSet& instances,
     const Options& options) {
+  obs::Span run_span("reachability.run", "reachability");
+  run_span.arg("instances", instances.instances.size());
+  run_span.arg("naive", options.engine == Engine::kNaive ? 1 : 0);
   ReachabilityAnalysis analysis;
   const std::size_t n = instances.instances.size();
 
@@ -859,6 +879,18 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
   analysis.announced_ = std::move(result.announced);
   analysis.iterations_ = result.iterations;
   analysis.converged_ = result.converged;
+
+  // Logical-event counters: identical totals for both engines and at every
+  // thread count (the fixpoint is confluent), so they belong in the
+  // deterministic counter set. Summed once here, not per add_route.
+  if (obs::counting_enabled()) {
+    std::size_t total_routes = 0;
+    for (const auto& routes : analysis.routes_) total_routes += routes.size();
+    obs::counter("reachability.runs").add();
+    obs::counter("reachability.iterations").add(result.iterations);
+    obs::counter("reachability.routes").add(total_routes);
+    obs::counter("reachability.announced").add(analysis.announced_.size());
+  }
 
   // --- Covering index bookkeeping. Routes sort shortest-prefix-first, so
   // "holds a default" is just a front() check; the per-instance tries are

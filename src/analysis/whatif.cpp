@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/vulnerability.h"
+#include "obs/obs.h"
 
 namespace rd::analysis {
 
@@ -216,7 +217,10 @@ std::vector<ScenarioImpact> sweep_failure_scenarios(
   // Each scenario is an independent fixpoint on its own degraded network
   // model; parallel_map puts result i in slot i, so the sweep's output is
   // identical at any thread count.
+  obs::counter("sweep.scenarios").add(scenarios.size());
   return util::parallel_map(pool, scenarios, [&](const FailureScenario& s) {
+    obs::Span span("sweep.scenario", "reachability");
+    span.label(s.name);
     ScenarioImpact impact;
     impact.scenario = s;
     impact.structural = simulate_router_failure(network, baseline, s.failed);

@@ -1,0 +1,315 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rd::obs {
+
+namespace {
+
+thread_local std::uint32_t t_tid = UINT32_MAX;
+thread_local std::uint32_t t_depth = 0;
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping for the trace writer. Span names and categories
+/// are plain ASCII identifiers, but labels can carry arbitrary network
+/// names, so escape properly.
+void write_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Chrome trace timestamps are microseconds; emit ns as fixed-point
+/// microseconds with three decimals (locale-independent, deterministic
+/// formatting for a given ns value).
+void write_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void write_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() { epoch_ns_.store(steady_ns(), std::memory_order_relaxed); }
+
+std::uint64_t now_ns() noexcept {
+  const auto& registry = Registry::instance();
+  const auto delta =
+      steady_ns() - registry.epoch_ns_.load(std::memory_order_relaxed);
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return *it->second;
+  }
+  auto created = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  Counter& ref = *created;
+  counters_.emplace(ref.name(), std::move(created));
+  return ref;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return *it->second;
+  }
+  auto created = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
+  Gauge& ref = *created;
+  gauges_.emplace(ref.name(), std::move(created));
+  return ref;
+}
+
+void Registry::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::uint32_t Registry::thread_id() {
+  if (t_tid == UINT32_MAX) {
+    t_tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_tid;
+}
+
+std::size_t Registry::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string Registry::trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(events_.size() * 120 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  // Thread-name metadata so Perfetto's track labels are stable.
+  std::uint32_t max_tid = 0;
+  for (const auto& event : events_) max_tid = std::max(max_tid, event.tid);
+  const std::uint32_t tid_bound =
+      events_.empty() ? 0 : max_tid + 1;
+  for (std::uint32_t tid = 0; tid < tid_bound; ++tid) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    write_u64(out, tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread ";
+    write_u64(out, tid);
+    out += "\"}}";
+  }
+
+  std::uint64_t last_ts_ns = 0;
+  for (const auto& event : events_) {
+    comma();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    write_u64(out, event.tid);
+    out += ",\"ts\":";
+    write_us(out, event.ts_ns);
+    out += ",\"dur\":";
+    write_us(out, event.dur_ns);
+    out += ",\"name\":";
+    write_escaped(out, event.name);
+    if (!event.cat.empty()) {
+      out += ",\"cat\":";
+      write_escaped(out, event.cat);
+    }
+    out += ",\"args\":{\"depth\":";
+    write_u64(out, event.depth);
+    if (!event.label.empty()) {
+      out += ",\"label\":";
+      write_escaped(out, event.label);
+    }
+    for (const auto& [key, value] : event.args) {
+      out.push_back(',');
+      write_escaped(out, key);
+      out.push_back(':');
+      write_u64(out, value);
+    }
+    out += "}}";
+    last_ts_ns = std::max(last_ts_ns, event.ts_ns + event.dur_ns);
+  }
+
+  // Final counter and gauge values as counter-track events, plus peak RSS.
+  const auto counter_event = [&](const std::string& name,
+                                 std::uint64_t value) {
+    comma();
+    out += "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+    write_us(out, last_ts_ns);
+    out += ",\"name\":";
+    write_escaped(out, name);
+    out += ",\"args\":{\"value\":";
+    write_u64(out, value);
+    out += "}}";
+  };
+  for (const auto& [name, counter] : counters_) {
+    counter_event(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    counter_event(name + ".max", gauge->max());
+  }
+  counter_event("process.peak_rss_kb", peak_rss_kb());
+
+  out += "]}";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  return values;  // map iteration: already name-sorted
+}
+
+std::string Registry::counters_json() const {
+  const auto values = counter_values();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out.push_back(',');
+    first = false;
+    write_escaped(out, name);
+    out.push_back(':');
+    write_u64(out, value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string Registry::metrics_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "=== metrics ===\ncounters:\n";
+  for (const auto& [name, counter] : counters_) {
+    out += "  " + name + " = ";
+    write_u64(out, counter->value());
+    out.push_back('\n');
+  }
+  out += "gauges (last/max — scheduling-dependent):\n";
+  for (const auto& [name, gauge] : gauges_) {
+    out += "  " + name + " = ";
+    write_u64(out, gauge->last());
+    out += " / ";
+    write_u64(out, gauge->max());
+    out.push_back('\n');
+  }
+  out += "spans recorded: ";
+  write_u64(out, events_.size());
+  out += "\npeak RSS: ";
+  write_u64(out, peak_rss_kb());
+  out += " kB\n";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) {
+    entry.second->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& entry : gauges_) {
+    entry.second->last_.store(0, std::memory_order_relaxed);
+    entry.second->max_.store(0, std::memory_order_relaxed);
+  }
+  events_.clear();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+std::size_t Registry::peak_rss_kb() noexcept {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+Span::Span(std::string_view name, std::string_view cat) noexcept
+    : name_(name), cat_(cat) {
+  if (!tracing_enabled()) return;
+  armed_ = true;
+  depth_ = t_depth++;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  const auto end_ns = now_ns();
+  --t_depth;
+  TraceEvent event;
+  event.name = std::string(name_);
+  event.cat = std::string(cat_);
+  event.label = std::move(label_);
+  event.ts_ns = start_ns_;
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.tid = Registry::instance().thread_id();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  Registry::instance().record(std::move(event));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (!armed_) return;
+  args_.emplace_back(std::string(key), value);
+}
+
+void Span::label(std::string_view text) {
+  if (!armed_) return;
+  label_ = std::string(text);
+}
+
+}  // namespace rd::obs

@@ -1,0 +1,244 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rd::obs {
+
+/// Lightweight, deterministic observability for the analysis pipeline
+/// (DESIGN.md §10): RAII scoped spans with stable thread ids and nesting
+/// depth, named monotonic counters and scheduling-dependent gauges,
+/// peak-RSS sampling, and a Chrome trace-event JSON exporter
+/// (chrome://tracing / Perfetto).
+///
+/// Two global switches, both default-off so instrumented hot paths cost a
+/// single relaxed atomic load when observability is not in use:
+///   - tracing: spans and queue-wait events are recorded (wall times —
+///     nondeterministic by nature, written only to the trace file).
+///   - counting: counters and gauges accumulate.
+///
+/// The determinism contract (mirrors the pipeline's serial-vs-parallel
+/// byte-identity): a `Counter` counts *logical events* — routes propagated,
+/// routers parsed, findings emitted — quantities that are identical at
+/// every thread count and across runs. A `Gauge` records *scheduling
+/// observations* — pool queue depth, tasks enqueued — which legitimately
+/// vary run to run. `Registry::counters_json()` serializes counters only
+/// (name-sorted, compact) and is therefore byte-identical across 1/2/8
+/// threads; gauges and wall times appear only in `trace_json()` and the
+/// human `metrics_text()` dump.
+///
+/// This library is a dependency leaf (everything above it, including
+/// util::ThreadPool, links it), so it emits its trace JSON with a local
+/// writer instead of util::Json.
+
+/// Fast-path switches. Inline globals so hot paths pay one relaxed load,
+/// no singleton call. Flip via Registry::set_tracing / set_counting.
+inline std::atomic<bool> g_tracing{false};
+inline std::atomic<bool> g_counting{false};
+
+inline bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+inline bool counting_enabled() noexcept {
+  return g_counting.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds since the trace epoch (Registry construction). Monotonic.
+std::uint64_t now_ns() noexcept;
+
+/// A named monotonic counter of logical events. Pointer-stable for the
+/// life of the process: hot paths may look it up once and keep the
+/// reference. `add` is a relaxed atomic increment, gated on the counting
+/// switch so a disabled counter costs one relaxed load.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!counting_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A named scheduling-dependent observation: last value set plus the
+/// maximum ever seen (e.g. pool queue depth). Excluded from the
+/// deterministic counter serialization by design.
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept {
+    if (!counting_enabled()) return;
+    last_.store(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::uint64_t n = 1) noexcept {
+    if (!counting_enabled()) return;
+    const auto v = last_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t last() const noexcept {
+    return last_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> last_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One recorded span, Chrome trace-event "X" (complete) shape. Strings are
+/// owned copies — recording happens only when tracing is on, so the copies
+/// never cost a disabled run anything.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::string label;         // optional free-form annotation ("args.label")
+  std::uint64_t ts_ns = 0;   // start, ns since trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     // stable small id, assigned per thread
+  std::uint32_t depth = 0;   // span nesting depth on that thread, 0 = root
+  /// Up to four numeric annotations (serialized into "args").
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Flip the global switches (also visible through tracing_enabled /
+  /// counting_enabled). Tracing implies nothing about counting; CLIs
+  /// enable both for --trace.
+  void set_tracing(bool on) noexcept {
+    g_tracing.store(on, std::memory_order_relaxed);
+  }
+  void set_counting(bool on) noexcept {
+    g_counting.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. Returned references stay valid for the life of the
+  /// process (deque storage, never erased — reset() zeroes values but
+  /// keeps identities).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Record one finished span. Called by Span's destructor; also usable
+  /// directly for events whose start predates the recording thread (the
+  /// thread pool's queue-wait events).
+  void record(TraceEvent event);
+
+  /// Stable small integer for the calling thread, assigned on first use.
+  std::uint32_t thread_id();
+
+  /// Chrome trace-event JSON: thread-name metadata, every recorded span
+  /// ("X" events, ts/dur in fractional microseconds), and the final
+  /// counter and gauge values as "C" counter events (plus peak RSS).
+  /// Loadable in chrome://tracing and Perfetto.
+  std::string trace_json() const;
+
+  /// Counters only, name-sorted, compact: {"a.b":1,...}. Deterministic —
+  /// byte-identical across thread counts and repeated runs (the obs test
+  /// suite holds this line).
+  std::string counters_json() const;
+
+  /// Name-sorted snapshot of counter values (deterministic).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
+  /// Human-readable dump for `--metrics`: counters, gauges (last/max), and
+  /// peak RSS. Not deterministic; goes to stderr, never into reports.
+  std::string metrics_text() const;
+
+  /// Zero every counter and gauge, drop recorded events, restart the trace
+  /// epoch. Counter/Gauge references stay valid. Test scaffolding.
+  void reset();
+
+  /// Peak resident set size in kB (VmHWM), 0 where unsupported.
+  static std::size_t peak_rss_kb() noexcept;
+
+  std::size_t event_count() const;
+
+ private:
+  Registry();
+
+  friend std::uint64_t now_ns() noexcept;
+  std::atomic<std::int64_t> epoch_ns_{0};  // steady_clock ns at reset
+
+  mutable std::mutex mutex_;
+  // Heap-allocated values: Counter/Gauge hold atomics (immovable), and the
+  // pointer-stability promise must survive map rehashing-free growth too.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// Convenience: the process-wide counter/gauge by name.
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+/// RAII scoped span. Construction when tracing is off is a relaxed load
+/// and a few stores — no clock read, no allocation, no lock. When on, the
+/// constructor stamps the start time and nesting depth (thread-local) and
+/// the destructor records the event under the registry mutex.
+///
+/// `name` and `cat` must outlive the span (string literals and strings
+/// owned by longer-lived objects both qualify); they are copied into the
+/// event at destruction.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "") noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric annotation ("args" in the trace). Key must outlive
+  /// the span. No-op when the span is unarmed (tracing was off).
+  void arg(std::string_view key, std::uint64_t value);
+
+  /// Attach a free-form text annotation (e.g. a network name).
+  void label(std::string_view text);
+
+  bool armed() const noexcept { return armed_; }
+
+ private:
+  std::string_view name_;
+  std::string_view cat_;
+  std::string label_;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace rd::obs

@@ -2,23 +2,31 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/hash.h"
 
 namespace rd::pipeline {
 
 std::shared_ptr<const config::ParseResult> ParseCache::parse(
     const std::string& text) {
+  // Looked up once: the registry reference is stable for the process life,
+  // so the hot path pays one relaxed load when counting is off.
+  static obs::Counter& hit_counter = obs::counter("parse_cache.hits");
+  static obs::Counter& miss_counter = obs::counter("parse_cache.misses");
   const Key key = util::Sha1::hash(text);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
+      hit_counter.add();
       return it->second;
     }
     ++misses_;
+    miss_counter.add();
   }
   // Parse outside the lock; a concurrent miss on the same key parses too,
   // and try_emplace below keeps whichever result lands first.
+  obs::Span span("parse_cache.parse", "pipeline");
   auto parsed =
       std::make_shared<const config::ParseResult>(config::parse_config(text));
   std::lock_guard<std::mutex> lock(mutex_);

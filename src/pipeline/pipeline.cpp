@@ -10,6 +10,7 @@
 #include "config/parser.h"
 #include "graph/dot.h"
 #include "graph/instances.h"
+#include "obs/obs.h"
 #include "util/json.h"
 
 namespace rd::pipeline {
@@ -20,7 +21,15 @@ namespace {
 // model and reports can surface malformed lines (dropping them here was the
 // bug this pipeline once had).
 config::ParseResult parse_one(const std::string& text) {
-  return config::parse_config(text);
+  static obs::Counter& routers = obs::counter("parse.routers");
+  static obs::Counter& diagnostics = obs::counter("parse.diagnostics");
+  obs::Span span("parse.router", "pipeline");
+  auto result = config::parse_config(text);
+  span.arg("bytes", text.size());
+  span.arg("diagnostics", result.diagnostics.size());
+  routers.add();
+  diagnostics.add(result.diagnostics.size());
+  return result;
 }
 
 // util::Json has no uint32_t constructor; ids need an explicit widening.
@@ -33,13 +42,24 @@ util::Json uid(std::uint32_t v) {
 model::Network build_network_serial(const std::vector<std::string>& texts) {
   std::vector<config::ParseResult> parses;
   parses.reserve(texts.size());
-  for (const auto& text : texts) parses.push_back(parse_one(text));
+  {
+    obs::Span span("parse.network", "pipeline");
+    span.arg("routers", texts.size());
+    for (const auto& text : texts) parses.push_back(parse_one(text));
+  }
+  obs::Span span("model.build", "pipeline");
   return model::Network::build_parsed(std::move(parses));
 }
 
 model::Network build_network_parallel(const std::vector<std::string>& texts,
                                       util::ThreadPool& pool) {
-  auto parses = util::parallel_map(pool, texts, parse_one);
+  std::vector<config::ParseResult> parses;
+  {
+    obs::Span span("parse.network", "pipeline");
+    span.arg("routers", texts.size());
+    parses = util::parallel_map(pool, texts, parse_one);
+  }
+  obs::Span span("model.build", "pipeline");
   return model::Network::build_parsed(std::move(parses));
 }
 
@@ -174,15 +194,27 @@ std::string network_signature(const model::Network& network) {
 NetworkReport analyze_network(const std::string& name,
                               const model::Network& network) {
   using util::Json;
-  const auto ig = graph::InstanceGraph::build(network);
+  obs::Span network_span("analyze.network", "pipeline");
+  network_span.label(name);
+  const auto ig = [&] {
+    obs::Span span("analyze.instance_graph", "pipeline");
+    return graph::InstanceGraph::build(network);
+  }();
   const auto classification = analysis::classify_design(network, ig.set);
   const auto census = analysis::interface_census(network);
   // One engine run covers the consistency and lint sections below plus the
   // vulnerability and cross-router rules; the registry is immutable and
   // shared across the (possibly concurrent) per-network tasks.
   static const auto engine = analysis::RuleEngine::with_default_rules();
-  const auto rules_result = engine.run(network, ig);
-  const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
+  const auto rules_result = [&] {
+    obs::Span span("analyze.rules", "pipeline");
+    return engine.run(network, ig);
+  }();
+  const auto reach = [&] {
+    obs::Span span("analyze.reachability", "pipeline");
+    return analysis::ReachabilityAnalysis::run(network, ig.set);
+  }();
+  obs::counter("fleet.networks").add();
 
   const auto category_of = [&](const analysis::Finding& f) -> std::string {
     const auto* info = engine.find(f.rule_id);
@@ -317,6 +349,30 @@ NetworkReport analyze_network(const std::string& name,
   reach_json.set("iterations", reach.iterations_used());
   reach_json.set("converged", reach.converged());
   root.set("reachability", std::move(reach_json));
+
+  // Deterministic per-network metrics (DESIGN.md §10): logical-event counts
+  // computed from this network's results, never from the global obs
+  // registry (whose totals depend on what else ran in the process) and
+  // never wall times (which go solely to the trace file). Keys are emitted
+  // pre-sorted, so serial and parallel reports stay byte-identical.
+  auto metrics = Json::object();
+  auto counters = Json::object();
+  counters.set("graph.instance_edges", ig.edges.size());
+  counters.set("graph.instances", ig.set.instances.size());
+  counters.set("model.interfaces", network.interfaces().size());
+  counters.set("model.links", network.links().size());
+  counters.set("parse.diagnostics", report.parse_diagnostics);
+  counters.set("parse.routers", network.router_count());
+  counters.set("reachability.external_routes", external_routes);
+  counters.set("reachability.iterations", reach.iterations_used());
+  counters.set("reachability.routes", total_routes);
+  counters.set("rules.errors", rules_result.errors);
+  counters.set("rules.evaluated", engine.rules().size());
+  counters.set("rules.findings", rules_result.findings.size());
+  counters.set("rules.suppressed", rules_result.suppressed);
+  counters.set("rules.warnings", rules_result.warnings);
+  metrics.set("counters", std::move(counters));
+  root.set("metrics", std::move(metrics));
 
   report.json = root.dump();
   report.instance_graph_dot = graph::to_dot(network, ig);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <stdexcept>
 
 #include "config/parser.h"
 #include "config/writer.h"
@@ -20,6 +21,9 @@ std::vector<std::filesystem::path> emit_network(
     const auto path = directory / ("config" + std::to_string(index));
     std::ofstream out(path);
     out << config::write_config(config);
+    if (!out) {
+      throw std::runtime_error("cannot write " + path.string());
+    }
     paths.push_back(path);
   }
   return paths;

@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace rd::util {
@@ -36,6 +37,9 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::counting_enabled()) {
+        obs::gauge("pool.queue_depth").set(queue_.size());
+      }
     }
     task();
   }
@@ -83,9 +87,36 @@ void ThreadPool::run_indexed(std::size_t n,
 
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   if (helpers > 0) {
+    // Observability wrapper: stamp the enqueue time so a dequeued task can
+    // record how long it sat in the queue ("pool.queue_wait", an event
+    // whose span covers enqueue -> dequeue), then run the claim loop under
+    // a "pool.task" span. Only built when tracing is on — the common case
+    // enqueues `drive` untouched.
+    std::function<void()> queued = drive;
+    if (obs::tracing_enabled()) {
+      const std::uint64_t enqueue_ns = obs::now_ns();
+      queued = [drive, enqueue_ns] {
+        const std::uint64_t start_ns = obs::now_ns();
+        if (obs::tracing_enabled()) {
+          obs::TraceEvent wait;
+          wait.name = "pool.queue_wait";
+          wait.cat = "pool";
+          wait.ts_ns = enqueue_ns;
+          wait.dur_ns = start_ns > enqueue_ns ? start_ns - enqueue_ns : 0;
+          wait.tid = obs::Registry::instance().thread_id();
+          obs::Registry::instance().record(std::move(wait));
+        }
+        obs::Span span("pool.task", "pool");
+        drive();
+      };
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(drive);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(queued);
+      if (obs::counting_enabled()) {
+        obs::gauge("pool.tasks_enqueued").add(helpers);
+        obs::gauge("pool.queue_depth").set(queue_.size());
+      }
     }
     cv_.notify_all();
   }

@@ -1,0 +1,110 @@
+// Every example CLI honors the exit-code contract's error leg: feeding a
+// truncated configuration file where a config directory belongs must exit 2
+// (usage / I/O error) — not 0, not 1, and especially not an uncaught
+// std::filesystem_error turning into std::terminate (exit 134). Also pins
+// the unified --threads parsing: out-of-range and non-numeric values exit 2
+// on every CLI that takes the flag.
+//
+// The binaries are found via RD_EXAMPLES_BIN_DIR, injected by CMake.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#if defined(_WIN32)
+#error "this test suite assumes POSIX wait-status decoding"
+#endif
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs `<bin-dir>/<tool> <args>` with stdout/stderr discarded and returns
+/// the tool's exit code, or -1 when it did not exit normally (signal,
+/// abort) — the failure mode this suite exists to rule out.
+int run_tool(const std::string& tool, const std::string& args) {
+  const std::string command = std::string(RD_EXAMPLES_BIN_DIR) + "/" + tool +
+                              " " + args + " >/dev/null 2>/dev/null";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+class CliExitCodesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rd_cli_exit_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    truncated_ = (dir_ / "truncated-config").string();
+    std::ofstream out(truncated_);
+    // A config cut off mid-statement — a plain file, not the directory
+    // every tool expects.
+    out << "hostname torn-router\ninterface FastEth";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+  std::string truncated_;
+};
+
+TEST_F(CliExitCodesTest, TruncatedConfigFileExitsTwoEverywhere) {
+  EXPECT_EQ(run_tool("quickstart", truncated_), 2);
+  EXPECT_EQ(run_tool("audit_network", truncated_), 2);
+  EXPECT_EQ(run_tool("reachability_query", truncated_), 2);
+  EXPECT_EQ(run_tool("export_design", truncated_), 2);
+  EXPECT_EQ(run_tool("rdlint", truncated_), 2);
+  EXPECT_EQ(run_tool("pathway_report", truncated_ + " some-router"), 2);
+  EXPECT_EQ(run_tool("diff_snapshots", truncated_ + " " + truncated_), 2);
+  EXPECT_EQ(run_tool("diff_snapshots", "--series " + truncated_ + " " +
+                                           truncated_),
+            2);
+  EXPECT_EQ(run_tool("anonymize_configs",
+                     truncated_ + " " + (dir_ / "anon-out").string()),
+            2);
+  // generate_network reads no configs; its I/O error leg is an output
+  // directory that is actually a file.
+  EXPECT_EQ(run_tool("generate_network", "enterprise " + truncated_), 2);
+}
+
+TEST_F(CliExitCodesTest, NonexistentPathExitsTwo) {
+  const std::string gone = (dir_ / "does-not-exist").string();
+  EXPECT_EQ(run_tool("quickstart", gone), 2);
+  EXPECT_EQ(run_tool("audit_network", gone), 2);
+  EXPECT_EQ(run_tool("rdlint", gone), 2);
+  EXPECT_EQ(run_tool("reachability_query", gone), 2);
+}
+
+TEST_F(CliExitCodesTest, BadThreadsValueExitsTwo) {
+  for (const char* tool : {"audit_network", "rdlint"}) {
+    EXPECT_EQ(run_tool(tool, "--threads 0"), 2) << tool;
+    EXPECT_EQ(run_tool(tool, "--threads 1025"), 2) << tool;
+    EXPECT_EQ(run_tool(tool, "--threads abc"), 2) << tool;
+    EXPECT_EQ(run_tool(tool, "--threads"), 2) << tool;
+  }
+}
+
+TEST_F(CliExitCodesTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_tool("generate_network", "bogus-archetype " +
+                                             (dir_ / "out").string()),
+            2);
+  EXPECT_EQ(run_tool("rdlint", "--format yaml"), 2);
+  EXPECT_EQ(run_tool("audit_network", "--trace"), 2);
+  EXPECT_EQ(run_tool("rdlint", "--trace"), 2);
+}
+
+TEST_F(CliExitCodesTest, GoodInvocationsStillExitZero) {
+  // The guarded mains must not change the success leg: --help is exit 0.
+  EXPECT_EQ(run_tool("audit_network", "--help"), 0);
+  EXPECT_EQ(run_tool("rdlint", "--help"), 0);
+}
+
+}  // namespace
