@@ -29,6 +29,7 @@
 #include "analysis/archetype.h"
 #include "analysis/census.h"
 #include "analysis/filters.h"
+#include "analysis/header_space.h"
 #include "analysis/ibgp.h"
 #include "analysis/reachability.h"
 #include "analysis/router_rib.h"
@@ -61,7 +62,7 @@ static int run(int argc, char** argv) {
           "\n"
           "Audit a network's router configurations: inventory, design\n"
           "classification, vulnerability assessment, and the unified\n"
-          "design-rule engine (rdlint rules RD001..RD044). With no\n"
+          "design-rule engine (rdlint rules RD001..RD052). With no\n"
           "config-dir a managed enterprise is generated and audited.\n"
           "\n"
           "options:\n"
@@ -330,6 +331,30 @@ static int run(int argc, char** argv) {
                                   static_cast<double>(sizes.size()),
               max_rib, ribs.routers_with_external_routes().size(),
               network.router_count());
+
+  // --- Intent assertions (§6.2 reachability questions, machine-checked
+  // against the exact symbolic header space) ----------------------------------
+  if (const auto intents = analysis::collect_intents(network);
+      !intents.empty()) {
+    std::printf("\n=== Intent assertions ===\n");
+    const auto outcomes =
+        analysis::verify_intents(network, ig.set, reach, intents);
+    std::size_t held = 0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.holds) ++held;
+    }
+    std::printf("declared rd-intent assertions: %zu, holding: %zu\n",
+                outcomes.size(), held);
+    for (const auto& outcome : outcomes) {
+      if (outcome.holds) continue;
+      std::printf("  VIOLATED: %s", outcome.intent.describe().c_str());
+      if (outcome.witness) {
+        std::printf(" — witness packet %s",
+                    outcome.witness->describe().c_str());
+      }
+      std::printf("\n");
+    }
+  }
 
   // --- Design rules (paper §8: lint, consistency, vulnerability, and the
   // cross-router rules, unified under one registry with provenance) -----------

@@ -1,6 +1,6 @@
 // rdlint: the unified design-rule CLI (paper §8 static analysis).
 //
-// Runs every registered design rule (RD001..RD044: lint, cross-router
+// Runs every registered design rule (RD001..RD052: lint, cross-router
 // consistency, vulnerability assessment, and the cross-router design rules)
 // over a network's configuration files and reports the findings with source
 // provenance (file + line). Inline "! rdlint-disable <RDid>" comments in a
@@ -68,7 +68,7 @@ void print_usage() {
   std::printf(
       "usage: rdlint [options] [<config-dir> ...]\n"
       "\n"
-      "Run the design-rule engine (RD001..RD044) over router\n"
+      "Run the design-rule engine (RD001..RD052) over router\n"
       "configurations. With no directory a managed enterprise is\n"
       "generated and linted; with several directories they are treated\n"
       "as ordered snapshots of one network and each transition is\n"

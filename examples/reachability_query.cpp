@@ -7,6 +7,12 @@
 //   reachability_query                       # query the net15 case study
 //   reachability_query <config-dir>          # your own network
 //   reachability_query <config-dir> A B      # two-way reachability of A, B
+//   reachability_query --symbolic ...        # exact header-space analysis:
+//                                            # with A B, the full packet set
+//                                            # that passes A -> B (filters,
+//                                            # routes, and return path all
+//                                            # applied); without, verify the
+//                                            # "! rd-intent" assertions
 //   reachability_query --naive ...           # use the reference full-rescan
 //                                            # engine (identical results,
 //                                            # asymptotically slower)
@@ -19,6 +25,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "analysis/header_space.h"
+#include "analysis/packet_reachability.h"
 #include "analysis/reachability.h"
 #include "cli_util.h"
 #include "graph/instances.h"
@@ -51,6 +59,7 @@ static int run(int argc, char** argv) {
   std::vector<config::RouterConfig> configs;
   analysis::ReachabilityAnalysis::Options options;
   cli::ObsOptions obs_options;
+  bool symbolic = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     bool obs_error = false;
@@ -60,6 +69,8 @@ static int run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--naive") == 0) {
       options.engine = analysis::ReachabilityAnalysis::Engine::kNaive;
+    } else if (std::strcmp(argv[i], "--symbolic") == 0) {
+      symbolic = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -86,6 +97,78 @@ static int run(int argc, char** argv) {
       analysis::ReachabilityAnalysis::run(network, instances, options);
   if (const auto warning = reach.convergence_warning(); !warning.empty()) {
     std::fprintf(stderr, "%s\n", warning.c_str());
+  }
+
+  // --- Symbolic header-space mode --------------------------------------------
+  if (symbolic) {
+    analysis::HeaderSpace space(network, instances, reach);
+    if (positional.size() > 2) {
+      const auto a = ip::Ipv4Address::parse(positional[1]);
+      const auto b = ip::Ipv4Address::parse(positional[2]);
+      if (!a || !b) {
+        std::fprintf(stderr, "bad addresses\n");
+        return 2;
+      }
+      const auto ingress = space.attachment_interface(*a);
+      const auto egress = space.attachment_interface(*b);
+      if (!ingress || !egress) {
+        std::printf("%s attached: %s, %s attached: %s — unattached "
+                    "endpoints pass no packets\n",
+                    positional[1], ingress ? "yes" : "NO", positional[2],
+                    egress ? "yes" : "NO");
+        return obs_options.finish("reachability_query");
+      }
+      const auto itf_name = [&](model::InterfaceId id) {
+        const auto& itf = network.interfaces()[id];
+        return network.routers()[itf.router].hostname + " " + itf.name;
+      };
+      std::printf("%s enters at %s; %s sits behind %s\n", positional[1],
+                  itf_name(*ingress).c_str(), positional[2],
+                  itf_name(*egress).c_str());
+      const auto& predicate = space.pair_predicate(*ingress, *egress);
+      std::printf("exact packet set passing that ingress/egress pair "
+                  "(%zu atoms):\n",
+                  predicate.atom_count());
+      std::printf("%s",
+                  predicate.to_string(space.protocol_domain()).c_str());
+      analysis::FlowQuery query;
+      query.source = *a;
+      query.destination = *b;
+      const analysis::PacketReachability concrete(network, instances, reach);
+      std::printf("plain ip packet %s -> %s: %s (symbolic) / %s (concrete "
+                  "probe)\n",
+                  positional[1], positional[2],
+                  space.passes(query) ? "passes" : "blocked",
+                  std::string(to_string(concrete.evaluate(query))).c_str());
+      return obs_options.finish("reachability_query");
+    }
+    // No explicit pair: check every "! rd-intent" assertion in the configs.
+    const auto intents = analysis::collect_intents(network);
+    if (intents.empty()) {
+      std::printf("no \"! rd-intent\" assertions declared in these "
+                  "configs; nothing to verify\n");
+      return obs_options.finish("reachability_query");
+    }
+    const auto outcomes = space.verify(intents);
+    std::size_t held = 0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.holds) ++held;
+    }
+    std::printf("intent assertions: %zu, holding: %zu\n", outcomes.size(),
+                held);
+    for (const auto& outcome : outcomes) {
+      if (outcome.holds) {
+        std::printf("  ok: %s\n", outcome.intent.describe().c_str());
+        continue;
+      }
+      std::printf("  VIOLATED: %s", outcome.intent.describe().c_str());
+      if (outcome.witness) {
+        std::printf(" — witness packet %s",
+                    outcome.witness->describe().c_str());
+      }
+      std::printf("\n");
+    }
+    return obs_options.finish("reachability_query");
   }
 
   // Optional query: two addresses.

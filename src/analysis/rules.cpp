@@ -7,8 +7,12 @@
 #include <utility>
 
 #include "analysis/consistency.h"
+#include "analysis/header_space.h"
 #include "analysis/ibgp.h"
+#include "analysis/reachability.h"
 #include "analysis/vulnerability.h"
+#include "model/header_predicate.h"
+#include "model/policy.h"
 #include "obs/obs.h"
 #include "util/json.h"
 
@@ -377,6 +381,281 @@ std::vector<Finding> rule_unfiltered_igp_edge(const RuleContext& ctx) {
   return out;
 }
 
+// --- symbolic rules (RD050-RD052) --------------------------------------------
+//
+// These reason over exact packet / route *sets* (model::HeaderPredicate)
+// instead of probing one example, so they catch the shadowing the RD008
+// heuristic deliberately skips ("extended shadowing needs protocol/port
+// reasoning") and check operator intents against the full header space.
+
+/// Is the ACL attached as a packet filter (access-group in/out) anywhere in
+/// its own config? Decides which matching semantics RD050 applies.
+bool acl_is_packet_filter(const config::RouterConfig& cfg,
+                          const std::string& id) {
+  for (const auto& itf : cfg.interfaces) {
+    if ((itf.access_group_in && *itf.access_group_in == id) ||
+        (itf.access_group_out && *itf.access_group_out == id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Would the RD007/RD008 lint pass already flag clause i of this ACL? RD050
+/// only reports shadows those heuristics cannot see, so the two rules never
+/// double-report one clause.
+bool lint_already_flags(const config::AccessList& acl, std::size_t i) {
+  for (std::size_t j = 0; j < i; ++j) {
+    const auto& earlier = acl.rules[j];
+    const auto& later = acl.rules[i];
+    if (earlier == later) return true;  // RD007 duplicate-acl-clause
+    if (!earlier.extended && !later.extended && i + 1 != acl.rules.size() &&
+        (earlier.any_source ||
+         (!later.any_source && earlier.source.contains(later.source)))) {
+      return true;  // RD008 shadowed-acl-clause
+    }
+  }
+  return false;
+}
+
+void subtract_piece(std::vector<ip::Prefix>& region, const ip::Prefix& hole) {
+  std::vector<ip::Prefix> out;
+  out.reserve(region.size());
+  for (const auto& piece : region) {
+    if (hole.contains(piece)) continue;
+    if (piece.contains(hole)) {
+      auto parts = model::prefix_difference(piece, hole);
+      out.insert(out.end(), parts.begin(), parts.end());
+    } else {
+      out.push_back(piece);
+    }
+  }
+  region = std::move(out);
+}
+
+ip::Prefix acl_rule_source_region(const config::AclRule& rule) {
+  return rule.any_source ? ip::Prefix(ip::Ipv4Address(0u), 0) : rule.source;
+}
+
+std::vector<Finding> rule_shadowed_acl_entry(const RuleContext& ctx) {
+  const auto& network = ctx.network;
+  std::vector<Finding> out;
+  for (model::RouterId r = 0; r < network.routers().size(); ++r) {
+    const auto& cfg = network.routers()[r];
+    for (const auto& acl : cfg.access_lists) {
+      if (acl.rules.size() < 2) continue;
+      if (acl_is_packet_filter(cfg, acl.id)) {
+        // Packet semantics: exact cross-product regions over
+        // (src, dst, protocol, port), as acl_permits_packet evaluates them.
+        model::ProtocolDomain domain;
+        const model::SymbolicPacketFilter symbolic(acl, domain);
+        for (const std::size_t i : symbolic.shadowed()) {
+          if (lint_already_flags(acl, i)) continue;
+          out.push_back(make_finding(
+              r, acl.id,
+              "clause " + std::to_string(i + 1) +
+                  " can never match a packet (the preceding clauses cover "
+                  "its entire header space)",
+              acl.rules[i].line));
+        }
+      } else {
+        // Route-filter semantics: acl_permits_route matches only the
+        // route's network address against the source spec.
+        std::vector<ip::Prefix> remaining{ip::Prefix(ip::Ipv4Address(0u), 0)};
+        for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+          const ip::Prefix region = acl_rule_source_region(acl.rules[i]);
+          bool matchable = false;
+          for (const auto& piece : remaining) {
+            if (piece.overlaps(region)) {
+              matchable = true;
+              break;
+            }
+          }
+          if (!matchable && !lint_already_flags(acl, i)) {
+            out.push_back(make_finding(
+                r, acl.id,
+                "clause " + std::to_string(i + 1) +
+                    " can never match a route (the preceding clauses cover "
+                    "its source space)",
+                acl.rules[i].line));
+          }
+          subtract_piece(remaining, region);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// RD051 lowers route space onto the same predicate algebra: a route
+// (network address, prefix length, tag) becomes a header point with
+// source = the address, port = the length (an integer in [0, 32]), and
+// protocols = one bit per distinct tag value (bitmask position interned via
+// a ProtocolDomain reused as a small-integer-set interner; bit 0 stays the
+// "any other tag" wildcard a tag-less match keeps). The model covers a
+// superspace of real routes (lengths unaligned with addresses included), so
+// an empty or covered region is a sound "dead" verdict.
+
+constexpr std::uint32_t kMaxPrefixLen = 32;
+
+model::HeaderPredicate acl_route_region(const config::AccessList& acl) {
+  model::HeaderPredicate permitted;
+  std::vector<ip::Prefix> remaining{ip::Prefix(ip::Ipv4Address(0u), 0)};
+  for (const auto& rule : acl.rules) {
+    const ip::Prefix region = acl_rule_source_region(rule);
+    if (rule.action == config::FilterAction::kPermit) {
+      for (const auto& piece : remaining) {
+        std::optional<ip::Prefix> hit;
+        if (piece.contains(region)) {
+          hit = region;
+        } else if (region.contains(piece)) {
+          hit = piece;
+        }
+        if (!hit) continue;
+        model::HeaderAtom atom;
+        atom.source = *hit;
+        atom.port_hi = kMaxPrefixLen;
+        permitted.unite(atom);
+      }
+    }
+    subtract_piece(remaining, region);
+    if (remaining.empty()) break;
+  }
+  permitted.normalize();
+  return permitted;
+}
+
+model::HeaderPredicate prefix_list_region(const config::PrefixList& pl) {
+  model::HeaderPredicate permitted;
+  model::HeaderAtom everything;
+  everything.port_hi = kMaxPrefixLen;
+  auto remaining = model::HeaderPredicate::of(everything);
+  for (const auto& entry : pl.entries) {
+    // Mirror of prefix_list_permits_route: containment forces
+    // length >= entry length; ge/le bound it further; no bounds means
+    // exact length.
+    model::HeaderAtom region;
+    region.source = entry.prefix;
+    const auto entry_len = static_cast<std::uint32_t>(entry.prefix.length());
+    if (entry.ge || entry.le) {
+      region.port_lo = entry_len;
+      if (entry.ge && *entry.ge > 0 &&
+          static_cast<std::uint32_t>(*entry.ge) > entry_len) {
+        region.port_lo = static_cast<std::uint32_t>(*entry.ge);
+      }
+      region.port_hi =
+          entry.le && *entry.le >= 0 ? static_cast<std::uint32_t>(*entry.le)
+                                     : kMaxPrefixLen;
+    } else {
+      region.port_lo = region.port_hi = entry_len;
+    }
+    if (region.empty()) continue;  // le < ge: matches nothing, blocks nothing
+    if (entry.action == config::FilterAction::kPermit) {
+      permitted.unite(remaining.intersect(region));
+    }
+    remaining = remaining.subtract(region);
+    remaining.normalize();
+    if (remaining.is_empty()) break;
+  }
+  permitted.normalize();
+  return permitted;
+}
+
+model::HeaderPredicate route_map_clause_region(
+    const config::RouteMapClause& clause, const config::RouterConfig& cfg,
+    model::ProtocolDomain& tags) {
+  model::HeaderAtom base;
+  base.port_hi = kMaxPrefixLen;
+  if (clause.match_tag) {
+    base.protocols = tags.clause_mask(std::to_string(*clause.match_tag));
+  }
+  auto region = model::HeaderPredicate::of(base);
+  // AND across match kinds, OR across the lists of one kind; unresolvable
+  // references contribute nothing — exactly route_map_evaluate. A present
+  // match kind whose every list is unresolvable (or matches nothing) makes
+  // the clause unsatisfiable. "match as-path" carries no route-space
+  // constraint in the static model and is treated as satisfied.
+  if (!clause.match_ip_address_acls.empty()) {
+    model::HeaderPredicate any;
+    for (const auto& acl_id : clause.match_ip_address_acls) {
+      if (const auto* acl = cfg.find_access_list(acl_id)) {
+        any.unite(acl_route_region(*acl));
+      }
+    }
+    region = region.intersect(any);
+  }
+  if (!clause.match_prefix_lists.empty()) {
+    model::HeaderPredicate any;
+    for (const auto& pl_name : clause.match_prefix_lists) {
+      if (const auto* pl = cfg.find_prefix_list(pl_name)) {
+        any.unite(prefix_list_region(*pl));
+      }
+    }
+    region = region.intersect(any);
+  }
+  region.normalize();
+  return region;
+}
+
+std::vector<Finding> rule_dead_route_map_clause(const RuleContext& ctx) {
+  const auto& network = ctx.network;
+  std::vector<Finding> out;
+  for (model::RouterId r = 0; r < network.routers().size(); ++r) {
+    const auto& cfg = network.routers()[r];
+    for (const auto& rm : cfg.route_maps) {
+      model::ProtocolDomain tags;
+      model::HeaderPredicate covered;
+      for (const auto& clause : rm.clauses) {
+        const auto region = route_map_clause_region(clause, cfg, tags);
+        const std::string label = "clause " + std::to_string(clause.sequence);
+        if (region.is_empty()) {
+          out.push_back(make_finding(
+              r, rm.name,
+              label + " can never match: its match conditions are "
+                      "unsatisfiable (no referenced list matches any route)",
+              clause.line));
+        } else if (region.subtract(covered).is_empty()) {
+          out.push_back(make_finding(
+              r, rm.name,
+              label + " can never be reached: earlier clauses match every "
+                      "route it matches",
+              clause.line));
+        }
+        covered.unite(region);
+        covered.normalize();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> rule_intent_violation(const RuleContext& ctx) {
+  const auto intents = collect_intents(ctx.network);
+  if (intents.empty()) return {};  // the common case costs nothing
+  const auto routes = ReachabilityAnalysis::run(ctx.network, ctx.graph.set);
+  std::vector<Finding> out;
+  for (const auto& outcome :
+       verify_intents(ctx.network, ctx.graph.set, routes, intents)) {
+    if (outcome.holds) continue;
+    std::string detail;
+    if (outcome.intent.expect_reachable) {
+      detail = "allow intent violated: packet " +
+               (outcome.witness ? outcome.witness->describe()
+                                : std::string("?")) +
+               " cannot get through";
+    } else {
+      detail = "deny intent violated: packet " +
+               (outcome.witness ? outcome.witness->describe()
+                                : std::string("?")) +
+               " gets through";
+    }
+    out.push_back(make_finding(outcome.intent.router,
+                               outcome.intent.describe(), std::move(detail),
+                               outcome.intent.line));
+  }
+  return out;
+}
+
 // --- the default registry ---------------------------------------------------
 
 struct LintRuleSpec {
@@ -520,6 +799,21 @@ RuleEngine RuleEngine::with_default_rules(RuleOptions options) {
               "or packet filtering",
               "§5.2, §8.1"},
              rule_unfiltered_igp_edge);
+  engine.add({"RD050", "shadowed-acl-entry", "symbolic", Severity::kInfo,
+              "ACL clause can never match: the preceding clauses cover its "
+              "entire header (or route source) space",
+              "§5.3, §8.1"},
+             rule_shadowed_acl_entry);
+  engine.add({"RD051", "dead-route-map-clause", "symbolic", Severity::kInfo,
+              "Route-map clause can never fire: unsatisfiable match "
+              "conditions, or earlier clauses match every route it matches",
+              "§5.1, §8.1"},
+             rule_dead_route_map_clause);
+  engine.add({"RD052", "intent-violation", "symbolic", Severity::kError,
+              "A declared rd-intent assertion does not hold in the computed "
+              "header space",
+              "§6.2, §8.1"},
+             rule_intent_violation);
   return engine;
 }
 

@@ -23,9 +23,11 @@ namespace rd::analysis {
 /// `Finding`s that carry source provenance (config file + 1-based line).
 ///
 /// Rule-id blocks: RD001-RD019 per-router lint, RD020-RD029 cross-router
-/// consistency, RD030-RD039 vulnerability assessment, RD040+ cross-router
-/// design rules. Ids are append-only: a retired rule's id is never reused,
-/// so baselines and suppression comments stay meaningful across versions.
+/// consistency, RD030-RD039 vulnerability assessment, RD040-RD049
+/// cross-router design rules, RD050+ symbolic header-space rules
+/// (exact-set shadowing / dead-clause / intent checks). Ids are
+/// append-only: a retired rule's id is never reused, so baselines and
+/// suppression comments stay meaningful across versions.
 
 enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
@@ -124,7 +126,7 @@ class RuleEngine {
 
   RuleEngine() = default;
 
-  /// An engine with every built-in rule registered (RD001..RD044).
+  /// An engine with every built-in rule registered (RD001..RD052).
   static RuleEngine with_default_rules(RuleOptions options = {});
 
   void add(RuleInfo info, RuleFn fn);

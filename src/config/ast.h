@@ -346,6 +346,31 @@ struct StaticRoute {
   }
 };
 
+/// An operator intent declared in a config comment:
+///
+///   ! rd-intent deny  <src-prefix> <dst-prefix> [<protocol> [<port>]]
+///   ! rd-intent allow <src-prefix> <dst-prefix> [<protocol> [<port>]]
+///
+/// "deny" asserts no packet in the region can flow end to end; "allow"
+/// asserts every packet in it can. The default protocol "ip" means any
+/// protocol; an absent port means any port (including portless packets).
+/// The header-space engine checks these assertions symbolically (rule
+/// RD052 and audit_network's intent section).
+struct IntentDirective {
+  bool expect_reachable = false;  // "allow" vs "deny"
+  ip::Prefix source;
+  ip::Prefix destination;
+  std::string protocol = "ip";
+  std::optional<std::uint16_t> port;
+  std::size_t line = 0;  // comment line; not part of equality
+
+  friend bool operator==(const IntentDirective& a, const IntentDirective& b) {
+    return a.expect_reachable == b.expect_reachable && a.source == b.source &&
+           a.destination == b.destination && a.protocol == b.protocol &&
+           a.port == b.port;
+  }
+};
+
 /// The complete parsed configuration of one router — the unit of analysis.
 struct RouterConfig {
   std::string hostname;
@@ -361,6 +386,8 @@ struct RouterConfig {
   /// source text: design-rule findings for those rules are suppressed on
   /// this router. Sorted and deduplicated.
   std::vector<std::string> lint_suppressions;
+  /// Intent assertions from "! rd-intent ..." comments, in source order.
+  std::vector<IntentDirective> intents;
   /// Number of configuration command lines in the source text (comment and
   /// blank lines excluded) — the quantity plotted in the paper's Figure 4.
   std::size_t line_count = 0;

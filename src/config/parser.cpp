@@ -757,6 +757,45 @@ std::vector<std::string> collect_suppressions(std::string_view text) {
   return ids;
 }
 
+/// Scan for "! rd-intent deny|allow <src> <dst> [<proto> [<port>]]"
+/// comments (see config::IntentDirective). Like the suppressions above,
+/// intents live in comments the lexer drops, so they are collected straight
+/// from the source. Malformed directives are ignored — a comment is never a
+/// parse error.
+std::vector<IntentDirective> collect_intents(std::string_view text) {
+  std::vector<IntentDirective> intents;
+  std::size_t line_number = 0;
+  for (const auto raw : util::split_lines(text)) {
+    ++line_number;
+    const auto body = util::trim(raw);
+    if (body.empty() || body[0] != '!') continue;
+    const auto tokens = util::split_ws(body.substr(1));
+    if (tokens.size() < 4 || !iequals(tokens[0], "rd-intent")) continue;
+    IntentDirective intent;
+    if (iequals(tokens[1], "deny")) {
+      intent.expect_reachable = false;
+    } else if (iequals(tokens[1], "allow")) {
+      intent.expect_reachable = true;
+    } else {
+      continue;
+    }
+    const auto source = ip::Prefix::parse(tokens[2]);
+    const auto destination = ip::Prefix::parse(tokens[3]);
+    if (!source || !destination) continue;
+    intent.source = *source;
+    intent.destination = *destination;
+    if (tokens.size() >= 5) intent.protocol = util::to_lower(tokens[4]);
+    if (tokens.size() >= 6) {
+      std::uint32_t port = 0;
+      if (!parse_u32(tokens[5], port) || port > 65535) continue;
+      intent.port = static_cast<std::uint16_t>(port);
+    }
+    intent.line = line_number;
+    intents.push_back(std::move(intent));
+  }
+  return intents;
+}
+
 }  // namespace
 
 ParseResult parse_config(std::string_view text, std::string_view source_file) {
@@ -764,6 +803,7 @@ ParseResult parse_config(std::string_view text, std::string_view source_file) {
   ParseResult result = parser.run(source_file);
   result.config.line_count = count_command_lines(text);
   result.config.lint_suppressions = collect_suppressions(text);
+  result.config.intents = collect_intents(text);
   if (result.config.hostname.empty()) {
     result.config.hostname = std::string(source_file);
   }

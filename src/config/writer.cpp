@@ -259,6 +259,19 @@ std::string write_config(const RouterConfig& config) {
     for (const auto& id : config.lint_suppressions) out += ' ' + id;
     out += "\n!\n";
   }
+  if (!config.intents.empty()) {
+    for (const auto& intent : config.intents) {
+      out += "! rd-intent ";
+      out += intent.expect_reachable ? "allow " : "deny ";
+      out += intent.source.to_string() + ' ' + intent.destination.to_string();
+      if (intent.protocol != "ip" || intent.port) {
+        out += ' ' + intent.protocol;
+      }
+      if (intent.port) out += ' ' + std::to_string(*intent.port);
+      out += '\n';
+    }
+    out += "!\n";
+  }
   out +=
       "boot system flash\n"
       "enable secret 5 $1$ yJxd3pqT3BrJ\n"

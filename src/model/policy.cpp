@@ -52,10 +52,10 @@ bool acl_permits_packet(const config::AccessList& acl, ip::Ipv4Address source,
   for (const auto& rule : acl.rules) {
     if (!source_spec_matches(rule, source)) continue;
     if (rule.extended) {
-      if (!protocol.empty() && rule.protocol != "ip" &&
-          rule.protocol != protocol) {
-        continue;
-      }
+      // A packet with no (or an unrecognized) protocol matches only "ip"
+      // wildcard clauses; it must not slip through protocol-specific
+      // entries just because the clause happens to carry no port.
+      if (rule.protocol != "ip" && rule.protocol != protocol) continue;
       if (!destination_spec_matches(rule, destination)) continue;
       if (rule.destination_port && dst_port &&
           *rule.destination_port != *dst_port) {
@@ -186,6 +186,54 @@ bool CompiledPrefixList::permits_route(const Route& route) const {
   return best != std::numeric_limits<std::size_t>::max() && permit;
 }
 
+HeaderPredicate acl_rule_match_region(const config::AclRule& rule,
+                                      ProtocolDomain& domain) {
+  HeaderAtom atom;  // /0 × /0 × any protocol × [0, kNoPort]
+  if (!rule.any_source) atom.source = rule.source;
+  if (rule.extended) {
+    atom.protocols = domain.clause_mask(rule.protocol);
+    if (!rule.any_destination) atom.destination = rule.destination;
+    if (rule.destination_port) {
+      atom.port_lo = *rule.destination_port;
+      atom.port_hi = *rule.destination_port;
+    }
+  }
+  return HeaderPredicate::of(atom);
+}
+
+SymbolicPacketFilter::SymbolicPacketFilter(const config::AccessList& acl,
+                                           ProtocolDomain& domain) {
+  // First-match-wins, run on all headers at once: each clause decides only
+  // the part of its match region no earlier clause claimed. Each clause is
+  // peeled independently against the earlier clauses' match regions;
+  // materializing a running "unclaimed" predicate instead fragments every
+  // clause jointly and blows up on host-specific filter lists.
+  std::vector<HeaderPredicate> regions;
+  regions.reserve(acl.rules.size());
+  effective_.reserve(acl.rules.size());
+  for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+    const auto& rule = acl.rules[i];
+    HeaderPredicate region = acl_rule_match_region(rule, domain);
+    HeaderPredicate effective = region;
+    for (std::size_t j = 0; j < i && !effective.is_empty(); ++j) {
+      effective = effective.subtract(regions[j]);
+    }
+    effective.normalize();
+    if (effective.is_empty()) {
+      shadowed_.push_back(i);
+    } else if (rule.action == config::FilterAction::kPermit) {
+      // Effective regions of different clauses are disjoint by first-match
+      // construction.
+      permitted_.unite_disjoint(effective);
+    }
+    effective_.push_back(std::move(effective));
+    regions.push_back(std::move(region));
+  }
+  permitted_.normalize();
+  // Off the end of the list is the implicit deny: headers no clause
+  // claims are simply not permitted.
+}
+
 CompiledRouteMap::CompiledRouteMap(const config::RouteMap& route_map,
                                    const config::RouterConfig& config,
                                    PolicyCompiler& compiler) {
@@ -265,6 +313,15 @@ const CompiledPrefixList* PolicyCompiler::prefix_list(
   if (node == nullptr) return nullptr;
   auto& slot = prefix_lists_[node];
   if (!slot) slot = std::make_unique<CompiledPrefixList>(*node);
+  return slot.get();
+}
+
+const SymbolicPacketFilter* PolicyCompiler::symbolic_acl(
+    const config::RouterConfig& config, std::string_view id) {
+  const auto* node = config.find_access_list(id);
+  if (node == nullptr) return nullptr;
+  auto& slot = symbolic_acls_[node];
+  if (!slot) slot = std::make_unique<SymbolicPacketFilter>(*node, domain_);
   return slot.get();
 }
 

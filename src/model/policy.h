@@ -11,6 +11,7 @@
 #include "config/ast.h"
 #include "ip/ipv4.h"
 #include "ip/prefix_trie.h"
+#include "model/header_predicate.h"
 
 namespace rd::model {
 
@@ -44,9 +45,10 @@ bool prefix_list_permits_route(const config::PrefixList& prefix_list,
 
 /// Evaluate an ACL as a *packet* filter: match on source/destination
 /// addresses, protocol, and port (extended rules). Implicit deny at the
-/// end. An empty `protocol` is a wildcard packet that matches any rule's
-/// protocol; otherwise an extended rule matches when its protocol is "ip"
-/// or equals the packet's.
+/// end. An extended rule matches when its protocol is "ip" or equals the
+/// packet's; an empty `protocol` is an unspecified-protocol packet and
+/// matches only "ip" wildcard clauses (mirroring the symbolic lowering,
+/// where it maps to the "other" protocol bit).
 bool acl_permits_packet(const config::AccessList& acl, ip::Ipv4Address source,
                         ip::Ipv4Address destination,
                         std::optional<std::uint16_t> dst_port = {},
@@ -132,6 +134,43 @@ class CompiledPrefixList {
   ip::PrefixTrie<std::vector<Entry>> trie_;
 };
 
+/// The exact header set a clause matches under `acl_permits_packet`
+/// semantics (for a packet with a *specified* protocol): standard clauses
+/// constrain the source only; extended clauses add protocol, destination,
+/// and — when an `eq` port is present — the destination port, in which case
+/// the portless packet (kNoPort) is excluded.
+HeaderPredicate acl_rule_match_region(const config::AclRule& rule,
+                                      ProtocolDomain& domain);
+
+/// An access list lowered to packet-set predicates: the exact set of
+/// headers the list permits, plus per-clause first-match effectiveness.
+/// This is `acl_permits_packet` run on every header at once; the
+/// differential suite checks the two against each other.
+class SymbolicPacketFilter {
+ public:
+  SymbolicPacketFilter(const config::AccessList& acl, ProtocolDomain& domain);
+
+  /// Headers on which the list's first matching clause is a permit.
+  const HeaderPredicate& permitted() const noexcept { return permitted_; }
+
+  /// Headers each clause actually decides (its match region minus every
+  /// earlier clause's). One entry per clause, in clause order.
+  const std::vector<HeaderPredicate>& effective() const noexcept {
+    return effective_;
+  }
+
+  /// Indices of clauses whose effective region is empty — dead clauses the
+  /// earlier ones fully shadow (paper §5.3's error-prone IOS filters).
+  const std::vector<std::size_t>& shadowed() const noexcept {
+    return shadowed_;
+  }
+
+ private:
+  HeaderPredicate permitted_;
+  std::vector<HeaderPredicate> effective_;
+  std::vector<std::size_t> shadowed_;
+};
+
 class PolicyCompiler;
 
 /// A route-map with every clause's named references resolved to compiled
@@ -179,6 +218,15 @@ class PolicyCompiler {
   const CompiledRouteMap* route_map(const config::RouterConfig& config,
                                     std::string_view name);
 
+  /// Symbolic lowering of an access list for the header-space engine,
+  /// cached like the tries above. All lowerings share the compiler's one
+  /// protocol domain, so their predicates are mutually comparable.
+  const SymbolicPacketFilter* symbolic_acl(const config::RouterConfig& config,
+                                           std::string_view id);
+
+  ProtocolDomain& protocol_domain() noexcept { return domain_; }
+  const ProtocolDomain& protocol_domain() const noexcept { return domain_; }
+
  private:
   std::unordered_map<const config::AccessList*,
                      std::unique_ptr<CompiledAclFilter>>
@@ -189,6 +237,10 @@ class PolicyCompiler {
   std::unordered_map<const config::RouteMap*,
                      std::unique_ptr<CompiledRouteMap>>
       route_maps_;
+  std::unordered_map<const config::AccessList*,
+                     std::unique_ptr<SymbolicPacketFilter>>
+      symbolic_acls_;
+  ProtocolDomain domain_;
 };
 
 }  // namespace rd::model

@@ -5,6 +5,7 @@
 
 #include "analysis/archetype.h"
 #include "analysis/census.h"
+#include "analysis/header_space.h"
 #include "analysis/reachability.h"
 #include "analysis/rules.h"
 #include "config/parser.h"
@@ -350,6 +351,36 @@ NetworkReport analyze_network(const std::string& name,
   reach_json.set("converged", reach.converged());
   root.set("reachability", std::move(reach_json));
 
+  // Intent assertions (§6.2), verified against the exact symbolic header
+  // space. The section (and its metrics keys below) only appears when a
+  // config declares "! rd-intent" lines, so intent-free reports are
+  // byte-for-byte what they were before this analysis existed.
+  const auto intents = analysis::collect_intents(network);
+  std::size_t intents_holding = 0;
+  if (!intents.empty()) {
+    const auto outcomes = [&] {
+      obs::Span span("analyze.intents", "pipeline");
+      return analysis::verify_intents(network, ig.set, reach, intents);
+    }();
+    auto violations = Json::array();
+    for (const auto& outcome : outcomes) {
+      if (outcome.holds) {
+        ++intents_holding;
+        continue;
+      }
+      auto violation = Json::object();
+      violation.set("intent", outcome.intent.describe());
+      violation.set("witness", outcome.witness ? outcome.witness->describe()
+                                               : std::string());
+      violations.push_back(std::move(violation));
+    }
+    auto intents_json = Json::object();
+    intents_json.set("declared", outcomes.size());
+    intents_json.set("holding", intents_holding);
+    intents_json.set("violations", std::move(violations));
+    root.set("intents", std::move(intents_json));
+  }
+
   // Deterministic per-network metrics (DESIGN.md §10): logical-event counts
   // computed from this network's results, never from the global obs
   // registry (whose totals depend on what else ran in the process) and
@@ -359,6 +390,10 @@ NetworkReport analyze_network(const std::string& name,
   auto counters = Json::object();
   counters.set("graph.instance_edges", ig.edges.size());
   counters.set("graph.instances", ig.set.instances.size());
+  if (!intents.empty()) {
+    counters.set("intents.declared", intents.size());
+    counters.set("intents.holding", intents_holding);
+  }
   counters.set("model.interfaces", network.interfaces().size());
   counters.set("model.links", network.links().size());
   counters.set("parse.diagnostics", report.parse_diagnostics);

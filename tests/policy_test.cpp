@@ -55,9 +55,12 @@ TEST(AclPacketFilter, ExtendedMatchesDestinationAndPort) {
       "access-list 101 permit tcp any host 10.0.0.5 eq 80\n"
       "access-list 101 deny ip any any\n")
       .access_lists[0];
-  EXPECT_TRUE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 80));
-  EXPECT_FALSE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 22));
-  EXPECT_FALSE(acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.6"), 80));
+  EXPECT_TRUE(
+      acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 80, "tcp"));
+  EXPECT_FALSE(
+      acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.5"), 22, "tcp"));
+  EXPECT_FALSE(
+      acl_permits_packet(acl, addr("1.1.1.1"), addr("10.0.0.6"), 80, "tcp"));
 }
 
 TEST(AclPacketFilter, PortlessPacketSkipsPortRule) {
@@ -66,7 +69,30 @@ TEST(AclPacketFilter, PortlessPacketSkipsPortRule) {
       "access-list 101 permit icmp any any\n")
       .access_lists[0];
   // No port info: the port-specific clause cannot match; the icmp one does.
-  EXPECT_TRUE(acl_permits_packet(acl, addr("1.1.1.1"), addr("2.2.2.2")));
+  EXPECT_TRUE(
+      acl_permits_packet(acl, addr("1.1.1.1"), addr("2.2.2.2"), {}, "icmp"));
+}
+
+TEST(AclPacketFilter, UnspecifiedProtocolMatchesOnlyIpClauses) {
+  // Regression: a packet with no protocol used to wildcard through
+  // protocol-specific entries whenever the clause carried no port, so a
+  // tcp-only ACL would pass it. It must match "ip" clauses only.
+  const auto tcp_only = parse(
+      "access-list 101 permit tcp any any\n")
+      .access_lists[0];
+  EXPECT_FALSE(acl_permits_packet(tcp_only, addr("1.1.1.1"), addr("2.2.2.2")));
+  EXPECT_TRUE(acl_permits_packet(tcp_only, addr("1.1.1.1"), addr("2.2.2.2"),
+                                 {}, "tcp"));
+  const auto ip_any = parse(
+      "access-list 102 deny tcp any any eq 1433\n"
+      "access-list 102 permit ip any any\n")
+      .access_lists[0];
+  EXPECT_TRUE(acl_permits_packet(ip_any, addr("1.1.1.1"), addr("2.2.2.2")));
+  // Unknown protocol names behave like the unspecified protocol.
+  EXPECT_TRUE(acl_permits_packet(ip_any, addr("1.1.1.1"), addr("2.2.2.2"),
+                                 {}, "eigrp"));
+  EXPECT_FALSE(acl_permits_packet(tcp_only, addr("1.1.1.1"), addr("2.2.2.2"),
+                                  {}, "eigrp"));
 }
 
 TEST(RouteMap, DenyClauseDrops) {

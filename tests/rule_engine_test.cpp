@@ -51,7 +51,7 @@ std::vector<const Finding*> findings_for(const RuleEngine::Result& result,
 
 TEST(RuleEngine, DefaultRegistryHasStableIds) {
   const auto engine = RuleEngine::with_default_rules();
-  EXPECT_EQ(engine.rules().size(), 23u);
+  EXPECT_EQ(engine.rules().size(), 26u);
 
   // Registration order is id order, and ids never repeat.
   for (std::size_t i = 1; i < engine.rules().size(); ++i) {
@@ -82,6 +82,21 @@ TEST(RuleEngine, DefaultRegistryHasStableIds) {
   const auto* rd044 = engine.find("RD044");
   ASSERT_NE(rd044, nullptr);
   EXPECT_EQ(rd044->name, "unfiltered-igp-edge-interface");
+
+  const auto* rd050 = engine.find("RD050");
+  ASSERT_NE(rd050, nullptr);
+  EXPECT_EQ(rd050->name, "shadowed-acl-entry");
+  EXPECT_EQ(rd050->category, "symbolic");
+  EXPECT_EQ(rd050->severity, Severity::kInfo);
+
+  const auto* rd051 = engine.find("RD051");
+  ASSERT_NE(rd051, nullptr);
+  EXPECT_EQ(rd051->name, "dead-route-map-clause");
+
+  const auto* rd052 = engine.find("RD052");
+  ASSERT_NE(rd052, nullptr);
+  EXPECT_EQ(rd052->name, "intent-violation");
+  EXPECT_EQ(rd052->severity, Severity::kError);
 
   EXPECT_EQ(engine.find("RD999"), nullptr);
   EXPECT_EQ(engine.find(""), nullptr);
@@ -261,6 +276,239 @@ TEST(RuleEngine, AsymmetricRedistributionPolicy) {
   EXPECT_NE(asymmetric[0]->detail.find("GUARD"), std::string::npos);
   // Both directions exist, so RD041 must stay quiet.
   EXPECT_TRUE(findings_for(result, "RD041").empty());
+}
+
+// --- symbolic rules ----------------------------------------------------------
+
+TEST(RuleEngine, ShadowedAclEntryUnderPacketSemantics) {
+  // Clause 2 is tcp-only and fully covered by the tcp-wide clause 1; the
+  // RD008 lint heuristic cannot see it (extended rules), the exact-set
+  // check can. Anchored at the shadowed clause's own line.
+  auto parsed = config::parse_config(               // line
+      "hostname r1\n"                               // 1
+      "interface Ethernet0\n"                       // 2
+      " ip address 10.0.0.1 255.255.255.0\n"        // 3
+      " ip access-group 101 in\n"                   // 4
+      "access-list 101 permit tcp any any\n"        // 5
+      "access-list 101 deny tcp any host 10.0.0.5\n"  // 6
+      "access-list 101 permit ip any any\n",        // 7
+      "r1.cfg");
+  auto network = model::Network::build({std::move(parsed.config)});
+  const auto result = RuleEngine::with_default_rules().run(network);
+  const auto shadowed = findings_for(result, "RD050");
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0]->severity, Severity::kInfo);
+  EXPECT_EQ(shadowed[0]->subject, "101");
+  EXPECT_EQ(shadowed[0]->detail,
+            "clause 2 can never match a packet (the preceding clauses cover "
+            "its entire header space)");
+  EXPECT_EQ(shadowed[0]->where.file, "r1.cfg");
+  EXPECT_EQ(shadowed[0]->where.line, 6u);
+}
+
+TEST(RuleEngine, ShadowedAclEntryFingerprintIsLineStable) {
+  // Inserting a comment shifts every line; the fingerprint must not move.
+  const std::string base =
+      "hostname r1\n"
+      "interface Ethernet0\n"
+      " ip address 10.0.0.1 255.255.255.0\n"
+      " ip access-group 101 in\n"
+      "access-list 101 permit tcp any any\n"
+      "access-list 101 deny tcp any host 10.0.0.5\n"
+      "access-list 101 permit ip any any\n";
+  const std::string shifted = "! a comment pushing everything down\n" + base;
+  const auto engine = RuleEngine::with_default_rules();
+  auto net_a =
+      model::Network::build({config::parse_config(base, "r1.cfg").config});
+  auto net_b =
+      model::Network::build({config::parse_config(shifted, "r1.cfg").config});
+  const auto run_a = engine.run(net_a);
+  const auto run_b = engine.run(net_b);
+  const auto a = findings_for(run_a, "RD050");
+  const auto b = findings_for(run_b, "RD050");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0]->where.line, b[0]->where.line);
+  EXPECT_EQ(finding_fingerprint(*a[0]), finding_fingerprint(*b[0]));
+}
+
+TEST(RuleEngine, ShadowedAclEntryUnderRouteSemantics) {
+  // Unattached ACLs are judged as route filters: only the source spec
+  // matters, so the port-bearing clause 2 (a distinct *packet* set) is a
+  // dead clause in route space.
+  const auto net = network_of(
+      {"hostname r1\n"
+       "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+       "router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n"
+       " distribute-list 101 in\n"
+       "access-list 101 permit ip 10.0.0.0 0.0.255.255 any\n"
+       "access-list 101 deny tcp 10.0.1.0 0.0.0.255 any eq 80\n"});
+  const auto result = RuleEngine::with_default_rules().run(net);
+  const auto shadowed = findings_for(result, "RD050");
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0]->detail,
+            "clause 2 can never match a route (the preceding clauses cover "
+            "its source space)");
+}
+
+TEST(RuleEngine, Rd050DoesNotDoubleReportLintShadows) {
+  // A standard-over-standard shadow is RD008's finding; RD050 must stay
+  // quiet on that clause even though its exact region is empty too.
+  const auto net = network_of(
+      {"hostname r1\n"
+       "access-list 10 permit 10.0.0.0 0.0.255.255\n"
+       "access-list 10 deny 10.0.1.0 0.0.0.255\n"
+       "access-list 10 permit any\n"});
+  const auto result = RuleEngine::with_default_rules().run(net);
+  EXPECT_EQ(findings_for(result, "RD008").size(), 1u);
+  EXPECT_TRUE(findings_for(result, "RD050").empty());
+}
+
+TEST(RuleEngine, DeadRouteMapClauses) {
+  const auto net = network_of(               // line
+      {"hostname r1\n"                       // 1
+       "access-list 10 permit 10.0.0.0 0.0.255.255\n"   // 2
+       "access-list 20 permit 10.0.1.0 0.0.0.255\n"     // 3
+       "route-map FOO permit 10\n"           // 4
+       " match ip address 10\n"              // 5
+       "route-map FOO permit 20\n"           // 6
+       " match ip address 20\n"              // 7
+       "route-map FOO permit 30\n"           // 8
+       " match ip address 99\n"});           // 9
+  const auto result = RuleEngine::with_default_rules().run(net);
+  const auto dead = findings_for(result, "RD051");
+  ASSERT_EQ(dead.size(), 2u);
+  EXPECT_EQ(dead[0]->subject, "FOO");
+  EXPECT_EQ(dead[0]->detail,
+            "clause 20 can never be reached: earlier clauses match every "
+            "route it matches");
+  EXPECT_EQ(dead[0]->where.line, 6u);
+  EXPECT_EQ(dead[1]->detail,
+            "clause 30 can never match: its match conditions are "
+            "unsatisfiable (no referenced list matches any route)");
+  EXPECT_EQ(dead[1]->where.line, 8u);
+}
+
+TEST(RuleEngine, PrefixListBoundsKeepClauseAlive) {
+  // The ge/le window of clause 20 reaches lengths clause 10 does not
+  // (24..32 vs exactly 24), so it is NOT dead — the length dimension of
+  // the route geometry must be modelled, not just the address.
+  const auto net = network_of(
+      {"hostname r1\n"
+       "ip prefix-list P1 seq 5 permit 10.0.0.0/8 le 24\n"
+       "ip prefix-list P2 seq 5 permit 10.0.0.0/8 le 32\n"
+       "route-map FOO permit 10\n"
+       " match ip address prefix-list P1\n"
+       "route-map FOO permit 20\n"
+       " match ip address prefix-list P2\n"});
+  const auto result = RuleEngine::with_default_rules().run(net);
+  EXPECT_TRUE(findings_for(result, "RD051").empty());
+}
+
+TEST(RuleEngine, IntentViolationFinding) {
+  auto parsed = config::parse_config(             // line
+      "hostname r1\n"                             // 1
+      "! rd-intent deny 10.1.0.0/24 10.2.0.0/24\n"  // 2
+      "! rd-intent deny 10.1.0.0/24 10.3.0.0/24\n"  // 3
+      "interface Ethernet0\n"                     // 4
+      " ip address 10.1.0.1 255.255.255.0\n"      // 5
+      " ip access-group 101 in\n"                 // 6
+      "interface Ethernet1\n"                     // 7
+      " ip address 10.2.0.1 255.255.255.0\n"      // 8
+      "interface Ethernet2\n"                     // 9
+      " ip address 10.3.0.1 255.255.255.0\n"      // 10
+      "router ospf 1\n"                           // 11
+      " network 10.0.0.0 0.255.255.255 area 0\n"  // 12
+      "access-list 101 deny ip any 10.3.0.0 0.0.0.255\n"  // 13
+      "access-list 101 permit ip any any\n",      // 14
+      "r1.cfg");
+  auto network = model::Network::build({std::move(parsed.config)});
+  const auto result = RuleEngine::with_default_rules().run(network);
+  const auto violations = findings_for(result, "RD052");
+  // The 10.3/24 intent holds (the ACL blocks it); the 10.2/24 one fails.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0]->severity, Severity::kError);
+  EXPECT_EQ(violations[0]->subject, "deny 10.1.0.0/24 -> 10.2.0.0/24");
+  EXPECT_NE(violations[0]->detail.find("deny intent violated"),
+            std::string::npos);
+  EXPECT_NE(violations[0]->detail.find("gets through"), std::string::npos);
+  EXPECT_EQ(violations[0]->where.line, 2u);
+  EXPECT_GT(result.errors, 0u);
+}
+
+TEST(RuleEngine, SymbolicRulesHonorSuppression) {
+  const std::string text =
+      "hostname r1\n"
+      "! rdlint-disable RD050 RD052\n"
+      "! rd-intent deny 10.1.0.0/24 10.2.0.0/24\n"
+      "interface Ethernet0\n"
+      " ip address 10.1.0.1 255.255.255.0\n"
+      " ip access-group 101 in\n"
+      "interface Ethernet1\n"
+      " ip address 10.2.0.1 255.255.255.0\n"
+      "router ospf 1\n"
+      " network 10.0.0.0 0.255.255.255 area 0\n"
+      "access-list 101 permit tcp any any\n"
+      "access-list 101 deny tcp any host 10.2.0.5\n"
+      "access-list 101 permit ip any any\n";
+  auto network =
+      model::Network::build({config::parse_config(text, "r1.cfg").config});
+  const auto result = RuleEngine::with_default_rules().run(network);
+  EXPECT_TRUE(findings_for(result, "RD050").empty());
+  EXPECT_TRUE(findings_for(result, "RD052").empty());
+  EXPECT_GE(result.suppressed, 2u);
+}
+
+TEST(RuleEngine, SymbolicFindingsClassifyAgainstBaseline) {
+  const auto engine = RuleEngine::with_default_rules();
+  // Snapshot 1: the shadowed clause exists, no intents declared.
+  const std::string snap1 =
+      "hostname r1\n"
+      "interface Ethernet0\n"
+      " ip address 10.1.0.1 255.255.255.0\n"
+      " ip access-group 101 in\n"
+      "interface Ethernet1\n"
+      " ip address 10.2.0.1 255.255.255.0\n"
+      "router ospf 1\n"
+      " network 10.0.0.0 0.255.255.255 area 0\n"
+      "access-list 101 permit tcp any any\n"
+      "access-list 101 deny tcp any host 10.2.0.5\n"
+      "access-list 101 permit ip any any\n";
+  // Snapshot 2: the dead clause is gone (RD050 fixed) and a failing
+  // intent was declared (RD052 appears).
+  const std::string snap2 =
+      "hostname r1\n"
+      "! rd-intent deny 10.1.0.0/24 10.2.0.0/24\n"
+      "interface Ethernet0\n"
+      " ip address 10.1.0.1 255.255.255.0\n"
+      " ip access-group 101 in\n"
+      "interface Ethernet1\n"
+      " ip address 10.2.0.1 255.255.255.0\n"
+      "router ospf 1\n"
+      " network 10.0.0.0 0.255.255.255 area 0\n"
+      "access-list 101 permit tcp any any\n"
+      "access-list 101 permit ip any any\n";
+  auto net1 =
+      model::Network::build({config::parse_config(snap1, "r1.cfg").config});
+  auto net2 =
+      model::Network::build({config::parse_config(snap2, "r1.cfg").config});
+  const auto run1 = engine.run(net1);
+  ASSERT_EQ(findings_for(run1, "RD050").size(), 1u);
+
+  const auto baseline =
+      baseline_fingerprints(findings_to_json(engine, run1, "snap1"));
+  ASSERT_TRUE(baseline.has_value());
+  const auto delta = diff_against_baseline(engine.run(net2).findings, *baseline);
+
+  const auto is_rule = [](std::string_view id) {
+    return [id](const Finding& f) { return f.rule_id == id; };
+  };
+  EXPECT_TRUE(std::any_of(delta.new_findings.begin(), delta.new_findings.end(),
+                          is_rule("RD052")));
+  EXPECT_TRUE(std::any_of(delta.fixed.begin(), delta.fixed.end(),
+                          [](const std::string& fp) {
+                            return fp.substr(0, 6) == "RD050|";
+                          }));
 }
 
 // --- suppressions ------------------------------------------------------------
