@@ -104,8 +104,10 @@ int run_series(int argc, char** argv) {
     std::printf("\n");
   }
   const auto stats = cache.stats();
-  std::printf("parse cache totals: %zu hits, %zu misses, %zu entries\n",
-              stats.hits, stats.misses, stats.entries);
+  std::printf(
+      "parse cache totals: %zu hits, %zu misses, %zu entries"
+      " (%zu duplicate parses discarded)\n",
+      stats.hits, stats.misses, stats.entries, stats.duplicate_parses);
   return 0;
 }
 

@@ -1,7 +1,11 @@
 #include "analysis/reachability.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
 #include <tuple>
 #include <utility>
 
@@ -118,7 +122,7 @@ struct Problem {
 Problem discover(const model::Network& network,
                  const graph::InstanceSet& instances,
                  const ReachabilityAnalysis::Options& options,
-                 const std::set<ip::Prefix>& external_origin) {
+                 const std::vector<ip::Prefix>& external_origin) {
   Problem problem;
   problem.instance_count = instances.instances.size();
   problem.max_iterations = options.max_iterations;
@@ -430,6 +434,13 @@ struct CompiledSessionDir {
     if (route_map && !route_map->evaluate(route).permitted) return false;
     return true;
   }
+
+  /// No filters in this direction: permits() is constant-true, so bulk
+  /// paths may skip per-route evaluation entirely.
+  bool trivially_permits() const noexcept {
+    return distribute_list == nullptr && prefix_list == nullptr &&
+           route_map == nullptr;
+  }
 };
 
 CompiledSessionDir compile_session_dir(model::PolicyCompiler& compiler,
@@ -460,6 +471,8 @@ struct CompiledStanzaDir {
     }
     return true;
   }
+
+  bool trivially_permits() const noexcept { return acls.empty(); }
 };
 
 CompiledStanzaDir compile_stanza_dir(model::PolicyCompiler& compiler,
@@ -474,56 +487,89 @@ CompiledStanzaDir compile_stanza_dir(model::PolicyCompiler& compiler,
   return out;
 }
 
-/// Open-addressed membership index over one instance's route log. Slots
-/// hold 1-based log positions, so the table owns no Route storage, probes
-/// stay in one flat allocation, and teardown is a single vector free —
-/// a node-based std::unordered_set spent measurable time on both counts.
-class RouteIndex {
+/// A Route packed into two integers, the probe unit of the membership
+/// index and the sort key of the final per-instance sorts. The packing is
+/// order-isomorphic to Route's ordering — Prefix's default `<=>` compares
+/// (length_, network_) in declaration order, hence `prefix_key = length·2³²
+/// + network`, and optional<tag> ordering (nullopt first) maps to `tag_key
+/// = 0 | 1 + tag` — so comparing keys gives exactly the Route order, in
+/// two branchless integer compares instead of walking optional<>.
+struct RouteKey {
+  std::uint64_t prefix_key = 0;  // (length << 32) | network
+  std::uint64_t tag_key = 0;     // 0 = untagged, else 1 + tag
+
+  friend bool operator==(const RouteKey&, const RouteKey&) = default;
+  friend bool operator<(const RouteKey& a, const RouteKey& b) noexcept {
+    return a.prefix_key != b.prefix_key ? a.prefix_key < b.prefix_key
+                                        : a.tag_key < b.tag_key;
+  }
+};
+
+std::uint64_t prefix_key_of(const Route& route) noexcept {
+  return (static_cast<std::uint64_t>(route.prefix.length()) << 32) |
+         route.prefix.network().value();
+}
+
+RouteKey route_key(const Route& route) noexcept {
+  return {prefix_key_of(route), route.tag ? 1ULL + *route.tag : 0ULL};
+}
+
+std::size_t key_hash(const RouteKey& key) noexcept {
+  std::uint64_t h = key.prefix_key * 0x9e3779b97f4a7c15ULL + key.tag_key;
+  h ^= h >> 32;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h);
+}
+
+/// Interning table over the run's route domain: key -> position, with
+/// insert-or-get and growth. One instance shared by the whole run, so its
+/// slots stay cache-resident; per-instance state is then just a bitmap
+/// over positions. Positions are dense and assigned in first-seen order —
+/// the caller keeps the position -> Route table.
+class DomainIndex {
  public:
-  /// Size the table for `expected` entries up front, so bulk phases (the
-  /// external-universe injection in particular) skip the doubling
-  /// rehashes. Only honored while the table is still empty — resizing a
-  /// populated table would invalidate its probe sequences.
-  void reserve(std::size_t expected) {
-    if (count_ != 0) return;
+  explicit DomainIndex(std::size_t expected) {
     std::size_t want = 16;
     while (want * 3 < expected * 4) want *= 2;
-    if (want > slots_.size()) slots_.assign(want, 0);
+    slots_.assign(want, Slot{{kEmpty, 0}, 0});
   }
 
-  /// True when `route` was absent; the caller must then append it to
-  /// `log`, which this call has already indexed at position log.size().
-  bool insert(const Route& route, const std::vector<Route>& log) {
-    if (slots_.empty()) {
-      slots_.resize(16, 0);
-    } else if ((count_ + 1) * 4 > slots_.size() * 3) {
-      grow(log);
-    }
+  /// Position of `key`, or `next` after binding key -> next when absent.
+  std::uint32_t insert(const RouteKey& key, std::uint32_t next) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
     const std::size_t mask = slots_.size() - 1;
-    std::size_t i = model::RouteHash{}(route) & mask;
-    while (slots_[i] != 0) {
-      if (log[slots_[i] - 1] == route) return false;
+    std::size_t i = key_hash(key) & mask;
+    while (slots_[i].key.prefix_key != kEmpty) {
+      if (slots_[i].key == key) return slots_[i].pos;
       i = (i + 1) & mask;
     }
-    slots_[i] = static_cast<std::uint32_t>(log.size()) + 1;
+    slots_[i] = {key, next};
     ++count_;
-    return true;
+    return next;
   }
 
  private:
-  void grow(const std::vector<Route>& log) {
-    std::vector<std::uint32_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, 0);
-    const std::size_t mask = slots_.size() - 1;
-    for (const std::uint32_t slot : old) {
-      if (slot == 0) continue;
-      std::size_t i = model::RouteHash{}(log[slot - 1]) & mask;
-      while (slots_[i] != 0) i = (i + 1) & mask;
+  /// No real key reaches this: prefix_key ≤ (32 << 32) | 0xFFFFFFFF.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  struct Slot {
+    RouteKey key;
+    std::uint32_t pos = 0;
+  };
+
+  void rehash(std::size_t want) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(want, Slot{{kEmpty, 0}, 0});
+    const std::size_t mask = want - 1;
+    for (const Slot& slot : old) {
+      if (slot.key.prefix_key == kEmpty) continue;
+      std::size_t i = key_hash(slot.key) & mask;
+      while (slots_[i].key.prefix_key != kEmpty) i = (i + 1) & mask;
       slots_[i] = slot;
     }
   }
 
-  std::vector<std::uint32_t> slots_;
+  std::vector<Slot> slots_;
   std::size_t count_ = 0;
 };
 
@@ -553,14 +599,29 @@ FixpointResult run_semi_naive(const Problem& problem,
                      compile_session_dir(compiler, flow.sender_out, false),
                      compile_session_dir(compiler, flow.receiver_in, true)});
   }
+  // Redistribution chains are shared wholesale across edges (regions
+  // instantiate the same template), and the universe dominates what flows
+  // through them — so edges sharing a (route-map, ACL set) chain share one
+  // flat verdict cache indexed by universe position. A cache hit replaces
+  // a route-map memo lookup (which hashes the whole Route) with an array
+  // read. Entries: 0 unevaluated, 1 denied, else 2 + forwarded position.
+  struct RedistVerdictCache {
+    std::vector<std::uint8_t> state;           // 0 unknown, 1 deny, 2 permit
+    std::vector<std::uint32_t> forwarded_pos;  // domain position, state == 2
+  };
   struct CompiledRedist {
     std::uint32_t from = 0;
     std::uint32_t to = 0;
     const model::CompiledRouteMap* route_map = nullptr;  // null: pass through
     CompiledStanzaDir outbound;
+    RedistVerdictCache* cache = nullptr;  // null: identity chain
   };
   std::vector<CompiledRedist> redists;
   redists.reserve(problem.redist_edges.size());
+  std::map<std::pair<const model::CompiledRouteMap*,
+                     std::vector<const model::CompiledAclFilter*>>,
+           std::unique_ptr<RedistVerdictCache>>
+      redist_caches;
   for (const auto& edge : problem.redist_edges) {
     CompiledRedist compiled;
     compiled.from = edge.from_instance;
@@ -570,6 +631,12 @@ FixpointResult run_semi_naive(const Problem& problem,
     }
     compiled.outbound =
         compile_stanza_dir(compiler, *edge.config, *edge.stanza, false);
+    if (compiled.route_map != nullptr || !compiled.outbound.acls.empty()) {
+      auto& slot = redist_caches[{compiled.route_map,
+                                  compiled.outbound.acls}];
+      if (!slot) slot = std::make_unique<RedistVerdictCache>();
+      compiled.cache = slot.get();
+    }
     redists.push_back(std::move(compiled));
   }
   struct CompiledExternal {
@@ -599,33 +666,46 @@ FixpointResult run_semi_naive(const Problem& problem,
                             false)});
   }
 
-  // --- Route logs: append-only per instance, with an open-addressed
-  // membership index. Only instances that face the external world receive
-  // the offer universe, so only they reserve capacity for it; everyone
-  // gets a per-process route allowance so growth doesn't dominate.
-  std::vector<std::vector<Route>> log(n);
-  std::vector<RouteIndex> member(n);
-  std::vector<char> dirty(n, 0);
-  std::vector<char> faces_world(n, 0);
-  for (const auto& endpoint : externals) faces_world[endpoint.instance] = 1;
-  for (const auto& endpoint : igp_externals) faces_world[endpoint.instance] = 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t expected =
-        (faces_world[i] ? problem.universe.size() : 0) +
-        4 * problem.instance_process_counts[i];
-    log[i].reserve(expected);
-    member[i].reserve(expected);
+  // --- The route domain: one growing, deduplicated table of every route
+  // the run will ever see — the external offer universe (kept in front, in
+  // ascending order), the origination seeds, and whatever redistribution
+  // rewrites or aggregation manufacture later. Interning gives each route a
+  // stable position, so per-instance membership collapses to a bitmap and
+  // set propagation to word operations; no per-route hash probe survives on
+  // a hot path, and no per-instance route log exists at all — the bitmaps
+  // ARE the state, materialized once at the end.
+  std::vector<Route> domain = problem.universe;  // offers first, ascending
+  DomainIndex domain_index(domain.size() + problem.seeds.size());
+  for (std::size_t u = 0; u < domain.size(); ++u) {
+    domain_index.insert(route_key(domain[u]), static_cast<std::uint32_t>(u));
   }
-  auto add_route = [&](std::uint32_t instance, const Route& route) {
-    if (!member[instance].insert(route, log[instance])) return false;
-    log[instance].push_back(route);
+  const std::size_t offer_count = domain.size();
+  auto intern = [&](const Route& route) {
+    const std::uint32_t next = static_cast<std::uint32_t>(domain.size());
+    const std::uint32_t pos = domain_index.insert(route_key(route), next);
+    if (pos == next) domain.push_back(route);
+    return pos;
+  };
+  const auto words_for = [](std::size_t positions) {
+    return (positions + 63) / 64;
+  };
+
+  // Per-instance membership bitmaps over domain positions, lazily sized
+  // (and re-grown as the domain grows) to the word the highest set bit
+  // needs; words past an instance's current size read as zero.
+  std::vector<std::vector<std::uint64_t>> member(n);
+  std::vector<char> dirty(n, 0);
+  auto add_pos = [&](std::uint32_t instance, std::uint32_t pos) {
+    auto& bits = member[instance];
+    const std::size_t w = pos >> 6;
+    if (bits.size() <= w) bits.resize(words_for(domain.size()), 0);
+    const std::uint64_t bit = 1ULL << (pos & 63);
+    if (bits[w] & bit) return false;
+    bits[w] |= bit;
     dirty[instance] = 1;
     return true;
   };
 
-  for (const auto& [instance, route] : problem.seeds) {
-    add_route(instance, route);
-  }
   // External injection happens exactly once: the offer universe and the
   // inbound policies are constant, so re-offering every iteration (as the
   // naïve loop does) can never add anything new after the first pass.
@@ -648,37 +728,77 @@ FixpointResult run_semi_naive(const Problem& problem,
                          const CompiledStanzaDir& dir) {
     return !seen_stanza.insert({instance, dir.acls}).second;
   };
+  // The offers occupy positions [0, offer_count), so a filterless chain
+  // admits them with a word-wise bitmap fill; a filtering chain evaluates
+  // per offer, with the bit test standing in for a membership probe.
+  const std::size_t offer_words = words_for(offer_count);
+  auto inject_all = [&](std::uint32_t instance) {
+    auto& bits = member[instance];
+    if (bits.size() < offer_words) bits.resize(offer_words, 0);
+    for (std::size_t w = 0; w < offer_words; ++w) {
+      const std::size_t base = w * 64;
+      const std::size_t in_word =
+          std::min<std::size_t>(64, offer_count - base);
+      const std::uint64_t valid =
+          in_word == 64 ? ~0ULL : (1ULL << in_word) - 1;
+      if (~bits[w] & valid) dirty[instance] = 1;
+      bits[w] |= valid;
+    }
+  };
+  auto inject_filtered = [&](std::uint32_t instance, const auto& chain) {
+    auto& bits = member[instance];
+    if (bits.size() < offer_words) bits.resize(offer_words, 0);
+    for (std::size_t u = 0; u < offer_count; ++u) {
+      const std::uint64_t bit = 1ULL << (u & 63);
+      if (bits[u >> 6] & bit) continue;
+      if (chain.permits(domain[u])) {
+        bits[u >> 6] |= bit;
+        dirty[instance] = 1;
+      }
+    }
+  };
   for (const auto& endpoint : externals) {
     if (session_seen(endpoint.instance, endpoint.inbound)) continue;
-    for (const Route& route : problem.universe) {
-      if (endpoint.inbound.permits(route)) add_route(endpoint.instance, route);
+    if (endpoint.inbound.trivially_permits()) {
+      inject_all(endpoint.instance);
+    } else {
+      inject_filtered(endpoint.instance, endpoint.inbound);
     }
   }
   for (const auto& endpoint : igp_externals) {
     if (stanza_seen(endpoint.instance, endpoint.inbound)) continue;
-    for (const Route& route : problem.universe) {
-      if (endpoint.inbound.permits(route)) add_route(endpoint.instance, route);
+    if (endpoint.inbound.trivially_permits()) {
+      inject_all(endpoint.instance);
+    } else {
+      inject_filtered(endpoint.instance, endpoint.inbound);
     }
   }
 
-  // --- Edges grouped by source instance, each holding a cursor into the
-  // source log. An aggregation point is an edge from an instance to itself.
+  for (const auto& [instance, route] : problem.seeds) {
+    add_pos(instance, intern(route));
+  }
+
+  // --- Edges grouped by source instance. An aggregation point is an edge
+  // from an instance to itself. Each edge keeps an `offered` bitmap — the
+  // source positions it has already pushed through its policy chain — so a
+  // pass over an edge costs one AND-NOT per 64 held routes plus policy
+  // work only for genuinely new positions: each (edge, route) pair is
+  // still evaluated exactly once per run, the semi-naïve invariant.
   struct Edge {
     enum class Kind : std::uint8_t { kFlow, kRedist, kAggregate };
     Kind kind = Kind::kFlow;
-    std::size_t index = 0;   // into flows / redists / aggregate_points
-    std::size_t cursor = 0;  // first unseen entry of the source log
+    std::size_t index = 0;  // into flows / redists / aggregate_points
   };
   std::vector<std::vector<Edge>> edges_by_source(n);
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    edges_by_source[flows[i].from].push_back({Edge::Kind::kFlow, i, 0});
+    edges_by_source[flows[i].from].push_back({Edge::Kind::kFlow, i});
   }
   for (std::size_t i = 0; i < redists.size(); ++i) {
-    edges_by_source[redists[i].from].push_back({Edge::Kind::kRedist, i, 0});
+    edges_by_source[redists[i].from].push_back({Edge::Kind::kRedist, i});
   }
   for (std::size_t i = 0; i < problem.aggregate_points.size(); ++i) {
     edges_by_source[problem.aggregate_points[i].instance].push_back(
-        {Edge::Kind::kAggregate, i, 0});
+        {Edge::Kind::kAggregate, i});
   }
   if (shuffle_seed) {
     // Fisher–Yates per source list. The fixpoint is confluent, so this can
@@ -691,12 +811,23 @@ FixpointResult run_semi_naive(const Problem& problem,
       }
     }
   }
+  std::vector<std::vector<std::uint64_t>> flow_offered(flows.size());
+  std::vector<std::vector<std::uint64_t>> redist_offered(redists.size());
+  std::vector<std::vector<std::uint64_t>> agg_offered(
+      problem.aggregate_points.size());
   std::vector<char> aggregate_done(problem.aggregate_points.size(), 0);
 
   // --- Worklist rounds. A round drains every dirty instance; an edge only
-  // looks at log entries appended since its cursor. Routes discovered
-  // mid-round land in the next round's worklist.
+  // evaluates source positions its `offered` bitmap has not seen. Routes
+  // discovered mid-round land in the next round's worklist.
   std::vector<std::uint32_t> current;
+  auto held_total = [&] {
+    std::size_t total = 0;
+    for (const auto& bits : member) {
+      for (const std::uint64_t w : bits) total += std::popcount(w);
+    }
+    return total;
+  };
   while (true) {
     current.clear();
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -713,104 +844,223 @@ FixpointResult run_semi_naive(const Problem& problem,
     ++result.iterations;
 
     // Per-round span with the semi-naïve delta sizes: how many instances
-    // were dirty and how many routes this round appended. The size sum is
-    // only taken when tracing is on.
+    // were dirty and how many routes this round added. The popcount sweep
+    // is only taken when tracing is on.
     obs::Span round_span("reachability.round", "reachability");
     std::size_t before = 0;
     if (round_span.armed()) {
       round_span.arg("round", result.iterations);
       round_span.arg("dirty_instances", current.size());
-      for (const auto& entries : log) before += entries.size();
+      before = held_total();
     }
 
     for (const std::uint32_t instance : current) {
-      for (Edge& edge : edges_by_source[instance]) {
-        // Snapshot the bound: entries appended while this edge runs (e.g.
-        // an aggregate writing into its own source) stay for the next
-        // round. Entries are read by index — push_back may reallocate.
-        const std::size_t bound = log[instance].size();
+      for (const Edge& edge : edges_by_source[instance]) {
+        // `member[instance]` may grow (reallocate) while an edge targeting
+        // the same instance runs; everything below indexes through the
+        // vector object, never through a raw pointer into its buffer.
+        const auto& source = member[instance];
+        if (source.empty()) continue;
         switch (edge.kind) {
           case Edge::Kind::kFlow: {
             const CompiledFlow& flow = flows[edge.index];
-            for (std::size_t r = edge.cursor; r < bound; ++r) {
-              const Route route = log[instance][r];
-              if (!flow.sender_out.permits(route)) continue;
-              if (!flow.receiver_in.permits(route)) continue;
-              add_route(flow.to, route);
+            auto& offered = flow_offered[edge.index];
+            if (offered.size() < source.size()) {
+              offered.resize(source.size(), 0);
+            }
+            auto& target = member[flow.to];
+            for (std::size_t w = 0; w < source.size(); ++w) {
+              std::uint64_t fresh = source[w] & ~offered[w];
+              if (fresh == 0) continue;
+              offered[w] |= fresh;
+              if (w < target.size()) fresh &= ~target[w];
+              while (fresh != 0) {
+                const int b = std::countr_zero(fresh);
+                fresh &= fresh - 1;
+                const Route& route = domain[w * 64 + b];
+                if (!flow.sender_out.permits(route)) continue;
+                if (!flow.receiver_in.permits(route)) continue;
+                if (target.size() <= w) {
+                  target.resize(words_for(domain.size()), 0);
+                }
+                target[w] |= 1ULL << b;
+                dirty[flow.to] = 1;
+              }
             }
             break;
           }
           case Edge::Kind::kRedist: {
             const CompiledRedist& redist = redists[edge.index];
-            for (std::size_t r = edge.cursor; r < bound; ++r) {
-              Route forwarded = log[instance][r];
-              if (redist.route_map) {
-                const auto& verdict = redist.route_map->evaluate(forwarded);
-                if (!verdict.permitted) continue;
-                forwarded = verdict.route;
+            auto& offered = redist_offered[edge.index];
+            if (offered.size() < source.size()) {
+              offered.resize(source.size(), 0);
+            }
+            RedistVerdictCache* cache = redist.cache;
+            if (cache != nullptr &&
+                cache->state.size() < source.size() * 64) {
+              cache->state.resize(source.size() * 64, 0);
+              cache->forwarded_pos.resize(source.size() * 64, 0);
+            }
+            for (std::size_t w = 0; w < source.size(); ++w) {
+              std::uint64_t fresh = source[w] & ~offered[w];
+              if (fresh == 0) continue;
+              offered[w] |= fresh;
+              while (fresh != 0) {
+                const int b = std::countr_zero(fresh);
+                fresh &= fresh - 1;
+                const std::uint32_t pos =
+                    static_cast<std::uint32_t>(w * 64 + b);
+                if (cache == nullptr) {  // identity chain: route unchanged
+                  add_pos(redist.to, pos);
+                  continue;
+                }
+                if (cache->state[pos] == 0) {
+                  Route forwarded = domain[pos];  // copy: intern may grow
+                  bool permitted = true;
+                  if (redist.route_map) {
+                    const auto verdict =
+                        redist.route_map->evaluate_nomemo(forwarded);
+                    permitted = verdict.permitted;
+                    if (permitted) forwarded = verdict.route;
+                  }
+                  permitted =
+                      permitted && redist.outbound.permits(forwarded);
+                  if (permitted) {
+                    cache->state[pos] = 2;
+                    cache->forwarded_pos[pos] = intern(forwarded);
+                  } else {
+                    cache->state[pos] = 1;
+                  }
+                }
+                if (cache->state[pos] == 2) {
+                  add_pos(redist.to, cache->forwarded_pos[pos]);
+                }
               }
-              if (!redist.outbound.permits(forwarded)) continue;
-              add_route(redist.to, forwarded);
             }
             break;
           }
           case Edge::Kind::kAggregate: {
             if (aggregate_done[edge.index]) break;
-            const AggregatePoint& point = problem.aggregate_points[edge.index];
-            for (std::size_t r = edge.cursor; r < bound; ++r) {
-              const Route route = log[instance][r];
-              if (route.prefix != point.prefix &&
-                  point.prefix.contains(route.prefix)) {
-                add_route(point.instance, {point.prefix, std::nullopt});
-                aggregate_done[edge.index] = 1;
-                break;
+            const AggregatePoint& point =
+                problem.aggregate_points[edge.index];
+            auto& offered = agg_offered[edge.index];
+            if (offered.size() < source.size()) {
+              offered.resize(source.size(), 0);
+            }
+            for (std::size_t w = 0;
+                 w < source.size() && !aggregate_done[edge.index]; ++w) {
+              std::uint64_t fresh = source[w] & ~offered[w];
+              if (fresh == 0) continue;
+              offered[w] |= fresh;
+              while (fresh != 0) {
+                const int b = std::countr_zero(fresh);
+                fresh &= fresh - 1;
+                const Route route = domain[w * 64 + b];  // copy: intern below
+                if (route.prefix != point.prefix &&
+                    point.prefix.contains(route.prefix)) {
+                  add_pos(point.instance,
+                          intern(Route{point.prefix, std::nullopt}));
+                  aggregate_done[edge.index] = 1;
+                  break;
+                }
               }
             }
             break;
           }
         }
-        edge.cursor = bound;
       }
     }
     if (round_span.armed()) {
-      std::size_t after = 0;
-      for (const auto& entries : log) after += entries.size();
-      round_span.arg("routes_appended", after - before);
+      round_span.arg("routes_appended", held_total() - before);
     }
   }
 
   // --- Announce pass, through the compiled outbound chains: one
-  // evaluation per distinct (instance, chain) pair, deduplicated through a
-  // membership index as it is collected — endpoints announce heavily
-  // overlapping sets, and sorting the concatenation was measurably slower
-  // than probing per permitted route.
+  // evaluation per distinct (instance, chain) pair. The announced set is
+  // itself a bitmap — a filterless chain ORs the instance's whole holding
+  // in; a filtering chain evaluates only positions nothing announced yet
+  // (a route one chain denies stays clear and is re-offered to the next
+  // chain, which may permit it).
   seen_session.clear();
   seen_stanza.clear();
-  RouteIndex announced_member;
-  auto announce = [&](const Route& route) {
-    if (announced_member.insert(route, result.announced)) {
-      result.announced.push_back(route);
+  std::vector<std::uint64_t> announced;
+  auto announce_instance = [&](std::uint32_t instance, const auto& chain) {
+    const auto& source = member[instance];
+    if (source.empty()) return;
+    if (announced.size() < source.size()) announced.resize(source.size(), 0);
+    if (chain.trivially_permits()) {
+      for (std::size_t w = 0; w < source.size(); ++w) {
+        announced[w] |= source[w];
+      }
+      return;
+    }
+    for (std::size_t w = 0; w < source.size(); ++w) {
+      std::uint64_t fresh = source[w] & ~announced[w];
+      while (fresh != 0) {
+        const int b = std::countr_zero(fresh);
+        fresh &= fresh - 1;
+        if (chain.permits(domain[w * 64 + b])) announced[w] |= 1ULL << b;
+      }
     }
   };
   for (const auto& endpoint : externals) {
     if (session_seen(endpoint.instance, endpoint.outbound)) continue;
-    for (const Route& route : log[endpoint.instance]) {
-      if (endpoint.outbound.permits(route)) announce(route);
-    }
+    announce_instance(endpoint.instance, endpoint.outbound);
   }
   for (const auto& endpoint : igp_externals) {
     if (stanza_seen(endpoint.instance, endpoint.outbound)) continue;
-    for (const Route& route : log[endpoint.instance]) {
-      if (endpoint.outbound.permits(route)) announce(route);
-    }
+    announce_instance(endpoint.instance, endpoint.outbound);
   }
-  std::sort(result.announced.begin(), result.announced.end());
 
-  result.routes = std::move(log);
-  for (auto& routes : result.routes) {
-    std::sort(routes.begin(), routes.end());  // membership index kept us
-                                              // duplicate-free already
-  }
+  // --- Materialization. A sorted permutation of the domain is computed
+  // once (the offer prefix is pre-sorted; only the interned tail needs
+  // ordering), then every result vector is emitted directly in route
+  // order: dense holdings scan the permutation and test bits, sparse ones
+  // collect their positions' ranks and sort those. Nothing ever sorts
+  // full Route records again.
+  const auto pos_less = [&](std::uint32_t a, std::uint32_t b) noexcept {
+    return route_key(domain[a]) < route_key(domain[b]);
+  };
+  std::vector<std::uint32_t> order(domain.size());
+  for (std::uint32_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin() + static_cast<std::ptrdiff_t>(offer_count),
+            order.end(), pos_less);
+  std::inplace_merge(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(offer_count),
+                     order.end(), pos_less);
+  std::vector<std::uint32_t> rank(domain.size());
+  for (std::uint32_t k = 0; k < order.size(); ++k) rank[order[k]] = k;
+  std::vector<std::uint32_t> held;  // sparse-path scratch
+  auto emit = [&](const std::vector<std::uint64_t>& bits,
+                  std::vector<Route>& out) {
+    std::size_t count = 0;
+    for (const std::uint64_t w : bits) count += std::popcount(w);
+    if (count == 0) return;
+    out.reserve(count);
+    if (count * 8 >= order.size()) {  // dense: walk the domain in order
+      for (const std::uint32_t pos : order) {
+        if ((pos >> 6) < bits.size() && (bits[pos >> 6] >> (pos & 63)) & 1) {
+          out.push_back(domain[pos]);
+        }
+      }
+      return;
+    }
+    held.clear();
+    held.reserve(count);
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        word &= word - 1;
+        held.push_back(rank[w * 64 + b]);
+      }
+    }
+    std::sort(held.begin(), held.end());
+    for (const std::uint32_t k : held) out.push_back(domain[order[k]]);
+  };
+  result.routes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) emit(member[i], result.routes[i]);
+  emit(announced, result.announced);
   return result;
 }
 
@@ -866,8 +1116,7 @@ ReachabilityAnalysis ReachabilityAnalysis::run(
     return prefix.length() > 0 &&
            internal.longest_match(prefix.network()) != nullptr;
   });
-  analysis.external_origin_ =
-      std::set<ip::Prefix>(origin.begin(), origin.end());
+  analysis.external_origin_ = std::move(origin);  // already sorted + unique
 
   const Problem problem =
       discover(network, instances, options, analysis.external_origin_);
@@ -940,7 +1189,10 @@ std::size_t ReachabilityAnalysis::external_route_count(
     std::uint32_t instance) const {
   std::size_t count = 0;
   for (const auto& route : routes_[instance]) {
-    if (external_origin_.contains(route.prefix)) ++count;
+    if (std::binary_search(external_origin_.begin(), external_origin_.end(),
+                           route.prefix)) {
+      ++count;
+    }
   }
   return count;
 }

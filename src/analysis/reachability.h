@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -117,7 +116,9 @@ class ReachabilityAnalysis {
  private:
   std::vector<std::vector<model::Route>> routes_;  // per instance, sorted
   std::vector<model::Route> announced_;            // sorted
-  std::set<ip::Prefix> external_origin_;  // prefixes injected from outside
+  /// Prefixes injected from outside, sorted ascending (binary-searched by
+  /// external_route_count on every route of every queried instance).
+  std::vector<ip::Prefix> external_origin_;
   /// Per-instance covering index over routes with length > 0; a non-null
   /// longest_match means some real (non-default) route covers the address.
   /// Built lazily on an instance's first instance_has_route_to query (many

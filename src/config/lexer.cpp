@@ -1,12 +1,29 @@
 #include "config/lexer.h"
 
+#include <utility>
+
 #include "util/strings.h"
 
 namespace rd::config {
 
-std::vector<Line> lex(std::string_view text) {
-  std::vector<Line> out;
+Lexed& Lexed::operator=(Lexed&& other) noexcept {
+  if (this == &other) return *this;
+  lines = std::move(other.lines);
+  token_storage = std::move(other.token_storage);
+  // token_storage's buffer moved wholesale, so the spans inside `lines`
+  // still point at live storage — nothing to fix up. (Guaranteed because
+  // vector move steals the allocation; this assignment exists to document
+  // and pin that invariant against a member being added carelessly.)
+  other.lines.clear();
+  return *this;
+}
+
+Lexed lex(std::string_view text) {
+  Lexed out;
   const auto lines = util::split_lines(text);
+  // First pass: collect lines and flatten every token into one array,
+  // recording each line's [offset, count) slice.
+  std::vector<std::pair<std::size_t, std::size_t>> slices;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string_view raw = lines[i];
     int indent = 0;
@@ -20,8 +37,16 @@ std::vector<Line> lex(std::string_view text) {
     line.number = i + 1;
     line.indent = indent;
     line.raw = body;
-    line.tokens = util::split_ws(body);
-    out.push_back(std::move(line));
+    const std::size_t offset = out.token_storage.size();
+    util::split_ws_into(body, out.token_storage);
+    slices.emplace_back(offset, out.token_storage.size() - offset);
+    out.lines.push_back(line);
+  }
+  // Second pass: the storage is final (no more reallocation), so the spans
+  // can point into it.
+  for (std::size_t i = 0; i < out.lines.size(); ++i) {
+    out.lines[i].tokens = {out.token_storage.data() + slices[i].first,
+                           slices[i].second};
   }
   return out;
 }

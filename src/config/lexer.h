@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -16,13 +17,31 @@ struct Line {
   std::size_t number = 0;  // 1-based line number in the source text
   int indent = 0;          // count of leading spaces
   std::string_view raw;    // trimmed command text
-  std::vector<std::string_view> tokens;  // whitespace-split fields
+  /// Whitespace-split fields — a window into the owning Lexed's flat token
+  /// array, not a per-line allocation.
+  std::span<const std::string_view> tokens;
+};
+
+/// A tokenized configuration. All lines' tokens live in one flat array
+/// (structure-of-arrays: a fleet-scale parse used to make one vector
+/// allocation per command line, dominating lexer time and fragmenting the
+/// heap), and each Line::tokens spans its slice. Move-safe: spans are
+/// rebuilt against the moved storage.
+struct Lexed {
+  std::vector<Line> lines;
+  std::vector<std::string_view> token_storage;
+
+  Lexed() = default;
+  Lexed(Lexed&& other) noexcept { *this = std::move(other); }
+  Lexed& operator=(Lexed&& other) noexcept;
+  Lexed(const Lexed&) = delete;
+  Lexed& operator=(const Lexed&) = delete;
 };
 
 /// Tokenize a configuration text. Comment lines (leading '!' possibly after
 /// whitespace) and blank lines are dropped; everything else becomes a Line.
 /// Views point into `text`, which must outlive the result.
-std::vector<Line> lex(std::string_view text);
+Lexed lex(std::string_view text);
 
 /// Count configuration command lines (what the paper's Figure 4 measures):
 /// all non-blank, non-comment lines.

@@ -23,7 +23,8 @@ ip::Netmask classful_mask(ip::Ipv4Address addr) noexcept {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lines_(lex(text)) {}
+  explicit Parser(std::string_view text)
+      : lexed_(lex(text)), lines_(lexed_.lines) {}
 
   ParseResult run(std::string_view source_file) {
     result_.config.source_file = std::string(source_file);
@@ -733,7 +734,8 @@ class Parser {
     result_.config.static_routes.push_back(std::move(route));
   }
 
-  std::vector<Line> lines_;
+  Lexed lexed_;
+  const std::vector<Line>& lines_;
   std::size_t pos_ = 0;
   ParseResult result_;
 };

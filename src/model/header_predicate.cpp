@@ -33,6 +33,78 @@ std::optional<HeaderAtom> atom_intersect(const HeaderAtom& a,
   return out;
 }
 
+/// `a \ b` for the prefix coordinate, emitted in the same sorted order
+/// prefix_difference returns but through a stack buffer: the siblings are
+/// generated bottom-up in strictly decreasing length, so emitting them in
+/// reverse *is* the (length, network) ascending order — no sort, no heap.
+template <typename Emit>
+void for_each_prefix_difference(const ip::Prefix& a, const ip::Prefix& b,
+                                Emit&& emit) {
+  if (b.contains(a)) return;
+  if (!a.contains(b)) {
+    emit(a);
+    return;
+  }
+  ip::Prefix buf[32];
+  int n = 0;
+  ip::Prefix cursor = b;
+  while (cursor.length() > a.length()) {
+    buf[n++] = cursor.buddy();
+    cursor = cursor.parent();
+  }
+  for (int i = n - 1; i >= 0; --i) emit(buf[i]);
+}
+
+/// Appends the disjoint pieces of `have \ hole` (hole = a non-empty
+/// atom_intersect(have, atom)) to `out` — the coordinate-peeling step
+/// shared by subtract() and subtract_in_place(), kept byte-identical
+/// between the two.
+void append_peeled_pieces(const HeaderAtom& have, const HeaderAtom& hole,
+                          std::vector<HeaderAtom>& out) {
+  // Peel the atom coordinate by coordinate: each piece keeps the hole's
+  // coordinates on the dimensions already peeled and the atom's on the
+  // rest, so the pieces are disjoint and their union is `have \ hole`.
+  // Pieces are appended without unite()'s cover scan — they are disjoint
+  // by construction, and the scan turns peeling quadratic on the
+  // multi-thousand-atom predicates ACL lowering produces.
+  for_each_prefix_difference(have.source, hole.source,
+                             [&](const ip::Prefix& src) {
+                               HeaderAtom piece = have;
+                               piece.source = src;
+                               out.push_back(piece);
+                             });
+  for_each_prefix_difference(have.destination, hole.destination,
+                             [&](const ip::Prefix& dst) {
+                               HeaderAtom piece = have;
+                               piece.source = hole.source;
+                               piece.destination = dst;
+                               out.push_back(piece);
+                             });
+  if (const std::uint64_t rest = have.protocols & ~hole.protocols) {
+    HeaderAtom piece = have;
+    piece.source = hole.source;
+    piece.destination = hole.destination;
+    piece.protocols = rest;
+    out.push_back(piece);
+  }
+  if (have.port_lo < hole.port_lo) {
+    HeaderAtom piece = have;
+    piece.source = hole.source;
+    piece.destination = hole.destination;
+    piece.protocols = hole.protocols;
+    piece.port_hi = hole.port_lo - 1;
+    out.push_back(piece);
+  }
+  if (have.port_hi > hole.port_hi) {
+    HeaderAtom piece = have;
+    piece.source = hole.source;
+    piece.destination = hole.destination;
+    piece.protocols = hole.protocols;
+    piece.port_lo = hole.port_hi + 1;
+    out.push_back(piece);
+  }
+}
+
 }  // namespace
 
 bool operator<(const HeaderAtom& a, const HeaderAtom& b) noexcept {
@@ -158,58 +230,51 @@ HeaderPredicate HeaderPredicate::subtract(const HeaderAtom& atom) const {
       out.atoms_.push_back(have);
       continue;
     }
-    // Peel the atom coordinate by coordinate: each piece keeps the hole's
-    // coordinates on the dimensions already peeled and the atom's on the
-    // rest, so the pieces are disjoint and their union is `have \ hole`.
-    // Pieces are appended without unite()'s cover scan — they are disjoint
-    // by construction, and the scan turns peeling quadratic on the
-    // multi-thousand-atom predicates ACL lowering produces.
-    for (const auto& src : prefix_difference(have.source, hole->source)) {
-      HeaderAtom piece = have;
-      piece.source = src;
-      out.atoms_.push_back(piece);
-    }
-    for (const auto& dst :
-         prefix_difference(have.destination, hole->destination)) {
-      HeaderAtom piece = have;
-      piece.source = hole->source;
-      piece.destination = dst;
-      out.atoms_.push_back(piece);
-    }
-    if (const std::uint64_t rest = have.protocols & ~hole->protocols) {
-      HeaderAtom piece = have;
-      piece.source = hole->source;
-      piece.destination = hole->destination;
-      piece.protocols = rest;
-      out.atoms_.push_back(piece);
-    }
-    if (have.port_lo < hole->port_lo) {
-      HeaderAtom piece = have;
-      piece.source = hole->source;
-      piece.destination = hole->destination;
-      piece.protocols = hole->protocols;
-      piece.port_hi = hole->port_lo - 1;
-      out.atoms_.push_back(piece);
-    }
-    if (have.port_hi > hole->port_hi) {
-      HeaderAtom piece = have;
-      piece.source = hole->source;
-      piece.destination = hole->destination;
-      piece.protocols = hole->protocols;
-      piece.port_lo = hole->port_hi + 1;
-      out.atoms_.push_back(piece);
-    }
+    append_peeled_pieces(have, *hole, out.atoms_);
   }
   return out;
 }
 
 HeaderPredicate HeaderPredicate::subtract(const HeaderPredicate& other) const {
   HeaderPredicate out = *this;
+  std::vector<HeaderAtom> scratch;
   for (const auto& atom : other.atoms_) {
-    out = out.subtract(atom);
+    out.subtract_in_place(atom, scratch);
     if (out.is_empty()) break;
   }
   return out;
+}
+
+void HeaderPredicate::subtract_in_place(const HeaderAtom& atom,
+                                        std::vector<HeaderAtom>& scratch) {
+  // Fast path: when nothing overlaps the atom the predicate is unchanged —
+  // the common case when peeling an ACL clause against far-apart earlier
+  // clauses — and no atom is copied at all.
+  std::size_t first = 0;
+  while (first < atoms_.size() && !atom_intersect(atoms_[first], atom)) {
+    ++first;
+  }
+  if (first == atoms_.size()) return;
+  scratch.clear();
+  scratch.insert(scratch.end(), atoms_.begin(), atoms_.begin() + first);
+  for (std::size_t i = first; i < atoms_.size(); ++i) {
+    const auto& have = atoms_[i];
+    const auto hole = atom_intersect(have, atom);
+    if (!hole) {
+      scratch.push_back(have);
+      continue;
+    }
+    append_peeled_pieces(have, *hole, scratch);
+  }
+  atoms_.swap(scratch);
+}
+
+void HeaderPredicate::subtract_in_place(const HeaderPredicate& other,
+                                        std::vector<HeaderAtom>& scratch) {
+  for (const auto& atom : other.atoms_) {
+    subtract_in_place(atom, scratch);
+    if (is_empty()) return;
+  }
 }
 
 bool HeaderPredicate::covers(const HeaderPredicate& other) const {
@@ -271,6 +336,14 @@ void HeaderPredicate::normalize() {
   }
   std::sort(kept.begin(), kept.end());
   atoms_ = std::move(kept);
+}
+
+void HeaderPredicate::normalize_disjoint() {
+  // With pairwise-disjoint atoms no distinct atom can cover another (cover
+  // implies a shared header, atoms are never empty) and no two atoms are
+  // equal, so normalize()'s O(n^2) cover-prune provably removes nothing:
+  // sorting alone yields the identical atom list.
+  std::sort(atoms_.begin(), atoms_.end());
 }
 
 std::optional<HeaderPredicate::Witness> HeaderPredicate::witness() const {

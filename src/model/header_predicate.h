@@ -138,6 +138,17 @@ class HeaderPredicate {
   HeaderPredicate subtract(const HeaderAtom& atom) const;
   HeaderPredicate subtract(const HeaderPredicate& other) const;
 
+  /// subtract() without the per-call predicate copy: peels `atom` out of
+  /// this predicate, using `scratch` as the rebuild buffer (cleared and
+  /// swapped in; pass the same vector across calls to amortize its
+  /// capacity). Produces the identical atom list to `*this =
+  /// subtract(atom)`. The hot path of ACL lowering, which peels every
+  /// clause against all earlier clauses.
+  void subtract_in_place(const HeaderAtom& atom,
+                         std::vector<HeaderAtom>& scratch);
+  void subtract_in_place(const HeaderPredicate& other,
+                         std::vector<HeaderAtom>& scratch);
+
   bool disjoint_with(const HeaderPredicate& other) const {
     return intersect(other).is_empty();
   }
@@ -158,6 +169,13 @@ class HeaderPredicate {
   /// canonical form (union-of-boxes has none that is cheap), but enough to
   /// make printed output and atom-count metrics deterministic and small.
   void normalize();
+
+  /// normalize() for predicates the caller knows have pairwise-disjoint
+  /// atoms (first-match effective regions, unite_disjoint accumulations):
+  /// disjoint atoms can neither cover nor equal each other, so the cover
+  /// prune is a no-op and sorting alone gives the identical result in
+  /// O(n log n).
+  void normalize_disjoint();
 
   /// The least header in the predicate (by the atom ordering, then least
   /// coordinates within the first atom); nullopt when empty. Used to print

@@ -211,14 +211,17 @@ SymbolicPacketFilter::SymbolicPacketFilter(const config::AccessList& acl,
   std::vector<HeaderPredicate> regions;
   regions.reserve(acl.rules.size());
   effective_.reserve(acl.rules.size());
+  std::vector<HeaderAtom> scratch;  // reused across every peel below
   for (std::size_t i = 0; i < acl.rules.size(); ++i) {
     const auto& rule = acl.rules[i];
     HeaderPredicate region = acl_rule_match_region(rule, domain);
     HeaderPredicate effective = region;
     for (std::size_t j = 0; j < i && !effective.is_empty(); ++j) {
-      effective = effective.subtract(regions[j]);
+      effective.subtract_in_place(regions[j], scratch);
     }
-    effective.normalize();
+    // A single clause region peeled by disjoint holes stays a disjoint
+    // union, so the cheap disjoint normalize is exact here.
+    effective.normalize_disjoint();
     if (effective.is_empty()) {
       shadowed_.push_back(i);
     } else if (rule.action == config::FilterAction::kPermit) {
@@ -229,7 +232,7 @@ SymbolicPacketFilter::SymbolicPacketFilter(const config::AccessList& acl,
     effective_.push_back(std::move(effective));
     regions.push_back(std::move(region));
   }
-  permitted_.normalize();
+  permitted_.normalize_disjoint();
   // Off the end of the list is the implicit deny: headers no clause
   // claims are simply not permitted.
 }

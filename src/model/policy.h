@@ -186,6 +186,14 @@ class CompiledRouteMap {
 
   const PolicyVerdict& evaluate(const Route& route) const;
 
+  /// evaluate() without touching the per-object verdict memo: for callers
+  /// that maintain their own (cheaper) cache, e.g. the semi-naïve engine's
+  /// flat per-universe-position redistribution cache — hashing a Route
+  /// into the memo costs more than those callers' array reads.
+  PolicyVerdict evaluate_nomemo(const Route& route) const {
+    return evaluate_uncached(route);
+  }
+
  private:
   struct Clause {
     bool permit = false;

@@ -13,6 +13,8 @@ std::shared_ptr<const config::ParseResult> ParseCache::parse(
   // so the hot path pays one relaxed load when counting is off.
   static obs::Counter& hit_counter = obs::counter("parse_cache.hits");
   static obs::Counter& miss_counter = obs::counter("parse_cache.misses");
+  static obs::Gauge& duplicate_gauge =
+      obs::gauge("parse_cache.duplicate_parses");
   const Key key = util::Sha1::hash(text);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -21,22 +23,32 @@ std::shared_ptr<const config::ParseResult> ParseCache::parse(
       hit_counter.add();
       return it->second;
     }
-    ++misses_;
-    miss_counter.add();
   }
   // Parse outside the lock; a concurrent miss on the same key parses too,
-  // and try_emplace below keeps whichever result lands first.
+  // and try_emplace below keeps whichever result lands first. A miss is
+  // counted only when the insert wins, so `misses == entries` always
+  // reconciles; the loser's work is a *duplicate parse* — a separate,
+  // scheduling-dependent stat (an obs gauge, not a deterministic counter).
   obs::Span span("parse_cache.parse", "pipeline");
   auto parsed =
       std::make_shared<const config::ParseResult>(config::parse_config(text));
   std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = entries_.try_emplace(key, std::move(parsed));
+  if (inserted) {
+    ++misses_;
+    miss_counter.add();
+  } else {
+    ++hits_;
+    hit_counter.add();
+    ++duplicate_parses_;
+    duplicate_gauge.add();
+  }
   return it->second;
 }
 
 ParseCache::Stats ParseCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {hits_, misses_, entries_.size()};
+  return {hits_, misses_, duplicate_parses_, entries_.size()};
 }
 
 void ParseCache::clear() {
@@ -44,6 +56,7 @@ void ParseCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  duplicate_parses_ = 0;
 }
 
 }  // namespace rd::pipeline

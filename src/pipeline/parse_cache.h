@@ -31,12 +31,19 @@ namespace rd::pipeline {
 /// hit/miss counters are serialized. When two threads race to parse the
 /// same new text, both parse but the first insert wins and both return the
 /// winning entry, so callers always share one result per content key.
+///
+/// Accounting: a miss is counted when an insert wins, so `misses ==
+/// entries` always; every other call is a hit (`hits + misses` = total
+/// calls) — both counts are therefore scheduling-independent. A racer
+/// whose parse is discarded additionally bumps `duplicate_parses`, the
+/// only scheduling-dependent figure (wasted work, not set semantics).
 class ParseCache {
  public:
   struct Stats {
-    std::size_t hits = 0;    // parses served from the cache
-    std::size_t misses = 0;  // parses computed (including lost races)
-    std::size_t entries = 0; // distinct content keys resident
+    std::size_t hits = 0;    // calls served an existing entry
+    std::size_t misses = 0;  // calls whose parse was inserted (== entries)
+    std::size_t duplicate_parses = 0;  // lost races: parsed, then discarded
+    std::size_t entries = 0;           // distinct content keys resident
   };
 
   /// Return the parse of `text`, memoized by content hash.
@@ -65,6 +72,7 @@ class ParseCache {
       entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t duplicate_parses_ = 0;
 };
 
 }  // namespace rd::pipeline

@@ -34,6 +34,23 @@ struct Pools {
   AddressPlanner ext{Prefix(Ipv4Address(66, 192, 0, 0), 12)};     // edge /30s
   AddressPlanner customer{Prefix(Ipv4Address(128, 0, 0, 0), 3)};  // learned
   AddressPlanner hosts{Prefix(Ipv4Address(192, 0, 0, 0), 10)};    // ACL noise
+
+  /// Pools sized to the network. Every tier the paper calibrates against
+  /// fits the default RFC1918-style plan above, and must keep it so the
+  /// generated addresses stay byte-identical. The ~100k-router mega tier
+  /// overflows it (three /24 LANs per spoke alone outgrow all of 10/8),
+  /// so past 5k expected routers the plan switches to wider disjoint
+  /// blocks: same structure, same relative roles, bigger arithmetic.
+  static Pools scaled(std::uint64_t expected_routers) {
+    Pools p;
+    if (expected_routers <= 5000) return p;
+    p.infra = AddressPlanner(Prefix(Ipv4Address(10, 0, 0, 0), 9));
+    p.lans = AddressPlanner(Prefix(Ipv4Address(32, 0, 0, 0), 5));
+    p.local = AddressPlanner(Prefix(Ipv4Address(68, 0, 0, 0), 6));
+    p.hosts = AddressPlanner(Prefix(Ipv4Address(160, 0, 0, 0), 7));
+    // ext and customer have headroom at any realistic tier.
+    return p;
+  }
 };
 
 std::string next_acl_id(const config::RouterConfig& cfg) {
@@ -803,7 +820,11 @@ SynthNetwork build_managed(const std::string& name, std::uint64_t seed,
                            const std::string& label) {
   NetworkBuilder b(name);
   Rng rng(seed);
-  Pools pools;
+  std::uint64_t expected_routers = layout.core_routers;
+  for (const RegionSpec& region : layout.regions) {
+    expected_routers += region.routers + region.borders;
+  }
+  Pools pools = Pools::scaled(expected_routers);
 
   // Core site.
   std::vector<std::uint32_t> core;
@@ -1105,6 +1126,20 @@ SynthNetwork make_managed_enterprise(const ManagedEnterpriseParams& params) {
   }
   return build_managed(params.name, params.seed, layout,
                        "managed-enterprise");
+}
+
+SynthNetwork make_mega_tier(const MegaTierParams& params) {
+  // Each region yields its spokes plus a hub/border overhead of ~3 routers
+  // (measured on the fleet tier: 8 regions x 40 spokes -> 341 routers), so
+  // floor-dividing the target by that yield lands within ~1% of the target.
+  ManagedEnterpriseParams me;
+  me.seed = params.seed;
+  me.name = params.name;
+  me.spokes_per_region = params.spokes_per_region;
+  me.ebgp_spoke_rate = params.ebgp_spoke_rate;
+  me.regions = std::max<std::uint32_t>(
+      1, params.target_routers / (params.spokes_per_region + 3));
+  return make_managed_enterprise(me);
 }
 
 // ---------------------------------------------------------------------------

@@ -129,6 +129,21 @@ struct ManagedEnterpriseParams {
 
 SynthNetwork make_managed_enterprise(const ManagedEnterpriseParams& params);
 
+/// The 100k-router scale tier (ROADMAP item 2). A managed enterprise dialed
+/// by approximate total router count: regions are derived from the target so
+/// `target_routers = 100'000` lands within ~1% of 100k actual routers.
+struct MegaTierParams {
+  std::uint64_t seed = 9;
+  std::string name = "mega";
+  /// Approximate fleet size; the derived region count is floor-matched
+  /// against the per-region router yield (spokes + hub pair + core share).
+  std::uint32_t target_routers = 100'000;
+  std::uint32_t spokes_per_region = 400;
+  double ebgp_spoke_rate = 0.15;
+};
+
+SynthNetwork make_mega_tier(const MegaTierParams& params);
+
 struct NoBgpParams {
   std::uint64_t seed = 6;
   std::string name = "nobgp";

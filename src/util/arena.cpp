@@ -1,0 +1,61 @@
+#include "util/arena.h"
+
+#include <cstring>
+
+namespace rd::util {
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+  const std::size_t padding = aligned - addr;
+  if (cursor_ == nullptr ||
+      size + padding > static_cast<std::size_t>(end_ - cursor_)) {
+    grow(size + align);
+    addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t realigned = (addr + (align - 1)) & ~(align - 1);
+    cursor_ = reinterpret_cast<std::byte*>(realigned + size);
+    used_ += size;
+    return reinterpret_cast<void*>(realigned);
+  }
+  cursor_ = reinterpret_cast<std::byte*>(aligned + size);
+  used_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+std::string_view Arena::copy_string(std::string_view s) {
+  if (s.empty()) return {};
+  char* dst = static_cast<char*>(allocate(s.size(), 1));
+  std::memcpy(dst, s.data(), s.size());
+  return {dst, s.size()};
+}
+
+void Arena::reset() noexcept {
+  if (blocks_.empty()) return;
+  // Keep only the largest block (always the last: block sizes are
+  // non-decreasing until the cap, and oversized blocks are at least as
+  // large as the request that forced them).
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].capacity >= blocks_[largest].capacity) largest = i;
+  }
+  Block kept = std::move(blocks_[largest]);
+  blocks_.clear();
+  cursor_ = kept.data.get();
+  end_ = cursor_ + kept.capacity;
+  reserved_ = kept.capacity;
+  used_ = 0;
+  blocks_.push_back(std::move(kept));
+}
+
+void Arena::grow(std::size_t at_least) {
+  std::size_t size = next_block_size_;
+  if (size < at_least) size = at_least;
+  Block block{std::make_unique<std::byte[]>(size), size};
+  cursor_ = block.data.get();
+  end_ = cursor_ + size;
+  reserved_ += size;
+  blocks_.push_back(std::move(block));
+  if (next_block_size_ < kMaxBlock) next_block_size_ *= 2;
+}
+
+}  // namespace rd::util

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace rd::util {
+
+/// Bump allocator over a chain of geometrically-growing blocks.
+///
+/// The model layers allocate many small, same-lifetime objects — interned
+/// name bytes, flattened token arrays, compiled-policy scratch — where
+/// node-per-object `new` costs more in allocator metadata and cache misses
+/// than the payload itself (ROADMAP item 2). An Arena hands out pointers by
+/// bumping an offset, never frees individual objects, and releases
+/// everything at once on destruction or `reset()`.
+///
+/// Only trivially-destructible types may be placed here (enforced by
+/// `make`/`make_array`): the arena never runs destructors.
+///
+/// Not thread-safe; each thread or pipeline stage owns its own arena.
+class Arena {
+ public:
+  /// `first_block` is the initial capacity; later blocks double, capped at
+  /// `kMaxBlock`. Oversized single allocations get a dedicated block.
+  explicit Arena(std::size_t first_block = 4096) noexcept
+      : next_block_size_(first_block < kMinBlock ? kMinBlock : first_block) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw storage, aligned to `align` (a power of two). Never returns
+  /// nullptr; size 0 yields a unique valid pointer into the current block.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t));
+
+  /// Construct a trivially-destructible T in place.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(static_cast<Args&&>(args)...);
+  }
+
+  /// Uninitialized array of trivially-destructible T.
+  template <typename T>
+  T* make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// Copy a string's bytes into the arena; the view stays valid until
+  /// `reset()` or destruction. The backbone of Interner.
+  std::string_view copy_string(std::string_view s);
+
+  /// Drop every allocation but keep the largest block for reuse, so a
+  /// steady-state consumer (e.g. a per-snapshot parse) stops touching the
+  /// system allocator after its first cycle.
+  void reset() noexcept;
+
+  /// Bytes handed out since construction or the last reset().
+  std::size_t bytes_used() const noexcept { return used_; }
+  /// Bytes currently owned (all blocks, including unreached capacity).
+  std::size_t bytes_reserved() const noexcept { return reserved_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kMaxBlock = std::size_t{1} << 20;  // 1 MiB
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  void grow(std::size_t at_least);
+
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;  // next free byte of the current block
+  std::byte* end_ = nullptr;     // one past the current block
+  std::size_t next_block_size_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace rd::util

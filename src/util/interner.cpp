@@ -1,0 +1,69 @@
+#include "util/interner.h"
+
+namespace rd::util {
+
+Interner::Interner(std::size_t expected) : bytes_(1024) {
+  std::size_t want = 16;
+  while (want * 3 < expected * 4) want *= 2;
+  slots_.assign(want, Slot{});
+  views_.reserve(expected);
+}
+
+std::uint64_t Interner::hash(std::string_view s) noexcept {
+  // FNV-1a, finished with a mix round so short names spread over the table.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 32;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+Symbol Interner::intern(std::string_view s) {
+  if ((views_.size() + 1) * 4 > slots_.size() * 3) {
+    rehash(slots_.size() * 2);
+  }
+  const std::uint64_t h = hash(s);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (slots_[i].symbol != kNoSymbol) {
+    if (slots_[i].hash == h && views_[slots_[i].symbol] == s) {
+      return slots_[i].symbol;
+    }
+    i = (i + 1) & mask;
+  }
+  const Symbol symbol = static_cast<Symbol>(views_.size());
+  views_.push_back(bytes_.copy_string(s));
+  slots_[i] = Slot{h, symbol};
+  return symbol;
+}
+
+Symbol Interner::find(std::string_view s) const noexcept {
+  const std::uint64_t h = hash(s);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (slots_[i].symbol != kNoSymbol) {
+    if (slots_[i].hash == h && views_[slots_[i].symbol] == s) {
+      return slots_[i].symbol;
+    }
+    i = (i + 1) & mask;
+  }
+  return kNoSymbol;
+}
+
+void Interner::rehash(std::size_t want) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(want, Slot{});
+  const std::size_t mask = want - 1;
+  for (const Slot& slot : old) {
+    if (slot.symbol == kNoSymbol) continue;
+    std::size_t i = static_cast<std::size_t>(slot.hash) & mask;
+    while (slots_[i].symbol != kNoSymbol) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+}  // namespace rd::util

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace rd::util {
+
+/// Handle to an interned string. Symbols from one Interner are dense
+/// (0, 1, 2, ...) in first-intern order, totally ordered, and valid for the
+/// interner's lifetime — equality of symbols is equality of strings.
+using Symbol = std::uint32_t;
+
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+/// String interning table: each distinct string is stored once (bytes on an
+/// internal Arena) and identified by a dense Symbol, so name comparisons and
+/// hash lookups on the model's hot paths are integer operations instead of
+/// byte-string work (ROADMAP item 2: router/interface/policy/instance names
+/// fleet-wide).
+///
+/// Open addressing with linear probing over a power-of-two table;
+/// `intern()` amortizes rehashing, and a rehash never invalidates Symbols
+/// or views — both index side arrays that only grow.
+///
+/// Thread model: single writer. `intern()` must be externally serialized;
+/// `find()`/`view()`/`size()` are safe to call concurrently from any number
+/// of threads once writers have quiesced (the parallel pipeline interns
+/// while building, then shares the table read-only with analysis workers).
+class Interner {
+ public:
+  explicit Interner(std::size_t expected = 64);
+
+  /// Symbol for `s`, interning it on first sight.
+  Symbol intern(std::string_view s);
+
+  /// Symbol for `s`, or kNoSymbol when it was never interned.
+  Symbol find(std::string_view s) const noexcept;
+
+  /// The interned bytes of a symbol. O(1); valid for the interner's life.
+  std::string_view view(Symbol symbol) const noexcept {
+    return views_[symbol];
+  }
+
+  /// Number of distinct strings interned.
+  std::size_t size() const noexcept { return views_.size(); }
+
+  /// Bytes held by the string storage arena (diagnostics / DESIGN.md §12).
+  std::size_t string_bytes() const noexcept { return bytes_.bytes_used(); }
+
+ private:
+  static std::uint64_t hash(std::string_view s) noexcept;
+  void rehash(std::size_t want);
+
+  struct Slot {
+    std::uint64_t hash = 0;
+    Symbol symbol = kNoSymbol;  // kNoSymbol marks an empty slot
+  };
+
+  std::vector<Slot> slots_;             // power-of-two open-addressed table
+  std::vector<std::string_view> views_; // symbol -> bytes (arena-backed)
+  Arena bytes_;
+};
+
+}  // namespace rd::util

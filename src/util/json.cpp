@@ -329,29 +329,38 @@ class JsonReader {
           out += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
           std::uint32_t code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<std::uint32_t>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<std::uint32_t>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<std::uint32_t>(h - 'A' + 10);
-            } else {
-              return std::nullopt;
-            }
+          if (!read_hex4(code)) return std::nullopt;
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return std::nullopt;  // lone low surrogate
           }
-          // UTF-8 encode the code point (BMP only; no surrogate pairing).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must be followed by "\uDC00".."\uDFFF"; the
+            // pair combines into one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return std::nullopt;  // lone high surrogate
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!read_hex4(low)) return std::nullopt;
+            if (low < 0xDC00 || low > 0xDFFF) return std::nullopt;
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          // UTF-8 encode the code point (1-4 bytes; surrogate halves can no
+          // longer reach here, so the encoding is always valid UTF-8).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -364,22 +373,59 @@ class JsonReader {
     return std::nullopt;  // unterminated
   }
 
-  std::optional<Json> parse_number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {
-      // sign consumed
-    }
-    bool integral = true;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        integral = false;
-        ++pos_;
+  bool read_hex4(std::uint32_t& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<std::uint32_t>(h - 'A' + 10);
       } else {
-        break;
+        return false;
       }
+    }
+    return true;
+  }
+
+  std::optional<Json> parse_number() {
+    // The JSON number grammar, enforced positionally:
+    //   -? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?
+    // A free-form scan that accepts '.'/'e'/'+'/'-' anywhere would let
+    // malformed tokens like "1-2" or "1..e+" through to the double
+    // conversion.
+    const std::size_t start = pos_;
+    bool integral = true;
+    consume('-');
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;  // a leading zero must stand alone ("0", "0.5", not "01")
+    } else if (digits() == 0) {
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      integral = false;
+      if (digits() == 0) return std::nullopt;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      integral = false;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) return std::nullopt;
     }
     const std::string_view token = text_.substr(start, pos_ - start);
     if (token.empty() || token == "-") return std::nullopt;

@@ -1,6 +1,5 @@
 #include "util/strings.h"
 
-#include <cctype>
 #include <cstdint>
 #include <limits>
 
@@ -10,6 +9,14 @@ namespace {
 bool is_space(char c) noexcept {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
          c == '\v';
+}
+
+// ASCII-only case folding. std::tolower honors LC_CTYPE, so keyword
+// matching could change under e.g. a Turkish locale ('I' -> dotless i) or
+// mangle bytes of multi-byte UTF-8 sequences in single-byte locales.
+// Config keywords are ASCII; anything non-ASCII passes through untouched.
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
 }
 }  // namespace
 
@@ -35,6 +42,11 @@ std::vector<std::string_view> split(std::string_view s, char sep) {
 
 std::vector<std::string_view> split_ws(std::string_view s) {
   std::vector<std::string_view> out;
+  split_ws_into(s, out);
+  return out;
+}
+
+void split_ws_into(std::string_view s, std::vector<std::string_view>& out) {
   std::size_t i = 0;
   while (i < s.size()) {
     while (i < s.size() && is_space(s[i])) ++i;
@@ -42,7 +54,6 @@ std::vector<std::string_view> split_ws(std::string_view s) {
     while (i < s.size() && !is_space(s[i])) ++i;
     if (i > start) out.push_back(s.substr(start, i - start));
   }
-  return out;
 }
 
 std::vector<std::string_view> split_lines(std::string_view text) {
@@ -76,17 +87,14 @@ bool ends_with(std::string_view s, std::string_view suffix) noexcept {
 bool iequals(std::string_view a, std::string_view b) noexcept {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
   }
   return true;
 }
 
 std::string to_lower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c = ascii_lower(c);
   return out;
 }
 

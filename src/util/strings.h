@@ -15,6 +15,11 @@ std::vector<std::string_view> split(std::string_view s, char sep);
 /// Split on runs of ASCII whitespace; empty fields are dropped.
 std::vector<std::string_view> split_ws(std::string_view s);
 
+/// split_ws appending into an existing vector — lets callers flatten many
+/// lines' tokens into one allocation (the lexer's structure-of-arrays
+/// token storage) instead of one vector per line.
+void split_ws_into(std::string_view s, std::vector<std::string_view>& out);
+
 /// Split a text blob into lines. Handles both \n and \r\n; the final line is
 /// included even without a trailing newline.
 std::vector<std::string_view> split_lines(std::string_view text);

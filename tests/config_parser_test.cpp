@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string_view>
+
 #include "config/lexer.h"
 #include "config/parser.h"
 #include "testutil.h"
@@ -7,13 +10,21 @@
 namespace rd::config {
 namespace {
 
+std::vector<rd::config::Line> lex_lines(std::string_view text) {
+  // Tests inspect lines only; keep the storage alive alongside them.
+  static std::vector<std::unique_ptr<rd::config::Lexed>> keep;
+  keep.push_back(std::make_unique<rd::config::Lexed>(rd::config::lex(text)));
+  return keep.back()->lines;
+}
+
+
 using rd::test::kFigure2Config;
 using rd::test::parse;
 
 // --- lexer ------------------------------------------------------------------
 
 TEST(Lexer, TokenizesAndTracksIndent) {
-  const auto lines = lex("interface Ethernet0\n ip address 1.2.3.4 "
+  const auto lines = lex_lines("interface Ethernet0\n ip address 1.2.3.4 "
                          "255.255.255.0\n!\nrouter ospf 1\n");
   ASSERT_EQ(lines.size(), 3u);  // comment dropped
   EXPECT_EQ(lines[0].indent, 0);
@@ -24,13 +35,13 @@ TEST(Lexer, TokenizesAndTracksIndent) {
 }
 
 TEST(Lexer, DropsBlankAndCommentLines) {
-  const auto lines = lex("\n  \n! a comment\n   ! another\nend\n");
+  const auto lines = lex_lines("\n  \n! a comment\n   ! another\nend\n");
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0].raw, "end");
 }
 
 TEST(Lexer, TracksLineNumbers) {
-  const auto lines = lex("a\n!\nb\n");
+  const auto lines = lex_lines("a\n!\nb\n");
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0].number, 1u);
   EXPECT_EQ(lines[1].number, 3u);

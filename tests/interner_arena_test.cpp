@@ -1,0 +1,203 @@
+// Tests for the model core's memory layer (DESIGN.md §12): the bump arena
+// and the fleet-wide string interner, including the concurrency contract
+// the parallel pipeline relies on — symbols and views stay valid across
+// rehashes, and reads are safe from many threads once writers quiesce.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/network.h"
+#include "synth/archetypes.h"
+#include "util/arena.h"
+#include "util/interner.h"
+
+namespace rd {
+namespace {
+
+// --- arena ------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  util::Arena arena;
+  auto* a = static_cast<char*>(arena.allocate(3, 1));
+  auto* b = static_cast<std::uint64_t*>(
+      arena.allocate(sizeof(std::uint64_t), alignof(std::uint64_t)));
+  auto* c = static_cast<char*>(arena.allocate(5, 1));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint64_t), 0u);
+  std::memset(a, 'a', 3);
+  *b = 0x0123456789abcdefULL;
+  std::memset(c, 'c', 5);
+  EXPECT_EQ(a[0], 'a');
+  EXPECT_EQ(*b, 0x0123456789abcdefULL);
+  EXPECT_EQ(c[4], 'c');
+}
+
+TEST(Arena, GrowsAcrossBlocksWithoutMovingOldData) {
+  util::Arena arena;
+  std::vector<std::string_view> copies;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 4000; ++i) {
+    originals.push_back("router-" + std::to_string(i));
+  }
+  for (const auto& s : originals) copies.push_back(arena.copy_string(s));
+  EXPECT_GT(arena.block_count(), 1u);  // must have spilled past one block
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(copies[i], originals[i]);  // old blocks never move
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, ResetReusesLargestBlock) {
+  util::Arena arena;
+  for (int i = 0; i < 4000; ++i) {
+    arena.copy_string("some-interface-name-" + std::to_string(i));
+  }
+  const std::size_t reserved_before = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.block_count(), 1u);     // keeps only the largest block
+  EXPECT_GT(arena.bytes_reserved(), 0u);  // ... but does keep it
+  EXPECT_LE(arena.bytes_reserved(), reserved_before);
+  // The retained block is immediately reusable.
+  const std::string_view again = arena.copy_string("after-reset");
+  EXPECT_EQ(again, "after-reset");
+}
+
+TEST(Arena, LargeAllocationGetsOwnBlock) {
+  util::Arena arena;
+  const std::string big(4u << 20, 'x');  // 4 MiB > max block size
+  const std::string_view copy = arena.copy_string(big);
+  EXPECT_EQ(copy.size(), big.size());
+  EXPECT_EQ(copy, big);
+}
+
+// --- interner ---------------------------------------------------------------
+
+TEST(Interner, InternIsIdempotentAndDense) {
+  util::Interner interner;
+  const auto a = interner.intern("GigabitEthernet0/0");
+  const auto b = interner.intern("Serial1/0");
+  const auto a2 = interner.intern("GigabitEthernet0/0");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, 0u);  // symbols are dense in first-intern order
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.view(a), "GigabitEthernet0/0");
+  EXPECT_EQ(interner.view(b), "Serial1/0");
+}
+
+TEST(Interner, FindMissesWithoutInterning) {
+  util::Interner interner;
+  interner.intern("present");
+  EXPECT_EQ(interner.find("absent"), util::kNoSymbol);
+  EXPECT_EQ(interner.size(), 1u);  // find() never inserts
+  EXPECT_NE(interner.find("present"), util::kNoSymbol);
+}
+
+TEST(Interner, SymbolsAndViewsSurviveRehash) {
+  // Start tiny so the table rehashes many times, and keep the views taken
+  // before each rehash — the contract is that neither symbols nor views
+  // are invalidated by growth.
+  util::Interner interner(2);
+  std::vector<util::Symbol> symbols;
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 10000; ++i) {
+    originals.push_back("name-" + std::to_string(i));
+  }
+  for (const auto& s : originals) {
+    symbols.push_back(interner.intern(s));
+    views.push_back(interner.view(symbols.back()));
+  }
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(symbols[i], static_cast<util::Symbol>(i));
+    EXPECT_EQ(views[i], originals[i]);
+    EXPECT_EQ(interner.find(originals[i]), symbols[i]);
+  }
+}
+
+TEST(Interner, CollidingNamesStayDistinct) {
+  // Adversarial shape for open addressing: long shared prefixes and short
+  // names that land in neighboring slots. Every distinct string must get a
+  // distinct symbol regardless of probe collisions.
+  util::Interner interner(2);
+  std::vector<std::string> names;
+  for (int i = 0; i < 64; ++i) {
+    names.push_back(std::string(200, 'x') + std::to_string(i));
+    std::string shorty(1, static_cast<char>('a' + i % 26));
+    shorty += std::to_string(i);
+    names.push_back(shorty);
+  }
+  std::vector<util::Symbol> symbols;
+  for (const auto& n : names) symbols.push_back(interner.intern(n));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] != names[j]) {
+        EXPECT_NE(symbols[i], symbols[j]);
+      }
+    }
+    EXPECT_EQ(interner.view(symbols[i]), names[i]);
+  }
+}
+
+TEST(Interner, ConcurrentReadersAfterQuiescence) {
+  // The pipeline's thread model: one thread interns while building the
+  // model, then analysis workers share the table read-only. Hammer
+  // find()/view() from 8 threads and check every thread sees the same
+  // symbols the writer produced.
+  util::Interner interner;
+  std::vector<std::string> names;
+  std::vector<util::Symbol> expected;
+  for (int i = 0; i < 2000; ++i) {
+    names.push_back("rtr-" + std::to_string(i) + "/Gi0/" + std::to_string(i));
+    expected.push_back(interner.intern(names.back()));
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+          if (interner.find(names[i]) != expected[i]) ++mismatches[t];
+          if (interner.view(expected[i]) != names[i]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+// --- the model's name table -------------------------------------------------
+
+TEST(NetworkNames, RoutersAndInterfacesAreInterned) {
+  synth::TextbookEnterpriseParams p;
+  const auto net = synth::make_textbook_enterprise(p);
+  const auto network = model::Network::build(net.configs);
+  ASSERT_GT(network.router_count(), 0u);
+  for (std::size_t r = 0; r < network.router_count(); ++r) {
+    const auto id = static_cast<model::RouterId>(r);
+    const auto& router = network.routers()[r];
+    // hostname round-trips through the symbol table...
+    EXPECT_EQ(network.names().view(network.router_symbol(id)),
+              router.hostname);
+    // ...and find_router resolves it back to the same id.
+    EXPECT_EQ(network.find_router(router.hostname), id);
+  }
+  for (const auto& itf : network.interfaces()) {
+    ASSERT_NE(itf.name_symbol, util::kNoSymbol) << itf.name;
+    EXPECT_EQ(network.names().view(itf.name_symbol), itf.name);
+  }
+  EXPECT_EQ(network.find_router("no-such-router"), model::kInvalidId);
+}
+
+}  // namespace
+}  // namespace rd

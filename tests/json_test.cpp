@@ -191,6 +191,54 @@ TEST(JsonParse, MalformedInputReturnsNullopt) {
   EXPECT_FALSE(Json::parse("{} extra").has_value());  // trailing garbage
 }
 
+TEST(JsonParse, NumberGrammar) {
+  // The scanner enforces the JSON grammar positionally: sign, integer part
+  // (no leading zeros), optional fraction, optional exponent.
+  EXPECT_FALSE(Json::parse("1-2").has_value());
+  EXPECT_FALSE(Json::parse("1..e+").has_value());
+  EXPECT_FALSE(Json::parse("1.").has_value());
+  EXPECT_FALSE(Json::parse(".5").has_value());
+  EXPECT_FALSE(Json::parse("1e").has_value());
+  EXPECT_FALSE(Json::parse("1e+").has_value());
+  EXPECT_FALSE(Json::parse("01").has_value());
+  EXPECT_FALSE(Json::parse("-").has_value());
+  EXPECT_FALSE(Json::parse("+1").has_value());
+  EXPECT_FALSE(Json::parse("1.2.3").has_value());
+  EXPECT_FALSE(Json::parse("[1-2]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": 1..e+}").has_value());
+
+  EXPECT_EQ(Json::parse("0")->int_or(-1), 0);
+  EXPECT_EQ(Json::parse("-0")->int_or(-1), 0);
+  EXPECT_EQ(Json::parse("0.5")->number_or(0), 0.5);
+  EXPECT_EQ(Json::parse("1e-2")->number_or(0), 0.01);
+  EXPECT_EQ(Json::parse("1E+2")->number_or(0), 100.0);
+  EXPECT_EQ(Json::parse("12.75e1")->number_or(0), 127.5);
+}
+
+TEST(JsonParse, UnicodeEscapeSurrogatePairs) {
+  // A surrogate pair decodes to one supplementary-plane code point in
+  // 4-byte UTF-8, not two invalid 3-byte sequences.
+  EXPECT_EQ(*Json::parse("\"\\uD83D\\uDE00\"")->if_string(),
+            "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_EQ(*Json::parse("\"\\uD800\\uDC00\"")->if_string(),
+            "\xF0\x90\x80\x80");  // U+10000, least pair
+  EXPECT_EQ(*Json::parse("\"\\uDBFF\\uDFFF\"")->if_string(),
+            "\xF4\x8F\xBF\xBF");  // U+10FFFF, greatest pair
+  EXPECT_EQ(*Json::parse("\"x\\uD83D\\uDE00y\"")->if_string(),
+            "x\xF0\x9F\x98\x80y");
+
+  // Lone surrogates are not scalar values: reject instead of emitting the
+  // invalid 3-byte encoding of 0xD800-0xDFFF.
+  EXPECT_FALSE(Json::parse("\"\\uD800\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\uDC00\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\uD83Dx\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\uD83D\\n\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\uD83D\\u0041\"").has_value());
+
+  // BMP escapes still work, including the top of the BMP.
+  EXPECT_EQ(*Json::parse("\"\\uFFFD\"")->if_string(), "\xEF\xBF\xBD");
+}
+
 TEST(JsonParse, DepthGuardRejectsDeepNesting) {
   // 256 levels are fine; a pathological 10k-deep document must fail
   // cleanly instead of overflowing the stack.

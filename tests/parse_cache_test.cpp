@@ -156,8 +156,36 @@ TEST(ParseCache, CachedBuildMatchesSerialAtEveryThreadCount) {
     const auto stats = cache.stats();
     EXPECT_EQ(stats.hits + stats.misses, 3 * texts.size())
         << "threads " << threads;
-    // Racing parsers may both count a miss, but entries stay content-deduped.
+    // Misses are counted at winning insert, so they reconcile with the
+    // entry count exactly even when racing parsers duplicate work.
+    EXPECT_EQ(stats.entries, stats.misses) << "threads " << threads;
     EXPECT_LE(stats.entries, texts.size()) << "threads " << threads;
+  }
+}
+
+// Hammer one identical text from eight threads: whatever the race outcome,
+// the ledger must reconcile — one entry, one miss, everything else a hit,
+// and any discarded parse visible only in duplicate_parses.
+TEST(ParseCache, DuplicateParsesReconcileWithEntries) {
+  const std::string text = "hostname racer\ninterface Serial0\n";
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 50;
+  pipeline::ParseCache cache;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    cache.clear();
+    util::ThreadPool pool(kThreads);
+    std::vector<std::shared_ptr<const config::ParseResult>> results(kThreads);
+    util::parallel_for(pool, kThreads,
+                       [&](std::size_t i) { results[i] = cache.parse(text); });
+    for (std::size_t i = 1; i < kThreads; ++i) {
+      EXPECT_EQ(results[i], results[0]);  // everyone shares the winner
+    }
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, kThreads - 1);
+    EXPECT_EQ(stats.hits + stats.misses, kThreads);
+    EXPECT_LT(stats.duplicate_parses, kThreads);  // winner never discards
   }
 }
 

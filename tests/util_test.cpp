@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <set>
+#include <string>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -68,6 +70,24 @@ TEST(Strings, ToLowerAndJoin) {
   EXPECT_EQ(to_lower("FastEthernet"), "fastethernet");
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CaseFoldingIsLocaleIndependent) {
+  // Case folding must be ASCII-only: std::tolower honors LC_CTYPE, under
+  // which e.g. tr_TR maps 'I' to dotless i, breaking keyword matching.
+  // Flip to a non-"C" locale if one is installed (minimal containers often
+  // have only "C"/"POSIX" — the ASCII assertions still pin the contract).
+  const std::string saved = std::setlocale(LC_CTYPE, nullptr);
+  for (const char* name : {"tr_TR.UTF-8", "tr_TR", "en_US.UTF-8", "C.UTF-8"}) {
+    if (std::setlocale(LC_CTYPE, name) != nullptr) break;
+  }
+  EXPECT_TRUE(iequals("INTERFACE", "interface"));
+  EXPECT_TRUE(iequals("Ip", "iP"));
+  EXPECT_EQ(to_lower("ROUTER-ID_42"), "router-id_42");
+  // Non-ASCII bytes pass through untouched in both directions.
+  EXPECT_EQ(to_lower("caf\xc3\xa9 \xc3\x89"), "caf\xc3\xa9 \xc3\x89");
+  EXPECT_FALSE(iequals("\xc3\x89", "\xc3\xa9"));
+  std::setlocale(LC_CTYPE, saved.c_str());
 }
 
 TEST(Strings, ParseU32) {
