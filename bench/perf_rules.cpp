@@ -12,6 +12,7 @@
 
 #include "perf_main.h"
 
+#include "analysis/dataflow.h"
 #include "analysis/rules.h"
 #include "config/parser.h"
 #include "config/writer.h"
@@ -98,6 +99,54 @@ const int kRegistered = [] {
   }
   return 0;
 }();
+
+// The redistribution-safety band (RD060-RD064) in isolation at fleet tier.
+// The per-rule loop above already times each body on the 16-spoke network;
+// this one scales the network instead, because the dataflow rules are the
+// only ones whose cost grows with the number of *instances* rather than
+// routers, and the managed archetype's instance count grows with spokes.
+void BM_RedistributionBand(benchmark::State& state) {
+  const auto network =
+      managed_network(static_cast<std::uint32_t>(state.range(0)));
+  const auto graph = graph::InstanceGraph::build(network);
+  const auto engine = analysis::RuleEngine::with_default_rules();
+  std::vector<const analysis::RuleEngine::Rule*> band;
+  for (const auto& rule : engine.rules()) {
+    if (rule.info.id >= "RD060" && rule.info.id <= "RD064") {
+      band.push_back(&rule);
+    }
+  }
+  const analysis::RuleContext ctx{network, graph, engine.options()};
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    findings = 0;
+    for (const auto* rule : band) {
+      auto out = rule->fn(ctx);
+      findings += out.size();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+  state.counters["rules"] = static_cast<double>(band.size());
+}
+BENCHMARK(BM_RedistributionBand)->Arg(8)->Arg(24);
+
+// The fixpoint engine alone: edge discovery, seeding, and iteration to
+// convergence. This is the fixed cost RD060 and RD062 each pay before
+// their rule logic runs.
+void BM_InstanceDataflow(benchmark::State& state) {
+  const auto network =
+      managed_network(static_cast<std::uint32_t>(state.range(0)));
+  const auto graph = graph::InstanceGraph::build(network);
+  std::size_t facts = 0;
+  for (auto _ : state) {
+    analysis::InstanceDataflow flow(network, graph);
+    facts = flow.fact_count();
+    benchmark::DoNotOptimize(flow);
+  }
+  state.counters["facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_InstanceDataflow)->Arg(8)->Arg(24);
 
 }  // namespace
 

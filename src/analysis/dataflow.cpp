@@ -1,0 +1,715 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/vulnerability.h"
+#include "obs/obs.h"
+
+namespace rd::analysis {
+
+std::uint8_t distance_internal(config::RoutingProtocol protocol) noexcept {
+  using config::RoutingProtocol;
+  switch (protocol) {
+    case RoutingProtocol::kEigrp: return 90;
+    case RoutingProtocol::kIgrp: return 100;
+    case RoutingProtocol::kOspf: return 110;
+    case RoutingProtocol::kIsis: return 115;
+    case RoutingProtocol::kRip: return 120;
+    case RoutingProtocol::kBgp: return 200;  // IBGP
+  }
+  return 255;
+}
+
+std::uint8_t distance_external(config::RoutingProtocol protocol) noexcept {
+  using config::RoutingProtocol;
+  switch (protocol) {
+    case RoutingProtocol::kEigrp: return 170;
+    case RoutingProtocol::kIgrp: return 100;
+    case RoutingProtocol::kOspf: return 110;  // OSPF external
+    case RoutingProtocol::kIsis: return 115;
+    case RoutingProtocol::kRip: return 120;
+    case RoutingProtocol::kBgp: return 200;  // redistributed into BGP
+  }
+  return 255;
+}
+
+MetricClass metric_class(config::RoutingProtocol protocol) noexcept {
+  using config::RoutingProtocol;
+  switch (protocol) {
+    case RoutingProtocol::kRip: return MetricClass::kHopCount;
+    case RoutingProtocol::kOspf:
+    case RoutingProtocol::kIsis: return MetricClass::kCost;
+    case RoutingProtocol::kEigrp:
+    case RoutingProtocol::kIgrp: return MetricClass::kComposite;
+    case RoutingProtocol::kBgp: return MetricClass::kPath;
+  }
+  return MetricClass::kCost;
+}
+
+std::string_view metric_class_name(MetricClass cls) noexcept {
+  switch (cls) {
+    case MetricClass::kHopCount: return "hop-count";
+    case MetricClass::kCost: return "cost";
+    case MetricClass::kComposite: return "composite";
+    case MetricClass::kPath: return "path-attribute";
+  }
+  return "cost";
+}
+
+std::string instance_label(const graph::InstanceSet& set, std::uint32_t i) {
+  const auto& inst = set.instances[i];
+  std::string label = "instance ";
+  label += std::to_string(i + 1);
+  label += " (";
+  label += config::to_keyword(inst.protocol);
+  if (inst.bgp_as) {
+    label += " as ";
+    label += std::to_string(*inst.bgp_as);
+  }
+  label += ')';
+  return label;
+}
+
+namespace {
+
+using model::Route;
+
+struct FactHash {
+  std::size_t operator()(const RouteFact& fact) const noexcept {
+    std::uint64_t h = model::RouteHash{}(fact.route);
+    h = h * 0x9e3779b97f4a7c15ULL + fact.origin;
+    h = h * 0x9e3779b97f4a7c15ULL + fact.exit_router;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Session-direction policy chain (distribute-list, prefix-list, route-map),
+/// mirroring the reachability engine's session_permits. The route-map goes
+/// through the compiler so sessions sharing a policy share a verdict memo.
+bool session_permits(model::PolicyCompiler& compiler,
+                     const config::RouterConfig* config,
+                     const config::BgpNeighbor* neighbor, bool inbound,
+                     const Route& route) {
+  if (config == nullptr || neighbor == nullptr) return true;
+  const auto& dl =
+      inbound ? neighbor->distribute_list_in : neighbor->distribute_list_out;
+  if (dl && !model::distribute_list_permits(*config, *dl, route)) return false;
+  const auto& pl_name =
+      inbound ? neighbor->prefix_list_in : neighbor->prefix_list_out;
+  if (pl_name) {
+    const auto* pl = config->find_prefix_list(*pl_name);
+    if (pl != nullptr && !model::prefix_list_permits_route(*pl, route)) {
+      return false;
+    }
+  }
+  const auto& rm_name =
+      inbound ? neighbor->route_map_in : neighbor->route_map_out;
+  if (rm_name) {
+    const auto* rm = compiler.route_map(*config, *rm_name);
+    if (rm != nullptr && !rm->evaluate(route).permitted) return false;
+  }
+  return true;
+}
+
+/// Outbound stanza distribute-lists filter what a process exports — applied
+/// to redistribution exactly as the reachability engine applies them.
+bool stanza_out_permits(const config::RouterConfig& config,
+                        const config::RouterStanza& stanza,
+                        const Route& route) {
+  for (const auto& dl : stanza.distribute_lists) {
+    if (dl.inbound) continue;
+    if (!model::distribute_list_permits(config, dl.acl, route)) return false;
+  }
+  return true;
+}
+
+/// 1-based source line of the redistribute command behind a model edge.
+std::size_t redistribute_line(const model::Network& network,
+                              const model::RedistributionEdge& edge) {
+  const auto& process = network.processes()[edge.target_process];
+  const auto& stanza =
+      network.routers()[edge.router].router_stanzas[process.stanza_index];
+  return stanza.redistributes[edge.redistribute_index].line;
+}
+
+/// Per-edge resolved evaluation context (kept off the public edge struct).
+struct EdgeAux {
+  const config::RouterConfig* config = nullptr;        // entry-side router
+  const config::RouterStanza* target_stanza = nullptr; // kRedistribution
+  const model::CompiledRouteMap* map = nullptr;        // null: pass-through
+  const config::BgpNeighbor* receiver_in = nullptr;    // kSession
+  const config::RouterConfig* sender_config = nullptr; // kSession
+  const config::BgpNeighbor* sender_out = nullptr;     // kSession
+};
+
+Finding make_finding(model::RouterId router, std::string subject,
+                     std::string detail, std::size_t line,
+                     model::RouterId router_b = model::kInvalidId) {
+  Finding f;
+  f.router = router;
+  f.router_b = router_b;
+  f.subject = std::move(subject);
+  f.detail = std::move(detail);
+  f.where.line = line;
+  return f;
+}
+
+std::string router_name(const model::Network& network, model::RouterId r) {
+  return r == model::kInvalidId ? std::string("?")
+                                : network.routers()[r].hostname;
+}
+
+}  // namespace
+
+InstanceDataflow::InstanceDataflow(const model::Network& network,
+                                   const graph::InstanceGraph& graph) {
+  const auto& set = graph.set;
+  const std::size_t n = set.instances.size();
+  model::PolicyCompiler compiler;
+  std::vector<EdgeAux> aux;
+
+  // --- Edges: cross-instance redistribution commands, in model order.
+  const auto& redists = network.redistribution_edges();
+  for (std::size_t m = 0; m < redists.size(); ++m) {
+    const auto& redist = redists[m];
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = set.instance_of[redist.source_process];
+    const std::uint32_t to = set.instance_of[redist.target_process];
+    if (from == to) continue;
+    const auto& config = network.routers()[redist.router];
+    const auto& target = network.processes()[redist.target_process];
+    DataflowEdge edge;
+    edge.kind = DataflowEdge::Kind::kRedistribution;
+    edge.from = from;
+    edge.to = to;
+    edge.router = redist.router;
+    edge.exit_router = redist.router;
+    edge.model_index = m;
+    edge.line = redistribute_line(network, redist);
+    edge.route_map = redist.route_map;
+    EdgeAux a;
+    a.config = &config;
+    a.target_stanza = &config.router_stanzas[target.stanza_index];
+    if (redist.route_map) a.map = compiler.route_map(config, *redist.route_map);
+    edges_.push_back(std::move(edge));
+    aux.push_back(a);
+  }
+
+  // --- Edges: internal EBGP sessions (one per direction: remote -> local).
+  const auto& sessions = network.bgp_sessions();
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const auto& session = sessions[s];
+    if (session.external() || !session.ebgp()) continue;
+    const auto& local = network.processes()[session.local_process];
+    const auto& remote = network.processes()[session.remote_process];
+    const auto& local_config = network.routers()[local.router];
+    const auto& local_stanza = local_config.router_stanzas[local.stanza_index];
+    DataflowEdge edge;
+    edge.kind = DataflowEdge::Kind::kSession;
+    edge.from = set.instance_of[session.remote_process];
+    edge.to = set.instance_of[session.local_process];
+    edge.router = local.router;
+    edge.exit_router = remote.router;
+    edge.model_index = s;
+    edge.line = local_stanza.neighbors[session.neighbor_index].line;
+    EdgeAux a;
+    a.config = &local_config;
+    a.receiver_in = &local_stanza.neighbors[session.neighbor_index];
+    // The sender's outbound policy toward us, when the mirror session is
+    // configured: any interface address of the local router identifies us.
+    const auto& remote_config = network.routers()[remote.router];
+    const auto& remote_stanza =
+        remote_config.router_stanzas[remote.stanza_index];
+    for (const auto& nbr : remote_stanza.neighbors) {
+      bool ours = false;
+      for (const model::InterfaceId i :
+           network.router_interfaces(local.router)) {
+        if (network.interfaces()[i].address == nbr.address) {
+          ours = true;
+          break;
+        }
+      }
+      if (ours) {
+        a.sender_config = &remote_config;
+        a.sender_out = &nbr;
+        break;
+      }
+    }
+    edges_.push_back(std::move(edge));
+    aux.push_back(a);
+  }
+
+  // --- Seeds, mirroring the reachability engine's discovery.
+  std::vector<std::vector<RouteFact>> logs(n);
+  std::vector<std::unordered_set<RouteFact, FactHash>> present(n);
+  auto add_fact = [&](std::uint32_t inst, const RouteFact& fact) {
+    if (!present[inst].insert(fact).second) return false;
+    logs[inst].push_back(fact);
+    ++total_facts_;
+    return true;
+  };
+  // Origination: IGP covered subnets / BGP network statements.
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    const auto& process = network.processes()[p];
+    const std::uint32_t inst = set.instance_of[p];
+    const auto& config = network.routers()[process.router];
+    const auto& stanza = config.router_stanzas[process.stanza_index];
+    if (config::is_conventional_igp(process.protocol)) {
+      for (const model::InterfaceId i : process.covered_interfaces) {
+        if (network.interfaces()[i].subnet) {
+          add_fact(inst, {inst, model::kInvalidId,
+                          {*network.interfaces()[i].subnet, std::nullopt}});
+        }
+      }
+    } else {
+      for (const auto& ns : stanza.networks) {
+        add_fact(inst, {inst, model::kInvalidId, {ns.prefix(), std::nullopt}});
+      }
+    }
+  }
+  // Local-RIB redistribution (connected / static) through its route-map.
+  for (const auto& redist : redists) {
+    if (redist.source_kind != model::RibKind::kLocal) continue;
+    const std::uint32_t inst = set.instance_of[redist.target_process];
+    const auto& target = network.processes()[redist.target_process];
+    const auto& config = network.routers()[redist.router];
+    const auto& command = config.router_stanzas[target.stanza_index]
+                              .redistributes[redist.redistribute_index];
+    std::vector<Route> local_routes;
+    if (command.source == config::RedistributeSource::kConnected ||
+        command.source == config::RedistributeSource::kProtocol) {
+      for (const model::InterfaceId i :
+           network.router_interfaces(redist.router)) {
+        if (network.interfaces()[i].subnet) {
+          local_routes.push_back({*network.interfaces()[i].subnet, {}});
+        }
+      }
+    }
+    if (command.source == config::RedistributeSource::kStatic) {
+      for (const auto& sr : config.static_routes) {
+        local_routes.push_back({sr.prefix(), {}});
+      }
+    }
+    for (const Route& route : local_routes) {
+      if (command.route_map) {
+        const auto* rm = compiler.route_map(config, *command.route_map);
+        if (rm != nullptr) {
+          const auto& verdict = rm->evaluate(route);
+          if (verdict.permitted) {
+            add_fact(inst, {inst, model::kInvalidId, verdict.route});
+          }
+          continue;
+        }
+      }
+      add_fact(inst, {inst, model::kInvalidId, route});
+    }
+  }
+  // BGP aggregates, as unconditional origination (the abstract domain does
+  // not track the contained-more-specific trigger the concrete engine
+  // models — over-approximating keeps the rules sound for loop detection).
+  for (model::ProcessId p = 0; p < network.processes().size(); ++p) {
+    const auto& process = network.processes()[p];
+    if (process.protocol != config::RoutingProtocol::kBgp) continue;
+    const auto& stanza = network.routers()[process.router]
+                             .router_stanzas[process.stanza_index];
+    for (const auto& aggregate : stanza.aggregates) {
+      add_fact(set.instance_of[p],
+               {set.instance_of[p], model::kInvalidId,
+                {aggregate.prefix(), std::nullopt}});
+    }
+  }
+
+  // --- Semi-naïve fixpoint: per-edge cursors into the source instance's
+  // append-only log; edges fire in index order, so entry records and loop
+  // events come out in a deterministic order.
+  std::vector<std::size_t> cursor(edges_.size(), 0);
+  std::set<std::pair<std::size_t, std::uint32_t>> loops_seen;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> entries_seen;
+  constexpr std::size_t kMaxRounds = 256;
+  bool changed = true;
+  while (changed) {
+    if (iterations_ == kMaxRounds) {
+      converged_ = false;
+      break;
+    }
+    ++iterations_;
+    changed = false;
+    for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+      const DataflowEdge& edge = edges_[ei];
+      const EdgeAux& a = aux[ei];
+      // Edges never target their own source, so the source log is stable
+      // while this edge drains it.
+      const std::size_t end = logs[edge.from].size();
+      for (std::size_t fi = cursor[ei]; fi < end; ++fi) {
+        const RouteFact fact = logs[edge.from][fi];
+        if (edge.kind == DataflowEdge::Kind::kSession) {
+          // AS-path loop prevention: BGP never re-learns its own routes.
+          if (fact.origin == edge.to) continue;
+          if (!session_permits(compiler, a.sender_config, a.sender_out,
+                               /*inbound=*/false, fact.route)) {
+            continue;
+          }
+          if (!session_permits(compiler, a.config, a.receiver_in,
+                               /*inbound=*/true, fact.route)) {
+            continue;
+          }
+          RouteFact next = fact;
+          if (next.exit_router == model::kInvalidId) {
+            next.exit_router = edge.exit_router;
+          }
+          if (add_fact(edge.to, next)) changed = true;
+          continue;
+        }
+        // Redistribution: route-map (unresolved names pass through, as in
+        // IOS), then the target stanza's outbound distribute-lists.
+        Route route = fact.route;
+        if (a.map != nullptr) {
+          const auto& verdict = a.map->evaluate(route);
+          if (!verdict.permitted) continue;
+          route = verdict.route;
+        }
+        if (!stanza_out_permits(*a.config, *a.target_stanza, route)) continue;
+        if (fact.origin == edge.to) {
+          // The instance's own route coming home. A same-router bounce is
+          // broken by that router's RIB (it prefers what it already has);
+          // a multi-router cycle is live only when the carried copy's
+          // distance beats the native route on the shared routers.
+          if (fact.exit_router != model::kInvalidId &&
+              fact.exit_router != edge.router &&
+              distance_external(set.instances[edge.from].protocol) <
+                  distance_internal(set.instances[fact.origin].protocol)) {
+            if (loops_seen.emplace(ei, fact.origin).second) {
+              loop_events_.push_back({ei, fact.origin, fact.exit_router,
+                                      route});
+            }
+          }
+          continue;  // never re-inject: keeps the fact domain finite
+        }
+        if (entries_seen.emplace(fact.origin, edge.to).second) {
+          entries_.push_back({fact.origin, edge.to, ei});
+        }
+        RouteFact next{fact.origin,
+                       fact.exit_router == model::kInvalidId
+                           ? edge.router
+                           : fact.exit_router,
+                       route};
+        if (add_fact(edge.to, next)) changed = true;
+      }
+      cursor[ei] = end;
+    }
+  }
+
+  fact_counts_.reserve(n);
+  for (const auto& log : logs) fact_counts_.push_back(log.size());
+
+  obs::counter("dataflow.runs").add();
+  obs::counter("dataflow.facts").add(total_facts_);
+  obs::counter("dataflow.iterations").add(iterations_);
+  obs::counter("dataflow.loop_events").add(loop_events_.size());
+}
+
+// --- RD060: redistribution loop ---------------------------------------------
+
+std::vector<Finding> RedistributionSafety::redistribution_loop(
+    const RuleContext& ctx) {
+  std::vector<Finding> out;
+  InstanceDataflow flow(ctx.network, ctx.graph);
+  const auto& set = ctx.graph.set;
+  for (const LoopEvent& event : flow.loop_events()) {
+    const DataflowEdge& edge = flow.edges()[event.edge];
+    std::string detail = "routes of ";
+    detail += instance_label(set, event.origin);
+    detail += " leave via ";
+    detail += router_name(ctx.network, event.exit_router);
+    detail += ", transit ";
+    detail += instance_label(set, edge.from);
+    detail += ", and this command re-injects them into their origin (e.g. ";
+    detail += event.witness.prefix.to_string();
+    detail += "); the re-injected copy (distance ";
+    detail += std::to_string(
+        distance_external(set.instances[edge.from].protocol));
+    detail += ") beats the native route (distance ";
+    detail += std::to_string(
+        distance_internal(set.instances[event.origin].protocol));
+    detail += ") and no tag or prefix filter breaks the cycle";
+    out.push_back(make_finding(edge.router,
+                               instance_label(set, event.origin),
+                               std::move(detail), edge.line,
+                               event.exit_router));
+  }
+  return out;
+}
+
+// --- RD061: metric loss at a boundary ---------------------------------------
+
+std::vector<Finding> RedistributionSafety::metric_loss(const RuleContext& ctx) {
+  std::vector<Finding> out;
+  const auto& set = ctx.graph.set;
+  const auto& network = ctx.network;
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = set.instance_of[redist.source_process];
+    const std::uint32_t to = set.instance_of[redist.target_process];
+    if (from == to) continue;
+    const auto source_proto = set.instances[from].protocol;
+    const auto target_proto = set.instances[to].protocol;
+    // BGP assigns path attributes on injection; only protocol-to-protocol
+    // boundaries with incompatible metric algebras can lose the metric.
+    if (target_proto == config::RoutingProtocol::kBgp) continue;
+    if (metric_class(source_proto) == metric_class(target_proto)) continue;
+    const auto& config = network.routers()[redist.router];
+    const auto& target = network.processes()[redist.target_process];
+    const auto& stanza = config.router_stanzas[target.stanza_index];
+    const auto& command = stanza.redistributes[redist.redistribute_index];
+    if (command.metric) continue;
+    if (stanza.default_metric) continue;
+    if (command.route_map) {
+      const auto facts = model::route_map_facts(config, *command.route_map);
+      if (facts.resolved && facts.sets_metric) continue;
+    }
+    std::string subject = instance_label(set, from);
+    subject += " -> ";
+    subject += instance_label(set, to);
+    std::string detail = "redistribution from ";
+    detail += config::to_keyword(source_proto);
+    detail += " (";
+    detail += metric_class_name(metric_class(source_proto));
+    detail += " metric) into ";
+    detail += config::to_keyword(target_proto);
+    detail += " (";
+    detail += metric_class_name(metric_class(target_proto));
+    detail +=
+        " metric) carries no metric mapping: no metric on the command, no "
+        "default-metric on the process, no set metric in the route-map";
+    out.push_back(make_finding(redist.router, std::move(subject),
+                               std::move(detail), command.line));
+  }
+  return out;
+}
+
+// --- RD062: administrative-distance inversion --------------------------------
+
+std::vector<Finding> RedistributionSafety::distance_inversion(
+    const RuleContext& ctx) {
+  std::vector<Finding> out;
+  InstanceDataflow flow(ctx.network, ctx.graph);
+  const auto& set = ctx.graph.set;
+  for (const EntryRecord& entry : flow.entries()) {
+    const auto origin_proto = set.instances[entry.origin].protocol;
+    const auto carrier_proto = set.instances[entry.instance].protocol;
+    if (distance_external(carrier_proto) >= distance_internal(origin_proto)) {
+      continue;
+    }
+    const DataflowEdge& edge = flow.edges()[entry.edge];
+    // The inversion bites on a router that hears both the native route
+    // (inside the origin instance) and the redistributed copy (inside the
+    // carrier) — any shared router other than the redistribution point.
+    std::vector<model::RouterId> origin_routers =
+        set.instances[entry.origin].routers;
+    std::vector<model::RouterId> carrier_routers =
+        set.instances[entry.instance].routers;
+    std::sort(origin_routers.begin(), origin_routers.end());
+    std::sort(carrier_routers.begin(), carrier_routers.end());
+    std::vector<model::RouterId> shared;
+    std::set_intersection(origin_routers.begin(), origin_routers.end(),
+                          carrier_routers.begin(), carrier_routers.end(),
+                          std::back_inserter(shared));
+    std::erase(shared, edge.router);
+    if (shared.empty()) continue;
+    std::string subject = instance_label(set, entry.origin);
+    subject += " -> ";
+    subject += instance_label(set, entry.instance);
+    std::string detail = "routes of ";
+    detail += instance_label(set, entry.origin);
+    detail += " redistributed here arrive in ";
+    detail += instance_label(set, entry.instance);
+    detail += " with administrative distance ";
+    detail += std::to_string(distance_external(carrier_proto));
+    detail += ", beating the native distance ";
+    detail += std::to_string(distance_internal(origin_proto));
+    detail += " on ";
+    detail += router_name(ctx.network, shared.front());
+    detail += "; which copy wins there depends on arrival order";
+    out.push_back(make_finding(edge.router, std::move(subject),
+                               std::move(detail), edge.line, shared.front()));
+  }
+  return out;
+}
+
+// --- RD063: mutual redistribution without a filter ---------------------------
+
+std::vector<Finding> RedistributionSafety::unfiltered_mutual(
+    const RuleContext& ctx) {
+  const auto& set = ctx.graph.set;
+  const auto& network = ctx.network;
+  // Per ordered instance pair: is any edge in that direction unable to deny
+  // anything, and where is the first such open command?
+  struct Direction {
+    bool open = false;          // some edge filters nothing
+    model::RouterId router = model::kInvalidId;
+    std::size_t line = 0;
+    std::string why;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Direction> directions;
+  for (const auto& redist : network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = set.instance_of[redist.source_process];
+    const std::uint32_t to = set.instance_of[redist.target_process];
+    if (from == to) continue;
+    auto& dir = directions[{from, to}];
+    if (dir.open) continue;
+    const auto& config = network.routers()[redist.router];
+    std::string why;
+    if (!redist.route_map) {
+      why = "no route-map";
+    } else {
+      const auto facts = model::route_map_facts(config, *redist.route_map);
+      if (!facts.resolved) {
+        why = "route-map " + *redist.route_map + " is not defined";
+      } else if (!facts.may_deny) {
+        why = "route-map " + *redist.route_map + " permits every route";
+      }
+    }
+    if (why.empty()) continue;
+    dir.open = true;
+    dir.router = redist.router;
+    const auto& target = network.processes()[redist.target_process];
+    dir.line = config.router_stanzas[target.stanza_index]
+                   .redistributes[redist.redistribute_index]
+                   .line;
+    dir.why = std::move(why);
+  }
+  std::vector<Finding> out;
+  for (const auto& [key, dir] : directions) {
+    const auto [from, to] = key;
+    if (from > to) continue;  // handle each unordered pair once
+    const auto reverse = directions.find({to, from});
+    if (reverse == directions.end()) continue;  // not mutual
+    const Direction* anchor = nullptr;
+    if (dir.open) {
+      anchor = &dir;
+    } else if (reverse->second.open) {
+      anchor = &reverse->second;
+    }
+    if (anchor == nullptr) continue;
+    std::string subject = instance_label(set, from);
+    subject += " <-> ";
+    subject += instance_label(set, to);
+    std::string detail =
+        "mutual redistribution between the two instances with an unfiltered "
+        "direction (";
+    detail += anchor->why;
+    detail +=
+        "): any route leaking in one direction can be handed straight back";
+    out.push_back(make_finding(anchor->router, std::move(subject),
+                               std::move(detail), anchor->line));
+  }
+  return out;
+}
+
+// --- RD064: single-point redistribution --------------------------------------
+
+std::vector<Finding> RedistributionSafety::single_point(const RuleContext& ctx) {
+  std::vector<Finding> out;
+  const auto& set = ctx.graph.set;
+  const auto& network = ctx.network;
+  for (const auto& pair : redistribution_redundancy(network, ctx.graph)) {
+    if (!pair.single_point_of_failure()) continue;
+    // Pairs where either side is a single-router instance are the business
+    // of RD031 (structural single point of failure); this rule targets the
+    // §6 smell of two multi-router populations meeting in one box.
+    if (set.instances[pair.instance_a].router_count() < 2 ||
+        set.instances[pair.instance_b].router_count() < 2) {
+      continue;
+    }
+    // A BGP AS meeting an IGP at its one border router is the normal
+    // injection design, not a smell; the paper's concern is two IGP
+    // populations stitched together through a single box.
+    if (set.instances[pair.instance_a].protocol ==
+            config::RoutingProtocol::kBgp ||
+        set.instances[pair.instance_b].protocol ==
+            config::RoutingProtocol::kBgp) {
+      continue;
+    }
+    // Only pairs glued by *redistribution*: instances exchanging routes
+    // purely over EBGP sessions (e.g. a hub AS fanning out to spoke ASs)
+    // concentrate on one router by design, and BGP's session model — not a
+    // redistribution boundary — is what fails with the router.
+    bool redistributes = false;
+    for (const auto& edge : ctx.graph.edges) {
+      if (edge.kind != graph::InstanceEdge::Kind::kRedistribution) continue;
+      const std::pair<std::uint32_t, std::uint32_t> key =
+          std::minmax(edge.from, edge.to);
+      if (key == std::pair<std::uint32_t, std::uint32_t>(
+                     std::minmax(pair.instance_a, pair.instance_b))) {
+        redistributes = true;
+        break;
+      }
+    }
+    if (!redistributes) continue;
+    const model::RouterId point = pair.connecting_routers.front();
+    // Losing `point` must actually disconnect the pair in the instance
+    // graph — no alternate route-exchange path through other instances.
+    std::vector<std::vector<std::uint32_t>> adjacent(set.instances.size());
+    for (const auto& edge : ctx.graph.edges) {
+      if (edge.kind == graph::InstanceEdge::Kind::kExternal) continue;
+      if (edge.router == point) continue;
+      adjacent[edge.from].push_back(edge.to);
+      adjacent[edge.to].push_back(edge.from);
+    }
+    std::vector<char> seen(set.instances.size(), 0);
+    std::vector<std::uint32_t> stack{pair.instance_a};
+    seen[pair.instance_a] = 1;
+    bool connected = false;
+    while (!stack.empty()) {
+      const std::uint32_t at = stack.back();
+      stack.pop_back();
+      if (at == pair.instance_b) {
+        connected = true;
+        break;
+      }
+      for (const std::uint32_t next : adjacent[at]) {
+        if (!seen[next]) {
+          seen[next] = 1;
+          stack.push_back(next);
+        }
+      }
+    }
+    if (connected) continue;
+    // Anchor at the first redistribute command joining the pair on `point`.
+    std::size_t line = 0;
+    for (const auto& redist : network.redistribution_edges()) {
+      if (redist.source_kind != model::RibKind::kProcess) continue;
+      if (redist.router != point) continue;
+      const std::uint32_t from = set.instance_of[redist.source_process];
+      const std::uint32_t to = set.instance_of[redist.target_process];
+      const std::pair<std::uint32_t, std::uint32_t> key =
+          std::minmax(from, to);
+      if (key != std::pair<std::uint32_t, std::uint32_t>(
+                     std::minmax(pair.instance_a, pair.instance_b))) {
+        continue;
+      }
+      line = redistribute_line(network, redist);
+      break;
+    }
+    std::string subject = instance_label(set, pair.instance_a);
+    subject += " <-> ";
+    subject += instance_label(set, pair.instance_b);
+    std::string detail = "the only route exchange between these two "
+        "multi-router instances happens on ";
+    detail += router_name(network, point);
+    detail += "; losing that router partitions them with no alternate path "
+        "through any other instance";
+    out.push_back(make_finding(point, std::move(subject), std::move(detail),
+                               line));
+  }
+  return out;
+}
+
+}  // namespace rd::analysis

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "model/policy.h"
+
+namespace rd::analysis {
+
+/// Forward-dataflow analysis over the routing-instance graph (paper §6:
+/// instances glued together with redistribution plus ad-hoc filters). Nodes
+/// are routing instances, edges are the points where routes cross instance
+/// borders — redistribution commands and internal EBGP sessions — each with
+/// its filter policy. The engine pushes abstract route facts along the
+/// edges to a fixpoint the same semi-naïve way the reachability engine
+/// pushes concrete routes, but each fact remembers *where it came from*:
+/// its originating instance and the router where it first left it. That
+/// provenance is what the redistribution-safety rules (RD060-RD064) reason
+/// about and the concrete fixpoint deliberately forgets.
+
+// --- Protocol tables ---------------------------------------------------------
+
+/// Default IOS administrative distance of a route learned *inside* the
+/// protocol (OSPF intra/inter-area, EIGRP internal, IBGP ... modeled as the
+/// worse of the internal pair, so inversions are under- not over-reported).
+std::uint8_t distance_internal(config::RoutingProtocol protocol) noexcept;
+
+/// Default IOS administrative distance of a route *redistributed into* the
+/// protocol (OSPF external, EIGRP external, EBGP).
+std::uint8_t distance_external(config::RoutingProtocol protocol) noexcept;
+
+/// The metric algebra a protocol speaks. Redistribution between protocols
+/// of different classes loses metric information unless the boundary maps
+/// it explicitly (paper §2.4: "metrics are not comparable across
+/// protocols").
+enum class MetricClass : std::uint8_t {
+  kHopCount,    // RIP
+  kCost,        // OSPF, IS-IS
+  kComposite,   // EIGRP, IGRP (bandwidth/delay vector)
+  kPath,        // BGP (path attributes, not a scalar metric)
+};
+
+MetricClass metric_class(config::RoutingProtocol protocol) noexcept;
+
+/// "hop-count" / "cost" / "composite" / "path-attribute" — report spelling.
+std::string_view metric_class_name(MetricClass cls) noexcept;
+
+/// Human label for a routing instance: "instance 3 (ospf)" or
+/// "instance 7 (bgp as 65001)". Indexes are 1-based to match the
+/// audit_network report. (Shared by rules.cpp and the dataflow rules.)
+std::string instance_label(const graph::InstanceSet& set, std::uint32_t i);
+
+// --- Abstract domain ---------------------------------------------------------
+
+/// One abstract fact: a route plus its provenance. `exit_router` is
+/// kInvalidId while the fact still sits in its originating instance and is
+/// stamped with the border router the first time the fact crosses out —
+/// after that it never changes, so a fact arriving back at its origin knows
+/// whether it traveled a real multi-router cycle or just bounced inside one
+/// box (where the router's own RIB already breaks the loop).
+struct RouteFact {
+  std::uint32_t origin = 0;  // instance index the route was originated in
+  model::RouterId exit_router = model::kInvalidId;
+  model::Route route;
+
+  friend bool operator==(const RouteFact&, const RouteFact&) = default;
+};
+
+/// One edge of the instance dataflow graph.
+struct DataflowEdge {
+  enum class Kind : std::uint8_t {
+    kRedistribution,  // a cross-instance "redistribute" command
+    kSession,         // an internal EBGP session (one direction)
+  };
+  Kind kind = Kind::kRedistribution;
+  std::uint32_t from = 0;  // source instance index
+  std::uint32_t to = 0;    // target instance index (always != from)
+  /// Router where facts *enter* `to`: the redistributing router, or the
+  /// receiving session endpoint.
+  model::RouterId router = model::kInvalidId;
+  /// Router where facts *leave* `from`: same router for redistribution,
+  /// the sending endpoint for sessions. Facts with no exit stamp yet get
+  /// this one when they cross.
+  model::RouterId exit_router = model::kInvalidId;
+  /// Index into network.redistribution_edges() (kRedistribution) or
+  /// network.bgp_sessions() (kSession).
+  std::size_t model_index = 0;
+  /// 1-based source line of the redistribute command / neighbor statement.
+  std::size_t line = 0;
+  /// Route-map name annotating a redistribution edge, when present.
+  std::optional<std::string> route_map;
+};
+
+/// A route-map-permitted re-entry of an instance's own routes (the RD060
+/// event): some fact originated in `origin` traveled a multi-router cycle
+/// and a redistribution edge would inject it back, and the injected copy's
+/// administrative distance beats the native route, so the loop is live.
+struct LoopEvent {
+  std::size_t edge = 0;  // index into edges(); always kRedistribution
+  std::uint32_t origin = 0;
+  model::RouterId exit_router = model::kInvalidId;  // where it left origin
+  model::Route witness;  // first route observed closing this loop
+};
+
+/// The first redistribution edge that delivered a fact of `origin` into
+/// `instance` (execution order, which is deterministic). Session deliveries
+/// are not recorded: BGP carries its own distance (never inverting an IGP)
+/// and its loop prevention is the AS path, not administrative distance.
+struct EntryRecord {
+  std::uint32_t origin = 0;
+  std::uint32_t instance = 0;
+  std::size_t edge = 0;  // index into edges()
+};
+
+/// The fixpoint engine. Construction discovers edges and seeds (mirroring
+/// the reachability engine's discovery: IGP covered subnets, BGP network
+/// statements, connected/static redistribution through its route-map, BGP
+/// aggregates) and iterates to a fixpoint. All results are deterministic
+/// functions of the network — edges fire in index order, facts in log
+/// order — so rule output is byte-identical across thread counts.
+class InstanceDataflow {
+ public:
+  InstanceDataflow(const model::Network& network,
+                   const graph::InstanceGraph& graph);
+
+  const std::vector<DataflowEdge>& edges() const noexcept { return edges_; }
+  const std::vector<LoopEvent>& loop_events() const noexcept {
+    return loop_events_;
+  }
+  const std::vector<EntryRecord>& entries() const noexcept {
+    return entries_;
+  }
+  /// Facts resident per instance after the fixpoint (seeds included).
+  const std::vector<std::size_t>& instance_fact_counts() const noexcept {
+    return fact_counts_;
+  }
+  std::size_t fact_count() const noexcept { return total_facts_; }
+  std::size_t iterations() const noexcept { return iterations_; }
+  /// False only if the safety cap on rounds was hit (cyclic tag rewriting
+  /// could in principle keep minting fresh facts; real configs converge in
+  /// a handful of rounds).
+  bool converged() const noexcept { return converged_; }
+
+ private:
+  std::vector<DataflowEdge> edges_;
+  std::vector<LoopEvent> loop_events_;
+  std::vector<EntryRecord> entries_;
+  std::vector<std::size_t> fact_counts_;
+  std::size_t total_facts_ = 0;
+  std::size_t iterations_ = 0;
+  bool converged_ = true;
+};
+
+// --- Rules -------------------------------------------------------------------
+
+/// The five statically-checked redistribution-safety rules built on the
+/// dataflow engine (registered as RD060-RD064, category "dataflow"). Each
+/// body is pure and may run concurrently with any other rule; the two
+/// fixpoint-based rules build their own InstanceDataflow because compiled
+/// policies are not shareable across threads.
+struct RedistributionSafety {
+  /// RD060: an instance's routes can transit a filter-permitting
+  /// multi-router cycle and re-enter their origin with a winning distance.
+  static std::vector<Finding> redistribution_loop(const RuleContext& ctx);
+  /// RD061: redistribution into a protocol with a different metric algebra
+  /// and no metric mapping (no command metric, no default-metric, no
+  /// set-metric clause).
+  static std::vector<Finding> metric_loss(const RuleContext& ctx);
+  /// RD062: a redistributed copy's administrative distance beats the native
+  /// route on some router hosting both instances, so which route wins
+  /// depends on arrival order.
+  static std::vector<Finding> distance_inversion(const RuleContext& ctx);
+  /// RD063: mutual redistribution between two instances where at least one
+  /// direction carries no filter that can deny anything.
+  static std::vector<Finding> unfiltered_mutual(const RuleContext& ctx);
+  /// RD064: an IGP instance pair glued by redistribution whose only
+  /// route-exchange path is one router (paper §6 robustness smell), both
+  /// sides being multi-router conventional-IGP instances.
+  static std::vector<Finding> single_point(const RuleContext& ctx);
+};
+
+}  // namespace rd::analysis

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/consistency.h"
+#include "analysis/dataflow.h"
 #include "analysis/header_space.h"
 #include "analysis/ibgp.h"
 #include "analysis/reachability.h"
@@ -69,22 +70,8 @@ Finding make_finding(model::RouterId router, std::string subject,
   return f;
 }
 
-/// Human label for a routing instance: "instance 3 (ospf)" or
-/// "instance 7 (bgp as 65001)". Indexes are 1-based to match the
-/// audit_network report.
-std::string instance_label(const graph::InstanceSet& set, std::uint32_t i) {
-  const auto& inst = set.instances[i];
-  std::string label = "instance ";
-  label += std::to_string(i + 1);
-  label += " (";
-  label += config::to_keyword(inst.protocol);
-  if (inst.bgp_as) {
-    label += " as ";
-    label += std::to_string(*inst.bgp_as);
-  }
-  label += ')';
-  return label;
-}
+// instance_label lives in dataflow.{h,cpp}, shared with the RD060-RD064
+// rule bodies.
 
 // --- lint rules (RD001-RD010): one registered rule per LintKind -------------
 
@@ -814,6 +801,36 @@ RuleEngine RuleEngine::with_default_rules(RuleOptions options) {
               "header space",
               "§6.2, §8.1"},
              rule_intent_violation);
+  engine.add({"RD060", "redistribution-loop", "dataflow", Severity::kError,
+              "An instance's routes can transit a filter-permitting "
+              "multi-router cycle and re-enter their origin with a winning "
+              "administrative distance",
+              "§2.4, §6.1"},
+             RedistributionSafety::redistribution_loop);
+  engine.add({"RD061", "metric-loss-at-boundary", "dataflow",
+              Severity::kWarning,
+              "Redistribution into a protocol with a different metric "
+              "algebra carries no metric mapping",
+              "§2.4, §5.1"},
+             RedistributionSafety::metric_loss);
+  engine.add({"RD062", "administrative-distance-inversion", "dataflow",
+              Severity::kWarning,
+              "A redistributed copy of an instance's routes beats the "
+              "native route on a router hosting both instances",
+              "§2.4, §6.1"},
+             RedistributionSafety::distance_inversion);
+  engine.add({"RD063", "mutual-redistribution-without-filter", "dataflow",
+              Severity::kWarning,
+              "Mutual redistribution between two instances where one "
+              "direction cannot deny any route",
+              "§5.1, §6.1"},
+             RedistributionSafety::unfiltered_mutual);
+  engine.add({"RD064", "single-point-redistribution", "dataflow",
+              Severity::kWarning,
+              "Two multi-router instances exchange routes through exactly "
+              "one router, with no alternate path between them",
+              "§6, §8.1"},
+             RedistributionSafety::single_point);
   return engine;
 }
 

@@ -24,8 +24,9 @@ namespace rd::analysis {
 ///
 /// Rule-id blocks: RD001-RD019 per-router lint, RD020-RD029 cross-router
 /// consistency, RD030-RD039 vulnerability assessment, RD040-RD049
-/// cross-router design rules, RD050+ symbolic header-space rules
-/// (exact-set shadowing / dead-clause / intent checks). Ids are
+/// cross-router design rules, RD050-RD059 symbolic header-space rules
+/// (exact-set shadowing / dead-clause / intent checks), RD060-RD069
+/// instance-graph dataflow rules (redistribution safety). Ids are
 /// append-only: a retired rule's id is never reused, so baselines and
 /// suppression comments stay meaningful across versions.
 
@@ -126,7 +127,7 @@ class RuleEngine {
 
   RuleEngine() = default;
 
-  /// An engine with every built-in rule registered (RD001..RD052).
+  /// An engine with every built-in rule registered (RD001..RD064).
   static RuleEngine with_default_rules(RuleOptions options = {});
 
   void add(RuleInfo info, RuleFn fn);

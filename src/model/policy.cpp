@@ -301,6 +301,34 @@ PolicyVerdict CompiledRouteMap::evaluate_uncached(const Route& route) const {
   return {false, route};  // off the end: implicit deny
 }
 
+RouteMapFacts route_map_facts(const config::RouterConfig& config,
+                              std::string_view name) {
+  RouteMapFacts facts;
+  const auto* map = config.find_route_map(name);
+  if (map == nullptr) return facts;
+  facts.resolved = true;
+  bool blanket_permit_seen = false;
+  for (const auto& clause : map->clauses) {
+    facts.uses_tags =
+        facts.uses_tags || clause.match_tag.has_value() ||
+        clause.set_tag.has_value();
+    if (clause.action == config::FilterAction::kDeny) {
+      if (!blanket_permit_seen) facts.may_deny = true;
+      continue;
+    }
+    facts.sets_metric = facts.sets_metric || clause.set_metric.has_value();
+    const bool unconditional = clause.match_ip_address_acls.empty() &&
+                               clause.match_prefix_lists.empty() &&
+                               clause.match_as_paths.empty() &&
+                               !clause.match_tag.has_value();
+    if (unconditional) blanket_permit_seen = true;
+  }
+  // Routes falling off the end hit the implicit deny, so without a blanket
+  // permit some route is always deniable.
+  if (!blanket_permit_seen) facts.may_deny = true;
+  return facts;
+}
+
 const CompiledAclFilter* PolicyCompiler::acl(
     const config::RouterConfig& config, std::string_view id) {
   const auto* node = config.find_access_list(id);

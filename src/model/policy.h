@@ -68,6 +68,31 @@ PolicyVerdict route_map_evaluate(const config::RouteMap& route_map,
 bool distribute_list_permits(const config::RouterConfig& config,
                              std::string_view acl_id, const Route& route);
 
+/// Static facts about a named route-map, extracted without evaluating any
+/// route — the boundary properties the redistribution-safety rules reason
+/// about (paper §5.1/§6.1: filters and metric mapping at instance borders).
+struct RouteMapFacts {
+  /// The name resolved to a defined map. Unresolved names permit every
+  /// route on IOS, so an unresolved map never filters and never maps.
+  bool resolved = false;
+  /// Some route can be denied. False exactly when every route is permitted:
+  /// a permit clause with no match conditions appears before any deny
+  /// clause (routes falling through all clauses hit the implicit deny, so a
+  /// map without such a blanket permit always filters).
+  bool may_deny = false;
+  /// At least one permit clause carries "set metric" — the map maps metrics
+  /// across the boundary for at least part of the route space.
+  bool sets_metric = false;
+  /// At least one clause matches or sets a route tag — the map takes part
+  /// in a tag-based loop-prevention scheme (net5's idiom, §6.1).
+  bool uses_tags = false;
+};
+
+/// Extract RouteMapFacts for `name` resolved against `config`. A default
+/// (all-false) value is returned for dangling references.
+RouteMapFacts route_map_facts(const config::RouterConfig& config,
+                              std::string_view name);
+
 /// Hash for Route, used by the reachability engine's membership indexes and
 /// the compiled-policy verdict caches.
 struct RouteHash {

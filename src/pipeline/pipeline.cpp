@@ -5,6 +5,7 @@
 
 #include "analysis/archetype.h"
 #include "analysis/census.h"
+#include "analysis/dataflow.h"
 #include "analysis/header_space.h"
 #include "analysis/reachability.h"
 #include "analysis/rules.h"
@@ -215,6 +216,14 @@ NetworkReport analyze_network(const std::string& name,
     obs::Span span("analyze.reachability", "pipeline");
     return analysis::ReachabilityAnalysis::run(network, ig.set);
   }();
+  // Abstract route-provenance fixpoint over the instance graph (DESIGN.md
+  // §13). Cheap relative to reachability — the domain is instances, not
+  // routers — and its summary only appears when the network actually has
+  // cross-instance edges, so single-instance reports keep their old shape.
+  const auto flow = [&] {
+    obs::Span span("analyze.dataflow", "pipeline");
+    return analysis::InstanceDataflow(network, ig);
+  }();
   obs::counter("fleet.networks").add();
 
   const auto category_of = [&](const analysis::Finding& f) -> std::string {
@@ -381,6 +390,27 @@ NetworkReport analyze_network(const std::string& name,
     root.set("intents", std::move(intents_json));
   }
 
+  // Route-redistribution dataflow summary (§6 redistribution glue). Like
+  // "intents", the section only appears when there is something to say —
+  // at least one cross-instance edge — so reports of single-instance
+  // networks are byte-for-byte unchanged.
+  if (!flow.edges().empty()) {
+    std::size_t session_edges = 0;
+    for (const auto& edge : flow.edges()) {
+      if (edge.kind == analysis::DataflowEdge::Kind::kSession) {
+        ++session_edges;
+      }
+    }
+    auto flow_json = Json::object();
+    flow_json.set("edges", flow.edges().size());
+    flow_json.set("session_edges", session_edges);
+    flow_json.set("facts", flow.fact_count());
+    flow_json.set("loop_events", flow.loop_events().size());
+    flow_json.set("iterations", flow.iterations());
+    flow_json.set("converged", flow.converged());
+    root.set("redistribution", std::move(flow_json));
+  }
+
   // Deterministic per-network metrics (DESIGN.md §10): logical-event counts
   // computed from this network's results, never from the global obs
   // registry (whose totals depend on what else ran in the process) and
@@ -388,6 +418,12 @@ NetworkReport analyze_network(const std::string& name,
   // pre-sorted, so serial and parallel reports stay byte-identical.
   auto metrics = Json::object();
   auto counters = Json::object();
+  if (!flow.edges().empty()) {
+    counters.set("dataflow.edges", flow.edges().size());
+    counters.set("dataflow.facts", flow.fact_count());
+    counters.set("dataflow.iterations", flow.iterations());
+    counters.set("dataflow.loop_events", flow.loop_events().size());
+  }
   counters.set("graph.instance_edges", ig.edges.size());
   counters.set("graph.instances", ig.set.instances.size());
   if (!intents.empty()) {

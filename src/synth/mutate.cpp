@@ -1,0 +1,459 @@
+#include "synth/mutate.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "graph/instances.h"
+#include "model/network.h"
+#include "model/policy.h"
+#include "synth/emit.h"
+
+namespace rd::synth {
+
+namespace {
+
+using analysis::distance_external;
+using analysis::distance_internal;
+using analysis::metric_class;
+using config::RoutingProtocol;
+
+/// The injectors reason about instances and redistribution edges exactly as
+/// the analysis will, so they build the same model — from the emit+reparse
+/// round trip the pipeline consumes (in-memory configs can differ subtly
+/// from their text form, e.g. a process id on a protocol whose text syntax
+/// carries none), leaving the mutable configs untouched until a site is
+/// chosen. Reparse preserves router, stanza, and redistribute order, so
+/// view indexes address the original configs directly.
+struct ModelView {
+  model::Network network;
+  graph::InstanceSet set;
+  std::vector<graph::InstanceEdge> edges;
+};
+
+ModelView build_view(const SynthNetwork& network) {
+  ModelView view{model::Network::build(reparse(network.configs)), {}, {}};
+  auto graph = graph::InstanceGraph::build(view.network);
+  view.set = std::move(graph.set);
+  view.edges = std::move(graph.edges);
+  return view;
+}
+
+/// TEST-NET-2 (RFC 5737): guaranteed outside every synth address pool, so a
+/// planted prefix never collides with legitimate routes or filters.
+const ip::Prefix kPlantPrefix{ip::Ipv4Address(198, 51, 100, 64), 26};
+const ip::Prefix kPlantLink{ip::Ipv4Address(198, 51, 100, 0), 30};
+
+config::NetworkStatement cover(const ip::Prefix& subnet,
+                               std::optional<std::uint32_t> ospf_area) {
+  config::NetworkStatement ns;
+  ns.address = subnet.network();
+  ns.mask = ip::Netmask::from_length(subnet.length());
+  ns.area = ospf_area;
+  return ns;
+}
+
+config::Redistribute redistribute_command(
+    RoutingProtocol protocol, std::optional<std::uint32_t> process_id,
+    std::optional<std::uint32_t> metric,
+    std::optional<std::string> route_map) {
+  config::Redistribute redist;
+  redist.source = config::RedistributeSource::kProtocol;
+  redist.protocol = protocol;
+  redist.process_id = process_id;
+  redist.metric = metric;
+  redist.route_map = std::move(route_map);
+  redist.subnets = true;
+  return redist;
+}
+
+/// Index of the stanza behind a model process, in the *original* configs
+/// (Network::build preserves router and stanza order).
+std::size_t stanza_index_of(const ModelView& view, model::ProcessId p) {
+  return view.network.processes()[p].stanza_index;
+}
+
+/// First process of `instance` hosted on `router`, or kInvalidId.
+model::ProcessId process_on(const ModelView& view, std::uint32_t instance,
+                            model::RouterId router) {
+  for (const model::ProcessId p : view.set.instances[instance].processes) {
+    if (view.network.processes()[p].router == router) return p;
+  }
+  return model::kInvalidId;
+}
+
+bool has_stanza_of_protocol(const config::RouterConfig& config,
+                            RoutingProtocol protocol) {
+  for (const auto& stanza : config.router_stanzas) {
+    if (stanza.protocol == protocol) return true;
+  }
+  return false;
+}
+
+/// A route-map "RDxxx-PLANT" with one permit clause matching a fresh
+/// numbered ACL over `block` — a *filtering* map (implicit deny tail), so
+/// planting it never trips RD063.
+std::string add_plant_route_map(config::RouterConfig& config,
+                                const std::string& name,
+                                const ip::Prefix& block) {
+  const std::string acl_id =
+      std::to_string(100 + config.access_lists.size());
+  config::AclRule rule;
+  rule.action = config::FilterAction::kPermit;
+  rule.extended = false;
+  rule.any_source = false;
+  rule.source = block;
+  rule.any_destination = true;
+  config::AccessList acl;
+  acl.id = acl_id;
+  acl.rules.push_back(rule);
+  config.access_lists.push_back(std::move(acl));
+  config::RouteMapClause clause;
+  clause.action = config::FilterAction::kPermit;
+  clause.sequence = 10;
+  clause.match_ip_address_acls.push_back(acl_id);
+  config::RouteMap map;
+  map.name = name;
+  map.clauses.push_back(std::move(clause));
+  config.route_maps.push_back(std::move(map));
+  return name;
+}
+
+// --- RD061: clear the metric mapping on a cross-class boundary ---------------
+
+std::optional<Plant> inject_metric_loss(SynthNetwork& network,
+                                        std::uint64_t seed) {
+  struct Site {
+    std::size_t router, stanza, redistribute;
+  };
+  std::vector<Site> sites;
+  for (std::size_t r = 0; r < network.configs.size(); ++r) {
+    const auto& config = network.configs[r];
+    for (std::size_t si = 0; si < config.router_stanzas.size(); ++si) {
+      const auto& stanza = config.router_stanzas[si];
+      if (stanza.protocol == RoutingProtocol::kBgp) continue;
+      if (stanza.default_metric) continue;
+      for (std::size_t ri = 0; ri < stanza.redistributes.size(); ++ri) {
+        const auto& redist = stanza.redistributes[ri];
+        if (redist.source != config::RedistributeSource::kProtocol) continue;
+        if (!redist.metric) continue;
+        if (metric_class(redist.protocol) == metric_class(stanza.protocol)) {
+          continue;
+        }
+        // The source process must resolve on this router, or the model
+        // treats the command as a local-RIB import, outside RD061.
+        bool resolves = false;
+        for (const auto& other : config.router_stanzas) {
+          if (&other == &stanza) continue;
+          if (other.protocol != redist.protocol) continue;
+          if (redist.process_id && other.process_id != redist.process_id) {
+            continue;
+          }
+          resolves = true;
+        }
+        if (!resolves) continue;
+        if (redist.route_map) {
+          const auto facts =
+              model::route_map_facts(config, *redist.route_map);
+          if (facts.resolved && facts.sets_metric) continue;
+        }
+        sites.push_back({r, si, ri});
+      }
+    }
+  }
+  if (sites.empty()) return std::nullopt;
+  const Site site = sites[seed % sites.size()];
+  auto& redist = network.configs[site.router]
+                     .router_stanzas[site.stanza]
+                     .redistributes[site.redistribute];
+  redist.metric = std::nullopt;
+  redist.metric_type = std::nullopt;
+  return Plant{"RD061", site.router, site.stanza, site.redistribute,
+               "no metric mapping"};
+}
+
+// --- RD063: drop the route-map from one direction of a mutual pair -----------
+
+std::optional<Plant> inject_unfiltered_mutual(SynthNetwork& network,
+                                              std::uint64_t seed) {
+  const ModelView view = build_view(network);
+  // Ordered instance pairs with at least one kProcess redistribution edge.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> directions;
+  struct Site {
+    std::size_t router, stanza, redistribute;
+  };
+  std::vector<Site> sites;
+  for (const auto& redist : view.network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    const std::uint32_t from = view.set.instance_of[redist.source_process];
+    const std::uint32_t to = view.set.instance_of[redist.target_process];
+    if (from == to) continue;
+    directions.emplace_back(from, to);
+  }
+  for (const auto& redist : view.network.redistribution_edges()) {
+    if (redist.source_kind != model::RibKind::kProcess) continue;
+    if (!redist.route_map) continue;
+    const std::uint32_t from = view.set.instance_of[redist.source_process];
+    const std::uint32_t to = view.set.instance_of[redist.target_process];
+    if (from == to) continue;
+    // The defect needs the pair to be mutual — dropping the filter on a
+    // one-way boundary is RD041/RD042 territory, not RD063.
+    if (std::find(directions.begin(), directions.end(),
+                  std::make_pair(to, from)) == directions.end()) {
+      continue;
+    }
+    sites.push_back({redist.router, stanza_index_of(view, redist.target_process),
+                     redist.redistribute_index});
+  }
+  if (sites.empty()) return std::nullopt;
+  const Site site = sites[seed % sites.size()];
+  network.configs[site.router]
+      .router_stanzas[site.stanza]
+      .redistributes[site.redistribute]
+      .route_map = std::nullopt;
+  return Plant{"RD063", site.router, site.stanza, site.redistribute,
+               "unfiltered direction"};
+}
+
+// --- RD062: plant a route whose redistributed copy outranks the native -------
+
+std::optional<Plant> inject_distance_inversion(SynthNetwork& network,
+                                               std::uint64_t seed) {
+  const ModelView view = build_view(network);
+  // Candidate: a BGP instance X and an IGP instance Y sharing >= 2 routers
+  // (so the inversion has a router to bite on besides the planted
+  // redistribution point).
+  struct Candidate {
+    std::uint32_t bgp_instance, igp_instance;
+    std::vector<model::RouterId> shared;
+  };
+  std::vector<Candidate> candidates;
+  const auto& instances = view.set.instances;
+  for (std::uint32_t x = 0; x < instances.size(); ++x) {
+    if (instances[x].protocol != RoutingProtocol::kBgp) continue;
+    for (std::uint32_t y = 0; y < instances.size(); ++y) {
+      if (!config::is_conventional_igp(instances[y].protocol)) continue;
+      std::vector<model::RouterId> a = instances[x].routers;
+      std::vector<model::RouterId> b = instances[y].routers;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      std::vector<model::RouterId> shared;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(shared));
+      if (shared.size() < 2) continue;
+      candidates.push_back({x, y, std::move(shared)});
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  const Candidate& chosen = candidates[seed % candidates.size()];
+  const model::RouterId planted_router =
+      chosen.shared[seed % chosen.shared.size()];
+  const model::ProcessId bgp_process =
+      process_on(view, chosen.bgp_instance, planted_router);
+  const model::ProcessId igp_process =
+      process_on(view, chosen.igp_instance, planted_router);
+  if (bgp_process == model::kInvalidId || igp_process == model::kInvalidId) {
+    return std::nullopt;
+  }
+  auto& config = network.configs[planted_router];
+  auto& bgp_stanza =
+      config.router_stanzas[stanza_index_of(view, bgp_process)];
+  const std::size_t igp_stanza_index = stanza_index_of(view, igp_process);
+  auto& igp_stanza = config.router_stanzas[igp_stanza_index];
+  // Originate the planted prefix in BGP, then leak it into the IGP through
+  // a map permitting only the plant — metric mapped (RD061 quiet),
+  // filtering map (RD063 quiet), one direction (RD060 quiet).
+  bgp_stanza.networks.push_back(cover(kPlantPrefix, std::nullopt));
+  const std::string map =
+      add_plant_route_map(config, "RD062-PLANT", kPlantPrefix);
+  igp_stanza.redistributes.push_back(redistribute_command(
+      RoutingProtocol::kBgp, bgp_stanza.process_id, 100, map));
+  return Plant{"RD062", planted_router, igp_stanza_index,
+               igp_stanza.redistributes.size() - 1, "administrative distance"};
+}
+
+// --- RD060: close a filterless multi-router redistribution cycle -------------
+
+std::optional<Plant> inject_redistribution_loop(SynthNetwork& network,
+                                                std::uint64_t seed) {
+  const ModelView view = build_view(network);
+  // The plant is a fresh two-router RIP instance Z = {h, s} laid over an
+  // existing link of a carrier instance Y whose external distance beats
+  // RIP's native 120 (OSPF/IS-IS). h redistributes Z into Y, s closes the
+  // cycle with a bare reverse redistribute: Z's own link route exits at h,
+  // transits Y, and re-enters Z at s with a winning carried distance.
+  struct Candidate {
+    std::uint32_t y;
+    model::RouterId hub, spoke;
+    ip::Prefix link;
+  };
+  std::vector<Candidate> candidates;
+  const auto& instances = view.set.instances;
+  for (std::uint32_t y = 0; y < instances.size(); ++y) {
+    const auto y_proto = instances[y].protocol;
+    if (!config::is_conventional_igp(y_proto)) continue;
+    if (distance_external(y_proto) >=
+        distance_internal(RoutingProtocol::kRip)) {
+      continue;
+    }
+    if (instances[y].router_count() < 2) continue;
+    // First subnet shared by two RIP-free routers of Y carries the new
+    // RIP adjacency.
+    std::vector<std::pair<ip::Prefix, model::RouterId>> seen_subnets;
+    Candidate found{y, model::kInvalidId, model::kInvalidId, {}};
+    for (const model::RouterId r : instances[y].routers) {
+      if (has_stanza_of_protocol(network.configs[r], RoutingProtocol::kRip)) {
+        continue;
+      }
+      for (const auto& itf : network.configs[r].interfaces) {
+        if (!itf.address) continue;
+        const ip::Prefix subnet = itf.address->subnet();
+        bool matched = false;
+        for (const auto& [other_subnet, other] : seen_subnets) {
+          if (other_subnet == subnet && other != r) {
+            found.hub = other;
+            found.spoke = r;
+            found.link = subnet;
+            matched = true;
+            break;
+          }
+        }
+        if (matched) break;
+        seen_subnets.emplace_back(subnet, r);
+      }
+      if (found.hub != model::kInvalidId) break;
+    }
+    if (found.hub != model::kInvalidId) candidates.push_back(found);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const Candidate chosen = candidates[seed % candidates.size()];
+  const auto y_proto = view.set.instances[chosen.y].protocol;
+  // Y's process ids on each end, for the redistribute commands.
+  const model::ProcessId hub_y = process_on(view, chosen.y, chosen.hub);
+  const model::ProcessId spoke_y = process_on(view, chosen.y, chosen.spoke);
+  if (hub_y == model::kInvalidId || spoke_y == model::kInvalidId) {
+    return std::nullopt;
+  }
+  auto& hub_config = network.configs[chosen.hub];
+  auto& spoke_config = network.configs[chosen.spoke];
+  const auto rip_over_link = [&](config::RouterConfig& config) {
+    config::RouterStanza stanza;
+    stanza.protocol = RoutingProtocol::kRip;
+    stanza.networks.push_back(cover(chosen.link, std::nullopt));
+    config.router_stanzas.push_back(std::move(stanza));
+    return config.router_stanzas.size() - 1;
+  };
+  // Z spans the link; h leaks it into the carrier (metric mapped, so only
+  // the loop is wrong)...
+  const std::size_t hub_rip = rip_over_link(hub_config);
+  (void)hub_rip;
+  hub_config.router_stanzas[stanza_index_of(view, hub_y)]
+      .redistributes.push_back(
+          redistribute_command(RoutingProtocol::kRip, std::nullopt, 100,
+                               std::nullopt));
+  // ...and s hands the carrier's routes straight back.
+  const std::size_t spoke_rip = rip_over_link(spoke_config);
+  const auto y_pid =
+      spoke_config.router_stanzas[stanza_index_of(view, spoke_y)].process_id;
+  spoke_config.router_stanzas[spoke_rip].redistributes.push_back(
+      redistribute_command(y_proto, y_pid, 5, std::nullopt));
+  return Plant{"RD060", chosen.spoke, spoke_rip, 0, "re-inject"};
+}
+
+// --- RD064: a fresh two-router instance hanging off one box ------------------
+
+std::optional<Plant> inject_single_point(SynthNetwork& network,
+                                         std::uint64_t seed) {
+  const ModelView view = build_view(network);
+  // Candidate: an IGP instance with >= 2 routers (both of which can host
+  // the planted instance). kIgrp targets are excluded: igrp's external
+  // distance (100) undercuts ospf's internal (110), which would drag RD062
+  // into the picture — this plant is about robustness, not distances.
+  struct Candidate {
+    std::uint32_t instance;
+    model::RouterId s1, s2;
+  };
+  std::vector<Candidate> candidates;
+  const auto& instances = view.set.instances;
+  for (std::uint32_t y = 0; y < instances.size(); ++y) {
+    if (!config::is_conventional_igp(instances[y].protocol)) continue;
+    if (instances[y].protocol == RoutingProtocol::kIgrp) continue;
+    if (instances[y].router_count() < 2) continue;
+    const auto& routers = instances[y].routers;
+    const model::RouterId s1 = routers[seed % routers.size()];
+    const model::RouterId s2 = routers[(seed + 1) % routers.size()];
+    if (s1 == s2) continue;
+    if (has_stanza_of_protocol(network.configs[s1], RoutingProtocol::kOspf) &&
+        instances[y].protocol != RoutingProtocol::kOspf) {
+      // An existing OSPF stanza on s1 could collide with the planted
+      // process id; skip rather than reason about id spaces.
+      continue;
+    }
+    candidates.push_back({y, s1, s2});
+  }
+  if (candidates.empty()) return std::nullopt;
+  const Candidate chosen = candidates[seed % candidates.size()];
+  const model::ProcessId s1_process =
+      process_on(view, chosen.instance, chosen.s1);
+  if (s1_process == model::kInvalidId) return std::nullopt;
+  // A dedicated point-to-point link between the two spokes...
+  const std::uint32_t plant_pid = 4242;
+  auto wire = [&](model::RouterId router, std::uint32_t host) {
+    config::InterfaceConfig itf;
+    itf.name = "Serial99/0";
+    itf.address = {ip::Ipv4Address(kPlantLink.network().value() + host),
+                   ip::Netmask::from_length(30)};
+    itf.point_to_point = true;
+    network.configs[router].interfaces.push_back(std::move(itf));
+    config::RouterStanza stanza;
+    stanza.protocol = RoutingProtocol::kOspf;
+    stanza.process_id = plant_pid;
+    stanza.networks.push_back(cover(kPlantLink, 0));
+    network.configs[router].router_stanzas.push_back(std::move(stanza));
+  };
+  wire(chosen.s1, 1);
+  wire(chosen.s2, 2);
+  // ...whose only exchange with the main instance is one redistribute on
+  // s1. Metric mapped, one direction, equal-or-worse distance: only the
+  // single-point structure is wrong.
+  const std::size_t s1_stanza_index = stanza_index_of(view, s1_process);
+  auto& target =
+      network.configs[chosen.s1].router_stanzas[s1_stanza_index];
+  target.redistributes.push_back(redistribute_command(
+      RoutingProtocol::kOspf, plant_pid, 100, std::nullopt));
+  return Plant{"RD064", chosen.s1, s1_stanza_index,
+               target.redistributes.size() - 1, "only route exchange"};
+}
+
+}  // namespace
+
+std::string defect_rule_id(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kRedistributionLoop: return "RD060";
+    case DefectKind::kMetricLoss: return "RD061";
+    case DefectKind::kDistanceInversion: return "RD062";
+    case DefectKind::kUnfilteredMutual: return "RD063";
+    case DefectKind::kSinglePointRedistribution: return "RD064";
+  }
+  return "RD0??";
+}
+
+std::optional<Plant> inject_defect(SynthNetwork& network, DefectKind kind,
+                                   std::uint64_t seed) {
+  switch (kind) {
+    case DefectKind::kRedistributionLoop:
+      return inject_redistribution_loop(network, seed);
+    case DefectKind::kMetricLoss:
+      return inject_metric_loss(network, seed);
+    case DefectKind::kDistanceInversion:
+      return inject_distance_inversion(network, seed);
+    case DefectKind::kUnfilteredMutual:
+      return inject_unfiltered_mutual(network, seed);
+    case DefectKind::kSinglePointRedistribution:
+      return inject_single_point(network, seed);
+  }
+  return std::nullopt;
+}
+
+}  // namespace rd::synth

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "synth/archetypes.h"
+
+namespace rd::synth {
+
+/// Seeded defect injectors for the redistribution-safety rules
+/// (RD060-RD064): each plants one instance of a defect class into an
+/// otherwise-clean synthetic network, recording exactly where, so the
+/// mutation differential suite can assert that the analysis flags the
+/// planted command — and nothing less — with correct file:line provenance.
+enum class DefectKind : std::uint8_t {
+  kRedistributionLoop,         // RD060
+  kMetricLoss,                 // RD061
+  kDistanceInversion,          // RD062
+  kUnfilteredMutual,           // RD063
+  kSinglePointRedistribution,  // RD064
+};
+
+/// The rule id a defect kind is expected to trip ("RD060"...).
+std::string defect_rule_id(DefectKind kind);
+
+/// Where a planted defect lives: the redistribute command at
+/// `configs[router].router_stanzas[stanza].redistributes[redistribute]`.
+/// Tests re-derive the expected source line by emitting and reparsing the
+/// mutated configs and navigating these indexes, so provenance checks see
+/// the same line numbers the analysis sees.
+struct Plant {
+  std::string rule_id;
+  std::size_t router = 0;
+  std::size_t stanza = 0;
+  std::size_t redistribute = 0;
+  /// A substring the finding's detail must contain (sanity anchor beyond
+  /// file:line).
+  std::string detail_contains;
+};
+
+/// Inject one defect of `kind` into `network`, choosing among the eligible
+/// sites with `seed` (deterministic: same network + kind + seed => same
+/// mutation). Returns std::nullopt when the network lacks the structure
+/// the defect needs (e.g. no mutual redistribution to unfilter); the
+/// network is left untouched in that case.
+std::optional<Plant> inject_defect(SynthNetwork& network, DefectKind kind,
+                                   std::uint64_t seed);
+
+}  // namespace rd::synth

@@ -51,7 +51,7 @@ std::vector<const Finding*> findings_for(const RuleEngine::Result& result,
 
 TEST(RuleEngine, DefaultRegistryHasStableIds) {
   const auto engine = RuleEngine::with_default_rules();
-  EXPECT_EQ(engine.rules().size(), 26u);
+  EXPECT_EQ(engine.rules().size(), 31u);
 
   // Registration order is id order, and ids never repeat.
   for (std::size_t i = 1; i < engine.rules().size(); ++i) {
@@ -97,6 +97,29 @@ TEST(RuleEngine, DefaultRegistryHasStableIds) {
   ASSERT_NE(rd052, nullptr);
   EXPECT_EQ(rd052->name, "intent-violation");
   EXPECT_EQ(rd052->severity, Severity::kError);
+
+  const auto* rd060 = engine.find("RD060");
+  ASSERT_NE(rd060, nullptr);
+  EXPECT_EQ(rd060->name, "redistribution-loop");
+  EXPECT_EQ(rd060->category, "dataflow");
+  EXPECT_EQ(rd060->severity, Severity::kError);
+
+  const auto* rd061 = engine.find("RD061");
+  ASSERT_NE(rd061, nullptr);
+  EXPECT_EQ(rd061->name, "metric-loss-at-boundary");
+
+  const auto* rd062 = engine.find("RD062");
+  ASSERT_NE(rd062, nullptr);
+  EXPECT_EQ(rd062->name, "administrative-distance-inversion");
+
+  const auto* rd063 = engine.find("RD063");
+  ASSERT_NE(rd063, nullptr);
+  EXPECT_EQ(rd063->name, "mutual-redistribution-without-filter");
+
+  const auto* rd064 = engine.find("RD064");
+  ASSERT_NE(rd064, nullptr);
+  EXPECT_EQ(rd064->name, "single-point-redistribution");
+  EXPECT_EQ(rd064->category, "dataflow");
 
   EXPECT_EQ(engine.find("RD999"), nullptr);
   EXPECT_EQ(engine.find(""), nullptr);
