@@ -8,8 +8,15 @@
 // `--benchmark_min_time=0`, which the bundled google-benchmark (1.7.x)
 // treats as "stop after the first iteration".
 
+// With RD_BENCH_JSON=1 in the environment, each binary also writes its full
+// google-benchmark report to BENCH_<binary-name>.json in the working
+// directory (unless the caller already passed --benchmark_out), so CI and
+// EXPERIMENTS.md runs get machine-readable numbers without per-binary
+// plumbing.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,15 +27,32 @@ inline int perf_main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string min_time = "--benchmark_min_time=0";
   bool check = false;
+  bool has_out = false;
   for (auto it = args.begin(); it != args.end();) {
     if (std::strcmp(*it, "--check") == 0) {
       check = true;
       it = args.erase(it);
     } else {
+      if (std::strncmp(*it, "--benchmark_out=", 16) == 0) has_out = true;
       ++it;
     }
   }
   if (check) args.push_back(min_time.data());
+
+  // Flag storage must outlive benchmark::Initialize, which keeps pointers.
+  std::string out_flag;
+  std::string out_format = "--benchmark_out_format=json";
+  const char* want_json = std::getenv("RD_BENCH_JSON");
+  if (!has_out && want_json != nullptr && std::strcmp(want_json, "1") == 0) {
+    std::string name(argv[0]);
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string::npos) {
+      name.erase(0, slash + 1);
+    }
+    out_flag = "--benchmark_out=BENCH_" + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(out_format.data());
+  }
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {

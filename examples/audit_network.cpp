@@ -6,9 +6,14 @@
 // connections, shared static destinations (maintenance grouping), missing
 // router detection, and the interface inventory.
 //
+// The report body lives in serve/queries.cpp, shared with the rdd daemon:
+// `rdctl audit` returns these exact bytes from a resident fleet, and the
+// differential tests compare the two.
+//
 // Usage:
 //   audit_network                # audit a generated managed enterprise
 //   audit_network <config-dir>   # audit a directory of IOS config files
+//   audit_network --whatif ...   # only the survivability (what-if) section
 //   audit_network [<config-dir>] --threads N
 //                                # parse configs on N threads (default: the
 //                                # RD_THREADS env override, else hardware
@@ -24,27 +29,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <map>
+#include <optional>
 
-#include "analysis/archetype.h"
-#include "analysis/census.h"
-#include "analysis/filters.h"
-#include "analysis/header_space.h"
-#include "analysis/ibgp.h"
-#include "analysis/reachability.h"
-#include "analysis/router_rib.h"
-#include "analysis/rules.h"
-#include "analysis/vulnerability.h"
-#include "analysis/whatif.h"
 #include "cli_util.h"
 #include "config/writer.h"
-#include "graph/address_space.h"
 #include "graph/instances.h"
 #include "model/network.h"
+#include "pipeline/parse_cache.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/series.h"
+#include "serve/queries.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
-#include "util/table.h"
 #include "util/thread_pool.h"
 
 static int run(int argc, char** argv) {
@@ -52,12 +48,13 @@ static int run(int argc, char** argv) {
 
   pipeline::Options options;
   cli::ObsOptions obs_options;
+  bool whatif_only = false;
   const char* config_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: audit_network [<config-dir>] [--threads N]\n"
+          "usage: audit_network [<config-dir>] [--whatif] [--threads N]\n"
           "                     [--trace FILE] [--metrics]\n"
           "\n"
           "Audit a network's router configurations: inventory, design\n"
@@ -66,6 +63,9 @@ static int run(int argc, char** argv) {
           "config-dir a managed enterprise is generated and audited.\n"
           "\n"
           "options:\n"
+          "  --whatif       print only the survivability (what-if) section:\n"
+          "                 articulation routers and the single-failure\n"
+          "                 sweep (the rdctl whatif op's counterpart)\n"
           "  --threads N    concurrency in [1, 1024] (default: RD_THREADS,\n"
           "                 else hardware concurrency); output is identical\n"
           "                 at every thread count\n"
@@ -91,309 +91,53 @@ static int run(int argc, char** argv) {
         std::fprintf(stderr, "--threads wants an integer in [1, 1024]\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--whatif") == 0) {
+      whatif_only = true;
     } else {
       config_dir = argv[i];
     }
   }
   obs_options.enable();
 
-  std::vector<std::string> texts;
+  util::ThreadPool pool(options.threads);
+  std::optional<model::Network> network;
   if (config_dir != nullptr) {
     if (!std::filesystem::is_directory(config_dir)) {
       std::fprintf(stderr, "%s is not a directory\n", config_dir);
       return 2;
     }
-    texts = synth::load_network_texts(config_dir);
+    // Provenance-stamped cached build: the same construction the rdd
+    // daemon uses to load a fleet, so findings carry file:line provenance
+    // and the daemon's response is byte-identical to this report.
+    auto loaded = synth::load_network_texts_named(config_dir);
+    if (loaded.texts.empty()) {
+      std::fprintf(stderr, "no configuration files found\n");
+      return 2;
+    }
+    pipeline::ParseCache cache;
+    network = pipeline::build_network_cached(loaded.texts, loaded.names,
+                                             cache, pool);
   } else {
     synth::ManagedEnterpriseParams params;
     params.regions = 3;
     params.spokes_per_region = 14;
     params.igp_edge_rate = 0.15;
+    std::vector<std::string> texts;
     for (const auto& cfg : synth::make_managed_enterprise(params).configs) {
       texts.push_back(config::write_config(cfg));
     }
     std::printf("(auditing a generated managed enterprise; pass a config "
                 "directory to audit your own network)\n\n");
-  }
-  if (texts.empty()) {
-    std::fprintf(stderr, "no configuration files found\n");
-    return 2;
+    network = pipeline::build_network_parallel(texts, options);
   }
 
-  const auto network = pipeline::build_network_parallel(texts, options);
-  const auto ig = graph::InstanceGraph::build(network);
-
-  // --- Inventory -----------------------------------------------------------
-  std::printf("=== Inventory ===\n");
-  std::printf("routers: %zu, interfaces: %zu (%zu unnumbered), links: %zu\n",
-              network.router_count(), network.interfaces().size(),
-              analysis::unnumbered_interface_count(network),
-              network.links().size());
-  util::Table census_table({"interface type", "count"});
-  for (const auto& [type, count] : analysis::interface_census(network)) {
-    census_table.add_row({type, util::fmt_int(static_cast<long long>(count))});
-  }
-  std::printf("%s\n", census_table.to_string().c_str());
-
-  // --- Parse diagnostics -----------------------------------------------------
-  // Lines the lenient parser skipped: the model above is built without
-  // them, so a nonzero count means the audit is looking at a partial view.
-  const auto total_diags = network.total_parse_diagnostics();
-  std::printf("=== Parse diagnostics ===\n");
-  std::printf("config lines skipped by the parser: %zu\n", total_diags);
-  if (total_diags > 0) {
-    std::size_t shown_diags = 0;
-    for (model::RouterId r = 0;
-         r < network.router_count() && shown_diags < 6; ++r) {
-      for (const auto& diag : network.parse_diagnostics(r)) {
-        if (shown_diags++ >= 6) break;
-        std::printf("  %s line %zu: %s\n",
-                    network.routers()[r].hostname.c_str(), diag.line,
-                    diag.message.c_str());
-      }
-    }
-    if (total_diags > shown_diags) {
-      std::printf("  ... and %zu more\n", total_diags - shown_diags);
-    }
-  }
-  std::printf("\n");
-
-  // --- Design --------------------------------------------------------------
-  std::printf("=== Routing design ===\n");
-  const auto cls = analysis::classify_design(network, ig.set);
-  std::printf("classification: %s\n",
-              std::string(analysis::to_string(cls.archetype)).c_str());
-  std::printf("instances: %zu (BGP: %zu, staging: %zu), internal ASs: %zu\n",
-              ig.set.instances.size(), cls.features.bgp_instance_count,
-              cls.features.staging_igp_instances,
-              cls.features.internal_as_count);
-
-  const auto structure = graph::extract_address_structure(network);
-  std::printf("address-block plan (%zu root blocks):\n",
-              structure.roots.size());
-  for (const auto& block : structure.root_blocks()) {
-    std::printf("  %s\n", block.to_string().c_str());
-  }
-
-  // --- Vulnerability assessment ---------------------------------------------
-  std::printf("\n=== Vulnerability assessment ===\n");
-  const auto redundancy = analysis::redistribution_redundancy(network, ig);
-  std::size_t spofs = 0;
-  for (const auto& entry : redundancy) {
-    if (entry.single_point_of_failure()) {
-      ++spofs;
-      std::printf("  SINGLE POINT OF FAILURE: route exchange between "
-                  "instance %u and instance %u relies on router %s alone\n",
-                  entry.instance_a + 1, entry.instance_b + 1,
-                  network.routers()[entry.connecting_routers[0]]
-                      .hostname.c_str());
-    }
-  }
-  std::printf("instance pairs exchanging routes: %zu, single points of "
-              "failure: %zu\n",
-              redundancy.size(), spofs);
-
-  const auto backdoors = analysis::detect_backdoor_candidates(network, ig);
-  if (backdoors.groups > 1) {
-    std::printf("POTENTIAL BACKDOOR ROUTES: %zu internally-disconnected "
-                "groups each reach the external world; traffic between "
-                "them can only flow through the neighboring domains "
-                "(paper 8.2)\n",
-                backdoors.groups);
-  }
-
-  const auto unfiltered =
-      analysis::find_unfiltered_external_connections(network);
-  std::printf("unfiltered external connections: %zu\n", unfiltered.size());
-  for (std::size_t i = 0; i < unfiltered.size() && i < 8; ++i) {
-    const auto& finding = unfiltered[i];
-    std::printf("  router %s, %s %s: %s%s\n",
-                network.routers()[finding.router].hostname.c_str(),
-                finding.kind ==
-                        analysis::UnfilteredExternalConnection::Kind::kBgpSession
-                    ? "BGP neighbor"
-                    : "IGP edge interface",
-                finding.detail.c_str(),
-                finding.missing_route_filter ? "no route filter " : "",
-                finding.missing_packet_filter ? "no packet filter" : "");
-  }
-  if (unfiltered.size() > 8) {
-    std::printf("  ... and %zu more\n", unfiltered.size() - 8);
-  }
-
-  // --- Engineering / maintenance ----------------------------------------------
-  std::printf("\n=== Maintenance groupings ===\n");
-  const auto shared = analysis::shared_static_destinations(network);
-  std::printf("destinations with static routes on multiple routers: %zu\n",
-              shared.size());
-  for (std::size_t i = 0; i < shared.size() && i < 5; ++i) {
-    std::printf("  %s on %zu routers (do not disable all at once)\n",
-                shared[i].destination.to_string().c_str(),
-                shared[i].routers.size());
-  }
-
-  const auto suspects = graph::detect_missing_routers(network, structure);
-  std::printf("\n=== Data-set completeness ===\n");
-  std::printf("interfaces that look like links to missing routers: %zu\n",
-              suspects.size());
-  for (std::size_t i = 0; i < suspects.size() && i < 5; ++i) {
-    const auto& itf = network.interfaces()[suspects[i].interface];
-    std::printf("  %s %s (%s): inside a %.0f%%-internal block\n",
-                network.routers()[itf.router].hostname.c_str(),
-                itf.name.c_str(),
-                itf.address ? itf.address->to_string().c_str() : "?",
-                suspects[i].internal_fraction * 100.0);
-  }
-
-  const auto filters = analysis::gather_filter_stats(network);
-  std::printf("\n=== Packet filtering ===\n");
-  std::printf("applied filter rules: %zu (%.0f%% on internal links), "
-              "largest filter: %zu clauses\n",
-              filters.total_applied_rules,
-              filters.internal_fraction() * 100.0,
-              filters.largest_filter_rules);
-
-  // --- IBGP signaling (paper §3.1/§6.1 mesh-scalability concern) --------------
-  std::printf("\n=== IBGP signaling ===\n");
-  for (const auto& as_entry : analysis::analyze_ibgp(network, ig.set)) {
-    if (as_entry.routers.size() < 2) continue;
-    std::printf("AS %u: %zu routers, %zu sessions (%.0f%% of a full mesh)%s",
-                as_entry.as_number, as_entry.routers.size(),
-                as_entry.sessions, as_entry.mesh_completeness * 100.0,
-                as_entry.uses_route_reflection() ? ", route reflection"
-                                                 : "");
-    if (as_entry.disconnected_pairs > 0) {
-      std::printf(" — %zu SIGNALING HOLES", as_entry.disconnected_pairs);
-    }
-    if (!as_entry.isolated_routers.empty()) {
-      std::printf(" — %zu routers with no IBGP session",
-                  as_entry.isolated_routers.size());
-    }
-    std::printf("\n");
-  }
-
-  // --- Survivability (what-if, paper §8.1) -----------------------------------
-  std::printf("\n=== Survivability (what-if) ===\n");
-  const auto cuts =
-      analysis::instance_articulation_routers(network, ig.set);
-  std::printf("routers whose single failure splits their routing instance: "
-              "%zu\n",
-              cuts.size());
-  for (std::size_t i = 0; i < cuts.size() && i < 5; ++i) {
-    std::printf("  %s (instance %u)\n",
-                network.routers()[cuts[i].router].hostname.c_str(),
-                cuts[i].instance + 1);
-  }
-  // Sweep every interesting single failure — articulation routers plus
-  // sole redistribution points — with one degraded-network reachability
-  // fixpoint per scenario, fanned out across the pool (results identical
-  // at every thread count).
-  util::ThreadPool pool(options.threads);
-  const auto scenarios = analysis::single_failure_scenarios(network, ig);
-  if (!scenarios.empty()) {
-    const auto impacts = analysis::sweep_failure_scenarios(
-        network, ig.set, scenarios, {}, pool);
-    // No thread count in the line: output is byte-identical at every
-    // --threads value, and this report is diffed to prove it.
-    std::printf("single-failure sweep: %zu scenarios\n", impacts.size());
-    for (std::size_t i = 0; i < impacts.size() && i < 5; ++i) {
-      const auto& impact = impacts[i];
-      std::printf("  %s: instances %zu -> %zu, fragmented: %zu, "
-                  "reaching internet: %zu, announced: %zu%s\n",
-                  impact.scenario.name.c_str(),
-                  impact.structural.instances_before,
-                  impact.structural.instances_after,
-                  impact.structural.fragmented_instances.size(),
-                  impact.instances_reaching_internet,
-                  impact.announced_externally,
-                  impact.reachability_converged ? "" : " (NOT CONVERGED)");
-    }
-  }
-
-  // --- Route load (paper §2.3 / §6.2) ----------------------------------------
-  std::printf("\n=== Route load ===\n");
-  const auto reach = analysis::ReachabilityAnalysis::run(network, ig.set);
-  if (const auto warning = reach.convergence_warning(); !warning.empty()) {
-    std::printf("%s\n", warning.c_str());
-  }
-  const auto ribs = analysis::RouterRibAnalysis::run(network, ig.set, reach);
-  const auto sizes = ribs.rib_sizes();
-  std::size_t max_rib = 0;
-  std::size_t total = 0;
-  for (const auto s : sizes) {
-    max_rib = std::max(max_rib, s);
-    total += s;
-  }
-  std::printf("router RIBs: mean %.0f routes, max %zu; routers holding "
-              "externally-learned routes: %zu of %zu\n",
-              sizes.empty() ? 0.0
-                            : static_cast<double>(total) /
-                                  static_cast<double>(sizes.size()),
-              max_rib, ribs.routers_with_external_routes().size(),
-              network.router_count());
-
-  // --- Intent assertions (§6.2 reachability questions, machine-checked
-  // against the exact symbolic header space) ----------------------------------
-  if (const auto intents = analysis::collect_intents(network);
-      !intents.empty()) {
-    std::printf("\n=== Intent assertions ===\n");
-    const auto outcomes =
-        analysis::verify_intents(network, ig.set, reach, intents);
-    std::size_t held = 0;
-    for (const auto& outcome : outcomes) {
-      if (outcome.holds) ++held;
-    }
-    std::printf("declared rd-intent assertions: %zu, holding: %zu\n",
-                outcomes.size(), held);
-    for (const auto& outcome : outcomes) {
-      if (outcome.holds) continue;
-      std::printf("  VIOLATED: %s", outcome.intent.describe().c_str());
-      if (outcome.witness) {
-        std::printf(" — witness packet %s",
-                    outcome.witness->describe().c_str());
-      }
-      std::printf("\n");
-    }
-  }
-
-  // --- Design rules (paper §8: lint, consistency, vulnerability, and the
-  // cross-router rules, unified under one registry with provenance) -----------
-  std::printf("\n=== Design rules ===\n");
-  const auto engine = analysis::RuleEngine::with_default_rules();
-  const auto rules = engine.run(network, ig, pool);
-  std::printf("findings: %zu (%zu errors, %zu warnings, %zu info), "
-              "suppressed: %zu\n",
-              rules.findings.size(), rules.errors, rules.warnings,
-              rules.infos, rules.suppressed);
-  std::map<std::string, std::size_t> by_rule;
-  for (const auto& finding : rules.findings) ++by_rule[finding.rule_id];
-  for (const auto& [rule, count] : by_rule) {
-    const auto* info = engine.find(rule);
-    std::printf("  %-6s %-36s %-8s %zu\n", rule.c_str(),
-                info != nullptr ? info->name.c_str() : "?",
-                info != nullptr
-                    ? std::string(analysis::severity_name(info->severity))
-                          .c_str()
-                    : "?",
-                count);
-  }
-  std::size_t shown = 0;
-  for (const auto& finding : rules.findings) {
-    if (finding.severity == analysis::Severity::kInfo || shown >= 8) continue;
-    ++shown;
-    std::printf("  [%s] %s:%zu %s: %s: %s\n", finding.rule_id.c_str(),
-                finding.where.file.c_str(), finding.where.line,
-                finding.router_name.c_str(), finding.subject.c_str(),
-                finding.detail.c_str());
-  }
+  const auto ig = graph::InstanceGraph::build(*network);
+  const auto report = whatif_only
+                          ? serve::whatif_report(*network, ig, pool)
+                          : serve::audit_report(*network, ig, pool);
+  std::fwrite(report.output.data(), 1, report.output.size(), stdout);
   if (const int rc = obs_options.finish("audit_network"); rc != 0) return rc;
-  if (rules.has_errors()) {
-    std::printf("\n%zu error-severity finding(s) — exiting nonzero "
-                "(see --help for the exit-code contract)\n",
-                rules.errors);
-    return 1;
-  }
-  return 0;
+  return report.exit_code;
 }
 
 int main(int argc, char** argv) {

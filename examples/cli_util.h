@@ -12,6 +12,7 @@
 // diagnostic to stderr, and exits 2 instead of calling std::terminate.
 #pragma once
 
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -24,8 +25,13 @@ namespace rd::cli {
 
 /// Runs `run(argc, argv)` behind the exit-2 exception boundary. Every
 /// example's `main` is one line: `return guarded_main("tool", run, ...)`.
+/// SIGPIPE is ignored process-wide: a reader that hangs up mid-report
+/// (`audit_network | head`, an rdctl killed mid-reply, a daemon client
+/// gone away) turns writes into EPIPE errors the code can see, instead of
+/// a silent signal death.
 inline int guarded_main(const char* tool, int (*run)(int, char**), int argc,
                         char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {

@@ -1,0 +1,152 @@
+// rdd: the always-on analysis daemon. Loads one or more fleets of router
+// configurations resident (parsed networks, instance graphs, compiled
+// design rules), then serves audit / rdlint / reachability / headerspace /
+// what-if queries over a Unix-domain or loopback TCP socket — each answer
+// byte-identical to the matching one-shot CLI's stdout, but without paying
+// the parse+build cost per invocation.
+//
+// The parse layer persists: with --store DIR, every cold parse is written
+// to a content-addressed on-disk store (keyed by the SHA-1 of the config
+// text), so a restarted daemon — or a second daemon sharing the store —
+// reloads unchanged fleets without reparsing a single file. The startup
+// line per fleet reports where its configs came from; CI asserts the
+// restart case shows "0 parsed".
+//
+// Usage:
+//   rdd --socket /tmp/rdd.sock --fleet corp=/path/to/configs
+//   rdd --tcp 7440 --fleet a=dirA --fleet b=dirB --store /var/cache/rd
+//   rdd --socket S --fleet n=D --threads 4 --cache-mb 64
+//
+// Options:
+//   --socket PATH      listen on a Unix-domain socket (stale socket files
+//                      are replaced; regular files are not)
+//   --tcp PORT         listen on loopback TCP (0 = ephemeral; the chosen
+//                      port is printed)
+//   --fleet NAME=DIR   load the "config*" files in DIR as fleet NAME
+//                      (repeatable)
+//   --store DIR        persistent parse store, shared across fleets,
+//                      restarts, and daemons
+//   --cache-mb N       LRU byte cap on the in-memory parse cache
+//                      (default: unbounded)
+//   --threads N        analysis concurrency in [1, 1024] (default:
+//                      RD_THREADS, else hardware concurrency); responses
+//                      are byte-identical at every value
+//
+// Exit codes: 0 = clean shutdown (via the rdctl shutdown op), 2 = usage or
+// I/O error.
+#include <cstdio>
+#include <cstring>
+
+#include "cli_util.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+static int run(int argc, char** argv) {
+  using namespace rd;
+
+  serve::Service::Options service_options;
+  serve::Server::Options server_options;
+  std::vector<std::pair<std::string, std::string>> fleet_specs;
+  for (int i = 1; i < argc; ++i) {
+    const auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s wants a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: rdd (--socket PATH | --tcp PORT) --fleet NAME=DIR ...\n"
+          "           [--store DIR] [--cache-mb N] [--threads N]\n"
+          "\n"
+          "Serve audit/rdlint/reachability/headerspace/whatif queries over\n"
+          "resident fleets; query with rdctl. Responses are byte-identical\n"
+          "to the one-shot CLIs. --store persists parses across restarts.\n"
+          "\n"
+          "exit codes:\n"
+          "  0  clean shutdown (rdctl shutdown)\n"
+          "  2  usage or I/O error\n");
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      const char* v = want_value("--socket");
+      if (v == nullptr) return 2;
+      server_options.unix_path = v;
+    } else if (std::strcmp(argv[i], "--tcp") == 0) {
+      const char* v = want_value("--tcp");
+      if (v == nullptr) return 2;
+      std::uint32_t port = 0;
+      if (!util::parse_u32(util::trim(v), port) || port > 65535) {
+        std::fprintf(stderr, "--tcp wants a port in [0, 65535]\n");
+        return 2;
+      }
+      server_options.tcp_port = static_cast<int>(port);
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      const char* v = want_value("--fleet");
+      if (v == nullptr) return 2;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v || eq[1] == '\0') {
+        std::fprintf(stderr, "--fleet wants NAME=DIR\n");
+        return 2;
+      }
+      fleet_specs.emplace_back(std::string(v, eq), std::string(eq + 1));
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      const char* v = want_value("--store");
+      if (v == nullptr) return 2;
+      service_options.store_directory = v;
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
+      const char* v = want_value("--cache-mb");
+      if (v == nullptr) return 2;
+      std::uint32_t mb = 0;
+      if (!util::parse_u32(util::trim(v), mb) || mb == 0) {
+        std::fprintf(stderr, "--cache-mb wants a positive integer\n");
+        return 2;
+      }
+      service_options.cache_bytes = static_cast<std::size_t>(mb) << 20;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (!cli::parse_threads(i + 1 < argc ? argv[++i] : nullptr,
+                              service_options.threads)) {
+        std::fprintf(stderr, "--threads wants an integer in [1, 1024]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (fleet_specs.empty()) {
+    std::fprintf(stderr, "no fleets (--fleet NAME=DIR; see --help)\n");
+    return 2;
+  }
+  if (server_options.unix_path.empty() && server_options.tcp_port < 0) {
+    std::fprintf(stderr, "no listener (--socket PATH or --tcp PORT)\n");
+    return 2;
+  }
+
+  serve::Service service(service_options);
+  for (const auto& [name, dir] : fleet_specs) {
+    const auto loaded = service.add_fleet(name, dir);
+    std::printf("fleet %s: %zu configs (%zu from memory, %zu from store, "
+                "%zu parsed), %zu routers\n",
+                name.c_str(), loaded.config_files, loaded.memory_hits,
+                loaded.disk_hits, loaded.cold_parses, loaded.routers);
+  }
+
+  serve::Server server(service, server_options);
+  if (!server_options.unix_path.empty()) {
+    std::printf("rdd: listening on %s\n", server_options.unix_path.c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("rdd: listening on tcp 127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::fflush(stdout);  // scripts wait for the "listening" line
+  server.run();
+  std::printf("rdd: shut down\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return rd::cli::guarded_main("rdd", run, argc, argv);
+}

@@ -47,6 +47,7 @@
 #include "model/network.h"
 #include "pipeline/parse_cache.h"
 #include "pipeline/series.h"
+#include "serve/queries.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
 #include "util/json.h"
@@ -97,29 +98,12 @@ void print_usage() {
       "  2  usage or I/O error\n");
 }
 
+/// One finding in the shared rdlint text style (serve/queries.cpp), so
+/// the baseline section's lines match the daemon-rendered report's.
 void print_finding(const analysis::Finding& finding, const char* prefix) {
-  std::printf("  %s[%s][%s] %s:%zu %s%s%s%s: %s\n", prefix,
-              finding.rule_id.c_str(),
-              std::string(analysis::severity_name(finding.severity)).c_str(),
-              finding.where.file.c_str(), finding.where.line,
-              finding.router_name.c_str(),
-              finding.subject.empty() ? "" : ": ",
-              finding.subject.c_str(),
-              finding.router_b_name.empty()
-                  ? ""
-                  : (" (with " + finding.router_b_name + ")").c_str(),
-              finding.detail.c_str());
-}
-
-void print_text_report(const analysis::RuleEngine& engine,
-                       const analysis::RuleEngine::Result& result,
-                       const std::string& name) {
-  std::printf("rdlint: %s: %zu finding(s) (%zu errors, %zu warnings, "
-              "%zu info), %zu suppressed\n",
-              name.c_str(), result.findings.size(), result.errors,
-              result.warnings, result.infos, result.suppressed);
-  (void)engine;
-  for (const auto& finding : result.findings) print_finding(finding, "");
+  std::string line;
+  serve::append_finding_line(line, finding, prefix);
+  std::fwrite(line.data(), 1, line.size(), stdout);
 }
 
 }  // namespace
@@ -305,7 +289,9 @@ static int run(int argc, char** argv) {
     }
     std::printf("%s\n", json.c_str());
   } else {
-    print_text_report(engine, *result, name);
+    const auto text = serve::render_lint_report(engine, *result, name,
+                                                serve::LintFormat::kText);
+    std::fwrite(text.data(), 1, text.size(), stdout);
     if (delta) {
       std::printf("baseline: %zu new, %zu fixed, %zu unchanged\n",
                   delta->new_findings.size(), delta->fixed.size(),

@@ -3,6 +3,11 @@
 // reach, can two addresses communicate, and what does the network announce
 // to the outside world?
 //
+// The report bodies live in serve/queries.cpp, shared with the rdd daemon:
+// `rdctl reachability` / `rdctl headerspace` return these exact bytes from
+// a resident fleet. Only the net15 demo banner and case-study epilogue are
+// CLI-local.
+//
 // Usage:
 //   reachability_query                       # query the net15 case study
 //   reachability_query <config-dir>          # your own network
@@ -25,41 +30,20 @@
 #include <cstdio>
 #include <cstring>
 
-#include "analysis/header_space.h"
-#include "analysis/packet_reachability.h"
 #include "analysis/reachability.h"
 #include "cli_util.h"
 #include "graph/instances.h"
 #include "model/network.h"
+#include "serve/queries.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
-
-namespace {
-
-/// Instance whose covered interfaces contain the address, if any.
-std::int64_t instance_attached_to(const rd::model::Network& network,
-                                  const rd::graph::InstanceSet& instances,
-                                  rd::ip::Ipv4Address addr) {
-  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
-    for (const auto p : instances.instances[i].processes) {
-      for (const auto itf : network.processes()[p].covered_interfaces) {
-        const auto& subnet = network.interfaces()[itf].subnet;
-        if (subnet && subnet->contains(addr)) return i;
-      }
-    }
-  }
-  return -1;
-}
-
-}  // namespace
 
 static int run(int argc, char** argv) {
   using namespace rd;
 
   std::vector<config::RouterConfig> configs;
-  analysis::ReachabilityAnalysis::Options options;
+  serve::ReachabilityRequest request;
   cli::ObsOptions obs_options;
-  bool symbolic = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     bool obs_error = false;
@@ -68,9 +52,9 @@ static int run(int argc, char** argv) {
       continue;
     }
     if (std::strcmp(argv[i], "--naive") == 0) {
-      options.engine = analysis::ReachabilityAnalysis::Engine::kNaive;
+      request.naive = true;
     } else if (std::strcmp(argv[i], "--symbolic") == 0) {
-      symbolic = true;
+      request.symbolic = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -81,7 +65,7 @@ static int run(int argc, char** argv) {
   } else {
     configs = synth::reparse(synth::make_net15().configs);
     const auto plan = synth::net15_plan();
-    options.external_prefixes = {plan.ab0, plan.external_left,
+    request.external_prefixes = {plan.ab0, plan.external_left,
                                  plan.external_right};
     std::printf("(querying the generated net15 case study; pass a config "
                 "directory for your own network)\n\n");
@@ -90,154 +74,36 @@ static int run(int argc, char** argv) {
     std::fprintf(stderr, "no configuration files found\n");
     return 2;
   }
+  if (positional.size() > 2) {
+    request.source = positional[1];
+    request.destination = positional[2];
+  }
 
   const auto network = model::Network::build(std::move(configs));
   const auto instances = graph::compute_instances(network);
-  const auto reach =
-      analysis::ReachabilityAnalysis::run(network, instances, options);
-  if (const auto warning = reach.convergence_warning(); !warning.empty()) {
-    std::fprintf(stderr, "%s\n", warning.c_str());
+  const auto report =
+      serve::reachability_report(network, instances, request);
+  if (!report.error.empty()) {
+    std::fwrite(report.error.data(), 1, report.error.size(), stderr);
   }
+  std::fwrite(report.output.data(), 1, report.output.size(), stdout);
+  if (report.exit_code != 0) return report.exit_code;
 
-  // --- Symbolic header-space mode --------------------------------------------
-  if (symbolic) {
-    analysis::HeaderSpace space(network, instances, reach);
-    if (positional.size() > 2) {
-      const auto a = ip::Ipv4Address::parse(positional[1]);
-      const auto b = ip::Ipv4Address::parse(positional[2]);
-      if (!a || !b) {
-        std::fprintf(stderr, "bad addresses\n");
-        return 2;
-      }
-      const auto ingress = space.attachment_interface(*a);
-      const auto egress = space.attachment_interface(*b);
-      if (!ingress || !egress) {
-        std::printf("%s attached: %s, %s attached: %s — unattached "
-                    "endpoints pass no packets\n",
-                    positional[1], ingress ? "yes" : "NO", positional[2],
-                    egress ? "yes" : "NO");
-        return obs_options.finish("reachability_query");
-      }
-      const auto itf_name = [&](model::InterfaceId id) {
-        const auto& itf = network.interfaces()[id];
-        return network.routers()[itf.router].hostname + " " + itf.name;
-      };
-      std::printf("%s enters at %s; %s sits behind %s\n", positional[1],
-                  itf_name(*ingress).c_str(), positional[2],
-                  itf_name(*egress).c_str());
-      const auto& predicate = space.pair_predicate(*ingress, *egress);
-      std::printf("exact packet set passing that ingress/egress pair "
-                  "(%zu atoms):\n",
-                  predicate.atom_count());
-      std::printf("%s",
-                  predicate.to_string(space.protocol_domain()).c_str());
-      analysis::FlowQuery query;
-      query.source = *a;
-      query.destination = *b;
-      const analysis::PacketReachability concrete(network, instances, reach);
-      std::printf("plain ip packet %s -> %s: %s (symbolic) / %s (concrete "
-                  "probe)\n",
-                  positional[1], positional[2],
-                  space.passes(query) ? "passes" : "blocked",
-                  std::string(to_string(concrete.evaluate(query))).c_str());
-      return obs_options.finish("reachability_query");
+  // The net15 demo question: can the two host blocks talk? (CLI-local
+  // epilogue; the daemon serves directories, never the generated demo.)
+  if (positional.empty() && !request.symbolic) {
+    analysis::ReachabilityAnalysis::Options options;
+    if (request.naive) {
+      options.engine = analysis::ReachabilityAnalysis::Engine::kNaive;
     }
-    // No explicit pair: check every "! rd-intent" assertion in the configs.
-    const auto intents = analysis::collect_intents(network);
-    if (intents.empty()) {
-      std::printf("no \"! rd-intent\" assertions declared in these "
-                  "configs; nothing to verify\n");
-      return obs_options.finish("reachability_query");
-    }
-    const auto outcomes = space.verify(intents);
-    std::size_t held = 0;
-    for (const auto& outcome : outcomes) {
-      if (outcome.holds) ++held;
-    }
-    std::printf("intent assertions: %zu, holding: %zu\n", outcomes.size(),
-                held);
-    for (const auto& outcome : outcomes) {
-      if (outcome.holds) {
-        std::printf("  ok: %s\n", outcome.intent.describe().c_str());
-        continue;
-      }
-      std::printf("  VIOLATED: %s", outcome.intent.describe().c_str());
-      if (outcome.witness) {
-        std::printf(" — witness packet %s",
-                    outcome.witness->describe().c_str());
-      }
-      std::printf("\n");
-    }
-    return obs_options.finish("reachability_query");
-  }
-
-  // Optional query: two addresses.
-  if (positional.size() > 2) {
-    const auto a = ip::Ipv4Address::parse(positional[1]);
-    const auto b = ip::Ipv4Address::parse(positional[2]);
-    if (!a || !b) {
-      std::fprintf(stderr, "bad addresses\n");
-      return 2;
-    }
-    const auto ia = instance_attached_to(network, instances, *a);
-    const auto ib = instance_attached_to(network, instances, *b);
-    if (ia < 0 || ib < 0) {
-      std::printf("address not attached to any routing instance\n");
-      return obs_options.finish("reachability_query");
-    }
-    std::printf("%s is attached to instance %lld; %s to instance %lld\n",
-                positional[1], static_cast<long long>(ia + 1), positional[2],
-                static_cast<long long>(ib + 1));
-    std::printf("%s -> %s: %s\n", positional[1], positional[2],
-                reach.instance_has_route_to(static_cast<std::uint32_t>(ia), *b)
-                    ? "route present"
-                    : "NO ROUTE");
-    std::printf("%s -> %s: %s\n", positional[2], positional[1],
-                reach.instance_has_route_to(static_cast<std::uint32_t>(ib), *a)
-                    ? "route present"
-                    : "NO ROUTE");
-    std::printf("two-way communication possible: %s\n",
-                reach.two_way_reachable(static_cast<std::uint32_t>(ia), *a,
-                                        static_cast<std::uint32_t>(ib), *b)
-                    ? "yes"
-                    : "no");
-    return obs_options.finish("reachability_query");
-  }
-
-  // Default report: per-instance route table sizes and Internet access.
-  std::printf("per-instance reachability after policy-aware propagation "
-              "(%zu fixpoint iterations):\n\n",
-              reach.iterations_used());
-  for (std::uint32_t i = 0; i < instances.instances.size(); ++i) {
-    const auto& inst = instances.instances[i];
-    std::printf("instance %u: %s", i + 1,
-                std::string(config::to_keyword(inst.protocol)).c_str());
-    if (inst.bgp_as) std::printf(" AS %u", *inst.bgp_as);
-    std::printf(", %zu routers\n", inst.router_count());
-    std::printf("  routes: %zu (external-origin: %zu), reaches Internet at "
-                "large: %s\n",
-                reach.instance_routes(i).size(), reach.external_route_count(i),
-                reach.instance_reaches_internet(i) ? "yes" : "no");
-  }
-
-  std::printf("\nprefixes announced to the external world: %zu\n",
-              reach.announced_externally().size());
-  std::size_t shown = 0;
-  for (const auto& route : reach.announced_externally()) {
-    if (++shown > 10) {
-      std::printf("  ...\n");
-      break;
-    }
-    std::printf("  %s\n", route.prefix.to_string().c_str());
-  }
-
-  // The net15 demo question: can the two host blocks talk?
-  if (positional.empty()) {
+    options.external_prefixes = request.external_prefixes;
+    const auto reach =
+        analysis::ReachabilityAnalysis::run(network, instances, options);
     const auto plan = synth::net15_plan();
     const auto a = ip::Ipv4Address(plan.ab2.network().value() + 257);
     const auto b = ip::Ipv4Address(plan.ab4.network().value() + 257);
-    const auto ia = instance_attached_to(network, instances, a);
-    const auto ib = instance_attached_to(network, instances, b);
+    const auto ia = serve::instance_attached_to(network, instances, a);
+    const auto ib = serve::instance_attached_to(network, instances, b);
     std::printf("\ncase-study question: can AB2 hosts (%s) and AB4 hosts "
                 "(%s) communicate?\n  -> %s (the paper's section 6.2 "
                 "finding: they cannot; the policy intersections are empty)\n",

@@ -1,0 +1,577 @@
+#include "config/serialize.h"
+
+#include <cstring>
+
+namespace rd::config {
+namespace {
+
+// --- Writer -----------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void addr(ip::Ipv4Address a) { u32(a.value()); }
+  void mask(ip::Netmask m) { u8(static_cast<std::uint8_t>(m.length())); }
+  void prefix(const ip::Prefix& p) {
+    u32(p.network().value());
+    u8(static_cast<std::uint8_t>(p.length()));
+  }
+
+  template <typename T, typename Fn>
+  void opt(const std::optional<T>& v, Fn&& write_value) {
+    boolean(v.has_value());
+    if (v) write_value(*v);
+  }
+  void opt_u16(const std::optional<std::uint16_t>& v) {
+    opt(v, [this](std::uint16_t x) { u16(x); });
+  }
+  void opt_u32(const std::optional<std::uint32_t>& v) {
+    opt(v, [this](std::uint32_t x) { u32(x); });
+  }
+  void opt_int(const std::optional<int>& v) {
+    opt(v, [this](int x) { u32(static_cast<std::uint32_t>(x)); });
+  }
+  void opt_str(const std::optional<std::string>& v) {
+    opt(v, [this](const std::string& x) { str(x); });
+  }
+  void opt_addr(const std::optional<ip::Ipv4Address>& v) {
+    opt(v, [this](ip::Ipv4Address x) { addr(x); });
+  }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& items, Fn&& write_item) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const auto& item : items) write_item(item);
+  }
+  void str_vec(const std::vector<std::string>& items) {
+    vec(items, [this](const std::string& s) { str(s); });
+  }
+
+ private:
+  std::string& out_;
+};
+
+// --- Reader -----------------------------------------------------------------
+
+/// Bounds-checked cursor over the payload. Every accessor returns false on
+/// truncation or an out-of-range tag; decode_parse_result propagates the
+/// first failure as nullopt. Sizes are additionally sanity-capped against
+/// the remaining byte count so a corrupt length cannot drive a
+/// multi-gigabyte reserve.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo = 0, hi = 0;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (std::uint16_t{hi} << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t lo = 0, hi = 0;
+    if (!u16(lo) || !u16(hi)) return false;
+    v = lo | (std::uint32_t{hi} << 16);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = lo | (std::uint64_t{hi} << 32);
+    return true;
+  }
+  bool boolean(bool& v) {
+    std::uint8_t b = 0;
+    if (!u8(b) || b > 1) return false;
+    v = b != 0;
+    return true;
+  }
+  bool size(std::size_t& v) {
+    std::uint64_t x = 0;
+    if (!u64(x)) return false;
+    v = static_cast<std::size_t>(x);
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n) || n > data_.size() - pos_) return false;
+    s.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool addr(ip::Ipv4Address& a) {
+    std::uint32_t v = 0;
+    if (!u32(v)) return false;
+    a = ip::Ipv4Address(v);
+    return true;
+  }
+  bool mask(ip::Netmask& m) {
+    std::uint8_t len = 0;
+    if (!u8(len) || len > 32) return false;
+    m = ip::Netmask::from_length(len);
+    return true;
+  }
+  bool prefix(ip::Prefix& p) {
+    std::uint32_t net = 0;
+    std::uint8_t len = 0;
+    if (!u32(net) || !u8(len) || len > 32) return false;
+    // Reject payloads whose stored network has host bits below the mask:
+    // a genuine encode always writes the canonical form.
+    const ip::Prefix candidate(ip::Ipv4Address(net), len);
+    if (candidate.network().value() != net) return false;
+    p = candidate;
+    return true;
+  }
+
+  template <typename T, typename Fn>
+  bool opt(std::optional<T>& v, Fn&& read_value) {
+    bool present = false;
+    if (!boolean(present)) return false;
+    if (!present) {
+      v.reset();
+      return true;
+    }
+    T value{};
+    if (!read_value(value)) return false;
+    v = std::move(value);
+    return true;
+  }
+  bool opt_u16(std::optional<std::uint16_t>& v) {
+    return opt(v, [this](std::uint16_t& x) { return u16(x); });
+  }
+  bool opt_u32(std::optional<std::uint32_t>& v) {
+    return opt(v, [this](std::uint32_t& x) { return u32(x); });
+  }
+  bool opt_int(std::optional<int>& v) {
+    return opt(v, [this](int& x) {
+      std::uint32_t raw = 0;
+      if (!u32(raw)) return false;
+      x = static_cast<int>(raw);
+      return true;
+    });
+  }
+  bool opt_str(std::optional<std::string>& v) {
+    return opt(v, [this](std::string& x) { return str(x); });
+  }
+  bool opt_addr(std::optional<ip::Ipv4Address>& v) {
+    return opt(v, [this](ip::Ipv4Address& x) { return addr(x); });
+  }
+
+  template <typename T, typename Fn>
+  bool vec(std::vector<T>& items, Fn&& read_item) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    // Every element costs at least one encoded byte; a count beyond the
+    // remaining bytes is structurally impossible.
+    if (n > data_.size() - pos_) return false;
+    items.clear();
+    items.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      T item{};
+      if (!read_item(item)) return false;
+      items.push_back(std::move(item));
+    }
+    return true;
+  }
+  bool str_vec(std::vector<std::string>& items) {
+    return vec(items, [this](std::string& s) { return str(s); });
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Per-node encode/decode -------------------------------------------------
+
+void encode_interface_address(Writer& w, const InterfaceAddress& a) {
+  w.addr(a.address);
+  w.mask(a.mask);
+}
+bool decode_interface_address(Reader& r, InterfaceAddress& a) {
+  return r.addr(a.address) && r.mask(a.mask);
+}
+
+void encode_interface(Writer& w, const InterfaceConfig& itf) {
+  w.str(itf.name);
+  w.opt(itf.address,
+        [&w](const InterfaceAddress& a) { encode_interface_address(w, a); });
+  w.vec(itf.secondary_addresses, [&w](const InterfaceAddress& a) {
+    encode_interface_address(w, a);
+  });
+  w.opt_str(itf.description);
+  w.opt_str(itf.access_group_in);
+  w.opt_str(itf.access_group_out);
+  w.boolean(itf.point_to_point);
+  w.boolean(itf.shutdown);
+  w.opt_u32(itf.bandwidth_kbps);
+  w.opt_u32(itf.ospf_cost);
+  w.boolean(itf.isis);
+  w.str_vec(itf.extra_lines);
+  w.size(itf.line);
+}
+bool decode_interface(Reader& r, InterfaceConfig& itf) {
+  return r.str(itf.name) &&
+         r.opt(itf.address,
+               [&r](InterfaceAddress& a) {
+                 return decode_interface_address(r, a);
+               }) &&
+         r.vec(itf.secondary_addresses,
+               [&r](InterfaceAddress& a) {
+                 return decode_interface_address(r, a);
+               }) &&
+         r.opt_str(itf.description) && r.opt_str(itf.access_group_in) &&
+         r.opt_str(itf.access_group_out) && r.boolean(itf.point_to_point) &&
+         r.boolean(itf.shutdown) && r.opt_u32(itf.bandwidth_kbps) &&
+         r.opt_u32(itf.ospf_cost) && r.boolean(itf.isis) &&
+         r.str_vec(itf.extra_lines) && r.size(itf.line);
+}
+
+void encode_acl_rule(Writer& w, const AclRule& rule) {
+  w.u8(static_cast<std::uint8_t>(rule.action));
+  w.boolean(rule.extended);
+  w.str(rule.protocol);
+  w.boolean(rule.any_source);
+  w.prefix(rule.source);
+  w.boolean(rule.any_destination);
+  w.prefix(rule.destination);
+  w.opt_u16(rule.destination_port);
+  w.size(rule.line);
+}
+bool decode_acl_rule(Reader& r, AclRule& rule) {
+  std::uint8_t action = 0;
+  if (!r.u8(action) || action > 1) return false;
+  rule.action = static_cast<FilterAction>(action);
+  return r.boolean(rule.extended) && r.str(rule.protocol) &&
+         r.boolean(rule.any_source) && r.prefix(rule.source) &&
+         r.boolean(rule.any_destination) && r.prefix(rule.destination) &&
+         r.opt_u16(rule.destination_port) && r.size(rule.line);
+}
+
+void encode_access_list(Writer& w, const AccessList& acl) {
+  w.str(acl.id);
+  w.boolean(acl.named);
+  w.boolean(acl.extended_block);
+  w.vec(acl.rules, [&w](const AclRule& rule) { encode_acl_rule(w, rule); });
+  w.size(acl.line);
+}
+bool decode_access_list(Reader& r, AccessList& acl) {
+  return r.str(acl.id) && r.boolean(acl.named) &&
+         r.boolean(acl.extended_block) &&
+         r.vec(acl.rules,
+               [&r](AclRule& rule) { return decode_acl_rule(r, rule); }) &&
+         r.size(acl.line);
+}
+
+void encode_prefix_list(Writer& w, const PrefixList& pl) {
+  w.str(pl.name);
+  w.vec(pl.entries, [&w](const PrefixListEntry& e) {
+    w.u32(e.sequence);
+    w.u8(static_cast<std::uint8_t>(e.action));
+    w.prefix(e.prefix);
+    w.opt_int(e.ge);
+    w.opt_int(e.le);
+  });
+}
+bool decode_prefix_list(Reader& r, PrefixList& pl) {
+  return r.str(pl.name) &&
+         r.vec(pl.entries, [&r](PrefixListEntry& e) {
+           std::uint8_t action = 0;
+           if (!r.u32(e.sequence) || !r.u8(action) || action > 1) return false;
+           e.action = static_cast<FilterAction>(action);
+           return r.prefix(e.prefix) && r.opt_int(e.ge) && r.opt_int(e.le);
+         });
+}
+
+void encode_as_path_list(Writer& w, const AsPathAccessList& list) {
+  w.str(list.id);
+  w.vec(list.entries, [&w](const AsPathEntry& e) {
+    w.u8(static_cast<std::uint8_t>(e.action));
+    w.str(e.regex);
+  });
+}
+bool decode_as_path_list(Reader& r, AsPathAccessList& list) {
+  return r.str(list.id) && r.vec(list.entries, [&r](AsPathEntry& e) {
+    std::uint8_t action = 0;
+    if (!r.u8(action) || action > 1) return false;
+    e.action = static_cast<FilterAction>(action);
+    return r.str(e.regex);
+  });
+}
+
+void encode_route_map(Writer& w, const RouteMap& map) {
+  w.str(map.name);
+  w.vec(map.clauses, [&w](const RouteMapClause& c) {
+    w.u8(static_cast<std::uint8_t>(c.action));
+    w.u32(c.sequence);
+    w.str_vec(c.match_ip_address_acls);
+    w.str_vec(c.match_prefix_lists);
+    w.str_vec(c.match_as_paths);
+    w.opt_u32(c.match_tag);
+    w.opt_u32(c.set_tag);
+    w.opt_u32(c.set_metric);
+    w.opt_u32(c.set_local_preference);
+    w.size(c.line);
+  });
+}
+bool decode_route_map(Reader& r, RouteMap& map) {
+  return r.str(map.name) && r.vec(map.clauses, [&r](RouteMapClause& c) {
+    std::uint8_t action = 0;
+    if (!r.u8(action) || action > 1) return false;
+    c.action = static_cast<FilterAction>(action);
+    return r.u32(c.sequence) && r.str_vec(c.match_ip_address_acls) &&
+           r.str_vec(c.match_prefix_lists) && r.str_vec(c.match_as_paths) &&
+           r.opt_u32(c.match_tag) && r.opt_u32(c.set_tag) &&
+           r.opt_u32(c.set_metric) && r.opt_u32(c.set_local_preference) &&
+           r.size(c.line);
+  });
+}
+
+void encode_router_stanza(Writer& w, const RouterStanza& s) {
+  w.u8(static_cast<std::uint8_t>(s.protocol));
+  w.opt_u32(s.process_id);
+  w.vec(s.networks, [&w](const NetworkStatement& n) {
+    w.addr(n.address);
+    w.mask(n.mask);
+    w.opt_u32(n.area);
+    w.size(n.line);
+  });
+  w.vec(s.aggregates, [&w](const AggregateAddress& a) {
+    w.addr(a.address);
+    w.mask(a.mask);
+    w.boolean(a.summary_only);
+  });
+  w.vec(s.redistributes, [&w](const Redistribute& red) {
+    w.u8(static_cast<std::uint8_t>(red.source));
+    w.u8(static_cast<std::uint8_t>(red.protocol));
+    w.opt_u32(red.process_id);
+    w.opt_str(red.route_map);
+    w.opt_u32(red.metric);
+    w.opt_u32(red.metric_type);
+    w.boolean(red.subnets);
+    w.size(red.line);
+  });
+  w.vec(s.distribute_lists, [&w](const DistributeList& d) {
+    w.str(d.acl);
+    w.boolean(d.inbound);
+    w.opt_str(d.interface);
+  });
+  w.vec(s.neighbors, [&w](const BgpNeighbor& n) {
+    w.addr(n.address);
+    w.u32(n.remote_as);
+    w.opt_str(n.distribute_list_in);
+    w.opt_str(n.distribute_list_out);
+    w.opt_str(n.prefix_list_in);
+    w.opt_str(n.prefix_list_out);
+    w.opt_str(n.route_map_in);
+    w.opt_str(n.route_map_out);
+    w.opt_str(n.update_source);
+    w.opt_str(n.description);
+    w.boolean(n.next_hop_self);
+    w.boolean(n.route_reflector_client);
+    w.size(n.line);
+  });
+  w.opt_addr(s.router_id);
+  w.str_vec(s.passive_interfaces);
+  w.boolean(s.passive_default);
+  w.opt_u32(s.default_metric);
+  w.boolean(s.synchronization);
+  w.size(s.line);
+}
+bool decode_router_stanza(Reader& r, RouterStanza& s) {
+  std::uint8_t protocol = 0;
+  if (!r.u8(protocol) ||
+      protocol > static_cast<std::uint8_t>(RoutingProtocol::kIsis)) {
+    return false;
+  }
+  s.protocol = static_cast<RoutingProtocol>(protocol);
+  if (!r.opt_u32(s.process_id)) return false;
+  if (!r.vec(s.networks, [&r](NetworkStatement& n) {
+        return r.addr(n.address) && r.mask(n.mask) && r.opt_u32(n.area) &&
+               r.size(n.line);
+      })) {
+    return false;
+  }
+  if (!r.vec(s.aggregates, [&r](AggregateAddress& a) {
+        return r.addr(a.address) && r.mask(a.mask) &&
+               r.boolean(a.summary_only);
+      })) {
+    return false;
+  }
+  if (!r.vec(s.redistributes, [&r](Redistribute& red) {
+        std::uint8_t source = 0, protocol_byte = 0;
+        if (!r.u8(source) ||
+            source > static_cast<std::uint8_t>(RedistributeSource::kProtocol) ||
+            !r.u8(protocol_byte) ||
+            protocol_byte > static_cast<std::uint8_t>(RoutingProtocol::kIsis)) {
+          return false;
+        }
+        red.source = static_cast<RedistributeSource>(source);
+        red.protocol = static_cast<RoutingProtocol>(protocol_byte);
+        return r.opt_u32(red.process_id) && r.opt_str(red.route_map) &&
+               r.opt_u32(red.metric) && r.opt_u32(red.metric_type) &&
+               r.boolean(red.subnets) && r.size(red.line);
+      })) {
+    return false;
+  }
+  if (!r.vec(s.distribute_lists, [&r](DistributeList& d) {
+        return r.str(d.acl) && r.boolean(d.inbound) && r.opt_str(d.interface);
+      })) {
+    return false;
+  }
+  if (!r.vec(s.neighbors, [&r](BgpNeighbor& n) {
+        return r.addr(n.address) && r.u32(n.remote_as) &&
+               r.opt_str(n.distribute_list_in) &&
+               r.opt_str(n.distribute_list_out) &&
+               r.opt_str(n.prefix_list_in) && r.opt_str(n.prefix_list_out) &&
+               r.opt_str(n.route_map_in) && r.opt_str(n.route_map_out) &&
+               r.opt_str(n.update_source) && r.opt_str(n.description) &&
+               r.boolean(n.next_hop_self) &&
+               r.boolean(n.route_reflector_client) && r.size(n.line);
+      })) {
+    return false;
+  }
+  return r.opt_addr(s.router_id) && r.str_vec(s.passive_interfaces) &&
+         r.boolean(s.passive_default) && r.opt_u32(s.default_metric) &&
+         r.boolean(s.synchronization) && r.size(s.line);
+}
+
+void encode_static_route(Writer& w, const StaticRoute& route) {
+  w.addr(route.destination);
+  w.mask(route.mask);
+  if (std::holds_alternative<ip::Ipv4Address>(route.next_hop)) {
+    w.u8(0);
+    w.addr(std::get<ip::Ipv4Address>(route.next_hop));
+  } else {
+    w.u8(1);
+    w.str(std::get<std::string>(route.next_hop));
+  }
+  w.opt_u32(route.administrative_distance);
+  w.size(route.line);
+}
+bool decode_static_route(Reader& r, StaticRoute& route) {
+  if (!r.addr(route.destination) || !r.mask(route.mask)) return false;
+  std::uint8_t tag = 0;
+  if (!r.u8(tag) || tag > 1) return false;
+  if (tag == 0) {
+    ip::Ipv4Address hop;
+    if (!r.addr(hop)) return false;
+    route.next_hop = hop;
+  } else {
+    std::string hop;
+    if (!r.str(hop)) return false;
+    route.next_hop = std::move(hop);
+  }
+  return r.opt_u32(route.administrative_distance) && r.size(route.line);
+}
+
+void encode_intent(Writer& w, const IntentDirective& intent) {
+  w.boolean(intent.expect_reachable);
+  w.prefix(intent.source);
+  w.prefix(intent.destination);
+  w.str(intent.protocol);
+  w.opt_u16(intent.port);
+  w.size(intent.line);
+}
+bool decode_intent(Reader& r, IntentDirective& intent) {
+  return r.boolean(intent.expect_reachable) && r.prefix(intent.source) &&
+         r.prefix(intent.destination) && r.str(intent.protocol) &&
+         r.opt_u16(intent.port) && r.size(intent.line);
+}
+
+}  // namespace
+
+std::string encode_parse_result(const ParseResult& result) {
+  std::string out;
+  Writer w(out);
+  w.u32(kParseFormatVersion);
+  const RouterConfig& c = result.config;
+  w.str(c.hostname);
+  w.str(c.source_file);
+  w.vec(c.interfaces,
+        [&w](const InterfaceConfig& itf) { encode_interface(w, itf); });
+  w.vec(c.router_stanzas,
+        [&w](const RouterStanza& s) { encode_router_stanza(w, s); });
+  w.vec(c.access_lists,
+        [&w](const AccessList& acl) { encode_access_list(w, acl); });
+  w.vec(c.prefix_lists,
+        [&w](const PrefixList& pl) { encode_prefix_list(w, pl); });
+  w.vec(c.as_path_lists,
+        [&w](const AsPathAccessList& l) { encode_as_path_list(w, l); });
+  w.vec(c.route_maps, [&w](const RouteMap& m) { encode_route_map(w, m); });
+  w.vec(c.static_routes,
+        [&w](const StaticRoute& route) { encode_static_route(w, route); });
+  w.str_vec(c.lint_suppressions);
+  w.vec(c.intents,
+        [&w](const IntentDirective& intent) { encode_intent(w, intent); });
+  w.size(c.line_count);
+  w.vec(result.diagnostics, [&w](const ParseDiagnostic& d) {
+    w.size(d.line);
+    w.str(d.message);
+  });
+  return out;
+}
+
+std::optional<ParseResult> decode_parse_result(std::string_view payload) {
+  Reader r(payload);
+  std::uint32_t version = 0;
+  if (!r.u32(version) || version != kParseFormatVersion) return std::nullopt;
+  ParseResult result;
+  RouterConfig& c = result.config;
+  const bool ok =
+      r.str(c.hostname) && r.str(c.source_file) &&
+      r.vec(c.interfaces,
+            [&r](InterfaceConfig& itf) { return decode_interface(r, itf); }) &&
+      r.vec(c.router_stanzas,
+            [&r](RouterStanza& s) { return decode_router_stanza(r, s); }) &&
+      r.vec(c.access_lists,
+            [&r](AccessList& acl) { return decode_access_list(r, acl); }) &&
+      r.vec(c.prefix_lists,
+            [&r](PrefixList& pl) { return decode_prefix_list(r, pl); }) &&
+      r.vec(c.as_path_lists,
+            [&r](AsPathAccessList& l) { return decode_as_path_list(r, l); }) &&
+      r.vec(c.route_maps,
+            [&r](RouteMap& m) { return decode_route_map(r, m); }) &&
+      r.vec(c.static_routes,
+            [&r](StaticRoute& route) {
+              return decode_static_route(r, route);
+            }) &&
+      r.str_vec(c.lint_suppressions) &&
+      r.vec(c.intents,
+            [&r](IntentDirective& intent) { return decode_intent(r, intent); }) &&
+      r.size(c.line_count) &&
+      r.vec(result.diagnostics, [&r](ParseDiagnostic& d) {
+        return r.size(d.line) && r.str(d.message);
+      });
+  if (!ok || !r.exhausted()) return std::nullopt;
+  return result;
+}
+
+}  // namespace rd::config

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "config/parser.h"
+
+namespace rd::config {
+
+/// Binary serialization of a ParseResult — the payload of the persistent
+/// parse store (pipeline/disk_store.h).
+///
+/// The format is a flat little-endian field dump in declaration order:
+/// every field of every AST node, including source-line provenance and the
+/// parse diagnostics, so a decoded result is indistinguishable from the
+/// parse that produced it (rule findings keep their file:line pointers, the
+/// writer round-trips, equality holds). Strings are u32-length-prefixed
+/// bytes; vectors are u32-count-prefixed elements; optionals are a u8
+/// presence flag.
+///
+/// Versioning: the payload starts with a u32 format version. `decode`
+/// returns nullopt — never a partial or misread result — when the version
+/// is not the current one, when any length runs past the buffer, or when
+/// any enum/tag byte is out of range. The disk store adds an outer
+/// magic + checksum envelope on top of this, so a truncated or bit-flipped
+/// store file is rejected before or during decode and the caller falls
+/// back to a cold parse.
+inline constexpr std::uint32_t kParseFormatVersion = 1;
+
+/// Serialize `result` to the versioned binary payload.
+std::string encode_parse_result(const ParseResult& result);
+
+/// Decode a payload produced by `encode_parse_result`. Returns nullopt on
+/// any structural problem (wrong version, truncation, bad tag, trailing
+/// bytes); never throws on malformed input.
+std::optional<ParseResult> decode_parse_result(std::string_view payload);
+
+}  // namespace rd::config

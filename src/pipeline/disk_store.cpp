@@ -1,0 +1,176 @@
+#include "pipeline/disk_store.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/obs.h"
+#include "util/hash.h"
+
+namespace rd::pipeline {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'P', 'S'};
+// magic + version + payload length + payload SHA-1.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 20;
+
+void put_u32(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v);
+  out[1] = static_cast<char>(v >> 8);
+  out[2] = static_cast<char>(v >> 16);
+  out[3] = static_cast<char>(v >> 24);
+}
+void put_u64(char* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+std::uint32_t get_u32(const char* in) {
+  return static_cast<std::uint8_t>(in[0]) |
+         (std::uint32_t{static_cast<std::uint8_t>(in[1])} << 8) |
+         (std::uint32_t{static_cast<std::uint8_t>(in[2])} << 16) |
+         (std::uint32_t{static_cast<std::uint8_t>(in[3])} << 24);
+}
+std::uint64_t get_u64(const char* in) {
+  return get_u32(in) | (std::uint64_t{get_u32(in + 4)} << 32);
+}
+
+/// Keys come from Sha1::hex, but the store is also reachable through tests
+/// and future tools; refuse anything that could escape the directory.
+bool valid_key(const std::string& key_hex) {
+  if (key_hex.empty() || key_hex.size() > 64) return false;
+  for (const char c : key_hex) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiskStore::DiskStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec || !std::filesystem::is_directory(directory_)) {
+    throw std::runtime_error("cannot create parse store directory " +
+                             directory_.string());
+  }
+}
+
+std::filesystem::path DiskStore::entry_path(const std::string& key_hex) const {
+  return directory_ / (key_hex + ".rdp");
+}
+
+std::optional<std::string> DiskStore::load(const std::string& key_hex) {
+  static obs::Counter& hit_counter = obs::counter("disk_store.load_hits");
+  static obs::Counter& reject_counter =
+      obs::counter("disk_store.load_rejects");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.loads;
+  }
+  if (!valid_key(key_hex)) return std::nullopt;
+  std::ifstream in(entry_path(key_hex), std::ios::binary);
+  if (!in) return std::nullopt;  // absent: neither hit nor reject
+
+  const auto reject = [&]() -> std::optional<std::string> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.load_rejects;
+    reject_counter.add();
+    return std::nullopt;
+  };
+
+  char header[kHeaderSize];
+  if (!in.read(header, kHeaderSize)) return reject();
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) return reject();
+  if (get_u32(header + 4) != kStoreVersion) return reject();
+  const std::uint64_t length = get_u64(header + 8);
+  // Cap before allocating: a corrupt length must not drive a huge reserve.
+  // 256 MiB is far beyond any real config parse payload.
+  if (length > (std::uint64_t{256} << 20)) return reject();
+  std::string payload(static_cast<std::size_t>(length), '\0');
+  if (length > 0 && !in.read(payload.data(), static_cast<std::streamsize>(
+                                                 length))) {
+    return reject();  // truncated
+  }
+  // Trailing bytes mean the length field lies; treat as corrupt.
+  if (in.peek() != std::ifstream::traits_type::eof()) return reject();
+  const auto digest = util::Sha1::hash(payload);
+  if (std::memcmp(digest.data(), header + 16, digest.size()) != 0) {
+    return reject();  // bit-flip anywhere in the payload
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.load_hits;
+    hit_counter.add();
+  }
+  return payload;
+}
+
+bool DiskStore::save(const std::string& key_hex, std::string_view payload) {
+  static obs::Counter& save_counter = obs::counter("disk_store.saves");
+  if (!valid_key(key_hex)) return false;
+  std::uint64_t temp_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    temp_id = next_temp_id_++;
+  }
+  const auto fail = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.save_failures;
+    return false;
+  };
+
+  char header[kHeaderSize];
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  put_u32(header + 4, kStoreVersion);
+  put_u64(header + 8, payload.size());
+  const auto digest = util::Sha1::hash(payload);
+  std::memcpy(header + 16, digest.data(), digest.size());
+
+  // Unique per (process, call) so concurrent writers never share a temp
+  // file; the final rename is what makes the entry visible.
+  const auto temp = directory_ / ("tmp." + std::to_string(::getpid()) + "." +
+                                  std::to_string(temp_id));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out.write(header, kHeaderSize) ||
+        !out.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()))) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return fail();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, entry_path(key_hex), ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return fail();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.saves;
+    save_counter.add();
+  }
+  return true;
+}
+
+bool DiskStore::contains(const std::string& key_hex) const {
+  if (!valid_key(key_hex)) return false;
+  std::error_code ec;
+  return std::filesystem::is_regular_file(entry_path(key_hex), ec);
+}
+
+DiskStore::Stats DiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rd::pipeline

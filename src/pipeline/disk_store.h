@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rd::pipeline {
+
+/// A content-addressed on-disk blob store: the persistence layer under
+/// ParseCache (DESIGN.md §14). Keys are the cache's SHA-1 content digests
+/// rendered as lowercase hex; values are opaque payloads (in practice
+/// config::encode_parse_result output). Because the key is a content hash,
+/// entries are immutable and never invalidated — a changed config text is a
+/// different key — so one store directory can be shared by many fleets,
+/// many daemons, and many successive process lifetimes.
+///
+/// File format: a fixed header (magic "RDPS", u32 format version, u64
+/// payload length, 20-byte SHA-1 of the payload) followed by the payload.
+/// `load` re-verifies all three, so a truncated, bit-flipped, or
+/// wrong-version file is *rejected* (nullopt) rather than misread; the
+/// caller then falls back to a cold parse, and the next `save` replaces the
+/// bad file. A rejected file is never trusted for its length alone.
+///
+/// Durability/atomicity: `save` writes to a unique temp file in the store
+/// directory and renames it over the final name. rename(2) is atomic on
+/// POSIX, so concurrent writers (threads or processes) racing on one key
+/// each install a complete file and readers only ever observe a fully
+/// written one. Save failures are reported, never thrown — persistence is
+/// an optimization, not a correctness requirement.
+class DiskStore {
+ public:
+  struct Stats {
+    std::size_t loads = 0;          // load() calls
+    std::size_t load_hits = 0;      // returned a verified payload
+    std::size_t load_rejects = 0;   // file present but failed verification
+    std::size_t saves = 0;          // save() calls that installed a file
+    std::size_t save_failures = 0;  // I/O errors (payload not persisted)
+  };
+
+  /// Opens (creating if needed) the store rooted at `directory`. Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit DiskStore(std::filesystem::path directory);
+
+  /// The verified payload for `key_hex`, or nullopt when absent, truncated,
+  /// corrupted, or written by a different format version.
+  std::optional<std::string> load(const std::string& key_hex);
+
+  /// Atomically persist `payload` under `key_hex`. Returns false (and
+  /// counts a failure) on I/O errors. Overwrites any existing entry.
+  bool save(const std::string& key_hex, std::string_view payload);
+
+  /// True when a (not-yet-verified) entry file exists for the key.
+  bool contains(const std::string& key_hex) const;
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+  Stats stats() const;
+
+  /// On-disk format version; bumped when the header layout changes. The
+  /// *payload* carries its own version (config::kParseFormatVersion), so
+  /// payload-format evolution does not require a store-format bump: a
+  /// stale payload fails its own decode and falls back to a cold parse.
+  static constexpr std::uint32_t kStoreVersion = 1;
+
+ private:
+  std::filesystem::path entry_path(const std::string& key_hex) const;
+
+  std::filesystem::path directory_;
+  mutable std::mutex mutex_;  // guards counters only; file I/O runs outside
+  Stats stats_;
+  std::uint64_t next_temp_id_ = 0;
+};
+
+}  // namespace rd::pipeline

@@ -2,61 +2,170 @@
 
 #include <utility>
 
+#include "config/serialize.h"
 #include "obs/obs.h"
+#include "pipeline/disk_store.h"
 #include "util/hash.h"
 
 namespace rd::pipeline {
+namespace {
+
+std::string key_hex(const std::array<std::uint8_t, 20>& key) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const auto byte : key) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
 
 std::shared_ptr<const config::ParseResult> ParseCache::parse(
     const std::string& text) {
   // Looked up once: the registry reference is stable for the process life,
   // so the hot path pays one relaxed load when counting is off.
   static obs::Counter& hit_counter = obs::counter("parse_cache.hits");
-  static obs::Counter& miss_counter = obs::counter("parse_cache.misses");
-  static obs::Gauge& duplicate_gauge =
-      obs::gauge("parse_cache.duplicate_parses");
   const Key key = util::Sha1::hash(text);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
       hit_counter.add();
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
+      return it->second.result;
     }
   }
+
+  // Memory miss. Try the persistent store before parsing: a verified
+  // payload decodes in a fraction of a parse. Verification (magic, version,
+  // length, checksum) lives in DiskStore::load; decode_parse_result rejects
+  // structurally bad payloads on top, so nothing short of a valid entry
+  // reaches the cache — anything else falls through to the cold parse.
+  if (store_ != nullptr) {
+    const auto hex = key_hex(key);
+    if (const auto payload = store_->load(hex)) {
+      if (auto decoded = config::decode_parse_result(*payload)) {
+        auto shared = std::make_shared<const config::ParseResult>(
+            std::move(*decoded));
+        std::lock_guard<std::mutex> lock(mutex_);
+        return insert_locked(key, std::move(shared), text.size(), true);
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++disk_rejects_;
+    }
+  }
+
   // Parse outside the lock; a concurrent miss on the same key parses too,
-  // and try_emplace below keeps whichever result lands first. A miss is
-  // counted only when the insert wins, so `misses == entries` always
-  // reconciles; the loser's work is a *duplicate parse* — a separate,
-  // scheduling-dependent stat (an obs gauge, not a deterministic counter).
+  // and the insert keeps whichever result lands first. A miss is counted
+  // only when the insert wins; the loser's work is a *duplicate parse* — a
+  // separate, scheduling-dependent stat (an obs gauge, not a deterministic
+  // counter).
   obs::Span span("parse_cache.parse", "pipeline");
   auto parsed =
       std::make_shared<const config::ParseResult>(config::parse_config(text));
+  if (store_ != nullptr) {
+    // Write-back so the next process lifetime starts warm. Failures are
+    // counted by the store and otherwise ignored: persistence is an
+    // optimization, never a correctness requirement.
+    store_->save(key_hex(key), config::encode_parse_result(*parsed));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = entries_.try_emplace(key, std::move(parsed));
-  if (inserted) {
+  return insert_locked(key, std::move(parsed), text.size(), false);
+}
+
+std::shared_ptr<const config::ParseResult> ParseCache::insert_locked(
+    const Key& key, std::shared_ptr<const config::ParseResult> parsed,
+    std::size_t cost, bool from_disk) {
+  static obs::Counter& hit_counter = obs::counter("parse_cache.hits");
+  static obs::Counter& miss_counter = obs::counter("parse_cache.misses");
+  static obs::Counter& disk_hit_counter =
+      obs::counter("parse_cache.disk_hits");
+  static obs::Gauge& duplicate_gauge =
+      obs::gauge("parse_cache.duplicate_parses");
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Lost the race: someone inserted while we parsed/decoded. Count the
+    // discarded work and serve the winner so all callers share one result.
+    ++hits_;
+    ++duplicate_parses_;
+    hit_counter.add();
+    duplicate_gauge.add();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
+    return it->second.result;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.result = std::move(parsed);
+  entry.cost = cost;
+  entry.lru_slot = lru_.begin();
+  auto result = entry.result;
+  entries_.emplace(key, std::move(entry));
+  bytes_ += cost;
+  if (from_disk) {
+    ++disk_hits_;
+    disk_hit_counter.add();
+  } else {
     ++misses_;
     miss_counter.add();
-  } else {
-    ++hits_;
-    hit_counter.add();
-    ++duplicate_parses_;
-    duplicate_gauge.add();
   }
-  return it->second;
+  evict_to_limit_locked();
+  return result;
+}
+
+void ParseCache::evict_to_limit_locked() {
+  if (byte_limit_ == 0) return;
+  static obs::Counter& eviction_counter =
+      obs::counter("parse_cache.evictions");
+  while (bytes_ > byte_limit_ && !lru_.empty()) {
+    eviction_counter.add();
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.cost;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+void ParseCache::set_byte_limit(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  byte_limit_ = bytes;
+  evict_to_limit_locked();
+}
+
+void ParseCache::attach_store(DiskStore* store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = store;
 }
 
 ParseCache::Stats ParseCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {hits_, misses_, duplicate_parses_, entries_.size()};
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.duplicate_parses = duplicate_parses_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.byte_limit = byte_limit_;
+  s.evictions = evictions_;
+  s.disk_hits = disk_hits_;
+  s.disk_rejects = disk_rejects_;
+  return s;
 }
 
 void ParseCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
   duplicate_parses_ = 0;
+  evictions_ = 0;
+  disk_hits_ = 0;
+  disk_rejects_ = 0;
 }
 
 }  // namespace rd::pipeline

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,46 +13,81 @@
 
 namespace rd::pipeline {
 
+class DiskStore;
+
 /// A content-addressed memo of per-router parse results, the cacheable unit
-/// of the snapshot-series workload (paper §8.2): between consecutive
-/// snapshots of a network, almost every router's configuration file is
-/// byte-identical, so its parse — the front end's dominant cost — can be
-/// reused verbatim.
+/// of the snapshot-series workload (paper §8.2) and the resident state of
+/// the rdd analysis daemon: between consecutive snapshots of a network —
+/// and between consecutive queries against a resident fleet — almost every
+/// router's configuration file is byte-identical, so its parse (the front
+/// end's dominant cost) can be reused verbatim.
 ///
 /// Keying: SHA-1 of the configuration text (util/hash.h, shared with the
 /// anonymizer). The key depends on nothing but content, so identical texts
-/// dedup across routers, networks, and snapshots, and invalidation is
-/// automatic — a changed text is a different key. Entries are immutable
-/// `shared_ptr<const ParseResult>`s; the cache never evicts (a fleet's
-/// worth of parsed configs is small, and eviction would reintroduce the
-/// cold-path cost it exists to remove).
+/// dedup across routers, networks, fleets, and snapshots, and invalidation
+/// is automatic — a changed text is a different key. Entries are immutable
+/// `shared_ptr<const ParseResult>`s.
+///
+/// Memory bound: by default the cache never evicts (a fleet's worth of
+/// parsed configs is small). `set_byte_limit` arms an LRU eviction policy:
+/// each entry is charged its configuration text's byte size (a stable,
+/// content-only proxy for the parse's footprint), and inserts evict
+/// least-recently-used entries until the charged total fits the cap. An
+/// evicted entry's result stays alive for callers already holding it; only
+/// the memo forgets it.
+///
+/// Persistence: `attach_store` plugs in a DiskStore (content-addressed,
+/// survives restarts, shared across fleets and processes). A memory miss
+/// then tries the store before parsing — a verified stored payload is
+/// decoded (config::decode_parse_result) instead of parsed — and a cold
+/// parse is written back. A truncated/corrupt/stale-format store entry is
+/// rejected by verification and falls back to the cold parse path; it is
+/// never trusted. The store pointer is not owned and must outlive the
+/// cache; attach it before concurrent use.
 ///
 /// Thread safety: `parse` may be called concurrently from ThreadPool tasks.
-/// Hash and parse run outside the lock; only the map lookup/insert and the
-/// hit/miss counters are serialized. When two threads race to parse the
-/// same new text, both parse but the first insert wins and both return the
-/// winning entry, so callers always share one result per content key.
+/// Hash, store I/O, decode, and parse run outside the lock; only the map
+/// lookup/insert, LRU list, and counters are serialized. When two threads
+/// race to produce the same new key, the first insert wins and both return
+/// the winning entry, so callers always share one result per content key.
 ///
-/// Accounting: a miss is counted when an insert wins, so `misses ==
-/// entries` always; every other call is a hit (`hits + misses` = total
-/// calls) — both counts are therefore scheduling-independent. A racer
-/// whose parse is discarded additionally bumps `duplicate_parses`, the
-/// only scheduling-dependent figure (wasted work, not set semantics).
+/// Accounting: a `miss` is counted when a *parsed* insert wins, a
+/// `disk_hit` when a *decoded* insert wins; every other call is a hit.
+/// Without eviction or a store, `misses == entries` always (the PR 2
+/// contract). With eviction, a re-parse after eviction counts as a fresh
+/// miss (or disk hit), so `misses >= entries`. `duplicate_parses` counts
+/// lost races — parsed or decoded, then discarded — the only
+/// scheduling-dependent figure.
 class ParseCache {
  public:
   struct Stats {
-    std::size_t hits = 0;    // calls served an existing entry
-    std::size_t misses = 0;  // calls whose parse was inserted (== entries)
-    std::size_t duplicate_parses = 0;  // lost races: parsed, then discarded
+    std::size_t hits = 0;    // calls served an in-memory entry
+    std::size_t misses = 0;  // calls whose cold parse was inserted
+    std::size_t duplicate_parses = 0;  // lost races: work done, discarded
     std::size_t entries = 0;           // distinct content keys resident
+    std::size_t bytes = 0;        // charged bytes resident (text sizes)
+    std::size_t byte_limit = 0;   // LRU cap; 0 = unbounded
+    std::size_t evictions = 0;    // entries dropped by the LRU policy
+    std::size_t disk_hits = 0;    // calls served by decoding a store entry
+    std::size_t disk_rejects = 0; // store payloads that failed decode
   };
 
   /// Return the parse of `text`, memoized by content hash.
   std::shared_ptr<const config::ParseResult> parse(const std::string& text);
 
+  /// Arm (or, with 0, disarm) the LRU byte cap. Applies immediately:
+  /// setting a cap below the resident total evicts down to it.
+  void set_byte_limit(std::size_t bytes);
+
+  /// Attach (nullptr: detach) the persistent store. Not owned; must
+  /// outlive the cache. Call before concurrent use.
+  void attach_store(DiskStore* store);
+  DiskStore* store() const noexcept { return store_; }
+
   Stats stats() const;
 
-  /// Drop every entry and reset the counters.
+  /// Drop every entry and reset the counters. Leaves the byte limit and
+  /// the attached store in place.
   void clear();
 
  private:
@@ -66,13 +102,31 @@ class ParseCache {
       return h;
     }
   };
+  struct Entry {
+    std::shared_ptr<const config::ParseResult> result;
+    std::size_t cost = 0;               // charged bytes (source text size)
+    std::list<Key>::iterator lru_slot;  // position in lru_ (front = hottest)
+  };
+
+  /// Insert under the lock; returns the resident entry (the winner when a
+  /// race lost). `from_disk` routes the accounting.
+  std::shared_ptr<const config::ParseResult> insert_locked(
+      const Key& key, std::shared_ptr<const config::ParseResult> parsed,
+      std::size_t cost, bool from_disk);
+  void evict_to_limit_locked();
 
   mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const config::ParseResult>, KeyHash>
-      entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // most recently used at the front
+  std::size_t bytes_ = 0;
+  std::size_t byte_limit_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t duplicate_parses_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t disk_hits_ = 0;
+  std::size_t disk_rejects_ = 0;
+  DiskStore* store_ = nullptr;
 };
 
 }  // namespace rd::pipeline

@@ -23,6 +23,27 @@ model::Network build_network_cached(const std::vector<std::string>& texts,
   return model::Network::build_parsed(std::move(parses));
 }
 
+model::Network build_network_cached(const std::vector<std::string>& texts,
+                                    const std::vector<std::string>& names,
+                                    ParseCache& cache,
+                                    util::ThreadPool& pool) {
+  auto shared = util::parallel_map(
+      pool, texts,
+      [&cache](const std::string& text) { return cache.parse(text); });
+  std::vector<config::ParseResult> parses;
+  parses.reserve(shared.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    config::ParseResult copy = *shared[i];
+    if (!names.empty()) {
+      // Reproduce parse_config(text, name) on the content-keyed parse.
+      copy.config.source_file = names[i];
+      if (copy.config.hostname.empty()) copy.config.hostname = names[i];
+    }
+    parses.push_back(std::move(copy));
+  }
+  return model::Network::build_parsed(std::move(parses));
+}
+
 SeriesReport analyze_snapshot_series(const std::vector<SnapshotInput>& series,
                                      ParseCache& cache,
                                      util::ThreadPool& pool) {

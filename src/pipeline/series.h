@@ -56,6 +56,20 @@ model::Network build_network_cached(const std::vector<std::string>& texts,
                                     ParseCache& cache,
                                     util::ThreadPool& pool);
 
+/// Like the above, but stamps per-file source provenance onto the cached
+/// parses. The cache keys on content alone (so one text shared by many
+/// files still costs one parse); `names[i]` is then applied to the copy of
+/// parse `i` exactly the way `config::parse_config(text, name)` would have:
+/// `source_file = name`, and a hostname-less config takes the name as its
+/// hostname. This is the construction the rdd daemon and the directory-mode
+/// CLIs share, so a resident fleet and a one-shot run build byte-identical
+/// models with identical finding provenance. `names` must be empty (no
+/// provenance) or `texts.size()` long.
+model::Network build_network_cached(const std::vector<std::string>& texts,
+                                    const std::vector<std::string>& names,
+                                    ParseCache& cache,
+                                    util::ThreadPool& pool);
+
 /// Analyze N ordered snapshots incrementally. The cache persists across
 /// snapshots (and across calls — prime it with one series, keep it for the
 /// next), so an unchanged router costs one hash instead of one parse.

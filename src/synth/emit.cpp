@@ -84,6 +84,22 @@ std::vector<std::string> load_network_texts(
   return texts;
 }
 
+LoadedTexts load_network_texts_named(
+    const std::filesystem::path& directory) {
+  LoadedTexts out;
+  const auto paths = config_paths(directory);
+  out.texts.reserve(paths.size());
+  out.names.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) continue;
+    out.texts.emplace_back((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    out.names.push_back(path.filename().string());
+  }
+  return out;
+}
+
 std::vector<config::RouterConfig> reparse(
     const std::vector<config::RouterConfig>& configs) {
   std::vector<config::RouterConfig> out;

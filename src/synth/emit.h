@@ -27,6 +27,18 @@ std::vector<config::RouterConfig> load_network(
 std::vector<std::string> load_network_texts(
     const std::filesystem::path& directory);
 
+/// The raw texts of every "config*" file plus their basenames, in the same
+/// stable order. The names feed the parse cache's provenance stamping
+/// (pipeline::build_network_cached with names): a cached build labels each
+/// router by file name exactly as `load_network` would, so cache-backed and
+/// direct builds produce identical finding provenance — the property the
+/// rdd daemon's byte-identity contract depends on.
+struct LoadedTexts {
+  std::vector<std::string> texts;
+  std::vector<std::string> names;
+};
+LoadedTexts load_network_texts_named(const std::filesystem::path& directory);
+
 /// Serialize the configs to text in memory (no filesystem round trip) and
 /// re-parse — the canonical way to run the pipeline on generator output so
 /// the analyses always consume configuration *text*.

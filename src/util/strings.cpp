@@ -1,6 +1,8 @@
 #include "util/strings.h"
 
+#include <cstdarg>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 
 namespace rd::util {
@@ -136,6 +138,23 @@ bool parse_u32(std::string_view s, std::uint32_t& out) noexcept {
   }
   out = static_cast<std::uint32_t>(v);
   return true;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(needed) + 1,
+                   fmt, args);
+    out.resize(old + static_cast<std::size_t>(needed));
+  }
+  va_end(args);
 }
 
 }  // namespace rd::util

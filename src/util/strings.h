@@ -36,6 +36,15 @@ std::string to_lower(std::string_view s);
 /// Join elements with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// printf-append into a string. The formatting engine is vsnprintf, so the
+/// produced bytes match std::printf exactly — the property the serve
+/// layer's "daemon response == one-shot CLI stdout" contract rests on
+/// (serve/queries.cpp builds every report through this).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...);
+
 /// True if every character is an ASCII digit (and the string is non-empty).
 bool is_all_digits(std::string_view s) noexcept;
 

@@ -132,6 +132,30 @@ void ThreadPool::run_indexed(std::size_t n,
   }
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // Concurrency 1: no background worker will ever drain the queue, so
+    // the degenerate pool runs the task inline — same serial semantics
+    // run_indexed has at this size.
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+    if (obs::counting_enabled()) {
+      obs::gauge("pool.tasks_enqueued").add(1);
+      obs::gauge("pool.queue_depth").set(queue_.size());
+    }
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 std::size_t ThreadPool::default_thread_count() {
   if (const char* env = std::getenv("RD_THREADS")) {
     std::uint64_t parsed = 0;

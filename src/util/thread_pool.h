@@ -42,6 +42,21 @@ class ThreadPool {
   /// scheduling.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Fire-and-forget: run `fn` on a background worker as soon as one is
+  /// free. With zero background workers (a pool of concurrency 1), `fn`
+  /// runs inline before `post` returns — the serial degeneration the
+  /// fork/join path has, so a 1-thread rdd daemon processes requests
+  /// synchronously in arrival order. Posted tasks interleave with
+  /// `run_indexed` helper tasks on the same queue; a posted task may itself
+  /// call `run_indexed` on this pool (the caller-participates rule keeps
+  /// that deadlock-free). Exceptions must not escape `fn` (std::terminate).
+  void post(std::function<void()> fn);
+
+  /// Tasks sitting in the queue, not yet claimed by a worker (posted tasks
+  /// plus unclaimed run_indexed helpers). A scheduling observation — racy
+  /// by nature — surfaced as the rdd stats endpoint's queue depth.
+  std::size_t queue_depth() const;
+
   /// Worker count from the environment: `RD_THREADS`, when it parses as an
   /// integer in [1, 1024]; anything else (unset, empty, non-numeric, zero,
   /// negative, absurd) falls back to `hardware_concurrency` (minimum 1).
@@ -51,7 +66,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;

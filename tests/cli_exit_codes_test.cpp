@@ -105,6 +105,31 @@ TEST_F(CliExitCodesTest, GoodInvocationsStillExitZero) {
   // The guarded mains must not change the success leg: --help is exit 0.
   EXPECT_EQ(run_tool("audit_network", "--help"), 0);
   EXPECT_EQ(run_tool("rdlint", "--help"), 0);
+  EXPECT_EQ(run_tool("rdd", "--help"), 0);
+  EXPECT_EQ(run_tool("rdctl", "--help"), 0);
+}
+
+TEST_F(CliExitCodesTest, DaemonAndClientUsageErrorsExitTwo) {
+  // rdd: missing fleet, missing listener, malformed --fleet spec, and a
+  // fleet directory that is actually a file are all usage/I-O errors.
+  EXPECT_EQ(run_tool("rdd", "--socket " + (dir_ / "s.sock").string()), 2);
+  EXPECT_EQ(run_tool("rdd", "--fleet corp=" + dir_.string()), 2);
+  EXPECT_EQ(run_tool("rdd", "--socket " + (dir_ / "s.sock").string() +
+                                " --fleet corp"),
+            2);
+  EXPECT_EQ(run_tool("rdd", "--socket " + (dir_ / "s.sock").string() +
+                                " --fleet corp=" + truncated_),
+            2);
+  EXPECT_EQ(run_tool("rdd", "--tcp 99999 --fleet corp=" + dir_.string()), 2);
+
+  // rdctl: no op, no transport, both transports, dead socket.
+  EXPECT_EQ(run_tool("rdctl", "--socket " + (dir_ / "s.sock").string()), 2);
+  EXPECT_EQ(run_tool("rdctl", "ping"), 2);
+  EXPECT_EQ(run_tool("rdctl", "--socket x --tcp 7440 ping"), 2);
+  EXPECT_EQ(run_tool("rdctl",
+                     "--socket " + (dir_ / "no-daemon.sock").string() +
+                         " ping"),
+            2);
 }
 
 }  // namespace

@@ -1,0 +1,350 @@
+// The persistence layer under the parse cache (DESIGN.md §14): the
+// ParseResult binary codec must round-trip losslessly (byte-stable
+// re-encode, model-identical rebuild), the content-addressed DiskStore
+// must verify what it loads — truncation, bit-flips, bad magic, and
+// future format versions are rejected, never misread — and the cache+store
+// composite must serve a restart entirely from disk, fall back to a cold
+// parse on corruption, bound its memory under the LRU byte cap, and
+// survive a multi-threaded hammer with consistent accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/parser.h"
+#include "config/serialize.h"
+#include "config/writer.h"
+#include "model/network.h"
+#include "pipeline/disk_store.h"
+#include "pipeline/parse_cache.h"
+#include "pipeline/pipeline.h"
+#include "synth/archetypes.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace rd {
+namespace {
+
+std::vector<std::string> enterprise_texts() {
+  synth::ManagedEnterpriseParams params;
+  params.regions = 2;
+  params.spokes_per_region = 5;
+  params.ebgp_spoke_rate = 0.3;
+  std::vector<std::string> texts;
+  for (const auto& cfg : synth::make_managed_enterprise(params).configs) {
+    texts.push_back(config::write_config(cfg));
+  }
+  return texts;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --- Codec ------------------------------------------------------------------
+
+TEST(ParseResultCodec, RoundTripIsLosslessAndByteStable) {
+  const auto texts = enterprise_texts();
+  ASSERT_FALSE(texts.empty());
+  std::vector<config::RouterConfig> parsed;
+  std::vector<config::RouterConfig> decoded;
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const auto name = "config" + std::to_string(i + 1);
+    const auto result = config::parse_config(texts[i], name);
+    const auto encoded = config::encode_parse_result(result);
+    const auto back = config::decode_parse_result(encoded);
+    ASSERT_TRUE(back.has_value()) << name;
+    // Byte-stable: decode(encode(x)) re-encodes to the same bytes, so the
+    // codec has no lossy field.
+    EXPECT_EQ(config::encode_parse_result(*back), encoded) << name;
+    EXPECT_EQ(back->config.hostname, result.config.hostname);
+    EXPECT_EQ(back->config.source_file, name);
+    ASSERT_EQ(back->diagnostics.size(), result.diagnostics.size());
+    for (std::size_t d = 0; d < result.diagnostics.size(); ++d) {
+      EXPECT_EQ(back->diagnostics[d].line, result.diagnostics[d].line);
+      EXPECT_EQ(back->diagnostics[d].message, result.diagnostics[d].message);
+    }
+    parsed.push_back(result.config);
+    decoded.push_back(back->config);
+  }
+  // The decisive equivalence: a network built from decoded results is
+  // model-identical (canonical serialization) to one built from parses.
+  const auto direct = model::Network::build(std::move(parsed));
+  const auto thawed = model::Network::build(std::move(decoded));
+  EXPECT_EQ(pipeline::network_signature(direct),
+            pipeline::network_signature(thawed));
+}
+
+TEST(ParseResultCodec, PreservesDiagnostics) {
+  const auto result = config::parse_config(
+      "hostname diag-router\n"
+      "utter gibberish line\n"
+      "interface Ethernet0\n"
+      " ip address 10.0.0.1 255.255.255.0\n"
+      " another unknown directive\n",
+      "configX");
+  ASSERT_FALSE(result.diagnostics.empty());
+  const auto back =
+      config::decode_parse_result(config::encode_parse_result(result));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->diagnostics.size(), result.diagnostics.size());
+}
+
+TEST(ParseResultCodec, RejectsMangledPayloads) {
+  const auto result = config::parse_config("hostname r1\n", "config1");
+  const auto encoded = config::encode_parse_result(result);
+  ASSERT_GT(encoded.size(), 8u);
+
+  EXPECT_FALSE(config::decode_parse_result(""));
+  // Truncated anywhere: no partial results.
+  for (const std::size_t cut : {encoded.size() - 1, encoded.size() / 2,
+                                std::size_t{3}}) {
+    EXPECT_FALSE(config::decode_parse_result(
+        std::string_view(encoded).substr(0, cut)))
+        << "cut at " << cut;
+  }
+  // Trailing bytes: the payload must be exhausted exactly.
+  EXPECT_FALSE(config::decode_parse_result(encoded + "x"));
+  // A future format version is not guessed at.
+  auto future = encoded;
+  future[0] = static_cast<char>(config::kParseFormatVersion + 1);
+  EXPECT_FALSE(config::decode_parse_result(future));
+}
+
+// --- DiskStore --------------------------------------------------------------
+
+TEST(DiskStore, SaveLoadRoundTrip) {
+  pipeline::DiskStore store(fresh_dir("rd_store_roundtrip"));
+  const std::string payload = "some opaque payload \x01\x02\x00 bytes";
+  const auto key = util::Sha1::hex(payload);
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_FALSE(store.load(key).has_value());
+  ASSERT_TRUE(store.save(key, payload));
+  EXPECT_TRUE(store.contains(key));
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.saves, 1u);
+  EXPECT_EQ(stats.load_hits, 1u);
+  EXPECT_EQ(stats.load_rejects, 0u);
+}
+
+TEST(DiskStore, RejectsCorruptEntries) {
+  const auto dir = fresh_dir("rd_store_corrupt");
+  pipeline::DiskStore store(dir);
+  const std::string payload(1000, 'p');
+  const auto key = util::Sha1::hex(payload);
+  ASSERT_TRUE(store.save(key, payload));
+  const auto path = dir / (key + ".rdp");
+  ASSERT_TRUE(std::filesystem::is_regular_file(path));
+  const auto original_size = std::filesystem::file_size(path);
+
+  const auto rewrite = [&](auto mutate) {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    mutate(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Truncated mid-payload.
+  rewrite([&](std::string& b) { b.resize(original_size - 7); });
+  EXPECT_FALSE(store.load(key).has_value());
+  // Truncated mid-header.
+  ASSERT_TRUE(store.save(key, payload));
+  rewrite([](std::string& b) { b.resize(10); });
+  EXPECT_FALSE(store.load(key).has_value());
+  // A flipped payload bit fails the checksum.
+  ASSERT_TRUE(store.save(key, payload));
+  rewrite([](std::string& b) { b[b.size() - 3] ^= 0x40; });
+  EXPECT_FALSE(store.load(key).has_value());
+  // Bad magic.
+  ASSERT_TRUE(store.save(key, payload));
+  rewrite([](std::string& b) { b[0] = 'X'; });
+  EXPECT_FALSE(store.load(key).has_value());
+  // A future store version is rejected, not misread.
+  ASSERT_TRUE(store.save(key, payload));
+  rewrite([](std::string& b) {
+    b[4] = static_cast<char>(pipeline::DiskStore::kStoreVersion + 1);
+  });
+  EXPECT_FALSE(store.load(key).has_value());
+  // Trailing bytes beyond the declared length.
+  ASSERT_TRUE(store.save(key, payload));
+  rewrite([](std::string& b) { b += "extra"; });
+  EXPECT_FALSE(store.load(key).has_value());
+
+  EXPECT_EQ(store.stats().load_rejects, 6u);
+  // The healthy copy still loads.
+  ASSERT_TRUE(store.save(key, payload));
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+// --- ParseCache + DiskStore -------------------------------------------------
+
+TEST(ParseCacheStore, RestartServesEntirelyFromDisk) {
+  const auto dir = fresh_dir("rd_store_restart");
+  const auto texts = enterprise_texts();
+
+  pipeline::DiskStore store_a(dir);
+  pipeline::ParseCache cold;
+  cold.attach_store(&store_a);
+  for (const auto& text : texts) cold.parse(text);
+  const auto cold_stats = cold.stats();
+  EXPECT_EQ(cold_stats.misses, cold_stats.entries);
+  EXPECT_EQ(cold_stats.disk_hits, 0u);
+  EXPECT_EQ(store_a.stats().saves, cold_stats.entries);
+
+  // "Restart": a fresh cache and store over the same directory (a new
+  // process lifetime). Every parse must come back from disk.
+  pipeline::DiskStore store_b(dir);
+  pipeline::ParseCache warm;
+  warm.attach_store(&store_b);
+  std::vector<std::shared_ptr<const config::ParseResult>> results;
+  for (const auto& text : texts) results.push_back(warm.parse(text));
+  const auto warm_stats = warm.stats();
+  EXPECT_EQ(warm_stats.misses, 0u) << "restart must not reparse";
+  EXPECT_EQ(warm_stats.disk_hits, warm_stats.entries);
+  EXPECT_EQ(warm_stats.disk_rejects, 0u);
+
+  // And the thawed results build the same model as direct parses.
+  std::vector<config::RouterConfig> thawed;
+  for (const auto& r : results) thawed.push_back(r->config);
+  std::vector<config::RouterConfig> reference;
+  for (const auto& text : texts) {
+    reference.push_back(config::parse_config(text).config);
+  }
+  EXPECT_EQ(pipeline::network_signature(model::Network::build(
+                std::move(thawed))),
+            pipeline::network_signature(model::Network::build(
+                std::move(reference))));
+}
+
+TEST(ParseCacheStore, CorruptEntryFallsBackToColdParse) {
+  const auto dir = fresh_dir("rd_store_fallback");
+  const std::string text =
+      "hostname victim\n"
+      "interface Ethernet0\n"
+      " ip address 10.1.2.3 255.255.255.0\n";
+  {
+    pipeline::DiskStore store(dir);
+    pipeline::ParseCache cache;
+    cache.attach_store(&store);
+    cache.parse(text);
+  }
+  // Flip one byte inside the stored payload (past the 36-byte header).
+  const auto path = dir / (util::Sha1::hex(text) + ".rdp");
+  ASSERT_TRUE(std::filesystem::is_regular_file(path));
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  pipeline::DiskStore store(dir);
+  pipeline::ParseCache cache;
+  cache.attach_store(&store);
+  const auto result = cache.parse(text);  // must not crash, must be correct
+  EXPECT_EQ(result->config.hostname, "victim");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "corruption falls back to a cold parse";
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(store.stats().load_rejects, 1u);
+  // The cold parse overwrote the bad entry; a third lifetime disk-hits.
+  pipeline::ParseCache healed;
+  healed.attach_store(&store);
+  healed.parse(text);
+  EXPECT_EQ(healed.stats().disk_hits, 1u);
+}
+
+TEST(ParseCacheStore, ByteCapEvictsLruAndStoreRefills) {
+  const auto dir = fresh_dir("rd_store_lru");
+  pipeline::DiskStore store(dir);
+  pipeline::ParseCache cache;
+  cache.attach_store(&store);
+
+  std::vector<std::string> texts;
+  for (int i = 0; i < 4; ++i) {
+    texts.push_back("hostname lru-" + std::to_string(i) + "\n" +
+                    std::string(200, '!').insert(0, "! pad ") + "\n");
+  }
+  // Cap at roughly two entries' charged bytes.
+  cache.set_byte_limit(2 * texts[0].size() + 10);
+  for (const auto& text : texts) cache.parse(text);
+  auto stats = cache.stats();
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_LE(stats.bytes, stats.byte_limit);
+  EXPECT_LE(stats.entries, 2u);
+
+  // texts[0] was evicted (least recently used); re-parsing it is a miss
+  // for the memory cache but a hit for the store — no reparse.
+  cache.parse(texts[0]);
+  stats = cache.stats();
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_LE(stats.bytes, stats.byte_limit);
+
+  // Touch order matters: re-parse texts[2] (resident), then insert a new
+  // text; texts[3] (now least recent) goes, texts[2] stays.
+  cache.set_byte_limit(0);  // lift the cap...
+  cache.clear();
+  cache.set_byte_limit(2 * texts[0].size() + 10);
+  cache.parse(texts[2]);
+  cache.parse(texts[3]);
+  cache.parse(texts[2]);  // touch: texts[2] most recent
+  cache.parse(texts[1]);  // evicts texts[3]
+  cache.parse(texts[2]);  // still resident: a memory hit
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(ParseCacheStore, ConcurrentHammerKeepsAccountingConsistent) {
+  const auto dir = fresh_dir("rd_store_hammer");
+  pipeline::DiskStore store(dir);
+  pipeline::ParseCache cache;
+  cache.attach_store(&store);
+  cache.set_byte_limit(1 << 16);  // small enough to force evictions
+
+  std::vector<std::string> texts;
+  for (int i = 0; i < 24; ++i) {
+    texts.push_back("hostname hammer-" + std::to_string(i) +
+                    "\ninterface Ethernet0\n ip address 10.9." +
+                    std::to_string(i) + ".1 255.255.255.0\n" +
+                    std::string(4096, '!') + "\n");
+  }
+
+  util::ThreadPool pool(8);
+  constexpr std::size_t kCalls = 800;
+  pool.run_indexed(kCalls, [&](std::size_t i) {
+    const auto& text = texts[(i * 7) % texts.size()];
+    const auto result = cache.parse(text);
+    ASSERT_NE(result, nullptr);
+    ASSERT_EQ(result->config.hostname,
+              "hammer-" + std::to_string((i * 7) % texts.size()));
+  });
+
+  const auto stats = cache.stats();
+  // Every call is exactly one of: memory hit, cold-parse insert, disk-hit
+  // insert. Lost races are folded into hits; nothing is double-counted.
+  EXPECT_EQ(stats.hits + stats.misses + stats.disk_hits, kCalls);
+  EXPECT_LE(stats.bytes, stats.byte_limit);
+  EXPECT_EQ(stats.disk_rejects, 0u);
+  const auto store_stats = store.stats();
+  EXPECT_EQ(store_stats.load_rejects, 0u);
+  EXPECT_EQ(store_stats.save_failures, 0u);
+}
+
+}  // namespace
+}  // namespace rd
