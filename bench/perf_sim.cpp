@@ -1,0 +1,103 @@
+// Convergence-simulator performance tiers (DESIGN.md §15): one scenario on
+// the demo enterprise (the latency a single rdctl `simulate` pays), the
+// event-queue hot path in isolation, and the scenario sweep's scaling with
+// thread count. EXPERIMENTS.md's fleet distributions come from
+// `simulate_convergence --fleet`; these benchmarks keep the per-scenario
+// cost visible so a protocol-engine regression shows up as a number, not
+// as a CI timeout.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "perf_main.h"
+
+#include "graph/instances.h"
+#include "model/network.h"
+#include "sim/event_queue.h"
+#include "sim/sweep.h"
+#include "synth/archetypes.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace rd;
+
+struct DemoNet {
+  model::Network network;
+  graph::InstanceGraph graph;
+};
+
+const DemoNet& demo_net() {
+  static const DemoNet* net = [] {
+    synth::TextbookEnterpriseParams params;
+    params.routers = 24;
+    params.border_routers = 2;
+    params.igp_instances = 2;
+    auto network =
+        model::Network::build(synth::make_textbook_enterprise(params).configs);
+    auto graph = graph::InstanceGraph::build(network);
+    return new DemoNet{std::move(network), std::move(graph)};
+  }();
+  return *net;
+}
+
+// One full flap scenario, cross-check included: what each entry in a sweep
+// costs end to end (seeded event loop + two static fixpoints to diff
+// against).
+void BM_SimScenario(benchmark::State& state) {
+  const auto& net = demo_net();
+  const auto scenarios = sim::flap_scenarios(net.network, net.graph, 1);
+  util::ThreadPool pool(1);
+  sim::SweepOptions options;
+  options.max_scenarios = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sweep_scenarios(
+        net.network, net.graph.set, scenarios, options, pool));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios.size());
+}
+BENCHMARK(BM_SimScenario);
+
+// The whole sweep at 1 vs 4 threads — scenario-level parallelism is the
+// only concurrency the simulator has, so this quotient is its scaling
+// story.
+void BM_SimSweep(benchmark::State& state) {
+  const auto& net = demo_net();
+  const auto scenarios = sim::flap_scenarios(net.network, net.graph, 0);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  sim::SweepOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sweep_scenarios(
+        net.network, net.graph.set, scenarios, options, pool));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios.size());
+}
+BENCHMARK(BM_SimSweep)->Arg(1)->Arg(4);
+
+// The event queue alone: push/pop of a payload-free event mix with heavy
+// same-timestamp ties — the structure every simulated millisecond funnels
+// through.
+void BM_SimEventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Event event;
+      event.at_ms = (i * 7) % 64;  // many ties: seq ordering does real work
+      event.instance = static_cast<std::uint32_t>(i);
+      queue.push(event);
+    }
+    std::uint64_t sum = 0;
+    while (!queue.empty()) sum += queue.pop().at_ms;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimEventQueue)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+RD_PERF_MAIN

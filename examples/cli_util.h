@@ -57,6 +57,15 @@ inline bool parse_threads(const char* text, std::size_t& out) {
   return true;
 }
 
+/// Parses a bare unsigned integer flag value (--seed, --until) with the
+/// same strictness as parse_threads: util::parse_u64 over the trimmed
+/// text, so trailing garbage ("42x", "1e6") and overflow both reject
+/// instead of silently truncating. Returns false (caller exits 2) on
+/// anything else.
+inline bool parse_u64_flag(const char* text, std::uint64_t& out) {
+  return text != nullptr && util::parse_u64(util::trim(text), out);
+}
+
 /// The observability surface shared by audit_network, rdlint, and
 /// reachability_query:
 ///   --trace FILE   record spans + counters, write a Chrome trace-event

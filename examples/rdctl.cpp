@@ -13,7 +13,7 @@
 //   rdctl --socket S shutdown
 //
 // Ops: ping, fleets, stats, audit, whatif, rdlint, reachability,
-// headerspace, shutdown.
+// headerspace, simulate, shutdown.
 //
 // Options:
 //   --socket PATH   connect over the Unix-domain socket
@@ -21,11 +21,16 @@
 //   --fleet NAME    fleet to query (optional when one fleet is loaded)
 //   --format F      rdlint: text | json | sarif (default text)
 //   --naive         reachability: the reference full-rescan engine
+//   --seed N        simulate: simulation seed (default 42)
+//   --until MS      simulate: simulated-time cap in ms (default automatic)
 //
 // Exit codes mirror the one-shot CLIs: 0 = ok, 1 = error-severity
-// findings, 2 = usage, transport, or daemon-side error.
+// findings, 2 = usage, transport, or daemon-side error. A connection
+// failure (daemon not running, stale socket) is exit 2 with the errno
+// text on stderr.
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -53,12 +58,16 @@ static int run(int argc, char** argv) {
           "usage: rdctl (--socket PATH | --tcp PORT) <op> [args]\n"
           "\n"
           "ops: ping, fleets, stats, audit, whatif, rdlint,\n"
-          "     reachability [SRC DST], headerspace [SRC DST], shutdown\n"
+          "     reachability [SRC DST], headerspace [SRC DST], simulate,\n"
+          "     shutdown\n"
           "\n"
           "options:\n"
           "  --fleet NAME   fleet to query (optional with one fleet)\n"
           "  --format F     rdlint format: text | json | sarif\n"
           "  --naive        reachability: reference full-rescan engine\n"
+          "  --seed N       simulate: simulation seed (default 42)\n"
+          "  --until MS     simulate: simulated-time cap in milliseconds\n"
+          "                 (default: automatic)\n"
           "\n"
           "exit codes: 0 ok, 1 error-severity findings, 2 usage or\n"
           "transport error\n");
@@ -88,6 +97,19 @@ static int run(int argc, char** argv) {
       request.format = v;
     } else if (std::strcmp(argv[i], "--naive") == 0) {
       request.naive = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!cli::parse_u64_flag(i + 1 < argc ? argv[++i] : nullptr,
+                               request.seed)) {
+        std::fprintf(stderr, "--seed wants an unsigned integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--until") == 0) {
+      if (!cli::parse_u64_flag(i + 1 < argc ? argv[++i] : nullptr,
+                               request.until_ms)) {
+        std::fprintf(stderr,
+                     "--until wants a simulated-time cap in milliseconds\n");
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option '%s' (see --help)\n", argv[i]);
       return 2;
@@ -117,10 +139,14 @@ static int run(int argc, char** argv) {
                                           static_cast<std::uint16_t>(tcp_port))
                      : serve::connect_unix(socket_path);
   if (fd < 0) {
-    std::fprintf(stderr, "cannot connect to %s\n",
+    // connect_unix/connect_tcp preserve connect(2)'s errno across their
+    // cleanup, so this names the real failure: ECONNREFUSED for a dead
+    // daemon or a stale socket file, ENOENT for a path that never existed.
+    std::fprintf(stderr, "rdctl: cannot connect to %s: %s (is rdd running?)\n",
                  socket_path.empty()
                      ? ("127.0.0.1:" + std::to_string(tcp_port)).c_str()
-                     : socket_path.c_str());
+                     : socket_path.c_str(),
+                 std::strerror(errno));
     return 2;
   }
   std::string error;

@@ -1,7 +1,8 @@
 // rdd: the always-on analysis daemon. Loads one or more fleets of router
 // configurations resident (parsed networks, instance graphs, compiled
 // design rules), then serves audit / rdlint / reachability / headerspace /
-// what-if queries over a Unix-domain or loopback TCP socket — each answer
+// simulate / what-if queries over a Unix-domain or loopback TCP socket —
+// each answer
 // byte-identical to the matching one-shot CLI's stdout, but without paying
 // the parse+build cost per invocation.
 //
@@ -61,9 +62,10 @@ static int run(int argc, char** argv) {
           "usage: rdd (--socket PATH | --tcp PORT) --fleet NAME=DIR ...\n"
           "           [--store DIR] [--cache-mb N] [--threads N]\n"
           "\n"
-          "Serve audit/rdlint/reachability/headerspace/whatif queries over\n"
-          "resident fleets; query with rdctl. Responses are byte-identical\n"
-          "to the one-shot CLIs. --store persists parses across restarts.\n"
+          "Serve audit/rdlint/reachability/headerspace/simulate/whatif\n"
+          "queries over resident fleets; query with rdctl. Responses are\n"
+          "byte-identical to the one-shot CLIs. --store persists parses\n"
+          "across restarts.\n"
           "\n"
           "exit codes:\n"
           "  0  clean shutdown (rdctl shutdown)\n"

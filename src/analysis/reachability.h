@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/propagation.h"
 #include "graph/instances.h"
 #include "ip/prefix_trie.h"
 #include "model/network.h"
@@ -133,10 +134,5 @@ class ReachabilityAnalysis {
 
 }  // namespace rd::analysis
 
-namespace rd::model {
-/// Ordering for routes (sorted route vectors, std::set in the oracle).
-inline bool operator<(const Route& a, const Route& b) noexcept {
-  if (a.prefix != b.prefix) return a.prefix < b.prefix;
-  return a.tag < b.tag;
-}
-}  // namespace rd::model
+// model::Route ordering now lives in analysis/propagation.h (included
+// above), next to the engines and the interned domain that rely on it.

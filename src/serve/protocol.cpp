@@ -63,6 +63,8 @@ std::string encode_request(const Request& request) {
     doc.set("destination", request.destination);
   }
   if (request.naive) doc.set("naive", true);
+  if (request.seed != 42) doc.set("seed", request.seed);
+  if (request.until_ms != 0) doc.set("until_ms", request.until_ms);
   return doc.dump();
 }
 
@@ -84,6 +86,12 @@ std::optional<Request> decode_request(std::string_view payload) {
   str("destination", request.destination);
   if (const auto* naive = doc->get("naive"); naive != nullptr) {
     request.naive = naive->bool_or(false);
+  }
+  if (const auto* seed = doc->get("seed"); seed != nullptr) {
+    request.seed = static_cast<std::uint64_t>(seed->int_or(42));
+  }
+  if (const auto* until = doc->get("until_ms"); until != nullptr) {
+    request.until_ms = static_cast<std::uint64_t>(until->int_or(0));
   }
   return request;
 }
@@ -169,7 +177,11 @@ int connect_unix(const std::string& path) {
   if (fd < 0) return -1;
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
+    // Preserve connect's errno across the cleanup close(2) so callers can
+    // report the real failure (ECONNREFUSED, ENOENT, ...).
+    const int saved = errno;
     ::close(fd);
+    errno = saved;
     return -1;
   }
   return fd;
@@ -185,7 +197,9 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
   if (fd < 0) return -1;
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
+    const int saved = errno;
     ::close(fd);
+    errno = saved;
     return -1;
   }
   return fd;

@@ -21,13 +21,18 @@ inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 /// old rdctl binaries degrade gracefully against newer daemons.
 struct Request {
   /// ping | fleets | stats | audit | whatif | rdlint | reachability |
-  /// headerspace | shutdown
+  /// headerspace | simulate | shutdown
   std::string op;
   std::string fleet;   // fleet name; may be empty when one fleet is loaded
   std::string format;  // rdlint: text | json | sarif (default text)
   std::string source;  // reachability / headerspace endpoint pair
   std::string destination;
   bool naive = false;  // reachability: reference full-rescan engine
+  /// simulate: the convergence-simulation seed and simulated-time cap
+  /// (0 = automatic). Part of the response-cache key — two simulations
+  /// with different seeds are different pure functions.
+  std::uint64_t seed = 42;
+  std::uint64_t until_ms = 0;
 };
 
 /// The daemon's answer. `output` carries the exact bytes the matching

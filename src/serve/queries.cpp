@@ -16,6 +16,7 @@
 #include "config/ast.h"
 #include "graph/address_space.h"
 #include "ip/ipv4.h"
+#include "sim/sweep.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -553,6 +554,19 @@ QueryResult reachability_report(const model::Network& network,
     }
     appendf(out, "  %s\n", route.prefix.to_string().c_str());
   }
+  return qr;
+}
+
+QueryResult simulate_report(const model::Network& network,
+                            const graph::InstanceGraph& ig,
+                            std::uint64_t seed, std::uint64_t until_ms,
+                            util::ThreadPool& pool) {
+  QueryResult qr;
+  sim::SweepOptions options;
+  options.seed = seed;
+  options.until_ms = until_ms;
+  qr.output = sim::simulate_report(network, ig, options, pool);
+  qr.exit_code = qr.output.find("MISMATCH") == std::string::npos ? 0 : 1;
   return qr;
 }
 

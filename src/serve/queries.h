@@ -102,4 +102,16 @@ QueryResult reachability_report(const model::Network& network,
                                 const graph::InstanceSet& instances,
                                 const ReachabilityRequest& request);
 
+/// simulate_convergence's single-network report: the discrete-event
+/// distance-vector convergence sweep (DESIGN.md §15) over the resident
+/// fleet, one flap scenario per interesting single-router failure. `seed`
+/// and `until_ms` mirror the CLI's --seed/--until; everything else stays
+/// at the SweepOptions defaults so the daemon's bytes match
+/// `simulate_convergence <dir> --seed N --until MS` exactly. Exit 1 when
+/// any fixpoint cross-check mismatched, matching the CLI contract.
+QueryResult simulate_report(const model::Network& network,
+                            const graph::InstanceGraph& ig,
+                            std::uint64_t seed, std::uint64_t until_ms,
+                            util::ThreadPool& pool);
+
 }  // namespace rd::serve

@@ -115,6 +115,11 @@ void Server::request_stop() {
 }
 
 void Server::run() {
+  // A poll(2) failure other than EINTR (EBADF, ENOMEM, ...) means the
+  // accept loop cannot continue. Remember it, tear down cleanly, and only
+  // then throw — a daemon that stops serving must exit nonzero, not
+  // silently return as if a shutdown had been requested.
+  int poll_errno = 0;
   for (;;) {
     pollfd fds[3];
     nfds_t n = 0;
@@ -122,7 +127,8 @@ void Server::run() {
     if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
     if (tcp_fd_ >= 0) fds[n++] = {tcp_fd_, POLLIN, 0};
     if (::poll(fds, n, -1) < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signals are routine, not fatal
+      poll_errno = errno;
       break;
     }
     if (fds[0].revents != 0) break;  // stop requested
@@ -149,6 +155,10 @@ void Server::run() {
   }
   for (auto& thread : connections_) thread.join();
   connections_.clear();
+  if (poll_errno != 0) {
+    throw std::runtime_error(std::string("poll: ") +
+                             std::strerror(poll_errno));
+  }
 }
 
 void Server::handle_connection(int fd) {

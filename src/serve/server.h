@@ -36,6 +36,9 @@ class Server {
 
   /// Accept loop; blocks until stopped. Joins every connection thread
   /// before returning, so all in-flight requests finish their replies.
+  /// EINTR from poll(2) is retried; any other poll failure tears down the
+  /// same way and then throws std::runtime_error, so the daemon exits
+  /// nonzero instead of pretending a clean shutdown happened.
   void run();
 
   /// Stop the accept loop and wake blocked connection readers. Safe from

@@ -72,15 +72,17 @@ const ResidentFleet* Service::find_fleet(const std::string& name) const {
   return nullptr;
 }
 
-void Service::record_latency(const std::string& op, double millis) {
+void Service::record_latency(const std::string& op, double millis,
+                             bool build) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   for (auto& entry : op_stats_) {
     if (entry.op == op) {
-      entry.latency_ms.push_back(millis);
+      (build ? entry.build_ms : entry.latency_ms).push_back(millis);
       return;
     }
   }
-  op_stats_.push_back({op, {millis}});
+  op_stats_.push_back(build ? OpStats{op, {}, {millis}}
+                            : OpStats{op, {millis}, {}});
 }
 
 Response Service::handle(const Request& request) {
@@ -111,19 +113,24 @@ Response Service::handle(const Request& request) {
     response.output = stats_json();
   } else if (request.op == "audit" || request.op == "whatif" ||
              request.op == "rdlint" || request.op == "reachability" ||
-             request.op == "headerspace") {
+             request.op == "headerspace" || request.op == "simulate") {
     const auto* fleet = find_fleet(request.fleet);
     // Resident fleets never change, so an analysis response is a pure
     // function of (fleet, request): serve repeats from the first
     // computation's bytes. '\0' separators keep distinct requests from
-    // colliding ("a"+"bc" vs "ab"+"c").
+    // colliding ("a"+"bc" vs "ab"+"c"). seed/until are part of the key —
+    // two simulations with different seeds are different pure functions.
     std::string cache_key;
     if (fleet != nullptr) {
+      const std::string seed = std::to_string(request.seed);
+      const std::string until = std::to_string(request.until_ms);
       cache_key.reserve(fleet->name.size() + request.op.size() +
                         request.format.size() + request.source.size() +
-                        request.destination.size() + 6);
+                        request.destination.size() + seed.size() +
+                        until.size() + 8);
       for (const auto* part : {&fleet->name, &request.op, &request.format,
-                               &request.source, &request.destination}) {
+                               &request.source, &request.destination, &seed,
+                               &until}) {
         cache_key += *part;
         cache_key += '\0';
       }
@@ -136,7 +143,7 @@ Response Service::handle(const Request& request) {
         const auto elapsed = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();
-        record_latency(request.op, elapsed);
+        record_latency(request.op, elapsed, /*build=*/false);
         return response;
       }
     }
@@ -165,6 +172,9 @@ Response Service::handle(const Request& request) {
         from_query(lint_report(*fleet->network, engine_, fleet->report_name,
                                *format, pool_, fleet->graph.get()));
       }
+    } else if (request.op == "simulate") {
+      from_query(simulate_report(*fleet->network, *fleet->graph,
+                                 request.seed, request.until_ms, pool_));
     } else {
       ReachabilityRequest reach;
       reach.symbolic = request.op == "headerspace";
@@ -179,6 +189,11 @@ Response Service::handle(const Request& request) {
       if (response_cache_.size() < kResponseCacheCap) {
         response_cache_.emplace(std::move(cache_key), response);
       }
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      record_latency(request.op, elapsed, /*build=*/true);
+      return response;
     }
   } else {
     response.ok = false;
@@ -189,7 +204,7 @@ Response Service::handle(const Request& request) {
   const auto elapsed = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
-  record_latency(request.op, elapsed);
+  record_latency(request.op, elapsed, /*build=*/false);
   return response;
 }
 
@@ -207,9 +222,15 @@ std::string Service::stats_json() const {
     for (const auto& entry : op_stats_) {
       auto op = util::Json::object();
       op.set("op", entry.op);
-      op.set("count", entry.latency_ms.size());
+      op.set("count", entry.latency_ms.size() + entry.build_ms.size());
+      // Percentiles cover served requests only; the one-time cold fills
+      // would otherwise dominate p99 forever on a warm daemon.
       op.set("p50_ms", util::quantile(entry.latency_ms, 0.50));
       op.set("p99_ms", util::quantile(entry.latency_ms, 0.99));
+      op.set("builds", entry.build_ms.size());
+      double build_total = 0.0;
+      for (const auto ms : entry.build_ms) build_total += ms;
+      op.set("build_ms", build_total);
       ops.push_back(std::move(op));
     }
   }

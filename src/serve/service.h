@@ -82,7 +82,11 @@ class Service {
 
   /// The stats endpoint's payload: request counts and p50/p99 latencies
   /// per op, cache and store counters, pool queue depth. Pretty-printed
-  /// JSON with a trailing newline.
+  /// JSON with a trailing newline. Cold response-cache fills (the one-time
+  /// per-(fleet, request) analysis build) are kept out of the percentiles
+  /// and reported separately as `builds`/`build_ms` — a daemon that served
+  /// one slow first audit and a thousand cache hits has a microsecond p99,
+  /// not a multi-second one.
   std::string stats_json() const;
 
   /// Analysis responses served from the response cache (resident fleets
@@ -93,7 +97,9 @@ class Service {
 
  private:
   const ResidentFleet* find_fleet(const std::string& name) const;
-  void record_latency(const std::string& op, double millis);
+  /// `build` marks a cold response-cache fill: its cost lands in the op's
+  /// build ledger instead of the serving-latency percentiles.
+  void record_latency(const std::string& op, double millis, bool build);
 
   util::ThreadPool pool_;
   std::unique_ptr<pipeline::DiskStore> store_;
@@ -103,7 +109,8 @@ class Service {
 
   struct OpStats {
     std::string op;
-    std::vector<double> latency_ms;
+    std::vector<double> latency_ms;  // cache hits and non-analysis ops
+    std::vector<double> build_ms;    // cold fills, excluded from p50/p99
   };
   mutable std::mutex stats_mutex_;
   std::vector<OpStats> op_stats_;  // insertion-ordered by first request

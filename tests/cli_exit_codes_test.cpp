@@ -7,9 +7,12 @@
 //
 // The binaries are found via RD_EXAMPLES_BIN_DIR, injected by CMake.
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -17,6 +20,8 @@
 #if defined(_WIN32)
 #error "this test suite assumes POSIX wait-status decoding"
 #endif
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -31,6 +36,21 @@ int run_tool(const std::string& tool, const std::string& args) {
   const std::string command = std::string(RD_EXAMPLES_BIN_DIR) + "/" + tool +
                               " " + args + " >/dev/null 2>/dev/null";
   const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// Like run_tool, but captures stderr into `stderr_out` (for the legs that
+/// assert on diagnostic text, not just the exit code).
+int run_tool_stderr(const std::string& tool, const std::string& args,
+                    const std::string& stderr_file, std::string* stderr_out) {
+  const std::string command = std::string(RD_EXAMPLES_BIN_DIR) + "/" + tool +
+                              " " + args + " >/dev/null 2>" + stderr_file;
+  const int status = std::system(command.c_str());
+  std::ifstream in(stderr_file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  *stderr_out = text.str();
   if (status == -1 || !WIFEXITED(status)) return -1;
   return WEXITSTATUS(status);
 }
@@ -130,6 +150,64 @@ TEST_F(CliExitCodesTest, DaemonAndClientUsageErrorsExitTwo) {
                      "--socket " + (dir_ / "no-daemon.sock").string() +
                          " ping"),
             2);
+}
+
+TEST_F(CliExitCodesTest, ClientConnectFailureExplainsItselfOnStderr) {
+  const std::string err_file = (dir_ / "rdctl-stderr").string();
+  std::string err;
+
+  // No daemon was ever at this path: exit 2 with the errno text and a hint
+  // at the likely cause, not a bare "cannot connect".
+  EXPECT_EQ(run_tool_stderr("rdctl",
+                            "--socket " + (dir_ / "never.sock").string() +
+                                " ping",
+                            err_file, &err),
+            2);
+  EXPECT_NE(err.find("cannot connect"), std::string::npos) << err;
+  EXPECT_NE(err.find("is rdd running?"), std::string::npos) << err;
+  EXPECT_NE(err.find(std::strerror(ENOENT)), std::string::npos) << err;
+
+  // A stale socket file — a daemon bound here once and died without
+  // unlinking. connect(2) refuses; the message must name that errno.
+  const std::string stale = (dir_ / "stale.sock").string();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(stale.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, stale.c_str(), stale.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+  ::close(fd);  // the file stays behind, but nobody is listening
+  EXPECT_EQ(run_tool_stderr("rdctl", "--socket " + stale + " ping", err_file,
+                            &err),
+            2);
+  EXPECT_NE(err.find("is rdd running?"), std::string::npos) << err;
+  EXPECT_NE(err.find(std::strerror(ECONNREFUSED)), std::string::npos) << err;
+}
+
+TEST_F(CliExitCodesTest, SimulateConvergenceFlagParsing) {
+  // --seed/--until go through cli::parse_u64_flag: trailing garbage,
+  // overflow, and a missing value are all usage errors, never silent
+  // truncation.
+  EXPECT_EQ(run_tool("simulate_convergence", "--seed abc"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--seed 12x"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--seed -1"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence",
+                     "--seed 99999999999999999999999999"),
+            2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--seed"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--until 10h"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--until"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--threads abc"), 2);
+  EXPECT_EQ(run_tool("simulate_convergence", truncated_), 2);
+  EXPECT_EQ(run_tool("simulate_convergence",
+                     (dir_ / "does-not-exist").string()),
+            2);
+  EXPECT_EQ(run_tool("simulate_convergence", "--help"), 0);
+  // rdctl shares the flag parser for the daemon-side simulate op.
+  EXPECT_EQ(run_tool("rdctl", "--tcp 1 --seed abc simulate"), 2);
+  EXPECT_EQ(run_tool("rdctl", "--tcp 1 --until 10h simulate"), 2);
 }
 
 }  // namespace

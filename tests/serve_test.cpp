@@ -7,9 +7,12 @@
 // (EPIPE) must not take the daemon down.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -28,6 +31,7 @@
 #include "serve/service.h"
 #include "synth/archetypes.h"
 #include "synth/emit.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace rd {
@@ -176,7 +180,8 @@ serve::Request op_request(const char* op) {
 
 std::vector<serve::Request> analysis_requests() {
   std::vector<serve::Request> requests;
-  for (const char* op : {"audit", "whatif", "reachability", "headerspace"}) {
+  for (const char* op :
+       {"audit", "whatif", "reachability", "headerspace", "simulate"}) {
     serve::Request r;
     r.op = op;
     requests.push_back(r);
@@ -200,6 +205,10 @@ serve::QueryResult reference_result(const serve::Request& request,
   }
   if (request.op == "whatif") {
     return serve::whatif_report(ref.network, ref.graph, pool);
+  }
+  if (request.op == "simulate") {
+    return serve::simulate_report(ref.network, ref.graph, request.seed,
+                                  request.until_ms, pool);
   }
   if (request.op == "rdlint") {
     // Reports name the network after the config directory's basename (the
@@ -350,6 +359,84 @@ TEST(ServeService, RepeatAnalysisRequestsHitTheResponseCache) {
   EXPECT_EQ(service.response_cache_hits(), 2u);
 }
 
+TEST(ServeService, SimulateSeedAndCapArePartOfTheCacheKey) {
+  serve::Service::Options options;
+  options.threads = 2;
+  serve::Service service(options);
+  service.add_fleet("corp", fleet_dir().string());
+
+  serve::Request request;
+  request.op = "simulate";
+  const auto default_seed = service.handle(request);
+  EXPECT_TRUE(default_seed.ok);
+  service.handle(request);
+  EXPECT_EQ(service.response_cache_hits(), 1u);
+
+  // A different seed is a different pure function: no false cache hit, and
+  // the dynamics (event timings in the report) genuinely differ.
+  request.seed = 7;
+  const auto other_seed = service.handle(request);
+  EXPECT_EQ(service.response_cache_hits(), 1u);
+  EXPECT_TRUE(other_seed.ok);
+  EXPECT_NE(other_seed.output, default_seed.output);
+
+  // So is a different time cap.
+  request.seed = 42;
+  request.until_ms = 60'000;
+  service.handle(request);
+  EXPECT_EQ(service.response_cache_hits(), 1u);
+
+  // And the protocol carries both: a decoded wire request reproduces them.
+  const auto decoded = serve::decode_request(serve::encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seed, 42u);
+  EXPECT_EQ(decoded->until_ms, 60'000u);
+}
+
+TEST(ServeService, StatsSeparateColdBuildsFromServingLatency) {
+  serve::Service::Options options;
+  options.threads = 1;
+  serve::Service service(options);
+  service.add_fleet("corp", fleet_dir().string());
+
+  serve::Request audit;
+  audit.op = "audit";
+  service.handle(audit);  // cold: computes and fills the response cache
+  service.handle(audit);  // warm: cache hit
+  service.handle(audit);  // warm: cache hit
+
+  const auto stats = service.handle(op_request("stats"));
+  const auto doc = util::Json::parse(stats.output);
+  ASSERT_TRUE(doc.has_value() && doc->is_object()) << stats.output;
+  const auto* ops = doc->get("ops");
+  ASSERT_TRUE(ops != nullptr && ops->is_array());
+  bool found = false;
+  for (std::size_t i = 0; i < ops->size(); ++i) {
+    const auto* entry = ops->at(i);
+    const auto* op = entry->get("op");
+    if (op == nullptr || op->if_string() == nullptr ||
+        *op->if_string() != "audit") {
+      continue;
+    }
+    found = true;
+    // One cold build, counted and costed separately; the percentiles cover
+    // only the two cache-hit servings, so the one-time build cannot sit in
+    // p99 forever.
+    EXPECT_EQ(entry->get("count")->int_or(-1), 3);
+    EXPECT_EQ(entry->get("builds")->int_or(-1), 1);
+    ASSERT_NE(entry->get("build_ms"), nullptr);
+    EXPECT_GT(entry->get("build_ms")->number_or(-1.0), 0.0);
+    const auto* p99 = entry->get("p99_ms");
+    ASSERT_NE(p99, nullptr);
+    // Cache hits are microseconds; the cold audit build is orders of
+    // magnitude slower. If the build leaked into the percentile, p99
+    // would be ~build_ms.
+    EXPECT_LT(p99->number_or(1e9),
+              entry->get("build_ms")->number_or(0.0));
+  }
+  EXPECT_TRUE(found) << stats.output;
+}
+
 TEST(ServeService, ConcurrentClientsGetIdenticalBytes) {
   util::ThreadPool reference_pool(1);
   const auto requests = analysis_requests();
@@ -458,6 +545,50 @@ TEST(ServeServer, UnixSocketEndToEndWithConcurrentClients) {
     ::close(fd);
   }
   server_thread.join();
+}
+
+void eintr_noop_handler(int) {}
+
+TEST(ServeServer, SignalInterruptedPollIsRetriedNotTreatedAsShutdown) {
+  // Regression: the accept loop's poll(2) used to treat every failure as a
+  // stop request, so any non-EINTR error made rdd "shut down" cleanly with
+  // exit 0 — and a stray signal was one misclassification away from the
+  // same fate. Interrupt the loop repeatedly with a handler installed
+  // WITHOUT SA_RESTART (so poll really returns EINTR) and require the
+  // daemon to keep serving.
+  struct sigaction action {};
+  action.sa_handler = eintr_noop_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: the syscall must observe EINTR
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  const auto socket_path =
+      (std::filesystem::path(testing::TempDir()) / "rd_serve_eintr.sock")
+          .string();
+  serve::Service::Options service_options;
+  service_options.threads = 1;
+  serve::Service service(service_options);
+  serve::Server::Options server_options;
+  server_options.unix_path = socket_path;
+  serve::Server server(service, server_options);
+  std::thread server_thread([&] { server.run(); });
+
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ::pthread_kill(server_thread.native_handle(), SIGUSR1);
+  }
+
+  const int fd = serve::connect_unix(socket_path);
+  ASSERT_GE(fd, 0);
+  const auto pong = serve::roundtrip(fd, op_request("ping"));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->output, "pong\n");
+  ::close(fd);
+
+  server.request_stop();
+  server_thread.join();
+  ::sigaction(SIGUSR1, &previous, nullptr);
 }
 
 TEST(ServeServer, MalformedFrameDrawsAnErrorResponse) {
